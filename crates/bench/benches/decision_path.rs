@@ -1,0 +1,120 @@
+//! Criterion benchmarks of the runtime decision paths.
+//!
+//! The paper's overhead argument is that MAGUS's per-cycle work (one
+//! counter read + Algorithms 1–3) is negligible while UPS's per-core MSR
+//! sweep is not. These benches measure the *computational* sides of both
+//! on this host; the simulated access-cost model (Table 2) covers the
+//! hardware sides.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use magus_experiments::drivers::{MagusDriver, RuntimeDriver, UpsDriver};
+use magus_hetsim::{Demand, Node, NodeConfig, Simulation};
+use magus_msr::{MsrDevice, MsrScope, SimMsr, MSR_UNCORE_RATIO_LIMIT};
+use magus_pcm::SampleWindow;
+use magus_runtime::{predict_trend, HighFreqDetector, MagusConfig, MagusCore};
+use magus_ups::{UpsConfig, UpsCore};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+
+    group.bench_function("alg1_predict_trend", |b| {
+        let mut w = SampleWindow::new(3);
+        for v in [10_000.0, 40_000.0, 90_000.0] {
+            w.push(v);
+        }
+        b.iter(|| predict_trend(black_box(&w), 200.0, 500.0));
+    });
+
+    group.bench_function("alg2_high_freq_record", |b| {
+        let mut d = HighFreqDetector::new(10, 0.4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            d.record(i % 3 == 0);
+            black_box(d.is_high_frequency())
+        });
+    });
+
+    group.bench_function("alg3_magus_cycle", |b| {
+        let mut core = MagusCore::new(MagusConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let sample = if i % 13 < 6 { 90_000.0 } else { 3_000.0 };
+            black_box(core.on_sample(black_box(sample)))
+        });
+    });
+
+    group.bench_function("ups_decide", |b| {
+        let mut core = UpsCore::new(UpsConfig::default(), 0.8, 2.2);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let ipc = if i % 7 == 0 { 1.2 } else { 1.7 };
+            black_box(core.decide(black_box(ipc), black_box(22.0)))
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_msr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msr");
+
+    group.bench_function("sim_msr_read", |b| {
+        let mut dev = SimMsr::new(2, 80);
+        b.iter(|| {
+            dev.read(MsrScope::Package(0), MSR_UNCORE_RATIO_LIMIT)
+                .unwrap()
+        });
+    });
+
+    group.bench_function("sim_msr_core_sweep_160", |b| {
+        let mut dev = SimMsr::new(2, 80);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for core in 0..80 {
+                acc ^= dev
+                    .read(MsrScope::Core(core), magus_msr::IA32_FIXED_CTR0)
+                    .unwrap();
+                acc ^= dev
+                    .read(MsrScope::Core(core), magus_msr::IA32_FIXED_CTR1)
+                    .unwrap();
+            }
+            black_box(acc)
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_invocations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invocations");
+
+    group.bench_function("magus_full_invocation", |b| {
+        let mut sim = Simulation::new(Node::new(NodeConfig::intel_a100()));
+        let mut driver = MagusDriver::with_defaults();
+        driver.attach(&mut sim);
+        let demand = Demand::new(30.0, 0.4, 0.3, 0.8);
+        b.iter(|| {
+            sim.node_mut().step(10_000, &demand);
+            black_box(driver.on_decision(&mut sim))
+        });
+    });
+
+    group.bench_function("ups_full_invocation", |b| {
+        let mut sim = Simulation::new(Node::new(NodeConfig::intel_a100()));
+        let mut driver = UpsDriver::with_defaults();
+        driver.attach(&mut sim);
+        let demand = Demand::new(30.0, 0.4, 0.3, 0.8);
+        b.iter(|| {
+            sim.node_mut().step(10_000, &demand);
+            black_box(driver.on_decision(&mut sim))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_msr, bench_invocations);
+criterion_main!(benches);

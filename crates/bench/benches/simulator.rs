@@ -1,0 +1,98 @@
+//! Criterion benchmarks of the simulator substrate: these bound how fast
+//! the figure regenerators can sweep (40-point sensitivity grids, 20-app
+//! suites) and catch performance regressions in the node step path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use magus_experiments::drivers::{MagusDriver, NoopDriver};
+use magus_experiments::harness::{run_trial, SystemId, TrialOpts};
+use magus_hetsim::{Demand, Node, NodeConfig};
+use magus_workloads::{app_trace, AppId, Platform};
+
+fn bench_node_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("step_idle", |b| {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::idle();
+        b.iter(|| black_box(node.step(10_000, &demand)));
+    });
+
+    group.bench_function("step_busy", |b| {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::new(60.0, 0.5, 0.4, 0.9);
+        b.iter(|| black_box(node.step(10_000, &demand)));
+    });
+
+    group.bench_function("step_multi_gpu", |b| {
+        let mut node = Node::new(NodeConfig::intel_4a100());
+        let demand = Demand {
+            mem_gbs: 120.0,
+            mem_frac: 0.5,
+            cpu_frac: 0.0,
+            cpu_util: 0.4,
+            gpu_util: vec![0.9; 4],
+        };
+        b.iter(|| black_box(node.step(10_000, &demand)));
+    });
+
+    group.bench_function("pcm_read", |b| {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::new(30.0, 0.4, 0.3, 0.8);
+        for _ in 0..50 {
+            node.step(10_000, &demand);
+        }
+        b.iter(|| black_box(node.pcm_read_gbs()));
+    });
+
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.bench_function("generate_srad", |b| {
+        b.iter(|| black_box(app_trace(AppId::Srad, Platform::IntelA100)));
+    });
+    group.bench_function("generate_full_suite", |b| {
+        b.iter(|| {
+            for &app in AppId::all() {
+                black_box(app_trace(app, Platform::IntelA100));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trials");
+    group.sample_size(10);
+
+    group.bench_function("bfs_baseline_trial", |b| {
+        b.iter(|| {
+            let mut d = NoopDriver;
+            black_box(run_trial(
+                SystemId::IntelA100,
+                AppId::Bfs,
+                &mut d,
+                TrialOpts::default(),
+            ))
+        });
+    });
+
+    group.bench_function("bfs_magus_trial", |b| {
+        b.iter(|| {
+            let mut d = MagusDriver::with_defaults();
+            black_box(run_trial(
+                SystemId::IntelA100,
+                AppId::Bfs,
+                &mut d,
+                TrialOpts::default(),
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_step, bench_workload_generation, bench_trials);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Ablation: the Algorithm 2 high-frequency lock, on vs off, on SRAD.
+//!
+//! Without the lock, MAGUS thrashes the uncore through SRAD's fluctuation
+//! intervals, paying repeated reaction lags — the §3.2 design argument.
+
+use magus_experiments::figures::ablation_high_freq;
+use magus_workloads::AppId;
+
+fn main() {
+    for app in [AppId::Srad, AppId::Unet] {
+        let a = ablation_high_freq(app);
+        println!("== high-frequency-lock ablation: {app} ==");
+        println!(
+            "with lock:    loss {:>5.2}% | power saving {:>6.2}% | energy saving {:>6.2}%",
+            a.with_lock.perf_loss_pct, a.with_lock.power_saving_pct, a.with_lock.energy_saving_pct
+        );
+        println!(
+            "without lock: loss {:>5.2}% | power saving {:>6.2}% | energy saving {:>6.2}%",
+            a.without_lock.perf_loss_pct,
+            a.without_lock.power_saving_pct,
+            a.without_lock.energy_saving_pct
+        );
+        println!();
+    }
+}

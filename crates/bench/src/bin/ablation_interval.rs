@@ -1,0 +1,21 @@
+//! Ablation: MAGUS monitoring-interval sweep (§6.4's 0.2 s choice).
+//!
+//! Shorter intervals raise monitoring overhead; longer intervals miss
+//! throughput transitions and cost performance.
+
+use magus_experiments::figures::ablation_interval;
+use magus_workloads::AppId;
+
+fn main() {
+    let intervals = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6];
+    for app in [AppId::Unet, AppId::Srad] {
+        println!("== monitoring-interval ablation: {app} ==");
+        for (interval, c) in ablation_interval(app, &intervals) {
+            println!(
+                "interval {interval:>5.2} s: loss {:>5.2}% | power saving {:>6.2}% | energy saving {:>6.2}%",
+                c.perf_loss_pct, c.power_saving_pct, c.energy_saving_pct
+            );
+        }
+        println!();
+    }
+}

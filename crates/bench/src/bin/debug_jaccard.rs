@@ -1,0 +1,32 @@
+//! Diagnostic: where do baseline and MAGUS burst intervals disagree?
+use magus_experiments::drivers::{MagusDriver, NoopDriver};
+use magus_experiments::harness::{run_trial, SystemId, TrialOpts};
+use magus_experiments::metrics::default_burst_threshold;
+use magus_workloads::AppId;
+
+fn main() {
+    let app = AppId::from_name(&std::env::args().nth(1).unwrap_or_else(|| "bfs".into())).unwrap();
+    let mut base_d = NoopDriver;
+    let base = run_trial(SystemId::IntelA100, app, &mut base_d, TrialOpts::recorded());
+    let mut magus_d = MagusDriver::with_defaults();
+    let magus = run_trial(SystemId::IntelA100, app, &mut magus_d, TrialOpts::recorded());
+    let thr = default_burst_threshold(&base.samples);
+    println!("threshold = {thr:.1} GB/s, base peak = {:.1}", base.samples.iter().map(|s| s.mem_gbs).fold(0.0, f64::max));
+    println!("base len {} magus len {}", base.samples.len(), magus.samples.len());
+    // Print burst intervals in progress domain for each.
+    for (name, samples) in [("base", &base.samples), ("magus", &magus.samples)] {
+        let mut intervals = vec![];
+        let mut start: Option<f64> = None;
+        for s in samples.iter() {
+            if s.mem_gbs > thr && start.is_none() { start = Some(s.progress_s); }
+            if s.mem_gbs <= thr {
+                if let Some(st) = start.take() { intervals.push((st, s.progress_s)); }
+            }
+        }
+        println!("{name}: {} bursts:", intervals.len());
+        for (a, b) in intervals.iter().take(12) {
+            print!(" [{a:.2}-{b:.2}]");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,28 @@
+//! Diagnostic: decision telemetry for one MAGUS run (not a paper figure).
+use magus_experiments::drivers::MagusDriver;
+use magus_experiments::harness::{run_trial, SystemId, TrialOpts};
+use magus_workloads::AppId;
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "bfs".into());
+    let app = AppId::from_name(&app).expect("unknown app");
+    let mut d = MagusDriver::with_defaults();
+    let r = run_trial(SystemId::IntelA100, app, &mut d, TrialOpts::recorded());
+    let t = d.telemetry();
+    println!(
+        "app={} runtime={:.1}s cycles={} warmup={} tune={} hf_cycles={} overridden={} raised={} lowered={}",
+        app, r.summary.runtime_s, t.cycles, t.warmup_cycles, t.tune_events,
+        t.high_freq_cycles, t.overridden, t.raised, t.lowered
+    );
+    println!("hf_fraction={:.2}", t.high_freq_fraction());
+    // Mean uncore frequency over the run.
+    let mean_uncore: f64 =
+        r.samples.iter().map(|s| s.uncore_ghz).sum::<f64>() / r.samples.len() as f64;
+    println!("mean uncore = {mean_uncore:.2} GHz");
+    for rec in t.log.iter().take(60) {
+        println!(
+            "cycle {:>3} sample {:>9.0} MB/s trend {:?} hf={} action {:?}",
+            rec.cycle, rec.sample_mbs, rec.trend, rec.high_freq, rec.action
+        );
+    }
+}

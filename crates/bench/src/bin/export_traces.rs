@@ -1,0 +1,68 @@
+//! Export recorded traces as JSON for external plotting.
+//!
+//! ```sh
+//! cargo run --release -p magus-bench --bin export_traces -- srad out/
+//! ```
+//!
+//! Writes one JSON file per policy (baseline, min/max fixed, MAGUS, UPS)
+//! containing the full [`TraceSample`] series — throughput, uncore
+//! frequency, per-domain power — ready for any plotting stack.
+//!
+//! [`TraceSample`]: magus_hetsim::TraceSample
+
+use std::fs;
+use std::path::PathBuf;
+
+use magus_experiments::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, UpsDriver};
+use magus_experiments::harness::{run_trial, SystemId, TrialOpts};
+use magus_workloads::AppId;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app = args
+        .next()
+        .and_then(|s| AppId::from_name(&s))
+        .unwrap_or(AppId::Srad);
+    let out_dir = PathBuf::from(args.next().unwrap_or_else(|| "results/traces".into()));
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let system = SystemId::IntelA100;
+    let opts = TrialOpts::recorded();
+    let cfg = system.node_config();
+
+    let runs: Vec<(&str, magus_experiments::TrialResult)> = vec![
+        ("baseline", {
+            let mut d = NoopDriver;
+            run_trial(system, app, &mut d, opts)
+        }),
+        ("fixed_max", {
+            let mut d = FixedUncoreDriver::new(cfg.uncore.freq_max_ghz);
+            run_trial(system, app, &mut d, opts)
+        }),
+        ("fixed_min", {
+            let mut d = FixedUncoreDriver::new(cfg.uncore.freq_min_ghz);
+            run_trial(system, app, &mut d, opts)
+        }),
+        ("magus", {
+            let mut d = MagusDriver::with_defaults();
+            run_trial(system, app, &mut d, opts)
+        }),
+        ("ups", {
+            let mut d = UpsDriver::with_defaults();
+            run_trial(system, app, &mut d, opts)
+        }),
+    ];
+
+    for (name, result) in runs {
+        let path = out_dir.join(format!("{}_{}.json", app.name(), name));
+        let json = serde_json::to_string_pretty(&result).expect("serialise");
+        fs::write(&path, json).expect("write trace");
+        println!(
+            "{}: {} samples, runtime {:.2} s -> {}",
+            name,
+            result.samples.len(),
+            result.summary.runtime_s,
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig 1: UNet profiling under the stock governor on Intel+A100.
+//!
+//! Paper: CPU core frequency (a) and GPU SM clock (b) are adjusted
+//! dynamically by default; the uncore frequency (c) stays pinned at its
+//! maximum because package power never approaches TDP.
+
+use magus_experiments::figures::fig1_unet_profile;
+use magus_experiments::report::render_series;
+
+fn main() {
+    let r = fig1_unet_profile();
+    println!("== Fig 1: UNet under the stock governor (Intel+A100) ==");
+    println!(
+        "runtime {:.1} s | mean pkg {:.1} W (TDP budget {:.0} W per socket)",
+        r.summary.runtime_s,
+        r.summary.energy.pkg_j() / r.summary.energy.elapsed_s,
+        270.0
+    );
+    print!(
+        "{}",
+        render_series("(a) CPU core frequency", &r.samples, |s| s.core_freq_ghz, "GHz", 25)
+    );
+    print!(
+        "{}",
+        render_series("(b) GPU SM clock", &r.samples, |s| s.gpu_clock_mhz, "MHz", 25)
+    );
+    print!(
+        "{}",
+        render_series("(c) uncore frequency", &r.samples, |s| s.uncore_ghz, "GHz", 25)
+    );
+    let min_uncore = r
+        .samples
+        .iter()
+        .map(|s| s.uncore_ghz)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "uncore stayed at maximum: min observed = {min_uncore:.2} GHz (hardware max 2.2 GHz)"
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig 2: UNet power profiles under max (2.2 GHz) vs min (0.8 GHz) uncore.
+//!
+//! Paper: pinning the uncore at minimum cuts CPU package power by ~82 W
+//! (200 W → 120 W) and stretches runtime by ~21% (47 s → 57 s).
+
+use magus_experiments::figures::fig2_unet_extremes;
+use magus_experiments::report::render_series;
+
+fn main() {
+    let data = fig2_unet_extremes();
+    let max = &data.max_uncore;
+    let min = &data.min_uncore;
+
+    println!("== Fig 2: UNet under uncore extremes (Intel+A100) ==");
+    println!(
+        "max uncore: runtime {:.1} s, pkg {:.1} W, dram {:.1} W, gpu {:.1} W",
+        max.summary.runtime_s,
+        max.summary.energy.pkg_j() / max.summary.energy.elapsed_s,
+        max.summary.energy.dram_j / max.summary.energy.elapsed_s,
+        max.summary.energy.gpu_j / max.summary.energy.elapsed_s,
+    );
+    println!(
+        "min uncore: runtime {:.1} s, pkg {:.1} W, dram {:.1} W, gpu {:.1} W",
+        min.summary.runtime_s,
+        min.summary.energy.pkg_j() / min.summary.energy.elapsed_s,
+        min.summary.energy.dram_j / min.summary.energy.elapsed_s,
+        min.summary.energy.gpu_j / min.summary.energy.elapsed_s,
+    );
+    println!(
+        "pkg power drop: {:.1} W (paper: ~82 W) | runtime increase: {:.1}% (paper: ~21%)",
+        data.pkg_power_drop_w(),
+        data.runtime_increase_pct()
+    );
+    println!();
+    print!(
+        "{}",
+        render_series("CPU pkg power, max uncore", &max.samples, |s| s.pkg_w, "W", 30)
+    );
+    print!(
+        "{}",
+        render_series("CPU pkg power, min uncore", &min.samples, |s| s.pkg_w, "W", 30)
+    );
+}

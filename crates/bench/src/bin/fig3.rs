@@ -1,0 +1,43 @@
+//! Fig 3: the MAGUS component overview, rendered from the live runtime
+//! configuration (the paper's flowchart, as executable documentation).
+
+use magus_runtime::MagusConfig;
+
+fn main() {
+    let cfg = MagusConfig::default();
+    println!(
+        r#"== Fig 3: MAGUS overview ==
+
+              +---------------------------+
+   every      | (1) Memory Throughput     |   one PCM-style counter,
+   {:>4} ms   |     Monitor               |   {:>3} ms measurement window
+              +------------+--------------+
+                           | sample (MB/s) -> FIFO window ({} samples)
+                           v
+              +---------------------------+
+              | (2) Memory Throughput     |   Algorithm 1: d = (newest-oldest)/n
+              |     Predictor             |   d > {:>4} -> raise   d < -{:>4} -> lower
+              +------------+--------------+
+                           | temporary decision + tune-event flag
+                           v
+              +---------------------------+
+              | (3) High-Frequency        |   Algorithm 2: rate of tune events
+              |     Change Detector       |   over last {} cycles >= {} -> LOCK MAX
+              +------------+--------------+
+                           | approved decision
+                           v
+                  wrmsr 0x620 (max-ratio bits only)
+
+warm-up: {} cycles with no tuning actions (node idles at min uncore);
+decision period = invocation (~0.1 s) + rest interval ({} ms)."#,
+        cfg.monitor_interval_us / 1000,
+        100,
+        cfg.window_len,
+        cfg.inc_threshold,
+        cfg.dec_threshold,
+        cfg.tune_window_len,
+        cfg.high_freq_threshold,
+        cfg.warmup_cycles,
+        cfg.monitor_interval_us / 1000,
+    );
+}

@@ -1,0 +1,17 @@
+//! Fig 4b: end-to-end comparison on Intel+Max1550 (Altis-SYCL suite).
+//!
+//! Paper: MAGUS holds performance loss below 4% with up to 10% energy
+//! savings; UPS goes *negative* on some applications because its 7.9%
+//! power overhead outweighs its savings.
+
+use magus_experiments::figures::fig4;
+use magus_experiments::report::render_fig4_table;
+use magus_experiments::SystemId;
+
+fn main() {
+    let rows = fig4(SystemId::IntelMax1550);
+    print!("{}", render_fig4_table("Fig 4b: Intel+Max1550", &rows));
+    let magus_min = rows.iter().map(|r| r.magus.energy_saving_pct).fold(f64::INFINITY, f64::min);
+    let ups_min = rows.iter().map(|r| r.ups.energy_saving_pct).fold(f64::INFINITY, f64::min);
+    println!("\nminimum energy saving: MAGUS {magus_min:.1}% (paper: positive everywhere), UPS {ups_min:.1}% (paper: negative for some apps)");
+}

@@ -1,0 +1,15 @@
+//! Fig 4c: multi-GPU comparison on Intel+4A100.
+//!
+//! Paper: GROMACS ~7%/LAMMPS ~5.2% perf loss with ~21%/~10% CPU power
+//! savings; energy savings are modest because the four A100-80GB boards
+//! idle at ~200 W, amplifying the cost of any slowdown.
+
+use magus_experiments::figures::fig4;
+use magus_experiments::report::render_fig4_table;
+use magus_experiments::SystemId;
+
+fn main() {
+    let rows = fig4(SystemId::Intel4A100);
+    print!("{}", render_fig4_table("Fig 4c: Intel+4A100", &rows));
+    println!("\nidle power of 4x A100-80GB ~= 200 W: energy savings attenuate relative to Fig 4a.");
+}

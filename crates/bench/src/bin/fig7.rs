@@ -1,0 +1,31 @@
+//! Fig 7: Pareto frontiers of energy vs runtime across 40 threshold
+//! combinations (fix two thresholds, vary the third).
+//!
+//! Paper: the common configuration (inc=300, dec=500, hf=0.4) sits on or
+//! close to the frontier for every application; the defaults (inc=200) are
+//! equally good.
+
+use magus_experiments::figures::fig7_sensitivity;
+use magus_experiments::pareto::{distance_to_frontier, pareto_frontier};
+use magus_workloads::AppId;
+
+fn main() {
+    for app in [AppId::Srad, AppId::Unet] {
+        let sweep = fig7_sensitivity(app);
+        let frontier = pareto_frontier(&sweep.points);
+        println!("== Fig 7: {} — {} configs, {} on frontier ==", sweep.app, sweep.points.len(), frontier.len());
+        for p in &frontier {
+            println!("  frontier: {:<28} runtime {:>7.2} s  energy {:>9.0} J", p.label, p.runtime_s, p.energy_j);
+        }
+        for (name, point) in [("default", &sweep.default_point), ("common", &sweep.common_point)] {
+            println!(
+                "  {name:<8} {:<28} runtime {:>7.2} s  energy {:>9.0} J  distance-to-frontier {:.4}",
+                point.label,
+                point.runtime_s,
+                point.energy_j,
+                distance_to_frontier(point, &frontier)
+            );
+        }
+        println!();
+    }
+}

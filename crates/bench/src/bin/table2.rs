@@ -1,0 +1,14 @@
+//! Table 2: idle runtime overheads of MAGUS and UPS on both systems.
+//!
+//! Paper: MAGUS ~1.1%/1.16% power overhead and ~0.1 s per invocation; UPS
+//! 4.9%/7.9% and ~0.3 s, because it sweeps every core's MSRs each cycle.
+
+use magus_experiments::figures::table2_overheads;
+use magus_experiments::report::render_table2;
+
+fn main() {
+    // The paper idles for 10 minutes; 120 s of simulated time gives the
+    // same converged means.
+    let rows = table2_overheads(120.0);
+    print!("{}", render_table2(&rows));
+}

@@ -1,0 +1,30 @@
+//! Seeded-replication analysis: the paper's ≥5-repetition protocol.
+//!
+//! Quantifies how much of each headline number is stochastic (sensor noise
+//! and workload jitter) vs structural. Small standard deviations mean the
+//! single-run figures elsewhere in the suite are representative.
+
+use magus_experiments::replicate::evaluate_replicated;
+use magus_experiments::SystemId;
+use magus_workloads::AppId;
+
+fn main() {
+    println!("== seeded replication (5 runs per app, MAGUS vs baseline, Intel+A100) ==");
+    println!(
+        "{:<22} {:>16} {:>18} {:>18}",
+        "app", "loss% (μ±σ)", "pwr-sv% (μ±σ)", "en-sv% (μ±σ)"
+    );
+    for app in [AppId::Bfs, AppId::Gemm, AppId::Cfd, AppId::Srad, AppId::Unet, AppId::Lammps] {
+        let e = evaluate_replicated(SystemId::IntelA100, app, 5);
+        println!(
+            "{:<22} {:>9.2}±{:<6.2} {:>11.2}±{:<6.2} {:>11.2}±{:<6.2}",
+            e.app,
+            e.perf_loss_pct.mean,
+            e.perf_loss_pct.std,
+            e.power_saving_pct.mean,
+            e.power_saving_pct.std,
+            e.energy_saving_pct.mean,
+            e.energy_saving_pct.std,
+        );
+    }
+}

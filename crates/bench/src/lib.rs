@@ -1,0 +1,7 @@
+//! Figure/table regenerators for the MAGUS reproduction.
+//!
+//! Each binary in `src/bin/` prints the data for one paper artefact; the
+//! Criterion benches in `benches/` measure the runtimes' decision costs.
+//! This library crate only re-exports the experiment API they share.
+
+pub use magus_experiments as experiments;

@@ -1,0 +1,427 @@
+//! One function per paper table/figure (§6). The `magus-bench` binaries
+//! print these; integration tests assert their shapes against the paper.
+
+use magus_runtime::MagusConfig;
+use magus_workloads::{fig4a_suite, fig4b_suite, fig4c_suite, table1_suite, AppId};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, UpsDriver};
+use crate::harness::{run_trial, SystemId, TrialOpts, TrialResult};
+use crate::metrics::{burst_jaccard, default_burst_threshold, Comparison};
+use crate::overhead::{measure_overhead, OverheadReport};
+use crate::pareto::ParetoPoint;
+
+/// Fig 1: UNet profiled under the stock governor — CPU core frequency and
+/// GPU clock move with demand; uncore stays pinned at maximum.
+#[must_use]
+pub fn fig1_unet_profile() -> TrialResult {
+    let mut driver = NoopDriver;
+    run_trial(
+        SystemId::IntelA100,
+        AppId::Unet,
+        &mut driver,
+        TrialOpts::recorded(),
+    )
+}
+
+/// Fig 2 data: UNet under fixed max vs fixed min uncore frequency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Data {
+    /// Run with the uncore pinned at maximum (2.2 GHz).
+    pub max_uncore: TrialResult,
+    /// Run with the uncore pinned at minimum (0.8 GHz).
+    pub min_uncore: TrialResult,
+}
+
+impl Fig2Data {
+    /// CPU package power reduction from max to min (W) — the paper's 82 W.
+    #[must_use]
+    pub fn pkg_power_drop_w(&self) -> f64 {
+        let pkg = |r: &TrialResult| {
+            let e = &r.summary.energy;
+            e.pkg_j() / e.elapsed_s
+        };
+        pkg(&self.max_uncore) - pkg(&self.min_uncore)
+    }
+
+    /// Runtime increase from max to min (%) — the paper's 21%.
+    #[must_use]
+    pub fn runtime_increase_pct(&self) -> f64 {
+        crate::metrics::pct_change(
+            self.max_uncore.summary.runtime_s,
+            self.min_uncore.summary.runtime_s,
+        )
+    }
+}
+
+/// Fig 2: UNet power profiles at the uncore extremes.
+#[must_use]
+pub fn fig2_unet_extremes() -> Fig2Data {
+    let system = SystemId::IntelA100;
+    let opts = TrialOpts::recorded();
+    let mut max_driver = FixedUncoreDriver::new(system.node_config().uncore.freq_max_ghz);
+    let max_uncore = run_trial(system, AppId::Unet, &mut max_driver, opts);
+    let mut min_driver = FixedUncoreDriver::new(system.node_config().uncore.freq_min_ghz);
+    let min_uncore = run_trial(system, AppId::Unet, &mut min_driver, opts);
+    Fig2Data {
+        max_uncore,
+        min_uncore,
+    }
+}
+
+/// One application's Fig 4 row: MAGUS and UPS against the stock baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppEval {
+    /// Application name.
+    pub app: String,
+    /// Baseline runtime (s), for reference.
+    pub baseline_runtime_s: f64,
+    /// Baseline mean CPU power (W), for reference.
+    pub baseline_cpu_w: f64,
+    /// MAGUS vs baseline.
+    pub magus: Comparison,
+    /// UPS vs baseline.
+    pub ups: Comparison,
+}
+
+/// Evaluate one app on one system with all three methods.
+#[must_use]
+pub fn evaluate_app(system: SystemId, app: AppId) -> AppEval {
+    let opts = TrialOpts::default();
+    let mut base_driver = NoopDriver;
+    let base = run_trial(system, app, &mut base_driver, opts);
+    let mut magus_driver = MagusDriver::with_defaults();
+    let magus = run_trial(system, app, &mut magus_driver, opts);
+    let mut ups_driver = UpsDriver::with_defaults();
+    let ups = run_trial(system, app, &mut ups_driver, opts);
+    AppEval {
+        app: app.name().to_string(),
+        baseline_runtime_s: base.summary.runtime_s,
+        baseline_cpu_w: base.summary.mean_cpu_w,
+        magus: Comparison::against(&base.summary, &magus.summary),
+        ups: Comparison::against(&base.summary, &ups.summary),
+    }
+}
+
+/// Fig 4 (a/b/c): the end-to-end suite evaluation for a system.
+#[must_use]
+pub fn fig4(system: SystemId) -> Vec<AppEval> {
+    let suite = match system {
+        SystemId::IntelA100 => fig4a_suite(),
+        SystemId::IntelMax1550 => fig4b_suite(),
+        SystemId::Intel4A100 => fig4c_suite(),
+    };
+    suite
+        .into_par_iter()
+        .map(|app| evaluate_app(system, app))
+        .collect()
+}
+
+/// Fig 5: SRAD memory-throughput traces under four policies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Data {
+    /// Uncore pinned at maximum.
+    pub max_uncore: TrialResult,
+    /// Uncore pinned at minimum.
+    pub min_uncore: TrialResult,
+    /// MAGUS.
+    pub magus: TrialResult,
+    /// UPS.
+    pub ups: TrialResult,
+}
+
+/// Fig 5 / Fig 6: the SRAD case study (§6.2).
+#[must_use]
+pub fn fig5_srad_case_study() -> Fig5Data {
+    let system = SystemId::IntelA100;
+    let opts = TrialOpts::recorded();
+    let cfg = system.node_config();
+    let mut max_d = FixedUncoreDriver::new(cfg.uncore.freq_max_ghz);
+    let mut min_d = FixedUncoreDriver::new(cfg.uncore.freq_min_ghz);
+    let mut magus_d = MagusDriver::with_defaults();
+    let mut ups_d = UpsDriver::with_defaults();
+    Fig5Data {
+        max_uncore: run_trial(system, AppId::Srad, &mut max_d, opts),
+        min_uncore: run_trial(system, AppId::Srad, &mut min_d, opts),
+        magus: run_trial(system, AppId::Srad, &mut magus_d, opts),
+        ups: run_trial(system, AppId::Srad, &mut ups_d, opts),
+    }
+}
+
+/// Derived §6.2 case-study statistics (the numbers quoted in the text).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SradStats {
+    /// MAGUS vs baseline.
+    pub magus: Comparison,
+    /// UPS vs baseline.
+    pub ups: Comparison,
+    /// Fraction of MAGUS's post-warm-up decision cycles spent in the
+    /// high-frequency locked state.
+    pub magus_high_freq_fraction: f64,
+}
+
+/// Compute the §6.2 statistics from a fresh case-study run.
+#[must_use]
+pub fn srad_stats() -> SradStats {
+    let system = SystemId::IntelA100;
+    let opts = TrialOpts::default();
+    let mut base_d = NoopDriver;
+    let base = run_trial(system, AppId::Srad, &mut base_d, opts);
+    let mut magus_d = MagusDriver::with_defaults();
+    let magus = run_trial(system, AppId::Srad, &mut magus_d, opts);
+    let mut ups_d = UpsDriver::with_defaults();
+    let ups = run_trial(system, AppId::Srad, &mut ups_d, opts);
+    SradStats {
+        magus: Comparison::against(&base.summary, &magus.summary),
+        ups: Comparison::against(&base.summary, &ups.summary),
+        magus_high_freq_fraction: magus_d.telemetry().high_freq_fraction(),
+    }
+}
+
+/// Table 1: Jaccard similarity of burst intervals, MAGUS vs the
+/// maximum-uncore baseline, per application.
+#[must_use]
+pub fn table1_jaccard() -> Vec<(String, f64)> {
+    table1_suite()
+        .into_par_iter()
+        .map(|app| {
+            let system = SystemId::IntelA100;
+            let opts = TrialOpts::recorded();
+            let mut base_d = NoopDriver;
+            let base = run_trial(system, app, &mut base_d, opts);
+            let mut magus_d = MagusDriver::with_defaults();
+            let magus = run_trial(system, app, &mut magus_d, opts);
+            let threshold = default_burst_threshold(&base.samples);
+            let score = burst_jaccard(&base.samples, &magus.samples, threshold);
+            (app.name().to_string(), score)
+        })
+        .collect()
+}
+
+/// One Fig 7 sweep result for an application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Application name.
+    pub app: String,
+    /// Every threshold combination's outcome.
+    pub points: Vec<ParetoPoint>,
+    /// The default-threshold configuration's outcome.
+    pub default_point: ParetoPoint,
+    /// The paper's common-frontier point (inc=300, dec=500, hf=0.4).
+    pub common_point: ParetoPoint,
+}
+
+/// The §6.4 protocol: fix two thresholds at their defaults and vary the
+/// third — 40 combinations.
+#[must_use]
+pub fn sensitivity_combinations() -> Vec<MagusConfig> {
+    let mut combos = Vec::with_capacity(40);
+    for inc in [50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0, 700.0, 1000.0, 1500.0, 2000.0, 3000.0, 5000.0]
+    {
+        combos.push(MagusConfig {
+            inc_threshold: inc,
+            ..MagusConfig::default()
+        });
+    }
+    for dec in [100.0, 200.0, 300.0, 400.0, 500.0, 700.0, 1000.0, 1500.0, 2000.0, 3000.0, 5000.0, 8000.0, 12000.0, 20000.0]
+    {
+        combos.push(MagusConfig {
+            dec_threshold: dec,
+            ..MagusConfig::default()
+        });
+    }
+    for hf in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.5] {
+        combos.push(MagusConfig {
+            high_freq_threshold: hf,
+            ..MagusConfig::default()
+        });
+    }
+    combos
+}
+
+fn sweep_point(system: SystemId, app: AppId, cfg: MagusConfig) -> ParetoPoint {
+    let label = format!(
+        "inc={} dec={} hf={}",
+        cfg.inc_threshold, cfg.dec_threshold, cfg.high_freq_threshold
+    );
+    let mut driver = MagusDriver::new(cfg);
+    let r = run_trial(system, app, &mut driver, TrialOpts::default());
+    ParetoPoint {
+        label,
+        runtime_s: r.summary.runtime_s,
+        energy_j: r.summary.energy.total_j(),
+    }
+}
+
+/// Fig 7: the threshold sensitivity sweep for one application.
+#[must_use]
+pub fn fig7_sensitivity(app: AppId) -> SweepResult {
+    let system = SystemId::IntelA100;
+    let points: Vec<ParetoPoint> = sensitivity_combinations()
+        .into_par_iter()
+        .map(|cfg| sweep_point(system, app, cfg))
+        .collect();
+    let default_point = sweep_point(system, app, MagusConfig::default());
+    let common_point = sweep_point(system, app, MagusConfig::pareto_common());
+    SweepResult {
+        app: app.name().to_string(),
+        points,
+        default_point,
+        common_point,
+    }
+}
+
+/// Table 2: idle overheads of MAGUS and UPS on both single-GPU systems.
+#[must_use]
+pub fn table2_overheads(duration_s: f64) -> Vec<OverheadReport> {
+    let cells: Vec<(SystemId, bool)> = vec![
+        (SystemId::IntelA100, true),
+        (SystemId::IntelA100, false),
+        (SystemId::IntelMax1550, true),
+        (SystemId::IntelMax1550, false),
+    ];
+    cells
+        .into_par_iter()
+        .map(|(system, is_magus)| {
+            if is_magus {
+                let mut d = MagusDriver::with_defaults();
+                measure_overhead(system, &mut d, duration_s)
+            } else {
+                let mut d = UpsDriver::with_defaults();
+                measure_overhead(system, &mut d, duration_s)
+            }
+        })
+        .collect()
+}
+
+/// Ablation: MAGUS with and without the high-frequency lock on an
+/// oscillating workload (the Algorithm 2 design choice).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HighFreqAblation {
+    /// Full MAGUS vs baseline.
+    pub with_lock: Comparison,
+    /// Trend-prediction-only MAGUS vs baseline.
+    pub without_lock: Comparison,
+}
+
+/// Run the high-frequency-lock ablation on `app` (SRAD is the interesting
+/// subject).
+#[must_use]
+pub fn ablation_high_freq(app: AppId) -> HighFreqAblation {
+    let system = SystemId::IntelA100;
+    let opts = TrialOpts::default();
+    let mut base_d = NoopDriver;
+    let base = run_trial(system, app, &mut base_d, opts);
+    let mut with_d = MagusDriver::with_defaults();
+    let with_run = run_trial(system, app, &mut with_d, opts);
+    let mut without_d = MagusDriver::new(MagusConfig::without_high_freq_lock());
+    let without_run = run_trial(system, app, &mut without_d, opts);
+    HighFreqAblation {
+        with_lock: Comparison::against(&base.summary, &with_run.summary),
+        without_lock: Comparison::against(&base.summary, &without_run.summary),
+    }
+}
+
+/// Ablation: monitoring-interval sweep (§6.4's 0.2 s choice).
+#[must_use]
+pub fn ablation_interval(app: AppId, intervals_s: &[f64]) -> Vec<(f64, Comparison)> {
+    let system = SystemId::IntelA100;
+    let opts = TrialOpts::default();
+    let mut base_d = NoopDriver;
+    let base = run_trial(system, app, &mut base_d, opts);
+    intervals_s
+        .par_iter()
+        .map(|&interval_s| {
+            let cfg = MagusConfig {
+                monitor_interval_us: (interval_s * 1e6) as u64,
+                ..MagusConfig::default()
+            };
+            let mut driver = MagusDriver::new(cfg);
+            let r = run_trial(system, app, &mut driver, opts);
+            (interval_s, Comparison::against(&base.summary, &r.summary))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_has_40_combinations() {
+        assert_eq!(sensitivity_combinations().len(), 40);
+    }
+
+    #[test]
+    fn evaluate_app_produces_sane_comparison() {
+        let eval = evaluate_app(SystemId::IntelA100, AppId::Bfs);
+        assert_eq!(eval.app, "bfs");
+        assert!(eval.baseline_runtime_s > 10.0);
+        // MAGUS on a compute-heavy kernel: meaningful CPU power savings,
+        // bounded performance loss.
+        assert!(eval.magus.power_saving_pct > 5.0, "{:?}", eval.magus);
+        assert!(eval.magus.perf_loss_pct < 8.0, "{:?}", eval.magus);
+    }
+
+    #[test]
+    fn fig2_reproduces_trade_off_direction() {
+        let data = fig2_unet_extremes();
+        assert!(data.pkg_power_drop_w() > 40.0, "{}", data.pkg_power_drop_w());
+        assert!(data.runtime_increase_pct() > 8.0, "{}", data.runtime_increase_pct());
+    }
+
+    #[test]
+    fn fig1_profile_records_all_series() {
+        let r = fig1_unet_profile();
+        assert!(r.samples.len() > 100);
+        // Every plotted series carries live data.
+        assert!(r.samples.iter().any(|s| s.gpu_clock_mhz > 1000.0));
+        assert!(r.samples.iter().any(|s| s.core_freq_ghz > 1.0));
+        assert!(r.samples.iter().all(|s| s.uncore_ghz > 2.19));
+    }
+
+    #[test]
+    fn fig5_traces_have_expected_relationships() {
+        let data = fig5_srad_case_study();
+        let peak = |r: &crate::harness::TrialResult| {
+            r.samples.iter().map(|s| s.mem_gbs).fold(0.0, f64::max)
+        };
+        // Min uncore cannot reach the max-uncore throughput levels; MAGUS can.
+        assert!(peak(&data.min_uncore) < peak(&data.max_uncore) * 0.7);
+        assert!(peak(&data.magus) > peak(&data.max_uncore) * 0.9);
+        assert!(data.min_uncore.summary.runtime_s > data.max_uncore.summary.runtime_s);
+    }
+
+    #[test]
+    fn srad_stats_lock_engages() {
+        let stats = srad_stats();
+        assert!(stats.magus_high_freq_fraction > 0.15);
+        assert!(stats.magus.perf_loss_pct < stats.ups.perf_loss_pct + 5.0);
+    }
+
+    #[test]
+    fn sensitivity_combinations_are_one_axis_variations() {
+        let default = MagusConfig::default();
+        for cfg in sensitivity_combinations() {
+            let changed = [
+                (cfg.inc_threshold - default.inc_threshold).abs() > 1e-12,
+                (cfg.dec_threshold - default.dec_threshold).abs() > 1e-12,
+                (cfg.high_freq_threshold - default.high_freq_threshold).abs() > 1e-12,
+            ]
+            .iter()
+            .filter(|&&c| c)
+            .count();
+            assert!(changed <= 1, "{cfg:?} varies more than one threshold");
+            assert!(cfg.validate().is_ok(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn table1_covers_the_paper_rows() {
+        // Structure only (the full sweep runs in the table1 binary): the
+        // suite and threshold plumbing must line up with the paper's list.
+        let suite = magus_workloads::table1_suite();
+        assert_eq!(suite.len(), 21);
+    }
+}

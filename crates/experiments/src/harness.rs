@@ -1,0 +1,272 @@
+//! Trial execution: one (system × application × runtime) run.
+
+use magus_hetsim::{secs_to_us, Node, NodeConfig, RunSummary, Simulation, TraceRecorder, TraceSample};
+use magus_workloads::{app_trace, AppId, Platform};
+use serde::{Deserialize, Serialize};
+
+use crate::drivers::RuntimeDriver;
+
+/// The paper's three testbeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemId {
+    /// 2× Xeon 8380 + 1× A100-40GB.
+    IntelA100,
+    /// 2× Xeon 8380 + 4× A100-80GB.
+    Intel4A100,
+    /// 2× Xeon Max 9462 + Max 1550.
+    IntelMax1550,
+}
+
+impl SystemId {
+    /// The node configuration preset.
+    #[must_use]
+    pub fn node_config(&self) -> NodeConfig {
+        match self {
+            SystemId::IntelA100 => NodeConfig::intel_a100(),
+            SystemId::Intel4A100 => NodeConfig::intel_4a100(),
+            SystemId::IntelMax1550 => NodeConfig::intel_max1550(),
+        }
+    }
+
+    /// The matching workload platform.
+    #[must_use]
+    pub fn platform(&self) -> Platform {
+        match self {
+            SystemId::IntelA100 => Platform::IntelA100,
+            SystemId::Intel4A100 => Platform::Intel4A100,
+            SystemId::IntelMax1550 => Platform::IntelMax1550,
+        }
+    }
+
+    /// Display name as in the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemId::IntelA100 => "Intel+A100",
+            SystemId::Intel4A100 => "Intel+4A100",
+            SystemId::IntelMax1550 => "Intel+Max1550",
+        }
+    }
+}
+
+/// Trial options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialOpts {
+    /// Trace-recorder sampling interval (µs); 0 disables recording.
+    pub record_interval_us: u64,
+    /// Wall-clock budget (s); runs that exceed it are marked incomplete.
+    pub max_s: f64,
+}
+
+impl Default for TrialOpts {
+    fn default() -> Self {
+        Self {
+            record_interval_us: 0,
+            max_s: 600.0,
+        }
+    }
+}
+
+impl TrialOpts {
+    /// Options with recording at the paper's 0.1 s plot resolution.
+    #[must_use]
+    pub fn recorded() -> Self {
+        Self {
+            record_interval_us: 100_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of one trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// Runtime name used.
+    pub runtime: String,
+    /// Run summary (runtime, energy, mean powers, counters).
+    pub summary: RunSummary,
+    /// Recorded time series (empty unless requested).
+    pub samples: Vec<TraceSample>,
+    /// Number of runtime decision invocations during the run.
+    pub invocations: u64,
+    /// Mean invocation latency (µs) across the run.
+    pub mean_invocation_us: f64,
+}
+
+/// Run `app` on `system` under `driver`.
+pub fn run_trial(
+    system: SystemId,
+    app: AppId,
+    driver: &mut dyn RuntimeDriver,
+    opts: TrialOpts,
+) -> TrialResult {
+    let trace = app_trace(app, system.platform());
+    run_trace_trial(system, trace, driver, opts)
+}
+
+/// Run an explicit trace (used by sweeps that modify workloads).
+pub fn run_trace_trial(
+    system: SystemId,
+    trace: magus_hetsim::AppTrace,
+    driver: &mut dyn RuntimeDriver,
+    opts: TrialOpts,
+) -> TrialResult {
+    run_custom_trial(system.node_config(), trace, driver, opts)
+}
+
+/// Run an explicit trace on an explicit node configuration (custom
+/// hardware: the AMD preset, modified power models, ...).
+pub fn run_custom_trial(
+    config: NodeConfig,
+    trace: magus_hetsim::AppTrace,
+    driver: &mut dyn RuntimeDriver,
+    opts: TrialOpts,
+) -> TrialResult {
+    let mut sim = Simulation::new(Node::new(config));
+    sim.set_recorder(TraceRecorder::new(opts.record_interval_us));
+    sim.load(trace);
+    driver.attach(&mut sim);
+
+    let start_us = sim.node().time_us();
+    let budget_us = secs_to_us(opts.max_s);
+    let mut next_due_us = start_us; // first decision immediately
+    let mut invocations = 0u64;
+    let mut total_invocation_us = 0u64;
+
+    while !sim.done() && sim.node().time_us() - start_us < budget_us {
+        if sim.node().time_us() >= next_due_us {
+            let latency = driver.on_decision(&mut sim);
+            invocations += 1;
+            total_invocation_us += latency;
+            let rest = driver.rest_interval_us();
+            next_due_us = if rest == u64::MAX {
+                u64::MAX
+            } else {
+                sim.node().time_us() + latency + rest
+            };
+        }
+        sim.step();
+    }
+
+    let summary = sim.summary(start_us);
+    let samples = sim.recorder_mut().take_samples();
+    TrialResult {
+        runtime: driver.name().to_string(),
+        summary,
+        samples,
+        invocations,
+        mean_invocation_us: if invocations == 0 {
+            0.0
+        } else {
+            total_invocation_us as f64 / invocations as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, UpsDriver};
+
+    #[test]
+    fn baseline_trial_completes_at_work_content() {
+        let mut driver = NoopDriver;
+        let r = run_trial(
+            SystemId::IntelA100,
+            AppId::Bfs,
+            &mut driver,
+            TrialOpts::default(),
+        );
+        assert!(r.summary.completed);
+        // Baseline (uncore pinned at max) meets every demand: runtime ==
+        // work content (32 s for bfs).
+        assert!((r.summary.runtime_s - 32.0).abs() < 0.5, "{}", r.summary.runtime_s);
+        assert_eq!(r.invocations, 1); // the immediate first call only
+    }
+
+    #[test]
+    fn min_uncore_stretches_runtime() {
+        let mut base = NoopDriver;
+        let b = run_trial(SystemId::IntelA100, AppId::Unet, &mut base, TrialOpts::default());
+        let mut fixed = FixedUncoreDriver::new(0.8);
+        let f = run_trial(SystemId::IntelA100, AppId::Unet, &mut fixed, TrialOpts::default());
+        assert!(f.summary.runtime_s > b.summary.runtime_s * 1.1);
+        assert!(f.summary.mean_cpu_w < b.summary.mean_cpu_w);
+    }
+
+    #[test]
+    fn magus_trial_invokes_on_cadence() {
+        let mut driver = MagusDriver::with_defaults();
+        let r = run_trial(
+            SystemId::IntelA100,
+            AppId::Bfs,
+            &mut driver,
+            TrialOpts::default(),
+        );
+        assert!(r.summary.completed);
+        // ~0.3 s decision period over a ~32 s run: ≈ 105 invocations.
+        let expected = r.summary.runtime_s / 0.3;
+        assert!(
+            (r.invocations as f64 - expected).abs() < expected * 0.15,
+            "invocations = {}, expected ≈ {expected}",
+            r.invocations
+        );
+        assert!((r.mean_invocation_us - 100_500.0).abs() < 3_000.0);
+    }
+
+    #[test]
+    fn ups_trial_runs_slower_cadence() {
+        let mut driver = UpsDriver::with_defaults();
+        let r = run_trial(
+            SystemId::IntelA100,
+            AppId::Bfs,
+            &mut driver,
+            TrialOpts::default(),
+        );
+        assert!(r.summary.completed);
+        // ~0.5 s decision period.
+        let expected = r.summary.runtime_s / 0.5;
+        assert!(
+            (r.invocations as f64 - expected).abs() < expected * 0.2,
+            "invocations = {}",
+            r.invocations
+        );
+    }
+
+    #[test]
+    fn recording_produces_samples() {
+        let mut driver = NoopDriver;
+        let r = run_trial(
+            SystemId::IntelA100,
+            AppId::Srad,
+            &mut driver,
+            TrialOpts::recorded(),
+        );
+        assert!(r.samples.len() > 100, "{}", r.samples.len());
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let run = || {
+            let mut driver = MagusDriver::with_defaults();
+            run_trial(
+                SystemId::IntelA100,
+                AppId::Srad,
+                &mut driver,
+                TrialOpts::default(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.summary.runtime_s, b.summary.runtime_s);
+        assert_eq!(a.summary.energy.total_j(), b.summary.energy.total_j());
+        assert_eq!(a.invocations, b.invocations);
+    }
+
+    #[test]
+    fn system_ids_map_to_configs() {
+        assert_eq!(SystemId::IntelA100.node_config().gpus.len(), 1);
+        assert_eq!(SystemId::Intel4A100.node_config().gpus.len(), 4);
+        assert_eq!(SystemId::IntelMax1550.name(), "Intel+Max1550");
+    }
+}

@@ -1,0 +1,44 @@
+//! Experiment harness: everything needed to regenerate the paper's
+//! evaluation (§5–6).
+//!
+//! * [`drivers`] — runtime drivers binding MAGUS, UPS, fixed-frequency
+//!   policies, and the stock baseline to the simulated node, with realistic
+//!   invocation scheduling (measurement latency + rest interval).
+//! * [`harness`] — runs one (system × application × runtime) trial and
+//!   collects a [`TrialResult`]: runtime, energy decomposition, power/
+//!   throughput/uncore time series, decision telemetry.
+//! * [`metrics`] — the paper's three evaluation metrics (performance loss,
+//!   CPU power saving, total energy saving) plus the Jaccard burst-overlap
+//!   score of §6.3.
+//! * [`pareto`] — Pareto-frontier extraction for the §6.4 sensitivity
+//!   sweep.
+//! * [`overhead`] — the idle-node overhead measurement of §6.5 (Table 2).
+//! * [`figures`] — one function per table/figure, producing the data the
+//!   `magus-bench` binaries print.
+//! * [`report`] — plain-text table/series formatting shared by the bench
+//!   binaries.
+//! * [`amd`] — the §6.6 AMD port: the same MAGUS core actuating Infinity
+//!   Fabric P-states through the HSMP mailbox.
+//! * [`replicate`] — the paper's ≥5-repetition protocol: seeded replicates
+//!   with mean ± std aggregation.
+//! * [`powercap`] — the §6.1 power-budget argument quantified: uncore
+//!   scaling as headroom under a RAPL package power limit.
+//!
+//! Trials are deterministic; suite-level sweeps fan out across trials with
+//! rayon (each trial owns its simulation, so parallelism is embarrassing).
+
+pub mod amd;
+pub mod drivers;
+pub mod figures;
+pub mod harness;
+pub mod metrics;
+pub mod overhead;
+pub mod pareto;
+pub mod powercap;
+pub mod replicate;
+pub mod report;
+
+pub use drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, UpsDriver};
+pub use harness::{run_trial, SystemId, TrialOpts, TrialResult};
+pub use metrics::{burst_jaccard, Comparison};
+pub use pareto::{pareto_frontier, ParetoPoint};

@@ -1,0 +1,162 @@
+//! Plain-text report formatting shared by the `magus-bench` binaries.
+
+use crate::figures::AppEval;
+use crate::overhead::OverheadReport;
+use magus_hetsim::TraceSample;
+
+/// Render a Fig 4-style table: per-app perf loss / power saving / energy
+/// saving for MAGUS and UPS.
+#[must_use]
+pub fn render_fig4_table(title: &str, rows: &[AppEval]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}\n",
+        "app", "loss%", "loss%", "pwr-sv%", "pwr-sv%", "en-sv%", "en-sv%"
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}\n",
+        "", "MAGUS", "UPS", "MAGUS", "UPS", "MAGUS", "UPS"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<22} {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2}\n",
+            row.app,
+            row.magus.perf_loss_pct,
+            row.ups.perf_loss_pct,
+            row.magus.power_saving_pct,
+            row.ups.power_saving_pct,
+            row.magus.energy_saving_pct,
+            row.ups.energy_saving_pct,
+        ));
+    }
+    out
+}
+
+/// Render the Table 2 overhead matrix.
+#[must_use]
+pub fn render_table2(rows: &[OverheadReport]) -> String {
+    let mut out = String::new();
+    out.push_str("== Table 2: runtime overheads ==\n");
+    out.push_str(&format!(
+        "{:<16} {:<8} {:>16} {:>18}\n",
+        "system", "method", "power overhead %", "invocation (s)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:<8} {:>16.2} {:>18.2}\n",
+            r.system, r.runtime, r.power_overhead_pct, r.invocation_s
+        ));
+    }
+    out
+}
+
+/// Render a time series as a sparse text plot (one row per sample bucket).
+#[must_use]
+pub fn render_series(
+    title: &str,
+    samples: &[TraceSample],
+    project: impl Fn(&TraceSample) -> f64,
+    unit: &str,
+    max_rows: usize,
+) -> String {
+    let mut out = format!("-- {title} ({unit}) --\n");
+    if samples.is_empty() {
+        out.push_str("(no samples)\n");
+        return out;
+    }
+    let stride = (samples.len() / max_rows.max(1)).max(1);
+    let values: Vec<f64> = samples.iter().map(&project).collect();
+    let peak = values.iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(1e-9);
+    for (i, sample) in samples.iter().enumerate().step_by(stride) {
+        let v = values[i];
+        let bars = ((v.abs() / peak) * 50.0).round() as usize;
+        out.push_str(&format!(
+            "{:>7.2}s {:>10.2} {}\n",
+            sample.t_s,
+            v,
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+/// Render a name/value listing (Table 1 style).
+#[must_use]
+pub fn render_pairs(title: &str, rows: &[(String, f64)], fmt: &str) -> String {
+    let mut out = format!("== {title} ==\n");
+    for (name, value) in rows {
+        match fmt {
+            "pct" => out.push_str(&format!("{name:<24} {value:>8.2}%\n")),
+            _ => out.push_str(&format!("{name:<24} {value:>8.3}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Comparison;
+
+    fn eval() -> AppEval {
+        AppEval {
+            app: "bfs".into(),
+            baseline_runtime_s: 32.0,
+            baseline_cpu_w: 180.0,
+            magus: Comparison {
+                perf_loss_pct: 1.2,
+                power_saving_pct: 25.0,
+                energy_saving_pct: 15.0,
+            },
+            ups: Comparison {
+                perf_loss_pct: 3.0,
+                power_saving_pct: 20.0,
+                energy_saving_pct: 8.0,
+            },
+        }
+    }
+
+    #[test]
+    fn fig4_table_contains_all_rows() {
+        let s = render_fig4_table("Fig 4a", &[eval()]);
+        assert!(s.contains("Fig 4a"));
+        assert!(s.contains("bfs"));
+        assert!(s.contains("25.00"));
+    }
+
+    #[test]
+    fn series_renders_buckets() {
+        let samples: Vec<TraceSample> = (0..100)
+            .map(|i| TraceSample {
+                t_s: f64::from(i) * 0.1,
+                progress_s: f64::from(i) * 0.1,
+                mem_gbs: f64::from(i % 10) * 10.0,
+                demand_gbs: 0.0,
+                uncore_ghz: 2.2,
+                core_freq_ghz: 2.0,
+                gpu_clock_mhz: 1000.0,
+                pkg_w: 100.0,
+                dram_w: 10.0,
+                gpu_w: 200.0,
+                overhead_w: 0.0,
+            })
+            .collect();
+        let s = render_series("throughput", &samples, |x| x.mem_gbs, "GB/s", 20);
+        assert!(s.contains("throughput"));
+        assert!(s.lines().count() <= 22);
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        let s = render_series("empty", &[], |x| x.mem_gbs, "GB/s", 10);
+        assert!(s.contains("no samples"));
+    }
+
+    #[test]
+    fn pairs_render_both_formats() {
+        let rows = vec![("bfs".to_string(), 0.99)];
+        assert!(render_pairs("Table 1", &rows, "raw").contains("0.990"));
+        assert!(render_pairs("x", &rows, "pct").contains('%'));
+    }
+}

@@ -1,0 +1,367 @@
+//! Node configuration: parameters for CPU, uncore, memory, and GPU models,
+//! plus presets for the paper's three testbeds (§5).
+//!
+//! Calibration note: the power-model constants are fitted to the paper's
+//! published operating points rather than to vendor datasheets — e.g. the
+//! Intel+A100 preset reproduces Fig 2's UNet profile (package ≈200 W at max
+//! uncore, ≈120 W at min uncore, +21% runtime at min). `EXPERIMENTS.md`
+//! records the residuals.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-socket CPU core-complex parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Physical cores per socket.
+    pub cores: u32,
+    /// Minimum core frequency (GHz).
+    pub core_freq_min_ghz: f64,
+    /// Base (all-core sustained) frequency (GHz).
+    pub core_freq_base_ghz: f64,
+    /// Maximum turbo frequency (GHz).
+    pub core_freq_max_ghz: f64,
+    /// Static (leakage + fabric floor, excluding uncore) power per socket (W).
+    pub static_power_w: f64,
+    /// Dynamic core power per socket at full utilisation and max frequency (W).
+    pub dyn_power_max_w: f64,
+    /// Exponent of the frequency term in dynamic core power (≈ v² f).
+    pub dyn_freq_exp: f64,
+    /// First-order smoothing constant for the DVFS governor per tick (0..1].
+    pub dvfs_alpha: f64,
+    /// Baseline instructions-per-cycle of unstalled busy cores (for the
+    /// fixed-counter model that UPS reads).
+    pub base_ipc: f64,
+    /// How strongly host IPC couples to memory-starvation of the *workload*
+    /// (0..1). On GPU-dominant applications this is weak: DMA transfers do
+    /// not stall host cores — the host spins in synchronisation loops
+    /// retiring instructions at full rate — which is precisely why UPS's
+    /// IPC feedback, designed for CPU-only HPC codes, fails to notice
+    /// uncore-induced starvation here (the paper's core motivation).
+    pub ipc_stall_coupling: f64,
+    /// Thermal design power per socket (W); the stock uncore governor only
+    /// throttles when package power approaches this.
+    pub tdp_w: f64,
+}
+
+/// Per-socket uncore-domain parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UncoreConfig {
+    /// Minimum uncore frequency (GHz).
+    pub freq_min_ghz: f64,
+    /// Maximum uncore frequency (GHz).
+    pub freq_max_ghz: f64,
+    /// Uncore power per socket at the minimum frequency, idle (W).
+    pub power_min_w: f64,
+    /// Additional uncore power per socket at the maximum frequency (W),
+    /// before the activity factor is applied.
+    pub power_span_w: f64,
+    /// Exponent of the normalised-frequency term in uncore power.
+    pub power_exp: f64,
+    /// Fraction of the dynamic term that is frequency-only (clock tree,
+    /// always burned at a given frequency); the remainder scales with
+    /// memory activity.
+    pub dyn_static_frac: f64,
+    /// Frequency slew rate (GHz per second) when moving towards the target;
+    /// models the hardware's finite ramp and penalises thrashing.
+    pub slew_ghz_per_s: f64,
+}
+
+/// Per-socket memory-subsystem parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Peak deliverable bandwidth per socket at maximum uncore frequency (GB/s).
+    pub peak_bw_gbs: f64,
+    /// Fraction of peak bandwidth still deliverable at minimum uncore
+    /// frequency. Bandwidth interpolates between this floor and the peak.
+    pub floor_frac: f64,
+    /// Exponent of the interpolation (1.0 = linear in normalised frequency).
+    pub bw_exp: f64,
+    /// DRAM background power per socket (W).
+    pub dram_base_w: f64,
+    /// DRAM power per GB/s of delivered traffic (W per GB/s).
+    pub dram_w_per_gbs: f64,
+}
+
+/// Per-device GPU parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Idle board power (W). The paper reports ≈30 W for one A100-40GB and
+    /// ≈200 W total for four A100-80GB.
+    pub idle_power_w: f64,
+    /// Board power at full utilisation (W).
+    pub max_power_w: f64,
+    /// Minimum SM clock (MHz).
+    pub sm_clock_min_mhz: f64,
+    /// Maximum SM clock (MHz).
+    pub sm_clock_max_mhz: f64,
+    /// First-order smoothing constant of the SM-clock governor per tick.
+    pub clock_alpha: f64,
+}
+
+/// Stock (hardware-default) uncore-governor parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TdpGovernorConfig {
+    /// Enable the TDP-coupled throttle (true on all Intel presets).
+    pub enabled: bool,
+    /// Package-power fraction of TDP above which the uncore is throttled.
+    pub trigger_frac: f64,
+    /// GHz removed from the uncore target per watt above the trigger.
+    pub ghz_per_watt: f64,
+}
+
+impl Default for TdpGovernorConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            trigger_frac: 0.95,
+            ghz_per_watt: 0.05,
+        }
+    }
+}
+
+/// Full node configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Human-readable system name (e.g. `"Intel+A100"`).
+    pub name: String,
+    /// Number of CPU sockets.
+    pub sockets: u32,
+    /// Per-socket CPU parameters.
+    pub cpu: CpuConfig,
+    /// Per-socket uncore parameters.
+    pub uncore: UncoreConfig,
+    /// Per-socket memory parameters.
+    pub mem: MemoryConfig,
+    /// GPU devices (one entry per board).
+    pub gpus: Vec<GpuConfig>,
+    /// Stock uncore governor behaviour.
+    pub tdp_governor: TdpGovernorConfig,
+    /// Simulation tick (µs). 10 ms resolves the millisecond-scale phase
+    /// alternation the paper describes while keeping runs fast.
+    pub tick_us: u64,
+    /// Seed for the node's deterministic sensor/jitter noise.
+    pub seed: u64,
+    /// Per-core MSR read energy (µJ) — the dominant term in UPS's power
+    /// overhead; higher on the Sapphire Rapids tile architecture.
+    pub core_msr_read_energy_uj: f64,
+    /// Per-core MSR read latency (µs).
+    pub core_msr_read_latency_us: f64,
+    /// Memory-throughput measurement window of the PCM-style monitor (µs).
+    pub pcm_window_us: u64,
+    /// Daemon active power while collecting a PCM measurement (W).
+    pub pcm_daemon_power_w: f64,
+}
+
+impl NodeConfig {
+    /// Total logical core count across sockets.
+    #[must_use]
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cpu.cores
+    }
+
+    /// Peak system memory bandwidth at maximum uncore frequency (GB/s).
+    #[must_use]
+    pub fn peak_system_bw_gbs(&self) -> f64 {
+        self.mem.peak_bw_gbs * f64::from(self.sockets)
+    }
+
+    /// The Chameleon Intel+A100 testbed: 2× Xeon Platinum 8380 (40 cores,
+    /// uncore 0.8–2.2 GHz, TDP 270 W) + 1× A100-40GB.
+    #[must_use]
+    pub fn intel_a100() -> Self {
+        Self {
+            name: "Intel+A100".to_string(),
+            sockets: 2,
+            cpu: CpuConfig {
+                cores: 40,
+                core_freq_min_ghz: 0.8,
+                core_freq_base_ghz: 2.3,
+                core_freq_max_ghz: 3.4,
+                static_power_w: 24.0,
+                dyn_power_max_w: 170.0,
+                dyn_freq_exp: 2.2,
+                dvfs_alpha: 0.5,
+                base_ipc: 1.7,
+                ipc_stall_coupling: 0.14,
+                tdp_w: 270.0,
+            },
+            uncore: UncoreConfig {
+                freq_min_ghz: 0.8,
+                freq_max_ghz: 2.2,
+                power_min_w: 13.0,
+                power_span_w: 50.0,
+                power_exp: 1.35,
+                dyn_static_frac: 0.8,
+                slew_ghz_per_s: 28.0,
+            },
+            mem: MemoryConfig {
+                peak_bw_gbs: 80.0,
+                floor_frac: 0.33,
+                bw_exp: 1.0,
+                dram_base_w: 10.0,
+                dram_w_per_gbs: 0.10,
+            },
+            gpus: vec![GpuConfig::a100_40gb()],
+            tdp_governor: TdpGovernorConfig::default(),
+            tick_us: 10_000,
+            seed: 0x4d41_4755_5331, // "MAGUS1"
+            core_msr_read_energy_uj: 26_000.0,
+            core_msr_read_latency_us: 1_800.0,
+            pcm_window_us: 100_000,
+            pcm_daemon_power_w: 5.8,
+        }
+    }
+
+    /// Intel+4A100: same host as [`NodeConfig::intel_a100`] but with four
+    /// A100-80GB boards on PCIe (idle floor ≈200 W total).
+    #[must_use]
+    pub fn intel_4a100() -> Self {
+        let mut cfg = Self::intel_a100();
+        cfg.name = "Intel+4A100".to_string();
+        cfg.gpus = vec![GpuConfig::a100_80gb(); 4];
+        cfg.seed = 0x4d41_4755_5334;
+        cfg
+    }
+
+    /// Intel+Max1550: 2× Xeon CPU Max 9462 (32 cores, Sapphire Rapids,
+    /// uncore 0.8–2.5 GHz, HBM2e) + Data Center GPU Max 1550.
+    ///
+    /// Per-core MSR access is costlier across the SPR compute tiles, which
+    /// is why UPS's power overhead rises to 7.9% here (Table 2).
+    #[must_use]
+    pub fn intel_max1550() -> Self {
+        Self {
+            name: "Intel+Max1550".to_string(),
+            sockets: 2,
+            cpu: CpuConfig {
+                cores: 32,
+                core_freq_min_ghz: 0.8,
+                core_freq_base_ghz: 2.7,
+                core_freq_max_ghz: 3.5,
+                static_power_w: 28.0,
+                dyn_power_max_w: 200.0,
+                dyn_freq_exp: 2.2,
+                dvfs_alpha: 0.5,
+                base_ipc: 1.9,
+                ipc_stall_coupling: 0.14,
+                tdp_w: 350.0,
+            },
+            uncore: UncoreConfig {
+                freq_min_ghz: 0.8,
+                freq_max_ghz: 2.5,
+                power_min_w: 15.0,
+                power_span_w: 44.0,
+                power_exp: 1.35,
+                dyn_static_frac: 0.8,
+                slew_ghz_per_s: 28.0,
+            },
+            mem: MemoryConfig {
+                peak_bw_gbs: 120.0,
+                floor_frac: 0.38,
+                bw_exp: 1.0,
+                dram_base_w: 14.0,
+                dram_w_per_gbs: 0.08,
+            },
+            gpus: vec![GpuConfig::max_1550()],
+            tdp_governor: TdpGovernorConfig::default(),
+            tick_us: 10_000,
+            seed: 0x4d41_4755_534d,
+            core_msr_read_energy_uj: 62_000.0,
+            core_msr_read_latency_us: 2_400.0,
+            pcm_window_us: 100_000,
+            pcm_daemon_power_w: 6.0,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// NVIDIA A100-40GB (PCIe): idle ≈30 W per the paper's Fig 4c discussion.
+    #[must_use]
+    pub fn a100_40gb() -> Self {
+        Self {
+            idle_power_w: 30.0,
+            max_power_w: 250.0,
+            sm_clock_min_mhz: 210.0,
+            sm_clock_max_mhz: 1410.0,
+            clock_alpha: 0.6,
+        }
+    }
+
+    /// NVIDIA A100-80GB (PCIe): idle ≈50 W (4 boards ≈ 200 W, Fig 4c).
+    #[must_use]
+    pub fn a100_80gb() -> Self {
+        Self {
+            idle_power_w: 50.0,
+            max_power_w: 300.0,
+            sm_clock_min_mhz: 210.0,
+            sm_clock_max_mhz: 1410.0,
+            clock_alpha: 0.6,
+        }
+    }
+
+    /// Intel Data Center GPU Max 1550 (Ponte Vecchio, 128 GB HBM2e).
+    #[must_use]
+    pub fn max_1550() -> Self {
+        Self {
+            idle_power_w: 110.0,
+            max_power_w: 600.0,
+            sm_clock_min_mhz: 900.0,
+            sm_clock_max_mhz: 1600.0,
+            clock_alpha: 0.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        for cfg in [
+            NodeConfig::intel_a100(),
+            NodeConfig::intel_4a100(),
+            NodeConfig::intel_max1550(),
+        ] {
+            assert!(cfg.sockets >= 1);
+            assert!(cfg.uncore.freq_min_ghz < cfg.uncore.freq_max_ghz);
+            assert!(cfg.cpu.core_freq_min_ghz < cfg.cpu.core_freq_max_ghz);
+            assert!(cfg.mem.floor_frac > 0.0 && cfg.mem.floor_frac < 1.0);
+            assert!(!cfg.gpus.is_empty());
+            assert!(cfg.tick_us > 0);
+        }
+    }
+
+    #[test]
+    fn a100_matches_paper_uncore_range() {
+        let cfg = NodeConfig::intel_a100();
+        assert_eq!(cfg.uncore.freq_min_ghz, 0.8);
+        assert_eq!(cfg.uncore.freq_max_ghz, 2.2);
+        assert_eq!(cfg.total_cores(), 80);
+    }
+
+    #[test]
+    fn max1550_matches_paper_uncore_range() {
+        let cfg = NodeConfig::intel_max1550();
+        assert_eq!(cfg.uncore.freq_min_ghz, 0.8);
+        assert_eq!(cfg.uncore.freq_max_ghz, 2.5);
+    }
+
+    #[test]
+    fn multi_gpu_idle_floor_near_200w() {
+        let cfg = NodeConfig::intel_4a100();
+        let idle: f64 = cfg.gpus.iter().map(|g| g.idle_power_w).sum();
+        assert!((idle - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn presets_have_distinct_names_and_seeds() {
+        let a = NodeConfig::intel_a100();
+        let b = NodeConfig::intel_4a100();
+        let c = NodeConfig::intel_max1550();
+        assert_ne!(a.name, b.name);
+        assert_ne!(b.name, c.name);
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(b.seed, c.seed);
+    }
+}

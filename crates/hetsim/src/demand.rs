@@ -1,0 +1,136 @@
+//! Instantaneous resource demand presented to the node by a workload phase.
+
+use serde::{Deserialize, Serialize};
+
+/// What a workload asks of the node at an instant.
+///
+/// `Demand` is the interface between the [`workload`](crate::workload) layer
+/// and the node: phases declare how much host-memory traffic they generate,
+/// how memory-bound their progress is, and how busy the CPU cores and GPUs
+/// are. MAGUS itself never sees a `Demand` — it only observes the *delivered*
+/// memory throughput through the PCM counters, exactly as on real hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// Demanded system memory throughput (GB/s) at full progress rate.
+    pub mem_gbs: f64,
+    /// Fraction of the phase's critical path stalled on memory traffic when
+    /// bandwidth is capped below demand (0 = pure compute, 1 = pure copy).
+    pub mem_frac: f64,
+    /// Fraction of the critical path executed on host cores and therefore
+    /// sensitive to core-frequency *throttling* (RAPL power capping).
+    /// Uncapped DVFS is the reference: this term is exactly neutral unless
+    /// a power limit forces the cores below their natural frequency.
+    pub cpu_frac: f64,
+    /// Average CPU core utilisation (0..1) across the node.
+    pub cpu_util: f64,
+    /// Per-GPU utilisation (0..1). Shorter vectors leave trailing GPUs idle.
+    pub gpu_util: Vec<f64>,
+}
+
+impl Demand {
+    /// A fully idle node.
+    #[must_use]
+    pub fn idle() -> Self {
+        Self {
+            mem_gbs: 0.0,
+            mem_frac: 0.0,
+            cpu_frac: 0.0,
+            cpu_util: 0.0,
+            gpu_util: Vec::new(),
+        }
+    }
+
+    /// Demand with a single-GPU utilisation.
+    #[must_use]
+    pub fn new(mem_gbs: f64, mem_frac: f64, cpu_util: f64, gpu_util: f64) -> Self {
+        Self {
+            mem_gbs,
+            mem_frac,
+            cpu_frac: 0.0,
+            cpu_util,
+            gpu_util: vec![gpu_util],
+        }
+    }
+
+    /// Builder: set the throttle-sensitive host fraction (clamped so
+    /// `mem_frac + cpu_frac <= 1`).
+    #[must_use]
+    pub fn with_cpu_frac(mut self, cpu_frac: f64) -> Self {
+        self.cpu_frac = cpu_frac.clamp(0.0, 1.0 - self.mem_frac.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Utilisation of GPU `idx` (0 when the vector is shorter).
+    #[must_use]
+    pub fn gpu_util(&self, idx: usize) -> f64 {
+        self.gpu_util.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Clamp all fields into their valid ranges; returns `self` for chaining.
+    #[must_use]
+    pub fn clamped(mut self) -> Self {
+        self.mem_gbs = self.mem_gbs.max(0.0);
+        self.mem_frac = self.mem_frac.clamp(0.0, 1.0);
+        self.cpu_frac = self.cpu_frac.clamp(0.0, 1.0 - self.mem_frac);
+        self.cpu_util = self.cpu_util.clamp(0.0, 1.0);
+        for u in &mut self.gpu_util {
+            *u = u.clamp(0.0, 1.0);
+        }
+        self
+    }
+
+    /// True when the demand represents a completely idle node.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.mem_gbs == 0.0 && self.cpu_util == 0.0 && self.gpu_util.iter().all(|&u| u == 0.0)
+    }
+}
+
+impl Default for Demand {
+    fn default() -> Self {
+        Self::idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_demand_is_idle() {
+        assert!(Demand::idle().is_idle());
+        assert!(!Demand::new(1.0, 0.5, 0.1, 0.9).is_idle());
+    }
+
+    #[test]
+    fn gpu_util_defaults_to_zero() {
+        let d = Demand::new(10.0, 0.5, 0.2, 0.8);
+        assert_eq!(d.gpu_util(0), 0.8);
+        assert_eq!(d.gpu_util(3), 0.0);
+    }
+
+    #[test]
+    fn clamped_bounds_fields() {
+        let d = Demand {
+            mem_gbs: -5.0,
+            mem_frac: 1.5,
+            cpu_frac: 0.9,
+            cpu_util: -0.2,
+            gpu_util: vec![2.0, -1.0],
+        }
+        .clamped();
+        assert_eq!(d.mem_gbs, 0.0);
+        assert_eq!(d.mem_frac, 1.0);
+        assert_eq!(d.cpu_frac, 0.0); // squeezed out by mem_frac = 1
+        assert_eq!(d.cpu_util, 0.0);
+        assert_eq!(d.gpu_util, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn with_cpu_frac_respects_budget() {
+        let d = Demand::new(10.0, 0.6, 0.5, 0.5).with_cpu_frac(0.9);
+        assert!((d.cpu_frac - 0.4).abs() < 1e-12);
+        let d = Demand::new(10.0, 0.2, 0.5, 0.5).with_cpu_frac(0.3);
+        assert!((d.cpu_frac - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Simple uncore policies applied through the MSR surface.
+//!
+//! The *stock TDP-coupled governor* is part of [`crate::node::Node::step`]
+//! itself (it is hardware behaviour). This module provides the helper
+//! policies used as experimental baselines and building blocks:
+//!
+//! * [`set_fixed_uncore`] — pin the uncore to one frequency on every socket
+//!   (the max/min settings of Fig 2 and Fig 5a).
+//! * [`UncoreSetter`] — a small wrapper that deduplicates writes to
+//!   `0x620`, matching how a careful runtime avoids redundant `wrmsr`s.
+
+use magus_msr::{MsrError, MsrScope, UncoreRatioLimit, MSR_UNCORE_RATIO_LIMIT};
+
+use crate::node::Node;
+
+/// Pin every socket's uncore min and max limits to `ghz`.
+pub fn set_fixed_uncore(node: &mut Node, ghz: f64) -> Result<(), MsrError> {
+    let raw = UncoreRatioLimit::from_ghz(ghz, ghz).encode();
+    for pkg in 0..node.config().sockets {
+        node.msr_write(MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT, raw)?;
+    }
+    Ok(())
+}
+
+/// Write-deduplicating uncore max-limit setter.
+///
+/// Runtimes call [`UncoreSetter::set_max`] every decision cycle; the setter
+/// only issues `wrmsr` when the requested maximum actually changes, so MSR
+/// write costs reflect real transitions rather than decision frequency.
+#[derive(Debug, Clone)]
+pub struct UncoreSetter {
+    last_max_ghz: Option<f64>,
+    writes: u64,
+}
+
+impl UncoreSetter {
+    /// New setter with no known previous value.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            last_max_ghz: None,
+            writes: 0,
+        }
+    }
+
+    /// Set the uncore max limit on all sockets, preserving the min bits.
+    /// Returns `true` when a write was actually issued.
+    pub fn set_max(&mut self, node: &mut Node, max_ghz: f64) -> Result<bool, MsrError> {
+        if let Some(last) = self.last_max_ghz {
+            if (last - max_ghz).abs() < 1e-9 {
+                return Ok(false);
+            }
+        }
+        for pkg in 0..node.config().sockets {
+            let scope = MsrScope::Package(pkg);
+            let raw = node.msr_read(scope, MSR_UNCORE_RATIO_LIMIT)?;
+            let spliced = UncoreRatioLimit::splice_max(raw, max_ghz);
+            node.msr_write(scope, MSR_UNCORE_RATIO_LIMIT, spliced)?;
+        }
+        self.last_max_ghz = Some(max_ghz);
+        self.writes += 1;
+        Ok(true)
+    }
+
+    /// Number of distinct max-limit changes issued.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The last max limit issued, if any.
+    #[must_use]
+    pub fn last_max_ghz(&self) -> Option<f64> {
+        self.last_max_ghz
+    }
+}
+
+impl Default for UncoreSetter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+    use crate::demand::Demand;
+
+    #[test]
+    fn fixed_uncore_pins_all_sockets() {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        set_fixed_uncore(&mut node, 1.4).unwrap();
+        for _ in 0..100 {
+            node.step(10_000, &Demand::idle());
+        }
+        for socket in node.sockets() {
+            assert!((socket.uncore.freq_ghz() - 1.4).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn setter_dedups_identical_requests() {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let mut setter = UncoreSetter::new();
+        assert!(setter.set_max(&mut node, 0.8).unwrap());
+        assert!(!setter.set_max(&mut node, 0.8).unwrap());
+        assert!(setter.set_max(&mut node, 2.2).unwrap());
+        assert_eq!(setter.writes(), 2);
+        assert_eq!(setter.last_max_ghz(), Some(2.2));
+    }
+
+    #[test]
+    fn setter_preserves_min_bits() {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let mut setter = UncoreSetter::new();
+        setter.set_max(&mut node, 1.0).unwrap();
+        let (min, max) = node.sockets()[0].uncore.msr_limits();
+        assert!((min - 0.8).abs() < 1e-9, "min limit disturbed: {min}");
+        assert!((max - 1.0).abs() < 1e-9);
+    }
+}

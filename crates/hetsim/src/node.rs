@@ -1,0 +1,746 @@
+//! The heterogeneous node: sockets, GPUs, MSR surface, and power accounting.
+//!
+//! [`Node::step`] advances every hardware domain one tick under a workload
+//! [`Demand`] and returns the achieved progress factor. Runtimes interact
+//! with the node exclusively through its monitoring/actuation surface:
+//! [`Node::msr_read`] / [`Node::msr_write`] (MSR semantics, with access
+//! costs charged as monitoring overhead) and [`Node::pcm_read_gbs`] (the
+//! PCM-style windowed memory-throughput counter).
+
+use std::collections::VecDeque;
+
+use magus_msr::{
+    AccessCost, CostLedger, MsrError, MsrScope, PkgPowerLimit, RaplPowerUnit, UncoreRatioLimit,
+    IA32_FIXED_CTR0, IA32_FIXED_CTR1, IA32_FIXED_CTR2, MSR_DRAM_ENERGY_STATUS,
+    MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT, MSR_UNCORE_RATIO_LIMIT,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::NodeConfig;
+use crate::cpu::CpuComplex;
+use crate::demand::Demand;
+use crate::gpu::GpuDevice;
+use crate::mem::{progress_factor, MemoryChannel};
+use crate::power::{EnergyTotals, PowerBreakdown};
+use crate::uncore::UncoreDomain;
+
+/// One CPU socket: core complex, uncore domain, memory channels, and the
+/// per-socket energy counters mirrored into RAPL MSRs.
+#[derive(Debug, Clone)]
+pub struct Socket {
+    /// Core complex (DVFS + fixed counters).
+    pub cpu: CpuComplex,
+    /// Uncore clock domain.
+    pub uncore: UncoreDomain,
+    /// Memory channel group.
+    pub mem: MemoryChannel,
+    /// Cumulative package energy (J) — core + uncore + overhead share.
+    pub pkg_energy_j: f64,
+    /// Cumulative DRAM energy (J).
+    pub dram_energy_j: f64,
+    /// RAPL PL1 package power limit (raw `0x610` value; 0 = disabled).
+    pub power_limit_raw: u64,
+}
+
+/// Outcome of a single simulation tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Progress factor applied to the running phase (0..1].
+    pub progress: f64,
+    /// Delivered system memory throughput (GB/s).
+    pub delivered_gbs: f64,
+    /// Power breakdown during the tick.
+    pub power: PowerBreakdown,
+}
+
+/// The simulated heterogeneous node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    cfg: NodeConfig,
+    sockets: Vec<Socket>,
+    gpus: Vec<GpuDevice>,
+    time_us: u64,
+    energy: EnergyTotals,
+    last_power: PowerBreakdown,
+    /// Monitoring-overhead energy waiting to be charged (µJ).
+    pending_overhead_uj: f64,
+    /// Ledger of all monitoring accesses (reads/writes and their costs).
+    ledger: CostLedger,
+    /// Recent delivered system throughput, (tick end time µs, GB/s),
+    /// retained long enough to serve the PCM measurement window.
+    bw_history: VecDeque<(u64, f64)>,
+    /// Sensor-noise generator (deterministic per config seed).
+    noise: SmallRng,
+    /// Relative 1-sigma noise applied to PCM readings.
+    pcm_noise_rel: f64,
+    /// Absolute 1-sigma noise floor on PCM readings (GB/s).
+    pcm_noise_abs_gbs: f64,
+    /// When `Some(n)`, every `n`-th PCM read reports a dropout (0 GB/s) —
+    /// failure injection for runtime robustness tests.
+    pcm_dropout_every: Option<u64>,
+    pcm_reads: u64,
+}
+
+impl Node {
+    /// Build a node from a configuration. The uncore starts at max, GPUs
+    /// idle, all counters zero.
+    #[must_use]
+    pub fn new(cfg: NodeConfig) -> Self {
+        let sockets = (0..cfg.sockets)
+            .map(|_| Socket {
+                cpu: CpuComplex::new(cfg.cpu.clone()),
+                uncore: UncoreDomain::new(cfg.uncore.clone()),
+                mem: MemoryChannel::new(cfg.mem.clone()),
+                pkg_energy_j: 0.0,
+                dram_energy_j: 0.0,
+                power_limit_raw: 0,
+            })
+            .collect();
+        let gpus = cfg.gpus.iter().cloned().map(GpuDevice::new).collect();
+        let noise = SmallRng::seed_from_u64(cfg.seed);
+        Self {
+            cfg,
+            sockets,
+            gpus,
+            time_us: 0,
+            energy: EnergyTotals::default(),
+            last_power: PowerBreakdown::default(),
+            pending_overhead_uj: 0.0,
+            ledger: CostLedger::new(),
+            bw_history: VecDeque::new(),
+            noise,
+            pcm_noise_rel: 0.01,
+            pcm_noise_abs_gbs: 0.15,
+            pcm_dropout_every: None,
+            pcm_reads: 0,
+        }
+    }
+
+    /// Node configuration.
+    #[must_use]
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Simulated time (µs).
+    #[must_use]
+    pub fn time_us(&self) -> u64 {
+        self.time_us
+    }
+
+    /// Simulated time (s).
+    #[must_use]
+    pub fn time_s(&self) -> f64 {
+        crate::us_to_secs(self.time_us)
+    }
+
+    /// Sockets (read-only).
+    #[must_use]
+    pub fn sockets(&self) -> &[Socket] {
+        &self.sockets
+    }
+
+    /// GPUs (read-only).
+    #[must_use]
+    pub fn gpus(&self) -> &[GpuDevice] {
+        &self.gpus
+    }
+
+    /// Cumulative node energy totals.
+    #[must_use]
+    pub fn energy(&self) -> &EnergyTotals {
+        &self.energy
+    }
+
+    /// Power breakdown of the most recent tick.
+    #[must_use]
+    pub fn last_power(&self) -> &PowerBreakdown {
+        &self.last_power
+    }
+
+    /// Monitoring-access ledger (reads/writes, lifetime and pending costs).
+    #[must_use]
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access (drivers drain invocation latency from here).
+    pub fn ledger_mut(&mut self) -> &mut CostLedger {
+        &mut self.ledger
+    }
+
+    /// Enable PCM dropout injection: every `n`-th read returns 0 GB/s.
+    /// Pass 0 to disable.
+    pub fn set_pcm_dropout_every(&mut self, n: u64) {
+        self.pcm_dropout_every = if n == 0 { None } else { Some(n) };
+    }
+
+    /// Uncore transitions summed across sockets (thrash diagnostic).
+    #[must_use]
+    pub fn uncore_transitions(&self) -> u64 {
+        self.sockets.iter().map(|s| s.uncore.transitions()).sum()
+    }
+
+    /// Advance the node one tick of `dt_us` under `demand`.
+    pub fn step(&mut self, dt_us: u64, demand: &Demand) -> StepOutcome {
+        let dt_s = crate::us_to_secs(dt_us);
+        let n_sockets = self.sockets.len() as f64;
+
+        // 1. TDP-coupled stock governor: cap the uncore only when the last
+        //    tick's package power neared TDP (§2). Computed per socket.
+        let gov = self.cfg.tdp_governor.clone();
+        let pkg_per_socket = self.last_power.pkg_w() / n_sockets;
+        let power_unit = RaplPowerUnit::default();
+        for socket in &mut self.sockets {
+            // RAPL PL1 enforcement: when the socket exceeds its programmed
+            // power limit, walk the core frequency cap down; when it is
+            // comfortably below, walk the cap back up. First-order control
+            // like the firmware's running-average limiter.
+            let limit = PkgPowerLimit::decode(socket.power_limit_raw, power_unit.power_exp);
+            if limit.enabled && limit.limit_w > 0.0 {
+                let excess_w = pkg_per_socket - limit.limit_w;
+                let cap = socket.cpu.freq_cap_ghz();
+                if excess_w > 0.0 {
+                    let current = if cap.is_finite() { cap } else { socket.cpu.config().core_freq_max_ghz };
+                    socket.cpu.set_freq_cap(current - 0.02 * excess_w.min(40.0));
+                } else if excess_w < -5.0 && cap.is_finite() {
+                    socket.cpu.set_freq_cap(cap + 0.05);
+                }
+            } else if socket.cpu.freq_cap_ghz().is_finite() {
+                socket.cpu.set_freq_cap(f64::INFINITY);
+            }
+            if gov.enabled {
+                let trigger_w = gov.trigger_frac * socket.cpu.config().tdp_w;
+                if pkg_per_socket > trigger_w {
+                    let excess = pkg_per_socket - trigger_w;
+                    let cap = socket.uncore.config().freq_max_ghz - gov.ghz_per_watt * excess;
+                    socket.uncore.set_tdp_cap(cap);
+                } else {
+                    let max = socket.uncore.config().freq_max_ghz;
+                    socket.uncore.set_tdp_cap(max);
+                }
+            }
+            // 2. Slew the uncore clock towards its target.
+            socket.uncore.step(dt_s);
+        }
+
+        // 3. Memory delivery, split evenly across sockets.
+        let demand_per_socket = demand.mem_gbs / n_sockets;
+        let mut delivered_total = 0.0;
+        for socket in &mut self.sockets {
+            let norm = socket.uncore.norm_freq();
+            delivered_total += socket.mem.step(dt_s, demand_per_socket, norm);
+        }
+
+        // 4. Progress under the roofline stall model, serially composed
+        //    with the RAPL-throttle term: the memory-bound share stretches
+        //    by demand/delivered, the throttle-sensitive host share by the
+        //    inverse throttle factor, and the rest runs at full speed.
+        let mem_progress = progress_factor(demand.mem_frac, demand.mem_gbs, delivered_total);
+        let throttle = self
+            .sockets
+            .iter()
+            .map(|s| s.cpu.throttle_factor())
+            .fold(1.0f64, f64::min);
+        let cpu_frac = demand.cpu_frac.clamp(0.0, 1.0 - demand.mem_frac.clamp(0.0, 1.0));
+        let progress = if cpu_frac > 0.0 && throttle < 1.0 {
+            let mem_stretch = if mem_progress > 0.0 { 1.0 / mem_progress } else { f64::INFINITY };
+            // mem_stretch already counts the (1 - mem_frac) remainder at
+            // full speed; replace the cpu share of that remainder with the
+            // throttled rate.
+            let stretch = mem_stretch - cpu_frac + cpu_frac / throttle.max(1e-6);
+            if stretch.is_finite() { 1.0 / stretch } else { 0.0 }
+        } else {
+            mem_progress
+        };
+
+        // 5. Core complexes and GPUs.
+        for socket in &mut self.sockets {
+            socket.cpu.step(dt_s, demand.cpu_util, progress);
+        }
+        for (idx, gpu) in self.gpus.iter_mut().enumerate() {
+            gpu.step(dt_s, demand.gpu_util(idx));
+        }
+
+        // 6. Power breakdown for this tick.
+        let overhead_w = (self.pending_overhead_uj * 1e-6) / dt_s;
+        self.pending_overhead_uj = 0.0;
+        let mut power = PowerBreakdown {
+            overhead_w,
+            ..PowerBreakdown::default()
+        };
+        for socket in &self.sockets {
+            let norm = socket.uncore.norm_freq();
+            power.core_w += socket.cpu.power_w();
+            power.uncore_w += socket.uncore.power_w(socket.mem.activity(norm));
+            power.dram_w += socket.mem.dram_power_w();
+        }
+        for gpu in &self.gpus {
+            power.gpu_w += gpu.power_w();
+        }
+
+        // 7. Energy accounting, node-level and per-socket (RAPL domains).
+        self.energy.accumulate(&power, dt_s);
+        let pkg_per_socket_j = (power.core_w + power.uncore_w + power.overhead_w) / n_sockets * dt_s;
+        let dram_per_socket_j = power.dram_w / n_sockets * dt_s;
+        for socket in &mut self.sockets {
+            socket.pkg_energy_j += pkg_per_socket_j;
+            socket.dram_energy_j += dram_per_socket_j;
+        }
+
+        self.last_power = power;
+        self.time_us += dt_us;
+
+        // 8. Retain delivered-throughput history for PCM windows (keep 4 s).
+        self.bw_history.push_back((self.time_us, delivered_total));
+        let horizon = self.time_us.saturating_sub(4 * crate::US_PER_S);
+        while let Some(&(t, _)) = self.bw_history.front() {
+            if t < horizon {
+                self.bw_history.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        StepOutcome {
+            progress,
+            delivered_gbs: delivered_total,
+            power,
+        }
+    }
+
+    /// Charge a monitoring access cost against the node: energy joins the
+    /// next tick's overhead power; the ledger records both components so
+    /// drivers can report invocation latency.
+    pub fn charge_monitoring(&mut self, cost: AccessCost, is_write: bool) {
+        self.pending_overhead_uj += cost.energy_uj;
+        if is_write {
+            self.ledger.record_write(cost);
+        } else {
+            self.ledger.record_read(cost);
+        }
+    }
+
+    fn core_read_cost(&self) -> AccessCost {
+        AccessCost::new(
+            self.cfg.core_msr_read_latency_us,
+            self.cfg.core_msr_read_energy_uj,
+        )
+    }
+
+    /// MSR read with full cost accounting. Supports the registers the
+    /// reproduced runtimes use; anything else is `UnknownRegister`.
+    pub fn msr_read(&mut self, scope: MsrScope, addr: u32) -> Result<u64, MsrError> {
+        let unit = RaplPowerUnit::default();
+        match scope {
+            MsrScope::Package(pkg) => {
+                let idx = pkg as usize;
+                if idx >= self.sockets.len() {
+                    return Err(MsrError::BadScope(scope));
+                }
+                self.charge_monitoring(AccessCost::new(250.0, 260.0), false);
+                match addr {
+                    MSR_RAPL_POWER_UNIT => Ok(unit.encode()),
+                    MSR_PKG_ENERGY_STATUS => Ok(unit.joules_to_counts(self.sockets[idx].pkg_energy_j)),
+                    MSR_DRAM_ENERGY_STATUS => {
+                        Ok(unit.joules_to_counts(self.sockets[idx].dram_energy_j))
+                    }
+                    MSR_UNCORE_RATIO_LIMIT => {
+                        let (min, max) = self.sockets[idx].uncore.msr_limits();
+                        Ok(UncoreRatioLimit::from_ghz(min, max).encode())
+                    }
+                    MSR_PKG_POWER_LIMIT => Ok(self.sockets[idx].power_limit_raw),
+                    _ => Err(MsrError::UnknownRegister(addr)),
+                }
+            }
+            MsrScope::Core(core) => {
+                if core >= self.cfg.total_cores() {
+                    return Err(MsrError::BadScope(scope));
+                }
+                self.charge_monitoring(self.core_read_cost(), false);
+                let socket = (core / self.cfg.cpu.cores) as usize;
+                let local = core % self.cfg.cpu.cores;
+                let cpu = &self.sockets[socket].cpu;
+                match addr {
+                    IA32_FIXED_CTR0 => Ok(cpu.core_instructions(local)),
+                    IA32_FIXED_CTR1 | IA32_FIXED_CTR2 => Ok(cpu.core_cycles(local)),
+                    _ => Err(MsrError::UnknownRegister(addr)),
+                }
+            }
+        }
+    }
+
+    /// MSR write with cost accounting. Only `UNCORE_RATIO_LIMIT` is
+    /// writable, matching what the runtimes actuate.
+    pub fn msr_write(&mut self, scope: MsrScope, addr: u32, value: u64) -> Result<(), MsrError> {
+        match scope {
+            MsrScope::Package(pkg) => {
+                let idx = pkg as usize;
+                if idx >= self.sockets.len() {
+                    return Err(MsrError::BadScope(scope));
+                }
+                self.charge_monitoring(AccessCost::new(60.0, 60.0), true);
+                match addr {
+                    MSR_UNCORE_RATIO_LIMIT => {
+                        let lim = UncoreRatioLimit::decode(value);
+                        self.sockets[idx]
+                            .uncore
+                            .set_msr_limits(lim.min_ghz(), lim.max_ghz());
+                        Ok(())
+                    }
+                    MSR_PKG_POWER_LIMIT => {
+                        self.sockets[idx].power_limit_raw = value;
+                        Ok(())
+                    }
+                    MSR_RAPL_POWER_UNIT | MSR_PKG_ENERGY_STATUS | MSR_DRAM_ENERGY_STATUS => {
+                        Err(MsrError::ReadOnly(addr))
+                    }
+                    _ => Err(MsrError::UnknownRegister(addr)),
+                }
+            }
+            MsrScope::Core(_) => Err(MsrError::ReadOnly(addr)),
+        }
+    }
+
+    /// Program an enabled RAPL PL1 package power limit on every socket
+    /// (`limit_w` is per socket). Convenience over `msr_write(0x610)`.
+    pub fn set_power_limit_w(&mut self, limit_w: f64) -> Result<(), MsrError> {
+        let raw = PkgPowerLimit::enabled_watts(limit_w).encode();
+        for pkg in 0..self.cfg.sockets {
+            self.msr_write(MsrScope::Package(pkg), MSR_PKG_POWER_LIMIT, raw)?;
+        }
+        Ok(())
+    }
+
+    /// PCM-style memory-throughput measurement: the mean delivered system
+    /// throughput over the configured measurement window, with sensor noise.
+    /// Charges the measurement's daemon-power cost.
+    ///
+    /// Returns GB/s. Reads during the very first window average whatever
+    /// history exists.
+    pub fn pcm_read_gbs(&mut self) -> f64 {
+        let window_us = self.cfg.pcm_window_us;
+        let energy_uj = self.cfg.pcm_daemon_power_w * window_us as f64; // W·µs = µJ
+        self.charge_monitoring(AccessCost::new(window_us as f64, energy_uj), false);
+        self.pcm_reads += 1;
+        if let Some(n) = self.pcm_dropout_every {
+            if self.pcm_reads.is_multiple_of(n) {
+                return 0.0;
+            }
+        }
+        let since = self.time_us.saturating_sub(window_us);
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for &(t, bw) in self.bw_history.iter().rev() {
+            if t <= since {
+                break;
+            }
+            sum += bw;
+            count += 1;
+        }
+        let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+        let sigma = (mean * self.pcm_noise_rel).max(self.pcm_noise_abs_gbs);
+        // Cheap deterministic gaussian-ish noise: mean of 4 uniforms.
+        let u: f64 = (0..4).map(|_| self.noise.gen_range(-1.0..1.0)).sum::<f64>() / 4.0;
+        (mean + sigma * u * 1.732).max(0.0)
+    }
+
+    /// Delivered throughput of the most recent tick (GB/s), noise-free —
+    /// for recording ground-truth traces, not for runtime consumption.
+    #[must_use]
+    pub fn delivered_gbs(&self) -> f64 {
+        self.bw_history.back().map_or(0.0, |&(_, bw)| bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+
+    fn node() -> Node {
+        Node::new(NodeConfig::intel_a100())
+    }
+
+    fn busy_demand() -> Demand {
+        Demand::new(40.0, 0.5, 0.2, 0.9)
+    }
+
+    #[test]
+    fn uncore_stays_max_under_gpu_dominant_load() {
+        // The paper's motivating observation (Fig 1c): with the stock
+        // governor, GPU-dominant load never pushes package power to TDP, so
+        // the uncore never leaves its maximum.
+        let mut n = node();
+        for _ in 0..500 {
+            n.step(10_000, &busy_demand());
+        }
+        for socket in n.sockets() {
+            assert!((socket.uncore.freq_ghz() - 2.2).abs() < 1e-9);
+        }
+        assert!(n.last_power().pkg_w() < 0.9 * 2.0 * 270.0);
+    }
+
+    #[test]
+    fn msr_write_0x620_lowers_uncore() {
+        let mut n = node();
+        let raw = UncoreRatioLimit::from_ghz(0.8, 0.8).encode();
+        for pkg in 0..2 {
+            n.msr_write(MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT, raw)
+                .unwrap();
+        }
+        for _ in 0..100 {
+            n.step(10_000, &busy_demand());
+        }
+        for socket in n.sockets() {
+            assert!((socket.uncore.freq_ghz() - 0.8).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn low_uncore_caps_delivered_bandwidth_and_progress() {
+        let mut hi = node();
+        let mut lo = node();
+        let raw = UncoreRatioLimit::from_ghz(0.8, 0.8).encode();
+        for pkg in 0..2 {
+            lo.msr_write(MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT, raw)
+                .unwrap();
+        }
+        let demand = Demand::new(120.0, 0.6, 0.2, 0.9);
+        let mut out_hi = None;
+        let mut out_lo = None;
+        for _ in 0..300 {
+            out_hi = Some(hi.step(10_000, &demand));
+            out_lo = Some(lo.step(10_000, &demand));
+        }
+        let (hi, lo) = (out_hi.unwrap(), out_lo.unwrap());
+        assert!(lo.delivered_gbs < hi.delivered_gbs);
+        assert!(lo.progress < hi.progress);
+        assert!(hi.progress <= 1.0);
+    }
+
+    #[test]
+    fn pkg_power_drops_when_uncore_drops() {
+        let mut hi = node();
+        let mut lo = node();
+        let raw = UncoreRatioLimit::from_ghz(0.8, 0.8).encode();
+        for pkg in 0..2 {
+            lo.msr_write(MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT, raw)
+                .unwrap();
+        }
+        let demand = busy_demand();
+        for _ in 0..300 {
+            hi.step(10_000, &demand);
+            lo.step(10_000, &demand);
+        }
+        let delta = hi.last_power().pkg_w() - lo.last_power().pkg_w();
+        // Fig 2 scale: ~82 W across two sockets.
+        assert!(delta > 55.0 && delta < 110.0, "delta = {delta}");
+    }
+
+    #[test]
+    fn rapl_counters_track_energy() {
+        let mut n = node();
+        for _ in 0..100 {
+            n.step(10_000, &busy_demand());
+        }
+        let unit = RaplPowerUnit::default();
+        let raw = n
+            .msr_read(MsrScope::Package(0), MSR_PKG_ENERGY_STATUS)
+            .unwrap();
+        let j = unit.counts_to_joules(raw);
+        let expect = n.sockets()[0].pkg_energy_j;
+        assert!((j - expect).abs() < 0.01, "rapl {j} vs model {expect}");
+        assert!(j > 0.0);
+    }
+
+    #[test]
+    fn fixed_counters_monotone_and_ipc_sane() {
+        let mut n = node();
+        let mut prev = 0u64;
+        for _ in 0..5 {
+            for _ in 0..20 {
+                n.step(10_000, &busy_demand());
+            }
+            let inst = n.msr_read(MsrScope::Core(0), IA32_FIXED_CTR0).unwrap();
+            assert!(inst >= prev);
+            prev = inst;
+        }
+        let inst = n.msr_read(MsrScope::Core(3), IA32_FIXED_CTR0).unwrap();
+        let cyc = n.msr_read(MsrScope::Core(3), IA32_FIXED_CTR1).unwrap();
+        let ipc = inst as f64 / cyc as f64;
+        assert!(ipc > 1.0 && ipc < 2.5, "ipc = {ipc}");
+    }
+
+    #[test]
+    fn monitoring_costs_become_overhead_power() {
+        let mut n = node();
+        n.step(10_000, &Demand::idle());
+        let idle_power = n.last_power().pkg_w();
+        // One PCM read charges window-energy into the next tick.
+        let _ = n.pcm_read_gbs();
+        n.step(10_000, &Demand::idle());
+        assert!(n.last_power().overhead_w > 0.0);
+        assert!(n.last_power().pkg_w() > idle_power);
+        assert_eq!(n.ledger().reads(), 1);
+    }
+
+    #[test]
+    fn pcm_read_averages_recent_window() {
+        let mut n = node();
+        let demand = Demand::new(30.0, 0.5, 0.2, 0.5);
+        for _ in 0..50 {
+            n.step(10_000, &demand);
+        }
+        let reading = n.pcm_read_gbs();
+        assert!((reading - 30.0).abs() < 3.0, "reading = {reading}");
+    }
+
+    #[test]
+    fn pcm_dropout_injection() {
+        let mut n = node();
+        let demand = Demand::new(30.0, 0.5, 0.2, 0.5);
+        for _ in 0..50 {
+            n.step(10_000, &demand);
+        }
+        n.set_pcm_dropout_every(2);
+        let first = n.pcm_read_gbs();
+        let second = n.pcm_read_gbs();
+        assert!(first > 0.0);
+        assert_eq!(second, 0.0);
+    }
+
+    #[test]
+    fn bad_scopes_and_registers_error() {
+        let mut n = node();
+        assert!(matches!(
+            n.msr_read(MsrScope::Package(9), MSR_PKG_ENERGY_STATUS),
+            Err(MsrError::BadScope(_))
+        ));
+        assert!(matches!(
+            n.msr_read(MsrScope::Core(999), IA32_FIXED_CTR0),
+            Err(MsrError::BadScope(_))
+        ));
+        assert!(matches!(
+            n.msr_read(MsrScope::Package(0), 0x42),
+            Err(MsrError::UnknownRegister(0x42))
+        ));
+        assert!(matches!(
+            n.msr_write(MsrScope::Package(0), MSR_PKG_ENERGY_STATUS, 0),
+            Err(MsrError::ReadOnly(_))
+        ));
+        assert!(matches!(
+            n.msr_write(MsrScope::Core(0), IA32_FIXED_CTR0, 0),
+            Err(MsrError::ReadOnly(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let mut n = node();
+            for _ in 0..200 {
+                n.step(10_000, &busy_demand());
+            }
+            let _ = n.pcm_read_gbs();
+            (n.energy().total_j(), n.pcm_read_gbs())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_limit_enforced_by_core_throttling() {
+        let mut n = node();
+        // A heavy CPU load, uncapped, runs well above 90 W per socket.
+        let demand = Demand::new(40.0, 0.4, 0.9, 0.9);
+        for _ in 0..500 {
+            n.step(10_000, &demand);
+        }
+        let uncapped = n.last_power().pkg_w() / 2.0;
+        assert!(uncapped > 95.0, "uncapped {uncapped}");
+
+        n.set_power_limit_w(90.0).unwrap();
+        for _ in 0..3000 {
+            n.step(10_000, &demand);
+        }
+        let capped = n.last_power().pkg_w() / 2.0;
+        assert!(capped < 93.0, "capped socket power {capped} W vs limit 90 W");
+        assert!(n.sockets()[0].cpu.freq_cap_ghz().is_finite());
+
+        // Disabling the limit releases the throttle.
+        let off = PkgPowerLimit::disabled().encode();
+        for pkg in 0..2 {
+            n.msr_write(MsrScope::Package(pkg), MSR_PKG_POWER_LIMIT, off)
+                .unwrap();
+        }
+        for _ in 0..500 {
+            n.step(10_000, &demand);
+        }
+        assert!(n.last_power().pkg_w() / 2.0 > 95.0);
+    }
+
+    #[test]
+    fn throttled_cores_slow_cpu_sensitive_work() {
+        // A workload with a 40% host-sensitive critical path under a tight
+        // power cap progresses slower; an insensitive one does not.
+        let run = |cpu_frac: f64| {
+            let mut n = node();
+            n.set_power_limit_w(80.0).unwrap();
+            let demand = Demand::new(10.0, 0.1, 0.9, 0.5).with_cpu_frac(cpu_frac);
+            let mut last = 1.0;
+            for _ in 0..2000 {
+                last = n.step(10_000, &demand).progress;
+            }
+            last
+        };
+        let insensitive = run(0.0);
+        let sensitive = run(0.4);
+        assert!((insensitive - 1.0).abs() < 1e-9, "{insensitive}");
+        assert!(sensitive < 0.92, "sensitive progress {sensitive}");
+        assert!(sensitive > 0.4);
+    }
+
+    #[test]
+    fn cpu_frac_neutral_without_cap() {
+        let mut n = node();
+        let demand = Demand::new(10.0, 0.1, 0.9, 0.5).with_cpu_frac(0.5);
+        let mut last = 0.0;
+        for _ in 0..300 {
+            last = n.step(10_000, &demand).progress;
+        }
+        assert!((last - 1.0).abs() < 1e-9, "uncapped progress {last}");
+    }
+
+    #[test]
+    fn power_limit_register_round_trips() {
+        let mut n = node();
+        n.set_power_limit_w(150.0).unwrap();
+        let raw = n
+            .msr_read(MsrScope::Package(1), MSR_PKG_POWER_LIMIT)
+            .unwrap();
+        let lim = PkgPowerLimit::decode(raw, RaplPowerUnit::default().power_exp);
+        assert!(lim.enabled);
+        assert!((lim.limit_w - 150.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn tdp_coupling_throttles_under_extreme_cpu_load() {
+        // Force a CPU-saturating, memory-heavy demand with an artificially
+        // low TDP so the stock governor's coupling path is exercised.
+        let mut cfg = NodeConfig::intel_a100();
+        cfg.cpu.tdp_w = 110.0;
+        let mut n = Node::new(cfg);
+        let demand = Demand::new(150.0, 0.8, 1.0, 0.9);
+        for _ in 0..500 {
+            n.step(10_000, &demand);
+        }
+        let throttled = n
+            .sockets()
+            .iter()
+            .any(|s| s.uncore.freq_ghz() < 2.2 - 1e-6);
+        assert!(throttled, "TDP coupling never engaged");
+    }
+}

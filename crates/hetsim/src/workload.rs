@@ -1,0 +1,173 @@
+//! Workload representation: applications as sequences of demand phases.
+//!
+//! A [`Phase`] declares a quantity of *work* (seconds of execution at
+//! unconstrained speed) and the [`Demand`] it places on the node while that
+//! work runs. When the uncore throttles bandwidth below the phase's demand,
+//! the phase takes longer than `work` seconds — the simulator stretches it
+//! by the roofline factor from [`crate::mem::progress_factor`]. This is how
+//! uncore misconfiguration becomes measurable performance loss.
+
+use crate::demand::Demand;
+use serde::{Deserialize, Serialize};
+
+/// Coarse classification of a phase, used by trace analysis and plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Application start-up (input loading, allocation, JIT warm-up).
+    Init,
+    /// Memory-intensive interval (host↔device transfers, staging).
+    Burst,
+    /// Compute-dominant interval (GPU kernels running, little host traffic).
+    Compute,
+    /// Host-side idle or synchronisation wait.
+    Idle,
+}
+
+/// One execution phase: `work` seconds of unconstrained execution under a
+/// fixed demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase classification.
+    pub kind: PhaseKind,
+    /// Work content: duration in seconds when demand is fully met.
+    pub work_s: f64,
+    /// Resource demand while the phase runs.
+    pub demand: Demand,
+}
+
+impl Phase {
+    /// Construct a phase, clamping demand into valid ranges.
+    #[must_use]
+    pub fn new(kind: PhaseKind, work_s: f64, demand: Demand) -> Self {
+        Self {
+            kind,
+            work_s: work_s.max(0.0),
+            demand: demand.clamped(),
+        }
+    }
+}
+
+/// A complete application execution trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppTrace {
+    /// Application name as it appears in the paper's tables.
+    pub name: String,
+    /// Ordered phases.
+    pub phases: Vec<Phase>,
+}
+
+impl AppTrace {
+    /// New named trace from phases.
+    #[must_use]
+    pub fn new(name: impl Into<String>, phases: Vec<Phase>) -> Self {
+        Self {
+            name: name.into(),
+            phases,
+        }
+    }
+
+    /// Total work content (s): the ideal runtime with demand always met.
+    #[must_use]
+    pub fn total_work_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.work_s).sum()
+    }
+
+    /// Work-weighted mean memory demand (GB/s).
+    #[must_use]
+    pub fn mean_mem_demand_gbs(&self) -> f64 {
+        let total = self.total_work_s();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.phases
+            .iter()
+            .map(|p| p.demand.mem_gbs * p.work_s)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Peak memory demand (GB/s) across phases.
+    #[must_use]
+    pub fn peak_mem_demand_gbs(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.demand.mem_gbs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of phases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True when the trace has no phases.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Concatenate another trace onto this one (used to prepend init phases
+    /// or stitch repeated epochs).
+    pub fn extend_with(&mut self, other: &AppTrace) {
+        self.phases.extend(other.phases.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> AppTrace {
+        AppTrace::new(
+            "toy",
+            vec![
+                Phase::new(PhaseKind::Init, 1.0, Demand::new(30.0, 0.8, 0.5, 0.0)),
+                Phase::new(PhaseKind::Compute, 4.0, Demand::new(2.0, 0.1, 0.1, 0.9)),
+                Phase::new(PhaseKind::Burst, 1.0, Demand::new(60.0, 0.7, 0.3, 0.5)),
+            ],
+        )
+    }
+
+    #[test]
+    fn total_work_sums_phases() {
+        assert!((toy().total_work_s() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_demand_is_work_weighted() {
+        let t = toy();
+        let expect = (30.0 * 1.0 + 2.0 * 4.0 + 60.0 * 1.0) / 6.0;
+        assert!((t.mean_mem_demand_gbs() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_demand() {
+        assert!((toy().peak_mem_demand_gbs() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_new_clamps() {
+        let p = Phase::new(PhaseKind::Burst, -1.0, Demand::new(-5.0, 2.0, 1.5, 0.5));
+        assert_eq!(p.work_s, 0.0);
+        assert_eq!(p.demand.mem_gbs, 0.0);
+        assert_eq!(p.demand.mem_frac, 1.0);
+        assert_eq!(p.demand.cpu_util, 1.0);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = toy();
+        let before = a.len();
+        let b = toy();
+        a.extend_with(&b);
+        assert_eq!(a.len(), before * 2);
+    }
+
+    #[test]
+    fn empty_trace_mean_is_zero() {
+        let t = AppTrace::new("empty", vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.mean_mem_demand_gbs(), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on simulator invariants.
+
+use magus_hetsim::mem::progress_factor;
+use magus_hetsim::{Demand, Node, NodeConfig};
+use magus_msr::{MsrScope, UncoreRatioLimit, MSR_UNCORE_RATIO_LIMIT};
+use proptest::prelude::*;
+
+fn arb_demand() -> impl Strategy<Value = Demand> {
+    (0.0f64..200.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)
+        .prop_map(|(mem, frac, cpu, gpu)| Demand::new(mem, frac, cpu, gpu))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Progress factor is always within [0, 1], and strictly positive
+    /// whenever any bandwidth is delivered.
+    #[test]
+    fn progress_factor_bounded(frac in 0.0f64..1.0, demand in 0.0f64..500.0, delivered in 0.0f64..500.0) {
+        let f = progress_factor(frac, demand, delivered);
+        prop_assert!((0.0..=1.0).contains(&f));
+        if delivered > 0.0 {
+            prop_assert!(f > 0.0);
+        }
+    }
+
+    /// Progress factor is monotone non-decreasing in delivered bandwidth.
+    #[test]
+    fn progress_factor_monotone(frac in 0.0f64..1.0, demand in 1.0f64..500.0, d1 in 0.0f64..500.0, d2 in 0.0f64..500.0) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(progress_factor(frac, demand, lo) <= progress_factor(frac, demand, hi) + 1e-12);
+    }
+
+    /// Energy totals never decrease and power stays non-negative under any
+    /// demand sequence.
+    #[test]
+    fn energy_monotone_power_nonnegative(demands in proptest::collection::vec(arb_demand(), 1..40)) {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let mut prev_energy = 0.0;
+        for d in &demands {
+            let out = node.step(10_000, d);
+            prop_assert!(out.power.total_w() >= 0.0);
+            prop_assert!(out.power.pkg_w() > 0.0);
+            let e = node.energy().total_j();
+            prop_assert!(e >= prev_energy);
+            prev_energy = e;
+        }
+    }
+
+    /// Delivered bandwidth never exceeds demand nor the configured system peak.
+    #[test]
+    fn delivery_bounded(demands in proptest::collection::vec(arb_demand(), 1..40)) {
+        let cfg = NodeConfig::intel_a100();
+        let peak = cfg.peak_system_bw_gbs();
+        let mut node = Node::new(cfg);
+        for d in &demands {
+            let out = node.step(10_000, d);
+            prop_assert!(out.delivered_gbs <= d.mem_gbs + 1e-9);
+            prop_assert!(out.delivered_gbs <= peak + 1e-9);
+        }
+    }
+
+    /// Whatever limits are written to 0x620, the physical uncore clock stays
+    /// inside the hardware range and eventually converges to the target.
+    #[test]
+    fn uncore_respects_written_limits(max_ratio in 0u8..40, steps in 50usize..300) {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let raw = UncoreRatioLimit { max_ratio, min_ratio: 0 }.encode();
+        for pkg in 0..2 {
+            node.msr_write(MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT, raw).unwrap();
+        }
+        let d = Demand::new(10.0, 0.3, 0.2, 0.5);
+        for _ in 0..steps {
+            node.step(10_000, &d);
+        }
+        let cfg = node.config().uncore.clone();
+        for socket in node.sockets() {
+            let f = socket.uncore.freq_ghz();
+            prop_assert!(f >= cfg.freq_min_ghz - 1e-9 && f <= cfg.freq_max_ghz + 1e-9);
+        }
+        // 3+ seconds of slew at 28 GHz/s always converges.
+        if steps >= 200 {
+            let expect = (f64::from(max_ratio) * 0.1).clamp(cfg.freq_min_ghz, cfg.freq_max_ghz);
+            for socket in node.sockets() {
+                prop_assert!((socket.uncore.freq_ghz() - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Identical seeds and demand sequences give bit-identical energy and
+    /// PCM readings (full determinism).
+    #[test]
+    fn determinism(demands in proptest::collection::vec(arb_demand(), 1..20)) {
+        let run = |demands: &[Demand]| {
+            let mut node = Node::new(NodeConfig::intel_a100());
+            for d in demands {
+                node.step(10_000, d);
+            }
+            (node.energy().total_j(), node.pcm_read_gbs())
+        };
+        prop_assert_eq!(run(&demands), run(&demands));
+    }
+
+    /// PCM readings are non-negative and bounded by peak bandwidth plus
+    /// noise margin.
+    #[test]
+    fn pcm_reading_bounded(demands in proptest::collection::vec(arb_demand(), 5..30)) {
+        let cfg = NodeConfig::intel_a100();
+        let peak = cfg.peak_system_bw_gbs();
+        let mut node = Node::new(cfg);
+        for d in &demands {
+            node.step(10_000, d);
+        }
+        let r = node.pcm_read_gbs();
+        prop_assert!(r >= 0.0);
+        prop_assert!(r <= peak * 1.1 + 1.0);
+    }
+}

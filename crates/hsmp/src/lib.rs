@@ -1,0 +1,32 @@
+//! AMD adaptation layer — the paper's §6.6 portability claim, implemented.
+//!
+//! > "AMD processors (EPYC/Ryzen) include uncore-like components such as
+//! > the Infinity Fabric, memory controller, and SoC domain. With tools
+//! > like amd_hsmp, it can be used to monitor and, in some cases, adjust
+//! > SoC/fabric frequencies."
+//!
+//! This crate ports the MAGUS control path to that interface:
+//!
+//! * [`msg`] — the HSMP (Host System Management Port) mailbox protocol:
+//!   message IDs and argument encodings matching the `amd_hsmp` kernel
+//!   driver's ABI for the messages MAGUS needs (fabric P-state control and
+//!   fabric/memory clock queries).
+//! * [`pstate`] — Infinity Fabric P-state tables: where Intel exposes a
+//!   continuous 100 MHz uncore ratio, AMD exposes a small set of discrete
+//!   FCLK/UCLK operating points. MAGUS is a two-level (min/max) controller,
+//!   so the port is exact: `Upper` ↦ P0, `Lower` ↦ the deepest P-state.
+//! * [`mailbox`] — [`mailbox::transact`]: executes a mailbox message
+//!   against the simulated node, actuating its fabric (uncore) domain and
+//!   charging realistic mailbox access costs.
+//! * [`preset`] — an `AMD EPYC + MI210` node preset, fitted with the same
+//!   methodology as the Intel testbeds.
+
+pub mod mailbox;
+pub mod msg;
+pub mod preset;
+pub mod pstate;
+
+pub use mailbox::{transact, HsmpError, HsmpResponse};
+pub use msg::HsmpMessage;
+pub use preset::amd_epyc_mi210;
+pub use pstate::FabricPstateTable;

@@ -1,0 +1,216 @@
+//! Mailbox execution against the simulated node.
+//!
+//! On hardware, an HSMP transaction is: write arguments → write message ID
+//! (rings the doorbell) → poll the response register. That round-trip costs
+//! a few hundred microseconds through the SMU firmware — cheaper than a
+//! cross-tile MSR sweep, pricier than a local register read. We charge that
+//! cost against the node exactly like the Intel paths do, so an AMD port's
+//! Table 2 row would be *measured* the same way.
+//!
+//! Fabric P-state control maps onto the node's uncore domain: the
+//! simulator models "the clock domain that bounds memory bandwidth and
+//! burns standby power", which is the Infinity Fabric's role on EPYC.
+
+use magus_hetsim::Node;
+use magus_msr::{AccessCost, MsrScope, UncoreRatioLimit, MSR_UNCORE_RATIO_LIMIT};
+use serde::{Deserialize, Serialize};
+
+use crate::msg::HsmpMessage;
+use crate::pstate::FabricPstateTable;
+
+/// One mailbox round-trip's cost (doorbell write + SMU service + poll).
+const MAILBOX_COST: AccessCost = AccessCost {
+    latency_us: 350.0,
+    energy_uj: 400.0,
+};
+
+/// Successful mailbox responses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HsmpResponse {
+    /// Acknowledged, no payload.
+    Ack,
+    /// SMU firmware version word.
+    SmuVersion(u32),
+    /// Fabric and memory clocks (MHz).
+    FclkMclk {
+        /// Fabric clock (MHz).
+        fclk_mhz: u32,
+        /// Memory clock (MHz).
+        mclk_mhz: u32,
+    },
+    /// Socket power (mW).
+    SocketPowerMw(u32),
+}
+
+/// Mailbox errors (mirroring the driver's status codes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HsmpError {
+    /// The requested P-state does not exist on this part.
+    InvalidArgument,
+    /// The socket index does not exist.
+    BadSocket(u32),
+}
+
+impl core::fmt::Display for HsmpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HsmpError::InvalidArgument => write!(f, "HSMP: invalid message argument"),
+            HsmpError::BadSocket(s) => write!(f, "HSMP: no such socket {s}"),
+        }
+    }
+}
+
+impl std::error::Error for HsmpError {}
+
+/// Execute one mailbox transaction against `socket` of the node.
+pub fn transact(
+    node: &mut Node,
+    table: &FabricPstateTable,
+    socket: u32,
+    msg: HsmpMessage,
+) -> Result<HsmpResponse, HsmpError> {
+    if socket >= node.config().sockets {
+        return Err(HsmpError::BadSocket(socket));
+    }
+    node.charge_monitoring(MAILBOX_COST, matches!(msg, HsmpMessage::SetDfPstate(_)));
+    match msg {
+        HsmpMessage::GetSmuVersion => Ok(HsmpResponse::SmuVersion(0x00_45_5A_00)),
+        HsmpMessage::SetDfPstate(p) => {
+            if p == 0xFF {
+                // Re-enable automatic selection = release to the range.
+                return release_fabric(node, table, socket);
+            }
+            let Some(fclk) = table.fclk_of(p) else {
+                return Err(HsmpError::InvalidArgument);
+            };
+            // Pinning a DF P-state fixes the fabric clock: min = max = FCLK.
+            let raw = UncoreRatioLimit::from_ghz(fclk, fclk).encode();
+            node.msr_write(MsrScope::Package(socket), MSR_UNCORE_RATIO_LIMIT, raw)
+                .map_err(|_| HsmpError::BadSocket(socket))?;
+            Ok(HsmpResponse::Ack)
+        }
+        HsmpMessage::AutoDfPstate => release_fabric(node, table, socket),
+        HsmpMessage::GetFclkMclk => {
+            let fclk = node.sockets()[socket as usize].uncore.freq_ghz();
+            Ok(HsmpResponse::FclkMclk {
+                fclk_mhz: (fclk * 1000.0).round() as u32,
+                // UCLK tracks FCLK 1:1 in the coupled regime.
+                mclk_mhz: (fclk * 1000.0).round() as u32,
+            })
+        }
+        HsmpMessage::GetSocketPower => {
+            let per_socket = node.last_power().pkg_w() / f64::from(node.config().sockets);
+            Ok(HsmpResponse::SocketPowerMw((per_socket * 1000.0).round() as u32))
+        }
+    }
+}
+
+fn release_fabric(
+    node: &mut Node,
+    table: &FabricPstateTable,
+    socket: u32,
+) -> Result<HsmpResponse, HsmpError> {
+    let raw = UncoreRatioLimit::from_ghz(table.slowest_ghz(), table.fastest_ghz()).encode();
+    node.msr_write(MsrScope::Package(socket), MSR_UNCORE_RATIO_LIMIT, raw)
+        .map_err(|_| HsmpError::BadSocket(socket))?;
+    Ok(HsmpResponse::Ack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preset::amd_epyc_mi210;
+    use magus_hetsim::Demand;
+
+    fn setup() -> (Node, FabricPstateTable) {
+        (Node::new(amd_epyc_mi210()), FabricPstateTable::epyc_default())
+    }
+
+    #[test]
+    fn set_pstate_pins_fabric_clock() {
+        let (mut node, table) = setup();
+        for socket in 0..2 {
+            assert_eq!(
+                transact(&mut node, &table, socket, HsmpMessage::SetDfPstate(3)),
+                Ok(HsmpResponse::Ack)
+            );
+        }
+        for _ in 0..100 {
+            node.step(10_000, &Demand::idle());
+        }
+        for socket in node.sockets() {
+            assert!((socket.uncore.freq_ghz() - 0.8).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn get_fclk_reports_current_clock() {
+        let (mut node, table) = setup();
+        transact(&mut node, &table, 0, HsmpMessage::SetDfPstate(1)).unwrap();
+        for _ in 0..100 {
+            node.step(10_000, &Demand::idle());
+        }
+        let resp = transact(&mut node, &table, 0, HsmpMessage::GetFclkMclk).unwrap();
+        match resp {
+            HsmpResponse::FclkMclk { fclk_mhz, .. } => {
+                assert!((i64::from(fclk_mhz) - 1333).abs() <= 34, "fclk {fclk_mhz}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_pstate_releases_the_range() {
+        let (mut node, table) = setup();
+        transact(&mut node, &table, 0, HsmpMessage::SetDfPstate(3)).unwrap();
+        transact(&mut node, &table, 0, HsmpMessage::AutoDfPstate).unwrap();
+        let (min, max) = node.sockets()[0].uncore.msr_limits();
+        assert!((min - 0.8).abs() < 1e-9);
+        assert!((max - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ff_argument_also_releases() {
+        let (mut node, table) = setup();
+        transact(&mut node, &table, 0, HsmpMessage::SetDfPstate(0xFF)).unwrap();
+        let (min, max) = node.sockets()[0].uncore.msr_limits();
+        assert!(max > min);
+    }
+
+    #[test]
+    fn invalid_pstate_and_socket_rejected() {
+        let (mut node, table) = setup();
+        assert_eq!(
+            transact(&mut node, &table, 0, HsmpMessage::SetDfPstate(9)),
+            Err(HsmpError::InvalidArgument)
+        );
+        assert_eq!(
+            transact(&mut node, &table, 7, HsmpMessage::GetFclkMclk),
+            Err(HsmpError::BadSocket(7))
+        );
+    }
+
+    #[test]
+    fn socket_power_query_is_plausible() {
+        let (mut node, table) = setup();
+        for _ in 0..50 {
+            node.step(10_000, &Demand::new(20.0, 0.3, 0.4, 0.7));
+        }
+        match transact(&mut node, &table, 0, HsmpMessage::GetSocketPower).unwrap() {
+            HsmpResponse::SocketPowerMw(mw) => {
+                assert!((20_000..400_000).contains(&mw), "{mw} mW")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transactions_charge_mailbox_costs() {
+        let (mut node, table) = setup();
+        let before = node.ledger().reads() + node.ledger().writes();
+        transact(&mut node, &table, 0, HsmpMessage::GetFclkMclk).unwrap();
+        transact(&mut node, &table, 0, HsmpMessage::SetDfPstate(0)).unwrap();
+        let after = node.ledger().reads() + node.ledger().writes();
+        assert!(after > before);
+    }
+}

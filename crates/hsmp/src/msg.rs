@@ -1,0 +1,107 @@
+//! HSMP mailbox message encoding.
+//!
+//! The Host System Management Port is a doorbell/mailbox interface to the
+//! SMU: software writes a message ID and up to eight 32-bit arguments,
+//! rings the doorbell, and reads back a status word plus response
+//! arguments. The IDs below follow the `amd_hsmp` driver's enumeration for
+//! the subset MAGUS needs; everything else in the protocol is untouched.
+
+use serde::{Deserialize, Serialize};
+
+/// Messages used by the MAGUS port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HsmpMessage {
+    /// `HSMP_GET_SMU_VER` (0x02): firmware version handshake.
+    GetSmuVersion,
+    /// `HSMP_SET_XGMI_LINK_WIDTH`-adjacent family; here:
+    /// `HSMP_SET_DF_PSTATE` (0x0B) — pin the data-fabric P-state
+    /// (0 = fastest). An argument of `0xFF` re-enables automatic selection.
+    SetDfPstate(u8),
+    /// `HSMP_AUTO_DF_PSTATE` (0x0C): return fabric P-state control to
+    /// firmware.
+    AutoDfPstate,
+    /// `HSMP_GET_FCLK_MCLK` (0x0D): read the current fabric and memory
+    /// clocks (MHz).
+    GetFclkMclk,
+    /// `HSMP_GET_SOCKET_POWER` (0x04): socket power in mW.
+    GetSocketPower,
+}
+
+/// A message marshalled into mailbox words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MailboxWords {
+    /// Message ID register value.
+    pub id: u32,
+    /// First argument register value.
+    pub arg0: u32,
+}
+
+impl HsmpMessage {
+    /// Marshal into mailbox register words.
+    #[must_use]
+    pub fn encode(&self) -> MailboxWords {
+        match *self {
+            HsmpMessage::GetSmuVersion => MailboxWords { id: 0x02, arg0: 0 },
+            HsmpMessage::SetDfPstate(p) => MailboxWords {
+                id: 0x0B,
+                arg0: u32::from(p),
+            },
+            HsmpMessage::AutoDfPstate => MailboxWords { id: 0x0C, arg0: 0 },
+            HsmpMessage::GetFclkMclk => MailboxWords { id: 0x0D, arg0: 0 },
+            HsmpMessage::GetSocketPower => MailboxWords { id: 0x04, arg0: 0 },
+        }
+    }
+
+    /// Unmarshal from mailbox register words.
+    #[must_use]
+    pub fn decode(words: MailboxWords) -> Option<HsmpMessage> {
+        match words.id {
+            0x02 => Some(HsmpMessage::GetSmuVersion),
+            0x0B => u8::try_from(words.arg0).ok().map(HsmpMessage::SetDfPstate),
+            0x0C => Some(HsmpMessage::AutoDfPstate),
+            0x0D => Some(HsmpMessage::GetFclkMclk),
+            0x04 => Some(HsmpMessage::GetSocketPower),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for msg in [
+            HsmpMessage::GetSmuVersion,
+            HsmpMessage::SetDfPstate(0),
+            HsmpMessage::SetDfPstate(3),
+            HsmpMessage::SetDfPstate(0xFF),
+            HsmpMessage::AutoDfPstate,
+            HsmpMessage::GetFclkMclk,
+            HsmpMessage::GetSocketPower,
+        ] {
+            assert_eq!(HsmpMessage::decode(msg.encode()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn unknown_ids_decode_to_none() {
+        assert_eq!(HsmpMessage::decode(MailboxWords { id: 0x7F, arg0: 0 }), None);
+    }
+
+    #[test]
+    fn pstate_argument_survives_marshalling() {
+        let words = HsmpMessage::SetDfPstate(2).encode();
+        assert_eq!(words.id, 0x0B);
+        assert_eq!(words.arg0, 2);
+    }
+
+    #[test]
+    fn oversized_pstate_arg_rejected_on_decode() {
+        assert_eq!(
+            HsmpMessage::decode(MailboxWords { id: 0x0B, arg0: 0x1_00 }),
+            None
+        );
+    }
+}

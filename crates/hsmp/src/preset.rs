@@ -1,0 +1,89 @@
+//! An AMD EPYC + MI210 node preset.
+//!
+//! Fitted with the same methodology as the Intel presets (DESIGN.md §7):
+//! dual EPYC 7763 (64 cores, Infinity Fabric 0.8–1.6 GHz, TDP 280 W) with
+//! one MI210 accelerator. The fabric/SoC domain on Zen parts draws a
+//! *larger* share of package power than Intel's uncore — the known "fabric
+//! floor" — which makes uncore-style scaling at least as attractive there,
+//! exactly the §6.6 argument for porting MAGUS.
+
+use magus_hetsim::{CpuConfig, GpuConfig, MemoryConfig, NodeConfig, UncoreConfig};
+use magus_hetsim::config::TdpGovernorConfig;
+
+/// 2× EPYC 7763 + 1× Instinct MI210.
+#[must_use]
+pub fn amd_epyc_mi210() -> NodeConfig {
+    NodeConfig {
+        name: "AMD+MI210".to_string(),
+        sockets: 2,
+        cpu: CpuConfig {
+            cores: 64,
+            core_freq_min_ghz: 1.5,
+            core_freq_base_ghz: 2.45,
+            core_freq_max_ghz: 3.5,
+            static_power_w: 30.0,
+            dyn_power_max_w: 180.0,
+            dyn_freq_exp: 2.2,
+            dvfs_alpha: 0.5,
+            base_ipc: 1.8,
+            ipc_stall_coupling: 0.14,
+            tdp_w: 280.0,
+        },
+        uncore: UncoreConfig {
+            freq_min_ghz: 0.8,
+            freq_max_ghz: 1.6,
+            power_min_w: 18.0,
+            power_span_w: 55.0,
+            power_exp: 1.35,
+            dyn_static_frac: 0.8,
+            slew_ghz_per_s: 20.0,
+        },
+        mem: MemoryConfig {
+            peak_bw_gbs: 100.0,
+            floor_frac: 0.42,
+            bw_exp: 1.0,
+            dram_base_w: 12.0,
+            dram_w_per_gbs: 0.09,
+        },
+        gpus: vec![GpuConfig {
+            idle_power_w: 40.0,
+            max_power_w: 300.0,
+            sm_clock_min_mhz: 500.0,
+            sm_clock_max_mhz: 1700.0,
+            clock_alpha: 0.6,
+        }],
+        tdp_governor: TdpGovernorConfig::default(),
+        tick_us: 10_000,
+        seed: 0x414d_4431, // "AMD1"
+        // HSMP mailbox transactions replace core MSR sweeps; per-core MSR
+        // reads (if a UPS-style tool insisted) cost about what Zen's
+        // SMN-routed accesses do.
+        core_msr_read_energy_uj: 20_000.0,
+        core_msr_read_latency_us: 1_500.0,
+        pcm_window_us: 100_000,
+        pcm_daemon_power_w: 4.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_is_well_formed() {
+        let cfg = amd_epyc_mi210();
+        assert_eq!(cfg.sockets, 2);
+        assert_eq!(cfg.total_cores(), 128);
+        assert!(cfg.uncore.freq_min_ghz < cfg.uncore.freq_max_ghz);
+        assert_eq!(cfg.uncore.freq_max_ghz, 1.6);
+        assert!(!cfg.gpus.is_empty());
+    }
+
+    #[test]
+    fn fabric_range_matches_pstate_table() {
+        let cfg = amd_epyc_mi210();
+        let table = crate::pstate::FabricPstateTable::epyc_default();
+        assert!((cfg.uncore.freq_max_ghz - table.fastest_ghz()).abs() < 1e-9);
+        assert!((cfg.uncore.freq_min_ghz - table.slowest_ghz()).abs() < 1e-9);
+    }
+}

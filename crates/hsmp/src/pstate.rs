@@ -1,0 +1,113 @@
+//! Infinity Fabric P-state tables.
+//!
+//! AMD's fabric clock (FCLK) runs at one of a few discrete operating
+//! points rather than Intel's quasi-continuous 100 MHz uncore ratios.
+//! MAGUS is a two-level controller — it only ever requests the hardware
+//! maximum or minimum — so discreteness costs it nothing: `Upper` maps to
+//! P0 and `Lower` to the deepest P-state. The full table matters for
+//! diagnostics and for any future policy that uses intermediate points.
+
+use serde::{Deserialize, Serialize};
+
+/// A fabric P-state table, fastest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricPstateTable {
+    /// FCLK of each P-state (GHz), strictly decreasing from P0.
+    pub fclk_ghz: Vec<f64>,
+}
+
+impl FabricPstateTable {
+    /// The Milan/Genoa-era four-point table: 1.6 / 1.33 / 1.067 / 0.8 GHz.
+    #[must_use]
+    pub fn epyc_default() -> Self {
+        Self {
+            fclk_ghz: vec![1.6, 1.333, 1.067, 0.8],
+        }
+    }
+
+    /// Number of P-states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fclk_ghz.len()
+    }
+
+    /// True when the table is empty (invalid for control use).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fclk_ghz.is_empty()
+    }
+
+    /// FCLK of P-state `p`, if it exists.
+    #[must_use]
+    pub fn fclk_of(&self, p: u8) -> Option<f64> {
+        self.fclk_ghz.get(p as usize).copied()
+    }
+
+    /// The fastest operating point (P0).
+    #[must_use]
+    pub fn fastest_ghz(&self) -> f64 {
+        self.fclk_ghz.first().copied().unwrap_or(0.0)
+    }
+
+    /// The deepest (slowest) operating point.
+    #[must_use]
+    pub fn slowest_ghz(&self) -> f64 {
+        self.fclk_ghz.last().copied().unwrap_or(0.0)
+    }
+
+    /// The P-state whose FCLK is closest to `ghz` (ties resolve to the
+    /// faster state, i.e. conservatively for performance).
+    #[must_use]
+    pub fn nearest_pstate(&self, ghz: f64) -> u8 {
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (i, &f) in self.fclk_ghz.iter().enumerate() {
+            let d = (f - ghz).abs();
+            if d < best_dist {
+                best_dist = d;
+                best = i;
+            }
+        }
+        best as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_is_ordered() {
+        let t = FabricPstateTable::epyc_default();
+        assert_eq!(t.len(), 4);
+        assert!(t.fclk_ghz.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(t.fastest_ghz(), 1.6);
+        assert_eq!(t.slowest_ghz(), 0.8);
+    }
+
+    #[test]
+    fn fclk_lookup() {
+        let t = FabricPstateTable::epyc_default();
+        assert_eq!(t.fclk_of(0), Some(1.6));
+        assert_eq!(t.fclk_of(3), Some(0.8));
+        assert_eq!(t.fclk_of(4), None);
+    }
+
+    #[test]
+    fn nearest_pstate_quantises() {
+        let t = FabricPstateTable::epyc_default();
+        assert_eq!(t.nearest_pstate(1.6), 0);
+        assert_eq!(t.nearest_pstate(1.5), 0);
+        assert_eq!(t.nearest_pstate(1.2), 1);
+        assert_eq!(t.nearest_pstate(0.9), 3);
+        assert_eq!(t.nearest_pstate(0.0), 3);
+        assert_eq!(t.nearest_pstate(9.9), 0);
+    }
+
+    #[test]
+    fn ties_resolve_to_faster_state() {
+        // Exactly between P2 (1.067) and P3 (0.8): 0.9335.
+        let t = FabricPstateTable::epyc_default();
+        assert_eq!(t.nearest_pstate(0.9335), 2);
+    }
+}

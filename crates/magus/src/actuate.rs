@@ -1,0 +1,209 @@
+//! Uncore actuation: turning [`MagusAction`]s into hardware writes.
+//!
+//! [`UncoreActuator`] is the minimal control surface MAGUS needs; the
+//! provided [`MsrUncoreActuator`] drives any [`MsrDevice`] by splicing the
+//! maximum-ratio bits of `UNCORE_RATIO_LIMIT` (`0x620`) on every package,
+//! leaving the minimum bits untouched — the paper's §4 actuation, verbatim.
+//! It deduplicates writes so repeated `SetUpper` requests cost nothing.
+
+use magus_msr::{MsrDevice, MsrError, MsrScope, UncoreRatioLimit, MSR_UNCORE_RATIO_LIMIT};
+
+use crate::mdfs::{MagusAction, UncoreLevel};
+
+/// Errors surfaced by actuation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActuateError {
+    /// The underlying MSR write failed.
+    Msr(MsrError),
+}
+
+impl From<MsrError> for ActuateError {
+    fn from(e: MsrError) -> Self {
+        ActuateError::Msr(e)
+    }
+}
+
+impl core::fmt::Display for ActuateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ActuateError::Msr(e) => write!(f, "uncore actuation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ActuateError {}
+
+/// The uncore control surface MAGUS actuates through.
+pub trait UncoreActuator {
+    /// Hardware uncore range (min GHz, max GHz).
+    fn range_ghz(&self) -> (f64, f64);
+
+    /// Apply an action. Implementations must be idempotent and cheap for
+    /// repeated identical requests.
+    fn apply(&mut self, action: MagusAction) -> Result<(), ActuateError>;
+
+    /// Convenience: drive directly to a level.
+    fn set_level(&mut self, level: UncoreLevel) -> Result<(), ActuateError> {
+        match level {
+            UncoreLevel::Upper => self.apply(MagusAction::SetUpper),
+            UncoreLevel::Lower => self.apply(MagusAction::SetLower),
+        }
+    }
+}
+
+/// MSR-backed actuator: splices `0x620`'s max-ratio bits on every package.
+#[derive(Debug)]
+pub struct MsrUncoreActuator<D: MsrDevice> {
+    device: D,
+    min_ghz: f64,
+    max_ghz: f64,
+    last: Option<UncoreLevel>,
+    writes: u64,
+}
+
+impl<D: MsrDevice> MsrUncoreActuator<D> {
+    /// Actuator over `device` with the hardware uncore range.
+    #[must_use]
+    pub fn new(device: D, min_ghz: f64, max_ghz: f64) -> Self {
+        Self {
+            device,
+            min_ghz,
+            max_ghz,
+            last: None,
+            writes: 0,
+        }
+    }
+
+    /// Number of physical write batches issued (deduplicated).
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Access the wrapped device (e.g. to inspect its cost ledger).
+    #[must_use]
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Mutable access to the wrapped device.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.device
+    }
+
+    fn write_level(&mut self, level: UncoreLevel) -> Result<(), ActuateError> {
+        let ghz = match level {
+            UncoreLevel::Upper => self.max_ghz,
+            UncoreLevel::Lower => self.min_ghz,
+        };
+        for pkg in 0..self.device.packages() {
+            let scope = MsrScope::Package(pkg);
+            let raw = self.device.read(scope, MSR_UNCORE_RATIO_LIMIT)?;
+            let spliced = UncoreRatioLimit::splice_max(raw, ghz);
+            self.device.write(scope, MSR_UNCORE_RATIO_LIMIT, spliced)?;
+        }
+        self.writes += 1;
+        self.last = Some(level);
+        Ok(())
+    }
+}
+
+impl<D: MsrDevice> UncoreActuator for MsrUncoreActuator<D> {
+    fn range_ghz(&self) -> (f64, f64) {
+        (self.min_ghz, self.max_ghz)
+    }
+
+    fn apply(&mut self, action: MagusAction) -> Result<(), ActuateError> {
+        let Some(level) = action.target() else {
+            return Ok(());
+        };
+        if self.last == Some(level) {
+            return Ok(());
+        }
+        self.write_level(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_msr::SimMsr;
+
+    fn actuator() -> MsrUncoreActuator<SimMsr> {
+        MsrUncoreActuator::new(SimMsr::new(2, 8), 0.8, 2.2)
+    }
+
+    fn max_ghz_of(dev: &SimMsr, pkg: u32) -> f64 {
+        let raw = dev
+            .peek(MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT)
+            .unwrap();
+        UncoreRatioLimit::decode(raw).max_ghz()
+    }
+
+    #[test]
+    fn set_lower_writes_all_packages() {
+        let mut a = actuator();
+        a.apply(MagusAction::SetLower).unwrap();
+        for pkg in 0..2 {
+            assert!((max_ghz_of(a.device(), pkg) - 0.8).abs() < 1e-9);
+        }
+        assert_eq!(a.writes(), 1);
+    }
+
+    #[test]
+    fn min_bits_preserved() {
+        let mut a = actuator();
+        a.apply(MagusAction::SetLower).unwrap();
+        let raw = a
+            .device()
+            .peek(MsrScope::Package(0), MSR_UNCORE_RATIO_LIMIT)
+            .unwrap();
+        let lim = UncoreRatioLimit::decode(raw);
+        assert_eq!(lim.min_ratio, 8, "min bits must not be disturbed");
+        assert_eq!(lim.max_ratio, 8);
+    }
+
+    #[test]
+    fn duplicate_actions_deduplicated() {
+        let mut a = actuator();
+        a.apply(MagusAction::SetUpper).unwrap();
+        let writes = a.writes();
+        a.apply(MagusAction::SetUpper).unwrap();
+        a.apply(MagusAction::SetUpper).unwrap();
+        assert_eq!(a.writes(), writes);
+        a.apply(MagusAction::SetLower).unwrap();
+        assert_eq!(a.writes(), writes + 1);
+    }
+
+    #[test]
+    fn hold_is_a_noop() {
+        let mut a = actuator();
+        a.apply(MagusAction::Hold).unwrap();
+        assert_eq!(a.writes(), 0);
+    }
+
+    #[test]
+    fn range_reported() {
+        let a = actuator();
+        assert_eq!(a.range_ghz(), (0.8, 2.2));
+    }
+
+    #[test]
+    fn set_level_convenience() {
+        let mut a = actuator();
+        a.set_level(UncoreLevel::Lower).unwrap();
+        assert!((max_ghz_of(a.device(), 0) - 0.8).abs() < 1e-9);
+        a.set_level(UncoreLevel::Upper).unwrap();
+        assert!((max_ghz_of(a.device(), 1) - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn msr_failure_surfaces() {
+        let mut dev = SimMsr::new(1, 4);
+        dev.set_fault_every(1); // every access faults
+        let mut a = MsrUncoreActuator::new(dev, 0.8, 2.2);
+        let err = a.apply(MagusAction::SetLower).unwrap_err();
+        assert!(matches!(err, ActuateError::Msr(MsrError::TransientFault)));
+        assert!(err.to_string().contains("uncore actuation failed"));
+    }
+}

@@ -1,0 +1,147 @@
+//! MAGUS configuration: the thresholds of §3.3 and the timing of §6.5.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the MAGUS runtime.
+///
+/// The defaults are the paper's recommended values, which its §6.4
+/// sensitivity analysis places on or near the energy/runtime Pareto
+/// frontier for every evaluated workload: `inc_threshold = 200`,
+/// `dec_threshold = 500`, `high_freq_threshold = 0.4`, 0.2 s monitoring
+/// interval, 10-cycle (2 s) warm-up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MagusConfig {
+    /// Derivative threshold (MB/s per sample interval) above which a sharp
+    /// throughput *increase* is predicted (Algorithm 1's `inc_threshold`).
+    pub inc_threshold: f64,
+    /// Derivative magnitude (MB/s per sample interval) below the negative
+    /// of which a sharp *decrease* is predicted (`dec_threshold`; the paper
+    /// states it as a positive magnitude).
+    pub dec_threshold: f64,
+    /// Fraction of recent cycles with tune events at or above which the
+    /// high-frequency state engages (Algorithm 2's `t_hi`). Values above
+    /// 1.0 can never be reached and therefore disable the detector — used
+    /// by the ablation experiments.
+    pub high_freq_threshold: f64,
+    /// Length of the throughput FIFO the derivative spans (`direv_length`,
+    /// samples). Kept *short* (3 samples ≈ 0.9 s at the decision cadence) so
+    /// that a single phase transition produces only a couple of tune events,
+    /// while sustained oscillation keeps producing them — this separation is
+    /// what lets Algorithm 2 distinguish a step change from high-frequency
+    /// fluctuation. (The paper does not publish the value; 3 reproduces its
+    /// reported behaviour. See DESIGN.md.)
+    pub window_len: usize,
+    /// Length of the tune-event FIFO (samples).
+    pub tune_window_len: usize,
+    /// Warm-up cycles before the first decision; the uncore stays at max
+    /// and samples only accumulate (Algorithm 3 uses 10 cycles = 2 s).
+    pub warmup_cycles: usize,
+    /// Rest interval between the end of one invocation and the start of
+    /// the next (µs); 0.2 s in the paper.
+    pub monitor_interval_us: u64,
+}
+
+impl Default for MagusConfig {
+    fn default() -> Self {
+        Self {
+            inc_threshold: 200.0,
+            dec_threshold: 500.0,
+            high_freq_threshold: 0.4,
+            window_len: 3,
+            tune_window_len: 10,
+            warmup_cycles: 10,
+            monitor_interval_us: 200_000,
+        }
+    }
+}
+
+impl MagusConfig {
+    /// Validate parameter sanity; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.inc_threshold <= 0.0 {
+            return Err("inc_threshold must be positive".into());
+        }
+        if self.dec_threshold <= 0.0 {
+            return Err("dec_threshold must be positive".into());
+        }
+        if !(0.0..=2.0).contains(&self.high_freq_threshold) {
+            return Err("high_freq_threshold must be in [0, 2] (values > 1 disable the detector)".into());
+        }
+        if self.window_len < 2 {
+            return Err("window_len must be at least 2".into());
+        }
+        if self.tune_window_len == 0 {
+            return Err("tune_window_len must be at least 1".into());
+        }
+        if self.monitor_interval_us == 0 {
+            return Err("monitor_interval_us must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// The paper's alternative Pareto-frontier point highlighted in Fig 7
+    /// (`inc = 300`, `dec = 500`, `hf = 0.4`).
+    #[must_use]
+    pub fn pareto_common() -> Self {
+        Self {
+            inc_threshold: 300.0,
+            ..Self::default()
+        }
+    }
+
+    /// Default configuration with the high-frequency detector disabled
+    /// (threshold unreachable) — the ablation of the Algorithm 2 design
+    /// choice.
+    #[must_use]
+    pub fn without_high_freq_lock() -> Self {
+        Self {
+            high_freq_threshold: 1.5,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MagusConfig::default();
+        assert_eq!(c.inc_threshold, 200.0);
+        assert_eq!(c.dec_threshold, 500.0);
+        assert_eq!(c.high_freq_threshold, 0.4);
+        assert_eq!(c.window_len, 3);
+        assert_eq!(c.warmup_cycles, 10);
+        assert_eq!(c.monitor_interval_us, 200_000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = MagusConfig::default();
+        c.inc_threshold = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = MagusConfig::default();
+        c.high_freq_threshold = 2.5;
+        assert!(c.validate().is_err());
+        let mut c = MagusConfig::default();
+        c.window_len = 1;
+        assert!(c.validate().is_err());
+        let mut c = MagusConfig::default();
+        c.tune_window_len = 0;
+        assert!(c.validate().is_err());
+        let mut c = MagusConfig::default();
+        c.monitor_interval_us = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pareto_common_point() {
+        let c = MagusConfig::pareto_common();
+        assert_eq!(c.inc_threshold, 300.0);
+        assert_eq!(c.dec_threshold, 500.0);
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,228 @@
+//! The deployable MAGUS daemon: core + source + actuator.
+//!
+//! [`MagusDaemon`] is the user-transparent runtime of §4: attach it to a
+//! throughput source and an uncore actuator, then call
+//! [`MagusDaemon::run_cycle`] once per monitoring period (a wall-clock
+//! deployment loops with a 0.2 s sleep; the simulated harness calls it at
+//! simulated time). On attach the uncore is driven to maximum, matching
+//! Algorithm 3's initialisation.
+
+use magus_pcm::{SampleError, ThroughputSource};
+
+use crate::actuate::{ActuateError, UncoreActuator};
+use crate::config::MagusConfig;
+use crate::mdfs::{MagusAction, MagusCore, UncoreLevel};
+use crate::telemetry::Telemetry;
+
+/// Errors surfaced by a daemon cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaemonError {
+    /// The throughput source failed fatally.
+    Sample(SampleError),
+    /// Actuation failed.
+    Actuate(ActuateError),
+}
+
+impl core::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DaemonError::Sample(e) => write!(f, "sampling failed: {e}"),
+            DaemonError::Actuate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+/// MAGUS bound to a source and an actuator.
+#[derive(Debug)]
+pub struct MagusDaemon<S, A> {
+    core: MagusCore,
+    source: S,
+    actuator: A,
+    last_sample_mbs: f64,
+}
+
+impl<S: ThroughputSource, A: UncoreActuator> MagusDaemon<S, A> {
+    /// Attach MAGUS. The node keeps its idle state (uncore parked at
+    /// minimum, §4) through the warm-up; the first decision cycle raises
+    /// it to maximum.
+    pub fn attach(cfg: MagusConfig, source: S, mut actuator: A) -> Result<Self, DaemonError> {
+        actuator
+            .set_level(UncoreLevel::Lower)
+            .map_err(DaemonError::Actuate)?;
+        Ok(Self {
+            core: MagusCore::new(cfg),
+            source,
+            actuator,
+            last_sample_mbs: 0.0,
+        })
+    }
+
+    /// One monitoring cycle: sample → decide → actuate.
+    ///
+    /// Transient sampling failures reuse the previous sample (a dropout
+    /// must not crash a system daemon); fatal ones surface as errors.
+    pub fn run_cycle(&mut self) -> Result<MagusAction, DaemonError> {
+        let sample = match self.source.sample_mbs() {
+            Ok(v) => {
+                self.last_sample_mbs = v;
+                v
+            }
+            Err(SampleError::Transient) => self.last_sample_mbs,
+            Err(e @ SampleError::Unavailable) => return Err(DaemonError::Sample(e)),
+        };
+        let action = self.core.on_sample(sample);
+        self.actuator.apply(action).map_err(DaemonError::Actuate)?;
+        Ok(action)
+    }
+
+    /// Rest interval between invocations (µs) — the 0.2 s of §6.5.
+    #[must_use]
+    pub fn rest_interval_us(&self) -> u64 {
+        self.core.config().monitor_interval_us
+    }
+
+    /// The decision core (for telemetry inspection).
+    #[must_use]
+    pub fn core(&self) -> &MagusCore {
+        &self.core
+    }
+
+    /// Telemetry shortcut.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        self.core.telemetry()
+    }
+
+    /// The actuator (e.g. to count writes).
+    #[must_use]
+    pub fn actuator(&self) -> &A {
+        &self.actuator
+    }
+
+    /// Detach, returning the parts.
+    pub fn into_parts(self) -> (MagusCore, S, A) {
+        (self.core, self.source, self.actuator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actuate::MsrUncoreActuator;
+    use magus_msr::{MsrScope, SimMsr, UncoreRatioLimit, MSR_UNCORE_RATIO_LIMIT};
+    use std::collections::VecDeque;
+
+    /// Scripted throughput source for unit tests.
+    struct Script {
+        values: VecDeque<Result<f64, SampleError>>,
+    }
+
+    impl Script {
+        fn new(vals: impl IntoIterator<Item = Result<f64, SampleError>>) -> Self {
+            Self {
+                values: vals.into_iter().collect(),
+            }
+        }
+    }
+
+    impl ThroughputSource for Script {
+        fn sample_mbs(&mut self) -> Result<f64, SampleError> {
+            self.values.pop_front().unwrap_or(Ok(0.0))
+        }
+
+        fn window_us(&self) -> u64 {
+            100_000
+        }
+    }
+
+    fn actuator() -> MsrUncoreActuator<SimMsr> {
+        MsrUncoreActuator::new(SimMsr::new(2, 8), 0.8, 2.2)
+    }
+
+    fn max_ghz(a: &MsrUncoreActuator<SimMsr>) -> f64 {
+        let raw = a
+            .device()
+            .peek(MsrScope::Package(0), MSR_UNCORE_RATIO_LIMIT)
+            .unwrap();
+        UncoreRatioLimit::decode(raw).max_ghz()
+    }
+
+    #[test]
+    fn attach_keeps_idle_minimum_until_first_decision() {
+        let mut daemon = MagusDaemon::attach(
+            MagusConfig::default(),
+            Script::new(vec![Ok(5_000.0); 12]),
+            actuator(),
+        )
+        .unwrap();
+        assert!((max_ghz(daemon.actuator()) - 0.8).abs() < 1e-9);
+        for _ in 0..10 {
+            daemon.run_cycle().unwrap();
+        }
+        assert!((max_ghz(daemon.actuator()) - 0.8).abs() < 1e-9);
+        // First post-warm-up cycle: initial raise to maximum.
+        daemon.run_cycle().unwrap();
+        assert!((max_ghz(daemon.actuator()) - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn falling_workload_reaches_lower_level() {
+        // Warm-up at high throughput, then collapse to a low plateau: the
+        // daemon must lower the uncore and hold it there.
+        let mut vals: Vec<Result<f64, SampleError>> = vec![Ok(50_000.0); 12];
+        vals.extend(std::iter::repeat_with(|| Ok(2_000.0)).take(10));
+        let mut daemon =
+            MagusDaemon::attach(MagusConfig::default(), Script::new(vals), actuator()).unwrap();
+        for _ in 0..22 {
+            daemon.run_cycle().unwrap();
+        }
+        assert!((max_ghz(daemon.actuator()) - 0.8).abs() < 1e-9);
+        assert!(daemon.telemetry().lowered > 0);
+    }
+
+    #[test]
+    fn transient_failures_reuse_last_sample() {
+        let mut vals: Vec<Result<f64, SampleError>> = vec![Ok(20_000.0); 12];
+        vals.push(Err(SampleError::Transient));
+        vals.push(Err(SampleError::Transient));
+        let mut daemon =
+            MagusDaemon::attach(MagusConfig::default(), Script::new(vals), actuator()).unwrap();
+        for _ in 0..14 {
+            daemon.run_cycle().unwrap();
+        }
+        // Flat signal (the reused sample equals the last good one): no tune.
+        assert_eq!(daemon.telemetry().tune_events, 0);
+    }
+
+    #[test]
+    fn unavailable_source_is_fatal() {
+        let mut daemon = MagusDaemon::attach(
+            MagusConfig::default(),
+            Script::new([Err(SampleError::Unavailable)]),
+            actuator(),
+        )
+        .unwrap();
+        assert_eq!(
+            daemon.run_cycle(),
+            Err(DaemonError::Sample(SampleError::Unavailable))
+        );
+    }
+
+    #[test]
+    fn rest_interval_from_config() {
+        let daemon =
+            MagusDaemon::attach(MagusConfig::default(), Script::new([]), actuator()).unwrap();
+        assert_eq!(daemon.rest_interval_us(), 200_000);
+    }
+
+    #[test]
+    fn into_parts_round_trips() {
+        let daemon =
+            MagusDaemon::attach(MagusConfig::default(), Script::new([]), actuator()).unwrap();
+        let (core, _src, act) = daemon.into_parts();
+        assert_eq!(core.cycles(), 0);
+        assert_eq!(act.writes(), 1); // the attach-time idle-state write
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on the MAGUS decision algorithms.
+
+use magus_pcm::SampleWindow;
+use magus_runtime::{predict_trend, HighFreqDetector, MagusAction, MagusConfig, MagusCore, Trend};
+use proptest::prelude::*;
+
+proptest! {
+    /// The trend is fully determined by the derivative's relation to the
+    /// thresholds — never anything else.
+    #[test]
+    fn trend_consistent_with_derivative(
+        vals in proptest::collection::vec(0.0f64..100_000.0, 2..12),
+        inc in 1.0f64..2_000.0,
+        dec in 1.0f64..2_000.0,
+    ) {
+        let mut w = SampleWindow::new(vals.len());
+        for &v in &vals {
+            w.push(v);
+        }
+        let d = w.derivative();
+        let t = predict_trend(&w, inc, dec);
+        match t {
+            Trend::Increase => prop_assert!(d > inc),
+            Trend::Decrease => prop_assert!(d < -dec),
+            Trend::Stable => prop_assert!(d <= inc && d >= -dec),
+        }
+    }
+
+    /// Raising `inc_threshold` can only move decisions away from Increase
+    /// (threshold monotonicity).
+    #[test]
+    fn inc_threshold_monotone(
+        vals in proptest::collection::vec(0.0f64..100_000.0, 2..12),
+        lo in 1.0f64..1_000.0,
+        extra in 0.0f64..1_000.0,
+    ) {
+        let mut w = SampleWindow::new(vals.len());
+        for &v in &vals {
+            w.push(v);
+        }
+        let loose = predict_trend(&w, lo, 500.0);
+        let strict = predict_trend(&w, lo + extra, 500.0);
+        if strict == Trend::Increase {
+            prop_assert_eq!(loose, Trend::Increase);
+        }
+    }
+
+    /// The high-frequency detector fires iff the exact window fraction
+    /// reaches the threshold, for any event pattern.
+    #[test]
+    fn detector_matches_exact_fraction(
+        events in proptest::collection::vec(any::<bool>(), 1..64),
+        cap in 1usize..20,
+        threshold in 0.0f64..1.0,
+    ) {
+        let mut d = HighFreqDetector::new(cap, threshold);
+        let mut reference: Vec<bool> = vec![false; cap];
+        for &e in &events {
+            d.record(e);
+            reference.push(e);
+        }
+        let window = &reference[reference.len() - cap..];
+        let frac = window.iter().filter(|&&b| b).count() as f64 / cap as f64;
+        prop_assert!((d.rate() - frac).abs() < 1e-12);
+        prop_assert_eq!(d.is_high_frequency(), frac >= threshold);
+    }
+
+    /// The core never emits a tuning action during warm-up, and while the
+    /// high-frequency state is on it never emits SetLower.
+    #[test]
+    fn core_safety_invariants(samples in proptest::collection::vec(0.0f64..100_000.0, 1..200)) {
+        let mut core = MagusCore::new(MagusConfig::default());
+        let warmup = core.config().warmup_cycles;
+        for (i, &s) in samples.iter().enumerate() {
+            let action = core.on_sample(s);
+            if i < warmup {
+                prop_assert_eq!(action, MagusAction::Hold);
+            }
+            if core.high_freq_status() {
+                prop_assert_ne!(action, MagusAction::SetLower);
+            }
+        }
+        // Telemetry bookkeeping is consistent.
+        let t = core.telemetry();
+        prop_assert_eq!(t.cycles, samples.len() as u64);
+        prop_assert!(t.raised + t.lowered <= t.cycles);
+        prop_assert!(t.warmup_cycles as usize == warmup.min(samples.len()));
+    }
+
+    /// Feeding the same sample stream twice gives identical action streams
+    /// (the core is deterministic).
+    #[test]
+    fn core_deterministic(samples in proptest::collection::vec(0.0f64..100_000.0, 1..100)) {
+        let run = |samples: &[f64]| -> Vec<MagusAction> {
+            let mut core = MagusCore::new(MagusConfig::default());
+            samples.iter().map(|&s| core.on_sample(s)).collect()
+        };
+        prop_assert_eq!(run(&samples), run(&samples));
+    }
+
+    /// A constant signal after warm-up never produces a tune event,
+    /// whatever its level; the only post-warm-up action is the one-time
+    /// initial raise to maximum.
+    #[test]
+    fn constant_signal_is_stable(level in 0.0f64..100_000.0, n in 12usize..100) {
+        let mut core = MagusCore::new(MagusConfig::default());
+        let warmup = core.config().warmup_cycles;
+        for i in 0..n {
+            let action = core.on_sample(level);
+            if i == warmup {
+                prop_assert_eq!(action, MagusAction::SetUpper);
+            } else if i > warmup {
+                prop_assert_eq!(action, MagusAction::Hold);
+            }
+        }
+        prop_assert_eq!(core.telemetry().tune_events, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The [`MsrDevice`] trait: scoped 64-bit register access with typed errors.
+//!
+//! Real deployments back this with `/dev/cpu/*/msr`; the reproduction backs
+//! it with [`SimMsr`](crate::sim::SimMsr) or with the node simulator's
+//! register file. Runtimes (MAGUS, UPS) are written against the trait, so
+//! the decision logic is identical whichever backend is plugged in.
+
+use crate::cost::AccessCost;
+use serde::{Deserialize, Serialize};
+
+/// Which hardware unit a register instance is attached to.
+///
+/// `UNCORE_RATIO_LIMIT` and the RAPL energy counters are per-package;
+/// the fixed performance counters are per-logical-core. Getting the scope
+/// wrong on real hardware reads the wrong bank, so the trait makes it
+/// explicit and lets backends reject mismatches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsrScope {
+    /// A CPU package (socket), identified by socket index.
+    Package(u32),
+    /// A logical core, identified by global core index.
+    Core(u32),
+}
+
+impl MsrScope {
+    /// The numeric index inside the scope class.
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        match *self {
+            MsrScope::Package(i) | MsrScope::Core(i) => i,
+        }
+    }
+}
+
+/// Errors surfaced by MSR access.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MsrError {
+    /// The register address is not implemented by this backend.
+    UnknownRegister(u32),
+    /// The scope (package/core index) does not exist on this node.
+    BadScope(MsrScope),
+    /// The register exists but is read-only.
+    ReadOnly(u32),
+    /// Access was denied (models missing root privileges on real hardware).
+    PermissionDenied,
+    /// The backend is injecting a transient fault (used by failure-injection
+    /// tests; real `rdmsr` can fail with `EIO` on some parts).
+    TransientFault,
+}
+
+impl core::fmt::Display for MsrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MsrError::UnknownRegister(addr) => write!(f, "unknown MSR 0x{addr:x}"),
+            MsrError::BadScope(scope) => write!(f, "invalid MSR scope {scope:?}"),
+            MsrError::ReadOnly(addr) => write!(f, "MSR 0x{addr:x} is read-only"),
+            MsrError::PermissionDenied => write!(f, "MSR access denied"),
+            MsrError::TransientFault => write!(f, "transient MSR access fault"),
+        }
+    }
+}
+
+impl std::error::Error for MsrError {}
+
+/// A device exposing model-specific registers.
+///
+/// All methods take `&mut self`: backends mutate ledgers on every access and
+/// simulated backends may mutate register state (e.g. energy counters
+/// latched at read time).
+pub trait MsrDevice {
+    /// Read a 64-bit register.
+    fn read(&mut self, scope: MsrScope, addr: u32) -> Result<u64, MsrError>;
+
+    /// Write a 64-bit register.
+    fn write(&mut self, scope: MsrScope, addr: u32, value: u64) -> Result<(), MsrError>;
+
+    /// Cost charged for one read at this scope.
+    fn read_cost(&self, scope: MsrScope) -> AccessCost;
+
+    /// Cost charged for one write at this scope.
+    fn write_cost(&self, scope: MsrScope) -> AccessCost;
+
+    /// Number of packages (sockets) visible through this device.
+    fn packages(&self) -> u32;
+
+    /// Number of logical cores visible through this device.
+    fn cores(&self) -> u32;
+
+    /// Read-modify-write helper: read, apply `f`, write back.
+    fn update(
+        &mut self,
+        scope: MsrScope,
+        addr: u32,
+        f: &mut dyn FnMut(u64) -> u64,
+    ) -> Result<u64, MsrError> {
+        let old = self.read(scope, addr)?;
+        let new = f(old);
+        self.write(scope, addr, new)?;
+        Ok(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimMsr;
+
+    #[test]
+    fn scope_index() {
+        assert_eq!(MsrScope::Package(3).index(), 3);
+        assert_eq!(MsrScope::Core(17).index(), 17);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            MsrError::UnknownRegister(0x620).to_string(),
+            "unknown MSR 0x620"
+        );
+        assert!(MsrError::BadScope(MsrScope::Core(9))
+            .to_string()
+            .contains("Core(9)"));
+    }
+
+    #[test]
+    fn update_reads_then_writes() {
+        let mut dev = SimMsr::new(2, 8);
+        let scope = MsrScope::Package(0);
+        dev.write(scope, crate::MSR_UNCORE_RATIO_LIMIT, 0x0816)
+            .unwrap();
+        let new = dev
+            .update(scope, crate::MSR_UNCORE_RATIO_LIMIT, &mut |v| v | 0x1)
+            .unwrap();
+        assert_eq!(new, 0x0817);
+        assert_eq!(dev.read(scope, crate::MSR_UNCORE_RATIO_LIMIT).unwrap(), 0x0817);
+    }
+}

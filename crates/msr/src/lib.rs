@@ -1,0 +1,39 @@
+//! Model-Specific Register (MSR) layouts, encodings, and a device abstraction
+//! with explicit access-cost semantics.
+//!
+//! MAGUS actuates the uncore by rewriting the *maximum ratio* field of the
+//! `UNCORE_RATIO_LIMIT` MSR (address `0x620` on Intel server parts), exactly
+//! as the paper's `wrmsr -p 0 0x620 0x0F001200` example does. The baseline
+//! method UPS additionally *reads* per-core fixed counters (instructions
+//! retired, unhalted cycles) and RAPL energy status registers every cycle,
+//! which is where its runtime overhead comes from (paper §6.5, Table 2).
+//!
+//! This crate provides:
+//!
+//! * [`regs`] — register addresses and typed encode/decode for the registers
+//!   the reproduced runtimes touch (`0x620`, RAPL energy/power-unit MSRs,
+//!   fixed performance counters).
+//! * [`device`] — the [`device::MsrDevice`] trait: scoped
+//!   (per-package or per-core) 64-bit register access returning typed errors.
+//! * [`cost`] — an access-cost model ([`cost::AccessCost`],
+//!   [`cost::CostLedger`]) so that callers (the simulator, the experiment
+//!   harness) can charge realistic time and energy for every `rdmsr`/`wrmsr`.
+//!   This is what makes the Table 2 overhead comparison *emergent* rather
+//!   than hard-coded: UPS issues two orders of magnitude more register reads
+//!   per decision than MAGUS.
+//! * [`sim`] — [`sim::SimMsr`], an in-memory register file implementing
+//!   [`device::MsrDevice`], used by the node simulator.
+
+pub mod cost;
+pub mod device;
+pub mod regs;
+pub mod sim;
+
+pub use cost::{AccessCost, CostLedger};
+pub use device::{MsrDevice, MsrError, MsrScope};
+pub use regs::{
+    PkgPowerLimit, RaplPowerUnit, UncoreRatioLimit, IA32_FIXED_CTR0, IA32_FIXED_CTR1,
+    IA32_FIXED_CTR2, MSR_DRAM_ENERGY_STATUS, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT,
+    MSR_RAPL_POWER_UNIT, MSR_UNCORE_RATIO_LIMIT,
+};
+pub use sim::SimMsr;

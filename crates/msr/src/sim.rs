@@ -1,0 +1,298 @@
+//! In-memory MSR register file implementing [`MsrDevice`].
+//!
+//! `SimMsr` is a standalone register file: it stores raw 64-bit values per
+//! (scope, address) and charges configurable access costs into a
+//! [`CostLedger`]. The node simulator embeds one and keeps selected
+//! registers (energy counters, fixed counters) coherent with simulated
+//! state; unit tests and the runtimes' own tests use it directly.
+
+use std::collections::HashMap;
+
+use crate::cost::{AccessCost, CostLedger};
+use crate::device::{MsrDevice, MsrError, MsrScope};
+use crate::regs::{
+    RaplPowerUnit, IA32_FIXED_CTR0, IA32_FIXED_CTR1, IA32_FIXED_CTR2, MSR_DRAM_ENERGY_STATUS,
+    MSR_PKG_ENERGY_STATUS, MSR_RAPL_POWER_UNIT, MSR_UNCORE_RATIO_LIMIT,
+};
+
+/// Per-access cost configuration for a simulated MSR device.
+///
+/// Defaults reflect the paper's qualitative claims: core-scoped reads are
+/// the expensive path (they dominate UPS's 0.3 s invocation time across
+/// ~80 cores), package-scoped reads are moderate, and writes are cheap.
+#[derive(Debug, Clone, Copy)]
+pub struct SimMsrCosts {
+    /// Cost of reading a core-scoped register.
+    pub core_read: AccessCost,
+    /// Cost of reading a package-scoped register.
+    pub package_read: AccessCost,
+    /// Cost of any register write.
+    pub write: AccessCost,
+}
+
+impl Default for SimMsrCosts {
+    fn default() -> Self {
+        Self {
+            // ~1.2 ms and ~1.3 mJ per core-scoped read: a syscall plus IPI
+            // round-trip through /dev/cpu/N/msr, amortised.
+            core_read: AccessCost::new(1200.0, 1300.0),
+            // Package-scoped reads hit the local die once.
+            package_read: AccessCost::new(250.0, 260.0),
+            // wrmsr is "negligible computational cost" (paper §4).
+            write: AccessCost::new(60.0, 60.0),
+        }
+    }
+}
+
+/// Simulated MSR device: register file plus cost ledger.
+#[derive(Debug, Clone)]
+pub struct SimMsr {
+    packages: u32,
+    cores: u32,
+    regs: HashMap<(MsrScope, u32), u64>,
+    costs: SimMsrCosts,
+    ledger: CostLedger,
+    /// When `Some(n)`, every `n`-th access fails with `TransientFault`
+    /// (failure injection for robustness tests).
+    fault_every: Option<u64>,
+    accesses: u64,
+}
+
+impl SimMsr {
+    /// Create a device for `packages` sockets and `cores` total logical cores,
+    /// with default costs and default RAPL units.
+    #[must_use]
+    pub fn new(packages: u32, cores: u32) -> Self {
+        Self::with_costs(packages, cores, SimMsrCosts::default())
+    }
+
+    /// Create a device with explicit access costs.
+    #[must_use]
+    pub fn with_costs(packages: u32, cores: u32, costs: SimMsrCosts) -> Self {
+        let mut dev = Self {
+            packages,
+            cores,
+            regs: HashMap::new(),
+            costs,
+            ledger: CostLedger::new(),
+            fault_every: None,
+            accesses: 0,
+        };
+        let unit = RaplPowerUnit::default().encode();
+        for pkg in 0..packages {
+            dev.regs
+                .insert((MsrScope::Package(pkg), MSR_RAPL_POWER_UNIT), unit);
+            dev.regs
+                .insert((MsrScope::Package(pkg), MSR_PKG_ENERGY_STATUS), 0);
+            dev.regs
+                .insert((MsrScope::Package(pkg), MSR_DRAM_ENERGY_STATUS), 0);
+            // Default uncore limits 0.8..2.2 GHz; node configs overwrite.
+            dev.regs.insert(
+                (MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT),
+                crate::regs::UncoreRatioLimit::from_ghz(0.8, 2.2).encode(),
+            );
+        }
+        for core in 0..cores {
+            for addr in [IA32_FIXED_CTR0, IA32_FIXED_CTR1, IA32_FIXED_CTR2] {
+                dev.regs.insert((MsrScope::Core(core), addr), 0);
+            }
+        }
+        dev
+    }
+
+    /// Enable failure injection: every `n`-th access returns
+    /// [`MsrError::TransientFault`]. Pass `n = 0` to disable.
+    pub fn set_fault_every(&mut self, n: u64) {
+        self.fault_every = if n == 0 { None } else { Some(n) };
+    }
+
+    /// Access the cost ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the cost ledger (for draining accrued cost).
+    pub fn ledger_mut(&mut self) -> &mut CostLedger {
+        &mut self.ledger
+    }
+
+    /// Set a register value directly, bypassing cost accounting. Used by the
+    /// simulator to keep counters (energy, instructions) coherent.
+    pub fn poke(&mut self, scope: MsrScope, addr: u32, value: u64) {
+        self.regs.insert((scope, addr), value);
+    }
+
+    /// Read a register value directly, bypassing cost accounting and fault
+    /// injection. Used by the simulator itself.
+    #[must_use]
+    pub fn peek(&self, scope: MsrScope, addr: u32) -> Option<u64> {
+        self.regs.get(&(scope, addr)).copied()
+    }
+
+    fn validate_scope(&self, scope: MsrScope) -> Result<(), MsrError> {
+        let ok = match scope {
+            MsrScope::Package(p) => p < self.packages,
+            MsrScope::Core(c) => c < self.cores,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(MsrError::BadScope(scope))
+        }
+    }
+
+    fn maybe_fault(&mut self) -> Result<(), MsrError> {
+        self.accesses += 1;
+        if let Some(n) = self.fault_every {
+            if self.accesses.is_multiple_of(n) {
+                return Err(MsrError::TransientFault);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl MsrDevice for SimMsr {
+    fn read(&mut self, scope: MsrScope, addr: u32) -> Result<u64, MsrError> {
+        self.validate_scope(scope)?;
+        self.ledger.record_read(self.read_cost(scope));
+        self.maybe_fault()?;
+        self.regs
+            .get(&(scope, addr))
+            .copied()
+            .ok_or(MsrError::UnknownRegister(addr))
+    }
+
+    fn write(&mut self, scope: MsrScope, addr: u32, value: u64) -> Result<(), MsrError> {
+        self.validate_scope(scope)?;
+        self.ledger.record_write(self.write_cost(scope));
+        self.maybe_fault()?;
+        if addr == MSR_RAPL_POWER_UNIT
+            || addr == MSR_PKG_ENERGY_STATUS
+            || addr == MSR_DRAM_ENERGY_STATUS
+        {
+            return Err(MsrError::ReadOnly(addr));
+        }
+        match self.regs.get_mut(&(scope, addr)) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(MsrError::UnknownRegister(addr)),
+        }
+    }
+
+    fn read_cost(&self, scope: MsrScope) -> AccessCost {
+        match scope {
+            MsrScope::Core(_) => self.costs.core_read,
+            MsrScope::Package(_) => self.costs.package_read,
+        }
+    }
+
+    fn write_cost(&self, _scope: MsrScope) -> AccessCost {
+        self.costs.write
+    }
+
+    fn packages(&self) -> u32 {
+        self.packages
+    }
+
+    fn cores(&self) -> u32 {
+        self.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_device_has_default_registers() {
+        let mut dev = SimMsr::new(2, 80);
+        let unit = dev
+            .read(MsrScope::Package(0), MSR_RAPL_POWER_UNIT)
+            .unwrap();
+        assert_eq!(RaplPowerUnit::decode(unit), RaplPowerUnit::default());
+        let lim = dev
+            .read(MsrScope::Package(1), MSR_UNCORE_RATIO_LIMIT)
+            .unwrap();
+        let lim = crate::regs::UncoreRatioLimit::decode(lim);
+        assert_eq!(lim.min_ratio, 8);
+        assert_eq!(lim.max_ratio, 22);
+    }
+
+    #[test]
+    fn bad_scope_rejected() {
+        let mut dev = SimMsr::new(1, 4);
+        assert_eq!(
+            dev.read(MsrScope::Package(1), MSR_RAPL_POWER_UNIT),
+            Err(MsrError::BadScope(MsrScope::Package(1)))
+        );
+        assert_eq!(
+            dev.read(MsrScope::Core(4), IA32_FIXED_CTR0),
+            Err(MsrError::BadScope(MsrScope::Core(4)))
+        );
+    }
+
+    #[test]
+    fn unknown_register_rejected() {
+        let mut dev = SimMsr::new(1, 1);
+        assert_eq!(
+            dev.read(MsrScope::Package(0), 0x123),
+            Err(MsrError::UnknownRegister(0x123))
+        );
+    }
+
+    #[test]
+    fn energy_status_is_read_only() {
+        let mut dev = SimMsr::new(1, 1);
+        assert_eq!(
+            dev.write(MsrScope::Package(0), MSR_PKG_ENERGY_STATUS, 1),
+            Err(MsrError::ReadOnly(MSR_PKG_ENERGY_STATUS))
+        );
+    }
+
+    #[test]
+    fn costs_are_scope_dependent_and_ledgered() {
+        let mut dev = SimMsr::new(1, 2);
+        dev.read(MsrScope::Core(0), IA32_FIXED_CTR0).unwrap();
+        dev.read(MsrScope::Package(0), MSR_PKG_ENERGY_STATUS).unwrap();
+        dev.write(
+            MsrScope::Package(0),
+            MSR_UNCORE_RATIO_LIMIT,
+            0x0816,
+        )
+        .unwrap();
+        let costs = SimMsrCosts::default();
+        let expect = costs.core_read + costs.package_read + costs.write;
+        let pending = dev.ledger().pending();
+        assert!((pending.latency_us - expect.latency_us).abs() < 1e-9);
+        assert!((pending.energy_uj - expect.energy_uj).abs() < 1e-9);
+        assert_eq!(dev.ledger().reads(), 2);
+        assert_eq!(dev.ledger().writes(), 1);
+    }
+
+    #[test]
+    fn fault_injection_fires_periodically() {
+        let mut dev = SimMsr::new(1, 1);
+        dev.set_fault_every(3);
+        let mut faults = 0;
+        for _ in 0..9 {
+            if dev.read(MsrScope::Core(0), IA32_FIXED_CTR0) == Err(MsrError::TransientFault) {
+                faults += 1;
+            }
+        }
+        assert_eq!(faults, 3);
+        dev.set_fault_every(0);
+        assert!(dev.read(MsrScope::Core(0), IA32_FIXED_CTR0).is_ok());
+    }
+
+    #[test]
+    fn poke_and_peek_bypass_ledger() {
+        let mut dev = SimMsr::new(1, 1);
+        dev.poke(MsrScope::Core(0), IA32_FIXED_CTR0, 12345);
+        assert_eq!(dev.peek(MsrScope::Core(0), IA32_FIXED_CTR0), Some(12345));
+        assert_eq!(dev.ledger().reads(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for register encodings and the simulated device.
+
+use magus_msr::{
+    MsrDevice, MsrScope, RaplPowerUnit, SimMsr, UncoreRatioLimit, MSR_UNCORE_RATIO_LIMIT,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Encode/decode of the uncore ratio limit is lossless for all 7-bit pairs.
+    #[test]
+    fn uncore_ratio_limit_round_trips(max in 0u8..128, min in 0u8..128) {
+        let lim = UncoreRatioLimit { max_ratio: max, min_ratio: min };
+        prop_assert_eq!(UncoreRatioLimit::decode(lim.encode()), lim);
+    }
+
+    /// `splice_max` never disturbs bits outside the max-ratio field.
+    #[test]
+    fn splice_max_only_touches_low_bits(raw in any::<u64>(), ghz in 0.0f64..12.7) {
+        let spliced = UncoreRatioLimit::splice_max(raw, ghz);
+        prop_assert_eq!(spliced & !0x7f, raw & !0x7f);
+        let expect = (ghz / 0.1).round().clamp(0.0, 127.0) as u64;
+        prop_assert_eq!(spliced & 0x7f, expect);
+    }
+
+    /// GHz -> ratio -> GHz round-trips to within one 100 MHz step.
+    #[test]
+    fn ghz_quantisation_error_bounded(ghz in 0.0f64..12.0) {
+        let lim = UncoreRatioLimit::from_ghz(ghz, ghz);
+        prop_assert!((lim.max_ghz() - ghz).abs() <= 0.05 + 1e-12);
+    }
+
+    /// RAPL unit encoding round-trips for all field values.
+    #[test]
+    fn rapl_unit_round_trips(p in 0u8..16, e in 0u8..32, t in 0u8..16) {
+        let unit = RaplPowerUnit { power_exp: p, energy_exp: e, time_exp: t };
+        prop_assert_eq!(RaplPowerUnit::decode(unit.encode()), unit);
+    }
+
+    /// Joules -> counts -> joules error is bounded by one energy unit.
+    #[test]
+    fn energy_conversion_error_bounded(joules in 0.0f64..1000.0) {
+        let unit = RaplPowerUnit::default();
+        let back = unit.counts_to_joules(unit.joules_to_counts(joules));
+        prop_assert!((back - joules).abs() <= unit.energy_unit_joules());
+    }
+
+    /// Wrapping energy deltas are consistent with 32-bit modular arithmetic.
+    #[test]
+    fn energy_delta_modular(before in 0u64..0x1_0000_0000, advance in 0u64..0x1_0000_0000) {
+        let after = (before + advance) & 0xffff_ffff;
+        prop_assert_eq!(magus_msr::regs::energy_counter_delta(before, after), advance);
+    }
+
+    /// Writes to 0x620 persist and read back exactly on every valid package.
+    #[test]
+    fn sim_msr_write_read_round_trip(pkgs in 1u32..5, value in 0u64..0x8000) {
+        let mut dev = SimMsr::new(pkgs, pkgs * 4);
+        for pkg in 0..pkgs {
+            dev.write(MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT, value).unwrap();
+            prop_assert_eq!(dev.read(MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT).unwrap(), value);
+        }
+    }
+
+    /// The ledger's pending cost equals reads*read_cost + writes*write_cost.
+    #[test]
+    fn ledger_cost_is_linear_in_accesses(reads in 0u64..50, writes in 0u64..50) {
+        let mut dev = SimMsr::new(1, 4);
+        for _ in 0..reads {
+            dev.read(MsrScope::Core(0), magus_msr::IA32_FIXED_CTR0).unwrap();
+        }
+        for _ in 0..writes {
+            dev.write(MsrScope::Package(0), MSR_UNCORE_RATIO_LIMIT, 0x0816).unwrap();
+        }
+        let core_cost = dev.read_cost(MsrScope::Core(0));
+        let write_cost = dev.write_cost(MsrScope::Package(0));
+        let expect = core_cost.times(reads) + write_cost.times(writes);
+        let got = dev.ledger().pending();
+        prop_assert!((got.latency_us - expect.latency_us).abs() < 1e-6);
+        prop_assert!((got.energy_uj - expect.energy_uj).abs() < 1e-6);
+    }
+}

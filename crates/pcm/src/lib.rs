@@ -1,0 +1,44 @@
+//! Memory-throughput monitoring — the Intel PCM analogue.
+//!
+//! MAGUS deliberately monitors a *single* counter: socket-aggregated memory
+//! throughput, read through Intel's Performance Counter Monitor API (paper
+//! §3). This crate provides that monitoring surface for the reproduction:
+//!
+//! * [`ThroughputSource`] — the one-method trait the MAGUS runtime samples.
+//!   Implementations: [`NodeThroughputProbe`] (the simulated node) and any
+//!   future real-PCM backend.
+//! * [`SampleWindow`] — the fixed-size FIFO history (`mem_throughput_ls` in
+//!   Algorithm 3) plus the first-derivative computation of Algorithm 1.
+//!
+//! Units: the runtime-facing API reports **MB/s**, matching the scale of
+//! the paper's thresholds (`inc_threshold = 200`, `dec_threshold = 500`).
+
+pub mod source;
+pub mod window;
+
+pub use source::{NodeThroughputProbe, SampleError, ThroughputSource};
+pub use window::SampleWindow;
+
+/// Convert GB/s (simulator units) to MB/s (runtime units).
+#[must_use]
+pub fn gbs_to_mbs(gbs: f64) -> f64 {
+    gbs * 1000.0
+}
+
+/// Convert MB/s (runtime units) to GB/s (simulator units).
+#[must_use]
+pub fn mbs_to_gbs(mbs: f64) -> f64 {
+    mbs / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(gbs_to_mbs(1.5), 1500.0);
+        assert_eq!(mbs_to_gbs(2500.0), 2.5);
+        assert_eq!(mbs_to_gbs(gbs_to_mbs(42.0)), 42.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Power and energy monitoring — the RAPL + NVML analogue.
+//!
+//! The paper measures CPU package and DRAM power through Intel RAPL and GPU
+//! board power through NVIDIA NVML / Intel oneAPI (§5). This crate
+//! reproduces those surfaces over the simulated node:
+//!
+//! * [`RaplReader`] — samples the package and DRAM energy-status MSRs
+//!   (wrapping 32-bit counters, real RAPL semantics) and differentiates
+//!   them into power. Reads go through [`Node::msr_read`], so RAPL polling
+//!   carries the same package-scoped access costs it does on metal — this
+//!   is part of UPS's measured overhead.
+//! * [`GpuMonitor`] — NVML-style board power and energy queries.
+//! * [`EnergyMeter`] — convenience integrator combining both for
+//!   experiment-level energy-to-solution accounting.
+//!
+//! [`Node::msr_read`]: magus_hetsim::Node::msr_read
+
+pub mod meter;
+pub mod nvml;
+pub mod rapl;
+
+pub use meter::EnergyMeter;
+pub use nvml::{GpuMonitor, GpuSample};
+pub use rapl::{RaplReader, RaplSample};

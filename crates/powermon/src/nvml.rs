@@ -1,0 +1,133 @@
+//! NVML/oneAPI-style GPU board power and energy queries.
+//!
+//! NVML exposes instantaneous board power (`nvmlDeviceGetPowerUsage`) and
+//! cumulative energy (`nvmlDeviceGetTotalEnergyConsumption`); Intel's oneAPI
+//! Level Zero sysman offers equivalents for the Max 1550. The simulated GPU
+//! devices expose the same quantities; queries are driver calls rather than
+//! MSR pokes, so they carry a small fixed cost.
+
+use magus_hetsim::Node;
+use magus_msr::AccessCost;
+use serde::{Deserialize, Serialize};
+
+/// One GPU power/energy sample across all boards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSample {
+    /// Per-board power (W).
+    pub power_w: Vec<f64>,
+    /// Per-board cumulative energy (J).
+    pub energy_j: Vec<f64>,
+    /// Per-board SM clock (MHz).
+    pub sm_clock_mhz: Vec<f64>,
+    /// Per-board utilisation (0..1).
+    pub util: Vec<f64>,
+}
+
+impl GpuSample {
+    /// Total board power across devices (W).
+    #[must_use]
+    pub fn total_power_w(&self) -> f64 {
+        self.power_w.iter().sum()
+    }
+
+    /// Total cumulative board energy across devices (J).
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy_j.iter().sum()
+    }
+
+    /// Number of boards sampled.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.power_w.len()
+    }
+}
+
+/// NVML-style monitor over the simulated node's GPUs.
+#[derive(Debug, Clone, Default)]
+pub struct GpuMonitor {
+    queries: u64,
+}
+
+/// Cost of one whole-node GPU query batch (driver ioctls, not MSRs).
+const GPU_QUERY_COST: AccessCost = AccessCost {
+    latency_us: 400.0,
+    energy_uj: 500.0,
+};
+
+impl GpuMonitor {
+    /// New monitor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Query all boards.
+    pub fn sample(&mut self, node: &mut Node) -> GpuSample {
+        node.charge_monitoring(GPU_QUERY_COST, false);
+        self.queries += 1;
+        let gpus = node.gpus();
+        GpuSample {
+            power_w: gpus.iter().map(|g| g.power_w()).collect(),
+            energy_j: gpus.iter().map(|g| g.energy_j()).collect(),
+            sm_clock_mhz: gpus.iter().map(|g| g.sm_clock_mhz()).collect(),
+            util: gpus.iter().map(|g| g.util()).collect(),
+        }
+    }
+
+    /// Number of query batches issued.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_hetsim::{Demand, NodeConfig};
+
+    #[test]
+    fn sample_reflects_device_count() {
+        let mut node = Node::new(NodeConfig::intel_4a100());
+        let mut mon = GpuMonitor::new();
+        let s = mon.sample(&mut node);
+        assert_eq!(s.device_count(), 4);
+        assert_eq!(mon.queries(), 1);
+    }
+
+    #[test]
+    fn idle_boards_report_idle_floor() {
+        let mut node = Node::new(NodeConfig::intel_4a100());
+        for _ in 0..10 {
+            node.step(10_000, &Demand::idle());
+        }
+        let mut mon = GpuMonitor::new();
+        let s = mon.sample(&mut node);
+        assert!((s.total_power_w() - 200.0).abs() < 1.0, "{}", s.total_power_w());
+    }
+
+    #[test]
+    fn busy_board_reports_load_power_and_energy() {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::new(5.0, 0.2, 0.2, 1.0);
+        for _ in 0..200 {
+            node.step(10_000, &demand);
+        }
+        let mut mon = GpuMonitor::new();
+        let s = mon.sample(&mut node);
+        assert!(s.power_w[0] > 200.0);
+        assert!(s.energy_j[0] > 0.0);
+        assert!(s.sm_clock_mhz[0] > 1300.0);
+        assert!((s.util[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queries_charge_monitoring_cost() {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let mut mon = GpuMonitor::new();
+        let before = node.ledger().reads();
+        mon.sample(&mut node);
+        assert_eq!(node.ledger().reads() - before, 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests: the monitoring stack must agree with the
+//! simulator's ground-truth energy accounting under arbitrary load.
+
+use magus_hetsim::{Demand, Node, NodeConfig};
+use magus_powermon::{EnergyMeter, GpuMonitor, RaplReader};
+use proptest::prelude::*;
+
+fn arb_demands() -> impl Strategy<Value = Vec<Demand>> {
+    proptest::collection::vec(
+        (0.0f64..150.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)
+            .prop_map(|(m, f, c, g)| Demand::new(m, f, c, g)),
+        5..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// RAPL-differentiated power approximates the model's mean power over
+    /// the same interval, for any demand sequence.
+    #[test]
+    fn rapl_tracks_model(demands in arb_demands()) {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let mut rapl = RaplReader::new(&mut node).unwrap();
+        node.step(10_000, &Demand::idle());
+        rapl.sample(&mut node).unwrap();
+        let e0 = node.energy().pkg_j();
+        let t0 = node.time_s();
+        for d in &demands {
+            for _ in 0..10 {
+                node.step(10_000, d);
+            }
+        }
+        let sample = rapl.sample(&mut node).unwrap().unwrap();
+        let model_mean = (node.energy().pkg_j() - e0) / (node.time_s() - t0);
+        // RAPL counters quantise to 1/16384 J and the read itself charges
+        // overhead energy into the window; a few watts of slack.
+        prop_assert!((sample.pkg_w - model_mean).abs() < 6.0,
+            "rapl {} vs model {}", sample.pkg_w, model_mean);
+        prop_assert!(sample.pkg_w > 0.0);
+        prop_assert!(sample.dram_w >= 0.0);
+    }
+
+    /// GPU queries always report power within configured bounds and
+    /// monotone cumulative energy.
+    #[test]
+    fn gpu_monitor_bounded_and_monotone(demands in arb_demands()) {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let mut mon = GpuMonitor::new();
+        let mut prev_energy = 0.0;
+        for d in &demands {
+            for _ in 0..5 {
+                node.step(10_000, d);
+            }
+            let s = mon.sample(&mut node);
+            let cfg = &node.config().gpus[0];
+            prop_assert!(s.power_w[0] >= cfg.idle_power_w - 1e-9);
+            prop_assert!(s.power_w[0] <= cfg.max_power_w + 1e-9);
+            prop_assert!(s.energy_j[0] >= prev_energy);
+            prev_energy = s.energy_j[0];
+        }
+    }
+
+    /// The combined meter's total stays within a few percent of the
+    /// node's ground truth for any load, any polling cadence.
+    #[test]
+    fn meter_matches_ground_truth(demands in arb_demands(), poll_every in 3usize..30) {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let mut meter = EnergyMeter::start(&mut node).unwrap();
+        let e0 = node.energy().total_j();
+        let mut tick = 0usize;
+        for d in &demands {
+            for _ in 0..10 {
+                node.step(10_000, d);
+                tick += 1;
+                if tick % poll_every == 0 {
+                    meter.poll(&mut node).unwrap();
+                }
+            }
+        }
+        meter.poll(&mut node).unwrap();
+        let truth = node.energy().total_j() - e0;
+        let measured = meter.report().total_j();
+        prop_assert!((measured - truth).abs() / truth.max(1.0) < 0.05,
+            "meter {measured} vs truth {truth}");
+    }
+}

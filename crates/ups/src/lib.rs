@@ -1,0 +1,31 @@
+//! UPS — Uncore Power Scavenger (Gholkar et al., SC '19), re-implemented as
+//! the paper's baseline.
+//!
+//! UPS is the pioneering model-free uncore runtime MAGUS is compared
+//! against. Since no open-source implementation exists, the MAGUS authors
+//! re-implemented it from its paper (§5); we do the same. UPS:
+//!
+//! * samples **DRAM power** (RAPL) and **per-core IPC** (instructions
+//!   retired / unhalted cycles from `IA32_FIXED_CTR0/1`, read for *every*
+//!   core) once per decision interval (≈0.5 s: 0.3 s of counter collection
+//!   plus a 0.2 s rest, §6.5);
+//! * declares a **phase change** when DRAM power moves by more than a
+//!   relative threshold, and resets the uncore to maximum to re-baseline;
+//! * otherwise **scavenges**: steps the uncore down one ratio at a time as
+//!   long as IPC stays within a tolerance of the phase's reference IPC,
+//!   stepping back up and holding when IPC degrades.
+//!
+//! The per-core MSR sweep is the point of contrast with MAGUS: on an
+//! 80-core node each decision costs 160 core-scoped register reads, which
+//! is where UPS's 4.9–7.9% power overhead and 0.3 s invocation time come
+//! from (Table 2). The sweep is performed for real by
+//! [`sampler::UpsSampler`] against the simulated node, so those overheads
+//! are *measured*, not asserted.
+
+pub mod config;
+pub mod core;
+pub mod sampler;
+
+pub use crate::core::{UpsCore, UpsDecision};
+pub use config::UpsConfig;
+pub use sampler::{UpsSample, UpsSampler};

@@ -1,0 +1,86 @@
+//! Property-based tests on the UPS state machine.
+
+use magus_ups::{UpsConfig, UpsCore};
+use proptest::prelude::*;
+
+fn arb_signal() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    // (ipc, dram_w) pairs.
+    proptest::collection::vec((0.1f64..3.0, 5.0f64..60.0), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The target never leaves the hardware range, whatever the inputs.
+    #[test]
+    fn target_always_in_range(signal in arb_signal()) {
+        let mut core = UpsCore::new(UpsConfig::default(), 0.8, 2.2);
+        for (ipc, dram) in signal {
+            let d = core.decide(ipc, dram);
+            prop_assert!(d.target_ghz >= 0.8 - 1e-9);
+            prop_assert!(d.target_ghz <= 2.2 + 1e-9);
+        }
+    }
+
+    /// The target moves by at most one scavenging step per cycle except on
+    /// resets (phase change / degradation), which jump to the maximum.
+    #[test]
+    fn moves_are_steps_or_resets(signal in arb_signal()) {
+        let cfg = UpsConfig::default();
+        let step = cfg.step_ghz;
+        let mut core = UpsCore::new(cfg, 0.8, 2.2);
+        let mut prev = core.target_ghz();
+        for (ipc, dram) in signal {
+            let d = core.decide(ipc, dram);
+            let delta = d.target_ghz - prev;
+            let is_reset = d.phase_change || d.backed_off;
+            if is_reset {
+                prop_assert!((d.target_ghz - 2.2).abs() < 1e-9);
+            } else {
+                prop_assert!(delta.abs() <= step + 1e-9,
+                    "non-reset move of {delta} GHz");
+            }
+            prev = d.target_ghz;
+        }
+    }
+
+    /// Identical signals produce identical decision sequences.
+    #[test]
+    fn deterministic(signal in arb_signal()) {
+        let run = |signal: &[(f64, f64)]| -> Vec<f64> {
+            let mut core = UpsCore::new(UpsConfig::default(), 0.8, 2.2);
+            signal.iter().map(|&(i, d)| core.decide(i, d).target_ghz).collect()
+        };
+        prop_assert_eq!(run(&signal), run(&signal));
+    }
+
+    /// A perfectly steady signal always walks the staircase down to the
+    /// floor and stays there.
+    #[test]
+    fn steady_signal_reaches_floor(ipc in 0.5f64..3.0, dram in 5.0f64..60.0, n in 20usize..120) {
+        let mut core = UpsCore::new(UpsConfig::default(), 0.8, 2.2);
+        for _ in 0..n {
+            core.decide(ipc, dram);
+        }
+        prop_assert!((core.target_ghz() - 0.8).abs() < 1e-9);
+        prop_assert_eq!(core.phase_changes(), 0);
+        prop_assert_eq!(core.backoffs(), 0);
+    }
+
+    /// Counters are consistent with the decision stream.
+    #[test]
+    fn counters_match_decisions(signal in arb_signal()) {
+        let mut core = UpsCore::new(UpsConfig::default(), 0.8, 2.2);
+        let mut phase_changes = 0u64;
+        let mut backoffs = 0u64;
+        let n = signal.len() as u64;
+        for (ipc, dram) in signal {
+            let d = core.decide(ipc, dram);
+            if d.phase_change { phase_changes += 1; }
+            if d.backed_off { backoffs += 1; }
+        }
+        prop_assert_eq!(core.phase_changes(), phase_changes);
+        prop_assert_eq!(core.backoffs(), backoffs);
+        prop_assert_eq!(core.cycles(), n);
+    }
+}

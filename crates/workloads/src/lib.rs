@@ -1,0 +1,30 @@
+//! Workload models: the paper's evaluation suite as phase traces.
+//!
+//! The paper evaluates MAGUS on real applications — the Altis GPU benchmark
+//! suite (Levels 1–2), ECP proxy applications (miniGAN, CRADL, Laghos,
+//! SW4lite), molecular-dynamics codes (GROMACS, LAMMPS), and MLPerf
+//! training workloads (UNet, ResNet50, BERT). MAGUS never inspects
+//! application internals: it only observes the *memory-throughput time
+//! series* the application induces, and pays for wrong decisions through
+//! the bandwidth-stall model. A workload model therefore needs to reproduce
+//! each application's *memory dynamics* — burst cadence, amplitude,
+//! fluctuation frequency, memory-boundedness — not its arithmetic.
+//!
+//! [`spec`] provides parameterised generators (periodic burst trains,
+//! high-frequency fluctuation segments, initialisation bursts) with seeded
+//! jitter; [`catalog`] instantiates one profile per paper application,
+//! tuned to the qualitative character the paper reports for it (e.g. SRAD
+//! fluctuates at high frequency, fdtd2d has brief init bursts that MAGUS's
+//! warm-up misses, GEMM/BFS/Pathfinder are compute-heavy with long quiet
+//! intervals); [`suites`] groups them into the exact sets each figure uses;
+//! [`io`] persists traces and specifications as validated JSON, so traces
+//! extracted from real PCM captures can be replayed through the harness.
+
+pub mod catalog;
+pub mod io;
+pub mod spec;
+pub mod suites;
+
+pub use catalog::{app_trace, base_spec, AppId, Platform};
+pub use spec::{BurstTrainSpec, FluctuationSpec, InitSpec, WorkloadSpec};
+pub use suites::{fig4a_suite, fig4b_suite, fig4c_suite, table1_suite};

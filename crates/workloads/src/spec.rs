@@ -1,0 +1,505 @@
+//! Parameterised workload generators.
+//!
+//! All generators are deterministic given a seed: jitter comes from a
+//! `SmallRng` seeded from the spec, so every experiment run sees an
+//! identical trace (the paper averages five repetitions on real hardware;
+//! we get exact repeatability instead and vary seeds explicitly where
+//! variance matters).
+
+use magus_hetsim::{AppTrace, Demand, Phase};
+use magus_hetsim::workload::PhaseKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Initialisation segment: a few brief memory bursts (input loading,
+/// allocation, JIT warm-up) before steady-state iteration begins.
+///
+/// These bursts land inside MAGUS's 2 s warm-up window, which is exactly
+/// why fdtd2d / cfd_double / gemm / particlefilter_float score low Jaccard
+/// burst-overlap in Table 1 despite small performance loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InitSpec {
+    /// Total initialisation length (s).
+    pub duration_s: f64,
+    /// Number of brief bursts within it.
+    pub bursts: u32,
+    /// Burst throughput demand (GB/s).
+    pub burst_bw_gbs: f64,
+    /// Memory-boundedness of the init bursts.
+    pub mem_frac: f64,
+}
+
+/// A periodic burst train: the steady-state iteration structure of most
+/// GPU applications (host↔device staging then kernel execution).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstTrainSpec {
+    /// Iteration period (s).
+    pub period_s: f64,
+    /// Fraction of each period spent in the memory burst (0..1).
+    pub duty: f64,
+    /// Burst throughput demand (GB/s).
+    pub burst_bw_gbs: f64,
+    /// Quiet-interval throughput demand (GB/s).
+    pub quiet_bw_gbs: f64,
+    /// Memory-boundedness during bursts.
+    pub burst_mem_frac: f64,
+    /// Memory-boundedness during quiet intervals.
+    pub quiet_mem_frac: f64,
+    /// Relative jitter on period and amplitude (0 = clockwork).
+    pub jitter: f64,
+    /// Ramp-up time at the start of each burst (s). Real transfers build
+    /// up over pipeline-fill/batching intervals rather than stepping; the
+    /// rising edge is precisely the signal MAGUS's first-derivative
+    /// prediction keys on to raise the uncore *before* the plateau (§3.1).
+    pub ramp_s: f64,
+}
+
+/// A high-frequency fluctuation segment: throughput flips between high and
+/// low at sub-second scale — the §6.2 SRAD behaviour that defeats
+/// reactive-only governors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluctuationSpec {
+    /// Mean dwell time at each level (s); actual dwells jitter around it.
+    pub dwell_s: f64,
+    /// High-level throughput (GB/s).
+    pub high_bw_gbs: f64,
+    /// Low-level throughput (GB/s).
+    pub low_bw_gbs: f64,
+    /// Memory-boundedness at the high level.
+    pub mem_frac: f64,
+    /// Relative dwell jitter.
+    pub jitter: f64,
+    /// Ramp-up time entering each high dwell (s). Slow alternation ramps
+    /// (predictable); fast fluctuation steps (unpredictable — the case the
+    /// high-frequency lock exists for).
+    pub ramp_s: f64,
+}
+
+/// Utilisation profile shared by all segments of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilSpec {
+    /// CPU utilisation during memory bursts.
+    pub cpu_burst: f64,
+    /// CPU utilisation during quiet/compute intervals.
+    pub cpu_quiet: f64,
+    /// Throttle-sensitive host fraction of the critical path (see
+    /// [`Demand::cpu_frac`](magus_hetsim::Demand)); 0 for GPU-dominant
+    /// applications, positive for hybrid codes whose host loops matter.
+    pub cpu_frac: f64,
+    /// Per-GPU utilisation during bursts.
+    pub gpu_burst: Vec<f64>,
+    /// Per-GPU utilisation during quiet/compute intervals.
+    pub gpu_quiet: Vec<f64>,
+}
+
+impl UtilSpec {
+    /// Single-GPU utilisation profile.
+    #[must_use]
+    pub fn single(cpu_burst: f64, cpu_quiet: f64, gpu_burst: f64, gpu_quiet: f64) -> Self {
+        Self {
+            cpu_burst,
+            cpu_quiet,
+            cpu_frac: 0.0,
+            gpu_burst: vec![gpu_burst],
+            gpu_quiet: vec![gpu_quiet],
+        }
+    }
+
+    /// Builder: mark a throttle-sensitive host fraction (hybrid codes).
+    #[must_use]
+    pub fn with_cpu_frac(mut self, cpu_frac: f64) -> Self {
+        self.cpu_frac = cpu_frac.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replicate the single-GPU profile across `n` devices.
+    #[must_use]
+    pub fn across_gpus(&self, n: usize) -> Self {
+        let spread = |v: &[f64]| -> Vec<f64> {
+            let base = v.first().copied().unwrap_or(0.0);
+            vec![base; n]
+        };
+        Self {
+            cpu_burst: self.cpu_burst,
+            cpu_quiet: self.cpu_quiet,
+            cpu_frac: self.cpu_frac,
+            gpu_burst: spread(&self.gpu_burst),
+            gpu_quiet: spread(&self.gpu_quiet),
+        }
+    }
+}
+
+/// Complete workload specification: optional init, then a sequence of
+/// steady segments until `total_s` of work content is emitted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Application name.
+    pub name: String,
+    /// Total work content (s), including init.
+    pub total_s: f64,
+    /// Optional initialisation segment.
+    pub init: Option<InitSpec>,
+    /// Steady-state segments, cycled in order until `total_s` is filled.
+    /// Each entry is (segment, segment length in seconds).
+    pub segments: Vec<(Segment, f64)>,
+    /// Utilisation profile.
+    pub util: UtilSpec,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+/// One steady-state segment flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Segment {
+    /// Periodic burst train.
+    Bursts(BurstTrainSpec),
+    /// High-frequency fluctuation.
+    Fluctuation(FluctuationSpec),
+    /// Constant demand (GB/s, mem_frac).
+    Steady(f64, f64),
+}
+
+impl WorkloadSpec {
+    /// Generate the phase trace.
+    #[must_use]
+    pub fn build(&self) -> AppTrace {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut phases = Vec::new();
+        let mut emitted_s = 0.0;
+
+        if let Some(init) = &self.init {
+            emit_init(&mut phases, init, &self.util, &mut rng);
+            emitted_s += init.duration_s;
+        }
+
+        if self.segments.is_empty() || self.total_s <= emitted_s {
+            return AppTrace::new(self.name.clone(), phases);
+        }
+
+        'outer: loop {
+            for (segment, seg_len) in &self.segments {
+                let remaining = self.total_s - emitted_s;
+                if remaining <= 1e-9 {
+                    break 'outer;
+                }
+                let len = seg_len.min(remaining);
+                match segment {
+                    Segment::Bursts(spec) => {
+                        emit_bursts(&mut phases, spec, &self.util, len, &mut rng);
+                    }
+                    Segment::Fluctuation(spec) => {
+                        emit_fluctuation(&mut phases, spec, &self.util, len, &mut rng);
+                    }
+                    Segment::Steady(bw, frac) => {
+                        phases.push(Phase::new(
+                            PhaseKind::Compute,
+                            len,
+                            demand(*bw, *frac, &self.util, false),
+                        ));
+                    }
+                }
+                emitted_s += len;
+            }
+        }
+
+        AppTrace::new(self.name.clone(), phases)
+    }
+}
+
+fn demand(bw_gbs: f64, mem_frac: f64, util: &UtilSpec, burst: bool) -> Demand {
+    Demand {
+        mem_gbs: bw_gbs,
+        mem_frac,
+        cpu_frac: util.cpu_frac,
+        cpu_util: if burst { util.cpu_burst } else { util.cpu_quiet },
+        gpu_util: if burst {
+            util.gpu_burst.clone()
+        } else {
+            util.gpu_quiet.clone()
+        },
+    }
+    .clamped()
+}
+
+fn jittered(rng: &mut SmallRng, value: f64, rel: f64) -> f64 {
+    if rel <= 0.0 {
+        return value;
+    }
+    value * (1.0 + rng.gen_range(-rel..rel))
+}
+
+fn emit_init(phases: &mut Vec<Phase>, init: &InitSpec, util: &UtilSpec, rng: &mut SmallRng) {
+    let bursts = init.bursts.max(1);
+    let slot = init.duration_s / f64::from(bursts);
+    for _ in 0..bursts {
+        // Each slot: a brief burst followed by setup compute.
+        let burst_len = (slot * rng.gen_range(0.25..0.45)).max(0.01);
+        phases.push(Phase::new(
+            PhaseKind::Init,
+            burst_len,
+            demand(init.burst_bw_gbs, init.mem_frac, util, true),
+        ));
+        phases.push(Phase::new(
+            PhaseKind::Init,
+            (slot - burst_len).max(0.01),
+            demand(init.burst_bw_gbs * 0.05, 0.1, util, false),
+        ));
+    }
+}
+
+/// Emit a rising edge from `from_bw` to `to_bw` over `ramp_s` seconds as a
+/// staircase of short phases. Memory-boundedness scales with the demand so
+/// the early ramp is cheap to serve even at a low uncore frequency.
+fn emit_ramp(
+    phases: &mut Vec<Phase>,
+    from_bw: f64,
+    to_bw: f64,
+    mem_frac: f64,
+    ramp_s: f64,
+    util: &UtilSpec,
+) {
+    const STEPS: u32 = 4;
+    if ramp_s <= 0.0 || to_bw <= from_bw {
+        return;
+    }
+    let step_len = ramp_s / f64::from(STEPS);
+    for i in 1..=STEPS {
+        let frac = f64::from(i) / f64::from(STEPS + 1);
+        let bw = from_bw + (to_bw - from_bw) * frac;
+        phases.push(Phase::new(
+            PhaseKind::Burst,
+            step_len,
+            demand(bw, mem_frac * frac, util, true),
+        ));
+    }
+}
+
+fn emit_bursts(
+    phases: &mut Vec<Phase>,
+    spec: &BurstTrainSpec,
+    util: &UtilSpec,
+    len_s: f64,
+    rng: &mut SmallRng,
+) {
+    // Each period leads with the quiet (compute/setup) interval and ends
+    // with the staging burst — iterations do work before they exchange
+    // data, so the first burst of a run lands after the governor's warm-up
+    // rather than inside it.
+    let mut t = 0.0;
+    while t < len_s {
+        let period = jittered(rng, spec.period_s, spec.jitter).max(0.02);
+        let burst_len = (period * spec.duty).max(0.01);
+        let quiet_len = (period - burst_len).max(0.01);
+        let burst_bw = jittered(rng, spec.burst_bw_gbs, spec.jitter).max(0.0);
+        phases.push(Phase::new(
+            PhaseKind::Compute,
+            quiet_len.min(len_s - t),
+            demand(spec.quiet_bw_gbs, spec.quiet_mem_frac, util, false),
+        ));
+        t += quiet_len;
+        if t >= len_s {
+            break;
+        }
+        let ramp = spec.ramp_s.min(burst_len * 0.6);
+        // Ramps are only emitted for bursts that fit inside the segment;
+        // a truncated trailing burst keeps its full work in the plateau.
+        let ramp_emitted = t + burst_len <= len_s && ramp > 0.0;
+        if ramp_emitted {
+            emit_ramp(
+                phases,
+                spec.quiet_bw_gbs,
+                burst_bw,
+                spec.burst_mem_frac,
+                ramp,
+                util,
+            );
+        }
+        let plateau = if ramp_emitted { burst_len - ramp } else { burst_len };
+        phases.push(Phase::new(
+            PhaseKind::Burst,
+            plateau.min(len_s - t).max(0.01),
+            demand(burst_bw, spec.burst_mem_frac, util, true),
+        ));
+        t += burst_len;
+    }
+}
+
+fn emit_fluctuation(
+    phases: &mut Vec<Phase>,
+    spec: &FluctuationSpec,
+    util: &UtilSpec,
+    len_s: f64,
+    rng: &mut SmallRng,
+) {
+    let mut t = 0.0;
+    let mut high = true;
+    while t < len_s {
+        let dwell = jittered(rng, spec.dwell_s, spec.jitter).max(0.02);
+        let (bw, frac, kind) = if high {
+            (spec.high_bw_gbs, spec.mem_frac, PhaseKind::Burst)
+        } else {
+            (spec.low_bw_gbs, 0.15, PhaseKind::Compute)
+        };
+        let ramp = if high { spec.ramp_s.min(dwell * 0.5) } else { 0.0 };
+        let ramp_emitted = high && t + dwell <= len_s && ramp > 0.0;
+        if ramp_emitted {
+            emit_ramp(phases, spec.low_bw_gbs, bw, frac, ramp, util);
+        }
+        let body = if ramp_emitted { dwell - ramp } else { dwell };
+        phases.push(Phase::new(
+            kind,
+            body.min(len_s - t).max(0.01),
+            demand(bw, frac, util, high),
+        ));
+        t += dwell;
+        high = !high;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "synthetic".into(),
+            total_s: 20.0,
+            init: Some(InitSpec {
+                duration_s: 1.0,
+                bursts: 3,
+                burst_bw_gbs: 60.0,
+                mem_frac: 0.6,
+            }),
+            segments: vec![(
+                Segment::Bursts(BurstTrainSpec {
+                    period_s: 2.0,
+                    duty: 0.3,
+                    burst_bw_gbs: 80.0,
+                    quiet_bw_gbs: 4.0,
+                    burst_mem_frac: 0.55,
+                    quiet_mem_frac: 0.1,
+                    jitter: 0.05,
+                    ramp_s: 0.4,
+                }),
+                10.0,
+            )],
+            util: UtilSpec::single(0.4, 0.15, 0.6, 0.95),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn total_work_matches_spec() {
+        let trace = base_spec().build();
+        assert!((trace.total_work_s() - 20.0).abs() < 0.1, "{}", trace.total_work_s());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(base_spec().build(), base_spec().build());
+        let mut other = base_spec();
+        other.seed = 8;
+        assert_ne!(other.build(), base_spec().build());
+    }
+
+    #[test]
+    fn init_phases_lead_the_trace() {
+        let trace = base_spec().build();
+        assert_eq!(trace.phases[0].kind, PhaseKind::Init);
+        let init_work: f64 = trace
+            .phases
+            .iter()
+            .filter(|p| p.kind == PhaseKind::Init)
+            .map(|p| p.work_s)
+            .sum();
+        assert!((init_work - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn bursts_alternate_with_compute() {
+        let trace = base_spec().build();
+        let kinds: Vec<_> = trace
+            .phases
+            .iter()
+            .skip_while(|p| p.kind == PhaseKind::Init)
+            .map(|p| p.kind)
+            .collect();
+        assert!(kinds.contains(&PhaseKind::Burst));
+        assert!(kinds.contains(&PhaseKind::Compute));
+        // Bursts carry the high demand.
+        let burst_demand = trace
+            .phases
+            .iter()
+            .filter(|p| p.kind == PhaseKind::Burst)
+            .map(|p| p.demand.mem_gbs)
+            .fold(0.0, f64::max);
+        assert!(burst_demand > 70.0);
+    }
+
+    #[test]
+    fn fluctuation_segment_flips_levels() {
+        let spec = WorkloadSpec {
+            name: "hf".into(),
+            total_s: 5.0,
+            init: None,
+            segments: vec![(
+                Segment::Fluctuation(FluctuationSpec {
+                    dwell_s: 0.2,
+                    high_bw_gbs: 70.0,
+                    low_bw_gbs: 3.0,
+                    mem_frac: 0.6,
+                    jitter: 0.1,
+                    ramp_s: 0.0,
+                }),
+                5.0,
+            )],
+            util: UtilSpec::single(0.3, 0.1, 0.5, 0.9),
+            seed: 1,
+        };
+        let trace = spec.build();
+        // ~25 dwells of each level in 5 s at 0.2 s mean dwell.
+        assert!(trace.len() > 15, "{}", trace.len());
+        let highs = trace.phases.iter().filter(|p| p.demand.mem_gbs > 50.0).count();
+        let lows = trace.phases.iter().filter(|p| p.demand.mem_gbs < 10.0).count();
+        assert!(highs >= 8 && lows >= 8, "highs {highs} lows {lows}");
+    }
+
+    #[test]
+    fn steady_segment_is_single_phase() {
+        let spec = WorkloadSpec {
+            name: "steady".into(),
+            total_s: 3.0,
+            init: None,
+            segments: vec![(Segment::Steady(10.0, 0.3), 3.0)],
+            util: UtilSpec::single(0.2, 0.2, 0.8, 0.8),
+            seed: 1,
+        };
+        let trace = spec.build();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.phases[0].demand.mem_gbs, 10.0);
+    }
+
+    #[test]
+    fn multi_gpu_util_replicates() {
+        let util = UtilSpec::single(0.4, 0.1, 0.7, 0.9).across_gpus(4);
+        assert_eq!(util.gpu_burst.len(), 4);
+        assert_eq!(util.gpu_quiet, vec![0.9; 4]);
+    }
+
+    #[test]
+    fn segments_cycle_until_total() {
+        let mut spec = base_spec();
+        spec.total_s = 40.0; // one 10 s segment must cycle 4x (minus init)
+        let trace = spec.build();
+        assert!((trace.total_work_s() - 40.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_segments_yields_init_only() {
+        let mut spec = base_spec();
+        spec.segments.clear();
+        let trace = spec.build();
+        assert!(trace.phases.iter().all(|p| p.kind == PhaseKind::Init));
+    }
+}

@@ -1,0 +1,93 @@
+//! The application sets each figure/table evaluates (paper §5–6).
+
+use crate::catalog::AppId;
+
+/// Fig 4a — Intel+A100: the 14 Altis L1+L2 benchmarks (plus srad and
+/// particlefilter_naive, which the §6.1 text discusses) and the
+/// single-GPU ECP proxies.
+#[must_use]
+pub fn fig4a_suite() -> Vec<AppId> {
+    use AppId::*;
+    vec![
+        Bfs, Pathfinder, Cfd, CfdDouble, Fdtd2d, Gemm, Kmeans, Lavamd, Nw, ParticlefilterFloat,
+        ParticlefilterNaive, Raytracing, Sort, Srad, Where, MiniGan, Cradl, Laghos, Sw4lite,
+    ]
+}
+
+/// Fig 4b — Intel+Max1550: the 11 Altis-SYCL benchmarks that compile for
+/// Ponte Vecchio (the paper excludes the rest of the suite).
+#[must_use]
+pub fn fig4b_suite() -> Vec<AppId> {
+    use AppId::*;
+    vec![
+        Bfs, Pathfinder, Cfd, CfdDouble, Fdtd2d, Gemm, Kmeans, Lavamd, Nw, Sort, Srad,
+    ]
+}
+
+/// Fig 4c — Intel+4A100: AI-enabled applications and MLPerf benchmarks
+/// that effectively utilise multiple GPUs.
+#[must_use]
+pub fn fig4c_suite() -> Vec<AppId> {
+    use AppId::*;
+    vec![Gromacs, Lammps, Unet, Resnet50, BertLarge]
+}
+
+/// Table 1 — the 21 applications with reported Jaccard scores.
+#[must_use]
+pub fn table1_suite() -> Vec<AppId> {
+    use AppId::*;
+    vec![
+        Bfs, Gemm, Pathfinder, Sort, Cfd, CfdDouble, Fdtd2d, Kmeans, Lavamd, Nw,
+        ParticlefilterFloat, Raytracing, Where, Laghos, MiniGan, Sw4lite, Unet, Resnet50,
+        BertLarge, Lammps, Gromacs,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(fig4b_suite().len(), 11, "11 Altis-SYCL apps");
+        assert_eq!(fig4c_suite().len(), 5, "5 multi-GPU apps");
+        assert_eq!(table1_suite().len(), 21, "21 Jaccard rows");
+        assert!(fig4a_suite().len() >= 16);
+    }
+
+    #[test]
+    fn suites_have_no_duplicates() {
+        for suite in [fig4a_suite(), fig4b_suite(), fig4c_suite(), table1_suite()] {
+            let mut s = suite.clone();
+            s.sort();
+            s.dedup();
+            assert_eq!(s.len(), suite.len());
+        }
+    }
+
+    #[test]
+    fn fig4b_is_subset_of_altis() {
+        use AppId::*;
+        let altis = [
+            Bfs, Pathfinder, Cfd, CfdDouble, Fdtd2d, Gemm, Kmeans, Lavamd, Nw,
+            ParticlefilterFloat, ParticlefilterNaive, Raytracing, Sort, Srad, Where,
+        ];
+        for app in fig4b_suite() {
+            assert!(altis.contains(&app), "{app}");
+        }
+    }
+
+    #[test]
+    fn fig4c_apps_are_multi_gpu_capable() {
+        // MD codes and ML training only — no Altis kernels.
+        for app in fig4c_suite() {
+            assert!(
+                matches!(
+                    app,
+                    AppId::Gromacs | AppId::Lammps | AppId::Unet | AppId::Resnet50 | AppId::BertLarge
+                ),
+                "{app}"
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests over the workload generators.
+
+use magus_hetsim::workload::PhaseKind;
+use magus_workloads::spec::{BurstTrainSpec, FluctuationSpec, Segment, UtilSpec, WorkloadSpec};
+use magus_workloads::{app_trace, AppId, Platform};
+use proptest::prelude::*;
+
+fn arb_burst_spec() -> impl Strategy<Value = BurstTrainSpec> {
+    (
+        0.5f64..8.0,   // period
+        0.05f64..0.6,  // duty
+        20.0f64..150.0, // burst bw
+        0.0f64..10.0,  // quiet bw
+        0.1f64..0.9,   // burst mem frac
+        0.0f64..0.3,   // jitter
+        0.0f64..1.0,   // ramp
+    )
+        .prop_map(|(period_s, duty, burst_bw, quiet_bw, frac, jitter, ramp_s)| BurstTrainSpec {
+            period_s,
+            duty,
+            burst_bw_gbs: burst_bw,
+            quiet_bw_gbs: quiet_bw,
+            burst_mem_frac: frac,
+            quiet_mem_frac: 0.08,
+            jitter,
+            ramp_s,
+        })
+}
+
+fn arb_fluct_spec() -> impl Strategy<Value = FluctuationSpec> {
+    (0.05f64..2.0, 20.0f64..150.0, 0.0f64..10.0, 0.1f64..0.95, 0.0f64..0.4, 0.0f64..0.5)
+        .prop_map(|(dwell_s, high, low, frac, jitter, ramp_s)| FluctuationSpec {
+            dwell_s,
+            high_bw_gbs: high,
+            low_bw_gbs: low,
+            mem_frac: frac,
+            jitter,
+            ramp_s,
+        })
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        5.0f64..60.0,
+        proptest::collection::vec(
+            prop_oneof![
+                arb_burst_spec().prop_map(Segment::Bursts),
+                arb_fluct_spec().prop_map(Segment::Fluctuation),
+                (1.0f64..50.0, 0.0f64..0.9).prop_map(|(bw, f)| Segment::Steady(bw, f)),
+            ]
+            .prop_flat_map(|seg| (Just(seg), 1.0f64..20.0)),
+            1..4,
+        ),
+        any::<u64>(),
+    )
+        .prop_map(|(total_s, segments, seed)| WorkloadSpec {
+            name: "prop".into(),
+            total_s,
+            init: None,
+            segments,
+            util: UtilSpec::single(0.3, 0.1, 0.5, 0.8),
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated traces always carry exactly the requested work content
+    /// (within a phase-granularity epsilon) and every phase is valid.
+    #[test]
+    fn traces_conserve_work_and_are_valid(spec in arb_spec()) {
+        let trace = spec.build();
+        prop_assert!((trace.total_work_s() - spec.total_s).abs() < 0.25,
+            "work {} vs requested {}", trace.total_work_s(), spec.total_s);
+        for phase in &trace.phases {
+            prop_assert!(phase.work_s >= 0.0);
+            prop_assert!(phase.demand.mem_gbs >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&phase.demand.mem_frac));
+            prop_assert!((0.0..=1.0).contains(&phase.demand.cpu_util));
+            for &u in &phase.demand.gpu_util {
+                prop_assert!((0.0..=1.0).contains(&u));
+            }
+        }
+    }
+
+    /// Building the same spec twice yields identical traces.
+    #[test]
+    fn determinism_per_seed(spec in arb_spec()) {
+        prop_assert_eq!(spec.build(), spec.build());
+    }
+
+    /// Distinct seeds perturb a jittered multi-burst spec.
+    #[test]
+    fn seeds_perturb_jittered_specs(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        prop_assume!(seed_a != seed_b);
+        let mk = |seed| WorkloadSpec {
+            name: "seeded".into(),
+            total_s: 30.0,
+            init: None,
+            segments: vec![(
+                Segment::Bursts(BurstTrainSpec {
+                    period_s: 3.0,
+                    duty: 0.3,
+                    burst_bw_gbs: 80.0,
+                    quiet_bw_gbs: 3.0,
+                    burst_mem_frac: 0.5,
+                    quiet_mem_frac: 0.05,
+                    jitter: 0.15,
+                    ramp_s: 0.4,
+                }),
+                30.0,
+            )],
+            util: UtilSpec::single(0.3, 0.1, 0.5, 0.8),
+            seed,
+        };
+        prop_assert_ne!(mk(seed_a).build(), mk(seed_b).build());
+    }
+
+    /// Platform scaling: demand scales by the platform factor; GPU vectors
+    /// match the platform's device count.
+    #[test]
+    fn platform_scaling_consistent(app_idx in 0usize..24) {
+        let app = AppId::all()[app_idx];
+        let base = app_trace(app, Platform::IntelA100);
+        for platform in [Platform::Intel4A100, Platform::IntelMax1550] {
+            let scaled = app_trace(app, platform);
+            // The MD codes get multi-GPU-specific exchange segments on the
+            // 4-GPU node, so only the structural (GPU-count) invariant
+            // applies there.
+            let md_override = platform == Platform::Intel4A100
+                && matches!(app, AppId::Gromacs | AppId::Lammps);
+            if !md_override {
+                let expect = base.peak_mem_demand_gbs() * platform.bw_scale();
+                prop_assert!((scaled.peak_mem_demand_gbs() - expect).abs() < 1e-6);
+            }
+            for phase in &scaled.phases {
+                prop_assert_eq!(phase.demand.gpu_util.len(), platform.gpu_count());
+            }
+        }
+    }
+
+    /// Ramps are monotone non-decreasing in demand within each burst's
+    /// rising edge.
+    #[test]
+    fn ramps_rise_monotonically(seed in any::<u64>()) {
+        let spec = WorkloadSpec {
+            name: "ramp".into(),
+            total_s: 20.0,
+            init: None,
+            segments: vec![(
+                Segment::Bursts(BurstTrainSpec {
+                    period_s: 4.0,
+                    duty: 0.3,
+                    burst_bw_gbs: 100.0,
+                    quiet_bw_gbs: 2.0,
+                    burst_mem_frac: 0.5,
+                    quiet_mem_frac: 0.05,
+                    jitter: 0.0,
+                    ramp_s: 0.6,
+                }),
+                20.0,
+            )],
+            util: UtilSpec::single(0.3, 0.1, 0.5, 0.8),
+            seed,
+        };
+        let trace = spec.build();
+        let mut prev_was_burst = false;
+        let mut prev_bw = 0.0;
+        for phase in &trace.phases {
+            let is_burst = phase.kind == PhaseKind::Burst;
+            if is_burst && prev_was_burst {
+                prop_assert!(phase.demand.mem_gbs >= prev_bw - 1e-9,
+                    "burst demand fell mid-rise: {} -> {}", prev_bw, phase.demand.mem_gbs);
+            }
+            prev_was_burst = is_burst;
+            prev_bw = phase.demand.mem_gbs;
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Define a custom workload and evaluate every governor on it.
+//!
+//! MAGUS never inspects application code — it reacts purely to the memory
+//! throughput the application induces. That makes "porting" an application
+//! into this harness a matter of describing its memory dynamics: burst
+//! cadence, amplitude, memory-boundedness, and GPU/CPU utilisation.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use magus_suite::experiments::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, UpsDriver};
+use magus_suite::experiments::harness::{run_trace_trial, SystemId, TrialOpts};
+use magus_suite::experiments::metrics::Comparison;
+use magus_suite::hetsim::RunSummary;
+use magus_suite::workloads::spec::{
+    BurstTrainSpec, FluctuationSpec, Segment, UtilSpec, WorkloadSpec,
+};
+
+/// A hypothetical "inference server" workload: long quiet stretches with
+/// batched transfer bursts every few seconds, plus one chaotic interval of
+/// request spikes.
+fn inference_server() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "inference-server".into(),
+        total_s: 40.0,
+        init: None,
+        segments: vec![
+            (
+                Segment::Bursts(BurstTrainSpec {
+                    period_s: 5.0,
+                    duty: 0.18,
+                    burst_bw_gbs: 95.0,
+                    quiet_bw_gbs: 3.0,
+                    burst_mem_frac: 0.5,
+                    quiet_mem_frac: 0.05,
+                    jitter: 0.1,
+                    ramp_s: 0.5,
+                }),
+                14.0,
+            ),
+            (
+                Segment::Fluctuation(FluctuationSpec {
+                    dwell_s: 0.35,
+                    high_bw_gbs: 90.0,
+                    low_bw_gbs: 5.0,
+                    mem_frac: 0.6,
+                    jitter: 0.3,
+                    ramp_s: 0.0,
+                }),
+                6.0,
+            ),
+            (Segment::Steady(4.0, 0.1), 8.0),
+        ],
+        util: UtilSpec::single(0.3, 0.1, 0.5, 0.7),
+        seed: 42,
+    }
+}
+
+fn row(label: &str, base: &RunSummary, run: &RunSummary) {
+    let c = Comparison::against(base, run);
+    println!(
+        "{label:<14} {:6.1} s | CPU {:5.1} W | loss {:6.2}% | power sv {:6.2}% | energy sv {:6.2}%",
+        run.runtime_s, run.mean_cpu_w, c.perf_loss_pct, c.power_saving_pct, c.energy_saving_pct
+    );
+}
+
+fn main() {
+    let system = SystemId::IntelA100;
+    let spec = inference_server();
+    let opts = TrialOpts::default();
+
+    let mut baseline = NoopDriver;
+    let base = run_trace_trial(system, spec.build(), &mut baseline, opts);
+    println!(
+        "=== {} on {} (baseline {:.1} s) ===",
+        spec.name,
+        system.name(),
+        base.summary.runtime_s
+    );
+
+    row("baseline", &base.summary, &base.summary);
+    let mut magus = MagusDriver::with_defaults();
+    let r = run_trace_trial(system, spec.build(), &mut magus, opts);
+    row("MAGUS", &base.summary, &r.summary);
+    let mut ups = UpsDriver::with_defaults();
+    let r = run_trace_trial(system, spec.build(), &mut ups, opts);
+    row("UPS", &base.summary, &r.summary);
+    let mut min_fixed = FixedUncoreDriver::new(0.8);
+    let r = run_trace_trial(system, spec.build(), &mut min_fixed, opts);
+    row("fixed-min", &base.summary, &r.summary);
+    let mut max_fixed = FixedUncoreDriver::new(2.2);
+    let r = run_trace_trial(system, spec.build(), &mut max_fixed, opts);
+    row("fixed-max", &base.summary, &r.summary);
+}

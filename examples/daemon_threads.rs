@@ -1,0 +1,90 @@
+//! The deployment shape: MAGUS as a background daemon thread.
+//!
+//! The application thread advances the node; the daemon thread holds a
+//! [`MagusDaemon`] bound to a throughput probe and an MSR actuator over the
+//! same shared node — exactly how a real deployment runs against PCM and
+//! `/dev/cpu/*/msr`, with the simulator standing in for the hardware. A
+//! crossbeam channel delivers the shutdown signal.
+//!
+//! ```sh
+//! cargo run --release --example daemon_threads
+//! ```
+//!
+//! [`MagusDaemon`]: magus_suite::runtime::MagusDaemon
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::channel;
+use magus_suite::hetsim::{Node, NodeConfig, Simulation};
+use magus_suite::runtime::{MagusConfig, MagusDaemon};
+use magus_suite::shared::SharedSim;
+use magus_suite::workloads::{app_trace, AppId, Platform};
+
+fn main() {
+    // Build the node and load ResNet50 training.
+    let mut sim = Simulation::new(Node::new(NodeConfig::intel_a100()));
+    sim.load(app_trace(AppId::Resnet50, Platform::IntelA100));
+    let shared = SharedSim::new(sim);
+
+    let (stop_tx, stop_rx) = channel::bounded::<()>(1);
+    // Simulated-time rendezvous: the application thread never advances the
+    // node past the daemon's next scheduled decision (on real hardware the
+    // wall clock synchronises the two for free; in simulation we must).
+    let next_due = Arc::new(AtomicU64::new(0));
+
+    // Daemon thread: runs one MAGUS cycle whenever simulated time crosses
+    // its next due point (a wall-clock deployment would sleep instead).
+    let daemon_shared = shared.clone();
+    let daemon_due = Arc::clone(&next_due);
+    let daemon_thread = thread::spawn(move || {
+        let mut daemon = MagusDaemon::attach(
+            MagusConfig::default(),
+            daemon_shared.throughput_probe(),
+            daemon_shared.uncore_actuator(),
+        )
+        .expect("attach MAGUS");
+        loop {
+            if stop_rx.try_recv().is_ok() {
+                break;
+            }
+            let now = daemon_shared.time_us();
+            if now >= daemon_due.load(Ordering::Acquire) {
+                daemon.run_cycle().expect("daemon cycle");
+                // 0.1 s invocation + 0.2 s rest = one decision per 0.3 s.
+                daemon_due.store(now + 100_000 + daemon.rest_interval_us(), Ordering::Release);
+            } else {
+                thread::yield_now();
+            }
+        }
+        let t = daemon.telemetry().clone();
+        println!(
+            "[daemon] {} cycles, {} raises, {} drops, {} overridden by the high-frequency lock",
+            t.cycles, t.raised, t.lowered, t.overridden
+        );
+    });
+
+    // Application thread (here: the main thread) advances the node, never
+    // outrunning the daemon's simulated schedule.
+    while !shared.done() {
+        if shared.time_us() < next_due.load(Ordering::Acquire) {
+            shared.step();
+        } else {
+            thread::yield_now();
+        }
+    }
+    stop_tx.send(()).expect("signal daemon");
+    daemon_thread.join().expect("join daemon");
+
+    shared.with(|sim| {
+        let summary = sim.summary(0);
+        println!(
+            "[app] {} finished in {:.1} s using {:.0} J total ({:.1} W CPU mean)",
+            summary.app,
+            summary.runtime_s,
+            summary.energy.total_j(),
+            summary.mean_cpu_w
+        );
+    });
+}

@@ -1,0 +1,49 @@
+//! Multi-GPU energy accounting: why savings shrink on Intel+4A100.
+//!
+//! The paper's Fig 4c observation: four A100-80GB boards idle at ≈200 W,
+//! so every second of runtime a governor adds costs ~200 J of GPU energy
+//! regardless of what the CPU saves. This example quantifies the idle-floor
+//! effect by running GROMACS on the single- and four-GPU systems.
+//!
+//! ```sh
+//! cargo run --release --example multi_gpu
+//! ```
+
+use magus_suite::experiments::drivers::{MagusDriver, NoopDriver};
+use magus_suite::experiments::harness::{run_trial, SystemId, TrialOpts};
+use magus_suite::experiments::metrics::Comparison;
+use magus_suite::workloads::AppId;
+
+fn main() {
+    let app = AppId::Gromacs;
+    for system in [SystemId::IntelA100, SystemId::Intel4A100] {
+        let cfg = system.node_config();
+        let idle_gpu_w: f64 = cfg.gpus.iter().map(|g| g.idle_power_w).sum();
+
+        let mut baseline = NoopDriver;
+        let base = run_trial(system, app, &mut baseline, TrialOpts::default());
+        let mut magus = MagusDriver::with_defaults();
+        let tuned = run_trial(system, app, &mut magus, TrialOpts::default());
+        let cmp = Comparison::against(&base.summary, &tuned.summary);
+
+        println!("=== {} on {} ===", app.name(), system.name());
+        println!(
+            "GPU idle floor {idle_gpu_w:.0} W | baseline GPU energy {:.0} J of {:.0} J total",
+            base.summary.energy.gpu_j,
+            base.summary.energy.total_j()
+        );
+        println!(
+            "MAGUS: loss {:.2}% | CPU power saving {:.1}% | energy saving {:.1}%",
+            cmp.perf_loss_pct, cmp.power_saving_pct, cmp.energy_saving_pct
+        );
+        println!(
+            "CPU-side share of baseline energy: {:.0}%\n",
+            base.summary.energy.cpu_j() / base.summary.energy.total_j() * 100.0
+        );
+    }
+    println!(
+        "The CPU-side energy share shrinks with more GPUs, so identical CPU\n\
+         power savings translate into smaller total-energy savings — the\n\
+         Fig 4c attenuation."
+    );
+}

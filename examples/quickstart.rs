@@ -1,0 +1,58 @@
+//! Quickstart: run one GPU workload under MAGUS and compare it to the
+//! stock uncore governor.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use magus_suite::experiments::drivers::{MagusDriver, NoopDriver};
+use magus_suite::experiments::harness::{run_trial, SystemId, TrialOpts};
+use magus_suite::experiments::metrics::Comparison;
+use magus_suite::workloads::AppId;
+
+fn main() {
+    let system = SystemId::IntelA100;
+    let app = AppId::Unet;
+
+    // 1. Baseline: the stock governor keeps the uncore pinned at maximum
+    //    because package power never approaches TDP on GPU-dominant work.
+    let mut baseline = NoopDriver;
+    let base = run_trial(system, app, &mut baseline, TrialOpts::default());
+
+    // 2. MAGUS: memory-throughput-driven adaptive uncore scaling with the
+    //    paper's default thresholds (inc=200, dec=500, hf=0.4, 0.2 s).
+    let mut magus = MagusDriver::with_defaults();
+    let tuned = run_trial(system, app, &mut magus, TrialOpts::default());
+
+    let cmp = Comparison::against(&base.summary, &tuned.summary);
+
+    println!("=== {} on {} ===", app.name(), system.name());
+    println!(
+        "baseline: {:6.1} s | CPU {:5.1} W | total energy {:8.0} J",
+        base.summary.runtime_s,
+        base.summary.mean_cpu_w,
+        base.summary.energy.total_j()
+    );
+    println!(
+        "MAGUS:    {:6.1} s | CPU {:5.1} W | total energy {:8.0} J",
+        tuned.summary.runtime_s,
+        tuned.summary.mean_cpu_w,
+        tuned.summary.energy.total_j()
+    );
+    println!(
+        "=> perf loss {:.2}% | CPU power saving {:.1}% | energy saving {:.1}%",
+        cmp.perf_loss_pct, cmp.power_saving_pct, cmp.energy_saving_pct
+    );
+    let t = magus.telemetry();
+    println!(
+        "MAGUS decisions: {} cycles, {} raises, {} drops, {} tune events, {:.0}% high-freq locked",
+        t.cycles,
+        t.raised,
+        t.lowered,
+        t.tune_events,
+        t.high_freq_fraction() * 100.0
+    );
+
+    assert!(cmp.perf_loss_pct < 5.0, "MAGUS must stay under 5% loss");
+    assert!(cmp.energy_saving_pct > 0.0, "MAGUS must save energy");
+}

@@ -1,0 +1,54 @@
+//! Trace replay: save a workload to JSON, reload it, and drive MAGUS with
+//! the reloaded copy — the workflow for replaying traces captured from
+//! real applications (e.g. phases extracted from a PCM log).
+//!
+//! ```sh
+//! cargo run --release --example replay_trace
+//! ```
+
+use magus_suite::experiments::drivers::{MagusDriver, NoopDriver};
+use magus_suite::experiments::harness::{run_trace_trial, SystemId, TrialOpts};
+use magus_suite::experiments::metrics::Comparison;
+use magus_suite::workloads::io::{load_trace, save_trace};
+use magus_suite::workloads::{app_trace, AppId, Platform};
+
+fn main() {
+    let path = std::env::temp_dir().join("magus-replay-demo.json");
+
+    // 1. Export a catalog workload (stand-in for a captured trace).
+    let original = app_trace(AppId::Lammps, Platform::IntelA100);
+    save_trace(&original, &path).expect("save trace");
+    println!(
+        "saved {} ({} phases, {:.1} s of work) -> {}",
+        original.name,
+        original.len(),
+        original.total_work_s(),
+        path.display()
+    );
+
+    // 2. Reload and validate.
+    let replayed = load_trace(&path).expect("load trace");
+    assert_eq!(original, replayed);
+    println!("reloaded identically; replaying under both governors...");
+
+    // 3. Replay under baseline and MAGUS.
+    let system = SystemId::IntelA100;
+    let mut base_d = NoopDriver;
+    let base = run_trace_trial(system, replayed.clone(), &mut base_d, TrialOpts::default());
+    let mut magus_d = MagusDriver::with_defaults();
+    let magus = run_trace_trial(system, replayed, &mut magus_d, TrialOpts::default());
+    let cmp = Comparison::against(&base.summary, &magus.summary);
+    println!(
+        "baseline {:.1} s / {:.1} W CPU | MAGUS {:.1} s / {:.1} W CPU",
+        base.summary.runtime_s,
+        base.summary.mean_cpu_w,
+        magus.summary.runtime_s,
+        magus.summary.mean_cpu_w,
+    );
+    println!(
+        "loss {:.2}% | power saving {:.1}% | energy saving {:.1}%",
+        cmp.perf_loss_pct, cmp.power_saving_pct, cmp.energy_saving_pct
+    );
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,54 @@
+//! Threshold tuning walkthrough: sweep one MAGUS threshold and find your
+//! workload's energy/runtime Pareto frontier (the §6.4 methodology).
+//!
+//! ```sh
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use magus_suite::experiments::drivers::MagusDriver;
+use magus_suite::experiments::harness::{run_trial, SystemId, TrialOpts};
+use magus_suite::experiments::pareto::{distance_to_frontier, pareto_frontier, ParetoPoint};
+use magus_suite::runtime::MagusConfig;
+use magus_suite::workloads::AppId;
+
+fn main() {
+    let system = SystemId::IntelA100;
+    let app = AppId::Srad;
+
+    let mut points = Vec::new();
+    for hf in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0] {
+        let cfg = MagusConfig {
+            high_freq_threshold: hf,
+            ..MagusConfig::default()
+        };
+        let mut driver = MagusDriver::new(cfg);
+        let r = run_trial(system, app, &mut driver, TrialOpts::default());
+        points.push(ParetoPoint {
+            label: format!("hf={hf}"),
+            runtime_s: r.summary.runtime_s,
+            energy_j: r.summary.energy.total_j(),
+        });
+    }
+
+    let frontier = pareto_frontier(&points);
+    println!("=== high_freq_threshold sweep on {} ===", app.name());
+    for p in &points {
+        let on = frontier.iter().any(|f| f.label == p.label);
+        println!(
+            "{:<8} runtime {:6.2} s | energy {:7.0} J {}",
+            p.label,
+            p.runtime_s,
+            p.energy_j,
+            if on { "<- frontier" } else { "" }
+        );
+    }
+    let default_point = points.iter().find(|p| p.label == "hf=0.4").unwrap();
+    println!(
+        "\nthe paper's hf=0.4 sits {:.4} (normalised) from the frontier",
+        distance_to_frontier(default_point, &frontier)
+    );
+    println!(
+        "low thresholds lock the uncore at max aggressively (fast, hungry);\n\
+         high thresholds never lock (frugal, slow on fluctuating phases)."
+    );
+}

@@ -1,0 +1,208 @@
+//! `magus` — the reproduction suite's command-line front end.
+//!
+//! ```sh
+//! cargo run --release --bin magus -- run --app srad --runtime magus
+//! cargo run --release --bin magus -- compare --app UNet
+//! cargo run --release --bin magus -- suite --system intel-max1550
+//! ```
+
+use std::process::ExitCode;
+
+use magus_suite::cli::{parse, usage, Command, RuntimeSel};
+use magus_suite::experiments::drivers::{
+    FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, UpsDriver,
+};
+use magus_suite::experiments::figures::{evaluate_app, fig4, fig7_sensitivity};
+use magus_suite::experiments::harness::{run_trial, SystemId, TrialOpts};
+use magus_suite::experiments::overhead::measure_overhead;
+use magus_suite::experiments::pareto::{distance_to_frontier, pareto_frontier};
+use magus_suite::experiments::report::render_fig4_table;
+use magus_suite::workloads::AppId;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match command {
+        Command::Help => println!("{}", usage()),
+        Command::List => list(),
+        Command::Run {
+            system,
+            app,
+            runtime,
+            json,
+        } => run(system, app, runtime, json),
+        Command::Compare { system, app } => compare(system, app),
+        Command::Suite { system } => {
+            let rows = fig4(system);
+            print!("{}", render_fig4_table(system.name(), &rows));
+        }
+        Command::Overhead { system, duration_s } => overhead(system, duration_s),
+        Command::Sweep { app } => sweep(app),
+        Command::Powercap => powercap(),
+        Command::Variance { app, replicates } => variance(app, replicates),
+        Command::Amd => amd(),
+    }
+    ExitCode::SUCCESS
+}
+
+fn list() {
+    println!("systems:");
+    for s in [SystemId::IntelA100, SystemId::Intel4A100, SystemId::IntelMax1550] {
+        let cfg = s.node_config();
+        println!(
+            "  {:<14} {} sockets x {} cores, uncore {:.1}-{:.1} GHz, {} GPU(s)",
+            s.name(),
+            cfg.sockets,
+            cfg.cpu.cores,
+            cfg.uncore.freq_min_ghz,
+            cfg.uncore.freq_max_ghz,
+            cfg.gpus.len()
+        );
+    }
+    println!("applications:");
+    for app in AppId::all() {
+        println!("  {app}");
+    }
+}
+
+fn make_driver(system: SystemId, sel: RuntimeSel) -> Box<dyn RuntimeDriver> {
+    match sel {
+        RuntimeSel::Default => Box::new(NoopDriver),
+        RuntimeSel::Magus => Box::new(MagusDriver::with_defaults()),
+        RuntimeSel::Ups => Box::new(UpsDriver::with_defaults()),
+        RuntimeSel::Fixed(ghz) => {
+            let _ = system; // range clamping happens in the node
+            Box::new(FixedUncoreDriver::new(ghz))
+        }
+    }
+}
+
+fn run(system: SystemId, app: AppId, sel: RuntimeSel, json: bool) {
+    let mut driver = make_driver(system, sel);
+    let opts = if json {
+        TrialOpts::recorded()
+    } else {
+        TrialOpts::default()
+    };
+    let r = run_trial(system, app, driver.as_mut(), opts);
+    if json {
+        match serde_json::to_string_pretty(&r) {
+            Ok(s) => println!("{s}"),
+            Err(e) => eprintln!("serialisation failed: {e}"),
+        }
+        return;
+    }
+    println!(
+        "{} on {} under {}: runtime {:.2} s ({}), mean CPU {:.1} W, total energy {:.0} J, {} invocations (mean {:.0} ms)",
+        app,
+        system.name(),
+        r.runtime,
+        r.summary.runtime_s,
+        if r.summary.completed { "completed" } else { "TRUNCATED" },
+        r.summary.mean_cpu_w,
+        r.summary.energy.total_j(),
+        r.invocations,
+        r.mean_invocation_us / 1000.0,
+    );
+}
+
+fn compare(system: SystemId, app: AppId) {
+    let eval = evaluate_app(system, app);
+    println!(
+        "{} on {} (baseline {:.1} s, {:.1} W CPU)",
+        eval.app, system.name(), eval.baseline_runtime_s, eval.baseline_cpu_w
+    );
+    for (name, c) in [("MAGUS", eval.magus), ("UPS", eval.ups)] {
+        println!(
+            "  {name:<6} loss {:>6.2}% | CPU power saving {:>6.2}% | energy saving {:>6.2}%",
+            c.perf_loss_pct, c.power_saving_pct, c.energy_saving_pct
+        );
+    }
+}
+
+fn overhead(system: SystemId, duration_s: f64) {
+    let mut magus = MagusDriver::with_defaults();
+    let m = measure_overhead(system, &mut magus, duration_s);
+    let mut ups = UpsDriver::with_defaults();
+    let u = measure_overhead(system, &mut ups, duration_s);
+    for r in [m, u] {
+        println!(
+            "{:<16} {:<6} power overhead {:>5.2}% | invocation {:>5.2} s (idle {:.1} W -> {:.1} W)",
+            r.system, r.runtime, r.power_overhead_pct, r.invocation_s, r.idle_power_w, r.loaded_power_w
+        );
+    }
+}
+
+fn powercap() {
+    let caps = [None, Some(120.0), Some(105.0), Some(95.0), Some(85.0)];
+    for c in magus_suite::experiments::powercap::powercap_study(&caps) {
+        println!(
+            "cap {:>6} | {:<8} runtime {:>7.2} s | mean CPU {:>6.1} W | energy {:>8.0} J",
+            c.cap_w.map_or("none".into(), |w| format!("{w:.0} W")),
+            c.policy,
+            c.runtime_s,
+            c.mean_cpu_w,
+            c.energy_j
+        );
+    }
+}
+
+fn variance(app: AppId, replicates: usize) {
+    let e = magus_suite::experiments::replicate::evaluate_replicated(
+        SystemId::IntelA100,
+        app,
+        replicates,
+    );
+    println!(
+        "{} x{}: loss {:.2}±{:.2}% | power saving {:.2}±{:.2}% | energy saving {:.2}±{:.2}%",
+        e.app,
+        e.replicates,
+        e.perf_loss_pct.mean,
+        e.perf_loss_pct.std,
+        e.power_saving_pct.mean,
+        e.power_saving_pct.std,
+        e.energy_saving_pct.mean,
+        e.energy_saving_pct.std,
+    );
+}
+
+fn amd() {
+    use magus_suite::workloads::{app_trace, Platform};
+    for app in [AppId::Bfs, AppId::Srad, AppId::Unet] {
+        let (cmp, summary) =
+            magus_suite::experiments::amd::evaluate_amd(app_trace(app, Platform::IntelA100));
+        println!(
+            "{:<12} on AMD+MI210 via HSMP: loss {:>5.2}% | power saving {:>6.2}% | energy saving {:>6.2}% ({:.1} s)",
+            app.name(),
+            cmp.perf_loss_pct,
+            cmp.power_saving_pct,
+            cmp.energy_saving_pct,
+            summary.runtime_s
+        );
+    }
+}
+
+fn sweep(app: AppId) {
+    let result = fig7_sensitivity(app);
+    let frontier = pareto_frontier(&result.points);
+    println!(
+        "{}: {} configurations, {} on the Pareto frontier",
+        result.app,
+        result.points.len(),
+        frontier.len()
+    );
+    for p in &frontier {
+        println!("  {:<30} runtime {:>7.2} s  energy {:>9.0} J", p.label, p.runtime_s, p.energy_j);
+    }
+    println!(
+        "  default ({}) distance-to-frontier: {:.4}",
+        result.default_point.label,
+        distance_to_frontier(&result.default_point, &frontier)
+    );
+}

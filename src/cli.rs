@@ -1,0 +1,367 @@
+//! Command-line interface logic for the `magus` binary.
+//!
+//! Parsing is hand-rolled (the workspace's dependency policy has no CLI
+//! crate) and lives here, separated from I/O, so every command line maps
+//! to a typed [`Command`] that unit tests can assert on.
+
+use magus_experiments::harness::SystemId;
+use magus_workloads::AppId;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List available applications and systems.
+    List,
+    /// Run one application under one runtime.
+    Run {
+        /// Target system.
+        system: SystemId,
+        /// Application to run.
+        app: AppId,
+        /// Runtime selector.
+        runtime: RuntimeSel,
+        /// Emit the recorded trace as JSON to stdout.
+        json: bool,
+    },
+    /// Compare all runtimes on one application.
+    Compare {
+        /// Target system.
+        system: SystemId,
+        /// Application to run.
+        app: AppId,
+    },
+    /// Regenerate a whole figure suite (4a / 4b / 4c).
+    Suite {
+        /// Target system.
+        system: SystemId,
+    },
+    /// Measure idle overheads (Table 2 protocol) on one system.
+    Overhead {
+        /// Target system.
+        system: SystemId,
+        /// Idle duration in seconds.
+        duration_s: f64,
+    },
+    /// Threshold sensitivity sweep (Fig 7 protocol) on one application.
+    Sweep {
+        /// Application to sweep.
+        app: AppId,
+    },
+    /// Power-budget study (§6.1) under per-socket RAPL caps.
+    Powercap,
+    /// Seeded replication (the paper's ≥5-repetition protocol).
+    Variance {
+        /// Application to replicate.
+        app: AppId,
+        /// Number of replicates.
+        replicates: usize,
+    },
+    /// The §6.6 AMD/HSMP portability demonstration.
+    Amd,
+    /// Print usage.
+    Help,
+}
+
+/// Runtime selection for `run`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RuntimeSel {
+    /// The stock TDP-coupled governor only.
+    Default,
+    /// MAGUS with paper-default thresholds.
+    Magus,
+    /// The UPS baseline.
+    Ups,
+    /// Uncore pinned to a fixed frequency (GHz).
+    Fixed(f64),
+}
+
+/// Parse errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_system(s: &str) -> Result<SystemId, ParseError> {
+    match s.to_ascii_lowercase().as_str() {
+        "intel-a100" | "a100" => Ok(SystemId::IntelA100),
+        "intel-4a100" | "4a100" => Ok(SystemId::Intel4A100),
+        "intel-max1550" | "max1550" => Ok(SystemId::IntelMax1550),
+        other => Err(ParseError(format!(
+            "unknown system '{other}' (expected intel-a100, intel-4a100, intel-max1550)"
+        ))),
+    }
+}
+
+fn parse_app(s: &str) -> Result<AppId, ParseError> {
+    AppId::from_name(s)
+        .ok_or_else(|| ParseError(format!("unknown application '{s}' (see `magus list`)")))
+}
+
+fn parse_runtime(s: &str) -> Result<RuntimeSel, ParseError> {
+    let lower = s.to_ascii_lowercase();
+    match lower.as_str() {
+        "default" | "baseline" => Ok(RuntimeSel::Default),
+        "magus" => Ok(RuntimeSel::Magus),
+        "ups" => Ok(RuntimeSel::Ups),
+        _ => {
+            if let Some(ghz) = lower.strip_prefix("fixed:") {
+                let ghz: f64 = ghz
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad frequency in '{s}'")))?;
+                if !(0.1..=10.0).contains(&ghz) {
+                    return Err(ParseError(format!("frequency {ghz} GHz out of range")));
+                }
+                Ok(RuntimeSel::Fixed(ghz))
+            } else {
+                Err(ParseError(format!(
+                    "unknown runtime '{s}' (expected default, magus, ups, fixed:<ghz>)"
+                )))
+            }
+        }
+    }
+}
+
+/// Extract `--flag value` from an argument list, returning the remainder.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == switch) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let mut rest: Vec<String> = rest.to_vec();
+    let command = match cmd.as_str() {
+        "list" => Command::List,
+        "help" | "--help" | "-h" => Command::Help,
+        "run" => {
+            let system = parse_system(
+                &take_flag(&mut rest, "--system").unwrap_or_else(|| "intel-a100".into()),
+            )?;
+            let app = parse_app(
+                &take_flag(&mut rest, "--app").ok_or(ParseError("run requires --app".into()))?,
+            )?;
+            let runtime = parse_runtime(
+                &take_flag(&mut rest, "--runtime").unwrap_or_else(|| "magus".into()),
+            )?;
+            let json = take_switch(&mut rest, "--json");
+            Command::Run {
+                system,
+                app,
+                runtime,
+                json,
+            }
+        }
+        "compare" => {
+            let system = parse_system(
+                &take_flag(&mut rest, "--system").unwrap_or_else(|| "intel-a100".into()),
+            )?;
+            let app = parse_app(
+                &take_flag(&mut rest, "--app")
+                    .ok_or(ParseError("compare requires --app".into()))?,
+            )?;
+            Command::Compare { system, app }
+        }
+        "suite" => {
+            let system = parse_system(
+                &take_flag(&mut rest, "--system").unwrap_or_else(|| "intel-a100".into()),
+            )?;
+            Command::Suite { system }
+        }
+        "overhead" => {
+            let system = parse_system(
+                &take_flag(&mut rest, "--system").unwrap_or_else(|| "intel-a100".into()),
+            )?;
+            let duration_s = take_flag(&mut rest, "--duration")
+                .map(|d| d.parse::<f64>())
+                .transpose()
+                .map_err(|_| ParseError("bad --duration".into()))?
+                .unwrap_or(120.0);
+            if duration_s <= 0.0 {
+                return Err(ParseError("--duration must be positive".into()));
+            }
+            Command::Overhead { system, duration_s }
+        }
+        "sweep" => {
+            let app = parse_app(
+                &take_flag(&mut rest, "--app").ok_or(ParseError("sweep requires --app".into()))?,
+            )?;
+            Command::Sweep { app }
+        }
+        "powercap" => Command::Powercap,
+        "amd" => Command::Amd,
+        "variance" => {
+            let app = parse_app(
+                &take_flag(&mut rest, "--app")
+                    .ok_or(ParseError("variance requires --app".into()))?,
+            )?;
+            let replicates = take_flag(&mut rest, "--replicates")
+                .map(|v| v.parse::<usize>())
+                .transpose()
+                .map_err(|_| ParseError("bad --replicates".into()))?
+                .unwrap_or(5);
+            if replicates == 0 {
+                return Err(ParseError("--replicates must be positive".into()));
+            }
+            Command::Variance { app, replicates }
+        }
+        other => return Err(ParseError(format!("unknown command '{other}'"))),
+    };
+    if let Some(stray) = rest.first() {
+        return Err(ParseError(format!("unexpected argument '{stray}'")));
+    }
+    Ok(command)
+}
+
+/// Usage text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "magus — adaptive uncore frequency scaling reproduction suite
+
+USAGE:
+  magus list
+  magus run --app <name> [--system <sys>] [--runtime default|magus|ups|fixed:<ghz>] [--json]
+  magus compare --app <name> [--system <sys>]
+  magus suite [--system <sys>]
+  magus overhead [--system <sys>] [--duration <s>]
+  magus sweep --app <name>
+  magus powercap
+  magus variance --app <name> [--replicates <n>]
+  magus amd
+
+SYSTEMS: intel-a100 (default), intel-4a100, intel-max1550
+APPS:    run `magus list`"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&v(&["--help"])), Ok(Command::Help));
+    }
+
+    #[test]
+    fn run_parses_full_form() {
+        let cmd = parse(&v(&[
+            "run", "--system", "intel-max1550", "--app", "srad", "--runtime", "ups", "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                system: SystemId::IntelMax1550,
+                app: AppId::Srad,
+                runtime: RuntimeSel::Ups,
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn run_defaults_system_and_runtime() {
+        let cmd = parse(&v(&["run", "--app", "bfs"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                system: SystemId::IntelA100,
+                app: AppId::Bfs,
+                runtime: RuntimeSel::Magus,
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn fixed_runtime_parses_frequency() {
+        let cmd = parse(&v(&["run", "--app", "bfs", "--runtime", "fixed:1.4"])).unwrap();
+        match cmd {
+            Command::Run {
+                runtime: RuntimeSel::Fixed(ghz),
+                ..
+            } => assert!((ghz - 1.4).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(parse(&v(&["run"])).is_err()); // missing --app
+        assert!(parse(&v(&["run", "--app", "nope"])).is_err());
+        assert!(parse(&v(&["run", "--app", "bfs", "--runtime", "x"])).is_err());
+        assert!(parse(&v(&["run", "--app", "bfs", "--runtime", "fixed:99"])).is_err());
+        assert!(parse(&v(&["overhead", "--duration", "-3"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["run", "--app", "bfs", "stray"])).is_err());
+    }
+
+    #[test]
+    fn system_aliases() {
+        assert_eq!(parse_system("4a100").unwrap(), SystemId::Intel4A100);
+        assert_eq!(parse_system("A100").unwrap(), SystemId::IntelA100);
+        assert!(parse_system("epyc").is_err());
+    }
+
+    #[test]
+    fn variance_parses_with_default_replicates() {
+        let cmd = parse(&v(&["variance", "--app", "srad"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Variance {
+                app: AppId::Srad,
+                replicates: 5
+            }
+        );
+        assert!(parse(&v(&["variance", "--app", "srad", "--replicates", "0"])).is_err());
+        assert_eq!(parse(&v(&["powercap"])), Ok(Command::Powercap));
+        assert_eq!(parse(&v(&["amd"])), Ok(Command::Amd));
+    }
+
+    #[test]
+    fn overhead_duration_default() {
+        let cmd = parse(&v(&["overhead"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Overhead {
+                system: SystemId::IntelA100,
+                duration_s: 120.0
+            }
+        );
+    }
+
+    #[test]
+    fn usage_mentions_all_commands() {
+        let u = usage();
+        for word in ["run", "compare", "suite", "overhead", "sweep", "list", "powercap", "variance", "amd"] {
+            assert!(u.contains(word), "{word}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared-simulation plumbing for multi-threaded deployments.
+//!
+//! A real MAGUS deployment is a background daemon: the application runs
+//! untouched while the runtime samples counters and writes MSRs from its
+//! own thread (§4, "user-transparent"). This module provides the pieces to
+//! stage that deployment against the simulator: a [`SharedSim`] handle that
+//! many threads can hold, plus [`SharedThroughputProbe`] and
+//! [`SharedUncoreActuator`] implementing the monitoring/actuation traits
+//! over it — the exact interfaces a real-hardware backend would implement
+//! over PCM and `/dev/cpu/*/msr`.
+
+use std::sync::Arc;
+
+use magus_hetsim::governor::UncoreSetter;
+use magus_hetsim::Simulation;
+use magus_pcm::{SampleError, ThroughputSource};
+use magus_runtime::{ActuateError, MagusAction, UncoreActuator, UncoreLevel};
+use parking_lot::Mutex;
+
+/// A thread-shareable simulation.
+#[derive(Clone)]
+pub struct SharedSim {
+    inner: Arc<Mutex<Simulation>>,
+}
+
+impl SharedSim {
+    /// Wrap a simulation for shared access.
+    #[must_use]
+    pub fn new(sim: Simulation) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(sim)),
+        }
+    }
+
+    /// Run `f` with exclusive access to the simulation.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Simulation) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Current simulated time (µs).
+    #[must_use]
+    pub fn time_us(&self) -> u64 {
+        self.inner.lock().node().time_us()
+    }
+
+    /// Whether the loaded application has completed.
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.inner.lock().done()
+    }
+
+    /// Advance one simulation tick.
+    pub fn step(&self) {
+        self.inner.lock().step();
+    }
+
+    /// A throughput probe over this simulation.
+    #[must_use]
+    pub fn throughput_probe(&self) -> SharedThroughputProbe {
+        SharedThroughputProbe { sim: self.clone() }
+    }
+
+    /// An uncore actuator over this simulation.
+    #[must_use]
+    pub fn uncore_actuator(&self) -> SharedUncoreActuator {
+        let (min, max) = self.with(|sim| {
+            let u = &sim.node().config().uncore;
+            (u.freq_min_ghz, u.freq_max_ghz)
+        });
+        SharedUncoreActuator {
+            sim: self.clone(),
+            setter: UncoreSetter::new(),
+            min_ghz: min,
+            max_ghz: max,
+        }
+    }
+}
+
+/// [`ThroughputSource`] over a [`SharedSim`].
+pub struct SharedThroughputProbe {
+    sim: SharedSim,
+}
+
+impl ThroughputSource for SharedThroughputProbe {
+    fn sample_mbs(&mut self) -> Result<f64, SampleError> {
+        Ok(self
+            .sim
+            .with(|sim| magus_pcm::gbs_to_mbs(sim.node_mut().pcm_read_gbs())))
+    }
+
+    fn window_us(&self) -> u64 {
+        self.sim.with(|sim| sim.node().config().pcm_window_us)
+    }
+}
+
+/// [`UncoreActuator`] over a [`SharedSim`], deduplicating MSR writes.
+pub struct SharedUncoreActuator {
+    sim: SharedSim,
+    setter: UncoreSetter,
+    min_ghz: f64,
+    max_ghz: f64,
+}
+
+impl UncoreActuator for SharedUncoreActuator {
+    fn range_ghz(&self) -> (f64, f64) {
+        (self.min_ghz, self.max_ghz)
+    }
+
+    fn apply(&mut self, action: MagusAction) -> Result<(), ActuateError> {
+        let target = match action.target() {
+            Some(UncoreLevel::Upper) => self.max_ghz,
+            Some(UncoreLevel::Lower) => self.min_ghz,
+            None => return Ok(()),
+        };
+        self.sim
+            .with(|sim| self.setter.set_max(sim.node_mut(), target))
+            .map_err(ActuateError::Msr)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_hetsim::{Node, NodeConfig};
+    use magus_runtime::{MagusConfig, MagusDaemon};
+    use magus_workloads::{app_trace, AppId, Platform};
+
+    fn shared() -> SharedSim {
+        let mut sim = Simulation::new(Node::new(NodeConfig::intel_a100()));
+        sim.load(app_trace(AppId::Bfs, Platform::IntelA100));
+        SharedSim::new(sim)
+    }
+
+    #[test]
+    fn probe_and_actuator_work_through_shared_handle() {
+        let shared = shared();
+        for _ in 0..50 {
+            shared.step();
+        }
+        let mut probe = shared.throughput_probe();
+        assert!(probe.sample_mbs().unwrap() >= 0.0);
+        assert_eq!(probe.window_us(), 100_000);
+
+        let mut act = shared.uncore_actuator();
+        assert_eq!(act.range_ghz(), (0.8, 2.2));
+        act.apply(MagusAction::SetLower).unwrap();
+        for _ in 0..100 {
+            shared.step();
+        }
+        shared.with(|sim| {
+            assert!((sim.node().sockets()[0].uncore.freq_ghz() - 0.8).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn daemon_runs_over_shared_sim() {
+        let shared = shared();
+        let mut daemon = MagusDaemon::attach(
+            MagusConfig::default(),
+            shared.throughput_probe(),
+            shared.uncore_actuator(),
+        )
+        .unwrap();
+        // Interleave app progress and daemon cycles.
+        for _ in 0..40 {
+            for _ in 0..30 {
+                shared.step();
+            }
+            daemon.run_cycle().unwrap();
+        }
+        assert!(daemon.core().cycles() == 40);
+        assert!(daemon.telemetry().raised + daemon.telemetry().lowered > 0);
+    }
+
+    #[test]
+    fn shared_handles_are_cloneable_across_threads() {
+        let shared = shared();
+        let clone = shared.clone();
+        let handle = std::thread::spawn(move || {
+            for _ in 0..100 {
+                clone.step();
+            }
+            clone.time_us()
+        });
+        let t = handle.join().unwrap();
+        assert_eq!(t, 1_000_000);
+        assert_eq!(shared.time_us(), 1_000_000);
+    }
+}
