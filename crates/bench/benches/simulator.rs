@@ -94,5 +94,10 @@ fn bench_trials(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_node_step, bench_workload_generation, bench_trials);
+criterion_group!(
+    benches,
+    bench_node_step,
+    bench_workload_generation,
+    bench_trials
+);
 criterion_main!(benches);

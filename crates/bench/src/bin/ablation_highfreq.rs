@@ -4,11 +4,13 @@
 //! intervals, paying repeated reaction lags — the §3.2 design argument.
 
 use magus_experiments::figures::ablation_high_freq;
+use magus_experiments::Engine;
 use magus_workloads::AppId;
 
 fn main() {
+    let engine = Engine::from_env();
     for app in [AppId::Srad, AppId::Unet] {
-        let a = ablation_high_freq(app);
+        let a = ablation_high_freq(&engine, app);
         println!("== high-frequency-lock ablation: {app} ==");
         println!(
             "with lock:    loss {:>5.2}% | power saving {:>6.2}% | energy saving {:>6.2}%",
@@ -22,4 +24,5 @@ fn main() {
         );
         println!();
     }
+    engine.finish("ablation_highfreq");
 }

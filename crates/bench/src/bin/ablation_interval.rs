@@ -4,13 +4,15 @@
 //! throughput transitions and cost performance.
 
 use magus_experiments::figures::ablation_interval;
+use magus_experiments::Engine;
 use magus_workloads::AppId;
 
 fn main() {
+    let engine = Engine::from_env();
     let intervals = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6];
     for app in [AppId::Unet, AppId::Srad] {
         println!("== monitoring-interval ablation: {app} ==");
-        for (interval, c) in ablation_interval(app, &intervals) {
+        for (interval, c) in ablation_interval(&engine, app, &intervals) {
             println!(
                 "interval {interval:>5.2} s: loss {:>5.2}% | power saving {:>6.2}% | energy saving {:>6.2}%",
                 c.perf_loss_pct, c.power_saving_pct, c.energy_saving_pct
@@ -18,4 +20,5 @@ fn main() {
         }
         println!();
     }
+    engine.finish("ablation_interval");
 }

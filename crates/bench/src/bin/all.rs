@@ -4,20 +4,28 @@
 //! ```sh
 //! cargo run --release -p magus-bench --bin all
 //! ```
+//!
+//! Every trial goes through one shared [`Engine`], so the full sweep is
+//! scheduled in parallel and a warm cache makes reruns near-instant.
 
 use magus_experiments::figures::{
     fig2_unet_extremes, fig4, srad_stats, table1_jaccard, table2_overheads,
 };
-use magus_experiments::SystemId;
+use magus_experiments::{Engine, SystemId};
 
 fn flag(ok: bool) -> &'static str {
-    if ok { "ok" } else { "DEVIATES" }
+    if ok {
+        "ok"
+    } else {
+        "DEVIATES"
+    }
 }
 
 fn main() {
+    let engine = Engine::from_env();
     println!("== MAGUS reproduction: full evaluation summary ==\n");
 
-    let f2 = fig2_unet_extremes();
+    let f2 = fig2_unet_extremes(&engine);
     let drop = f2.pkg_power_drop_w();
     let stretch = f2.runtime_increase_pct();
     println!(
@@ -38,13 +46,18 @@ fn main() {
         ("Fig 4b", SystemId::IntelMax1550, 4.0, -0.1),
         ("Fig 4c", SystemId::Intel4A100, 9.0, -2.5),
     ] {
-        let rows = fig4(system);
-        let max_loss = rows.iter().map(|r| r.magus.perf_loss_pct).fold(f64::NEG_INFINITY, f64::max);
+        let rows = fig4(&engine, system);
+        let max_loss = rows
+            .iter()
+            .map(|r| r.magus.perf_loss_pct)
+            .fold(f64::NEG_INFINITY, f64::max);
         let max_save = rows
             .iter()
             .map(|r| r.magus.energy_saving_pct)
             .fold(f64::NEG_INFINITY, f64::max);
-        let all_positive = rows.iter().all(|r| r.magus.energy_saving_pct > energy_floor);
+        let all_positive = rows
+            .iter()
+            .all(|r| r.magus.energy_saving_pct > energy_floor);
         let beats_ups = rows
             .iter()
             .filter(|r| r.magus.energy_saving_pct >= r.ups.energy_saving_pct)
@@ -61,7 +74,7 @@ fn main() {
         );
     }
 
-    let s = srad_stats();
+    let s = srad_stats(&engine);
     println!(
         "Fig 6   SRAD: MAGUS {:.1}%/-{:.1}%/{:.1}% vs UPS {:.1}%/-{:.1}%/{:.1}% (loss/power/energy), MAGUS wins energy [{}]",
         s.magus.perf_loss_pct,
@@ -73,9 +86,12 @@ fn main() {
         flag(s.magus.energy_saving_pct > s.ups.energy_saving_pct)
     );
 
-    let jaccard = table1_jaccard();
+    let jaccard = table1_jaccard(&engine);
     let min = jaccard.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
-    let max = jaccard.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
+    let max = jaccard
+        .iter()
+        .map(|r| r.1)
+        .fold(f64::NEG_INFINITY, f64::max);
     let lowest = jaccard
         .iter()
         .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -86,7 +102,7 @@ fn main() {
         flag(lowest == "fdtd2d")
     );
 
-    let t2 = table2_overheads(120.0);
+    let t2 = table2_overheads(&engine, 120.0);
     for r in &t2 {
         println!(
             "Table 2 {} {}: {:.2}% power, {:.2} s/invocation",
@@ -105,4 +121,5 @@ fn main() {
         "Table 2 MAGUS ~1% vs UPS 5-8% [{}]",
         flag(magus_cheap && ups_costly)
     );
+    engine.finish("all");
 }

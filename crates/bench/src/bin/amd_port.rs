@@ -5,17 +5,25 @@
 //! path differs. This is the paper's Discussion section, implemented.
 
 use magus_experiments::amd::evaluate_amd;
-use magus_workloads::{app_trace, AppId, Platform};
+use magus_experiments::Engine;
+use magus_workloads::AppId;
 
 fn main() {
+    let engine = Engine::from_env();
     println!("== MAGUS on AMD+MI210 via HSMP (paper §6.6) ==");
     println!(
         "{:<22} {:>8} {:>10} {:>10}",
         "app", "loss%", "pwr-sv%", "en-sv%"
     );
-    for app in [AppId::Bfs, AppId::Gemm, AppId::Cfd, AppId::Srad, AppId::Unet, AppId::Gromacs] {
-        let trace = app_trace(app, Platform::IntelA100);
-        let (cmp, summary) = evaluate_amd(trace);
+    for app in [
+        AppId::Bfs,
+        AppId::Gemm,
+        AppId::Cfd,
+        AppId::Srad,
+        AppId::Unet,
+        AppId::Gromacs,
+    ] {
+        let (cmp, summary) = evaluate_amd(&engine, app);
         println!(
             "{:<22} {:>8.2} {:>10.2} {:>10.2}   ({:.1} s)",
             app.name(),
@@ -27,4 +35,5 @@ fn main() {
     }
     println!("\nfabric P-states: P0..P3 = 1.6 / 1.333 / 1.067 / 0.8 GHz (discrete);");
     println!("MAGUS's two-level control maps exactly onto P0 and the deepest P-state.");
+    engine.finish("amd_port");
 }

@@ -1,26 +1,39 @@
 //! Diagnostic: where do baseline and MAGUS burst intervals disagree?
-use magus_experiments::drivers::{MagusDriver, NoopDriver};
-use magus_experiments::harness::{run_trial, SystemId, TrialOpts};
 use magus_experiments::metrics::default_burst_threshold;
+use magus_experiments::{Engine, GovernorSpec, SystemId, TrialSpec};
 use magus_workloads::AppId;
 
 fn main() {
     let app = AppId::from_name(&std::env::args().nth(1).unwrap_or_else(|| "bfs".into())).unwrap();
-    let mut base_d = NoopDriver;
-    let base = run_trial(SystemId::IntelA100, app, &mut base_d, TrialOpts::recorded());
-    let mut magus_d = MagusDriver::with_defaults();
-    let magus = run_trial(SystemId::IntelA100, app, &mut magus_d, TrialOpts::recorded());
+    let engine = Engine::from_env();
+    let outs = engine.run_suite(&[
+        TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::Default).recorded(),
+        TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::magus_default()).recorded(),
+    ]);
+    let base = &outs[0].result;
+    let magus = &outs[1].result;
     let thr = default_burst_threshold(&base.samples);
-    println!("threshold = {thr:.1} GB/s, base peak = {:.1}", base.samples.iter().map(|s| s.mem_gbs).fold(0.0, f64::max));
-    println!("base len {} magus len {}", base.samples.len(), magus.samples.len());
+    println!(
+        "threshold = {thr:.1} GB/s, base peak = {:.1}",
+        base.samples.iter().map(|s| s.mem_gbs).fold(0.0, f64::max)
+    );
+    println!(
+        "base len {} magus len {}",
+        base.samples.len(),
+        magus.samples.len()
+    );
     // Print burst intervals in progress domain for each.
     for (name, samples) in [("base", &base.samples), ("magus", &magus.samples)] {
         let mut intervals = vec![];
         let mut start: Option<f64> = None;
         for s in samples.iter() {
-            if s.mem_gbs > thr && start.is_none() { start = Some(s.progress_s); }
+            if s.mem_gbs > thr && start.is_none() {
+                start = Some(s.progress_s);
+            }
             if s.mem_gbs <= thr {
-                if let Some(st) = start.take() { intervals.push((st, s.progress_s)); }
+                if let Some(st) = start.take() {
+                    intervals.push((st, s.progress_s));
+                }
             }
         }
         println!("{name}: {} bursts:", intervals.len());
@@ -29,4 +42,5 @@ fn main() {
         }
         println!();
     }
+    engine.finish("debug_jaccard");
 }

@@ -1,4 +1,8 @@
 //! Diagnostic: decision telemetry for one MAGUS run (not a paper figure).
+//!
+//! This binary deliberately bypasses the trial engine: it needs the
+//! driver's in-memory decision log, which the engine (whose outcomes are
+//! cache-serialisable) does not retain.
 use magus_experiments::drivers::MagusDriver;
 use magus_experiments::harness::{run_trial, SystemId, TrialOpts};
 use magus_workloads::AppId;

@@ -13,8 +13,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use magus_experiments::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, UpsDriver};
-use magus_experiments::harness::{run_trial, SystemId, TrialOpts};
+use magus_experiments::{Engine, GovernorSpec, SystemId, TrialSpec};
 use magus_workloads::AppId;
 
 fn main() {
@@ -26,43 +25,44 @@ fn main() {
     let out_dir = PathBuf::from(args.next().unwrap_or_else(|| "results/traces".into()));
     fs::create_dir_all(&out_dir).expect("create output directory");
 
+    let engine = Engine::from_env();
     let system = SystemId::IntelA100;
-    let opts = TrialOpts::recorded();
     let cfg = system.node_config();
 
-    let runs: Vec<(&str, magus_experiments::TrialResult)> = vec![
-        ("baseline", {
-            let mut d = NoopDriver;
-            run_trial(system, app, &mut d, opts)
-        }),
-        ("fixed_max", {
-            let mut d = FixedUncoreDriver::new(cfg.uncore.freq_max_ghz);
-            run_trial(system, app, &mut d, opts)
-        }),
-        ("fixed_min", {
-            let mut d = FixedUncoreDriver::new(cfg.uncore.freq_min_ghz);
-            run_trial(system, app, &mut d, opts)
-        }),
-        ("magus", {
-            let mut d = MagusDriver::with_defaults();
-            run_trial(system, app, &mut d, opts)
-        }),
-        ("ups", {
-            let mut d = UpsDriver::with_defaults();
-            run_trial(system, app, &mut d, opts)
-        }),
+    let policies = [
+        ("baseline", GovernorSpec::Default),
+        (
+            "fixed_max",
+            GovernorSpec::Fixed {
+                ghz: cfg.uncore.freq_max_ghz,
+            },
+        ),
+        (
+            "fixed_min",
+            GovernorSpec::Fixed {
+                ghz: cfg.uncore.freq_min_ghz,
+            },
+        ),
+        ("magus", GovernorSpec::magus_default()),
+        ("ups", GovernorSpec::ups_default()),
     ];
+    let specs: Vec<TrialSpec> = policies
+        .iter()
+        .map(|(_, g)| TrialSpec::new(system, app, g.clone()).recorded())
+        .collect();
+    let outs = engine.run_suite(&specs);
 
-    for (name, result) in runs {
+    for ((name, _), out) in policies.iter().zip(&outs) {
         let path = out_dir.join(format!("{}_{}.json", app.name(), name));
-        let json = serde_json::to_string_pretty(&result).expect("serialise");
+        let json = serde_json::to_string_pretty(&out.result).expect("serialise");
         fs::write(&path, json).expect("write trace");
         println!(
             "{}: {} samples, runtime {:.2} s -> {}",
             name,
-            result.samples.len(),
-            result.summary.runtime_s,
+            out.result.samples.len(),
+            out.result.summary.runtime_s,
             path.display()
         );
     }
+    engine.finish("export_traces");
 }

@@ -6,9 +6,11 @@
 
 use magus_experiments::figures::fig1_unet_profile;
 use magus_experiments::report::render_series;
+use magus_experiments::Engine;
 
 fn main() {
-    let r = fig1_unet_profile();
+    let engine = Engine::from_env();
+    let r = fig1_unet_profile(&engine);
     println!("== Fig 1: UNet under the stock governor (Intel+A100) ==");
     println!(
         "runtime {:.1} s | mean pkg {:.1} W (TDP budget {:.0} W per socket)",
@@ -18,22 +20,39 @@ fn main() {
     );
     print!(
         "{}",
-        render_series("(a) CPU core frequency", &r.samples, |s| s.core_freq_ghz, "GHz", 25)
+        render_series(
+            "(a) CPU core frequency",
+            &r.samples,
+            |s| s.core_freq_ghz,
+            "GHz",
+            25
+        )
     );
     print!(
         "{}",
-        render_series("(b) GPU SM clock", &r.samples, |s| s.gpu_clock_mhz, "MHz", 25)
+        render_series(
+            "(b) GPU SM clock",
+            &r.samples,
+            |s| s.gpu_clock_mhz,
+            "MHz",
+            25
+        )
     );
     print!(
         "{}",
-        render_series("(c) uncore frequency", &r.samples, |s| s.uncore_ghz, "GHz", 25)
+        render_series(
+            "(c) uncore frequency",
+            &r.samples,
+            |s| s.uncore_ghz,
+            "GHz",
+            25
+        )
     );
     let min_uncore = r
         .samples
         .iter()
         .map(|s| s.uncore_ghz)
         .fold(f64::INFINITY, f64::min);
-    println!(
-        "uncore stayed at maximum: min observed = {min_uncore:.2} GHz (hardware max 2.2 GHz)"
-    );
+    println!("uncore stayed at maximum: min observed = {min_uncore:.2} GHz (hardware max 2.2 GHz)");
+    engine.finish("fig1");
 }

@@ -5,9 +5,11 @@
 
 use magus_experiments::figures::fig2_unet_extremes;
 use magus_experiments::report::render_series;
+use magus_experiments::Engine;
 
 fn main() {
-    let data = fig2_unet_extremes();
+    let engine = Engine::from_env();
+    let data = fig2_unet_extremes(&engine);
     let max = &data.max_uncore;
     let min = &data.min_uncore;
 
@@ -34,10 +36,23 @@ fn main() {
     println!();
     print!(
         "{}",
-        render_series("CPU pkg power, max uncore", &max.samples, |s| s.pkg_w, "W", 30)
+        render_series(
+            "CPU pkg power, max uncore",
+            &max.samples,
+            |s| s.pkg_w,
+            "W",
+            30
+        )
     );
     print!(
         "{}",
-        render_series("CPU pkg power, min uncore", &min.samples, |s| s.pkg_w, "W", 30)
+        render_series(
+            "CPU pkg power, min uncore",
+            &min.samples,
+            |s| s.pkg_w,
+            "W",
+            30
+        )
     );
+    engine.finish("fig2");
 }

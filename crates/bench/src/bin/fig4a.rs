@@ -6,12 +6,20 @@
 
 use magus_experiments::figures::fig4;
 use magus_experiments::report::render_fig4_table;
-use magus_experiments::SystemId;
+use magus_experiments::{Engine, SystemId};
 
 fn main() {
-    let rows = fig4(SystemId::IntelA100);
+    let engine = Engine::from_env();
+    let rows = fig4(&engine, SystemId::IntelA100);
     print!("{}", render_fig4_table("Fig 4a: Intel+A100", &rows));
-    let max_energy = rows.iter().map(|r| r.magus.energy_saving_pct).fold(f64::NEG_INFINITY, f64::max);
-    let max_loss = rows.iter().map(|r| r.magus.perf_loss_pct).fold(f64::NEG_INFINITY, f64::max);
+    let max_energy = rows
+        .iter()
+        .map(|r| r.magus.energy_saving_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let max_loss = rows
+        .iter()
+        .map(|r| r.magus.perf_loss_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
     println!("\nMAGUS: max energy saving {max_energy:.1}% (paper: up to 27%), max perf loss {max_loss:.1}% (paper: <5%)");
+    engine.finish("fig4a");
 }

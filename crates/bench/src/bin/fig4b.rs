@@ -6,12 +6,20 @@
 
 use magus_experiments::figures::fig4;
 use magus_experiments::report::render_fig4_table;
-use magus_experiments::SystemId;
+use magus_experiments::{Engine, SystemId};
 
 fn main() {
-    let rows = fig4(SystemId::IntelMax1550);
+    let engine = Engine::from_env();
+    let rows = fig4(&engine, SystemId::IntelMax1550);
     print!("{}", render_fig4_table("Fig 4b: Intel+Max1550", &rows));
-    let magus_min = rows.iter().map(|r| r.magus.energy_saving_pct).fold(f64::INFINITY, f64::min);
-    let ups_min = rows.iter().map(|r| r.ups.energy_saving_pct).fold(f64::INFINITY, f64::min);
+    let magus_min = rows
+        .iter()
+        .map(|r| r.magus.energy_saving_pct)
+        .fold(f64::INFINITY, f64::min);
+    let ups_min = rows
+        .iter()
+        .map(|r| r.ups.energy_saving_pct)
+        .fold(f64::INFINITY, f64::min);
     println!("\nminimum energy saving: MAGUS {magus_min:.1}% (paper: positive everywhere), UPS {ups_min:.1}% (paper: negative for some apps)");
+    engine.finish("fig4b");
 }

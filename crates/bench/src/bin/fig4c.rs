@@ -6,10 +6,12 @@
 
 use magus_experiments::figures::fig4;
 use magus_experiments::report::render_fig4_table;
-use magus_experiments::SystemId;
+use magus_experiments::{Engine, SystemId};
 
 fn main() {
-    let rows = fig4(SystemId::Intel4A100);
+    let engine = Engine::from_env();
+    let rows = fig4(&engine, SystemId::Intel4A100);
     print!("{}", render_fig4_table("Fig 4c: Intel+4A100", &rows));
     println!("\nidle power of 4x A100-80GB ~= 200 W: energy savings attenuate relative to Fig 4a.");
+    engine.finish("fig4c");
 }

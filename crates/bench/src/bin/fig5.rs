@@ -7,9 +7,11 @@
 
 use magus_experiments::figures::fig5_srad_case_study;
 use magus_experiments::report::render_series;
+use magus_experiments::Engine;
 
 fn main() {
-    let data = fig5_srad_case_study();
+    let engine = Engine::from_env();
+    let data = fig5_srad_case_study(&engine);
     for (label, run) in [
         ("max uncore (2.2 GHz)", &data.max_uncore),
         ("min uncore (0.8 GHz)", &data.min_uncore),
@@ -32,4 +34,5 @@ fn main() {
             run.samples.iter().map(|s| s.mem_gbs).fold(0.0, f64::max)
         );
     }
+    engine.finish("fig5");
 }

@@ -8,22 +8,42 @@
 
 use magus_experiments::figures::{fig5_srad_case_study, srad_stats};
 use magus_experiments::report::render_series;
+use magus_experiments::Engine;
 
 fn main() {
-    let data = fig5_srad_case_study();
+    let engine = Engine::from_env();
+    let data = fig5_srad_case_study(&engine);
     print!(
         "{}",
-        render_series("uncore freq, baseline (max)", &data.max_uncore.samples, |s| s.uncore_ghz, "GHz", 40)
+        render_series(
+            "uncore freq, baseline (max)",
+            &data.max_uncore.samples,
+            |s| s.uncore_ghz,
+            "GHz",
+            40
+        )
     );
     print!(
         "{}",
-        render_series("uncore freq, UPS", &data.ups.samples, |s| s.uncore_ghz, "GHz", 40)
+        render_series(
+            "uncore freq, UPS",
+            &data.ups.samples,
+            |s| s.uncore_ghz,
+            "GHz",
+            40
+        )
     );
     print!(
         "{}",
-        render_series("uncore freq, MAGUS", &data.magus.samples, |s| s.uncore_ghz, "GHz", 40)
+        render_series(
+            "uncore freq, MAGUS",
+            &data.magus.samples,
+            |s| s.uncore_ghz,
+            "GHz",
+            40
+        )
     );
-    let stats = srad_stats();
+    let stats = srad_stats(&engine);
     println!("== §6.2 SRAD case study ==");
     println!(
         "MAGUS: CPU power -{:.1}% | slowdown {:.1}% | energy saving {:.2}%  (paper: -14%, 3%, 8.68%)",
@@ -37,4 +57,5 @@ fn main() {
         "MAGUS high-frequency lock engaged on {:.0}% of decision cycles",
         stats.magus_high_freq_fraction * 100.0
     );
+    engine.finish("fig6");
 }

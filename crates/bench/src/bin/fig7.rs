@@ -7,17 +7,30 @@
 
 use magus_experiments::figures::fig7_sensitivity;
 use magus_experiments::pareto::{distance_to_frontier, pareto_frontier};
+use magus_experiments::Engine;
 use magus_workloads::AppId;
 
 fn main() {
+    let engine = Engine::from_env();
     for app in [AppId::Srad, AppId::Unet] {
-        let sweep = fig7_sensitivity(app);
+        let sweep = fig7_sensitivity(&engine, app);
         let frontier = pareto_frontier(&sweep.points);
-        println!("== Fig 7: {} — {} configs, {} on frontier ==", sweep.app, sweep.points.len(), frontier.len());
+        println!(
+            "== Fig 7: {} — {} configs, {} on frontier ==",
+            sweep.app,
+            sweep.points.len(),
+            frontier.len()
+        );
         for p in &frontier {
-            println!("  frontier: {:<28} runtime {:>7.2} s  energy {:>9.0} J", p.label, p.runtime_s, p.energy_j);
+            println!(
+                "  frontier: {:<28} runtime {:>7.2} s  energy {:>9.0} J",
+                p.label, p.runtime_s, p.energy_j
+            );
         }
-        for (name, point) in [("default", &sweep.default_point), ("common", &sweep.common_point)] {
+        for (name, point) in [
+            ("default", &sweep.default_point),
+            ("common", &sweep.common_point),
+        ] {
             println!(
                 "  {name:<8} {:<28} runtime {:>7.2} s  energy {:>9.0} J  distance-to-frontier {:.4}",
                 point.label,
@@ -28,4 +41,5 @@ fn main() {
         }
         println!();
     }
+    engine.finish("fig7");
 }

@@ -5,10 +5,12 @@
 //! throttling; MAGUS's uncore savings buy the cores headroom.
 
 use magus_experiments::powercap::powercap_study;
+use magus_experiments::Engine;
 
 fn main() {
+    let engine = Engine::from_env();
     let caps = [None, Some(120.0), Some(105.0), Some(95.0), Some(85.0)];
-    let mut cells = powercap_study(&caps);
+    let mut cells = powercap_study(&engine, &caps);
     cells.sort_by(|a, b| {
         b.cap_w
             .unwrap_or(f64::INFINITY)
@@ -32,4 +34,5 @@ fn main() {
     }
     println!("\nunder tight caps the stock governor throttles the cores to pay for");
     println!("its pinned-max uncore; MAGUS converts uncore waste into core headroom.");
+    engine.finish("powercap_study");
 }

@@ -7,12 +7,22 @@
 
 use magus_experiments::figures::table1_jaccard;
 use magus_experiments::report::render_pairs;
+use magus_experiments::Engine;
 
 fn main() {
-    let mut rows = table1_jaccard();
+    let engine = Engine::from_env();
+    let mut rows = table1_jaccard(&engine);
     rows.sort_by(|a, b| a.0.cmp(&b.0));
-    print!("{}", render_pairs("Table 1: Jaccard similarity for memory throughput trend", &rows, "raw"));
+    print!(
+        "{}",
+        render_pairs(
+            "Table 1: Jaccard similarity for memory throughput trend",
+            &rows,
+            "raw"
+        )
+    );
     let min = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
     let max = rows.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
     println!("\nrange: {min:.2} .. {max:.2} (paper: 0.40 .. 0.99)");
+    engine.finish("table1");
 }

@@ -5,10 +5,13 @@
 
 use magus_experiments::figures::table2_overheads;
 use magus_experiments::report::render_table2;
+use magus_experiments::Engine;
 
 fn main() {
+    let engine = Engine::from_env();
     // The paper idles for 10 minutes; 120 s of simulated time gives the
     // same converged means.
-    let rows = table2_overheads(120.0);
+    let rows = table2_overheads(&engine, 120.0);
     print!("{}", render_table2(&rows));
+    engine.finish("table2");
 }

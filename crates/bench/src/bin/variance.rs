@@ -5,17 +5,25 @@
 //! single-run figures elsewhere in the suite are representative.
 
 use magus_experiments::replicate::evaluate_replicated;
-use magus_experiments::SystemId;
+use magus_experiments::{Engine, SystemId};
 use magus_workloads::AppId;
 
 fn main() {
+    let engine = Engine::from_env();
     println!("== seeded replication (5 runs per app, MAGUS vs baseline, Intel+A100) ==");
     println!(
         "{:<22} {:>16} {:>18} {:>18}",
         "app", "loss% (μ±σ)", "pwr-sv% (μ±σ)", "en-sv% (μ±σ)"
     );
-    for app in [AppId::Bfs, AppId::Gemm, AppId::Cfd, AppId::Srad, AppId::Unet, AppId::Lammps] {
-        let e = evaluate_replicated(SystemId::IntelA100, app, 5);
+    for app in [
+        AppId::Bfs,
+        AppId::Gemm,
+        AppId::Cfd,
+        AppId::Srad,
+        AppId::Unet,
+        AppId::Lammps,
+    ] {
+        let e = evaluate_replicated(&engine, SystemId::IntelA100, app, 5);
         println!(
             "{:<22} {:>9.2}±{:<6.2} {:>11.2}±{:<6.2} {:>11.2}±{:<6.2}",
             e.app,
@@ -27,4 +35,5 @@ fn main() {
             e.energy_saving_pct.std,
         );
     }
+    engine.finish("variance");
 }

@@ -102,23 +102,27 @@ impl RuntimeDriver for HsmpMagusDriver {
     fn set_monitor_only(&mut self, on: bool) {
         self.monitor_only = on;
     }
+
+    fn high_freq_fraction(&self) -> Option<f64> {
+        Some(self.core.telemetry().high_freq_fraction())
+    }
 }
 
 /// Convenience: evaluate MAGUS-over-HSMP against the stock baseline on the
-/// AMD preset for one application trace.
+/// AMD preset for one application.
 pub fn evaluate_amd(
-    trace: magus_hetsim::AppTrace,
+    engine: &crate::engine::Engine,
+    app: magus_workloads::AppId,
 ) -> (crate::metrics::Comparison, magus_hetsim::RunSummary) {
-    use crate::drivers::NoopDriver;
-    use crate::harness::{run_custom_trial, TrialOpts};
-    let cfg = magus_hsmp::amd_epyc_mi210();
-    let mut base_d = NoopDriver;
-    let base = run_custom_trial(cfg.clone(), trace.clone(), &mut base_d, TrialOpts::default());
-    let mut magus_d = HsmpMagusDriver::with_defaults();
-    let run = run_custom_trial(cfg, trace, &mut magus_d, TrialOpts::default());
+    use crate::engine::{GovernorSpec, TrialSpec};
+    let outs = engine.run_suite(&[
+        TrialSpec::amd(app, GovernorSpec::Default),
+        TrialSpec::amd(app, GovernorSpec::magus_hsmp_default()),
+    ]);
+    let [base, run] = <[_; 2]>::try_from(outs).expect("two outcomes");
     (
-        crate::metrics::Comparison::against(&base.summary, &run.summary),
-        run.summary,
+        crate::metrics::Comparison::against(&base.result.summary, &run.result.summary),
+        run.result.summary,
     )
 }
 
@@ -136,17 +140,26 @@ mod tests {
 
     #[test]
     fn magus_over_hsmp_saves_energy_with_bounded_loss() {
-        let (cmp, summary) = evaluate_amd(amd_trace(AppId::Bfs));
+        let (cmp, summary) = evaluate_amd(&crate::engine::Engine::ephemeral(), AppId::Bfs);
         assert!(summary.completed);
         assert!(cmp.perf_loss_pct < 5.0, "loss {}", cmp.perf_loss_pct);
-        assert!(cmp.energy_saving_pct > 3.0, "saving {}", cmp.energy_saving_pct);
+        assert!(
+            cmp.energy_saving_pct > 3.0,
+            "saving {}",
+            cmp.energy_saving_pct
+        );
     }
 
     #[test]
     fn driver_actuates_discrete_pstates_only() {
         let cfg = magus_hsmp::amd_epyc_mi210();
         let mut driver = HsmpMagusDriver::with_defaults();
-        let r = run_custom_trial(cfg, amd_trace(AppId::Cfd), &mut driver, TrialOpts::recorded());
+        let r = run_custom_trial(
+            cfg,
+            amd_trace(AppId::Cfd),
+            &mut driver,
+            TrialOpts::recorded(),
+        );
         assert!(r.summary.completed);
         let table = FabricPstateTable::epyc_default();
         // Sampled fabric clocks settle only on table points (transitions
@@ -154,7 +167,12 @@ mod tests {
         let settled = r
             .samples
             .iter()
-            .filter(|s| table.fclk_ghz.iter().any(|&f| (s.uncore_ghz - f).abs() < 1e-6))
+            .filter(|s| {
+                table
+                    .fclk_ghz
+                    .iter()
+                    .any(|&f| (s.uncore_ghz - f).abs() < 1e-6)
+            })
             .count();
         assert!(
             settled * 10 >= r.samples.len() * 7,
@@ -168,9 +186,21 @@ mod tests {
         let cfg = magus_hsmp::amd_epyc_mi210();
         let mut driver = HsmpMagusDriver::with_defaults();
         driver.set_monitor_only(true);
-        let r = run_custom_trial(cfg, amd_trace(AppId::Bfs), &mut driver, TrialOpts::recorded());
-        let min = r.samples.iter().map(|s| s.uncore_ghz).fold(f64::INFINITY, f64::min);
-        assert!((min - 1.6).abs() < 1e-6, "fabric moved in monitor-only: {min}");
+        let r = run_custom_trial(
+            cfg,
+            amd_trace(AppId::Bfs),
+            &mut driver,
+            TrialOpts::recorded(),
+        );
+        let min = r
+            .samples
+            .iter()
+            .map(|s| s.uncore_ghz)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (min - 1.6).abs() < 1e-6,
+            "fabric moved in monitor-only: {min}"
+        );
     }
 
     #[test]

@@ -34,14 +34,18 @@ pub trait RuntimeDriver {
     /// "hardware counter monitoring and phase detection, while excluding
     /// uncore scaling" (§6.5). Default: ignored.
     fn set_monitor_only(&mut self, _on: bool) {}
+
+    /// Fraction of post-warm-up decision cycles spent in the
+    /// high-frequency locked state (§6.2), for runtimes that track it.
+    /// `None` for runtimes without an Algorithm 2 detector.
+    fn high_freq_fraction(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Measure an invocation's latency from the cost ledger: the latency of
 /// every monitoring access charged during `f`.
-fn with_invocation_latency(
-    sim: &mut Simulation,
-    f: impl FnOnce(&mut Simulation),
-) -> u64 {
+fn with_invocation_latency(sim: &mut Simulation, f: impl FnOnce(&mut Simulation)) -> u64 {
     // Drain whatever cost is pending so we only see this invocation's.
     let _ = sim.node_mut().ledger_mut().drain();
     f(sim);
@@ -197,6 +201,10 @@ impl RuntimeDriver for MagusDriver {
     fn set_monitor_only(&mut self, on: bool) {
         self.monitor_only = on;
     }
+
+    fn high_freq_fraction(&self) -> Option<f64> {
+        Some(self.core.telemetry().high_freq_fraction())
+    }
 }
 
 /// UPS bound to the simulated node.
@@ -345,10 +353,7 @@ mod tests {
         }
         let latency = d.on_decision(&mut s);
         // 160 core reads at 1.8 ms each ≈ 288 ms, plus package reads.
-        assert!(
-            (250_000..350_000).contains(&latency),
-            "latency = {latency}"
-        );
+        assert!((250_000..350_000).contains(&latency), "latency = {latency}");
     }
 
     #[test]

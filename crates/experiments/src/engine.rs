@@ -1,0 +1,897 @@
+//! Unified trial-execution engine: one typed [`TrialSpec`] API for every
+//! experiment path, a rayon-backed scheduler with deterministic reduction,
+//! and a content-addressed on-disk result cache.
+//!
+//! Every figure, table, sweep, CLI command, and bench binary describes its
+//! work as a list of [`TrialSpec`]s — (system × workload × governor ×
+//! thresholds × seed) — and hands it to an [`Engine`]:
+//!
+//! * **Parallel scheduling.** [`Engine::run_suite`] fans independent
+//!   trials out over rayon and collects results *in spec order*, so the
+//!   reduction is bit-identical to serial execution (each trial is a pure
+//!   function of its spec; see `tests/determinism.rs`).
+//! * **Content-addressed caching.** Each spec has a stable hash over its
+//!   canonical JSON encoding plus a code-version salt ([`ENGINE_SALT`]).
+//!   Outcomes are memoized as JSON under `results/cache/<hash>.json`:
+//!   re-running `fig4a` after touching only plotting code skips all
+//!   simulation, while any spec field change — or a salt bump — forces a
+//!   recompute.
+//! * **Observability.** The engine records a per-run manifest
+//!   ([`RunManifest`]): every spec's hash and label, cache hit/miss
+//!   counts, and wall time, written next to the cache by
+//!   [`Engine::finish`].
+//!
+//! Environment knobs (read by [`Engine::from_env`]):
+//! `MAGUS_CACHE=off` disables the cache, `MAGUS_CACHE_DIR` moves it, and
+//! `MAGUS_SERIAL=1` forces serial execution.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use magus_hetsim::{AppTrace, NodeConfig};
+use magus_hsmp::FabricPstateTable;
+use magus_runtime::MagusConfig;
+use magus_ups::UpsConfig;
+use magus_workloads::{app_trace, base_spec, AppId, Platform};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::amd::HsmpMagusDriver;
+use crate::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, UpsDriver};
+use crate::harness::{run_custom_trial_capped, SystemId, TrialOpts, TrialResult};
+
+/// Code-version salt mixed into every spec hash. Bump the suffix whenever
+/// a change alters simulation results without changing any [`TrialSpec`]
+/// field — stale cache entries then miss by construction.
+pub const ENGINE_SALT: &str = concat!("magus-engine/v1/", env!("CARGO_PKG_VERSION"));
+
+/// The governor driving a trial — the single runtime selector shared by
+/// the CLI parser, the drivers, and every experiment path (one conversion
+/// point: [`GovernorSpec::build_driver`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GovernorSpec {
+    /// The stock TDP-coupled governor only (no runtime attached).
+    Default,
+    /// Uncore pinned to a fixed frequency.
+    Fixed {
+        /// Target frequency (GHz).
+        ghz: f64,
+    },
+    /// MAGUS with the given thresholds.
+    Magus {
+        /// Runtime configuration.
+        cfg: MagusConfig,
+    },
+    /// The UPS baseline with the given parameters.
+    Ups {
+        /// Runtime configuration.
+        cfg: UpsConfig,
+    },
+    /// MAGUS actuating AMD Infinity Fabric P-states over HSMP (§6.6).
+    MagusHsmp {
+        /// Runtime configuration (the decision core is identical).
+        cfg: MagusConfig,
+    },
+}
+
+impl GovernorSpec {
+    /// MAGUS with the paper-default thresholds.
+    #[must_use]
+    pub fn magus_default() -> Self {
+        GovernorSpec::Magus {
+            cfg: MagusConfig::default(),
+        }
+    }
+
+    /// UPS with its default parameters.
+    #[must_use]
+    pub fn ups_default() -> Self {
+        GovernorSpec::Ups {
+            cfg: UpsConfig::default(),
+        }
+    }
+
+    /// MAGUS-over-HSMP with the paper-default thresholds.
+    #[must_use]
+    pub fn magus_hsmp_default() -> Self {
+        GovernorSpec::MagusHsmp {
+            cfg: MagusConfig::default(),
+        }
+    }
+
+    /// Display name, matching the underlying driver's report name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            GovernorSpec::Default => "default".into(),
+            GovernorSpec::Fixed { ghz } => format!("fixed-{ghz:.1}GHz"),
+            GovernorSpec::Magus { .. } => "MAGUS".into(),
+            GovernorSpec::Ups { .. } => "UPS".into(),
+            GovernorSpec::MagusHsmp { .. } => "MAGUS/HSMP".into(),
+        }
+    }
+
+    /// Instantiate the runtime driver — the one place a governor selector
+    /// becomes an executable driver.
+    #[must_use]
+    pub fn build_driver(&self) -> Box<dyn RuntimeDriver> {
+        match self {
+            GovernorSpec::Default => Box::new(NoopDriver),
+            GovernorSpec::Fixed { ghz } => Box::new(FixedUncoreDriver::new(*ghz)),
+            GovernorSpec::Magus { cfg } => Box::new(MagusDriver::new(cfg.clone())),
+            GovernorSpec::Ups { cfg } => Box::new(UpsDriver::new(cfg.clone())),
+            GovernorSpec::MagusHsmp { cfg } => Box::new(HsmpMagusDriver::new(
+                cfg.clone(),
+                FabricPstateTable::epyc_default(),
+            )),
+        }
+    }
+}
+
+/// The hardware a trial runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemSel {
+    /// One of the paper's three Intel testbeds.
+    Preset(SystemId),
+    /// The §6.6 AMD EPYC + MI210 node (HSMP fabric actuation).
+    AmdEpycMi210,
+}
+
+impl SystemSel {
+    /// The node configuration preset.
+    #[must_use]
+    pub fn node_config(&self) -> NodeConfig {
+        match self {
+            SystemSel::Preset(s) => s.node_config(),
+            SystemSel::AmdEpycMi210 => magus_hsmp::amd_epyc_mi210(),
+        }
+    }
+
+    /// The workload platform whose scaling applies. The AMD node runs the
+    /// single-GPU workload set (its fabric caps bandwidth lower).
+    #[must_use]
+    pub fn platform(&self) -> Platform {
+        match self {
+            SystemSel::Preset(s) => s.platform(),
+            SystemSel::AmdEpycMi210 => Platform::IntelA100,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemSel::Preset(s) => s.name(),
+            SystemSel::AmdEpycMi210 => "AMD+MI210",
+        }
+    }
+}
+
+/// The application (or lack of one) a trial runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadSel {
+    /// A catalog application at the system platform's scaling.
+    App(AppId),
+    /// The §6.1 hybrid host+GPU workload of the power-budget study.
+    HybridMd,
+    /// No application: an idle node for `opts.max_s` (Table 2 protocol).
+    Idle,
+}
+
+/// One trial, fully specified: hash it, cache it, run it anywhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialSpec {
+    /// Hardware.
+    pub system: SystemSel,
+    /// Workload.
+    pub workload: WorkloadSel,
+    /// Governor (runtime + thresholds).
+    pub governor: GovernorSpec,
+    /// Recording interval and wall-clock budget.
+    pub opts: TrialOpts,
+    /// Seeded-replication index (§6's ≥5-repetition protocol): perturbs
+    /// the node's sensor-noise seed and the workload's jitter seed.
+    /// `None` runs the canonical seeds.
+    pub replicate: Option<u32>,
+    /// Per-socket RAPL PL1 limit (W), programmed before the driver
+    /// attaches; `None` = uncapped.
+    pub power_cap_w: Option<f64>,
+    /// Compute decisions but never actuate (the Table 2 overhead
+    /// protocol's "excluding uncore scaling").
+    pub monitor_only: bool,
+}
+
+impl TrialSpec {
+    /// A plain (system × app × governor) trial with default options.
+    #[must_use]
+    pub fn new(system: SystemId, app: AppId, governor: GovernorSpec) -> Self {
+        Self {
+            system: SystemSel::Preset(system),
+            workload: WorkloadSel::App(app),
+            governor,
+            opts: TrialOpts::default(),
+            replicate: None,
+            power_cap_w: None,
+            monitor_only: false,
+        }
+    }
+
+    /// An app trial on the AMD EPYC + MI210 node.
+    #[must_use]
+    pub fn amd(app: AppId, governor: GovernorSpec) -> Self {
+        Self {
+            system: SystemSel::AmdEpycMi210,
+            ..Self::new(SystemId::IntelA100, app, governor)
+        }
+    }
+
+    /// The §6.1 hybrid workload on Intel+A100 under an optional power cap.
+    #[must_use]
+    pub fn hybrid(governor: GovernorSpec, power_cap_w: Option<f64>) -> Self {
+        Self {
+            workload: WorkloadSel::HybridMd,
+            power_cap_w,
+            ..Self::new(SystemId::IntelA100, AppId::Bfs, governor)
+        }
+    }
+
+    /// An idle-node trial for `duration_s` (the overhead protocol).
+    #[must_use]
+    pub fn idle(system: SystemId, governor: GovernorSpec, duration_s: f64) -> Self {
+        Self {
+            workload: WorkloadSel::Idle,
+            opts: TrialOpts {
+                record_interval_us: 0,
+                max_s: duration_s,
+            },
+            ..Self::new(system, AppId::Bfs, governor)
+        }
+    }
+
+    /// Record the trace at the paper's 0.1 s plot resolution.
+    #[must_use]
+    pub fn recorded(mut self) -> Self {
+        self.opts = TrialOpts {
+            record_interval_us: TrialOpts::recorded().record_interval_us,
+            ..self.opts
+        };
+        self
+    }
+
+    /// Override the trial options wholesale.
+    #[must_use]
+    pub fn with_opts(mut self, opts: TrialOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Select a seeded-replication index.
+    #[must_use]
+    pub fn replicate(mut self, rep: u32) -> Self {
+        self.replicate = Some(rep);
+        self
+    }
+
+    /// Enable monitor-only mode (decisions computed, never actuated).
+    #[must_use]
+    pub fn monitor_only(mut self) -> Self {
+        self.monitor_only = true;
+        self
+    }
+
+    /// The node configuration this trial runs on, with the replication
+    /// seed perturbation applied.
+    #[must_use]
+    pub fn node_config(&self) -> NodeConfig {
+        let mut cfg = self.system.node_config();
+        if let Some(rep) = self.replicate {
+            cfg.seed = cfg.seed.wrapping_add(0x9e37_79b9 * (u64::from(rep) + 1));
+        }
+        cfg
+    }
+
+    /// Build the application trace this trial runs (`None` for idle).
+    /// Replicated trials re-jitter the workload seed the same way the
+    /// paper's repeated hardware runs vary.
+    #[must_use]
+    pub fn build_trace(&self) -> Option<AppTrace> {
+        match self.workload {
+            WorkloadSel::App(app) => Some(match self.replicate {
+                None => app_trace(app, self.system.platform()),
+                Some(rep) => {
+                    let mut spec = base_spec(app);
+                    spec.seed = spec.seed.wrapping_add(u64::from(rep));
+                    if self.system.platform() != Platform::IntelA100 {
+                        spec.util = spec.util.across_gpus(self.system.platform().gpu_count());
+                    }
+                    spec.build()
+                }
+            }),
+            WorkloadSel::HybridMd => Some(crate::powercap::hybrid_workload()),
+            WorkloadSel::Idle => None,
+        }
+    }
+
+    /// Human-readable label for manifests and logs.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let workload = match self.workload {
+            WorkloadSel::App(app) => app.name().to_string(),
+            WorkloadSel::HybridMd => "hybrid-md".into(),
+            WorkloadSel::Idle => "idle".into(),
+        };
+        let mut s = format!("{workload}/{}/{}", self.system.name(), self.governor.name());
+        if let Some(rep) = self.replicate {
+            s.push_str(&format!("#r{rep}"));
+        }
+        if let Some(w) = self.power_cap_w {
+            s.push_str(&format!("@{w:.0}W"));
+        }
+        if self.monitor_only {
+            s.push_str("+monitor");
+        }
+        s
+    }
+
+    /// Stable content hash under the default code-version salt.
+    #[must_use]
+    pub fn content_hash(&self) -> String {
+        spec_hash(self, ENGINE_SALT)
+    }
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// Second-lane seed: the FNV offset basis hashed through one prime round,
+/// giving an independent 64-bit stream over the same bytes.
+const FNV_OFFSET_ALT: u64 = FNV_OFFSET.wrapping_mul(FNV_PRIME) ^ 0x5bd1_e995;
+
+fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable 128-bit content hash of a spec under a salt, as 32 hex chars.
+///
+/// The spec is hashed through its canonical JSON encoding (field order is
+/// declaration order, `serde_json`'s float round-tripping is exact), so
+/// equal specs hash equal across processes and any field change produces
+/// a new hash. The workspace's dependency policy has no cryptographic
+/// hash crate; two independent FNV-1a-64 lanes are ample for cache
+/// addressing (collisions are additionally guarded by a full spec
+/// equality check on load).
+#[must_use]
+pub fn spec_hash(spec: &TrialSpec, salt: &str) -> String {
+    let json = serde_json::to_string(spec).expect("TrialSpec serialises");
+    let mut data = Vec::with_capacity(salt.len() + 1 + json.len());
+    data.extend_from_slice(salt.as_bytes());
+    data.push(0);
+    data.extend_from_slice(json.as_bytes());
+    let a = fnv1a64(FNV_OFFSET, &data);
+    let b = fnv1a64(FNV_OFFSET_ALT, &data);
+    format!("{a:016x}{b:016x}")
+}
+
+/// Result of one engine trial: metrics plus trace handles, and where it
+/// came from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// The spec that produced this outcome.
+    pub spec: TrialSpec,
+    /// The spec's content hash under the engine's salt.
+    pub spec_hash: String,
+    /// Metrics and recorded time series.
+    pub result: TrialResult,
+    /// Fraction of post-warm-up decision cycles in the high-frequency
+    /// locked state (MAGUS-family governors only).
+    pub high_freq_fraction: Option<f64>,
+    /// Whether this outcome was served from the on-disk cache.
+    pub cached: bool,
+}
+
+/// On-disk cache payload: everything needed to reconstruct an outcome,
+/// plus the salt and full spec for collision paranoia.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheEntry {
+    salt: String,
+    spec: TrialSpec,
+    high_freq_fraction: Option<f64>,
+    result: TrialResult,
+}
+
+/// How [`Engine::run_suite`] schedules trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// One trial at a time, in spec order.
+    Serial,
+    /// Rayon fan-out with order-preserving collection — bit-identical
+    /// results to [`ExecMode::Serial`], minus the wall time.
+    Parallel,
+}
+
+/// One manifest line: what ran, under which hash, and how.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Human-readable spec label.
+    pub label: String,
+    /// Spec content hash (the cache key).
+    pub hash: String,
+    /// Served from cache.
+    pub cached: bool,
+    /// Wall time spent simulating (0 for cache hits).
+    pub wall_s: f64,
+}
+
+/// Per-run manifest: the observability record the engine emits so sweeps
+/// are auditable and resumable. Serialized as JSON by
+/// [`Engine::write_manifest`]; schema documented in DESIGN.md §4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// The code-version salt all hashes were computed under.
+    pub salt: String,
+    /// Scheduling mode ("serial" / "parallel").
+    pub mode: String,
+    /// Every trial this engine ran, sorted by label then hash.
+    pub trials: Vec<ManifestEntry>,
+    /// Trials served from the cache.
+    pub cache_hits: usize,
+    /// Trials that had to simulate.
+    pub cache_misses: usize,
+    /// Wall time since the engine was created (s).
+    pub wall_s: f64,
+}
+
+impl RunManifest {
+    /// Cache hit rate in [0, 1]; 0 when nothing ran.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct EngineState {
+    trials: Vec<ManifestEntry>,
+    hits: usize,
+    misses: usize,
+}
+
+/// The trial executor: scheduling, caching, and manifest accounting.
+#[derive(Debug)]
+pub struct Engine {
+    salt: String,
+    mode: ExecMode,
+    cache_dir: Option<PathBuf>,
+    state: Mutex<EngineState>,
+    started: Instant,
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl Engine {
+    fn build(cache_dir: Option<PathBuf>, mode: ExecMode) -> Self {
+        Self {
+            salt: ENGINE_SALT.to_string(),
+            mode,
+            cache_dir,
+            state: Mutex::new(EngineState::default()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Engine configured from the environment: parallel with the cache at
+    /// `results/cache/`, unless `MAGUS_SERIAL=1`, `MAGUS_CACHE=off`, or
+    /// `MAGUS_CACHE_DIR=<dir>` say otherwise. This is what binaries use.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mode = if std::env::var("MAGUS_SERIAL").is_ok_and(|v| !v.is_empty() && v != "0") {
+            ExecMode::Serial
+        } else {
+            ExecMode::Parallel
+        };
+        let cache_dir = if std::env::var("MAGUS_CACHE").is_ok_and(|v| v == "off" || v == "0") {
+            None
+        } else {
+            Some(PathBuf::from(
+                std::env::var("MAGUS_CACHE_DIR").unwrap_or_else(|_| "results/cache".into()),
+            ))
+        };
+        Self::build(cache_dir, mode)
+    }
+
+    /// Parallel engine with no cache — pure in-memory execution, used by
+    /// library tests and anything that must not touch the filesystem.
+    #[must_use]
+    pub fn ephemeral() -> Self {
+        Self::build(None, ExecMode::Parallel)
+    }
+
+    /// Parallel engine caching under `dir`.
+    #[must_use]
+    pub fn with_cache(dir: impl Into<PathBuf>) -> Self {
+        Self::build(Some(dir.into()), ExecMode::Parallel)
+    }
+
+    /// Switch to serial scheduling.
+    #[must_use]
+    pub fn serial(mut self) -> Self {
+        self.mode = ExecMode::Serial;
+        self
+    }
+
+    /// Switch to parallel scheduling.
+    #[must_use]
+    pub fn parallel(mut self) -> Self {
+        self.mode = ExecMode::Parallel;
+        self
+    }
+
+    /// Drop the cache (every trial simulates).
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cache_dir = None;
+        self
+    }
+
+    /// Override the code-version salt (tests use this to model a code
+    /// change invalidating the cache).
+    #[must_use]
+    pub fn with_salt(mut self, salt: impl Into<String>) -> Self {
+        self.salt = salt.into();
+        self
+    }
+
+    /// The scheduling mode.
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The cache directory, when caching is enabled.
+    #[must_use]
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Run one trial: cache lookup, simulate on miss, store, account.
+    pub fn run(&self, spec: &TrialSpec) -> TrialOutcome {
+        let hash = spec_hash(spec, &self.salt);
+        if let Some(entry) = self.cache_load(spec, &hash) {
+            self.record(spec, &hash, true, 0.0);
+            return TrialOutcome {
+                spec: spec.clone(),
+                spec_hash: hash,
+                result: entry.result,
+                high_freq_fraction: entry.high_freq_fraction,
+                cached: true,
+            };
+        }
+        let t0 = Instant::now();
+        let mut driver = spec.governor.build_driver();
+        if spec.monitor_only {
+            driver.set_monitor_only(true);
+        }
+        let result = run_custom_trial_capped(
+            spec.node_config(),
+            spec.build_trace(),
+            driver.as_mut(),
+            spec.opts,
+            spec.power_cap_w,
+        );
+        let high_freq_fraction = driver.high_freq_fraction();
+        self.cache_store(spec, &hash, &result, high_freq_fraction);
+        self.record(spec, &hash, false, t0.elapsed().as_secs_f64());
+        TrialOutcome {
+            spec: spec.clone(),
+            spec_hash: hash,
+            result,
+            high_freq_fraction,
+            cached: false,
+        }
+    }
+
+    /// Run a suite of independent trials. Outcomes come back in spec
+    /// order regardless of scheduling, so parallel and serial runs reduce
+    /// to bit-identical results.
+    pub fn run_suite(&self, specs: &[TrialSpec]) -> Vec<TrialOutcome> {
+        match self.mode {
+            ExecMode::Serial => specs.iter().map(|s| self.run(s)).collect(),
+            ExecMode::Parallel => specs.par_iter().map(|s| self.run(s)).collect(),
+        }
+    }
+
+    fn cache_load(&self, spec: &TrialSpec, hash: &str) -> Option<CacheEntry> {
+        let dir = self.cache_dir.as_ref()?;
+        let bytes = fs::read(dir.join(format!("{hash}.json"))).ok()?;
+        // A corrupt or foreign file is a miss, never an error.
+        let entry: CacheEntry = serde_json::from_slice(&bytes).ok()?;
+        (entry.salt == self.salt && entry.spec == *spec).then_some(entry)
+    }
+
+    fn cache_store(
+        &self,
+        spec: &TrialSpec,
+        hash: &str,
+        result: &TrialResult,
+        high_freq_fraction: Option<f64>,
+    ) {
+        let Some(dir) = self.cache_dir.as_ref() else {
+            return;
+        };
+        let entry = CacheEntry {
+            salt: self.salt.clone(),
+            spec: spec.clone(),
+            high_freq_fraction,
+            result: result.clone(),
+        };
+        let json = match serde_json::to_vec(&entry) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("[engine] cache serialise failed for {hash}: {e}");
+                return;
+            }
+        };
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("[engine] cannot create cache dir {}: {e}", dir.display());
+            return;
+        }
+        // Unique temp name + atomic rename: concurrent writers of the
+        // same spec race harmlessly to an identical final file.
+        let tmp = dir.join(format!(
+            "{hash}.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let final_path = dir.join(format!("{hash}.json"));
+        if let Err(e) = fs::write(&tmp, &json).and_then(|()| fs::rename(&tmp, &final_path)) {
+            eprintln!("[engine] cache store failed for {hash}: {e}");
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    fn record(&self, spec: &TrialSpec, hash: &str, cached: bool, wall_s: f64) {
+        let mut state = self.state.lock().expect("engine state");
+        if cached {
+            state.hits += 1;
+        } else {
+            state.misses += 1;
+        }
+        state.trials.push(ManifestEntry {
+            label: spec.label(),
+            hash: hash.to_string(),
+            cached,
+            wall_s,
+        });
+    }
+
+    /// Snapshot the manifest: every trial so far, hit/miss counts, wall
+    /// time. Entries are sorted (label, then hash) so parallel runs emit
+    /// stable manifests.
+    #[must_use]
+    pub fn manifest(&self) -> RunManifest {
+        let state = self.state.lock().expect("engine state");
+        let mut trials = state.trials.clone();
+        trials.sort_by(|a, b| a.label.cmp(&b.label).then_with(|| a.hash.cmp(&b.hash)));
+        RunManifest {
+            salt: self.salt.clone(),
+            mode: match self.mode {
+                ExecMode::Serial => "serial".into(),
+                ExecMode::Parallel => "parallel".into(),
+            },
+            trials,
+            cache_hits: state.hits,
+            cache_misses: state.misses,
+            wall_s: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Write the manifest as pretty JSON to `path`.
+    pub fn write_manifest(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(&self.manifest()).map_err(std::io::Error::other)?;
+        fs::write(path, json)
+    }
+
+    /// One-line run summary for logs.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let m = self.manifest();
+        format!(
+            "{} trials: {} cache hits, {} misses ({:.0}% hit rate), {:.1} s wall [{}]",
+            m.trials.len(),
+            m.cache_hits,
+            m.cache_misses,
+            m.hit_rate() * 100.0,
+            m.wall_s,
+            m.mode,
+        )
+    }
+
+    /// Finish a named run: print the summary to stderr and, when caching
+    /// is enabled, write `<cache>/<label>.manifest.json`.
+    pub fn finish(&self, label: &str) {
+        eprintln!("[engine] {label}: {}", self.summary_line());
+        if let Some(dir) = self.cache_dir.as_ref() {
+            let path = dir.join(format!("{label}.manifest.json"));
+            match self.write_manifest(&path) {
+                Ok(()) => eprintln!("[engine] manifest written to {}", path.display()),
+                Err(e) => eprintln!("[engine] manifest write failed: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> TrialSpec {
+        TrialSpec::new(
+            SystemId::IntelA100,
+            AppId::Bfs,
+            GovernorSpec::magus_default(),
+        )
+    }
+
+    #[test]
+    fn hash_is_stable_across_calls() {
+        assert_eq!(base_spec().content_hash(), base_spec().content_hash());
+        assert_eq!(base_spec().content_hash().len(), 32);
+    }
+
+    #[test]
+    fn every_field_change_changes_the_hash() {
+        let base = base_spec();
+        let variants = vec![
+            TrialSpec {
+                system: SystemSel::Preset(SystemId::Intel4A100),
+                ..base.clone()
+            },
+            TrialSpec {
+                system: SystemSel::AmdEpycMi210,
+                ..base.clone()
+            },
+            TrialSpec {
+                workload: WorkloadSel::App(AppId::Srad),
+                ..base.clone()
+            },
+            TrialSpec {
+                workload: WorkloadSel::HybridMd,
+                ..base.clone()
+            },
+            TrialSpec {
+                workload: WorkloadSel::Idle,
+                ..base.clone()
+            },
+            TrialSpec {
+                governor: GovernorSpec::Default,
+                ..base.clone()
+            },
+            TrialSpec {
+                governor: GovernorSpec::Magus {
+                    cfg: MagusConfig::pareto_common(),
+                },
+                ..base.clone()
+            },
+            base.clone().recorded(),
+            TrialSpec {
+                opts: TrialOpts {
+                    max_s: 500.0,
+                    ..TrialOpts::default()
+                },
+                ..base.clone()
+            },
+            base.clone().replicate(0),
+            base.clone().replicate(1),
+            TrialSpec {
+                power_cap_w: Some(95.0),
+                ..base.clone()
+            },
+            base.clone().monitor_only(),
+        ];
+        let base_hash = base.content_hash();
+        let mut seen = vec![base_hash];
+        for v in variants {
+            let h = v.content_hash();
+            assert!(!seen.contains(&h), "hash collision for {v:?}");
+            seen.push(h);
+        }
+    }
+
+    #[test]
+    fn salt_changes_the_hash() {
+        let spec = base_spec();
+        assert_ne!(spec_hash(&spec, "salt-a"), spec_hash(&spec, "salt-b"));
+        assert_eq!(spec_hash(&spec, ENGINE_SALT), spec.content_hash());
+    }
+
+    #[test]
+    fn governor_names_match_driver_names() {
+        assert_eq!(GovernorSpec::Default.name(), "default");
+        assert_eq!(GovernorSpec::Fixed { ghz: 0.8 }.name(), "fixed-0.8GHz");
+        assert_eq!(GovernorSpec::magus_default().name(), "MAGUS");
+        assert_eq!(GovernorSpec::ups_default().name(), "UPS");
+        assert_eq!(GovernorSpec::magus_hsmp_default().name(), "MAGUS/HSMP");
+        for g in [
+            GovernorSpec::Default,
+            GovernorSpec::Fixed { ghz: 0.8 },
+            GovernorSpec::magus_default(),
+            GovernorSpec::ups_default(),
+            GovernorSpec::magus_hsmp_default(),
+        ] {
+            assert_eq!(g.build_driver().name(), g.name());
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(base_spec().label(), "bfs/Intel+A100/MAGUS");
+        assert_eq!(
+            TrialSpec::hybrid(GovernorSpec::Default, Some(95.0)).label(),
+            "hybrid-md/Intel+A100/default@95W"
+        );
+        assert_eq!(
+            TrialSpec::idle(SystemId::IntelMax1550, GovernorSpec::ups_default(), 10.0)
+                .monitor_only()
+                .label(),
+            "idle/Intel+Max1550/UPS+monitor"
+        );
+        assert_eq!(base_spec().replicate(3).label(), "bfs/Intel+A100/MAGUS#r3");
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = TrialSpec::hybrid(GovernorSpec::ups_default(), Some(105.0))
+            .recorded()
+            .replicate(2);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: TrialSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.content_hash(), spec.content_hash());
+    }
+
+    #[test]
+    fn idle_trial_runs_for_its_duration() {
+        let engine = Engine::ephemeral();
+        let out = engine.run(&TrialSpec::idle(
+            SystemId::IntelA100,
+            GovernorSpec::Default,
+            2.0,
+        ));
+        assert!(!out.cached);
+        assert!((out.result.summary.runtime_s - 2.0).abs() < 0.05);
+        assert!(!out.result.summary.completed);
+        assert_eq!(out.result.summary.app, "idle");
+    }
+
+    #[test]
+    fn manifest_counts_and_orders_trials() {
+        let engine = Engine::ephemeral();
+        let specs = vec![
+            TrialSpec::idle(SystemId::IntelA100, GovernorSpec::Default, 1.0),
+            TrialSpec::idle(SystemId::IntelMax1550, GovernorSpec::Default, 1.0),
+        ];
+        let outs = engine.run_suite(&specs);
+        assert_eq!(outs.len(), 2);
+        let m = engine.manifest();
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.cache_hits, 0);
+        assert_eq!(m.trials.len(), 2);
+        assert!(m.trials.windows(2).all(|w| w[0].label <= w[1].label));
+        assert_eq!(m.hit_rate(), 0.0);
+    }
+}

@@ -1,28 +1,29 @@
 //! One function per paper table/figure (§6). The `magus-bench` binaries
 //! print these; integration tests assert their shapes against the paper.
+//!
+//! Every function describes its work as [`TrialSpec`]s and submits them
+//! to the caller's [`Engine`] in one flat `run_suite` call, so the engine
+//! can schedule the whole figure in parallel and serve repeats from its
+//! result cache. Outcomes come back in spec order, which keeps the
+//! reductions below trivially deterministic.
 
 use magus_runtime::MagusConfig;
 use magus_workloads::{fig4a_suite, fig4b_suite, fig4c_suite, table1_suite, AppId};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, UpsDriver};
-use crate::harness::{run_trial, SystemId, TrialOpts, TrialResult};
+use crate::engine::{Engine, GovernorSpec, TrialSpec};
+use crate::harness::{SystemId, TrialResult};
 use crate::metrics::{burst_jaccard, default_burst_threshold, Comparison};
-use crate::overhead::{measure_overhead, OverheadReport};
+use crate::overhead::{report_from_outcomes, OverheadReport};
 use crate::pareto::ParetoPoint;
 
 /// Fig 1: UNet profiled under the stock governor — CPU core frequency and
 /// GPU clock move with demand; uncore stays pinned at maximum.
 #[must_use]
-pub fn fig1_unet_profile() -> TrialResult {
-    let mut driver = NoopDriver;
-    run_trial(
-        SystemId::IntelA100,
-        AppId::Unet,
-        &mut driver,
-        TrialOpts::recorded(),
-    )
+pub fn fig1_unet_profile(engine: &Engine) -> TrialResult {
+    engine
+        .run(&TrialSpec::new(SystemId::IntelA100, AppId::Unet, GovernorSpec::Default).recorded())
+        .result
 }
 
 /// Fig 2 data: UNet under fixed max vs fixed min uncore frequency.
@@ -57,16 +58,31 @@ impl Fig2Data {
 
 /// Fig 2: UNet power profiles at the uncore extremes.
 #[must_use]
-pub fn fig2_unet_extremes() -> Fig2Data {
+pub fn fig2_unet_extremes(engine: &Engine) -> Fig2Data {
     let system = SystemId::IntelA100;
-    let opts = TrialOpts::recorded();
-    let mut max_driver = FixedUncoreDriver::new(system.node_config().uncore.freq_max_ghz);
-    let max_uncore = run_trial(system, AppId::Unet, &mut max_driver, opts);
-    let mut min_driver = FixedUncoreDriver::new(system.node_config().uncore.freq_min_ghz);
-    let min_uncore = run_trial(system, AppId::Unet, &mut min_driver, opts);
+    let uncore = system.node_config().uncore;
+    let outs = engine.run_suite(&[
+        TrialSpec::new(
+            system,
+            AppId::Unet,
+            GovernorSpec::Fixed {
+                ghz: uncore.freq_max_ghz,
+            },
+        )
+        .recorded(),
+        TrialSpec::new(
+            system,
+            AppId::Unet,
+            GovernorSpec::Fixed {
+                ghz: uncore.freq_min_ghz,
+            },
+        )
+        .recorded(),
+    ]);
+    let [max_uncore, min_uncore] = <[_; 2]>::try_from(outs).expect("two outcomes");
     Fig2Data {
-        max_uncore,
-        min_uncore,
+        max_uncore: max_uncore.result,
+        min_uncore: min_uncore.result,
     }
 }
 
@@ -85,36 +101,53 @@ pub struct AppEval {
     pub ups: Comparison,
 }
 
-/// Evaluate one app on one system with all three methods.
-#[must_use]
-pub fn evaluate_app(system: SystemId, app: AppId) -> AppEval {
-    let opts = TrialOpts::default();
-    let mut base_driver = NoopDriver;
-    let base = run_trial(system, app, &mut base_driver, opts);
-    let mut magus_driver = MagusDriver::with_defaults();
-    let magus = run_trial(system, app, &mut magus_driver, opts);
-    let mut ups_driver = UpsDriver::with_defaults();
-    let ups = run_trial(system, app, &mut ups_driver, opts);
+/// The three policies of every Fig 4 cell, in reduction order.
+fn eval_specs(system: SystemId, app: AppId) -> [TrialSpec; 3] {
+    [
+        TrialSpec::new(system, app, GovernorSpec::Default),
+        TrialSpec::new(system, app, GovernorSpec::magus_default()),
+        TrialSpec::new(system, app, GovernorSpec::ups_default()),
+    ]
+}
+
+fn eval_from_outcomes(app: AppId, outs: &[crate::engine::TrialOutcome]) -> AppEval {
+    let [base, magus, ups] = outs else {
+        unreachable!("three outcomes per app")
+    };
     AppEval {
         app: app.name().to_string(),
-        baseline_runtime_s: base.summary.runtime_s,
-        baseline_cpu_w: base.summary.mean_cpu_w,
-        magus: Comparison::against(&base.summary, &magus.summary),
-        ups: Comparison::against(&base.summary, &ups.summary),
+        baseline_runtime_s: base.result.summary.runtime_s,
+        baseline_cpu_w: base.result.summary.mean_cpu_w,
+        magus: Comparison::against(&base.result.summary, &magus.result.summary),
+        ups: Comparison::against(&base.result.summary, &ups.result.summary),
     }
 }
 
-/// Fig 4 (a/b/c): the end-to-end suite evaluation for a system.
+/// Evaluate one app on one system with all three methods.
 #[must_use]
-pub fn fig4(system: SystemId) -> Vec<AppEval> {
+pub fn evaluate_app(engine: &Engine, system: SystemId, app: AppId) -> AppEval {
+    let outs = engine.run_suite(&eval_specs(system, app));
+    eval_from_outcomes(app, &outs)
+}
+
+/// Fig 4 (a/b/c): the end-to-end suite evaluation for a system. The whole
+/// suite (3 trials per application) is submitted as one flat batch.
+#[must_use]
+pub fn fig4(engine: &Engine, system: SystemId) -> Vec<AppEval> {
     let suite = match system {
         SystemId::IntelA100 => fig4a_suite(),
         SystemId::IntelMax1550 => fig4b_suite(),
         SystemId::Intel4A100 => fig4c_suite(),
     };
+    let specs: Vec<TrialSpec> = suite
+        .iter()
+        .flat_map(|&app| eval_specs(system, app))
+        .collect();
+    let outs = engine.run_suite(&specs);
     suite
-        .into_par_iter()
-        .map(|app| evaluate_app(system, app))
+        .iter()
+        .zip(outs.chunks_exact(3))
+        .map(|(&app, chunk)| eval_from_outcomes(app, chunk))
         .collect()
 }
 
@@ -133,19 +166,26 @@ pub struct Fig5Data {
 
 /// Fig 5 / Fig 6: the SRAD case study (§6.2).
 #[must_use]
-pub fn fig5_srad_case_study() -> Fig5Data {
+pub fn fig5_srad_case_study(engine: &Engine) -> Fig5Data {
     let system = SystemId::IntelA100;
-    let opts = TrialOpts::recorded();
-    let cfg = system.node_config();
-    let mut max_d = FixedUncoreDriver::new(cfg.uncore.freq_max_ghz);
-    let mut min_d = FixedUncoreDriver::new(cfg.uncore.freq_min_ghz);
-    let mut magus_d = MagusDriver::with_defaults();
-    let mut ups_d = UpsDriver::with_defaults();
+    let uncore = system.node_config().uncore;
+    let spec = |g: GovernorSpec| TrialSpec::new(system, AppId::Srad, g).recorded();
+    let outs = engine.run_suite(&[
+        spec(GovernorSpec::Fixed {
+            ghz: uncore.freq_max_ghz,
+        }),
+        spec(GovernorSpec::Fixed {
+            ghz: uncore.freq_min_ghz,
+        }),
+        spec(GovernorSpec::magus_default()),
+        spec(GovernorSpec::ups_default()),
+    ]);
+    let [max_uncore, min_uncore, magus, ups] = <[_; 4]>::try_from(outs).expect("four outcomes");
     Fig5Data {
-        max_uncore: run_trial(system, AppId::Srad, &mut max_d, opts),
-        min_uncore: run_trial(system, AppId::Srad, &mut min_d, opts),
-        magus: run_trial(system, AppId::Srad, &mut magus_d, opts),
-        ups: run_trial(system, AppId::Srad, &mut ups_d, opts),
+        max_uncore: max_uncore.result,
+        min_uncore: min_uncore.result,
+        magus: magus.result,
+        ups: ups.result,
     }
 }
 
@@ -163,37 +203,40 @@ pub struct SradStats {
 
 /// Compute the §6.2 statistics from a fresh case-study run.
 #[must_use]
-pub fn srad_stats() -> SradStats {
-    let system = SystemId::IntelA100;
-    let opts = TrialOpts::default();
-    let mut base_d = NoopDriver;
-    let base = run_trial(system, AppId::Srad, &mut base_d, opts);
-    let mut magus_d = MagusDriver::with_defaults();
-    let magus = run_trial(system, AppId::Srad, &mut magus_d, opts);
-    let mut ups_d = UpsDriver::with_defaults();
-    let ups = run_trial(system, AppId::Srad, &mut ups_d, opts);
+pub fn srad_stats(engine: &Engine) -> SradStats {
+    let outs = engine.run_suite(&eval_specs(SystemId::IntelA100, AppId::Srad));
+    let [base, magus, ups] = <[_; 3]>::try_from(outs).expect("three outcomes");
     SradStats {
-        magus: Comparison::against(&base.summary, &magus.summary),
-        ups: Comparison::against(&base.summary, &ups.summary),
-        magus_high_freq_fraction: magus_d.telemetry().high_freq_fraction(),
+        magus: Comparison::against(&base.result.summary, &magus.result.summary),
+        ups: Comparison::against(&base.result.summary, &ups.result.summary),
+        magus_high_freq_fraction: magus
+            .high_freq_fraction
+            .expect("MAGUS reports its high-frequency fraction"),
     }
 }
 
 /// Table 1: Jaccard similarity of burst intervals, MAGUS vs the
-/// maximum-uncore baseline, per application.
+/// maximum-uncore baseline, per application — 2 × 21 recorded trials in
+/// one batch.
 #[must_use]
-pub fn table1_jaccard() -> Vec<(String, f64)> {
-    table1_suite()
-        .into_par_iter()
-        .map(|app| {
-            let system = SystemId::IntelA100;
-            let opts = TrialOpts::recorded();
-            let mut base_d = NoopDriver;
-            let base = run_trial(system, app, &mut base_d, opts);
-            let mut magus_d = MagusDriver::with_defaults();
-            let magus = run_trial(system, app, &mut magus_d, opts);
-            let threshold = default_burst_threshold(&base.samples);
-            let score = burst_jaccard(&base.samples, &magus.samples, threshold);
+pub fn table1_jaccard(engine: &Engine) -> Vec<(String, f64)> {
+    let suite = table1_suite();
+    let specs: Vec<TrialSpec> = suite
+        .iter()
+        .flat_map(|&app| {
+            [
+                TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::Default).recorded(),
+                TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::magus_default()).recorded(),
+            ]
+        })
+        .collect();
+    let outs = engine.run_suite(&specs);
+    suite
+        .iter()
+        .zip(outs.chunks_exact(2))
+        .map(|(&app, pair)| {
+            let threshold = default_burst_threshold(&pair[0].result.samples);
+            let score = burst_jaccard(&pair[0].result.samples, &pair[1].result.samples, threshold);
             (app.name().to_string(), score)
         })
         .collect()
@@ -213,57 +256,60 @@ pub struct SweepResult {
 }
 
 /// The §6.4 protocol: fix two thresholds at their defaults and vary the
-/// third — 40 combinations.
+/// third — 40 combinations, built through the validating builder (the
+/// final combination disables the high-frequency lock outright, the
+/// ablation sentinel the range check would otherwise reject).
 #[must_use]
 pub fn sensitivity_combinations() -> Vec<MagusConfig> {
+    let built = |b: magus_runtime::MagusConfigBuilder| b.build().expect("sweep configs are valid");
     let mut combos = Vec::with_capacity(40);
-    for inc in [50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0, 700.0, 1000.0, 1500.0, 2000.0, 3000.0, 5000.0]
-    {
-        combos.push(MagusConfig {
-            inc_threshold: inc,
-            ..MagusConfig::default()
-        });
+    for inc in [
+        50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0, 700.0, 1000.0, 1500.0, 2000.0,
+        3000.0, 5000.0,
+    ] {
+        combos.push(built(MagusConfig::builder().inc_threshold(inc)));
     }
-    for dec in [100.0, 200.0, 300.0, 400.0, 500.0, 700.0, 1000.0, 1500.0, 2000.0, 3000.0, 5000.0, 8000.0, 12000.0, 20000.0]
-    {
-        combos.push(MagusConfig {
-            dec_threshold: dec,
-            ..MagusConfig::default()
-        });
+    for dec in [
+        100.0, 200.0, 300.0, 400.0, 500.0, 700.0, 1000.0, 1500.0, 2000.0, 3000.0, 5000.0, 8000.0,
+        12000.0, 20000.0,
+    ] {
+        combos.push(built(MagusConfig::builder().dec_threshold(dec)));
     }
-    for hf in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.5] {
-        combos.push(MagusConfig {
-            high_freq_threshold: hf,
-            ..MagusConfig::default()
-        });
+    for hf in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0] {
+        combos.push(built(MagusConfig::builder().high_freq_threshold(hf)));
     }
+    combos.push(built(MagusConfig::builder().disable_high_freq_lock()));
     combos
 }
 
-fn sweep_point(system: SystemId, app: AppId, cfg: MagusConfig) -> ParetoPoint {
-    let label = format!(
+fn sweep_label(cfg: &MagusConfig) -> String {
+    format!(
         "inc={} dec={} hf={}",
         cfg.inc_threshold, cfg.dec_threshold, cfg.high_freq_threshold
-    );
-    let mut driver = MagusDriver::new(cfg);
-    let r = run_trial(system, app, &mut driver, TrialOpts::default());
-    ParetoPoint {
-        label,
-        runtime_s: r.summary.runtime_s,
-        energy_j: r.summary.energy.total_j(),
-    }
+    )
 }
 
-/// Fig 7: the threshold sensitivity sweep for one application.
+/// Fig 7: the threshold sensitivity sweep for one application — all 42
+/// configurations (40 sweep + default + common) in one batch.
 #[must_use]
-pub fn fig7_sensitivity(app: AppId) -> SweepResult {
+pub fn fig7_sensitivity(engine: &Engine, app: AppId) -> SweepResult {
     let system = SystemId::IntelA100;
-    let points: Vec<ParetoPoint> = sensitivity_combinations()
-        .into_par_iter()
-        .map(|cfg| sweep_point(system, app, cfg))
+    let mut cfgs = sensitivity_combinations();
+    cfgs.push(MagusConfig::default());
+    cfgs.push(MagusConfig::pareto_common());
+    let labels: Vec<String> = cfgs.iter().map(sweep_label).collect();
+    let specs: Vec<TrialSpec> = cfgs
+        .into_iter()
+        .map(|cfg| TrialSpec::new(system, app, GovernorSpec::Magus { cfg }))
         .collect();
-    let default_point = sweep_point(system, app, MagusConfig::default());
-    let common_point = sweep_point(system, app, MagusConfig::pareto_common());
+    let outs = engine.run_suite(&specs);
+    let mut points: Vec<ParetoPoint> = labels
+        .iter()
+        .zip(&outs)
+        .map(|(label, out)| ParetoPoint::from_outcome(label.clone(), out))
+        .collect();
+    let common_point = points.pop().expect("common point");
+    let default_point = points.pop().expect("default point");
     SweepResult {
         app: app.name().to_string(),
         points,
@@ -272,25 +318,30 @@ pub fn fig7_sensitivity(app: AppId) -> SweepResult {
     }
 }
 
-/// Table 2: idle overheads of MAGUS and UPS on both single-GPU systems.
+/// Table 2: idle overheads of MAGUS and UPS on both single-GPU systems —
+/// six idle trials (2 systems × {baseline, MAGUS, UPS}) in one batch.
 #[must_use]
-pub fn table2_overheads(duration_s: f64) -> Vec<OverheadReport> {
-    let cells: Vec<(SystemId, bool)> = vec![
-        (SystemId::IntelA100, true),
-        (SystemId::IntelA100, false),
-        (SystemId::IntelMax1550, true),
-        (SystemId::IntelMax1550, false),
-    ];
-    cells
-        .into_par_iter()
-        .map(|(system, is_magus)| {
-            if is_magus {
-                let mut d = MagusDriver::with_defaults();
-                measure_overhead(system, &mut d, duration_s)
-            } else {
-                let mut d = UpsDriver::with_defaults();
-                measure_overhead(system, &mut d, duration_s)
-            }
+pub fn table2_overheads(engine: &Engine, duration_s: f64) -> Vec<OverheadReport> {
+    let systems = [SystemId::IntelA100, SystemId::IntelMax1550];
+    let specs: Vec<TrialSpec> = systems
+        .iter()
+        .flat_map(|&system| {
+            [
+                TrialSpec::idle(system, GovernorSpec::Default, duration_s),
+                TrialSpec::idle(system, GovernorSpec::magus_default(), duration_s).monitor_only(),
+                TrialSpec::idle(system, GovernorSpec::ups_default(), duration_s).monitor_only(),
+            ]
+        })
+        .collect();
+    let outs = engine.run_suite(&specs);
+    systems
+        .iter()
+        .zip(outs.chunks_exact(3))
+        .flat_map(|(&system, chunk)| {
+            [
+                report_from_outcomes(system, &chunk[0], &chunk[1]),
+                report_from_outcomes(system, &chunk[0], &chunk[2]),
+            ]
         })
         .collect()
 }
@@ -308,38 +359,57 @@ pub struct HighFreqAblation {
 /// Run the high-frequency-lock ablation on `app` (SRAD is the interesting
 /// subject).
 #[must_use]
-pub fn ablation_high_freq(app: AppId) -> HighFreqAblation {
+pub fn ablation_high_freq(engine: &Engine, app: AppId) -> HighFreqAblation {
     let system = SystemId::IntelA100;
-    let opts = TrialOpts::default();
-    let mut base_d = NoopDriver;
-    let base = run_trial(system, app, &mut base_d, opts);
-    let mut with_d = MagusDriver::with_defaults();
-    let with_run = run_trial(system, app, &mut with_d, opts);
-    let mut without_d = MagusDriver::new(MagusConfig::without_high_freq_lock());
-    let without_run = run_trial(system, app, &mut without_d, opts);
+    let outs = engine.run_suite(&[
+        TrialSpec::new(system, app, GovernorSpec::Default),
+        TrialSpec::new(system, app, GovernorSpec::magus_default()),
+        TrialSpec::new(
+            system,
+            app,
+            GovernorSpec::Magus {
+                cfg: MagusConfig::without_high_freq_lock(),
+            },
+        ),
+    ]);
+    let [base, with_run, without_run] = <[_; 3]>::try_from(outs).expect("three outcomes");
     HighFreqAblation {
-        with_lock: Comparison::against(&base.summary, &with_run.summary),
-        without_lock: Comparison::against(&base.summary, &without_run.summary),
+        with_lock: Comparison::against(&base.result.summary, &with_run.result.summary),
+        without_lock: Comparison::against(&base.result.summary, &without_run.result.summary),
     }
 }
 
 /// Ablation: monitoring-interval sweep (§6.4's 0.2 s choice).
 #[must_use]
-pub fn ablation_interval(app: AppId, intervals_s: &[f64]) -> Vec<(f64, Comparison)> {
+pub fn ablation_interval(
+    engine: &Engine,
+    app: AppId,
+    intervals_s: &[f64],
+) -> Vec<(f64, Comparison)> {
     let system = SystemId::IntelA100;
-    let opts = TrialOpts::default();
-    let mut base_d = NoopDriver;
-    let base = run_trial(system, app, &mut base_d, opts);
+    let mut specs = vec![TrialSpec::new(system, app, GovernorSpec::Default)];
+    specs.extend(intervals_s.iter().map(|&interval_s| {
+        TrialSpec::new(
+            system,
+            app,
+            GovernorSpec::Magus {
+                cfg: MagusConfig {
+                    monitor_interval_us: (interval_s * 1e6) as u64,
+                    ..MagusConfig::default()
+                },
+            },
+        )
+    }));
+    let outs = engine.run_suite(&specs);
+    let base = &outs[0];
     intervals_s
-        .par_iter()
-        .map(|&interval_s| {
-            let cfg = MagusConfig {
-                monitor_interval_us: (interval_s * 1e6) as u64,
-                ..MagusConfig::default()
-            };
-            let mut driver = MagusDriver::new(cfg);
-            let r = run_trial(system, app, &mut driver, opts);
-            (interval_s, Comparison::against(&base.summary, &r.summary))
+        .iter()
+        .zip(&outs[1..])
+        .map(|(&interval_s, out)| {
+            (
+                interval_s,
+                Comparison::against(&base.result.summary, &out.result.summary),
+            )
         })
         .collect()
 }
@@ -355,7 +425,7 @@ mod tests {
 
     #[test]
     fn evaluate_app_produces_sane_comparison() {
-        let eval = evaluate_app(SystemId::IntelA100, AppId::Bfs);
+        let eval = evaluate_app(&Engine::ephemeral(), SystemId::IntelA100, AppId::Bfs);
         assert_eq!(eval.app, "bfs");
         assert!(eval.baseline_runtime_s > 10.0);
         // MAGUS on a compute-heavy kernel: meaningful CPU power savings,
@@ -366,14 +436,22 @@ mod tests {
 
     #[test]
     fn fig2_reproduces_trade_off_direction() {
-        let data = fig2_unet_extremes();
-        assert!(data.pkg_power_drop_w() > 40.0, "{}", data.pkg_power_drop_w());
-        assert!(data.runtime_increase_pct() > 8.0, "{}", data.runtime_increase_pct());
+        let data = fig2_unet_extremes(&Engine::ephemeral());
+        assert!(
+            data.pkg_power_drop_w() > 40.0,
+            "{}",
+            data.pkg_power_drop_w()
+        );
+        assert!(
+            data.runtime_increase_pct() > 8.0,
+            "{}",
+            data.runtime_increase_pct()
+        );
     }
 
     #[test]
     fn fig1_profile_records_all_series() {
-        let r = fig1_unet_profile();
+        let r = fig1_unet_profile(&Engine::ephemeral());
         assert!(r.samples.len() > 100);
         // Every plotted series carries live data.
         assert!(r.samples.iter().any(|s| s.gpu_clock_mhz > 1000.0));
@@ -383,7 +461,7 @@ mod tests {
 
     #[test]
     fn fig5_traces_have_expected_relationships() {
-        let data = fig5_srad_case_study();
+        let data = fig5_srad_case_study(&Engine::ephemeral());
         let peak = |r: &crate::harness::TrialResult| {
             r.samples.iter().map(|s| s.mem_gbs).fold(0.0, f64::max)
         };
@@ -395,7 +473,7 @@ mod tests {
 
     #[test]
     fn srad_stats_lock_engages() {
-        let stats = srad_stats();
+        let stats = srad_stats(&Engine::ephemeral());
         assert!(stats.magus_high_freq_fraction > 0.15);
         assert!(stats.magus.perf_loss_pct < stats.ups.perf_loss_pct + 5.0);
     }

@@ -1,6 +1,8 @@
 //! Trial execution: one (system × application × runtime) run.
 
-use magus_hetsim::{secs_to_us, Node, NodeConfig, RunSummary, Simulation, TraceRecorder, TraceSample};
+use magus_hetsim::{
+    secs_to_us, Node, NodeConfig, RunSummary, Simulation, TraceRecorder, TraceSample,
+};
 use magus_workloads::{app_trace, AppId, Platform};
 use serde::{Deserialize, Serialize};
 
@@ -122,9 +124,31 @@ pub fn run_custom_trial(
     driver: &mut dyn RuntimeDriver,
     opts: TrialOpts,
 ) -> TrialResult {
+    run_custom_trial_capped(config, Some(trace), driver, opts, None)
+}
+
+/// The fully general trial executor behind every experiment path.
+///
+/// * `trace = None` runs an idle node for `opts.max_s` (the Table 2
+///   overhead protocol) — an idle simulation is never "done", so the
+///   budget is the only terminator.
+/// * `power_cap_w` programs a per-socket RAPL PL1 limit before the driver
+///   attaches (the §6.1 power-budget study).
+pub fn run_custom_trial_capped(
+    config: NodeConfig,
+    trace: Option<magus_hetsim::AppTrace>,
+    driver: &mut dyn RuntimeDriver,
+    opts: TrialOpts,
+    power_cap_w: Option<f64>,
+) -> TrialResult {
     let mut sim = Simulation::new(Node::new(config));
     sim.set_recorder(TraceRecorder::new(opts.record_interval_us));
-    sim.load(trace);
+    if let Some(trace) = trace {
+        sim.load(trace);
+    }
+    if let Some(w) = power_cap_w {
+        sim.node_mut().set_power_limit_w(w).expect("program PL1");
+    }
     driver.attach(&mut sim);
 
     let start_us = sim.node().time_us();
@@ -180,16 +204,30 @@ mod tests {
         assert!(r.summary.completed);
         // Baseline (uncore pinned at max) meets every demand: runtime ==
         // work content (32 s for bfs).
-        assert!((r.summary.runtime_s - 32.0).abs() < 0.5, "{}", r.summary.runtime_s);
+        assert!(
+            (r.summary.runtime_s - 32.0).abs() < 0.5,
+            "{}",
+            r.summary.runtime_s
+        );
         assert_eq!(r.invocations, 1); // the immediate first call only
     }
 
     #[test]
     fn min_uncore_stretches_runtime() {
         let mut base = NoopDriver;
-        let b = run_trial(SystemId::IntelA100, AppId::Unet, &mut base, TrialOpts::default());
+        let b = run_trial(
+            SystemId::IntelA100,
+            AppId::Unet,
+            &mut base,
+            TrialOpts::default(),
+        );
         let mut fixed = FixedUncoreDriver::new(0.8);
-        let f = run_trial(SystemId::IntelA100, AppId::Unet, &mut fixed, TrialOpts::default());
+        let f = run_trial(
+            SystemId::IntelA100,
+            AppId::Unet,
+            &mut fixed,
+            TrialOpts::default(),
+        );
         assert!(f.summary.runtime_s > b.summary.runtime_s * 1.1);
         assert!(f.summary.mean_cpu_w < b.summary.mean_cpu_w);
     }

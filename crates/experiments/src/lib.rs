@@ -1,12 +1,19 @@
 //! Experiment harness: everything needed to regenerate the paper's
 //! evaluation (§5–6).
 //!
+//! * [`engine`] — the trial-execution engine every experiment path goes
+//!   through: a [`TrialSpec`] (system × workload × governor × thresholds ×
+//!   seed) is content-hashed, scheduled over rayon with a deterministic
+//!   (spec-order) reduction, and memoized in a JSON result cache under
+//!   `results/cache/`; each run emits a manifest of hashes and hit/miss
+//!   counts.
 //! * [`drivers`] — runtime drivers binding MAGUS, UPS, fixed-frequency
 //!   policies, and the stock baseline to the simulated node, with realistic
 //!   invocation scheduling (measurement latency + rest interval).
-//! * [`harness`] — runs one (system × application × runtime) trial and
-//!   collects a [`TrialResult`]: runtime, energy decomposition, power/
-//!   throughput/uncore time series, decision telemetry.
+//! * [`harness`] — the low-level executor for one (system × application ×
+//!   runtime) trial, collecting a [`TrialResult`]: runtime, energy
+//!   decomposition, power/throughput/uncore time series, decision
+//!   telemetry. Prefer [`Engine::run`] — it adds caching and accounting.
 //! * [`metrics`] — the paper's three evaluation metrics (performance loss,
 //!   CPU power saving, total energy saving) plus the Jaccard burst-overlap
 //!   score of §6.3.
@@ -25,10 +32,12 @@
 //!   scaling as headroom under a RAPL package power limit.
 //!
 //! Trials are deterministic; suite-level sweeps fan out across trials with
-//! rayon (each trial owns its simulation, so parallelism is embarrassing).
+//! rayon (each trial owns its simulation, so parallelism is embarrassing),
+//! and parallel suites reduce bit-identically to serial ones.
 
 pub mod amd;
 pub mod drivers;
+pub mod engine;
 pub mod figures;
 pub mod harness;
 pub mod metrics;
@@ -39,6 +48,10 @@ pub mod replicate;
 pub mod report;
 
 pub use drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, UpsDriver};
+pub use engine::{
+    spec_hash, Engine, ExecMode, GovernorSpec, RunManifest, SystemSel, TrialOutcome, TrialSpec,
+    WorkloadSel, ENGINE_SALT,
+};
 pub use harness::{run_trial, SystemId, TrialOpts, TrialResult};
 pub use metrics::{burst_jaccard, Comparison};
 pub use pareto::{pareto_frontier, ParetoPoint};

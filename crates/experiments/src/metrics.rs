@@ -22,8 +22,7 @@ impl Comparison {
     pub fn against(baseline: &RunSummary, run: &RunSummary) -> Self {
         let perf_loss_pct = pct_change(baseline.runtime_s, run.runtime_s);
         let power_saving_pct = -pct_change(baseline.mean_cpu_w, run.mean_cpu_w);
-        let energy_saving_pct =
-            -pct_change(baseline.energy.total_j(), run.energy.total_j());
+        let energy_saving_pct = -pct_change(baseline.energy.total_j(), run.energy.total_j());
         Self {
             perf_loss_pct,
             power_saving_pct,

@@ -5,11 +5,17 @@
 //! time per invocation (hardware-counter collection + phase detection).
 //! Both fall out of the access-cost accounting here: MAGUS's single PCM
 //! measurement vs UPS's per-core MSR sweep.
+//!
+//! Measurements go through the trial engine as [`WorkloadSel::Idle`]
+//! specs (`trace = None`, so the wall-clock budget is the only
+//! terminator), which makes them cacheable and schedulable like every
+//! other trial.
+//!
+//! [`WorkloadSel::Idle`]: crate::engine::WorkloadSel::Idle
 
-use magus_hetsim::{secs_to_us, Node, Simulation};
 use serde::{Deserialize, Serialize};
 
-use crate::drivers::RuntimeDriver;
+use crate::engine::{Engine, GovernorSpec, TrialOutcome, TrialSpec};
 use crate::harness::SystemId;
 
 /// Table 2 row for one runtime on one system.
@@ -32,79 +38,74 @@ pub struct OverheadReport {
 /// Run an idle node for `duration_s` with no runtime and return its mean
 /// CPU-side power (W).
 #[must_use]
-pub fn idle_power_w(system: SystemId, duration_s: f64) -> f64 {
-    let mut sim = Simulation::new(Node::new(system.node_config()));
-    let ticks = secs_to_us(duration_s) / sim.node().config().tick_us;
-    for _ in 0..ticks {
-        sim.step();
+pub fn idle_power_w(engine: &Engine, system: SystemId, duration_s: f64) -> f64 {
+    engine
+        .run(&TrialSpec::idle(system, GovernorSpec::Default, duration_s))
+        .result
+        .summary
+        .mean_cpu_w
+}
+
+/// Assemble a Table 2 row from an idle-baseline outcome and a
+/// monitor-only loaded outcome of the same system and duration.
+#[must_use]
+pub fn report_from_outcomes(
+    system: SystemId,
+    idle: &TrialOutcome,
+    loaded: &TrialOutcome,
+) -> OverheadReport {
+    let idle_w = idle.result.summary.mean_cpu_w;
+    let loaded_w = loaded.result.summary.mean_cpu_w;
+    OverheadReport {
+        system: system.name().to_string(),
+        runtime: loaded.result.runtime.clone(),
+        power_overhead_pct: crate::metrics::pct_change(idle_w, loaded_w),
+        invocation_s: loaded.result.mean_invocation_us / 1e6,
+        idle_power_w: idle_w,
+        loaded_power_w: loaded_w,
     }
-    sim.node().energy().mean_cpu_w()
 }
 
 /// Measure a runtime's idle overhead (the Table 2 protocol).
+///
+/// The runtime runs in monitor-only mode — Table 2 measures monitoring +
+/// phase detection, "excluding uncore scaling" — so the node's uncore
+/// state stays identical to the idle baseline and the power delta is pure
+/// monitoring cost.
+#[must_use]
 pub fn measure_overhead(
+    engine: &Engine,
     system: SystemId,
-    driver: &mut dyn RuntimeDriver,
+    governor: &GovernorSpec,
     duration_s: f64,
 ) -> OverheadReport {
-    let idle = idle_power_w(system, duration_s);
-
-    let mut sim = Simulation::new(Node::new(system.node_config()));
-    // Table 2 measures monitoring + phase detection only, "excluding
-    // uncore scaling" — keep the node's uncore state identical to the idle
-    // baseline so the delta is pure monitoring cost.
-    driver.set_monitor_only(true);
-    driver.attach(&mut sim);
-    let budget_us = secs_to_us(duration_s);
-    let mut next_due_us = 0u64;
-    let mut invocations = 0u64;
-    let mut total_invocation_us = 0u64;
-    while sim.node().time_us() < budget_us {
-        if sim.node().time_us() >= next_due_us {
-            let latency = driver.on_decision(&mut sim);
-            invocations += 1;
-            total_invocation_us += latency;
-            let rest = driver.rest_interval_us();
-            next_due_us = if rest == u64::MAX {
-                u64::MAX
-            } else {
-                sim.node().time_us() + latency + rest
-            };
-        }
-        sim.step();
-    }
-    let loaded = sim.node().energy().mean_cpu_w();
-
-    OverheadReport {
-        system: system.name().to_string(),
-        runtime: driver.name().to_string(),
-        power_overhead_pct: crate::metrics::pct_change(idle, loaded),
-        invocation_s: if invocations == 0 {
-            0.0
-        } else {
-            total_invocation_us as f64 / invocations as f64 / 1e6
-        },
-        idle_power_w: idle,
-        loaded_power_w: loaded,
-    }
+    let outs = engine.run_suite(&[
+        TrialSpec::idle(system, GovernorSpec::Default, duration_s),
+        TrialSpec::idle(system, governor.clone(), duration_s).monitor_only(),
+    ]);
+    report_from_outcomes(system, &outs[0], &outs[1])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::drivers::{MagusDriver, UpsDriver};
 
     #[test]
     fn idle_power_is_stable_floor() {
-        let p = idle_power_w(SystemId::IntelA100, 30.0);
+        let p = idle_power_w(&Engine::ephemeral(), SystemId::IntelA100, 30.0);
         // 2 sockets × (static 24 + uncore@max ~53 + DRAM 10) ≈ 174 W.
         assert!(p > 120.0 && p < 220.0, "idle = {p}");
     }
 
     #[test]
     fn magus_overhead_is_small() {
-        let mut d = MagusDriver::with_defaults();
-        let r = measure_overhead(SystemId::IntelA100, &mut d, 60.0);
+        let engine = Engine::ephemeral();
+        let r = measure_overhead(
+            &engine,
+            SystemId::IntelA100,
+            &GovernorSpec::magus_default(),
+            60.0,
+        );
         assert!(
             r.power_overhead_pct > 0.1 && r.power_overhead_pct < 3.0,
             "overhead = {}%",
@@ -115,16 +116,29 @@ mod tests {
 
     #[test]
     fn ups_overhead_exceeds_magus() {
-        let mut m = MagusDriver::with_defaults();
-        let magus = measure_overhead(SystemId::IntelA100, &mut m, 60.0);
-        let mut u = UpsDriver::with_defaults();
-        let ups = measure_overhead(SystemId::IntelA100, &mut u, 60.0);
+        let engine = Engine::ephemeral();
+        let magus = measure_overhead(
+            &engine,
+            SystemId::IntelA100,
+            &GovernorSpec::magus_default(),
+            60.0,
+        );
+        let ups = measure_overhead(
+            &engine,
+            SystemId::IntelA100,
+            &GovernorSpec::ups_default(),
+            60.0,
+        );
         assert!(
             ups.power_overhead_pct > magus.power_overhead_pct * 2.0,
             "ups {}% vs magus {}%",
             ups.power_overhead_pct,
             magus.power_overhead_pct
         );
-        assert!(ups.invocation_s > 0.25 && ups.invocation_s < 0.4, "{}", ups.invocation_s);
+        assert!(
+            ups.invocation_s > 0.25 && ups.invocation_s < 0.4,
+            "{}",
+            ups.invocation_s
+        );
     }
 }

@@ -15,6 +15,16 @@ pub struct ParetoPoint {
 }
 
 impl ParetoPoint {
+    /// Project an engine outcome onto the (runtime, energy) plane.
+    #[must_use]
+    pub fn from_outcome(label: impl Into<String>, outcome: &crate::engine::TrialOutcome) -> Self {
+        Self {
+            label: label.into(),
+            runtime_s: outcome.result.summary.runtime_s,
+            energy_j: outcome.result.summary.energy.total_j(),
+        }
+    }
+
     /// True when `self` dominates `other` (no worse on both axes, strictly
     /// better on at least one).
     #[must_use]
@@ -63,8 +73,16 @@ pub fn distance_to_frontier(point: &ParetoPoint, frontier: &[ParetoPoint]) -> f6
             .iter()
             .map(|p| p.energy_j)
             .fold(f64::INFINITY, f64::min);
-    let rt_span = if rt_span <= 0.0 { point.runtime_s.max(1e-9) } else { rt_span };
-    let en_span = if en_span <= 0.0 { point.energy_j.max(1e-9) } else { en_span };
+    let rt_span = if rt_span <= 0.0 {
+        point.runtime_s.max(1e-9)
+    } else {
+        rt_span
+    };
+    let en_span = if en_span <= 0.0 {
+        point.energy_j.max(1e-9)
+    } else {
+        en_span
+    };
     frontier
         .iter()
         .map(|p| {

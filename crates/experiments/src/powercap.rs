@@ -8,14 +8,15 @@
 //! throttle the cores to fit — slowing any workload with a host-sensitive
 //! critical path. MAGUS releases that uncore power, leaving the cores
 //! their headroom.
+//!
+//! Capped trials are ordinary engine specs — [`TrialSpec::hybrid`] sets
+//! `power_cap_w`, and the harness programs PL1 before the driver attaches.
 
 use magus_hetsim::AppTrace;
 use magus_workloads::spec::{BurstTrainSpec, Segment, UtilSpec, WorkloadSpec};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::drivers::{MagusDriver, NoopDriver, RuntimeDriver};
-use crate::harness::{SystemId, TrialOpts, TrialResult};
+use crate::engine::{Engine, GovernorSpec, TrialSpec};
 
 /// One (cap, policy) cell of the study.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -59,79 +60,26 @@ pub fn hybrid_workload() -> AppTrace {
     .build()
 }
 
-fn run_capped(
-    system: SystemId,
-    trace: AppTrace,
-    cap_w: Option<f64>,
-    driver: &mut dyn RuntimeDriver,
-) -> TrialResult {
-    use magus_hetsim::{Node, Simulation, TraceRecorder};
-    let mut sim = Simulation::new(Node::new(system.node_config()));
-    sim.set_recorder(TraceRecorder::disabled());
-    sim.load(trace);
-    if let Some(w) = cap_w {
-        sim.node_mut().set_power_limit_w(w).expect("program PL1");
-    }
-    driver.attach(&mut sim);
-    let opts = TrialOpts::default();
-    let budget_us = magus_hetsim::secs_to_us(opts.max_s);
-    let mut next_due = 0u64;
-    let mut invocations = 0u64;
-    let mut total_invocation = 0u64;
-    while !sim.done() && sim.node().time_us() < budget_us {
-        if sim.node().time_us() >= next_due {
-            let latency = driver.on_decision(&mut sim);
-            invocations += 1;
-            total_invocation += latency;
-            let rest = driver.rest_interval_us();
-            next_due = if rest == u64::MAX {
-                u64::MAX
-            } else {
-                sim.node().time_us() + latency + rest
-            };
-        }
-        sim.step();
-    }
-    TrialResult {
-        runtime: driver.name().to_string(),
-        summary: sim.summary(0),
-        samples: Vec::new(),
-        invocations,
-        mean_invocation_us: if invocations == 0 {
-            0.0
-        } else {
-            total_invocation as f64 / invocations as f64
-        },
-    }
-}
-
 /// Run the study: each cap × {default, MAGUS} on the hybrid workload.
 #[must_use]
-pub fn powercap_study(caps_w: &[Option<f64>]) -> Vec<PowercapCell> {
-    let system = SystemId::IntelA100;
-    caps_w
-        .par_iter()
+pub fn powercap_study(engine: &Engine, caps_w: &[Option<f64>]) -> Vec<PowercapCell> {
+    let specs: Vec<TrialSpec> = caps_w
+        .iter()
         .flat_map(|&cap| {
-            let mut out = Vec::with_capacity(2);
-            let mut base = NoopDriver;
-            let b = run_capped(system, hybrid_workload(), cap, &mut base);
-            out.push(PowercapCell {
-                cap_w: cap,
-                policy: "default".into(),
-                runtime_s: b.summary.runtime_s,
-                mean_cpu_w: b.summary.mean_cpu_w,
-                energy_j: b.summary.energy.total_j(),
-            });
-            let mut magus = MagusDriver::with_defaults();
-            let m = run_capped(system, hybrid_workload(), cap, &mut magus);
-            out.push(PowercapCell {
-                cap_w: cap,
-                policy: "MAGUS".into(),
-                runtime_s: m.summary.runtime_s,
-                mean_cpu_w: m.summary.mean_cpu_w,
-                energy_j: m.summary.energy.total_j(),
-            });
-            out
+            [
+                TrialSpec::hybrid(GovernorSpec::Default, cap),
+                TrialSpec::hybrid(GovernorSpec::magus_default(), cap),
+            ]
+        })
+        .collect();
+    let outs = engine.run_suite(&specs);
+    outs.iter()
+        .map(|out| PowercapCell {
+            cap_w: out.spec.power_cap_w,
+            policy: out.result.runtime.clone(),
+            runtime_s: out.result.summary.runtime_s,
+            mean_cpu_w: out.result.summary.mean_cpu_w,
+            energy_j: out.result.summary.energy.total_j(),
         })
         .collect()
 }
@@ -149,7 +97,7 @@ mod tests {
 
     #[test]
     fn uncapped_policies_tie_on_runtime() {
-        let cells = powercap_study(&[None]);
+        let cells = powercap_study(&Engine::ephemeral(), &[None]);
         let base = cells.iter().find(|c| c.policy == "default").unwrap();
         let magus = cells.iter().find(|c| c.policy == "MAGUS").unwrap();
         assert!((base.runtime_s - 30.0).abs() < 0.3);
@@ -162,7 +110,7 @@ mod tests {
         // At 95 W/socket the stock governor must throttle the cores to pay
         // for its pinned-max uncore; MAGUS's uncore savings keep the cores
         // near their natural frequency.
-        let cells = powercap_study(&[Some(95.0)]);
+        let cells = powercap_study(&Engine::ephemeral(), &[Some(95.0)]);
         let base = cells.iter().find(|c| c.policy == "default").unwrap();
         let magus = cells.iter().find(|c| c.policy == "MAGUS").unwrap();
         assert!(

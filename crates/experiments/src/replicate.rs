@@ -7,13 +7,17 @@
 //! replication here re-seeds the node and re-jitters the workload —
 //! quantifying how sensitive every reported number is to the stochastic
 //! parts of the model.
+//!
+//! Replicates are ordinary engine trials: [`TrialSpec::replicate`]
+//! carries the repetition index, and the spec's `node_config()` /
+//! `build_trace()` apply the seed perturbations. Each (rep × policy) pair
+//! is independently cached and scheduled.
 
-use magus_workloads::{base_spec, AppId};
-use rayon::prelude::*;
+use magus_workloads::AppId;
 use serde::{Deserialize, Serialize};
 
-use crate::drivers::{MagusDriver, NoopDriver};
-use crate::harness::{run_custom_trial, SystemId, TrialOpts};
+use crate::engine::{Engine, GovernorSpec, TrialSpec};
+use crate::harness::SystemId;
 use crate::metrics::Comparison;
 
 /// Mean and sample standard deviation of a series.
@@ -30,14 +34,17 @@ impl Stat {
     #[must_use]
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { mean: 0.0, std: 0.0 };
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         if values.len() < 2 {
             return Self { mean, std: 0.0 };
         }
-        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-            / (values.len() - 1) as f64;
+        let var =
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
         Self {
             mean,
             std: var.sqrt(),
@@ -65,41 +72,46 @@ pub struct ReplicatedEval {
 /// Each replicate perturbs both the node's sensor-noise seed and the
 /// workload's jitter seed, mimicking run-to-run variation on hardware.
 #[must_use]
-pub fn evaluate_replicated(system: SystemId, app: AppId, replicates: usize) -> ReplicatedEval {
-    let comparisons: Vec<Comparison> = (0..replicates)
-        .into_par_iter()
-        .map(|rep| {
-            let mut cfg = system.node_config();
-            cfg.seed = cfg.seed.wrapping_add(0x9e37_79b9 * (rep as u64 + 1));
-            let mut spec = base_spec(app);
-            spec.seed = spec.seed.wrapping_add(rep as u64);
-            let mut spec_scaled = spec;
-            // Apply the platform's scaling the same way app_trace does by
-            // rebuilding through the catalog path for non-A100 systems.
-            if system != SystemId::IntelA100 {
-                // Replication analysis targets the single-GPU testbed; the
-                // scaling path is exercised by the figure suites.
-                spec_scaled.util = spec_scaled.util.across_gpus(system.platform().gpu_count());
-            }
-            let trace = spec_scaled.build();
-
-            let mut base_d = NoopDriver;
-            let base = run_custom_trial(cfg.clone(), trace.clone(), &mut base_d, TrialOpts::default());
-            let mut magus_d = MagusDriver::with_defaults();
-            let run = run_custom_trial(cfg, trace, &mut magus_d, TrialOpts::default());
-            Comparison::against(&base.summary, &run.summary)
+pub fn evaluate_replicated(
+    engine: &Engine,
+    system: SystemId,
+    app: AppId,
+    replicates: usize,
+) -> ReplicatedEval {
+    let specs: Vec<TrialSpec> = (0..replicates)
+        .flat_map(|rep| {
+            [
+                TrialSpec::new(system, app, GovernorSpec::Default).replicate(rep as u32),
+                TrialSpec::new(system, app, GovernorSpec::magus_default()).replicate(rep as u32),
+            ]
         })
+        .collect();
+    let outs = engine.run_suite(&specs);
+    let comparisons: Vec<Comparison> = outs
+        .chunks_exact(2)
+        .map(|pair| Comparison::against(&pair[0].result.summary, &pair[1].result.summary))
         .collect();
 
     ReplicatedEval {
         app: app.name().to_string(),
         replicates,
-        perf_loss_pct: Stat::of(&comparisons.iter().map(|c| c.perf_loss_pct).collect::<Vec<_>>()),
+        perf_loss_pct: Stat::of(
+            &comparisons
+                .iter()
+                .map(|c| c.perf_loss_pct)
+                .collect::<Vec<_>>(),
+        ),
         power_saving_pct: Stat::of(
-            &comparisons.iter().map(|c| c.power_saving_pct).collect::<Vec<_>>(),
+            &comparisons
+                .iter()
+                .map(|c| c.power_saving_pct)
+                .collect::<Vec<_>>(),
         ),
         energy_saving_pct: Stat::of(
-            &comparisons.iter().map(|c| c.energy_saving_pct).collect::<Vec<_>>(),
+            &comparisons
+                .iter()
+                .map(|c| c.energy_saving_pct)
+                .collect::<Vec<_>>(),
         ),
     }
 }
@@ -122,10 +134,14 @@ mod tests {
         // Five seeded repetitions (the paper's protocol): the means must be
         // in the paper band and the spread small — seed noise must not be
         // doing the work in our headline numbers.
-        let eval = evaluate_replicated(SystemId::IntelA100, AppId::Bfs, 5);
+        let eval = evaluate_replicated(&Engine::ephemeral(), SystemId::IntelA100, AppId::Bfs, 5);
         assert_eq!(eval.replicates, 5);
         assert!(eval.perf_loss_pct.mean < 5.0, "{:?}", eval.perf_loss_pct);
-        assert!(eval.energy_saving_pct.mean > 10.0, "{:?}", eval.energy_saving_pct);
+        assert!(
+            eval.energy_saving_pct.mean > 10.0,
+            "{:?}",
+            eval.energy_saving_pct
+        );
         assert!(
             eval.energy_saving_pct.std < 2.0,
             "energy saving unstable across seeds: {:?}",

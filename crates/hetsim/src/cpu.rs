@@ -118,7 +118,8 @@ impl CpuComplex {
     #[must_use]
     pub fn power_w(&self) -> f64 {
         let norm = (self.freq_ghz / self.cfg.core_freq_max_ghz).clamp(0.0, 1.0);
-        self.cfg.static_power_w + self.cfg.dyn_power_max_w * self.util * norm.powf(self.cfg.dyn_freq_exp)
+        self.cfg.static_power_w
+            + self.cfg.dyn_power_max_w * self.util * norm.powf(self.cfg.dyn_freq_exp)
     }
 
     /// Cumulative instructions retired across the socket.
@@ -250,7 +251,10 @@ mod tests {
         let ipc_stalled = stalled.instructions() / stalled.cycles();
         let coupling = stalled.config().ipc_stall_coupling;
         let expect = ipc_full * (1.0 - coupling * 0.5);
-        assert!((ipc_stalled - expect).abs() < 1e-9, "{ipc_stalled} vs {expect}");
+        assert!(
+            (ipc_stalled - expect).abs() < 1e-9,
+            "{ipc_stalled} vs {expect}"
+        );
     }
 
     #[test]

@@ -36,8 +36,8 @@ impl GpuDevice {
     pub fn step(&mut self, dt_s: f64, util: f64) {
         let util = util.clamp(0.0, 1.0);
         self.util = util;
-        let target =
-            self.cfg.sm_clock_min_mhz + (self.cfg.sm_clock_max_mhz - self.cfg.sm_clock_min_mhz) * util;
+        let target = self.cfg.sm_clock_min_mhz
+            + (self.cfg.sm_clock_max_mhz - self.cfg.sm_clock_min_mhz) * util;
         self.sm_clock_mhz += (target - self.sm_clock_mhz) * self.cfg.clock_alpha;
         self.energy_j += self.power_w() * dt_s;
     }

@@ -202,7 +202,11 @@ impl Node {
                 let excess_w = pkg_per_socket - limit.limit_w;
                 let cap = socket.cpu.freq_cap_ghz();
                 if excess_w > 0.0 {
-                    let current = if cap.is_finite() { cap } else { socket.cpu.config().core_freq_max_ghz };
+                    let current = if cap.is_finite() {
+                        cap
+                    } else {
+                        socket.cpu.config().core_freq_max_ghz
+                    };
                     socket.cpu.set_freq_cap(current - 0.02 * excess_w.min(40.0));
                 } else if excess_w < -5.0 && cap.is_finite() {
                     socket.cpu.set_freq_cap(cap + 0.05);
@@ -243,14 +247,24 @@ impl Node {
             .iter()
             .map(|s| s.cpu.throttle_factor())
             .fold(1.0f64, f64::min);
-        let cpu_frac = demand.cpu_frac.clamp(0.0, 1.0 - demand.mem_frac.clamp(0.0, 1.0));
+        let cpu_frac = demand
+            .cpu_frac
+            .clamp(0.0, 1.0 - demand.mem_frac.clamp(0.0, 1.0));
         let progress = if cpu_frac > 0.0 && throttle < 1.0 {
-            let mem_stretch = if mem_progress > 0.0 { 1.0 / mem_progress } else { f64::INFINITY };
+            let mem_stretch = if mem_progress > 0.0 {
+                1.0 / mem_progress
+            } else {
+                f64::INFINITY
+            };
             // mem_stretch already counts the (1 - mem_frac) remainder at
             // full speed; replace the cpu share of that remainder with the
             // throttled rate.
             let stretch = mem_stretch - cpu_frac + cpu_frac / throttle.max(1e-6);
-            if stretch.is_finite() { 1.0 / stretch } else { 0.0 }
+            if stretch.is_finite() {
+                1.0 / stretch
+            } else {
+                0.0
+            }
         } else {
             mem_progress
         };
@@ -282,7 +296,8 @@ impl Node {
 
         // 7. Energy accounting, node-level and per-socket (RAPL domains).
         self.energy.accumulate(&power, dt_s);
-        let pkg_per_socket_j = (power.core_w + power.uncore_w + power.overhead_w) / n_sockets * dt_s;
+        let pkg_per_socket_j =
+            (power.core_w + power.uncore_w + power.overhead_w) / n_sockets * dt_s;
         let dram_per_socket_j = power.dram_w / n_sockets * dt_s;
         for socket in &mut self.sockets {
             socket.pkg_energy_j += pkg_per_socket_j;
@@ -342,7 +357,9 @@ impl Node {
                 self.charge_monitoring(AccessCost::new(250.0, 260.0), false);
                 match addr {
                     MSR_RAPL_POWER_UNIT => Ok(unit.encode()),
-                    MSR_PKG_ENERGY_STATUS => Ok(unit.joules_to_counts(self.sockets[idx].pkg_energy_j)),
+                    MSR_PKG_ENERGY_STATUS => {
+                        Ok(unit.joules_to_counts(self.sockets[idx].pkg_energy_j))
+                    }
                     MSR_DRAM_ENERGY_STATUS => {
                         Ok(unit.joules_to_counts(self.sockets[idx].dram_energy_j))
                     }
@@ -667,7 +684,10 @@ mod tests {
             n.step(10_000, &demand);
         }
         let capped = n.last_power().pkg_w() / 2.0;
-        assert!(capped < 93.0, "capped socket power {capped} W vs limit 90 W");
+        assert!(
+            capped < 93.0,
+            "capped socket power {capped} W vs limit 90 W"
+        );
         assert!(n.sockets()[0].cpu.freq_cap_ghz().is_finite());
 
         // Disabling the limit releases the throttle.
@@ -737,10 +757,7 @@ mod tests {
         for _ in 0..500 {
             n.step(10_000, &demand);
         }
-        let throttled = n
-            .sockets()
-            .iter()
-            .any(|s| s.uncore.freq_ghz() < 2.2 - 1e-6);
+        let throttled = n.sockets().iter().any(|s| s.uncore.freq_ghz() < 2.2 - 1e-6);
         assert!(throttled, "TDP coupling never engaged");
     }
 }

@@ -171,7 +171,8 @@ impl Simulation {
                 }
             }
         }
-        self.recorder.observe(&self.node, demand.mem_gbs, self.progress_s);
+        self.recorder
+            .observe(&self.node, demand.mem_gbs, self.progress_s);
         outcome
     }
 
@@ -227,7 +228,11 @@ mod tests {
         let summary = sim.run_to_completion(60.0);
         assert!(summary.completed);
         // Low demand is always met: runtime == work content (± one tick).
-        assert!((summary.runtime_s - 5.0).abs() < 0.05, "{}", summary.runtime_s);
+        assert!(
+            (summary.runtime_s - 5.0).abs() < 0.05,
+            "{}",
+            summary.runtime_s
+        );
     }
 
     #[test]

@@ -124,7 +124,11 @@ mod tests {
             rec.observe(&node, demand.mem_gbs, 0.0);
         }
         // 1 s of run at 0.1 s interval -> ~10 samples.
-        assert!((9..=11).contains(&rec.samples().len()), "{}", rec.samples().len());
+        assert!(
+            (9..=11).contains(&rec.samples().len()),
+            "{}",
+            rec.samples().len()
+        );
         assert!(rec.samples().windows(2).all(|w| w[1].t_s > w[0].t_s));
     }
 

@@ -100,7 +100,9 @@ pub fn transact(
         }
         HsmpMessage::GetSocketPower => {
             let per_socket = node.last_power().pkg_w() / f64::from(node.config().sockets);
-            Ok(HsmpResponse::SocketPowerMw((per_socket * 1000.0).round() as u32))
+            Ok(HsmpResponse::SocketPowerMw(
+                (per_socket * 1000.0).round() as u32
+            ))
         }
     }
 }
@@ -123,7 +125,10 @@ mod tests {
     use magus_hetsim::Demand;
 
     fn setup() -> (Node, FabricPstateTable) {
-        (Node::new(amd_epyc_mi210()), FabricPstateTable::epyc_default())
+        (
+            Node::new(amd_epyc_mi210()),
+            FabricPstateTable::epyc_default(),
+        )
     }
 
     #[test]

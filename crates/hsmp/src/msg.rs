@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn unknown_ids_decode_to_none() {
-        assert_eq!(HsmpMessage::decode(MailboxWords { id: 0x7F, arg0: 0 }), None);
+        assert_eq!(
+            HsmpMessage::decode(MailboxWords { id: 0x7F, arg0: 0 }),
+            None
+        );
     }
 
     #[test]
@@ -100,7 +103,10 @@ mod tests {
     #[test]
     fn oversized_pstate_arg_rejected_on_decode() {
         assert_eq!(
-            HsmpMessage::decode(MailboxWords { id: 0x0B, arg0: 0x1_00 }),
+            HsmpMessage::decode(MailboxWords {
+                id: 0x0B,
+                arg0: 0x1_00
+            }),
             None
         );
     }

@@ -7,8 +7,8 @@
 //! floor" — which makes uncore-style scaling at least as attractive there,
 //! exactly the §6.6 argument for porting MAGUS.
 
-use magus_hetsim::{CpuConfig, GpuConfig, MemoryConfig, NodeConfig, UncoreConfig};
 use magus_hetsim::config::TdpGovernorConfig;
+use magus_hetsim::{CpuConfig, GpuConfig, MemoryConfig, NodeConfig, UncoreConfig};
 
 /// 2× EPYC 7763 + 1× Instinct MI210.
 #[must_use]

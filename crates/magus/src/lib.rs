@@ -36,7 +36,7 @@ pub mod predict;
 pub mod telemetry;
 
 pub use actuate::{ActuateError, MsrUncoreActuator, UncoreActuator};
-pub use config::MagusConfig;
+pub use config::{ConfigError, MagusConfig, MagusConfigBuilder};
 pub use daemon::MagusDaemon;
 pub use highfreq::HighFreqDetector;
 pub use mdfs::{MagusAction, MagusCore, UncoreLevel};

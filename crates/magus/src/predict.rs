@@ -73,13 +73,19 @@ mod tests {
     fn steep_ramp_predicts_increase() {
         // 0 -> 9000 over 10 samples: d = 1000 > 200.
         let vals: Vec<f64> = (0..10).map(|i| f64::from(i) * 1000.0).collect();
-        assert_eq!(predict_trend(&window_of(&vals), 200.0, 500.0), Trend::Increase);
+        assert_eq!(
+            predict_trend(&window_of(&vals), 200.0, 500.0),
+            Trend::Increase
+        );
     }
 
     #[test]
     fn steep_fall_predicts_decrease() {
         let vals: Vec<f64> = (0..10).rev().map(|i| f64::from(i) * 1000.0).collect();
-        assert_eq!(predict_trend(&window_of(&vals), 200.0, 500.0), Trend::Decrease);
+        assert_eq!(
+            predict_trend(&window_of(&vals), 200.0, 500.0),
+            Trend::Decrease
+        );
     }
 
     #[test]
@@ -87,24 +93,39 @@ mod tests {
         let up: Vec<f64> = (0..10).map(|i| f64::from(i) * 100.0).collect(); // d = 100
         assert_eq!(predict_trend(&window_of(&up), 200.0, 500.0), Trend::Stable);
         let down: Vec<f64> = (0..10).rev().map(|i| f64::from(i) * 400.0).collect(); // d = -400
-        assert_eq!(predict_trend(&window_of(&down), 200.0, 500.0), Trend::Stable);
+        assert_eq!(
+            predict_trend(&window_of(&down), 200.0, 500.0),
+            Trend::Stable
+        );
     }
 
     #[test]
     fn asymmetric_thresholds_are_respected() {
         // d = -450: decrease fires only when dec_threshold < 450.
         let down: Vec<f64> = (0..10).rev().map(|i| f64::from(i) * 450.0).collect();
-        assert_eq!(predict_trend(&window_of(&down), 200.0, 400.0), Trend::Decrease);
-        assert_eq!(predict_trend(&window_of(&down), 200.0, 500.0), Trend::Stable);
+        assert_eq!(
+            predict_trend(&window_of(&down), 200.0, 400.0),
+            Trend::Decrease
+        );
+        assert_eq!(
+            predict_trend(&window_of(&down), 200.0, 500.0),
+            Trend::Stable
+        );
     }
 
     #[test]
     fn threshold_is_strict_inequality() {
         // d exactly at the threshold does not fire (paper: d > tau_inc).
         let vals = [0.0, 200.0]; // d = 200
-        assert_eq!(predict_trend(&window_of(&vals), 200.0, 500.0), Trend::Stable);
+        assert_eq!(
+            predict_trend(&window_of(&vals), 200.0, 500.0),
+            Trend::Stable
+        );
         let vals = [0.0, 200.1];
-        assert_eq!(predict_trend(&window_of(&vals), 200.0, 500.0), Trend::Increase);
+        assert_eq!(
+            predict_trend(&window_of(&vals), 200.0, 500.0),
+            Trend::Increase
+        );
     }
 
     #[test]

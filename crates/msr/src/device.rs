@@ -132,6 +132,9 @@ mod tests {
             .update(scope, crate::MSR_UNCORE_RATIO_LIMIT, &mut |v| v | 0x1)
             .unwrap();
         assert_eq!(new, 0x0817);
-        assert_eq!(dev.read(scope, crate::MSR_UNCORE_RATIO_LIMIT).unwrap(), 0x0817);
+        assert_eq!(
+            dev.read(scope, crate::MSR_UNCORE_RATIO_LIMIT).unwrap(),
+            0x0817
+        );
     }
 }

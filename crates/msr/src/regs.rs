@@ -242,7 +242,9 @@ impl PkgPowerLimit {
     #[must_use]
     pub fn encode_with_unit(&self, power_exp: u8) -> u64 {
         let unit = f64::from(1u32 << power_exp);
-        let counts = (self.limit_w * unit).round().clamp(0.0, Self::POWER_MASK as f64) as u64;
+        let counts = (self.limit_w * unit)
+            .round()
+            .clamp(0.0, Self::POWER_MASK as f64) as u64;
         counts | if self.enabled { Self::ENABLE_BIT } else { 0 }
     }
 

@@ -210,9 +210,7 @@ mod tests {
     #[test]
     fn new_device_has_default_registers() {
         let mut dev = SimMsr::new(2, 80);
-        let unit = dev
-            .read(MsrScope::Package(0), MSR_RAPL_POWER_UNIT)
-            .unwrap();
+        let unit = dev.read(MsrScope::Package(0), MSR_RAPL_POWER_UNIT).unwrap();
         assert_eq!(RaplPowerUnit::decode(unit), RaplPowerUnit::default());
         let lim = dev
             .read(MsrScope::Package(1), MSR_UNCORE_RATIO_LIMIT)
@@ -257,13 +255,10 @@ mod tests {
     fn costs_are_scope_dependent_and_ledgered() {
         let mut dev = SimMsr::new(1, 2);
         dev.read(MsrScope::Core(0), IA32_FIXED_CTR0).unwrap();
-        dev.read(MsrScope::Package(0), MSR_PKG_ENERGY_STATUS).unwrap();
-        dev.write(
-            MsrScope::Package(0),
-            MSR_UNCORE_RATIO_LIMIT,
-            0x0816,
-        )
-        .unwrap();
+        dev.read(MsrScope::Package(0), MSR_PKG_ENERGY_STATUS)
+            .unwrap();
+        dev.write(MsrScope::Package(0), MSR_UNCORE_RATIO_LIMIT, 0x0816)
+            .unwrap();
         let costs = SimMsrCosts::default();
         let expect = costs.core_read + costs.package_read + costs.write;
         let pending = dev.ledger().pending();

@@ -108,7 +108,11 @@ mod tests {
         let report = meter.report();
         let model = node.energy().total_j() - model_start;
         let rel_err = (report.total_j() - model).abs() / model;
-        assert!(rel_err < 0.03, "meter {} vs model {model}", report.total_j());
+        assert!(
+            rel_err < 0.03,
+            "meter {} vs model {model}",
+            report.total_j()
+        );
         assert!((report.elapsed_s - 5.0).abs() < 0.05);
         assert!(report.mean_cpu_w() > 0.0);
     }

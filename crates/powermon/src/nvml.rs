@@ -104,7 +104,11 @@ mod tests {
         }
         let mut mon = GpuMonitor::new();
         let s = mon.sample(&mut node);
-        assert!((s.total_power_w() - 200.0).abs() < 1.0, "{}", s.total_power_w());
+        assert!(
+            (s.total_power_w() - 200.0).abs() < 1.0,
+            "{}",
+            s.total_power_w()
+        );
     }
 
     #[test]

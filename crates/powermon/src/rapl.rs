@@ -125,7 +125,12 @@ mod tests {
         // Modelled power over the same window (RAPL includes the overhead
         // energy the reads themselves charge, so allow a few watts).
         let model = node.last_power();
-        assert!((s.pkg_w - model.pkg_w()).abs() < 8.0, "{} vs {}", s.pkg_w, model.pkg_w());
+        assert!(
+            (s.pkg_w - model.pkg_w()).abs() < 8.0,
+            "{} vs {}",
+            s.pkg_w,
+            model.pkg_w()
+        );
         assert!((s.dram_w - model.dram_w).abs() < 3.0);
         assert!((s.interval_s - 1.0).abs() < 0.02);
         assert!(s.cpu_w() > s.pkg_w);

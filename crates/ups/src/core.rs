@@ -157,8 +157,7 @@ impl UpsCore {
                         // sustained starvation IPC is *steadily* low, so
                         // the descent resumes — UPS's characteristic
                         // failure on fluctuating workloads.
-                        self.target_ghz =
-                            (self.target_ghz - self.cfg.step_ghz).max(self.min_ghz);
+                        self.target_ghz = (self.target_ghz - self.cfg.step_ghz).max(self.min_ghz);
                     }
                     // Cycle-over-cycle reference.
                     self.ipc_ref = Some(mean_ipc);

@@ -101,7 +101,11 @@ impl UpsSampler {
                 busy += 1;
             }
         }
-        let mean_ipc = if busy == 0 { 0.0 } else { ipc_sum / f64::from(busy) };
+        let mean_ipc = if busy == 0 {
+            0.0
+        } else {
+            ipc_sum / f64::from(busy)
+        };
 
         let mut dram_j = 0.0;
         for (now, before) in self.prev_dram_counts.iter().zip(prev_dram.iter()) {

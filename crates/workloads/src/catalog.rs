@@ -10,9 +10,7 @@
 use magus_hetsim::AppTrace;
 use serde::{Deserialize, Serialize};
 
-use crate::spec::{
-    BurstTrainSpec, FluctuationSpec, InitSpec, Segment, UtilSpec, WorkloadSpec,
-};
+use crate::spec::{BurstTrainSpec, FluctuationSpec, InitSpec, Segment, UtilSpec, WorkloadSpec};
 
 /// Target platform for a workload instantiation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -88,9 +86,30 @@ impl AppId {
     pub fn all() -> &'static [AppId] {
         use AppId::*;
         &[
-            Bfs, Pathfinder, Cfd, CfdDouble, Fdtd2d, Gemm, Kmeans, Lavamd, Nw,
-            ParticlefilterFloat, ParticlefilterNaive, Raytracing, Sort, Srad, Where, MiniGan,
-            Cradl, Laghos, Sw4lite, Gromacs, Lammps, Unet, Resnet50, BertLarge,
+            Bfs,
+            Pathfinder,
+            Cfd,
+            CfdDouble,
+            Fdtd2d,
+            Gemm,
+            Kmeans,
+            Lavamd,
+            Nw,
+            ParticlefilterFloat,
+            ParticlefilterNaive,
+            Raytracing,
+            Sort,
+            Srad,
+            Where,
+            MiniGan,
+            Cradl,
+            Laghos,
+            Sw4lite,
+            Gromacs,
+            Lammps,
+            Unet,
+            Resnet50,
+            BertLarge,
         ]
     }
 
@@ -201,40 +220,176 @@ pub fn base_spec(app: AppId) -> WorkloadSpec {
         // staging bursts. The paper singles these out for the largest CPU
         // power savings ("BFS, GEMM, and Pathfinder ... higher CPU package
         // power savings", §6.1).
-        Bfs => periodic(app, 32.0, init_bursts(0.8, 1, 42.0), 5.4, 0.28, 108.0, 2.0, 0.45, u_lat),
-        Pathfinder => periodic(app, 30.0, init_bursts(0.8, 1, 40.0), 5.0, 0.28, 104.0, 2.5, 0.45, u_lat),
+        Bfs => periodic(
+            app,
+            32.0,
+            init_bursts(0.8, 1, 42.0),
+            5.4,
+            0.28,
+            108.0,
+            2.0,
+            0.45,
+            u_lat,
+        ),
+        Pathfinder => periodic(
+            app,
+            30.0,
+            init_bursts(0.8, 1, 40.0),
+            5.0,
+            0.28,
+            104.0,
+            2.5,
+            0.45,
+            u_lat,
+        ),
         Gemm => {
             // Jaccard 0.71: several brief init bursts land in the warm-up.
-            periodic(app, 26.0, init_bursts(2.3, 5, 75.0), 5.2, 0.2, 110.0, 2.0, 0.4, u)
+            periodic(
+                app,
+                26.0,
+                init_bursts(2.3, 5, 75.0),
+                5.2,
+                0.2,
+                110.0,
+                2.0,
+                0.4,
+                u,
+            )
         }
-        Kmeans => periodic(app, 30.0, init_bursts(1.0, 2, 45.0), 5.0, 0.28, 106.0, 3.0, 0.45, u),
-        Sort => periodic(app, 28.0, init_bursts(0.9, 2, 45.0), 4.6, 0.28, 108.0, 3.5, 0.5, u),
-        Where => periodic(app, 26.0, init_bursts(0.7, 1, 40.0), 5.0, 0.28, 102.0, 2.5, 0.45, u_lat),
-        Nw => periodic(app, 30.0, init_bursts(0.8, 1, 42.0), 4.8, 0.28, 105.0, 3.0, 0.5, u),
-        Raytracing => periodic(app, 34.0, init_bursts(1.2, 2, 60.0), 4.8, 0.2, 100.0, 4.0, 0.5, u),
+        Kmeans => periodic(
+            app,
+            30.0,
+            init_bursts(1.0, 2, 45.0),
+            5.0,
+            0.28,
+            106.0,
+            3.0,
+            0.45,
+            u,
+        ),
+        Sort => periodic(
+            app,
+            28.0,
+            init_bursts(0.9, 2, 45.0),
+            4.6,
+            0.28,
+            108.0,
+            3.5,
+            0.5,
+            u,
+        ),
+        Where => periodic(
+            app,
+            26.0,
+            init_bursts(0.7, 1, 40.0),
+            5.0,
+            0.28,
+            102.0,
+            2.5,
+            0.45,
+            u_lat,
+        ),
+        Nw => periodic(
+            app,
+            30.0,
+            init_bursts(0.8, 1, 42.0),
+            4.8,
+            0.28,
+            105.0,
+            3.0,
+            0.5,
+            u,
+        ),
+        Raytracing => periodic(
+            app,
+            34.0,
+            init_bursts(1.2, 2, 60.0),
+            4.8,
+            0.2,
+            100.0,
+            4.0,
+            0.5,
+            u,
+        ),
 
         // --- Moderately memory-active kernels.
-        Cfd => periodic(app, 32.0, init_bursts(1.0, 2, 70.0), 3.8, 0.28, 106.0, 5.0, 0.55, u),
+        Cfd => periodic(
+            app,
+            32.0,
+            init_bursts(1.0, 2, 70.0),
+            3.8,
+            0.28,
+            106.0,
+            5.0,
+            0.55,
+            u,
+        ),
         CfdDouble => {
             // Jaccard 0.63: init bursts inside warm-up.
-            periodic(app, 22.0, init_bursts(2.6, 6, 80.0), 4.2, 0.22, 112.0, 5.0, 0.58, u)
+            periodic(
+                app,
+                22.0,
+                init_bursts(2.6, 6, 80.0),
+                4.2,
+                0.22,
+                112.0,
+                5.0,
+                0.58,
+                u,
+            )
         }
-        Lavamd => periodic(app, 30.0, init_bursts(1.0, 2, 60.0), 3.6, 0.3, 104.0, 6.0, 0.55, u),
+        Lavamd => periodic(
+            app,
+            30.0,
+            init_bursts(1.0, 2, 60.0),
+            3.6,
+            0.3,
+            104.0,
+            6.0,
+            0.55,
+            u,
+        ),
         Fdtd2d => {
             // Jaccard 0.40: "multiple brief bursts during the initialization
             // phase ... before MAGUS starts uncore scaling" — the densest
             // init-burst pattern in the suite, with a ~3% perf loss.
-            periodic(app, 16.0, init_bursts(3.9, 9, 85.0), 4.5, 0.14, 108.0, 5.0, 0.55, u)
+            periodic(
+                app,
+                16.0,
+                init_bursts(3.9, 9, 85.0),
+                4.5,
+                0.14,
+                108.0,
+                5.0,
+                0.55,
+                u,
+            )
         }
 
         // --- Memory-intensive kernels: least downscaling headroom; the
         // paper names particlefilter_naive and srad as the low-savings end.
-        ParticlefilterFloat => {
-            periodic(app, 24.0, init_bursts(2.4, 6, 85.0), 2.8, 0.40, 110.0, 10.0, 0.62, u)
-        }
-        ParticlefilterNaive => {
-            periodic(app, 30.0, init_bursts(1.0, 2, 85.0), 2.2, 0.55, 112.0, 14.0, 0.65, u)
-        }
+        ParticlefilterFloat => periodic(
+            app,
+            24.0,
+            init_bursts(2.4, 6, 85.0),
+            2.8,
+            0.40,
+            110.0,
+            10.0,
+            0.62,
+            u,
+        ),
+        ParticlefilterNaive => periodic(
+            app,
+            30.0,
+            init_bursts(1.0, 2, 85.0),
+            2.2,
+            0.55,
+            112.0,
+            14.0,
+            0.65,
+            u,
+        ),
         Srad => srad_spec(),
 
         // --- ECP proxy applications.
@@ -437,16 +592,18 @@ fn srad_spec() -> WorkloadSpec {
 /// LAMMPS lose ~7% / ~5% under MAGUS despite its strong CPU power savings:
 /// the exchanges alternate at the edge of the 0.3 s decision period.
 fn multi_gpu_md_overrides(app: AppId, spec: &mut WorkloadSpec) {
-    let exchange = |dwell: f64, high: f64, frac: f64| Segment::Fluctuation(FluctuationSpec {
-        dwell_s: dwell,
-        // Values are pre-platform-scaling (the 4-GPU node multiplies by
-        // 1.9): the exchanges saturate most of the system bandwidth.
-        high_bw_gbs: high,
-        low_bw_gbs: 5.0,
-        mem_frac: frac,
-        jitter: 0.3,
-        ramp_s: 0.0,
-    });
+    let exchange = |dwell: f64, high: f64, frac: f64| {
+        Segment::Fluctuation(FluctuationSpec {
+            dwell_s: dwell,
+            // Values are pre-platform-scaling (the 4-GPU node multiplies by
+            // 1.9): the exchanges saturate most of the system bandwidth.
+            high_bw_gbs: high,
+            low_bw_gbs: 5.0,
+            mem_frac: frac,
+            jitter: 0.3,
+            ramp_s: 0.0,
+        })
+    };
     match app {
         AppId::Gromacs => {
             // Slow-ish alternation MAGUS tracks (and mistimes): big savings

@@ -124,8 +124,8 @@ pub fn load_spec(path: &Path) -> Result<(WorkloadSpec, AppTrace), LoadError> {
 mod tests {
     use super::*;
     use crate::{app_trace, base_spec, AppId, Platform};
-    use magus_hetsim::{Demand, Phase};
     use magus_hetsim::workload::PhaseKind;
+    use magus_hetsim::{Demand, Phase};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -161,14 +161,22 @@ mod tests {
 
         let mut bad = AppTrace::new(
             "bad",
-            vec![Phase::new(PhaseKind::Compute, 1.0, Demand::new(5.0, 0.2, 0.2, 0.5))],
+            vec![Phase::new(
+                PhaseKind::Compute,
+                1.0,
+                Demand::new(5.0, 0.2, 0.2, 0.5),
+            )],
         );
         bad.phases[0].demand.mem_gbs = f64::NAN;
         assert!(matches!(validate_trace(&bad), Err(LoadError::Invalid(_))));
 
         let mut frac = AppTrace::new(
             "frac",
-            vec![Phase::new(PhaseKind::Compute, 1.0, Demand::new(5.0, 0.2, 0.2, 0.5))],
+            vec![Phase::new(
+                PhaseKind::Compute,
+                1.0,
+                Demand::new(5.0, 0.2, 0.2, 0.5),
+            )],
         );
         frac.phases[0].demand.mem_frac = 1.5;
         assert!(matches!(validate_trace(&frac), Err(LoadError::Invalid(_))));

@@ -6,8 +6,8 @@
 //! we get exact repeatability instead and vary seeds explicitly where
 //! variance matters).
 
-use magus_hetsim::{AppTrace, Demand, Phase};
 use magus_hetsim::workload::PhaseKind;
+use magus_hetsim::{AppTrace, Demand, Phase};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -212,7 +212,11 @@ fn demand(bw_gbs: f64, mem_frac: f64, util: &UtilSpec, burst: bool) -> Demand {
         mem_gbs: bw_gbs,
         mem_frac,
         cpu_frac: util.cpu_frac,
-        cpu_util: if burst { util.cpu_burst } else { util.cpu_quiet },
+        cpu_util: if burst {
+            util.cpu_burst
+        } else {
+            util.cpu_quiet
+        },
         gpu_util: if burst {
             util.gpu_burst.clone()
         } else {
@@ -315,7 +319,11 @@ fn emit_bursts(
                 util,
             );
         }
-        let plateau = if ramp_emitted { burst_len - ramp } else { burst_len };
+        let plateau = if ramp_emitted {
+            burst_len - ramp
+        } else {
+            burst_len
+        };
         phases.push(Phase::new(
             PhaseKind::Burst,
             plateau.min(len_s - t).max(0.01),
@@ -341,7 +349,11 @@ fn emit_fluctuation(
         } else {
             (spec.low_bw_gbs, 0.15, PhaseKind::Compute)
         };
-        let ramp = if high { spec.ramp_s.min(dwell * 0.5) } else { 0.0 };
+        let ramp = if high {
+            spec.ramp_s.min(dwell * 0.5)
+        } else {
+            0.0
+        };
         let ramp_emitted = high && t + dwell <= len_s && ramp > 0.0;
         if ramp_emitted {
             emit_ramp(phases, spec.low_bw_gbs, bw, frac, ramp, util);
@@ -392,7 +404,11 @@ mod tests {
     #[test]
     fn total_work_matches_spec() {
         let trace = base_spec().build();
-        assert!((trace.total_work_s() - 20.0).abs() < 0.1, "{}", trace.total_work_s());
+        assert!(
+            (trace.total_work_s() - 20.0).abs() < 0.1,
+            "{}",
+            trace.total_work_s()
+        );
     }
 
     #[test]
@@ -460,8 +476,16 @@ mod tests {
         let trace = spec.build();
         // ~25 dwells of each level in 5 s at 0.2 s mean dwell.
         assert!(trace.len() > 15, "{}", trace.len());
-        let highs = trace.phases.iter().filter(|p| p.demand.mem_gbs > 50.0).count();
-        let lows = trace.phases.iter().filter(|p| p.demand.mem_gbs < 10.0).count();
+        let highs = trace
+            .phases
+            .iter()
+            .filter(|p| p.demand.mem_gbs > 50.0)
+            .count();
+        let lows = trace
+            .phases
+            .iter()
+            .filter(|p| p.demand.mem_gbs < 10.0)
+            .count();
         assert!(highs >= 8 && lows >= 8, "highs {highs} lows {lows}");
     }
 

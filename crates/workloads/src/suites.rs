@@ -9,8 +9,25 @@ use crate::catalog::AppId;
 pub fn fig4a_suite() -> Vec<AppId> {
     use AppId::*;
     vec![
-        Bfs, Pathfinder, Cfd, CfdDouble, Fdtd2d, Gemm, Kmeans, Lavamd, Nw, ParticlefilterFloat,
-        ParticlefilterNaive, Raytracing, Sort, Srad, Where, MiniGan, Cradl, Laghos, Sw4lite,
+        Bfs,
+        Pathfinder,
+        Cfd,
+        CfdDouble,
+        Fdtd2d,
+        Gemm,
+        Kmeans,
+        Lavamd,
+        Nw,
+        ParticlefilterFloat,
+        ParticlefilterNaive,
+        Raytracing,
+        Sort,
+        Srad,
+        Where,
+        MiniGan,
+        Cradl,
+        Laghos,
+        Sw4lite,
     ]
 }
 
@@ -37,9 +54,27 @@ pub fn fig4c_suite() -> Vec<AppId> {
 pub fn table1_suite() -> Vec<AppId> {
     use AppId::*;
     vec![
-        Bfs, Gemm, Pathfinder, Sort, Cfd, CfdDouble, Fdtd2d, Kmeans, Lavamd, Nw,
-        ParticlefilterFloat, Raytracing, Where, Laghos, MiniGan, Sw4lite, Unet, Resnet50,
-        BertLarge, Lammps, Gromacs,
+        Bfs,
+        Gemm,
+        Pathfinder,
+        Sort,
+        Cfd,
+        CfdDouble,
+        Fdtd2d,
+        Kmeans,
+        Lavamd,
+        Nw,
+        ParticlefilterFloat,
+        Raytracing,
+        Where,
+        Laghos,
+        MiniGan,
+        Sw4lite,
+        Unet,
+        Resnet50,
+        BertLarge,
+        Lammps,
+        Gromacs,
     ]
 }
 
@@ -69,8 +104,21 @@ mod tests {
     fn fig4b_is_subset_of_altis() {
         use AppId::*;
         let altis = [
-            Bfs, Pathfinder, Cfd, CfdDouble, Fdtd2d, Gemm, Kmeans, Lavamd, Nw,
-            ParticlefilterFloat, ParticlefilterNaive, Raytracing, Sort, Srad, Where,
+            Bfs,
+            Pathfinder,
+            Cfd,
+            CfdDouble,
+            Fdtd2d,
+            Gemm,
+            Kmeans,
+            Lavamd,
+            Nw,
+            ParticlefilterFloat,
+            ParticlefilterNaive,
+            Raytracing,
+            Sort,
+            Srad,
+            Where,
         ];
         for app in fig4b_suite() {
             assert!(altis.contains(&app), "{app}");
@@ -84,7 +132,11 @@ mod tests {
             assert!(
                 matches!(
                     app,
-                    AppId::Gromacs | AppId::Lammps | AppId::Unet | AppId::Resnet50 | AppId::BertLarge
+                    AppId::Gromacs
+                        | AppId::Lammps
+                        | AppId::Unet
+                        | AppId::Resnet50
+                        | AppId::BertLarge
                 ),
                 "{app}"
             );

@@ -7,36 +7,47 @@ use proptest::prelude::*;
 
 fn arb_burst_spec() -> impl Strategy<Value = BurstTrainSpec> {
     (
-        0.5f64..8.0,   // period
-        0.05f64..0.6,  // duty
+        0.5f64..8.0,    // period
+        0.05f64..0.6,   // duty
         20.0f64..150.0, // burst bw
-        0.0f64..10.0,  // quiet bw
-        0.1f64..0.9,   // burst mem frac
-        0.0f64..0.3,   // jitter
-        0.0f64..1.0,   // ramp
+        0.0f64..10.0,   // quiet bw
+        0.1f64..0.9,    // burst mem frac
+        0.0f64..0.3,    // jitter
+        0.0f64..1.0,    // ramp
     )
-        .prop_map(|(period_s, duty, burst_bw, quiet_bw, frac, jitter, ramp_s)| BurstTrainSpec {
-            period_s,
-            duty,
-            burst_bw_gbs: burst_bw,
-            quiet_bw_gbs: quiet_bw,
-            burst_mem_frac: frac,
-            quiet_mem_frac: 0.08,
-            jitter,
-            ramp_s,
-        })
+        .prop_map(
+            |(period_s, duty, burst_bw, quiet_bw, frac, jitter, ramp_s)| BurstTrainSpec {
+                period_s,
+                duty,
+                burst_bw_gbs: burst_bw,
+                quiet_bw_gbs: quiet_bw,
+                burst_mem_frac: frac,
+                quiet_mem_frac: 0.08,
+                jitter,
+                ramp_s,
+            },
+        )
 }
 
 fn arb_fluct_spec() -> impl Strategy<Value = FluctuationSpec> {
-    (0.05f64..2.0, 20.0f64..150.0, 0.0f64..10.0, 0.1f64..0.95, 0.0f64..0.4, 0.0f64..0.5)
-        .prop_map(|(dwell_s, high, low, frac, jitter, ramp_s)| FluctuationSpec {
-            dwell_s,
-            high_bw_gbs: high,
-            low_bw_gbs: low,
-            mem_frac: frac,
-            jitter,
-            ramp_s,
-        })
+    (
+        0.05f64..2.0,
+        20.0f64..150.0,
+        0.0f64..10.0,
+        0.1f64..0.95,
+        0.0f64..0.4,
+        0.0f64..0.5,
+    )
+        .prop_map(
+            |(dwell_s, high, low, frac, jitter, ramp_s)| FluctuationSpec {
+                dwell_s,
+                high_bw_gbs: high,
+                low_bw_gbs: low,
+                mem_frac: frac,
+                jitter,
+                ramp_s,
+            },
+        )
 }
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {

@@ -5,24 +5,37 @@
 //! cargo run --release --bin magus -- compare --app UNet
 //! cargo run --release --bin magus -- suite --system intel-max1550
 //! ```
+//!
+//! Every command goes through the trial engine: results are cached under
+//! `results/cache/` by spec hash, trials are scheduled in parallel, and
+//! each run writes a manifest next to the cache. `--no-cache` / `--serial`
+//! (or `MAGUS_CACHE=off` / `MAGUS_SERIAL=1`) opt out.
 
 use std::process::ExitCode;
 
-use magus_suite::cli::{parse, usage, Command, RuntimeSel};
-use magus_suite::experiments::drivers::{
-    FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, UpsDriver,
-};
+use magus_suite::cli::{parse, usage, Command, EngineOpts, Invocation};
+use magus_suite::experiments::engine::{Engine, GovernorSpec, TrialSpec};
 use magus_suite::experiments::figures::{evaluate_app, fig4, fig7_sensitivity};
-use magus_suite::experiments::harness::{run_trial, SystemId, TrialOpts};
-use magus_suite::experiments::overhead::measure_overhead;
+use magus_suite::experiments::harness::SystemId;
 use magus_suite::experiments::pareto::{distance_to_frontier, pareto_frontier};
 use magus_suite::experiments::report::render_fig4_table;
 use magus_suite::workloads::AppId;
 
+fn build_engine(opts: EngineOpts) -> Engine {
+    let mut engine = Engine::from_env();
+    if opts.no_cache {
+        engine = engine.without_cache();
+    }
+    if opts.serial {
+        engine = engine.serial();
+    }
+    engine
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let command = match parse(&args) {
-        Ok(cmd) => cmd,
+    let Invocation { command, engine } = match parse(&args) {
+        Ok(inv) => inv,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", usage());
             return ExitCode::FAILURE;
@@ -34,26 +47,60 @@ fn main() -> ExitCode {
         Command::Run {
             system,
             app,
-            runtime,
+            governor,
             json,
-        } => run(system, app, runtime, json),
-        Command::Compare { system, app } => compare(system, app),
-        Command::Suite { system } => {
-            let rows = fig4(system);
-            print!("{}", render_fig4_table(system.name(), &rows));
+        } => {
+            let engine = build_engine(engine);
+            run(&engine, system, app, governor, json);
+            engine.finish("run");
         }
-        Command::Overhead { system, duration_s } => overhead(system, duration_s),
-        Command::Sweep { app } => sweep(app),
-        Command::Powercap => powercap(),
-        Command::Variance { app, replicates } => variance(app, replicates),
-        Command::Amd => amd(),
+        Command::Compare { system, app } => {
+            let engine = build_engine(engine);
+            compare(&engine, system, app);
+            engine.finish("compare");
+        }
+        Command::Suite { system } => {
+            let engine = build_engine(engine);
+            let rows = fig4(&engine, system);
+            print!("{}", render_fig4_table(system.name(), &rows));
+            engine.finish("suite");
+        }
+        Command::Overhead { system, duration_s } => {
+            let engine = build_engine(engine);
+            overhead(&engine, system, duration_s);
+            engine.finish("overhead");
+        }
+        Command::Sweep { app } => {
+            let engine = build_engine(engine);
+            sweep(&engine, app);
+            engine.finish("sweep");
+        }
+        Command::Powercap => {
+            let engine = build_engine(engine);
+            powercap(&engine);
+            engine.finish("powercap");
+        }
+        Command::Variance { app, replicates } => {
+            let engine = build_engine(engine);
+            variance(&engine, app, replicates);
+            engine.finish("variance");
+        }
+        Command::Amd => {
+            let engine = build_engine(engine);
+            amd(&engine);
+            engine.finish("amd");
+        }
     }
     ExitCode::SUCCESS
 }
 
 fn list() {
     println!("systems:");
-    for s in [SystemId::IntelA100, SystemId::Intel4A100, SystemId::IntelMax1550] {
+    for s in [
+        SystemId::IntelA100,
+        SystemId::Intel4A100,
+        SystemId::IntelMax1550,
+    ] {
         let cfg = s.node_config();
         println!(
             "  {:<14} {} sockets x {} cores, uncore {:.1}-{:.1} GHz, {} GPU(s)",
@@ -71,26 +118,13 @@ fn list() {
     }
 }
 
-fn make_driver(system: SystemId, sel: RuntimeSel) -> Box<dyn RuntimeDriver> {
-    match sel {
-        RuntimeSel::Default => Box::new(NoopDriver),
-        RuntimeSel::Magus => Box::new(MagusDriver::with_defaults()),
-        RuntimeSel::Ups => Box::new(UpsDriver::with_defaults()),
-        RuntimeSel::Fixed(ghz) => {
-            let _ = system; // range clamping happens in the node
-            Box::new(FixedUncoreDriver::new(ghz))
-        }
+fn run(engine: &Engine, system: SystemId, app: AppId, governor: GovernorSpec, json: bool) {
+    let mut spec = TrialSpec::new(system, app, governor);
+    if json {
+        spec = spec.recorded();
     }
-}
-
-fn run(system: SystemId, app: AppId, sel: RuntimeSel, json: bool) {
-    let mut driver = make_driver(system, sel);
-    let opts = if json {
-        TrialOpts::recorded()
-    } else {
-        TrialOpts::default()
-    };
-    let r = run_trial(system, app, driver.as_mut(), opts);
+    let out = engine.run(&spec);
+    let r = out.result;
     if json {
         match serde_json::to_string_pretty(&r) {
             Ok(s) => println!("{s}"),
@@ -99,7 +133,7 @@ fn run(system: SystemId, app: AppId, sel: RuntimeSel, json: bool) {
         return;
     }
     println!(
-        "{} on {} under {}: runtime {:.2} s ({}), mean CPU {:.1} W, total energy {:.0} J, {} invocations (mean {:.0} ms)",
+        "{} on {} under {}: runtime {:.2} s ({}), mean CPU {:.1} W, total energy {:.0} J, {} invocations (mean {:.0} ms){}",
         app,
         system.name(),
         r.runtime,
@@ -109,14 +143,18 @@ fn run(system: SystemId, app: AppId, sel: RuntimeSel, json: bool) {
         r.summary.energy.total_j(),
         r.invocations,
         r.mean_invocation_us / 1000.0,
+        if out.cached { " [cached]" } else { "" },
     );
 }
 
-fn compare(system: SystemId, app: AppId) {
-    let eval = evaluate_app(system, app);
+fn compare(engine: &Engine, system: SystemId, app: AppId) {
+    let eval = evaluate_app(engine, system, app);
     println!(
         "{} on {} (baseline {:.1} s, {:.1} W CPU)",
-        eval.app, system.name(), eval.baseline_runtime_s, eval.baseline_cpu_w
+        eval.app,
+        system.name(),
+        eval.baseline_runtime_s,
+        eval.baseline_cpu_w
     );
     for (name, c) in [("MAGUS", eval.magus), ("UPS", eval.ups)] {
         println!(
@@ -126,22 +164,26 @@ fn compare(system: SystemId, app: AppId) {
     }
 }
 
-fn overhead(system: SystemId, duration_s: f64) {
-    let mut magus = MagusDriver::with_defaults();
-    let m = measure_overhead(system, &mut magus, duration_s);
-    let mut ups = UpsDriver::with_defaults();
-    let u = measure_overhead(system, &mut ups, duration_s);
+fn overhead(engine: &Engine, system: SystemId, duration_s: f64) {
+    use magus_suite::experiments::overhead::measure_overhead;
+    let m = measure_overhead(engine, system, &GovernorSpec::magus_default(), duration_s);
+    let u = measure_overhead(engine, system, &GovernorSpec::ups_default(), duration_s);
     for r in [m, u] {
         println!(
             "{:<16} {:<6} power overhead {:>5.2}% | invocation {:>5.2} s (idle {:.1} W -> {:.1} W)",
-            r.system, r.runtime, r.power_overhead_pct, r.invocation_s, r.idle_power_w, r.loaded_power_w
+            r.system,
+            r.runtime,
+            r.power_overhead_pct,
+            r.invocation_s,
+            r.idle_power_w,
+            r.loaded_power_w
         );
     }
 }
 
-fn powercap() {
+fn powercap(engine: &Engine) {
     let caps = [None, Some(120.0), Some(105.0), Some(95.0), Some(85.0)];
-    for c in magus_suite::experiments::powercap::powercap_study(&caps) {
+    for c in magus_suite::experiments::powercap::powercap_study(engine, &caps) {
         println!(
             "cap {:>6} | {:<8} runtime {:>7.2} s | mean CPU {:>6.1} W | energy {:>8.0} J",
             c.cap_w.map_or("none".into(), |w| format!("{w:.0} W")),
@@ -153,8 +195,9 @@ fn powercap() {
     }
 }
 
-fn variance(app: AppId, replicates: usize) {
+fn variance(engine: &Engine, app: AppId, replicates: usize) {
     let e = magus_suite::experiments::replicate::evaluate_replicated(
+        engine,
         SystemId::IntelA100,
         app,
         replicates,
@@ -172,11 +215,9 @@ fn variance(app: AppId, replicates: usize) {
     );
 }
 
-fn amd() {
-    use magus_suite::workloads::{app_trace, Platform};
+fn amd(engine: &Engine) {
     for app in [AppId::Bfs, AppId::Srad, AppId::Unet] {
-        let (cmp, summary) =
-            magus_suite::experiments::amd::evaluate_amd(app_trace(app, Platform::IntelA100));
+        let (cmp, summary) = magus_suite::experiments::amd::evaluate_amd(engine, app);
         println!(
             "{:<12} on AMD+MI210 via HSMP: loss {:>5.2}% | power saving {:>6.2}% | energy saving {:>6.2}% ({:.1} s)",
             app.name(),
@@ -188,8 +229,8 @@ fn amd() {
     }
 }
 
-fn sweep(app: AppId) {
-    let result = fig7_sensitivity(app);
+fn sweep(engine: &Engine, app: AppId) {
+    let result = fig7_sensitivity(engine, app);
     let frontier = pareto_frontier(&result.points);
     println!(
         "{}: {} configurations, {} on the Pareto frontier",
@@ -198,7 +239,10 @@ fn sweep(app: AppId) {
         frontier.len()
     );
     for p in &frontier {
-        println!("  {:<30} runtime {:>7.2} s  energy {:>9.0} J", p.label, p.runtime_s, p.energy_j);
+        println!(
+            "  {:<30} runtime {:>7.2} s  energy {:>9.0} J",
+            p.label, p.runtime_s, p.energy_j
+        );
     }
     println!(
         "  default ({}) distance-to-frontier: {:.4}",

@@ -2,24 +2,49 @@
 //!
 //! Parsing is hand-rolled (the workspace's dependency policy has no CLI
 //! crate) and lives here, separated from I/O, so every command line maps
-//! to a typed [`Command`] that unit tests can assert on.
+//! to a typed [`Invocation`] that unit tests can assert on. Runtime
+//! selection parses straight into the engine's [`GovernorSpec`] — the
+//! same type every experiment path consumes — so there is exactly one
+//! string→governor conversion in the whole suite, and `magus:<k=v,...>`
+//! thresholds go through the validating [`MagusConfig::builder`].
 
+use magus_experiments::engine::GovernorSpec;
 use magus_experiments::harness::SystemId;
+use magus_runtime::MagusConfig;
 use magus_workloads::AppId;
 
-/// A parsed CLI invocation.
+/// A parsed CLI invocation: the command plus engine-wide options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// What to do.
+    pub command: Command,
+    /// How the trial engine should execute it.
+    pub engine: EngineOpts,
+}
+
+/// Global engine options, valid on every command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineOpts {
+    /// `--no-cache`: always simulate; don't read or write `results/cache`.
+    pub no_cache: bool,
+    /// `--serial`: run trials one at a time (results are bit-identical to
+    /// the parallel default; this only trades wall time for quiet cores).
+    pub serial: bool,
+}
+
+/// A parsed CLI command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// List available applications and systems.
     List,
-    /// Run one application under one runtime.
+    /// Run one application under one governor.
     Run {
         /// Target system.
         system: SystemId,
         /// Application to run.
         app: AppId,
-        /// Runtime selector.
-        runtime: RuntimeSel,
+        /// Governor selector.
+        governor: GovernorSpec,
         /// Emit the recorded trace as JSON to stdout.
         json: bool,
     },
@@ -62,19 +87,6 @@ pub enum Command {
     Help,
 }
 
-/// Runtime selection for `run`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum RuntimeSel {
-    /// The stock TDP-coupled governor only.
-    Default,
-    /// MAGUS with paper-default thresholds.
-    Magus,
-    /// The UPS baseline.
-    Ups,
-    /// Uncore pinned to a fixed frequency (GHz).
-    Fixed(f64),
-}
-
 /// Parse errors with user-facing messages.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -103,28 +115,56 @@ fn parse_app(s: &str) -> Result<AppId, ParseError> {
         .ok_or_else(|| ParseError(format!("unknown application '{s}' (see `magus list`)")))
 }
 
-fn parse_runtime(s: &str) -> Result<RuntimeSel, ParseError> {
+/// Parse a governor selector: `default`/`baseline`, `magus`, `ups`,
+/// `fixed:<ghz>`, or `magus:<k=v,...>` with custom thresholds.
+fn parse_governor(s: &str) -> Result<GovernorSpec, ParseError> {
     let lower = s.to_ascii_lowercase();
     match lower.as_str() {
-        "default" | "baseline" => Ok(RuntimeSel::Default),
-        "magus" => Ok(RuntimeSel::Magus),
-        "ups" => Ok(RuntimeSel::Ups),
-        _ => {
-            if let Some(ghz) = lower.strip_prefix("fixed:") {
-                let ghz: f64 = ghz
-                    .parse()
-                    .map_err(|_| ParseError(format!("bad frequency in '{s}'")))?;
-                if !(0.1..=10.0).contains(&ghz) {
-                    return Err(ParseError(format!("frequency {ghz} GHz out of range")));
-                }
-                Ok(RuntimeSel::Fixed(ghz))
-            } else {
-                Err(ParseError(format!(
-                    "unknown runtime '{s}' (expected default, magus, ups, fixed:<ghz>)"
-                )))
-            }
-        }
+        "default" | "baseline" => return Ok(GovernorSpec::Default),
+        "magus" => return Ok(GovernorSpec::magus_default()),
+        "ups" => return Ok(GovernorSpec::ups_default()),
+        _ => {}
     }
+    if let Some(ghz) = lower.strip_prefix("fixed:") {
+        let ghz: f64 = ghz
+            .parse()
+            .map_err(|_| ParseError(format!("bad frequency in '{s}'")))?;
+        if !(0.1..=10.0).contains(&ghz) {
+            return Err(ParseError(format!("frequency {ghz} GHz out of range")));
+        }
+        return Ok(GovernorSpec::Fixed { ghz });
+    }
+    if let Some(kvs) = lower.strip_prefix("magus:") {
+        let mut builder = MagusConfig::builder();
+        for kv in kvs.split(',').filter(|kv| !kv.is_empty()) {
+            let (key, value) = kv
+                .split_once('=')
+                .ok_or_else(|| ParseError(format!("expected key=value, got '{kv}'")))?;
+            let bad = |what: &str| ParseError(format!("bad {what} in '{kv}'"));
+            builder = match key {
+                "inc" => builder.inc_threshold(value.parse().map_err(|_| bad("inc threshold"))?),
+                "dec" => builder.dec_threshold(value.parse().map_err(|_| bad("dec threshold"))?),
+                "hf" => builder
+                    .high_freq_threshold(value.parse().map_err(|_| bad("high-freq threshold"))?),
+                "interval_ms" => {
+                    let ms: f64 = value.parse().map_err(|_| bad("interval"))?;
+                    builder.monitor_interval_us((ms * 1000.0) as u64)
+                }
+                other => {
+                    return Err(ParseError(format!(
+                        "unknown magus parameter '{other}' (expected inc, dec, hf, interval_ms)"
+                    )))
+                }
+            };
+        }
+        let cfg = builder
+            .build()
+            .map_err(|e| ParseError(format!("invalid magus thresholds: {e}")))?;
+        return Ok(GovernorSpec::Magus { cfg });
+    }
+    Err(ParseError(format!(
+        "unknown runtime '{s}' (expected default, magus, ups, fixed:<ghz>, magus:<k=v,...>)"
+    )))
 }
 
 /// Extract `--flag value` from an argument list, returning the remainder.
@@ -148,9 +188,18 @@ fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
 }
 
 /// Parse a full argument vector (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
+    let mut args: Vec<String> = args.to_vec();
+    // Engine options are global: valid anywhere on the command line.
+    let engine = EngineOpts {
+        no_cache: take_switch(&mut args, "--no-cache"),
+        serial: take_switch(&mut args, "--serial"),
+    };
     let Some((cmd, rest)) = args.split_first() else {
-        return Ok(Command::Help);
+        return Ok(Invocation {
+            command: Command::Help,
+            engine,
+        });
     };
     let mut rest: Vec<String> = rest.to_vec();
     let command = match cmd.as_str() {
@@ -163,14 +212,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let app = parse_app(
                 &take_flag(&mut rest, "--app").ok_or(ParseError("run requires --app".into()))?,
             )?;
-            let runtime = parse_runtime(
+            let governor = parse_governor(
                 &take_flag(&mut rest, "--runtime").unwrap_or_else(|| "magus".into()),
             )?;
             let json = take_switch(&mut rest, "--json");
             Command::Run {
                 system,
                 app,
-                runtime,
+                governor,
                 json,
             }
         }
@@ -232,7 +281,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     if let Some(stray) = rest.first() {
         return Err(ParseError(format!("unexpected argument '{stray}'")));
     }
-    Ok(command)
+    Ok(Invocation { command, engine })
 }
 
 /// Usage text.
@@ -242,7 +291,7 @@ pub fn usage() -> &'static str {
 
 USAGE:
   magus list
-  magus run --app <name> [--system <sys>] [--runtime default|magus|ups|fixed:<ghz>] [--json]
+  magus run --app <name> [--system <sys>] [--runtime <gov>] [--json]
   magus compare --app <name> [--system <sys>]
   magus suite [--system <sys>]
   magus overhead [--system <sys>] [--duration <s>]
@@ -251,8 +300,14 @@ USAGE:
   magus variance --app <name> [--replicates <n>]
   magus amd
 
-SYSTEMS: intel-a100 (default), intel-4a100, intel-max1550
-APPS:    run `magus list`"
+GOVERNORS: default | magus | ups | fixed:<ghz> | magus:<k=v,...>
+           (magus keys: inc, dec, hf, interval_ms — validated before use)
+ENGINE:    --no-cache (always simulate), --serial (one trial at a time);
+           MAGUS_CACHE_DIR / MAGUS_CACHE=off / MAGUS_SERIAL=1 do the same
+           from the environment. Trials are cached under results/cache by
+           spec hash; each command writes a run manifest next to it.
+SYSTEMS:   intel-a100 (default), intel-4a100, intel-max1550
+APPS:      run `magus list`"
 }
 
 #[cfg(test)]
@@ -263,24 +318,40 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    /// Parse and unwrap just the command (engine opts asserted separately).
+    fn cmd(args: &[&str]) -> Command {
+        parse(&v(args)).unwrap().command
+    }
+
     #[test]
     fn empty_args_show_help() {
-        assert_eq!(parse(&[]), Ok(Command::Help));
-        assert_eq!(parse(&v(&["--help"])), Ok(Command::Help));
+        assert_eq!(cmd(&[]), Command::Help);
+        assert_eq!(cmd(&["--help"]), Command::Help);
+        assert_eq!(parse(&[]).unwrap().engine, EngineOpts::default());
+    }
+
+    #[test]
+    fn list_round_trips() {
+        assert_eq!(cmd(&["list"]), Command::List);
     }
 
     #[test]
     fn run_parses_full_form() {
-        let cmd = parse(&v(&[
-            "run", "--system", "intel-max1550", "--app", "srad", "--runtime", "ups", "--json",
-        ]))
-        .unwrap();
         assert_eq!(
-            cmd,
+            cmd(&[
+                "run",
+                "--system",
+                "intel-max1550",
+                "--app",
+                "srad",
+                "--runtime",
+                "ups",
+                "--json",
+            ]),
             Command::Run {
                 system: SystemId::IntelMax1550,
                 app: AppId::Srad,
-                runtime: RuntimeSel::Ups,
+                governor: GovernorSpec::ups_default(),
                 json: true,
             }
         );
@@ -288,13 +359,12 @@ mod tests {
 
     #[test]
     fn run_defaults_system_and_runtime() {
-        let cmd = parse(&v(&["run", "--app", "bfs"])).unwrap();
         assert_eq!(
-            cmd,
+            cmd(&["run", "--app", "bfs"]),
             Command::Run {
                 system: SystemId::IntelA100,
                 app: AppId::Bfs,
-                runtime: RuntimeSel::Magus,
+                governor: GovernorSpec::magus_default(),
                 json: false,
             }
         );
@@ -302,14 +372,50 @@ mod tests {
 
     #[test]
     fn fixed_runtime_parses_frequency() {
-        let cmd = parse(&v(&["run", "--app", "bfs", "--runtime", "fixed:1.4"])).unwrap();
-        match cmd {
+        match cmd(&["run", "--app", "bfs", "--runtime", "fixed:1.4"]) {
             Command::Run {
-                runtime: RuntimeSel::Fixed(ghz),
+                governor: GovernorSpec::Fixed { ghz },
                 ..
             } => assert!((ghz - 1.4).abs() < 1e-12),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn magus_governor_with_custom_thresholds() {
+        let expected = MagusConfig::builder()
+            .inc_threshold(300.0)
+            .dec_threshold(700.0)
+            .high_freq_threshold(0.5)
+            .monitor_interval_us(400_000)
+            .build()
+            .unwrap();
+        assert_eq!(
+            cmd(&[
+                "run",
+                "--app",
+                "bfs",
+                "--runtime",
+                "magus:inc=300,dec=700,hf=0.5,interval_ms=400",
+            ]),
+            Command::Run {
+                system: SystemId::IntelA100,
+                app: AppId::Bfs,
+                governor: GovernorSpec::Magus { cfg: expected },
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn magus_governor_rejects_invalid_thresholds_via_builder() {
+        // The typed builder error surfaces in the CLI message.
+        let err = parse(&v(&["run", "--app", "bfs", "--runtime", "magus:inc=-5"])).unwrap_err();
+        assert!(err.0.contains("inc_threshold"), "{err}");
+        let err = parse(&v(&["run", "--app", "bfs", "--runtime", "magus:hf=1.5"])).unwrap_err();
+        assert!(err.0.contains("high_freq_threshold"), "{err}");
+        assert!(parse(&v(&["run", "--app", "bfs", "--runtime", "magus:zzz=1"])).is_err());
+        assert!(parse(&v(&["run", "--app", "bfs", "--runtime", "magus:inc"])).is_err());
     }
 
     #[test]
@@ -331,25 +437,62 @@ mod tests {
     }
 
     #[test]
-    fn variance_parses_with_default_replicates() {
-        let cmd = parse(&v(&["variance", "--app", "srad"])).unwrap();
+    fn compare_and_suite_round_trip() {
         assert_eq!(
-            cmd,
+            cmd(&["compare", "--app", "UNet", "--system", "4a100"]),
+            Command::Compare {
+                system: SystemId::Intel4A100,
+                app: AppId::Unet,
+            }
+        );
+        assert_eq!(
+            cmd(&["suite", "--system", "intel-max1550"]),
+            Command::Suite {
+                system: SystemId::IntelMax1550
+            }
+        );
+        assert_eq!(
+            cmd(&["suite"]),
+            Command::Suite {
+                system: SystemId::IntelA100
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_round_trips() {
+        assert_eq!(
+            cmd(&["sweep", "--app", "srad"]),
+            Command::Sweep { app: AppId::Srad }
+        );
+        assert!(parse(&v(&["sweep"])).is_err());
+    }
+
+    #[test]
+    fn variance_parses_with_default_replicates() {
+        assert_eq!(
+            cmd(&["variance", "--app", "srad"]),
             Command::Variance {
                 app: AppId::Srad,
                 replicates: 5
             }
         );
+        assert_eq!(
+            cmd(&["variance", "--app", "srad", "--replicates", "9"]),
+            Command::Variance {
+                app: AppId::Srad,
+                replicates: 9
+            }
+        );
         assert!(parse(&v(&["variance", "--app", "srad", "--replicates", "0"])).is_err());
-        assert_eq!(parse(&v(&["powercap"])), Ok(Command::Powercap));
-        assert_eq!(parse(&v(&["amd"])), Ok(Command::Amd));
+        assert_eq!(cmd(&["powercap"]), Command::Powercap);
+        assert_eq!(cmd(&["amd"]), Command::Amd);
     }
 
     #[test]
     fn overhead_duration_default() {
-        let cmd = parse(&v(&["overhead"])).unwrap();
         assert_eq!(
-            cmd,
+            cmd(&["overhead"]),
             Command::Overhead {
                 system: SystemId::IntelA100,
                 duration_s: 120.0
@@ -358,9 +501,42 @@ mod tests {
     }
 
     #[test]
+    fn engine_switches_are_global_and_position_independent() {
+        let inv = parse(&v(&["--serial", "suite", "--no-cache"])).unwrap();
+        assert_eq!(
+            inv.engine,
+            EngineOpts {
+                no_cache: true,
+                serial: true
+            }
+        );
+        assert_eq!(
+            inv.command,
+            Command::Suite {
+                system: SystemId::IntelA100
+            }
+        );
+        // Absent switches default off; they are not stray arguments.
+        let inv = parse(&v(&["powercap"])).unwrap();
+        assert_eq!(inv.engine, EngineOpts::default());
+    }
+
+    #[test]
     fn usage_mentions_all_commands() {
         let u = usage();
-        for word in ["run", "compare", "suite", "overhead", "sweep", "list", "powercap", "variance", "amd"] {
+        for word in [
+            "run",
+            "compare",
+            "suite",
+            "overhead",
+            "sweep",
+            "list",
+            "powercap",
+            "variance",
+            "amd",
+            "--no-cache",
+            "--serial",
+        ] {
             assert!(u.contains(word), "{word}");
         }
     }

@@ -11,8 +11,9 @@
 
 use std::sync::Arc;
 
+use magus_experiments::engine::TrialSpec;
 use magus_hetsim::governor::UncoreSetter;
-use magus_hetsim::Simulation;
+use magus_hetsim::{Node, Simulation};
 use magus_pcm::{SampleError, ThroughputSource};
 use magus_runtime::{ActuateError, MagusAction, UncoreActuator, UncoreLevel};
 use parking_lot::Mutex;
@@ -30,6 +31,19 @@ impl SharedSim {
         Self {
             inner: Arc::new(Mutex::new(sim)),
         }
+    }
+
+    /// Stage the simulation a [`TrialSpec`] describes — same node config,
+    /// seed perturbation, and workload trace the engine would execute —
+    /// but hand it to the caller unstarted, for deployment-style runs
+    /// where the daemon samples and actuates from its own thread.
+    #[must_use]
+    pub fn for_spec(spec: &TrialSpec) -> Self {
+        let mut sim = Simulation::new(Node::new(spec.node_config()));
+        if let Some(trace) = spec.build_trace() {
+            sim.load(trace);
+        }
+        Self::new(sim)
     }
 
     /// Run `f` with exclusive access to the simulation.
@@ -171,6 +185,32 @@ mod tests {
         }
         assert!(daemon.core().cycles() == 40);
         assert!(daemon.telemetry().raised + daemon.telemetry().lowered > 0);
+    }
+
+    #[test]
+    fn for_spec_stages_the_engine_workload() {
+        use magus_experiments::engine::{GovernorSpec, TrialSpec};
+        use magus_experiments::harness::SystemId;
+        let spec = TrialSpec::new(
+            SystemId::IntelA100,
+            AppId::Bfs,
+            GovernorSpec::magus_default(),
+        );
+        let shared = SharedSim::for_spec(&spec);
+        assert!(!shared.done());
+        for _ in 0..50 {
+            shared.step();
+        }
+        // The staged simulation matches the direct construction path.
+        let direct = super::SharedSim::new({
+            let mut sim = Simulation::new(Node::new(spec.node_config()));
+            sim.load(spec.build_trace().expect("app workload"));
+            sim
+        });
+        for _ in 0..50 {
+            direct.step();
+        }
+        assert_eq!(shared.time_us(), direct.time_us());
     }
 
     #[test]

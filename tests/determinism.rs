@@ -20,7 +20,12 @@ fn fingerprint(r: &TrialResult) -> (u64, u64, u64, u64) {
 fn magus_trials_bit_identical() {
     let run = || {
         let mut d = MagusDriver::with_defaults();
-        run_trial(SystemId::IntelA100, AppId::Srad, &mut d, TrialOpts::recorded())
+        run_trial(
+            SystemId::IntelA100,
+            AppId::Srad,
+            &mut d,
+            TrialOpts::recorded(),
+        )
     };
     let a = run();
     let b = run();
@@ -36,7 +41,12 @@ fn magus_trials_bit_identical() {
 fn ups_trials_bit_identical() {
     let run = || {
         let mut d = UpsDriver::with_defaults();
-        run_trial(SystemId::IntelMax1550, AppId::Gemm, &mut d, TrialOpts::default())
+        run_trial(
+            SystemId::IntelMax1550,
+            AppId::Gemm,
+            &mut d,
+            TrialOpts::default(),
+        )
     };
     assert_eq!(fingerprint(&run()), fingerprint(&run()));
 }
@@ -47,13 +57,23 @@ fn parallel_and_serial_trials_agree() {
     use std::thread;
     let serial = {
         let mut d = MagusDriver::with_defaults();
-        run_trial(SystemId::IntelA100, AppId::Kmeans, &mut d, TrialOpts::default())
+        run_trial(
+            SystemId::IntelA100,
+            AppId::Kmeans,
+            &mut d,
+            TrialOpts::default(),
+        )
     };
     let handles: Vec<_> = (0..4)
         .map(|_| {
             thread::spawn(|| {
                 let mut d = MagusDriver::with_defaults();
-                run_trial(SystemId::IntelA100, AppId::Kmeans, &mut d, TrialOpts::default())
+                run_trial(
+                    SystemId::IntelA100,
+                    AppId::Kmeans,
+                    &mut d,
+                    TrialOpts::default(),
+                )
             })
         })
         .collect();
@@ -86,5 +106,30 @@ fn baseline_runtime_equals_work_content() {
             r.summary.runtime_s,
             trace.total_work_s()
         );
+    }
+}
+
+#[test]
+fn engine_parallel_reduction_is_bit_identical_to_serial() {
+    // The engine's rayon fan-out must reduce to exactly the serial result,
+    // in the same order — callers can flip MAGUS_SERIAL for debugging
+    // without changing a single bit of output.
+    use magus_suite::experiments::engine::{Engine, GovernorSpec, TrialSpec};
+    let specs: Vec<TrialSpec> = [AppId::Bfs, AppId::Srad, AppId::Kmeans]
+        .into_iter()
+        .flat_map(|app| {
+            [
+                TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::Default),
+                TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::magus_default()),
+            ]
+        })
+        .collect();
+    let serial = Engine::ephemeral().serial().run_suite(&specs);
+    let parallel = Engine::ephemeral().parallel().run_suite(&specs);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.spec_hash, p.spec_hash);
+        assert_eq!(fingerprint(&s.result), fingerprint(&p.result));
+        assert_eq!(s.high_freq_fraction, p.high_freq_fraction);
     }
 }

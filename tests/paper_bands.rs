@@ -1,8 +1,12 @@
 //! End-to-end integration tests asserting the paper's headline results —
 //! the "shape" the reproduction must preserve (signs, orderings, rough
 //! magnitudes), spanning every crate in the workspace.
+//!
+//! Every trial goes through the engine (cache disabled, parallel
+//! scheduling) — the same path the CLI and bench binaries use.
 
-use magus_suite::experiments::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, UpsDriver};
+use magus_suite::experiments::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver};
+use magus_suite::experiments::engine::{Engine, GovernorSpec};
 use magus_suite::experiments::figures::{evaluate_app, fig2_unet_extremes, srad_stats};
 use magus_suite::experiments::harness::{run_trial, SystemId, TrialOpts};
 use magus_suite::experiments::overhead::measure_overhead;
@@ -12,21 +16,28 @@ use magus_suite::workloads::AppId;
 /// of package power and stretches runtime by ~21%.
 #[test]
 fn fig2_unet_anchor_points() {
-    let data = fig2_unet_extremes();
+    let data = fig2_unet_extremes(&Engine::ephemeral());
     let drop = data.pkg_power_drop_w();
     let stretch = data.runtime_increase_pct();
-    assert!((70.0..95.0).contains(&drop), "pkg drop {drop} W, paper ~82 W");
+    assert!(
+        (70.0..95.0).contains(&drop),
+        "pkg drop {drop} W, paper ~82 W"
+    );
     assert!(
         (15.0..27.0).contains(&stretch),
         "runtime stretch {stretch}%, paper ~21%"
     );
     // Absolute operating points (paper: ~200 W -> ~120 W).
-    let pkg_max =
-        data.max_uncore.summary.energy.pkg_j() / data.max_uncore.summary.energy.elapsed_s;
-    let pkg_min =
-        data.min_uncore.summary.energy.pkg_j() / data.min_uncore.summary.energy.elapsed_s;
-    assert!((170.0..215.0).contains(&pkg_max), "pkg at max uncore: {pkg_max} W");
-    assert!((95.0..135.0).contains(&pkg_min), "pkg at min uncore: {pkg_min} W");
+    let pkg_max = data.max_uncore.summary.energy.pkg_j() / data.max_uncore.summary.energy.elapsed_s;
+    let pkg_min = data.min_uncore.summary.energy.pkg_j() / data.min_uncore.summary.energy.elapsed_s;
+    assert!(
+        (170.0..215.0).contains(&pkg_max),
+        "pkg at max uncore: {pkg_max} W"
+    );
+    assert!(
+        (95.0..135.0).contains(&pkg_min),
+        "pkg at min uncore: {pkg_min} W"
+    );
 }
 
 /// Fig 1: under the stock governor, the uncore never leaves its maximum on
@@ -40,19 +51,43 @@ fn fig1_uncore_pinned_under_default_governor() {
         &mut driver,
         TrialOpts::recorded(),
     );
-    let min_uncore = r.samples.iter().map(|s| s.uncore_ghz).fold(f64::INFINITY, f64::min);
-    assert!((min_uncore - 2.2).abs() < 1e-6, "uncore moved: {min_uncore}");
-    let core_span = r.samples.iter().map(|s| s.core_freq_ghz).fold(f64::NEG_INFINITY, f64::max)
-        - r.samples.iter().map(|s| s.core_freq_ghz).fold(f64::INFINITY, f64::min);
-    assert!(core_span > 0.3, "core frequency should vary, span {core_span}");
+    let min_uncore = r
+        .samples
+        .iter()
+        .map(|s| s.uncore_ghz)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        (min_uncore - 2.2).abs() < 1e-6,
+        "uncore moved: {min_uncore}"
+    );
+    let core_span = r
+        .samples
+        .iter()
+        .map(|s| s.core_freq_ghz)
+        .fold(f64::NEG_INFINITY, f64::max)
+        - r.samples
+            .iter()
+            .map(|s| s.core_freq_ghz)
+            .fold(f64::INFINITY, f64::min);
+    assert!(
+        core_span > 0.3,
+        "core frequency should vary, span {core_span}"
+    );
 }
 
 /// Fig 4a headline: MAGUS keeps perf loss < 5% on every Intel+A100 app
 /// while delivering positive energy savings.
 #[test]
 fn fig4a_magus_bands_on_selected_apps() {
-    for app in [AppId::Bfs, AppId::Gemm, AppId::Srad, AppId::Unet, AppId::ParticlefilterNaive] {
-        let eval = evaluate_app(SystemId::IntelA100, app);
+    let engine = Engine::ephemeral();
+    for app in [
+        AppId::Bfs,
+        AppId::Gemm,
+        AppId::Srad,
+        AppId::Unet,
+        AppId::ParticlefilterNaive,
+    ] {
+        let eval = evaluate_app(&engine, SystemId::IntelA100, app);
         assert!(
             eval.magus.perf_loss_pct < 5.0,
             "{app}: MAGUS loss {}%",
@@ -70,8 +105,9 @@ fn fig4a_magus_bands_on_selected_apps() {
 /// memory-intensive ones (particlefilter_naive) under MAGUS.
 #[test]
 fn fig4a_compute_heavy_saves_more() {
-    let bfs = evaluate_app(SystemId::IntelA100, AppId::Bfs);
-    let pf = evaluate_app(SystemId::IntelA100, AppId::ParticlefilterNaive);
+    let engine = Engine::ephemeral();
+    let bfs = evaluate_app(&engine, SystemId::IntelA100, AppId::Bfs);
+    let pf = evaluate_app(&engine, SystemId::IntelA100, AppId::ParticlefilterNaive);
     assert!(
         bfs.magus.power_saving_pct > pf.magus.power_saving_pct + 5.0,
         "bfs {} vs particlefilter_naive {}",
@@ -84,8 +120,12 @@ fn fig4a_compute_heavy_saves_more() {
 /// lock and beats UPS on energy.
 #[test]
 fn srad_case_study_orderings() {
-    let stats = srad_stats();
-    assert!(stats.magus.perf_loss_pct < 5.0, "MAGUS loss {}", stats.magus.perf_loss_pct);
+    let stats = srad_stats(&Engine::ephemeral());
+    assert!(
+        stats.magus.perf_loss_pct < 5.0,
+        "MAGUS loss {}",
+        stats.magus.perf_loss_pct
+    );
     assert!(
         stats.magus.energy_saving_pct > stats.ups.energy_saving_pct,
         "MAGUS {} vs UPS {} energy",
@@ -104,18 +144,43 @@ fn srad_case_study_orderings() {
 /// several-fold higher on both, worst on the Sapphire Rapids system.
 #[test]
 fn table2_overhead_bands() {
-    let mut magus_a = MagusDriver::with_defaults();
-    let magus_a100 = measure_overhead(SystemId::IntelA100, &mut magus_a, 60.0);
-    assert!((0.4..2.0).contains(&magus_a100.power_overhead_pct), "{magus_a100:?}");
-    assert!((0.09..0.12).contains(&magus_a100.invocation_s), "{magus_a100:?}");
+    let engine = Engine::ephemeral();
+    let magus_a100 = measure_overhead(
+        &engine,
+        SystemId::IntelA100,
+        &GovernorSpec::magus_default(),
+        60.0,
+    );
+    assert!(
+        (0.4..2.0).contains(&magus_a100.power_overhead_pct),
+        "{magus_a100:?}"
+    );
+    assert!(
+        (0.09..0.12).contains(&magus_a100.invocation_s),
+        "{magus_a100:?}"
+    );
 
-    let mut ups_a = UpsDriver::with_defaults();
-    let ups_a100 = measure_overhead(SystemId::IntelA100, &mut ups_a, 60.0);
-    assert!((3.0..7.0).contains(&ups_a100.power_overhead_pct), "{ups_a100:?}");
-    assert!((0.25..0.35).contains(&ups_a100.invocation_s), "{ups_a100:?}");
+    let ups_a100 = measure_overhead(
+        &engine,
+        SystemId::IntelA100,
+        &GovernorSpec::ups_default(),
+        60.0,
+    );
+    assert!(
+        (3.0..7.0).contains(&ups_a100.power_overhead_pct),
+        "{ups_a100:?}"
+    );
+    assert!(
+        (0.25..0.35).contains(&ups_a100.invocation_s),
+        "{ups_a100:?}"
+    );
 
-    let mut ups_m = UpsDriver::with_defaults();
-    let ups_max = measure_overhead(SystemId::IntelMax1550, &mut ups_m, 60.0);
+    let ups_max = measure_overhead(
+        &engine,
+        SystemId::IntelMax1550,
+        &GovernorSpec::ups_default(),
+        60.0,
+    );
     assert!(
         ups_max.power_overhead_pct > ups_a100.power_overhead_pct,
         "SPR per-core MSR access is costlier: {} vs {}",
@@ -128,8 +193,9 @@ fn table2_overhead_bands() {
 /// on the 4-GPU node than on the single-GPU node.
 #[test]
 fn multi_gpu_attenuates_energy_savings() {
-    let single = evaluate_app(SystemId::IntelA100, AppId::Gromacs);
-    let multi = evaluate_app(SystemId::Intel4A100, AppId::Gromacs);
+    let engine = Engine::ephemeral();
+    let single = evaluate_app(&engine, SystemId::IntelA100, AppId::Gromacs);
+    let multi = evaluate_app(&engine, SystemId::Intel4A100, AppId::Gromacs);
     assert!(
         multi.magus.energy_saving_pct < single.magus.energy_saving_pct,
         "4-GPU {} vs 1-GPU {}",
@@ -138,9 +204,21 @@ fn multi_gpu_attenuates_energy_savings() {
     );
     // The paper reports GROMACS at ~7% loss for ~21% CPU power saving on
     // this node — an explicit trade, with "modest" energy outcomes.
-    assert!(multi.magus.energy_saving_pct > -2.5, "{}", multi.magus.energy_saving_pct);
-    assert!((5.0..10.0).contains(&multi.magus.perf_loss_pct), "paper ~7%: {}", multi.magus.perf_loss_pct);
-    assert!(multi.magus.power_saving_pct > 17.0, "paper ~21%: {}", multi.magus.power_saving_pct);
+    assert!(
+        multi.magus.energy_saving_pct > -2.5,
+        "{}",
+        multi.magus.energy_saving_pct
+    );
+    assert!(
+        (5.0..10.0).contains(&multi.magus.perf_loss_pct),
+        "paper ~7%: {}",
+        multi.magus.perf_loss_pct
+    );
+    assert!(
+        multi.magus.power_saving_pct > 17.0,
+        "paper ~21%: {}",
+        multi.magus.power_saving_pct
+    );
 }
 
 /// A fixed minimum uncore is the pathological baseline: biggest power

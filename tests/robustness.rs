@@ -7,7 +7,9 @@ use magus_suite::experiments::harness::{run_trial, SystemId, TrialOpts};
 use magus_suite::experiments::metrics::Comparison;
 use magus_suite::hetsim::{Node, NodeConfig, Simulation};
 use magus_suite::msr::{MsrDevice, MsrError, MsrScope, SimMsr, MSR_UNCORE_RATIO_LIMIT};
-use magus_suite::runtime::{MagusAction, MagusConfig, MagusDaemon, MsrUncoreActuator, UncoreActuator};
+use magus_suite::runtime::{
+    MagusAction, MagusConfig, MagusDaemon, MsrUncoreActuator, UncoreActuator,
+};
 use magus_suite::workloads::{app_trace, AppId, Platform};
 
 /// PCM dropouts (reads returning 0) during a MAGUS run must not crash the
@@ -81,12 +83,19 @@ fn actuation_faults_surface_as_errors() {
 #[test]
 fn garbage_msr_writes_are_clamped() {
     let mut node = Node::new(NodeConfig::intel_a100());
-    node.msr_write(MsrScope::Package(0), MSR_UNCORE_RATIO_LIMIT, 0xffff_ffff_ffff_ffff)
-        .unwrap();
+    node.msr_write(
+        MsrScope::Package(0),
+        MSR_UNCORE_RATIO_LIMIT,
+        0xffff_ffff_ffff_ffff,
+    )
+    .unwrap();
     node.msr_write(MsrScope::Package(1), MSR_UNCORE_RATIO_LIMIT, 0)
         .unwrap();
     for _ in 0..200 {
-        node.step(10_000, &magus_suite::hetsim::Demand::new(30.0, 0.4, 0.3, 0.7));
+        node.step(
+            10_000,
+            &magus_suite::hetsim::Demand::new(30.0, 0.4, 0.3, 0.7),
+        );
     }
     for socket in node.sockets() {
         let f = socket.uncore.freq_ghz();
