@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use magus_experiments::drivers::{MagusDriver, NoopDriver};
-use magus_experiments::harness::{run_trial, SystemId, TrialOpts};
-use magus_hetsim::{Demand, Node, NodeConfig};
+use magus_experiments::harness::{run_trial, SimPath, SystemId, TrialOpts};
+use magus_hetsim::{Demand, FastForward, GpuUtilVec, Node, NodeConfig};
 use magus_workloads::{app_trace, AppId, Platform};
 
 fn bench_node_step(c: &mut Criterion) {
@@ -31,9 +31,22 @@ fn bench_node_step(c: &mut Criterion) {
             mem_frac: 0.5,
             cpu_frac: 0.0,
             cpu_util: 0.4,
-            gpu_util: vec![0.9; 4],
+            gpu_util: GpuUtilVec::from_slice(&[0.9; 4]),
         };
         b.iter(|| black_box(node.step(10_000, &demand)));
+    });
+
+    group.bench_function("step_busy_fast", |b| {
+        // Steady-state frozen replay: after the warm-up ticks below the
+        // feedback state has reached its fixed point, so every measured
+        // iteration takes the accumulator-replay path.
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::new(60.0, 0.5, 0.4, 0.9);
+        let mut ff = FastForward::new();
+        for _ in 0..200 {
+            node.step_fast(10_000, &demand, &mut ff);
+        }
+        b.iter(|| black_box(node.step_fast(10_000, &demand, &mut ff)));
     });
 
     group.bench_function("pcm_read", |b| {
@@ -90,6 +103,23 @@ fn bench_trials(c: &mut Criterion) {
             ))
         });
     });
+
+    // The headline pair: the full 20-app suite under MAGUS on the
+    // reference per-tick path vs the macro-stepping fast path. The ratio
+    // between these two medians is the speedup the fast path claims.
+    let suite = |path: SimPath| {
+        for &app in AppId::all() {
+            let mut d = MagusDriver::with_defaults();
+            black_box(run_trial(
+                SystemId::IntelA100,
+                app,
+                &mut d,
+                TrialOpts::default().with_path(path),
+            ));
+        }
+    };
+    group.bench_function("suite_reference", |b| b.iter(|| suite(SimPath::Reference)));
+    group.bench_function("suite_fast", |b| b.iter(|| suite(SimPath::Fast)));
 
     group.finish();
 }

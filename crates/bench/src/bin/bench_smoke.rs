@@ -1,0 +1,137 @@
+//! Bench smoke run: median ns/op for the hot simulator paths, as JSON.
+//!
+//! A lightweight self-timing complement to the Criterion benches (which
+//! need a dev-dependency harness and minutes of sampling): each case runs
+//! enough repetitions to exceed a minimum measurement window, takes the
+//! median of per-rep timings, and the result is written to
+//! `BENCH_sim.json` at the repo root. CI runs this binary so simulator
+//! performance regressions show up as a diff against the committed
+//! baseline rather than silently.
+//!
+//! Usage: `cargo run --release --bin bench_smoke [out.json]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use magus_experiments::drivers::{MagusDriver, NoopDriver};
+use magus_experiments::harness::{run_trial, SimPath, SystemId, TrialOpts};
+use magus_hetsim::{Demand, FastForward, Node, NodeConfig};
+use magus_workloads::AppId;
+
+/// Median ns/op over `reps` timed repetitions of `iters` iterations each.
+fn median_ns_per_op(reps: usize, iters: u64, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    let mut cases: Vec<(&str, f64)> = Vec::new();
+
+    // -- node group: single-tick costs -----------------------------------
+    {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::idle();
+        cases.push((
+            "node/step_idle",
+            median_ns_per_op(15, 20_000, || {
+                black_box(node.step(10_000, &demand));
+            }),
+        ));
+    }
+    {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::new(60.0, 0.5, 0.4, 0.9);
+        cases.push((
+            "node/step_busy",
+            median_ns_per_op(15, 20_000, || {
+                black_box(node.step(10_000, &demand));
+            }),
+        ));
+    }
+    {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::new(60.0, 0.5, 0.4, 0.9);
+        let mut ff = FastForward::new();
+        for _ in 0..200 {
+            node.step_fast(10_000, &demand, &mut ff);
+        }
+        cases.push((
+            "node/step_busy_fast",
+            median_ns_per_op(15, 20_000, || {
+                black_box(node.step_fast(10_000, &demand, &mut ff));
+            }),
+        ));
+    }
+
+    // -- trials group: whole-suite throughput -----------------------------
+    let suite = |path: SimPath| {
+        for &app in AppId::all() {
+            let mut d = MagusDriver::with_defaults();
+            black_box(run_trial(
+                SystemId::IntelA100,
+                app,
+                &mut d,
+                TrialOpts::default().with_path(path),
+            ));
+        }
+    };
+    cases.push((
+        "trials/suite_reference",
+        median_ns_per_op(3, 1, || suite(SimPath::Reference)),
+    ));
+    cases.push((
+        "trials/suite_fast",
+        median_ns_per_op(3, 1, || suite(SimPath::Fast)),
+    ));
+    {
+        let mut d = NoopDriver;
+        cases.push((
+            "trials/bfs_baseline_trial",
+            median_ns_per_op(5, 1, || {
+                black_box(run_trial(
+                    SystemId::IntelA100,
+                    AppId::Bfs,
+                    &mut d,
+                    TrialOpts::default(),
+                ));
+            }),
+        ));
+    }
+
+    let suite_ref = cases
+        .iter()
+        .find(|(n, _)| *n == "trials/suite_reference")
+        .map_or(0.0, |(_, v)| *v);
+    let suite_fast = cases
+        .iter()
+        .find(|(n, _)| *n == "trials/suite_fast")
+        .map_or(f64::INFINITY, |(_, v)| *v);
+    let speedup = suite_ref / suite_fast;
+
+    let json = serde_json::json!({
+        "measured": true,
+        "unit": "ns/op (median)",
+        "suite_speedup": speedup,
+        "cases": cases
+            .iter()
+            .map(|(n, v)| (n.to_string(), serde_json::json!(v.round())))
+            .collect::<serde_json::Map<_, _>>(),
+    });
+    let rendered = serde_json::to_string_pretty(&json).expect("serialise");
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write BENCH_sim.json");
+    println!("{rendered}");
+    println!("wrote {out_path} (suite speedup fast vs reference: {speedup:.1}x)");
+}

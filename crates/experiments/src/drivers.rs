@@ -153,7 +153,7 @@ impl MagusDriver {
         if self.monitor_only {
             return;
         }
-        let range = sim.node().config().uncore.clone();
+        let range = sim.node().config().uncore;
         let target = match action.target() {
             Some(UncoreLevel::Upper) => range.freq_max_ghz,
             Some(UncoreLevel::Lower) => range.freq_min_ghz,
@@ -258,7 +258,7 @@ impl RuntimeDriver for UpsDriver {
     }
 
     fn attach(&mut self, sim: &mut Simulation) {
-        let uncore = sim.node().config().uncore.clone();
+        let uncore = sim.node().config().uncore;
         self.core = Some(UpsCore::new(
             self.cfg.clone(),
             uncore.freq_min_ghz,

@@ -46,7 +46,7 @@ use crate::harness::{run_custom_trial_capped, SystemId, TrialOpts, TrialResult};
 /// Code-version salt mixed into every spec hash. Bump the suffix whenever
 /// a change alters simulation results without changing any [`TrialSpec`]
 /// field — stale cache entries then miss by construction.
-pub const ENGINE_SALT: &str = concat!("magus-engine/v1/", env!("CARGO_PKG_VERSION"));
+pub const ENGINE_SALT: &str = concat!("magus-engine/v2/", env!("CARGO_PKG_VERSION"));
 
 /// The governor driving a trial — the single runtime selector shared by
 /// the CLI parser, the drivers, and every experiment path (one conversion
@@ -246,6 +246,7 @@ impl TrialSpec {
             opts: TrialOpts {
                 record_interval_us: 0,
                 max_s: duration_s,
+                ..TrialOpts::default()
             },
             ..Self::new(system, AppId::Bfs, governor)
         }
@@ -791,6 +792,13 @@ mod tests {
             TrialSpec {
                 opts: TrialOpts {
                     max_s: 500.0,
+                    ..TrialOpts::default()
+                },
+                ..base.clone()
+            },
+            TrialSpec {
+                opts: TrialOpts {
+                    path: crate::harness::SimPath::Reference,
                     ..TrialOpts::default()
                 },
                 ..base.clone()

@@ -1,7 +1,7 @@
 //! Trial execution: one (system × application × runtime) run.
 
 use magus_hetsim::{
-    secs_to_us, Node, NodeConfig, RunSummary, Simulation, TraceRecorder, TraceSample,
+    secs_to_us, FastForward, Node, NodeConfig, RunSummary, Simulation, TraceRecorder, TraceSample,
 };
 use magus_workloads::{app_trace, AppId, Platform};
 use serde::{Deserialize, Serialize};
@@ -51,6 +51,23 @@ impl SystemId {
     }
 }
 
+/// Which simulation stepping path a trial uses.
+///
+/// Both paths produce bit-identical results (enforced by the differential
+/// tests in `tests/fastpath.rs`); `Fast` macro-steps frozen inter-event
+/// spans and is an order of magnitude quicker on steady workloads. The
+/// reference path remains available for differential testing and as the
+/// ground truth the fast path is audited against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SimPath {
+    /// Per-tick reference stepping (`Simulation::step`).
+    Reference,
+    /// Event-horizon macro-stepping (`Simulation::advance_until`).
+    #[default]
+    Fast,
+}
+
 /// Trial options.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrialOpts {
@@ -58,6 +75,9 @@ pub struct TrialOpts {
     pub record_interval_us: u64,
     /// Wall-clock budget (s); runs that exceed it are marked incomplete.
     pub max_s: f64,
+    /// Stepping path (fast by default; reference for differential audits).
+    #[serde(default)]
+    pub path: SimPath,
 }
 
 impl Default for TrialOpts {
@@ -65,6 +85,7 @@ impl Default for TrialOpts {
         Self {
             record_interval_us: 0,
             max_s: 600.0,
+            path: SimPath::default(),
         }
     }
 }
@@ -77,6 +98,13 @@ impl TrialOpts {
             record_interval_us: 100_000,
             ..Self::default()
         }
+    }
+
+    /// Builder: select the stepping path.
+    #[must_use]
+    pub fn with_path(mut self, path: SimPath) -> Self {
+        self.path = path;
+        self
     }
 }
 
@@ -157,19 +185,53 @@ pub fn run_custom_trial_capped(
     let mut invocations = 0u64;
     let mut total_invocation_us = 0u64;
 
-    while !sim.done() && sim.node().time_us() - start_us < budget_us {
-        if sim.node().time_us() >= next_due_us {
-            let latency = driver.on_decision(&mut sim);
-            invocations += 1;
-            total_invocation_us += latency;
-            let rest = driver.rest_interval_us();
-            next_due_us = if rest == u64::MAX {
-                u64::MAX
-            } else {
-                sim.node().time_us() + latency + rest
-            };
+    match opts.path {
+        SimPath::Reference => {
+            while !sim.done() && sim.node().time_us() - start_us < budget_us {
+                if sim.node().time_us() >= next_due_us {
+                    let latency = driver.on_decision(&mut sim);
+                    invocations += 1;
+                    total_invocation_us += latency;
+                    let rest = driver.rest_interval_us();
+                    next_due_us = if rest == u64::MAX {
+                        u64::MAX
+                    } else {
+                        sim.node().time_us() + latency + rest
+                    };
+                }
+                sim.step();
+            }
         }
-        sim.step();
+        SimPath::Fast => {
+            // Identical event schedule to the reference loop: decisions can
+            // only become due at the instants computed below, and the node's
+            // feedback state between them evolves under constant demand, so
+            // macro-stepping each inter-decision span with `advance_until`
+            // visits exactly the tick sequence the reference loop does — it
+            // merely replays the frozen interior ticks instead of
+            // re-deriving them.
+            let mut ff = FastForward::new();
+            while !sim.done() && sim.node().time_us() - start_us < budget_us {
+                if sim.node().time_us() >= next_due_us {
+                    let latency = driver.on_decision(&mut sim);
+                    invocations += 1;
+                    total_invocation_us += latency;
+                    let rest = driver.rest_interval_us();
+                    next_due_us = if rest == u64::MAX {
+                        u64::MAX
+                    } else {
+                        sim.node().time_us() + latency + rest
+                    };
+                }
+                // Always make at least one tick of progress (mirrors the
+                // reference loop's unconditional `sim.step()`), even if a
+                // zero-rest driver leaves `next_due_us` at the current time.
+                let horizon = next_due_us
+                    .min(start_us.saturating_add(budget_us))
+                    .max(sim.node().time_us() + 1);
+                sim.advance_until(horizon, &mut ff);
+            }
+        }
     }
 
     let summary = sim.summary(start_us);
@@ -299,6 +361,37 @@ mod tests {
         assert_eq!(a.summary.runtime_s, b.summary.runtime_s);
         assert_eq!(a.summary.energy.total_j(), b.summary.energy.total_j());
         assert_eq!(a.invocations, b.invocations);
+    }
+
+    #[test]
+    fn fast_path_trial_matches_reference_exactly() {
+        let run = |path: SimPath| {
+            let mut driver = MagusDriver::with_defaults();
+            run_trial(
+                SystemId::IntelA100,
+                AppId::Bfs,
+                &mut driver,
+                TrialOpts::recorded().with_path(path),
+            )
+        };
+        let r = run(SimPath::Reference);
+        let f = run(SimPath::Fast);
+        assert_eq!(r.summary, f.summary);
+        assert_eq!(r.samples, f.samples);
+        assert_eq!(r.invocations, f.invocations);
+        assert_eq!(r.mean_invocation_us, f.mean_invocation_us);
+    }
+
+    #[test]
+    fn sim_path_serde_defaults_to_fast() {
+        // Old serialized specs carry no `path` field; they must keep
+        // deserializing and pick up the fast path.
+        let legacy = r#"{"record_interval_us":0,"max_s":600.0}"#;
+        let opts: TrialOpts = serde_json::from_str(legacy).unwrap();
+        assert_eq!(opts.path, SimPath::Fast);
+        let json =
+            serde_json::to_string(&TrialOpts::default().with_path(SimPath::Reference)).unwrap();
+        assert!(json.contains("\"reference\""), "{json}");
     }
 
     #[test]

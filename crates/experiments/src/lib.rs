@@ -52,6 +52,6 @@ pub use engine::{
     spec_hash, Engine, ExecMode, GovernorSpec, RunManifest, SystemSel, TrialOutcome, TrialSpec,
     WorkloadSel, ENGINE_SALT,
 };
-pub use harness::{run_trial, SystemId, TrialOpts, TrialResult};
+pub use harness::{run_trial, SimPath, SystemId, TrialOpts, TrialResult};
 pub use metrics::{burst_jaccard, Comparison};
 pub use pareto::{pareto_frontier, ParetoPoint};

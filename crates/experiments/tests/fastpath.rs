@@ -1,0 +1,186 @@
+//! Differential equivalence: the macro-stepping fast path must be
+//! bit-for-bit identical to per-tick reference stepping.
+//!
+//! Two layers of evidence:
+//!
+//! 1. An exhaustive sweep of the entire workload catalog × every governor
+//!    × every testbed, comparing `RunSummary`, recorded samples, and
+//!    invocation counts between `SimPath::Reference` and `SimPath::Fast`.
+//! 2. A property test over randomized phase traces with governor and MSR
+//!    writes injected at arbitrary instants, driving the two paths through
+//!    the same event script.
+//!
+//! Equality is asserted with `==` on `f64`-bearing structs deliberately:
+//! the fast path replays the exact per-tick increments the reference path
+//! computes, so anything short of bitwise identity is a bug.
+
+use magus_experiments::{
+    run_trial, FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, SimPath, SystemId,
+    TrialOpts, TrialResult, UpsDriver,
+};
+use magus_hetsim::governor::set_fixed_uncore;
+use magus_hetsim::workload::PhaseKind;
+use magus_hetsim::{
+    secs_to_us, AppTrace, Demand, FastForward, GpuUtilVec, Node, NodeConfig, Phase, RunSummary,
+    Simulation, TraceRecorder, TraceSample,
+};
+use magus_workloads::AppId;
+use proptest::prelude::*;
+
+const SYSTEMS: [SystemId; 3] = [
+    SystemId::IntelA100,
+    SystemId::Intel4A100,
+    SystemId::IntelMax1550,
+];
+
+/// Every governor the paper evaluates, freshly constructed per trial so
+/// driver-internal state never leaks between the two paths.
+fn make_driver(which: usize) -> Box<dyn RuntimeDriver> {
+    match which {
+        0 => Box::new(NoopDriver),
+        1 => Box::new(FixedUncoreDriver::new(0.8)),
+        2 => Box::new(MagusDriver::with_defaults()),
+        3 => Box::new(UpsDriver::with_defaults()),
+        _ => unreachable!(),
+    }
+}
+
+const GOVERNOR_NAMES: [&str; 4] = ["default", "fixed-uncore", "MAGUS", "UPS"];
+
+fn run_path(system: SystemId, app: AppId, which: usize, path: SimPath) -> TrialResult {
+    let mut driver = make_driver(which);
+    let opts = TrialOpts {
+        record_interval_us: 100_000,
+        max_s: 150.0,
+        path,
+    };
+    run_trial(system, app, driver.as_mut(), opts)
+}
+
+#[test]
+fn fast_path_matches_reference_on_full_catalog() {
+    for system in SYSTEMS {
+        for &app in AppId::all() {
+            for which in 0..GOVERNOR_NAMES.len() {
+                let ctx = format!("{} / {app:?} / {}", system.name(), GOVERNOR_NAMES[which]);
+                let r = run_path(system, app, which, SimPath::Reference);
+                let f = run_path(system, app, which, SimPath::Fast);
+                assert_eq!(r.summary, f.summary, "summary diverged: {ctx}");
+                assert_eq!(r.samples, f.samples, "samples diverged: {ctx}");
+                assert_eq!(r.invocations, f.invocations, "invocations diverged: {ctx}");
+                assert_eq!(
+                    r.mean_invocation_us, f.mean_invocation_us,
+                    "latency diverged: {ctx}"
+                );
+            }
+        }
+    }
+}
+
+/// An intervention injected at an arbitrary instant — the event kinds the
+/// fast path must re-detect a frozen span after.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// `MSR 0x620` write narrowing the uncore band.
+    FixUncore(f64),
+    /// RAPL PL1 reprogramming.
+    PowerLimit(f64),
+    /// PCM bandwidth read (charges monitoring overhead).
+    PcmRead,
+}
+
+fn apply_event(sim: &mut Simulation, ev: Event, pcm_log: &mut Vec<u64>) {
+    match ev {
+        Event::FixUncore(ghz) => set_fixed_uncore(sim.node_mut(), ghz).expect("uncore MSR write"),
+        Event::PowerLimit(w) => sim.node_mut().set_power_limit_w(w).expect("PL1 write"),
+        Event::PcmRead => pcm_log.push(sim.node_mut().pcm_read_gbs().to_bits()),
+    }
+}
+
+/// Drive a trace through the given event script on either path; return
+/// everything observable.
+fn run_script(
+    trace: &AppTrace,
+    events: &[(u64, Event)],
+    fast: bool,
+) -> (RunSummary, Vec<TraceSample>, Vec<u64>) {
+    let mut sim = Simulation::new(Node::new(NodeConfig::intel_a100()));
+    sim.set_recorder(TraceRecorder::new(50_000));
+    sim.load(trace.clone());
+    let mut ff = FastForward::new();
+    let mut pcm_log = Vec::new();
+    let mut idx = 0;
+    let budget_us = secs_to_us(30.0);
+    while !sim.done() && sim.node().time_us() < budget_us {
+        while idx < events.len() && sim.node().time_us() >= events[idx].0 {
+            apply_event(&mut sim, events[idx].1, &mut pcm_log);
+            idx += 1;
+        }
+        if fast {
+            let next_event_us = events.get(idx).map_or(u64::MAX, |e| e.0);
+            let horizon = next_event_us.min(budget_us).max(sim.node().time_us() + 1);
+            sim.advance_until(horizon, &mut ff);
+        } else {
+            sim.step();
+        }
+    }
+    let summary = sim.summary(0);
+    let samples = sim.recorder_mut().take_samples();
+    (summary, samples, pcm_log)
+}
+
+fn phase_strategy() -> impl Strategy<Value = Phase> {
+    (
+        0..4usize,
+        0.05f64..2.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..180.0,
+        proptest::collection::vec(0.0f64..1.0, 0..3),
+    )
+        .prop_map(|(kind, work_s, mem_frac, cpu_util, mem_gbs, gpu)| {
+            let kind = [
+                PhaseKind::Init,
+                PhaseKind::Burst,
+                PhaseKind::Compute,
+                PhaseKind::Idle,
+            ][kind];
+            let demand = Demand {
+                mem_gbs,
+                mem_frac,
+                cpu_frac: 0.0,
+                cpu_util,
+                gpu_util: GpuUtilVec::from_slice(&gpu),
+            };
+            Phase::new(kind, work_s, demand)
+        })
+}
+
+fn event_strategy() -> impl Strategy<Value = (u64, Event)> {
+    (
+        0u64..secs_to_us(8.0),
+        prop_oneof![
+            (0.8f64..2.4).prop_map(Event::FixUncore),
+            (60.0f64..160.0).prop_map(Event::PowerLimit),
+            Just(Event::PcmRead),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_path_matches_reference_on_random_traces(
+        phases in proptest::collection::vec(phase_strategy(), 1..5),
+        mut events in proptest::collection::vec(event_strategy(), 0..6),
+    ) {
+        events.sort_by_key(|e| e.0);
+        let trace = AppTrace::new("prop", phases);
+        let (rs, rsam, rpcm) = run_script(&trace, &events, false);
+        let (fs, fsam, fpcm) = run_script(&trace, &events, true);
+        prop_assert_eq!(rs, fs);
+        prop_assert_eq!(rsam, fsam);
+        prop_assert_eq!(rpcm, fpcm);
+    }
+}

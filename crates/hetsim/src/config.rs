@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Per-socket CPU core-complex parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CpuConfig {
     /// Physical cores per socket.
     pub cores: u32,
@@ -44,7 +44,7 @@ pub struct CpuConfig {
 }
 
 /// Per-socket uncore-domain parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct UncoreConfig {
     /// Minimum uncore frequency (GHz).
     pub freq_min_ghz: f64,
@@ -67,7 +67,7 @@ pub struct UncoreConfig {
 }
 
 /// Per-socket memory-subsystem parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MemoryConfig {
     /// Peak deliverable bandwidth per socket at maximum uncore frequency (GB/s).
     pub peak_bw_gbs: f64,
@@ -83,7 +83,7 @@ pub struct MemoryConfig {
 }
 
 /// Per-device GPU parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct GpuConfig {
     /// Idle board power (W). The paper reports ≈30 W for one A100-40GB and
     /// ≈200 W total for four A100-80GB.
@@ -99,7 +99,7 @@ pub struct GpuConfig {
 }
 
 /// Stock (hardware-default) uncore-governor parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TdpGovernorConfig {
     /// Enable the TDP-coupled throttle (true on all Intel presets).
     pub enabled: bool,

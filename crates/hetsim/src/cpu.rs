@@ -80,15 +80,37 @@ impl CpuComplex {
         let target = target.min(self.freq_cap_ghz);
         self.freq_ghz += (target - self.freq_ghz) * self.cfg.dvfs_alpha;
 
+        let (cycles, instructions) = self.tick_counter_increments(util, progress_factor, dt_s);
+        self.cycles += cycles;
+        self.instructions += instructions;
+    }
+
+    /// Per-tick fixed-counter increments `(cycles, instructions)` at the
+    /// *current* frequency. `step` applies exactly these; the node's frozen
+    /// fast path captures them once and replays them, so both paths must go
+    /// through this single definition to stay bit-identical.
+    pub(crate) fn tick_counter_increments(
+        &self,
+        util: f64,
+        progress_factor: f64,
+        dt_s: f64,
+    ) -> (f64, f64) {
+        let util = util.clamp(0.0, 1.0);
         let busy_cores = util * f64::from(self.cfg.cores);
         let cycles = busy_cores * self.freq_ghz * 1e9 * dt_s;
-        self.cycles += cycles;
         // Host IPC only partially reflects workload starvation: spinning
         // synchronisation threads retire instructions regardless of DMA
         // progress. `ipc_stall_coupling` sets the visible fraction.
         let coupling = self.cfg.ipc_stall_coupling.clamp(0.0, 1.0);
         let visible = 1.0 - coupling * (1.0 - progress_factor.clamp(0.0, 1.0));
-        self.instructions += cycles * self.cfg.base_ipc * visible;
+        (cycles, cycles * self.cfg.base_ipc * visible)
+    }
+
+    /// Apply pre-captured per-tick counter increments without re-evaluating
+    /// the DVFS model (frozen fast path; frequency provably unchanged).
+    pub(crate) fn replay_tick(&mut self, cycles_inc: f64, instructions_inc: f64) {
+        self.cycles += cycles_inc;
+        self.instructions += instructions_inc;
     }
 
     /// Current average core frequency (GHz).
@@ -132,6 +154,12 @@ impl CpuComplex {
     #[must_use]
     pub fn cycles(&self) -> f64 {
         self.cycles
+    }
+
+    /// Last tick's uncapped DVFS target (GHz) — feedback state for the
+    /// frozen fast path's fixed-point snapshot.
+    pub(crate) fn natural_target_ghz(&self) -> f64 {
+        self.natural_target_ghz
     }
 
     /// How much of the natural (uncapped-DVFS) core speed is currently

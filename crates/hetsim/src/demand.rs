@@ -1,6 +1,180 @@
 //! Instantaneous resource demand presented to the node by a workload phase.
 
-use serde::{Deserialize, Serialize};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Maximum GPUs a single [`Demand`] can address.
+///
+/// Sized for the paper's testbeds (at most four A100s) with headroom; the
+/// inline array keeps `Demand` `Copy` so the simulator's hot loop never
+/// touches the heap.
+pub const MAX_GPUS: usize = 8;
+
+/// Per-GPU utilisation values stored inline (no heap allocation).
+///
+/// Behaves like a `&[f64]` via `Deref`; serialises as a plain JSON array so
+/// existing workload specs (`"gpu_util": [0.9]`) are unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuUtilVec {
+    len: u8,
+    vals: [f64; MAX_GPUS],
+}
+
+impl GpuUtilVec {
+    /// An empty vector (all GPUs idle).
+    #[must_use]
+    pub const fn empty() -> Self {
+        Self {
+            len: 0,
+            vals: [0.0; MAX_GPUS],
+        }
+    }
+
+    /// A single-GPU utilisation.
+    #[must_use]
+    pub fn single(util: f64) -> Self {
+        let mut v = Self::empty();
+        v.push(util);
+        v
+    }
+
+    /// Build from a slice.
+    ///
+    /// # Panics
+    /// Panics when the slice holds more than [`MAX_GPUS`] entries.
+    #[must_use]
+    pub fn from_slice(vals: &[f64]) -> Self {
+        assert!(
+            vals.len() <= MAX_GPUS,
+            "at most {MAX_GPUS} GPU utilisation entries supported, got {}",
+            vals.len()
+        );
+        let mut v = Self::empty();
+        for &u in vals {
+            v.push(u);
+        }
+        v
+    }
+
+    /// Append one entry.
+    ///
+    /// # Panics
+    /// Panics when the vector is already full ([`MAX_GPUS`] entries).
+    pub fn push(&mut self, util: f64) {
+        assert!((self.len as usize) < MAX_GPUS, "GpuUtilVec full");
+        self.vals[self.len as usize] = util;
+        self.len += 1;
+    }
+
+    /// Entry count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when there are no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The entries as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.vals[..self.len as usize]
+    }
+
+    /// The entries as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.vals[..self.len as usize]
+    }
+}
+
+impl Default for GpuUtilVec {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl core::ops::Deref for GpuUtilVec {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl core::ops::DerefMut for GpuUtilVec {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a GpuUtilVec {
+    type Item = &'a f64;
+    type IntoIter = core::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl From<&[f64]> for GpuUtilVec {
+    fn from(vals: &[f64]) -> Self {
+        Self::from_slice(vals)
+    }
+}
+
+impl FromIterator<f64> for GpuUtilVec {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut v = Self::empty();
+        for u in iter {
+            v.push(u);
+        }
+        v
+    }
+}
+
+impl PartialEq for GpuUtilVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[f64]> for GpuUtilVec {
+    fn eq(&self, other: &[f64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<f64>> for GpuUtilVec {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[f64; N]> for GpuUtilVec {
+    fn eq(&self, other: &[f64; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Serialize for GpuUtilVec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.as_slice())
+    }
+}
+
+impl<'de> Deserialize<'de> for GpuUtilVec {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let vals = Vec::<f64>::deserialize(deserializer)?;
+        if vals.len() > MAX_GPUS {
+            return Err(D::Error::custom(format!(
+                "gpu_util holds {} entries; at most {MAX_GPUS} supported",
+                vals.len()
+            )));
+        }
+        Ok(Self::from_slice(&vals))
+    }
+}
 
 /// What a workload asks of the node at an instant.
 ///
@@ -9,7 +183,10 @@ use serde::{Deserialize, Serialize};
 /// how memory-bound their progress is, and how busy the CPU cores and GPUs
 /// are. MAGUS itself never sees a `Demand` — it only observes the *delivered*
 /// memory throughput through the PCM counters, exactly as on real hardware.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The type is `Copy` (GPU utilisations live in an inline array), so passing
+/// one per simulation tick costs nothing on the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Demand {
     /// Demanded system memory throughput (GB/s) at full progress rate.
     pub mem_gbs: f64,
@@ -24,7 +201,7 @@ pub struct Demand {
     /// Average CPU core utilisation (0..1) across the node.
     pub cpu_util: f64,
     /// Per-GPU utilisation (0..1). Shorter vectors leave trailing GPUs idle.
-    pub gpu_util: Vec<f64>,
+    pub gpu_util: GpuUtilVec,
 }
 
 impl Demand {
@@ -36,7 +213,7 @@ impl Demand {
             mem_frac: 0.0,
             cpu_frac: 0.0,
             cpu_util: 0.0,
-            gpu_util: Vec::new(),
+            gpu_util: GpuUtilVec::empty(),
         }
     }
 
@@ -48,7 +225,7 @@ impl Demand {
             mem_frac,
             cpu_frac: 0.0,
             cpu_util,
-            gpu_util: vec![gpu_util],
+            gpu_util: GpuUtilVec::single(gpu_util),
         }
     }
 
@@ -63,7 +240,7 @@ impl Demand {
     /// Utilisation of GPU `idx` (0 when the vector is shorter).
     #[must_use]
     pub fn gpu_util(&self, idx: usize) -> f64 {
-        self.gpu_util.get(idx).copied().unwrap_or(0.0)
+        self.gpu_util.as_slice().get(idx).copied().unwrap_or(0.0)
     }
 
     /// Clamp all fields into their valid ranges; returns `self` for chaining.
@@ -73,7 +250,7 @@ impl Demand {
         self.mem_frac = self.mem_frac.clamp(0.0, 1.0);
         self.cpu_frac = self.cpu_frac.clamp(0.0, 1.0 - self.mem_frac);
         self.cpu_util = self.cpu_util.clamp(0.0, 1.0);
-        for u in &mut self.gpu_util {
+        for u in self.gpu_util.as_mut_slice() {
             *u = u.clamp(0.0, 1.0);
         }
         self
@@ -116,7 +293,7 @@ mod tests {
             mem_frac: 1.5,
             cpu_frac: 0.9,
             cpu_util: -0.2,
-            gpu_util: vec![2.0, -1.0],
+            gpu_util: GpuUtilVec::from_slice(&[2.0, -1.0]),
         }
         .clamped();
         assert_eq!(d.mem_gbs, 0.0);
@@ -132,5 +309,37 @@ mod tests {
         assert!((d.cpu_frac - 0.4).abs() < 1e-12);
         let d = Demand::new(10.0, 0.2, 0.5, 0.5).with_cpu_frac(0.3);
         assert!((d.cpu_frac - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_util_vec_serialises_as_plain_array() {
+        let d = Demand::new(10.0, 0.5, 0.2, 0.9);
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("\"gpu_util\":[0.9]"), "{json}");
+        let back: Demand = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn gpu_util_vec_rejects_oversized_input() {
+        let json = format!("[{}]", vec!["0.5"; MAX_GPUS + 1].join(","));
+        assert!(serde_json::from_str::<GpuUtilVec>(&json).is_err());
+        let ok = format!("[{}]", vec!["0.5"; MAX_GPUS].join(","));
+        let v: GpuUtilVec = serde_json::from_str(&ok).unwrap();
+        assert_eq!(v.len(), MAX_GPUS);
+    }
+
+    #[test]
+    fn gpu_util_vec_slice_semantics() {
+        let mut v = GpuUtilVec::from_slice(&[0.1, 0.2, 0.3]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v[1], 0.2);
+        assert_eq!(v.iter().copied().sum::<f64>(), 0.1 + 0.2 + 0.3);
+        v.push(0.4);
+        assert_eq!(v, [0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(GpuUtilVec::empty().len(), 0);
+        let collected: GpuUtilVec = [0.5, 0.6].into_iter().collect();
+        assert_eq!(collected, [0.5, 0.6]);
     }
 }

@@ -42,6 +42,12 @@ impl GpuDevice {
         self.energy_j += self.power_w() * dt_s;
     }
 
+    /// Apply a pre-captured per-tick energy increment without re-evaluating
+    /// the clock governor (frozen fast path; clock provably unchanged).
+    pub(crate) fn replay_tick(&mut self, energy_inc_j: f64) {
+        self.energy_j += energy_inc_j;
+    }
+
     /// Current SM clock (MHz).
     #[must_use]
     pub fn sm_clock_mhz(&self) -> f64 {

@@ -41,8 +41,8 @@ pub mod uncore;
 pub mod workload;
 
 pub use config::{CpuConfig, GpuConfig, MemoryConfig, NodeConfig, UncoreConfig};
-pub use demand::Demand;
-pub use node::Node;
+pub use demand::{Demand, GpuUtilVec};
+pub use node::{FastForward, Node};
 pub use power::PowerBreakdown;
 pub use sim::{RunSummary, Simulation};
 pub use trace::{TraceRecorder, TraceSample};

@@ -57,6 +57,12 @@ impl MemoryChannel {
         delivered
     }
 
+    /// Apply a pre-captured per-tick traffic increment without re-evaluating
+    /// the delivery model (frozen fast path; delivery provably unchanged).
+    pub(crate) fn replay_tick(&mut self, gb_inc: f64) {
+        self.total_gb += gb_inc;
+    }
+
     /// Delivered throughput during the last tick (GB/s).
     #[must_use]
     pub fn delivered_gbs(&self) -> f64 {

@@ -44,7 +44,7 @@ pub struct Socket {
 }
 
 /// Outcome of a single simulation tick.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StepOutcome {
     /// Progress factor applied to the running phase (0..1].
     pub progress: f64,
@@ -52,6 +52,78 @@ pub struct StepOutcome {
     pub delivered_gbs: f64,
     /// Power breakdown during the tick.
     pub power: PowerBreakdown,
+}
+
+/// Reusable scratch state for the macro-stepping fast path
+/// ([`Node::step_fast`] / [`Node::advance_until`]).
+///
+/// # How the fast path works
+///
+/// Between *events* — governor sample points (every MSR/PCM access bumps the
+/// node's state epoch), workload phase boundaries (the demand changes), and
+/// power-limit transients (the RAPL walk mutates the frequency cap every
+/// tick until it converges) — the node's feedback state reaches a floating-
+/// point fixed point: DVFS trackers converge, the uncore slew clamps exactly
+/// onto its target, and `last_power` stops changing. From that point on,
+/// every tick adds *bit-identical* increments to the pure accumulators
+/// (energy, counters, traffic, time).
+///
+/// `FastForward` detects the fixed point by comparing bitwise snapshots of
+/// the feedback state across two consecutive ticks. Once two snapshots
+/// match, it captures the per-tick accumulator increments (computed by the
+/// same expressions `step` uses) and *replays* them for subsequent ticks,
+/// skipping the model evaluation entirely — ~a dozen additions instead of
+/// eight `powf` calls and the full governor cascade. Replay is bit-for-bit
+/// identical to per-tick stepping by construction; any event (epoch bump,
+/// demand change, different `dt`) drops back to reference stepping until a
+/// new fixed point is reached.
+///
+/// The scratch buffers are allocated once and reused, so the hot loop stays
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct FastForward {
+    frozen: bool,
+    prev_valid: bool,
+    epoch: u64,
+    dt_us: u64,
+    demand: Demand,
+    prev: Vec<u64>,
+    cur: Vec<u64>,
+    /// Per-socket (cycles, instructions, traffic GB) increments.
+    socket_inc: Vec<(f64, f64, f64)>,
+    /// Per-GPU energy (J) increments.
+    gpu_inc: Vec<f64>,
+    pkg_per_socket_j: f64,
+    dram_per_socket_j: f64,
+    outcome: StepOutcome,
+}
+
+impl FastForward {
+    /// Fresh fast-forward state (equivalent to `Default`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True while the node is in a frozen span (ticks are being replayed).
+    #[must_use]
+    pub fn frozen(&self) -> bool {
+        self.frozen
+    }
+}
+
+/// Bitwise demand equality — stricter than `PartialEq` (distinguishes
+/// `0.0`/`-0.0`), which is what the frozen-replay proof needs.
+fn demand_bits_eq(a: &Demand, b: &Demand) -> bool {
+    a.mem_gbs.to_bits() == b.mem_gbs.to_bits()
+        && a.mem_frac.to_bits() == b.mem_frac.to_bits()
+        && a.cpu_frac.to_bits() == b.cpu_frac.to_bits()
+        && a.cpu_util.to_bits() == b.cpu_util.to_bits()
+        && a.gpu_util.len() == b.gpu_util.len()
+        && a.gpu_util
+            .iter()
+            .zip(b.gpu_util.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// The simulated heterogeneous node.
@@ -67,9 +139,14 @@ pub struct Node {
     pending_overhead_uj: f64,
     /// Ledger of all monitoring accesses (reads/writes and their costs).
     ledger: CostLedger,
-    /// Recent delivered system throughput, (tick end time µs, GB/s),
-    /// retained long enough to serve the PCM measurement window.
+    /// Recent delivered system throughput, (tick end time µs, GB/s). A
+    /// bounded ring: entries older than the PCM measurement window are
+    /// dropped every tick, so the length never exceeds
+    /// `pcm_window_us / tick + 2` (asserted in debug builds).
     bw_history: VecDeque<(u64, f64)>,
+    /// Bumped on every externally visible state mutation (MSR writes,
+    /// monitoring charges); invalidates any [`FastForward`] frozen state.
+    state_epoch: u64,
     /// Sensor-noise generator (deterministic per config seed).
     noise: SmallRng,
     /// Relative 1-sigma noise applied to PCM readings.
@@ -89,16 +166,17 @@ impl Node {
     pub fn new(cfg: NodeConfig) -> Self {
         let sockets = (0..cfg.sockets)
             .map(|_| Socket {
-                cpu: CpuComplex::new(cfg.cpu.clone()),
-                uncore: UncoreDomain::new(cfg.uncore.clone()),
-                mem: MemoryChannel::new(cfg.mem.clone()),
+                cpu: CpuComplex::new(cfg.cpu),
+                uncore: UncoreDomain::new(cfg.uncore),
+                mem: MemoryChannel::new(cfg.mem),
                 pkg_energy_j: 0.0,
                 dram_energy_j: 0.0,
                 power_limit_raw: 0,
             })
             .collect();
-        let gpus = cfg.gpus.iter().cloned().map(GpuDevice::new).collect();
+        let gpus = cfg.gpus.iter().copied().map(GpuDevice::new).collect();
         let noise = SmallRng::seed_from_u64(cfg.seed);
+        let bw_capacity = (cfg.pcm_window_us / cfg.tick_us.max(1) + 2) as usize;
         Self {
             cfg,
             sockets,
@@ -108,7 +186,8 @@ impl Node {
             last_power: PowerBreakdown::default(),
             pending_overhead_uj: 0.0,
             ledger: CostLedger::new(),
-            bw_history: VecDeque::new(),
+            bw_history: VecDeque::with_capacity(bw_capacity),
+            state_epoch: 0,
             noise,
             pcm_noise_rel: 0.01,
             pcm_noise_abs_gbs: 0.15,
@@ -189,7 +268,7 @@ impl Node {
 
         // 1. TDP-coupled stock governor: cap the uncore only when the last
         //    tick's package power neared TDP (§2). Computed per socket.
-        let gov = self.cfg.tdp_governor.clone();
+        let gov = self.cfg.tdp_governor;
         let pkg_per_socket = self.last_power.pkg_w() / n_sockets;
         let power_unit = RaplPowerUnit::default();
         for socket in &mut self.sockets {
@@ -307,16 +386,8 @@ impl Node {
         self.last_power = power;
         self.time_us += dt_us;
 
-        // 8. Retain delivered-throughput history for PCM windows (keep 4 s).
-        self.bw_history.push_back((self.time_us, delivered_total));
-        let horizon = self.time_us.saturating_sub(4 * crate::US_PER_S);
-        while let Some(&(t, _)) = self.bw_history.front() {
-            if t < horizon {
-                self.bw_history.pop_front();
-            } else {
-                break;
-            }
-        }
+        // 8. Retain delivered-throughput history for PCM windows.
+        self.record_bw(dt_us, delivered_total);
 
         StepOutcome {
             progress,
@@ -325,10 +396,164 @@ impl Node {
         }
     }
 
+    /// Append this tick's delivered throughput and trim entries older than
+    /// the PCM measurement window. Shared by `step` and the frozen replay so
+    /// both paths keep byte-identical history.
+    fn record_bw(&mut self, dt_us: u64, delivered_gbs: f64) {
+        self.bw_history.push_back((self.time_us, delivered_gbs));
+        let horizon = self.time_us.saturating_sub(self.cfg.pcm_window_us);
+        while let Some(&(t, _)) = self.bw_history.front() {
+            if t < horizon {
+                self.bw_history.pop_front();
+            } else {
+                break;
+            }
+        }
+        debug_assert!(
+            self.bw_history.len() <= (self.cfg.pcm_window_us / dt_us.max(1) + 2) as usize,
+            "bw_history grew past its PCM-window bound: {} entries",
+            self.bw_history.len()
+        );
+    }
+
+    /// Advance one tick like [`Node::step`], but replay pre-verified
+    /// per-tick increments whenever the node is in a frozen span (see
+    /// [`FastForward`]). Bit-for-bit identical to `step` on every field.
+    pub fn step_fast(&mut self, dt_us: u64, demand: &Demand, ff: &mut FastForward) -> StepOutcome {
+        if ff.frozen
+            && ff.epoch == self.state_epoch
+            && ff.dt_us == dt_us
+            && demand_bits_eq(&ff.demand, demand)
+        {
+            self.replay_frozen_tick(dt_us, ff);
+            return ff.outcome;
+        }
+        // An event occurred (or we never froze): restart fixed-point
+        // detection from reference steps.
+        if ff.epoch != self.state_epoch || ff.dt_us != dt_us || !demand_bits_eq(&ff.demand, demand)
+        {
+            ff.frozen = false;
+            ff.prev_valid = false;
+            ff.epoch = self.state_epoch;
+            ff.dt_us = dt_us;
+            ff.demand = *demand;
+        }
+        let out = self.step(dt_us, demand);
+        self.write_feedback_snapshot(&mut ff.cur);
+        if ff.prev_valid && ff.cur == ff.prev {
+            self.capture_increments(dt_us, demand, out, ff);
+            ff.frozen = true;
+        } else {
+            core::mem::swap(&mut ff.prev, &mut ff.cur);
+            ff.prev_valid = true;
+        }
+        out
+    }
+
+    /// Fast-forward the node to `horizon_us` (exclusive of any tick starting
+    /// at or past it) under constant demand, using the macro-stepping fast
+    /// path. Returns the number of ticks advanced. The caller chooses the
+    /// horizon as the next *event* time — a governor decision point, a
+    /// workload phase boundary, or the end of the run budget.
+    pub fn advance_until(&mut self, horizon_us: u64, demand: &Demand, ff: &mut FastForward) -> u64 {
+        let dt_us = self.cfg.tick_us;
+        let mut ticks = 0;
+        while self.time_us < horizon_us {
+            self.step_fast(dt_us, demand, ff);
+            ticks += 1;
+        }
+        ticks
+    }
+
+    /// Serialise the feedback state — everything `step` *reads* — as raw
+    /// bits. Two consecutive equal snapshots prove the node sits on a
+    /// floating-point fixed point of `step` for the current demand.
+    fn write_feedback_snapshot(&self, out: &mut Vec<u64>) {
+        out.clear();
+        for s in &self.sockets {
+            out.push(s.cpu.freq_ghz().to_bits());
+            out.push(s.cpu.freq_cap_ghz().to_bits());
+            out.push(s.cpu.natural_target_ghz().to_bits());
+            out.push(s.cpu.util().to_bits());
+            out.push(s.uncore.freq_ghz().to_bits());
+            let (min, max) = s.uncore.msr_limits();
+            out.push(min.to_bits());
+            out.push(max.to_bits());
+            out.push(s.uncore.tdp_cap_ghz().to_bits());
+            out.push(s.uncore.last_target_ghz().to_bits());
+            out.push(s.mem.delivered_gbs().to_bits());
+            out.push(s.mem.demanded_gbs().to_bits());
+            out.push(s.power_limit_raw);
+        }
+        for g in &self.gpus {
+            out.push(g.sm_clock_mhz().to_bits());
+            out.push(g.util().to_bits());
+        }
+        out.push(self.last_power.core_w.to_bits());
+        out.push(self.last_power.uncore_w.to_bits());
+        out.push(self.last_power.dram_w.to_bits());
+        out.push(self.last_power.gpu_w.to_bits());
+        out.push(self.last_power.overhead_w.to_bits());
+        out.push(self.pending_overhead_uj.to_bits());
+    }
+
+    /// Capture the per-tick accumulator increments at a fixed point. Every
+    /// value is produced by the same expression (same operands, same
+    /// evaluation order) `step` uses, so replaying them is bit-exact.
+    fn capture_increments(
+        &self,
+        dt_us: u64,
+        demand: &Demand,
+        out: StepOutcome,
+        ff: &mut FastForward,
+    ) {
+        let dt_s = crate::us_to_secs(dt_us);
+        let n_sockets = self.sockets.len() as f64;
+        ff.socket_inc.clear();
+        for s in &self.sockets {
+            let (cycles, instructions) =
+                s.cpu
+                    .tick_counter_increments(demand.cpu_util, out.progress, dt_s);
+            ff.socket_inc
+                .push((cycles, instructions, s.mem.delivered_gbs() * dt_s));
+        }
+        ff.gpu_inc.clear();
+        for g in &self.gpus {
+            ff.gpu_inc.push(g.power_w() * dt_s);
+        }
+        ff.pkg_per_socket_j =
+            (out.power.core_w + out.power.uncore_w + out.power.overhead_w) / n_sockets * dt_s;
+        ff.dram_per_socket_j = out.power.dram_w / n_sockets * dt_s;
+        ff.outcome = out;
+    }
+
+    /// One replayed tick: apply the captured increments to the accumulators
+    /// and leave all feedback state untouched (it is at a fixed point).
+    fn replay_frozen_tick(&mut self, dt_us: u64, ff: &FastForward) {
+        let dt_s = crate::us_to_secs(dt_us);
+        for (s, &(cycles, instructions, gb)) in self.sockets.iter_mut().zip(&ff.socket_inc) {
+            s.cpu.replay_tick(cycles, instructions);
+            s.mem.replay_tick(gb);
+            s.pkg_energy_j += ff.pkg_per_socket_j;
+            s.dram_energy_j += ff.dram_per_socket_j;
+        }
+        for (g, &energy_j) in self.gpus.iter_mut().zip(&ff.gpu_inc) {
+            g.replay_tick(energy_j);
+        }
+        self.energy.accumulate(&ff.outcome.power, dt_s);
+        self.time_us += dt_us;
+        self.record_bw(dt_us, ff.outcome.delivered_gbs);
+    }
+
     /// Charge a monitoring access cost against the node: energy joins the
     /// next tick's overhead power; the ledger records both components so
     /// drivers can report invocation latency.
     pub fn charge_monitoring(&mut self, cost: AccessCost, is_write: bool) {
+        // Any monitoring access perturbs the node (pending overhead now; MSR
+        // side effects for writes), so it invalidates frozen fast-forward
+        // state. Every msr_read/msr_write/pcm_read charges, so bumping here
+        // covers the whole actuation surface.
+        self.state_epoch = self.state_epoch.wrapping_add(1);
         self.pending_overhead_uj += cost.energy_uj;
         if is_write {
             self.ledger.record_write(cost);
@@ -744,6 +969,163 @@ mod tests {
         let lim = PkgPowerLimit::decode(raw, RaplPowerUnit::default().power_exp);
         assert!(lim.enabled);
         assert!((lim.limit_w - 150.0).abs() < 0.2);
+    }
+
+    /// Compare every observable accumulator and feedback field of two nodes
+    /// bit-for-bit.
+    fn assert_nodes_identical(a: &Node, b: &Node, ctx: &str) {
+        assert_eq!(a.time_us(), b.time_us(), "{ctx}: time");
+        let (ea, eb) = (a.energy(), b.energy());
+        for (x, y, what) in [
+            (ea.core_j, eb.core_j, "core_j"),
+            (ea.uncore_j, eb.uncore_j, "uncore_j"),
+            (ea.dram_j, eb.dram_j, "dram_j"),
+            (ea.gpu_j, eb.gpu_j, "gpu_j"),
+            (ea.overhead_j, eb.overhead_j, "overhead_j"),
+            (ea.elapsed_s, eb.elapsed_s, "elapsed_s"),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: energy.{what}");
+        }
+        for (sa, sb) in a.sockets().iter().zip(b.sockets()) {
+            assert_eq!(
+                sa.cpu.freq_ghz().to_bits(),
+                sb.cpu.freq_ghz().to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                sa.cpu.cycles().to_bits(),
+                sb.cpu.cycles().to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                sa.cpu.instructions().to_bits(),
+                sb.cpu.instructions().to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                sa.pkg_energy_j.to_bits(),
+                sb.pkg_energy_j.to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                sa.dram_energy_j.to_bits(),
+                sb.dram_energy_j.to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                sa.uncore.freq_ghz().to_bits(),
+                sb.uncore.freq_ghz().to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(sa.uncore.transitions(), sb.uncore.transitions(), "{ctx}");
+            assert_eq!(
+                sa.mem.total_gb().to_bits(),
+                sb.mem.total_gb().to_bits(),
+                "{ctx}"
+            );
+        }
+        for (ga, gb) in a.gpus().iter().zip(b.gpus()) {
+            assert_eq!(
+                ga.sm_clock_mhz().to_bits(),
+                gb.sm_clock_mhz().to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(ga.energy_j().to_bits(), gb.energy_j().to_bits(), "{ctx}");
+        }
+        assert_eq!(a.last_power(), b.last_power(), "{ctx}: last_power");
+        assert_eq!(
+            a.delivered_gbs().to_bits(),
+            b.delivered_gbs().to_bits(),
+            "{ctx}"
+        );
+    }
+
+    #[test]
+    fn fast_path_matches_reference_bit_for_bit() {
+        let mut reference = node();
+        let mut fast = node();
+        let mut ff = FastForward::new();
+        let demand = busy_demand();
+        for _ in 0..1000 {
+            reference.step(10_000, &demand);
+            fast.step_fast(10_000, &demand, &mut ff);
+        }
+        assert!(ff.frozen(), "fast path never froze on constant demand");
+        assert_nodes_identical(&reference, &fast, "steady busy");
+        // Noise stream untouched by replay: PCM reads agree exactly.
+        assert_eq!(reference.pcm_read_gbs(), fast.pcm_read_gbs());
+    }
+
+    #[test]
+    fn fast_path_matches_across_events() {
+        // MSR writes, power-limit programming, and demand changes all
+        // invalidate the frozen state; the two paths must stay identical
+        // through every transition.
+        let run = |fast: bool| {
+            let mut n = node();
+            let mut ff = FastForward::new();
+            let mut do_ticks =
+                |n: &mut Node, demand: &Demand, ticks: usize, ff: &mut FastForward| {
+                    for _ in 0..ticks {
+                        if fast {
+                            n.step_fast(10_000, demand, ff);
+                        } else {
+                            n.step(10_000, demand);
+                        }
+                    }
+                };
+            let busy = busy_demand();
+            let memheavy = Demand::new(150.0, 0.7, 0.6, 0.9).with_cpu_frac(0.2);
+            do_ticks(&mut n, &busy, 300, &mut ff);
+            let raw = UncoreRatioLimit::from_ghz(0.8, 1.4).encode();
+            for pkg in 0..2 {
+                n.msr_write(MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT, raw)
+                    .unwrap();
+            }
+            do_ticks(&mut n, &memheavy, 400, &mut ff);
+            n.set_power_limit_w(90.0).unwrap();
+            do_ticks(&mut n, &busy, 500, &mut ff);
+            let _ = n.pcm_read_gbs();
+            do_ticks(&mut n, &memheavy, 300, &mut ff);
+            n
+        };
+        let reference = run(false);
+        let fast = run(true);
+        assert_nodes_identical(&reference, &fast, "event sequence");
+        assert_eq!(reference.ledger().reads(), fast.ledger().reads());
+        assert_eq!(reference.ledger().writes(), fast.ledger().writes());
+    }
+
+    #[test]
+    fn advance_until_reaches_horizon_exactly() {
+        let mut n = node();
+        let mut ff = FastForward::new();
+        let demand = busy_demand();
+        let ticks = n.advance_until(2_000_000, &demand, &mut ff);
+        assert_eq!(n.time_us(), 2_000_000);
+        assert_eq!(ticks, 200);
+        // Horizon not tick-aligned: overshoots to the next tick edge, like
+        // the per-tick reference loop would.
+        n.advance_until(2_015_000, &demand, &mut ff);
+        assert_eq!(n.time_us(), 2_020_000);
+    }
+
+    #[test]
+    fn bw_history_stays_bounded() {
+        let mut n = node();
+        let demand = busy_demand();
+        for _ in 0..5000 {
+            n.step(10_000, &demand);
+        }
+        let bound = (n.config().pcm_window_us / n.config().tick_us + 2) as usize;
+        assert!(
+            n.bw_history.len() <= bound,
+            "{} entries > bound {bound}",
+            n.bw_history.len()
+        );
+        // The PCM window is still fully served.
+        let reading = n.pcm_read_gbs();
+        assert!((reading - 40.0).abs() < 4.0, "reading = {reading}");
     }
 
     #[test]

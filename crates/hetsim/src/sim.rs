@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::demand::Demand;
-use crate::node::{Node, StepOutcome};
+use crate::node::{FastForward, Node, StepOutcome};
 use crate::power::EnergyTotals;
 use crate::trace::TraceRecorder;
 use crate::workload::AppTrace;
@@ -146,7 +146,7 @@ impl Simulation {
     pub fn current_demand(&self) -> Demand {
         match &self.app {
             Some(exec) if exec.phase_idx < exec.trace.phases.len() => {
-                exec.trace.phases[exec.phase_idx].demand.clone()
+                exec.trace.phases[exec.phase_idx].demand
             }
             _ => Demand::idle(),
         }
@@ -157,12 +157,42 @@ impl Simulation {
         let dt_us = self.node.config().tick_us;
         let demand = self.current_demand();
         let outcome = self.node.step(dt_us, &demand);
+        self.apply_tick_outcome(outcome, dt_us, demand.mem_gbs);
+        outcome
+    }
+
+    /// Advance one tick through the macro-stepping fast path. Bit-for-bit
+    /// identical to [`Simulation::step`]; `ff` carries the frozen-span state
+    /// across calls (see [`FastForward`]).
+    pub fn step_fast(&mut self, ff: &mut FastForward) -> StepOutcome {
+        let dt_us = self.node.config().tick_us;
+        let demand = self.current_demand();
+        let outcome = self.node.step_fast(dt_us, &demand, ff);
+        self.apply_tick_outcome(outcome, dt_us, demand.mem_gbs);
+        outcome
+    }
+
+    /// Fast-forward to `horizon_us` (or until the application completes),
+    /// using the macro-stepping fast path tick by tick. The caller picks the
+    /// horizon as its next *event* time — typically a runtime's decision
+    /// point or the end of the run budget; phase boundaries and recorder
+    /// samples inside the span are handled here exactly as in per-tick
+    /// stepping.
+    pub fn advance_until(&mut self, horizon_us: u64, ff: &mut FastForward) {
+        while !self.done() && self.node.time_us() < horizon_us {
+            self.step_fast(ff);
+        }
+    }
+
+    /// Post-tick bookkeeping shared by the reference and fast paths: phase
+    /// progress (a tick can complete multiple very short phases) and trace
+    /// recording.
+    fn apply_tick_outcome(&mut self, outcome: StepOutcome, dt_us: u64, demand_gbs: f64) {
         if let Some(exec) = &mut self.app {
             if exec.phase_idx < exec.trace.phases.len() {
                 let advanced = outcome.progress * crate::us_to_secs(dt_us);
                 self.progress_s += advanced;
                 exec.phase_done_s += advanced;
-                // A tick can complete multiple very short phases.
                 while exec.phase_idx < exec.trace.phases.len()
                     && exec.phase_done_s >= exec.trace.phases[exec.phase_idx].work_s
                 {
@@ -172,8 +202,7 @@ impl Simulation {
             }
         }
         self.recorder
-            .observe(&self.node, demand.mem_gbs, self.progress_s);
-        outcome
+            .observe(&self.node, demand_gbs, self.progress_s);
     }
 
     /// Run until the application completes or `max_s` elapses, with no
@@ -280,6 +309,32 @@ mod tests {
         assert!(!sim.done());
         assert_eq!(sim.app_name(), None);
         assert!(sim.current_demand().is_idle());
+    }
+
+    #[test]
+    fn fast_path_run_matches_reference_exactly() {
+        let phases = vec![
+            Phase::new(PhaseKind::Compute, 3.0, Demand::new(5.0, 0.2, 0.3, 0.8)),
+            Phase::new(PhaseKind::Burst, 2.0, Demand::new(150.0, 0.7, 0.4, 0.9)),
+            Phase::new(PhaseKind::Compute, 1.0, Demand::new(2.0, 0.1, 0.2, 0.6)),
+        ];
+        let mut reference = sim_with(phases.clone());
+        reference.set_recorder(TraceRecorder::new(100_000));
+        let ref_summary = reference.run_to_completion(60.0);
+
+        let mut fast = sim_with(phases);
+        fast.set_recorder(TraceRecorder::new(100_000));
+        let mut ff = FastForward::new();
+        let start = fast.node().time_us();
+        fast.advance_until(crate::secs_to_us(60.0), &mut ff);
+        let fast_summary = fast.summary(start);
+
+        assert_eq!(ref_summary, fast_summary);
+        assert_eq!(reference.recorder().samples(), fast.recorder().samples());
+        assert_eq!(
+            reference.progress_s().to_bits(),
+            fast.progress_s().to_bits()
+        );
     }
 
     #[test]

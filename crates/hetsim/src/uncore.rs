@@ -91,6 +91,18 @@ impl UncoreDomain {
         self.freq_ghz
     }
 
+    /// Current TDP-coupled cap (GHz) — feedback state for the frozen fast
+    /// path's fixed-point snapshot.
+    pub(crate) fn tdp_cap_ghz(&self) -> f64 {
+        self.tdp_cap_ghz
+    }
+
+    /// Last observed target (GHz) — feedback state for the frozen fast
+    /// path's fixed-point snapshot (gates the transition counter).
+    pub(crate) fn last_target_ghz(&self) -> f64 {
+        self.last_target
+    }
+
     /// Normalised position of the clock within the hardware range (0..1).
     #[must_use]
     pub fn norm_freq(&self) -> f64 {

@@ -73,7 +73,7 @@ proptest! {
         for _ in 0..steps {
             node.step(10_000, &d);
         }
-        let cfg = node.config().uncore.clone();
+        let cfg = node.config().uncore;
         for socket in node.sockets() {
             let f = socket.uncore.freq_ghz();
             prop_assert!(f >= cfg.freq_min_ghz - 1e-9 && f <= cfg.freq_max_ghz + 1e-9);

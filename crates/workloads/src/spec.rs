@@ -7,7 +7,7 @@
 //! variance matters).
 
 use magus_hetsim::workload::PhaseKind;
-use magus_hetsim::{AppTrace, Demand, Phase};
+use magus_hetsim::{AppTrace, Demand, GpuUtilVec, Phase};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -218,9 +218,9 @@ fn demand(bw_gbs: f64, mem_frac: f64, util: &UtilSpec, burst: bool) -> Demand {
             util.cpu_quiet
         },
         gpu_util: if burst {
-            util.gpu_burst.clone()
+            GpuUtilVec::from_slice(&util.gpu_burst)
         } else {
-            util.gpu_quiet.clone()
+            GpuUtilVec::from_slice(&util.gpu_quiet)
         },
     }
     .clamped()
