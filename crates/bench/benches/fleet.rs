@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the fleet layer: lockstep multi-node stepping
+//! and the engine's streaming suite reduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use magus_experiments::engine::{Engine, GovernorSpec, TrialSpec};
+use magus_experiments::fleet::{run_fleet, FleetSpec};
+use magus_experiments::harness::SystemId;
+use magus_workloads::AppId;
+
+fn bench_fleet_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    // 64 nodes × the catalog (round-robin) under MAGUS, bounded budget:
+    // the node-steps/sec headline the fleet bench bin and CI gate track.
+    let spec = FleetSpec {
+        max_s: 30.0,
+        ..FleetSpec::new(GovernorSpec::magus_default(), 64)
+    };
+    let node_steps = run_fleet(&spec).summary.node_steps;
+    group.throughput(Throughput::Elements(node_steps));
+    group.bench_function("step_64", |b| b.iter(|| black_box(run_fleet(&spec))));
+
+    group.finish();
+}
+
+fn bench_suite_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    // The full catalog under MAGUS through the uncached engine: the
+    // streaming fold must cost no more than collect-then-reduce (CI gates
+    // the bench-bin ratio of the same pair).
+    let specs: Vec<TrialSpec> = AppId::all()
+        .iter()
+        .map(|&app| TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::magus_default()))
+        .collect();
+    let engine = Engine::ephemeral();
+    group.bench_function("suite_collect", |b| {
+        b.iter(|| black_box(engine.run_suite(&specs)));
+    });
+    group.bench_function("suite_streaming", |b| {
+        b.iter(|| {
+            engine.fold_suite(
+                &specs,
+                |_, outcome| outcome.result.summary.runtime_s,
+                0.0f64,
+                |acc, _, runtime_s| *acc += runtime_s,
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_step, bench_suite_streaming);
+criterion_main!(benches);

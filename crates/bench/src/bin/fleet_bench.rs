@@ -1,0 +1,142 @@
+//! Fleet bench: node-steps/sec of the batched fleet simulator plus the
+//! streaming-vs-collect suite reduction, as JSON.
+//!
+//! Runs the full workload catalog × {default, MAGUS, UPS} across an
+//! N-node synthetic fleet (round-robin apps on interned traces) and times
+//! each governor's fleet run, then times one catalog suite through the
+//! engine's collect (`run_suite`) and streaming (`fold_suite`) reductions.
+//! Results land in `BENCH_fleet.json`:
+//!
+//! * `node_steps_per_sec` — simulator ticks advanced across all nodes per
+//!   wall-clock second, summed over the three governor fleets (the CI
+//!   regression gate's headline).
+//! * `streaming_vs_collect` — streaming suite time / collect suite time
+//!   (CI gates this ≤ 1.10: streaming must not be slower).
+//! * `peak_rss_proxy_kb` — the process's `VmHWM` high-water mark from
+//!   `/proc/self/status` (0 where unavailable), a coarse resident-memory
+//!   proxy for the O(workers) streaming claim.
+//!
+//! Usage: `cargo run --release --bin fleet_bench [out.json] [nodes]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use magus_experiments::engine::{Engine, GovernorSpec, TrialSpec};
+use magus_experiments::fleet::{run_fleet, FleetSpec};
+use magus_experiments::harness::SystemId;
+use magus_workloads::AppId;
+
+/// Median seconds over `reps` timed runs of `f`.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// `VmHWM` (peak resident set, kB) from `/proc/self/status`; 0 where the
+/// proc filesystem is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let nodes: usize = std::env::args()
+        .nth(2)
+        .map(|n| n.parse().expect("node count"))
+        .unwrap_or(64);
+    // Bounded per-node budget: throughput needs steady stepping, not
+    // catalog completion (the longest apps run for hundreds of sim-secs).
+    let max_s = 120.0;
+
+    let mut cases: Vec<(String, f64)> = Vec::new();
+
+    // -- fleet group: lockstep stepping throughput per governor -----------
+    let governors = [
+        GovernorSpec::Default,
+        GovernorSpec::magus_default(),
+        GovernorSpec::ups_default(),
+    ];
+    let mut total_node_steps = 0u64;
+    let mut total_fleet_secs = 0.0;
+    for governor in governors {
+        let spec = FleetSpec {
+            max_s,
+            ..FleetSpec::new(governor.clone(), nodes)
+        };
+        // Fleet runs are deterministic: take the step count once, time the
+        // median over repeats.
+        let node_steps = run_fleet(&spec).summary.node_steps;
+        let secs = median_secs(3, || {
+            black_box(run_fleet(&spec));
+        });
+        cases.push((format!("fleet/{}_s", governor.name()), secs));
+        total_node_steps += node_steps;
+        total_fleet_secs += secs;
+    }
+    let node_steps_per_sec = total_node_steps as f64 / total_fleet_secs;
+
+    // -- suite group: collect vs streaming reduction ----------------------
+    // One catalog × MAGUS sweep through an uncached engine; both paths run
+    // identical trials, so the ratio isolates the reduction strategy.
+    let specs: Vec<TrialSpec> = AppId::all()
+        .iter()
+        .map(|&app| TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::magus_default()))
+        .collect();
+    let engine = Engine::ephemeral();
+    let collect_s = median_secs(3, || {
+        black_box(engine.run_suite(&specs));
+    });
+    let streaming_s = median_secs(3, || {
+        let count = engine.fold_suite(
+            &specs,
+            |_, outcome| outcome.result.summary.runtime_s,
+            0usize,
+            |acc, _, runtime_s| {
+                black_box(runtime_s);
+                *acc += 1;
+            },
+        );
+        assert_eq!(count, specs.len());
+    });
+    cases.push(("suite/collect_s".to_string(), collect_s));
+    cases.push(("suite/streaming_s".to_string(), streaming_s));
+    let streaming_vs_collect = streaming_s / collect_s;
+
+    let json = serde_json::json!({
+        "measured": true,
+        "unit": "seconds (median) per case",
+        "nodes": nodes,
+        "node_steps_per_sec": node_steps_per_sec.round(),
+        "streaming_vs_collect": streaming_vs_collect,
+        "peak_rss_proxy_kb": peak_rss_kb(),
+        "cases": cases
+            .iter()
+            .map(|(n, v)| (n.clone(), serde_json::json!(v)))
+            .collect::<serde_json::Map<_, _>>(),
+    });
+    let rendered = serde_json::to_string_pretty(&json).expect("serialise");
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write BENCH_fleet.json");
+    println!("{rendered}");
+    println!(
+        "wrote {out_path} ({nodes} nodes: {node_steps_per_sec:.0} node-steps/sec, \
+         streaming/collect = {streaming_vs_collect:.2})"
+    );
+}

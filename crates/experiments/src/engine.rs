@@ -16,22 +16,34 @@
 //!   re-running `fig4a` after touching only plotting code skips all
 //!   simulation, while any spec field change — or a salt bump — forces a
 //!   recompute.
+//! * **Streaming reduction.** [`Engine::run_mapped`] digests each
+//!   [`TrialOutcome`] *inside the worker that produced it* (recorded
+//!   samples and all), so only the caller's reduced value survives —
+//!   peak resident outcomes stay O(workers) instead of O(trials), which
+//!   is what makes 1000-trial fleet sweeps fit in memory.
+//!   [`Engine::fold_suite`] goes further: outcomes stream to the caller's
+//!   fold as soon as their rayon task finishes, merged deterministically
+//!   in trial-index order. [`Engine::run_brief`] is the common digest
+//!   (summary metrics, samples dropped).
 //! * **Observability.** The engine records a per-run manifest
 //!   ([`RunManifest`]): every spec's hash and label, cache hit/miss
 //!   counts, and wall time, written next to the cache by
 //!   [`Engine::finish`].
 //!
 //! Environment knobs (read by [`Engine::from_env`]):
-//! `MAGUS_CACHE=off` disables the cache, `MAGUS_CACHE_DIR` moves it, and
-//! `MAGUS_SERIAL=1` forces serial execution.
+//! `MAGUS_CACHE=off` disables the cache, `MAGUS_CACHE_DIR` moves it,
+//! `MAGUS_SERIAL=1` forces serial execution, and `MAGUS_JOBS=N` sizes the
+//! engine's private rayon pool (0 = one thread per CPU), mirroring the
+//! CLI's `--jobs`.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
-use magus_hetsim::{AppTrace, NodeConfig};
+use magus_hetsim::{AppTrace, NodeConfig, RunSummary};
 use magus_hsmp::FabricPstateTable;
 use magus_runtime::MagusConfig;
 use magus_ups::UpsConfig;
@@ -295,10 +307,12 @@ impl TrialSpec {
     }
 
     /// Build the application trace this trial runs (`None` for idle).
-    /// Replicated trials re-jitter the workload seed the same way the
-    /// paper's repeated hardware runs vary.
+    /// Canonical-seed catalog trials share the process-wide interned trace
+    /// (synthesized once per `(app, platform)`); replicated trials
+    /// re-jitter the workload seed the same way the paper's repeated
+    /// hardware runs vary, so they build a private trace.
     #[must_use]
-    pub fn build_trace(&self) -> Option<AppTrace> {
+    pub fn build_trace(&self) -> Option<Arc<AppTrace>> {
         match self.workload {
             WorkloadSel::App(app) => Some(match self.replicate {
                 None => app_trace(app, self.system.platform()),
@@ -308,10 +322,10 @@ impl TrialSpec {
                     if self.system.platform() != Platform::IntelA100 {
                         spec.util = spec.util.across_gpus(self.system.platform().gpu_count());
                     }
-                    spec.build()
+                    Arc::new(spec.build())
                 }
             }),
-            WorkloadSel::HybridMd => Some(crate::powercap::hybrid_workload()),
+            WorkloadSel::HybridMd => Some(Arc::new(crate::powercap::hybrid_workload())),
             WorkloadSel::Idle => None,
         }
     }
@@ -397,6 +411,45 @@ pub struct TrialOutcome {
     pub cached: bool,
 }
 
+/// Summary-only digest of a [`TrialOutcome`]: everything the sweep-level
+/// reductions (fig 4, fig 7, fleet sweeps) consume, minus the recorded
+/// time series. Built inside the worker via [`Engine::run_brief`], so the
+/// sample vectors never accumulate across a suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialBrief {
+    /// Human-readable spec label.
+    pub label: String,
+    /// The spec's content hash under the engine's salt.
+    pub spec_hash: String,
+    /// Runtime (governor) name used.
+    pub runtime: String,
+    /// Run summary (runtime, energy, mean powers, counters).
+    pub summary: RunSummary,
+    /// Runtime decision invocations during the run.
+    pub invocations: u64,
+    /// Mean invocation latency (µs).
+    pub mean_invocation_us: f64,
+    /// High-frequency lock fraction (MAGUS-family governors only).
+    pub high_freq_fraction: Option<f64>,
+    /// Served from the on-disk cache.
+    pub cached: bool,
+}
+
+impl From<TrialOutcome> for TrialBrief {
+    fn from(o: TrialOutcome) -> Self {
+        Self {
+            label: o.spec.label(),
+            spec_hash: o.spec_hash,
+            runtime: o.result.runtime,
+            summary: o.result.summary,
+            invocations: o.result.invocations,
+            mean_invocation_us: o.result.mean_invocation_us,
+            high_freq_fraction: o.high_freq_fraction,
+            cached: o.cached,
+        }
+    }
+}
+
 /// On-disk cache payload: everything needed to reconstruct an outcome,
 /// plus the salt and full spec for collision paranoia.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -475,7 +528,16 @@ pub struct Engine {
     salt: String,
     mode: ExecMode,
     cache_dir: Option<PathBuf>,
+    /// Private rayon pool when `--jobs`/`MAGUS_JOBS` pinned a worker
+    /// count; `None` uses the global pool.
+    pool: Option<rayon::ThreadPool>,
     state: Mutex<EngineState>,
+    /// Fully-materialized [`TrialOutcome`]s currently alive inside
+    /// [`Engine::run_mapped`]/[`Engine::fold_suite`] workers, and the peak
+    /// that gauge ever reached — the observable behind the "peak memory is
+    /// O(workers)" acceptance test.
+    live_outcomes: AtomicU64,
+    peak_live: AtomicU64,
     started: Instant,
 }
 
@@ -487,7 +549,10 @@ impl Engine {
             salt: ENGINE_SALT.to_string(),
             mode,
             cache_dir,
+            pool: None,
             state: Mutex::new(EngineState::default()),
+            live_outcomes: AtomicU64::new(0),
+            peak_live: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -509,7 +574,16 @@ impl Engine {
                 std::env::var("MAGUS_CACHE_DIR").unwrap_or_else(|_| "results/cache".into()),
             ))
         };
-        Self::build(cache_dir, mode)
+        let mut engine = Self::build(cache_dir, mode);
+        if let Ok(v) = std::env::var("MAGUS_JOBS") {
+            if !v.is_empty() {
+                match v.parse::<usize>() {
+                    Ok(jobs) => engine = engine.with_jobs(jobs),
+                    Err(_) => eprintln!("[engine] ignoring non-numeric MAGUS_JOBS={v}"),
+                }
+            }
+        }
+        engine
     }
 
     /// Parallel engine with no cache — pure in-memory execution, used by
@@ -552,6 +626,35 @@ impl Engine {
     pub fn with_salt(mut self, salt: impl Into<String>) -> Self {
         self.salt = salt.into();
         self
+    }
+
+    /// Pin the engine to a private rayon pool of `jobs` workers
+    /// (`0` = one per CPU, rayon's default sizing). This is the `--jobs`
+    /// CLI flag / `MAGUS_JOBS` env knob: explicit sizing makes fleet
+    /// benches reproducible across machines.
+    ///
+    /// # Panics
+    /// Panics if the pool cannot be spawned (thread creation failure).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.pool = Some(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(jobs)
+                .thread_name(|i| format!("magus-engine-{i}"))
+                .build()
+                .expect("spawn engine thread pool"),
+        );
+        self
+    }
+
+    /// The engine's worker count: the private pool's size when `--jobs`
+    /// was given, otherwise the global rayon pool's.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.pool.as_ref().map_or_else(
+            rayon::current_num_threads,
+            rayon::ThreadPool::current_num_threads,
+        )
     }
 
     /// The scheduling mode.
@@ -606,10 +709,133 @@ impl Engine {
     /// Run a suite of independent trials. Outcomes come back in spec
     /// order regardless of scheduling, so parallel and serial runs reduce
     /// to bit-identical results.
+    ///
+    /// This *retains* every full outcome (O(trials) memory) — figures that
+    /// need recorded samples want that. Sweeps that only reduce summaries
+    /// should use [`Engine::run_brief`] / [`Engine::run_mapped`] /
+    /// [`Engine::fold_suite`], which keep peak memory O(workers).
     pub fn run_suite(&self, specs: &[TrialSpec]) -> Vec<TrialOutcome> {
+        self.run_mapped(specs, |_, outcome| outcome)
+    }
+
+    /// Run a suite and digest each outcome **inside the worker that
+    /// produced it**: `map(index, outcome)` consumes the full
+    /// [`TrialOutcome`] (recorded samples included) and only its return
+    /// value is collected, in spec order. Peak resident outcomes are
+    /// bounded by the worker count (observable via
+    /// [`Engine::peak_live_outcomes`]), not the suite length.
+    pub fn run_mapped<R: Send>(
+        &self,
+        specs: &[TrialSpec],
+        map: impl Fn(usize, TrialOutcome) -> R + Sync,
+    ) -> Vec<R> {
         match self.mode {
-            ExecMode::Serial => specs.iter().map(|s| self.run(s)).collect(),
-            ExecMode::Parallel => specs.par_iter().map(|s| self.run(s)).collect(),
+            ExecMode::Serial => specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| self.run_digested(i, s, &map))
+                .collect(),
+            ExecMode::Parallel => self.in_pool(|| {
+                specs
+                    .par_iter()
+                    .enumerate()
+                    .map(|(i, s)| self.run_digested(i, s, &map))
+                    .collect()
+            }),
+        }
+    }
+
+    /// Run a suite reduced to summary-only [`TrialBrief`]s — the common
+    /// streaming digest for sweep-level reductions.
+    pub fn run_brief(&self, specs: &[TrialSpec]) -> Vec<TrialBrief> {
+        self.run_mapped(specs, |_, outcome| TrialBrief::from(outcome))
+    }
+
+    /// Streaming fold over a suite: each outcome is digested in its worker
+    /// by `map`, handed to the caller's `fold` **as soon as it is ready**,
+    /// and merged deterministically in trial-index order (a reorder buffer
+    /// holds early-finishing later trials until their predecessors land).
+    /// Unlike [`Engine::run_mapped`] this never materializes the digest
+    /// vector, so arbitrarily long sweeps reduce in O(workers) memory.
+    pub fn fold_suite<A, T: Send>(
+        &self,
+        specs: &[TrialSpec],
+        map: impl Fn(usize, TrialOutcome) -> T + Sync,
+        mut acc: A,
+        mut fold: impl FnMut(&mut A, usize, T),
+    ) -> A {
+        match self.mode {
+            ExecMode::Serial => {
+                for (i, s) in specs.iter().enumerate() {
+                    let digest = self.run_digested(i, s, &map);
+                    fold(&mut acc, i, digest);
+                }
+            }
+            ExecMode::Parallel => {
+                let map = &map;
+                let (tx, rx) = mpsc::channel::<(usize, T)>();
+                std::thread::scope(|scope| {
+                    let producer = scope.spawn(move || {
+                        self.in_pool(|| {
+                            specs
+                                .par_iter()
+                                .enumerate()
+                                .for_each_with(tx, |tx, (i, s)| {
+                                    // A send only fails when the fold thread
+                                    // panicked; the panic propagates at join.
+                                    let _ = tx.send((i, self.run_digested(i, s, map)));
+                                });
+                        });
+                    });
+                    // Deterministic merge: fold strictly in trial order,
+                    // parking out-of-order arrivals until their turn.
+                    let mut parked = BTreeMap::new();
+                    let mut next = 0usize;
+                    for (i, digest) in &rx {
+                        parked.insert(i, digest);
+                        while let Some(digest) = parked.remove(&next) {
+                            fold(&mut acc, next, digest);
+                            next += 1;
+                        }
+                    }
+                    if let Err(panic) = producer.join() {
+                        std::panic::resume_unwind(panic);
+                    }
+                });
+            }
+        }
+        acc
+    }
+
+    /// Highest number of fully-materialized outcomes simultaneously alive
+    /// inside streaming workers since this engine was built. Bounded by
+    /// the worker count for [`Engine::run_mapped`]-family calls.
+    #[must_use]
+    pub fn peak_live_outcomes(&self) -> u64 {
+        self.peak_live.load(Ordering::SeqCst)
+    }
+
+    /// Run one trial and digest it in place, tracking how many full
+    /// outcomes are alive at once (the O(workers) memory observable).
+    fn run_digested<R>(
+        &self,
+        idx: usize,
+        spec: &TrialSpec,
+        map: &(impl Fn(usize, TrialOutcome) -> R + Sync),
+    ) -> R {
+        let outcome = self.run(spec);
+        let live = self.live_outcomes.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_live.fetch_max(live, Ordering::SeqCst);
+        let digest = map(idx, outcome); // outcome consumed (and dropped) here
+        self.live_outcomes.fetch_sub(1, Ordering::SeqCst);
+        digest
+    }
+
+    /// Execute `f` inside the engine's private pool when one is pinned.
+    fn in_pool<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
         }
     }
 

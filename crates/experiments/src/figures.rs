@@ -2,16 +2,20 @@
 //! print these; integration tests assert their shapes against the paper.
 //!
 //! Every function describes its work as [`TrialSpec`]s and submits them
-//! to the caller's [`Engine`] in one flat `run_suite` call, so the engine
-//! can schedule the whole figure in parallel and serve repeats from its
-//! result cache. Outcomes come back in spec order, which keeps the
-//! reductions below trivially deterministic.
+//! to the caller's [`Engine`] in one flat batch, so the engine can
+//! schedule the whole figure in parallel and serve repeats from its
+//! result cache. Trace-plotting figures (1, 2, 5) need the full recorded
+//! outcomes and use `run_suite`; sweep-style reductions (fig 4, fig 7,
+//! table 1) digest each outcome inside its worker via the streaming
+//! `run_brief`/`run_mapped` APIs, so their peak memory stays O(workers).
+//! Digests arrive in spec order either way, which keeps the reductions
+//! below trivially deterministic.
 
 use magus_runtime::MagusConfig;
 use magus_workloads::{fig4a_suite, fig4b_suite, fig4c_suite, table1_suite, AppId};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{Engine, GovernorSpec, TrialSpec};
+use crate::engine::{Engine, GovernorSpec, TrialBrief, TrialSpec};
 use crate::harness::{SystemId, TrialResult};
 use crate::metrics::{burst_jaccard, default_burst_threshold, Comparison};
 use crate::overhead::{report_from_outcomes, OverheadReport};
@@ -110,28 +114,30 @@ fn eval_specs(system: SystemId, app: AppId) -> [TrialSpec; 3] {
     ]
 }
 
-fn eval_from_outcomes(app: AppId, outs: &[crate::engine::TrialOutcome]) -> AppEval {
-    let [base, magus, ups] = outs else {
+fn eval_from_briefs(app: AppId, briefs: &[TrialBrief]) -> AppEval {
+    let [base, magus, ups] = briefs else {
         unreachable!("three outcomes per app")
     };
     AppEval {
         app: app.name().to_string(),
-        baseline_runtime_s: base.result.summary.runtime_s,
-        baseline_cpu_w: base.result.summary.mean_cpu_w,
-        magus: Comparison::against(&base.result.summary, &magus.result.summary),
-        ups: Comparison::against(&base.result.summary, &ups.result.summary),
+        baseline_runtime_s: base.summary.runtime_s,
+        baseline_cpu_w: base.summary.mean_cpu_w,
+        magus: Comparison::against(&base.summary, &magus.summary),
+        ups: Comparison::against(&base.summary, &ups.summary),
     }
 }
 
 /// Evaluate one app on one system with all three methods.
 #[must_use]
 pub fn evaluate_app(engine: &Engine, system: SystemId, app: AppId) -> AppEval {
-    let outs = engine.run_suite(&eval_specs(system, app));
-    eval_from_outcomes(app, &outs)
+    let briefs = engine.run_brief(&eval_specs(system, app));
+    eval_from_briefs(app, &briefs)
 }
 
 /// Fig 4 (a/b/c): the end-to-end suite evaluation for a system. The whole
-/// suite (3 trials per application) is submitted as one flat batch.
+/// suite (3 trials per application) is submitted as one flat batch and
+/// reduced from streaming summary digests — full outcomes never
+/// accumulate.
 #[must_use]
 pub fn fig4(engine: &Engine, system: SystemId) -> Vec<AppEval> {
     let suite = match system {
@@ -143,11 +149,11 @@ pub fn fig4(engine: &Engine, system: SystemId) -> Vec<AppEval> {
         .iter()
         .flat_map(|&app| eval_specs(system, app))
         .collect();
-    let outs = engine.run_suite(&specs);
+    let briefs = engine.run_brief(&specs);
     suite
         .iter()
-        .zip(outs.chunks_exact(3))
-        .map(|(&app, chunk)| eval_from_outcomes(app, chunk))
+        .zip(briefs.chunks_exact(3))
+        .map(|(&app, chunk)| eval_from_briefs(app, chunk))
         .collect()
 }
 
@@ -230,13 +236,15 @@ pub fn table1_jaccard(engine: &Engine) -> Vec<(String, f64)> {
             ]
         })
         .collect();
-    let outs = engine.run_suite(&specs);
+    // Samples are the only thing the Jaccard reduction reads: extract them
+    // inside the workers and let the rest of each outcome drop there.
+    let samples = engine.run_mapped(&specs, |_, out| out.result.samples);
     suite
         .iter()
-        .zip(outs.chunks_exact(2))
+        .zip(samples.chunks_exact(2))
         .map(|(&app, pair)| {
-            let threshold = default_burst_threshold(&pair[0].result.samples);
-            let score = burst_jaccard(&pair[0].result.samples, &pair[1].result.samples, threshold);
+            let threshold = default_burst_threshold(&pair[0]);
+            let score = burst_jaccard(&pair[0], &pair[1], threshold);
             (app.name().to_string(), score)
         })
         .collect()
@@ -302,12 +310,11 @@ pub fn fig7_sensitivity(engine: &Engine, app: AppId) -> SweepResult {
         .into_iter()
         .map(|cfg| TrialSpec::new(system, app, GovernorSpec::Magus { cfg }))
         .collect();
-    let outs = engine.run_suite(&specs);
-    let mut points: Vec<ParetoPoint> = labels
-        .iter()
-        .zip(&outs)
-        .map(|(label, out)| ParetoPoint::from_outcome(label.clone(), out))
-        .collect();
+    // 42 configurations reduce to 42 (runtime, energy) points; project
+    // each outcome in its worker instead of collecting them all first.
+    let mut points: Vec<ParetoPoint> = engine.run_mapped(&specs, |i, out| {
+        ParetoPoint::from_outcome(labels[i].as_str(), &out)
+    });
     let common_point = points.pop().expect("common point");
     let default_point = points.pop().expect("default point");
     SweepResult {

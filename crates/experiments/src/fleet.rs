@@ -1,0 +1,162 @@
+//! Fleet sweep driver: the full workload catalog under each governor
+//! across an N-node synthetic fleet.
+//!
+//! This is the experiments-layer adapter between [`RuntimeDriver`]s and
+//! [`magus_hetsim::fleet::FleetSim`]: every node gets its own driver
+//! instance (runtimes carry per-node feedback state) and one catalog
+//! application, assigned round-robin so any fleet size covers the whole
+//! catalog evenly. Traces come from the workload intern table, so a
+//! 1024-node fleet holds one `AppTrace` allocation per distinct
+//! application, not per node.
+//!
+//! Each node's trajectory is bit-identical to running it alone through
+//! [`crate::harness::run_trial`] with the same governor (asserted by
+//! `tests/fleet.rs`): the shared fleet clock only changes where
+//! macro-stepping spans split, never what they compute.
+
+use magus_hetsim::fleet::{Decision, FleetSim, FleetSummary};
+use magus_hetsim::{Node, Simulation};
+use magus_workloads::{app_trace, AppId};
+use serde::{Deserialize, Serialize};
+
+use crate::drivers::RuntimeDriver;
+use crate::engine::GovernorSpec;
+use crate::harness::SystemId;
+
+/// One fleet run, fully specified.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Hardware preset every node uses.
+    pub system: SystemId,
+    /// Governor running on every node.
+    pub governor: GovernorSpec,
+    /// Fleet size.
+    pub nodes: usize,
+    /// Per-node wall-clock budget (s).
+    pub max_s: f64,
+}
+
+impl FleetSpec {
+    /// A fleet of `nodes` Intel+A100 nodes under `governor` with the
+    /// default trial budget.
+    #[must_use]
+    pub fn new(governor: GovernorSpec, nodes: usize) -> Self {
+        Self {
+            system: SystemId::IntelA100,
+            governor,
+            nodes,
+            max_s: 600.0,
+        }
+    }
+}
+
+/// A completed fleet run: the spec that produced it and its summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRun {
+    /// The spec that ran.
+    pub spec: FleetSpec,
+    /// Per-node summaries + fleet aggregates.
+    pub summary: FleetSummary,
+}
+
+/// The application fleet node `idx` runs: the catalog, round-robin.
+#[must_use]
+pub fn fleet_app(idx: usize) -> AppId {
+    let apps = AppId::all();
+    apps[idx % apps.len()]
+}
+
+/// Execute one fleet run: build N nodes (round-robin catalog apps on
+/// interned traces), attach a fresh driver per node, and advance the whole
+/// fleet in lockstep to completion.
+#[must_use]
+pub fn run_fleet(spec: &FleetSpec) -> FleetRun {
+    let mut fleet = FleetSim::new(spec.max_s);
+    let mut drivers: Vec<Box<dyn RuntimeDriver>> = Vec::with_capacity(spec.nodes);
+    for i in 0..spec.nodes {
+        let mut sim = Simulation::new(Node::new(spec.system.node_config()));
+        sim.load(app_trace(fleet_app(i), spec.system.platform()));
+        let mut driver = spec.governor.build_driver();
+        driver.attach(&mut sim);
+        fleet.add_sim(sim);
+        drivers.push(driver);
+    }
+    let mut decide = |i: usize, sim: &mut Simulation| {
+        let latency_us = drivers[i].on_decision(sim);
+        Decision {
+            latency_us,
+            rest_us: drivers[i].rest_interval_us(),
+        }
+    };
+    let summary = fleet.run(&mut decide);
+    FleetRun {
+        spec: spec.clone(),
+        summary,
+    }
+}
+
+/// The fleet sweep the bench bin and CI gate run: an N-node fleet of the
+/// full catalog under each of {default, MAGUS, UPS}, in that order.
+#[must_use]
+pub fn fleet_sweep(nodes: usize, max_s: f64) -> Vec<FleetRun> {
+    [
+        GovernorSpec::Default,
+        GovernorSpec::magus_default(),
+        GovernorSpec::ups_default(),
+    ]
+    .into_iter()
+    .map(|governor| {
+        run_fleet(&FleetSpec {
+            max_s,
+            ..FleetSpec::new(governor, nodes)
+        })
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_covers_the_catalog() {
+        let apps = AppId::all();
+        assert_eq!(fleet_app(0), apps[0]);
+        assert_eq!(fleet_app(apps.len()), apps[0]);
+        assert_eq!(fleet_app(apps.len() + 2), apps[2]);
+    }
+
+    #[test]
+    fn small_fleet_runs_all_governors() {
+        let runs = fleet_sweep(3, 600.0);
+        assert_eq!(runs.len(), 3);
+        for run in &runs {
+            assert_eq!(run.summary.nodes.len(), 3);
+            assert_eq!(run.summary.completed, 3);
+            assert!(run.summary.total_j > 0.0);
+            assert!(run.summary.node_steps > 0);
+        }
+        // MAGUS spends less uncore energy than the stock governor on the
+        // same fleet — the paper's core claim, at fleet scale.
+        let (default, magus) = (&runs[0].summary, &runs[1].summary);
+        assert!(
+            magus.total_uncore_j < default.total_uncore_j,
+            "MAGUS {} J vs default {} J",
+            magus.total_uncore_j,
+            default.total_uncore_j
+        );
+    }
+
+    #[test]
+    fn magus_fleet_decisions_scale_with_nodes() {
+        let one = run_fleet(&FleetSpec {
+            max_s: 60.0,
+            ..FleetSpec::new(GovernorSpec::magus_default(), 1)
+        });
+        let four = run_fleet(&FleetSpec {
+            max_s: 60.0,
+            ..FleetSpec::new(GovernorSpec::magus_default(), 4)
+        });
+        assert!(four.summary.decisions > one.summary.decisions);
+    }
+}

@@ -1,7 +1,10 @@
 //! Trial execution: one (system × application × runtime) run.
 
+use std::sync::Arc;
+
 use magus_hetsim::{
-    secs_to_us, FastForward, Node, NodeConfig, RunSummary, Simulation, TraceRecorder, TraceSample,
+    secs_to_us, AppTrace, FastForward, Node, NodeConfig, RunSummary, Simulation, TraceRecorder,
+    TraceSample,
 };
 use magus_workloads::{app_trace, AppId, Platform};
 use serde::{Deserialize, Serialize};
@@ -134,10 +137,11 @@ pub fn run_trial(
     run_trace_trial(system, trace, driver, opts)
 }
 
-/// Run an explicit trace (used by sweeps that modify workloads).
+/// Run an explicit trace (used by sweeps that modify workloads). Accepts an
+/// owned trace or a shared `Arc<AppTrace>` from the intern table.
 pub fn run_trace_trial(
     system: SystemId,
-    trace: magus_hetsim::AppTrace,
+    trace: impl Into<Arc<AppTrace>>,
     driver: &mut dyn RuntimeDriver,
     opts: TrialOpts,
 ) -> TrialResult {
@@ -148,11 +152,11 @@ pub fn run_trace_trial(
 /// hardware: the AMD preset, modified power models, ...).
 pub fn run_custom_trial(
     config: NodeConfig,
-    trace: magus_hetsim::AppTrace,
+    trace: impl Into<Arc<AppTrace>>,
     driver: &mut dyn RuntimeDriver,
     opts: TrialOpts,
 ) -> TrialResult {
-    run_custom_trial_capped(config, Some(trace), driver, opts, None)
+    run_custom_trial_capped(config, Some(trace.into()), driver, opts, None)
 }
 
 /// The fully general trial executor behind every experiment path.
@@ -164,7 +168,7 @@ pub fn run_custom_trial(
 ///   attaches (the §6.1 power-budget study).
 pub fn run_custom_trial_capped(
     config: NodeConfig,
-    trace: Option<magus_hetsim::AppTrace>,
+    trace: Option<Arc<AppTrace>>,
     driver: &mut dyn RuntimeDriver,
     opts: TrialOpts,
     power_cap_w: Option<f64>,

@@ -22,6 +22,9 @@
 //! * [`overhead`] — the idle-node overhead measurement of §6.5 (Table 2).
 //! * [`figures`] — one function per table/figure, producing the data the
 //!   `magus-bench` binaries print.
+//! * [`fleet`] — the fleet sweep: the catalog under each governor across
+//!   an N-node lockstep fleet (`magus_hetsim::fleet`), with per-node
+//!   drivers adapted to the fleet's decision callback.
 //! * [`report`] — plain-text table/series formatting shared by the bench
 //!   binaries.
 //! * [`amd`] — the §6.6 AMD port: the same MAGUS core actuating Infinity
@@ -39,6 +42,7 @@ pub mod amd;
 pub mod drivers;
 pub mod engine;
 pub mod figures;
+pub mod fleet;
 pub mod harness;
 pub mod metrics;
 pub mod overhead;
@@ -49,9 +53,10 @@ pub mod report;
 
 pub use drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, UpsDriver};
 pub use engine::{
-    spec_hash, Engine, ExecMode, GovernorSpec, RunManifest, SystemSel, TrialOutcome, TrialSpec,
-    WorkloadSel, ENGINE_SALT,
+    spec_hash, Engine, ExecMode, GovernorSpec, RunManifest, SystemSel, TrialBrief, TrialOutcome,
+    TrialSpec, WorkloadSel, ENGINE_SALT,
 };
+pub use fleet::{fleet_sweep, run_fleet, FleetRun, FleetSpec};
 pub use harness::{run_trial, SimPath, SystemId, TrialOpts, TrialResult};
 pub use metrics::{burst_jaccard, Comparison};
 pub use pareto::{pareto_frontier, ParetoPoint};

@@ -129,6 +129,50 @@ fn run_script(
     (summary, samples, pcm_log)
 }
 
+/// `bw_history` bounded-ring wraparound: the PCM window covers the last
+/// `pcm_window_us / tick_us` ticks through a fixed-capacity ring. A run
+/// longer than the window must report identical window means on both paths
+/// right at the wrap boundary, well past it, and after an uncore change
+/// invalidates any frozen span mid-window.
+#[test]
+fn pcm_window_means_match_across_ring_wraparound() {
+    // intel_a100: tick 10 ms, pcm window 100 ms → the ring wraps after 10
+    // ticks (100_000 µs). A steady 3 s phase runs ~300 ticks: dozens of
+    // complete wraps.
+    let trace = AppTrace::new(
+        "wrap",
+        vec![Phase::new(
+            PhaseKind::Compute,
+            3.0,
+            Demand::new(40.0, 0.4, 0.3, 0.8),
+        )],
+    );
+    let mut events = vec![
+        // Straddle the first wrap boundary (window fills at 100 ms)...
+        (90_000, Event::PcmRead),
+        (100_000, Event::PcmRead),
+        (110_000, Event::PcmRead),
+        (120_000, Event::PcmRead),
+        (130_000, Event::PcmRead),
+        // ...then sample deep into steady wrapping.
+        (250_000, Event::PcmRead),
+        (1_000_000, Event::PcmRead),
+        // Perturb the uncore mid-window so the ring holds a mix of pre-
+        // and post-transition samples, then read through the next wraps.
+        (1_600_000, Event::FixUncore(1.2)),
+        (1_650_000, Event::PcmRead),
+        (1_700_000, Event::PcmRead),
+        (2_500_000, Event::PcmRead),
+    ];
+    events.sort_by_key(|e| e.0);
+    let (rs, rsam, rpcm) = run_script(&trace, &events, false);
+    let (fs, fsam, fpcm) = run_script(&trace, &events, true);
+    assert_eq!(rpcm, fpcm, "PCM window means diverged at the wrap boundary");
+    assert_eq!(rs, fs);
+    assert_eq!(rsam, fsam);
+    assert_eq!(rpcm.len(), 10, "every scripted PcmRead must have fired");
+}
+
 fn phase_strategy() -> impl Strategy<Value = Phase> {
     (
         0..4usize,

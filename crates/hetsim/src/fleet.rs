@@ -1,0 +1,397 @@
+//! Batched multi-node fleet simulation over a shared clock.
+//!
+//! The paper's target is cluster-wide power waste: MAGUS is meant to run on
+//! every node of a GPU-dominant fleet, and the interesting quantities
+//! (aggregate uncore energy, the distribution of per-node waste, fleet
+//! makespan) only exist across many nodes. [`FleetSim`] steps N independent
+//! nodes in lockstep over one shared clock:
+//!
+//! * Per-node *feedback* state lives in structure-of-arrays form — parallel
+//!   vectors for the macro-stepping [`FastForward`] carry-over, the next
+//!   decision deadline, and the active flag — so the per-round control scan
+//!   touches a few dense arrays instead of hopping through N node structs.
+//! * Each round fires the decisions that are due, picks the earliest next
+//!   event across the fleet (a decision deadline or the budget), and
+//!   macro-steps every active node to that shared horizon with
+//!   [`Simulation::advance_until`]. Splitting a node's timeline at foreign
+//!   nodes' event times is bit-identical to stepping it alone: the frozen
+//!   span state persists in its `FastForward`, so each node produces exactly
+//!   the trajectory a single-node trial of the same workload would.
+//! * Decision logic stays outside this crate: the caller supplies a
+//!   `decide(node_idx, &mut Simulation) -> Decision` callback (the
+//!   experiments layer adapts its `RuntimeDriver`s to this), mirroring the
+//!   single-node harness contract — first decision immediately, then
+//!   `now + latency + rest` scheduling, `rest == u64::MAX` meaning never
+//!   again.
+//!
+//! Traces are shared `Arc`s (see `magus_workloads::intern`), so a
+//! 1024-node fleet running the catalog holds one trace allocation per
+//! distinct workload, not per node.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::FastForward;
+use crate::sim::{RunSummary, Simulation};
+use crate::workload::AppTrace;
+use crate::{Node, NodeConfig};
+
+/// One runtime decision's scheduling outcome, as reported by the caller's
+/// decide callback (the fleet equivalent of `RuntimeDriver::on_decision` +
+/// `rest_interval_us`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Time the decision itself consumed (µs); added to the deadline.
+    pub latency_us: u64,
+    /// Rest until the next decision (µs); `u64::MAX` = never decide again.
+    pub rest_us: u64,
+}
+
+impl Decision {
+    /// Compute the next decision deadline from `now`, saturating so a
+    /// `u64::MAX` rest (one-shot drivers) never wraps.
+    #[must_use]
+    fn next_due(self, now_us: u64) -> u64 {
+        now_us
+            .saturating_add(self.latency_us)
+            .saturating_add(self.rest_us)
+    }
+}
+
+/// Summary statistics over one per-node quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (lower of the two central values for even counts).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Distribution {
+    /// Summarize `values` (empty input yields all zeros).
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                mean: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |q: f64| sorted[((sorted.len() as f64 * q).ceil() as usize).max(1) - 1];
+        Self {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            p50: rank(0.50),
+            p95: rank(0.95),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Fleet-level result: per-node run summaries plus the aggregates the
+/// paper's cluster argument is about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Per-node summaries, in node-index order.
+    pub nodes: Vec<RunSummary>,
+    /// Nodes whose application completed within the budget.
+    pub completed: usize,
+    /// Σ per-node CPU-side energy (core + DRAM), J.
+    pub total_cpu_j: f64,
+    /// Σ per-node uncore energy, J.
+    pub total_uncore_j: f64,
+    /// Σ per-node total energy (all domains), J.
+    pub total_j: f64,
+    /// Distribution of per-node mean uncore power (uncore_j / elapsed_s, W)
+    /// — the quantity MAGUS exists to minimize.
+    pub uncore_power_w: Distribution,
+    /// Wall-clock time (s) until the last node finished (or the budget).
+    pub makespan_s: f64,
+    /// Total runtime decisions fired across the fleet.
+    pub decisions: u64,
+    /// Total simulator ticks advanced across all nodes (throughput unit for
+    /// node-steps/sec benchmarks).
+    pub node_steps: u64,
+}
+
+/// N independent nodes advanced in lockstep over a shared clock.
+#[derive(Debug)]
+pub struct FleetSim {
+    sims: Vec<Simulation>,
+    // --- per-node feedback state, structure-of-arrays ---
+    /// Macro-stepping carry-over (frozen-span state) per node.
+    ff: Vec<FastForward>,
+    /// Next decision deadline per node (µs); `u64::MAX` = no more decisions.
+    next_due_us: Vec<u64>,
+    /// Still stepping (not done, budget not exhausted).
+    active: Vec<bool>,
+    budget_us: u64,
+}
+
+impl FleetSim {
+    /// Empty fleet with a per-node wall-clock budget (s).
+    #[must_use]
+    pub fn new(budget_s: f64) -> Self {
+        Self {
+            sims: Vec::new(),
+            ff: Vec::new(),
+            next_due_us: Vec::new(),
+            active: Vec::new(),
+            budget_us: crate::secs_to_us(budget_s),
+        }
+    }
+
+    /// Add a node running `trace`; returns its index.
+    pub fn add_node(&mut self, config: NodeConfig, trace: impl Into<Arc<AppTrace>>) -> usize {
+        let mut sim = Simulation::new(Node::new(config));
+        sim.load(trace);
+        self.add_sim(sim)
+    }
+
+    /// Add a pre-built simulation (custom recorder, pre-programmed power
+    /// limit, ...); returns its index.
+    pub fn add_sim(&mut self, sim: Simulation) -> usize {
+        debug_assert_eq!(
+            sim.node().time_us(),
+            0,
+            "fleet nodes share one clock and must start at t=0"
+        );
+        self.sims.push(sim);
+        self.ff.push(FastForward::new());
+        self.next_due_us.push(0); // first decision immediately
+        self.active.push(true);
+        self.sims.len() - 1
+    }
+
+    /// Number of nodes in the fleet.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// True when the fleet has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+
+    /// A node's simulation (read-only).
+    #[must_use]
+    pub fn sim(&self, idx: usize) -> &Simulation {
+        &self.sims[idx]
+    }
+
+    /// Run every node to completion (or its budget), firing `decide` per
+    /// node exactly as the single-node trial loop would: immediately at
+    /// start, then at each `now + latency + rest` deadline.
+    ///
+    /// Each node's trajectory is bit-identical to running it alone with the
+    /// same decision schedule; the shared clock only changes where the
+    /// macro-stepping spans are split, never what they compute.
+    pub fn run(
+        &mut self,
+        decide: &mut dyn FnMut(usize, &mut Simulation) -> Decision,
+    ) -> FleetSummary {
+        let mut decisions = 0u64;
+        let mut node_steps = 0u64;
+        loop {
+            // Retire nodes that finished or ran out of budget; fire the
+            // decisions that are due. This mirrors the single-node loop
+            // head: the budget/done check guards the decision.
+            let mut fleet_horizon = u64::MAX;
+            for i in 0..self.sims.len() {
+                if !self.active[i] {
+                    continue;
+                }
+                let now = self.sims[i].node().time_us();
+                if self.sims[i].done() || now >= self.budget_us {
+                    self.active[i] = false;
+                    continue;
+                }
+                if now >= self.next_due_us[i] {
+                    let d = decide(i, &mut self.sims[i]);
+                    decisions += 1;
+                    self.next_due_us[i] = d.next_due(self.sims[i].node().time_us());
+                }
+                // The node's own next event: its decision deadline or the
+                // budget, but always at least one tick of progress (exactly
+                // the single-node fast-path horizon rule).
+                let target = self.next_due_us[i].min(self.budget_us).max(now + 1);
+                fleet_horizon = fleet_horizon.min(target);
+            }
+            if fleet_horizon == u64::MAX {
+                break; // no active nodes left
+            }
+            // Lockstep: advance every active node to the shared horizon.
+            for i in 0..self.sims.len() {
+                if !self.active[i] {
+                    continue;
+                }
+                let before = self.sims[i].node().time_us();
+                self.sims[i].advance_until(fleet_horizon, &mut self.ff[i]);
+                let tick = self.sims[i].node().config().tick_us;
+                node_steps += (self.sims[i].node().time_us() - before) / tick;
+            }
+        }
+        self.summarize(decisions, node_steps)
+    }
+
+    /// Build the fleet summary from the current node states.
+    fn summarize(&self, decisions: u64, node_steps: u64) -> FleetSummary {
+        let nodes: Vec<RunSummary> = self.sims.iter().map(|s| s.summary(0)).collect();
+        let mut total_cpu_j = 0.0;
+        let mut total_uncore_j = 0.0;
+        let mut total_j = 0.0;
+        let mut makespan_s: f64 = 0.0;
+        let mut uncore_w = Vec::with_capacity(nodes.len());
+        for n in &nodes {
+            total_cpu_j += n.energy.core_j + n.energy.dram_j;
+            total_uncore_j += n.energy.uncore_j;
+            total_j += n.energy.total_j();
+            makespan_s = makespan_s.max(n.runtime_s);
+            if n.energy.elapsed_s > 0.0 {
+                uncore_w.push(n.energy.uncore_j / n.energy.elapsed_s);
+            }
+        }
+        FleetSummary {
+            completed: nodes.iter().filter(|n| n.completed).count(),
+            total_cpu_j,
+            total_uncore_j,
+            total_j,
+            uncore_power_w: Distribution::from_values(&uncore_w),
+            makespan_s,
+            decisions,
+            node_steps,
+            nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+    use crate::demand::Demand;
+    use crate::workload::{Phase, PhaseKind};
+
+    fn trace(work_s: f64, gbs: f64) -> AppTrace {
+        AppTrace::new(
+            "fleet-test",
+            vec![Phase::new(
+                PhaseKind::Compute,
+                work_s,
+                Demand::new(gbs, 0.2, 0.2, 0.8),
+            )],
+        )
+    }
+
+    /// No-op governor: one immediate decision, then never again.
+    fn noop(_: usize, _: &mut Simulation) -> Decision {
+        Decision {
+            latency_us: 0,
+            rest_us: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn fleet_node_matches_isolated_run() {
+        let shared: Arc<AppTrace> = Arc::new(trace(3.0, 5.0));
+        let mut alone = Simulation::new(Node::new(NodeConfig::intel_a100()));
+        alone.load(Arc::clone(&shared));
+        let solo = alone.run_to_completion(60.0);
+
+        let mut fleet = FleetSim::new(60.0);
+        for _ in 0..4 {
+            fleet.add_node(NodeConfig::intel_a100(), Arc::clone(&shared));
+        }
+        let summary = fleet.run(&mut noop);
+        assert_eq!(summary.nodes.len(), 4);
+        assert_eq!(summary.completed, 4);
+        for n in &summary.nodes {
+            // Same workload, same hardware, no runtime: bit-identical to
+            // the single-node run (the shared clock must not perturb it).
+            assert_eq!(n, &solo);
+        }
+        assert_eq!(summary.decisions, 4);
+        assert!(summary.node_steps > 0);
+    }
+
+    #[test]
+    fn heterogeneous_finish_times_retire_independently() {
+        let mut fleet = FleetSim::new(60.0);
+        fleet.add_node(NodeConfig::intel_a100(), trace(1.0, 5.0));
+        fleet.add_node(NodeConfig::intel_a100(), trace(5.0, 5.0));
+        let summary = fleet.run(&mut noop);
+        assert_eq!(summary.completed, 2);
+        assert!(summary.nodes[0].runtime_s < summary.nodes[1].runtime_s);
+        assert!((summary.makespan_s - summary.nodes[1].runtime_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_truncates_fleet() {
+        let mut fleet = FleetSim::new(2.0);
+        fleet.add_node(NodeConfig::intel_a100(), trace(100.0, 5.0));
+        let summary = fleet.run(&mut noop);
+        assert_eq!(summary.completed, 0);
+        assert!((summary.makespan_s - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn periodic_decisions_fire_on_cadence() {
+        let mut fleet = FleetSim::new(60.0);
+        fleet.add_node(NodeConfig::intel_a100(), trace(4.0, 5.0));
+        // 0.5 s cadence over a ~4 s run: first decision at t=0, then every
+        // 500 ms → 8–9 invocations.
+        let mut decide = |_: usize, _: &mut Simulation| Decision {
+            latency_us: 0,
+            rest_us: 500_000,
+        };
+        let summary = fleet.run(&mut decide);
+        assert!(
+            (7..=10).contains(&summary.decisions),
+            "decisions = {}",
+            summary.decisions
+        );
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let mut fleet = FleetSim::new(60.0);
+        for _ in 0..3 {
+            fleet.add_node(NodeConfig::intel_a100(), trace(2.0, 5.0));
+        }
+        let s = fleet.run(&mut noop);
+        let sum: f64 = s.nodes.iter().map(|n| n.energy.total_j()).sum();
+        assert!((s.total_j - sum).abs() < 1e-9);
+        assert!(s.total_uncore_j > 0.0);
+        assert!(s.total_cpu_j > 0.0);
+        assert!(s.uncore_power_w.min <= s.uncore_power_w.p50);
+        assert!(s.uncore_power_w.p50 <= s.uncore_power_w.p95);
+        assert!(s.uncore_power_w.p95 <= s.uncore_power_w.max);
+    }
+
+    #[test]
+    fn distribution_percentiles() {
+        let vals: Vec<f64> = (1..=100).map(f64::from).collect();
+        let d = Distribution::from_values(&vals);
+        assert!((d.mean - 50.5).abs() < 1e-9);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.p50, 50.0);
+        assert_eq!(d.p95, 95.0);
+        assert_eq!(d.max, 100.0);
+        let empty = Distribution::from_values(&[]);
+        assert_eq!(empty.max, 0.0);
+    }
+}

@@ -30,6 +30,7 @@
 pub mod config;
 pub mod cpu;
 pub mod demand;
+pub mod fleet;
 pub mod governor;
 pub mod gpu;
 pub mod mem;
@@ -42,6 +43,7 @@ pub mod workload;
 
 pub use config::{CpuConfig, GpuConfig, MemoryConfig, NodeConfig, UncoreConfig};
 pub use demand::{Demand, GpuUtilVec};
+pub use fleet::{Decision, Distribution, FleetSim, FleetSummary};
 pub use node::{FastForward, Node};
 pub use power::PowerBreakdown;
 pub use sim::{RunSummary, Simulation};

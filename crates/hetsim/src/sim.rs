@@ -5,6 +5,8 @@
 //! drivers (MAGUS, UPS) can interleave decisions with hardware progress,
 //! plus [`Simulation::run_to_completion`] for baseline runs.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::demand::Demand;
@@ -13,10 +15,12 @@ use crate::power::EnergyTotals;
 use crate::trace::TraceRecorder;
 use crate::workload::AppTrace;
 
-/// Execution cursor over an application trace.
+/// Execution cursor over an application trace. The trace is held behind an
+/// `Arc` so interned catalog traces (and fleet nodes running the same app)
+/// share one allocation; cloning a `Simulation` is then cursor-cheap.
 #[derive(Debug, Clone)]
 struct AppExec {
-    trace: AppTrace,
+    trace: Arc<AppTrace>,
     phase_idx: usize,
     phase_done_s: f64,
 }
@@ -83,10 +87,12 @@ impl Simulation {
         }
     }
 
-    /// Load an application trace, replacing any current one.
-    pub fn load(&mut self, trace: AppTrace) {
+    /// Load an application trace, replacing any current one. Accepts an
+    /// owned trace or a shared `Arc<AppTrace>` (e.g. from the workload
+    /// intern table) — the latter is loaded without copying phase data.
+    pub fn load(&mut self, trace: impl Into<Arc<AppTrace>>) {
         self.app = Some(AppExec {
-            trace,
+            trace: trace.into(),
             phase_idx: 0,
             phase_done_s: 0.0,
         });

@@ -625,11 +625,17 @@ fn multi_gpu_md_overrides(app: AppId, spec: &mut WorkloadSpec) {
     }
 }
 
-/// Instantiate `app` for `platform`: scales memory demand, replicates GPU
-/// utilisation across devices, and stretches multi-GPU work slightly (the
-/// paper's multi-GPU runs are the same problems at larger scale).
+/// Synthesize `app` for `platform` from scratch: scales memory demand,
+/// replicates GPU utilisation across devices, and stretches multi-GPU work
+/// slightly (the paper's multi-GPU runs are the same problems at larger
+/// scale).
+///
+/// This always rebuilds the trace. Prefer [`crate::app_trace`], which
+/// serves a shared `Arc` from the process-wide intern table and synthesizes
+/// each `(AppId, Platform)` key exactly once; this function remains public
+/// as the uninterned ground truth the interning tests compare against.
 #[must_use]
-pub fn app_trace(app: AppId, platform: Platform) -> AppTrace {
+pub fn synthesize_trace(app: AppId, platform: Platform) -> AppTrace {
     let mut spec = base_spec(app);
     if platform == Platform::Intel4A100 {
         multi_gpu_md_overrides(app, &mut spec);
@@ -660,6 +666,7 @@ pub fn app_trace(app: AppId, platform: Platform) -> AppTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::app_trace;
 
     #[test]
     fn catalog_is_complete_and_names_unique() {

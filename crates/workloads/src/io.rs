@@ -139,7 +139,7 @@ mod tests {
         let path = tmp("trace.json");
         save_trace(&trace, &path).unwrap();
         let loaded = load_trace(&path).unwrap();
-        assert_eq!(trace, loaded);
+        assert_eq!(*trace, loaded);
         std::fs::remove_file(path).ok();
     }
 

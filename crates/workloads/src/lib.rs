@@ -21,10 +21,12 @@
 //! extracted from real PCM captures can be replayed through the harness.
 
 pub mod catalog;
+pub mod intern;
 pub mod io;
 pub mod spec;
 pub mod suites;
 
-pub use catalog::{app_trace, base_spec, AppId, Platform};
+pub use catalog::{base_spec, synthesize_trace, AppId, Platform};
+pub use intern::{app_trace, app_trace_owned, interned_trace_count, synthesis_count};
 pub use spec::{BurstTrainSpec, FluctuationSpec, InitSpec, WorkloadSpec};
 pub use suites::{fig4a_suite, fig4b_suite, fig4c_suite, table1_suite};

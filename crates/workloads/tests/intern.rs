@@ -1,0 +1,73 @@
+//! Trace-interning guarantees: pointer-equal sharing under concurrency,
+//! bit-identical contents vs fresh synthesis, and exactly one synthesis
+//! per `(AppId, Platform)` key across the whole catalog.
+
+use std::sync::Arc;
+
+use magus_workloads::{
+    app_trace, app_trace_owned, interned_trace_count, synthesis_count, synthesize_trace, AppId,
+    Platform,
+};
+
+const PLATFORMS: [Platform; 3] = [
+    Platform::IntelA100,
+    Platform::Intel4A100,
+    Platform::IntelMax1550,
+];
+
+#[test]
+fn concurrent_calls_for_one_key_are_pointer_equal() {
+    let handles: Vec<_> = (0..8)
+        .map(|_| std::thread::spawn(|| app_trace(AppId::Srad, Platform::IntelA100)))
+        .collect();
+    let traces: Vec<Arc<_>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("intern thread"))
+        .collect();
+    for t in &traces[1..] {
+        assert!(
+            Arc::ptr_eq(&traces[0], t),
+            "concurrent app_trace calls must share one allocation"
+        );
+    }
+}
+
+#[test]
+fn interned_contents_are_bit_identical_to_fresh_synthesis() {
+    for platform in PLATFORMS {
+        for &app in AppId::all() {
+            let interned = app_trace(app, platform);
+            let fresh = synthesize_trace(app, platform);
+            assert_eq!(
+                *interned, fresh,
+                "{app:?}/{platform:?}: interned trace differs from fresh synthesis"
+            );
+            assert_eq!(*interned, app_trace_owned(app, platform));
+        }
+    }
+}
+
+#[test]
+fn full_catalog_synthesizes_each_key_exactly_once() {
+    // Warm every key (other tests in this process may have warmed some
+    // already — interning is process-global, so this is idempotent).
+    for platform in PLATFORMS {
+        for &app in AppId::all() {
+            let _ = app_trace(app, platform);
+        }
+    }
+    let full = (AppId::all().len() * PLATFORMS.len()) as u64;
+    assert_eq!(interned_trace_count() as u64, full);
+    assert_eq!(
+        synthesis_count(),
+        full,
+        "warm catalog must have synthesized each (app, platform) exactly once"
+    );
+    // A second warm sweep synthesizes nothing.
+    for platform in PLATFORMS {
+        for &app in AppId::all() {
+            let _ = app_trace(app, platform);
+        }
+    }
+    assert_eq!(synthesis_count(), full);
+}

@@ -28,7 +28,7 @@ fn main() {
 
     // 2. Reload and validate.
     let replayed = load_trace(&path).expect("load trace");
-    assert_eq!(original, replayed);
+    assert_eq!(*original, replayed);
     println!("reloaded identically; replaying under both governors...");
 
     // 3. Replay under baseline and MAGUS.

@@ -29,6 +29,9 @@ fn build_engine(opts: EngineOpts) -> Engine {
     if opts.serial {
         engine = engine.serial();
     }
+    if let Some(jobs) = opts.jobs {
+        engine = engine.with_jobs(jobs);
+    }
     engine
 }
 

@@ -30,6 +30,11 @@ pub struct EngineOpts {
     /// `--serial`: run trials one at a time (results are bit-identical to
     /// the parallel default; this only trades wall time for quiet cores).
     pub serial: bool,
+    /// `--jobs N`: pin the engine's worker pool to N threads (`0` = one
+    /// per CPU). `None` uses the global rayon default, like `MAGUS_JOBS`
+    /// unset. Explicit sizing makes bench numbers reproducible across
+    /// machines.
+    pub jobs: Option<usize>,
 }
 
 /// A parsed CLI command.
@@ -191,9 +196,14 @@ fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
 pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut args: Vec<String> = args.to_vec();
     // Engine options are global: valid anywhere on the command line.
+    let jobs = take_flag(&mut args, "--jobs")
+        .map(|v| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| ParseError("bad --jobs (expected a thread count, 0 = ncpus)".into()))?;
     let engine = EngineOpts {
         no_cache: take_switch(&mut args, "--no-cache"),
         serial: take_switch(&mut args, "--serial"),
+        jobs,
     };
     let Some((cmd, rest)) = args.split_first() else {
         return Ok(Invocation {
@@ -302,10 +312,12 @@ USAGE:
 
 GOVERNORS: default | magus | ups | fixed:<ghz> | magus:<k=v,...>
            (magus keys: inc, dec, hf, interval_ms — validated before use)
-ENGINE:    --no-cache (always simulate), --serial (one trial at a time);
-           MAGUS_CACHE_DIR / MAGUS_CACHE=off / MAGUS_SERIAL=1 do the same
-           from the environment. Trials are cached under results/cache by
-           spec hash; each command writes a run manifest next to it.
+ENGINE:    --no-cache (always simulate), --serial (one trial at a time),
+           --jobs <n> (worker threads, 0 = ncpus);
+           MAGUS_CACHE_DIR / MAGUS_CACHE=off / MAGUS_SERIAL=1 / MAGUS_JOBS
+           do the same from the environment. Trials are cached under
+           results/cache by spec hash; each command writes a run manifest
+           next to it.
 SYSTEMS:   intel-a100 (default), intel-4a100, intel-max1550
 APPS:      run `magus list`"
 }
@@ -507,7 +519,8 @@ mod tests {
             inv.engine,
             EngineOpts {
                 no_cache: true,
-                serial: true
+                serial: true,
+                jobs: None
             }
         );
         assert_eq!(
@@ -519,6 +532,17 @@ mod tests {
         // Absent switches default off; they are not stray arguments.
         let inv = parse(&v(&["powercap"])).unwrap();
         assert_eq!(inv.engine, EngineOpts::default());
+    }
+
+    #[test]
+    fn jobs_flag_parses_anywhere_and_validates() {
+        let inv = parse(&v(&["--jobs", "4", "suite"])).unwrap();
+        assert_eq!(inv.engine.jobs, Some(4));
+        let inv = parse(&v(&["suite", "--jobs", "0"])).unwrap();
+        assert_eq!(inv.engine.jobs, Some(0), "0 means one worker per CPU");
+        assert_eq!(parse(&v(&["suite"])).unwrap().engine.jobs, None);
+        assert!(parse(&v(&["--jobs", "many", "suite"])).is_err());
+        assert!(parse(&v(&["--jobs", "-1", "suite"])).is_err());
     }
 
     #[test]
@@ -536,6 +560,7 @@ mod tests {
             "amd",
             "--no-cache",
             "--serial",
+            "--jobs",
         ] {
             assert!(u.contains(word), "{word}");
         }

@@ -7,9 +7,14 @@
 use std::fs;
 use std::path::PathBuf;
 
-use magus_suite::experiments::engine::{spec_hash, Engine, GovernorSpec, TrialSpec, ENGINE_SALT};
+use magus_suite::experiments::engine::{
+    spec_hash, Engine, GovernorSpec, TrialBrief, TrialSpec, ENGINE_SALT,
+};
+use magus_suite::experiments::figures::{evaluate_app, AppEval};
 use magus_suite::experiments::harness::SystemId;
-use magus_suite::workloads::AppId;
+use magus_suite::experiments::report::render_fig4_table;
+use magus_suite::experiments::Comparison;
+use magus_suite::workloads::{app_trace, synthesis_count, AppId, Platform};
 
 fn temp_cache(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("magus-engine-test-{}-{tag}", std::process::id()));
@@ -137,6 +142,153 @@ fn changing_any_spec_field_forces_a_miss() {
         );
     }
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// The fig-4 evaluation block for one app, in reduction order.
+fn eval_block(system: SystemId, app: AppId) -> [TrialSpec; 3] {
+    [
+        TrialSpec::new(system, app, GovernorSpec::Default),
+        TrialSpec::new(system, app, GovernorSpec::magus_default()),
+        TrialSpec::new(system, app, GovernorSpec::ups_default()),
+    ]
+}
+
+#[test]
+fn streaming_fold_matches_collect_bit_for_bit() {
+    let engine = Engine::ephemeral();
+    let specs: Vec<TrialSpec> = [AppId::Bfs, AppId::Srad]
+        .into_iter()
+        .flat_map(|app| eval_block(SystemId::IntelA100, app))
+        .collect();
+    let collected: Vec<TrialBrief> = engine
+        .run_suite(&specs)
+        .into_iter()
+        .map(TrialBrief::from)
+        .collect();
+    let streamed = engine.fold_suite(
+        &specs,
+        |_, outcome| TrialBrief::from(outcome),
+        Vec::new(),
+        |acc: &mut Vec<TrialBrief>, idx, brief| {
+            assert_eq!(idx, acc.len(), "fold must merge in trial-index order");
+            acc.push(brief);
+        },
+    );
+    assert_eq!(
+        collected, streamed,
+        "streaming digests diverged from collect"
+    );
+    assert_eq!(
+        serde_json::to_string(&collected).unwrap(),
+        serde_json::to_string(&streamed).unwrap(),
+        "serialized digests must be byte-identical"
+    );
+}
+
+#[test]
+fn rendered_fig4_rows_match_between_streaming_and_collect_paths() {
+    let dir = temp_cache("render");
+    let engine = Engine::with_cache(&dir);
+    let system = SystemId::IntelA100;
+    let apps = [AppId::Bfs, AppId::Srad];
+    // Collect path: full outcomes in memory, reduced by hand exactly the
+    // way the pre-streaming fig 4 did.
+    let mut collect_rows = Vec::new();
+    for &app in &apps {
+        let outs = engine.run_suite(&eval_block(system, app));
+        let [base, magus, ups] = <[_; 3]>::try_from(outs).expect("three outcomes");
+        collect_rows.push(AppEval {
+            app: app.name().to_string(),
+            baseline_runtime_s: base.result.summary.runtime_s,
+            baseline_cpu_w: base.result.summary.mean_cpu_w,
+            magus: Comparison::against(&base.result.summary, &magus.result.summary),
+            ups: Comparison::against(&base.result.summary, &ups.result.summary),
+        });
+    }
+    // Streaming path: summary-only briefs digested inside the workers.
+    let stream_rows: Vec<AppEval> = apps
+        .iter()
+        .map(|&app| evaluate_app(&engine, system, app))
+        .collect();
+    assert_eq!(
+        render_fig4_table("differential", &collect_rows),
+        render_fig4_table("differential", &stream_rows),
+        "rendered results must be byte-identical through the streaming engine"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn peak_live_outcomes_is_bounded_by_the_worker_count() {
+    let engine = Engine::ephemeral().with_jobs(2);
+    assert_eq!(engine.jobs(), 2);
+    // A suite an order of magnitude wider than the pool: without in-worker
+    // digestion the collect path would hold all 24 outcomes at once.
+    let specs: Vec<TrialSpec> = AppId::all()
+        .iter()
+        .map(|&app| TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::Default))
+        .collect();
+    let folded = engine.fold_suite(
+        &specs,
+        |_, outcome| outcome.result.summary.runtime_s,
+        0usize,
+        |acc, _, _| *acc += 1,
+    );
+    assert_eq!(folded, specs.len());
+    let peak = engine.peak_live_outcomes();
+    assert!(
+        (1..=2).contains(&peak),
+        "peak live outcomes {peak} must be bounded by the 2-thread pool"
+    );
+}
+
+#[test]
+fn interning_leaves_spec_hashes_and_salt_unchanged() {
+    // The cache salt must stay at v2: interning changes how traces are
+    // materialized, not what a trial is, so existing cache keys stay valid.
+    assert!(
+        ENGINE_SALT.starts_with("magus-engine/v2/"),
+        "interning must not bump the engine salt (got {ENGINE_SALT})"
+    );
+    let spec = TrialSpec::new(
+        SystemId::IntelA100,
+        AppId::Srad,
+        GovernorSpec::magus_default(),
+    );
+    let cold_hash = spec.content_hash();
+    // Warming the intern table must not perturb spec hashing — the trace
+    // is not part of the spec's identity.
+    let _ = app_trace(AppId::Srad, Platform::IntelA100);
+    assert_eq!(spec.content_hash(), cold_hash);
+    assert_eq!(spec_hash(&spec, ENGINE_SALT), spec_hash(&spec, ENGINE_SALT));
+}
+
+#[test]
+fn warm_suite_run_synthesizes_nothing() {
+    // Pin the process-global counter by warming every possible key first
+    // (other tests in this binary share the intern table).
+    for platform in [
+        Platform::IntelA100,
+        Platform::Intel4A100,
+        Platform::IntelMax1550,
+    ] {
+        for &app in AppId::all() {
+            let _ = app_trace(app, platform);
+        }
+    }
+    let warmed = synthesis_count();
+    let engine = Engine::ephemeral();
+    let specs: Vec<TrialSpec> = AppId::all()
+        .iter()
+        .map(|&app| TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::Default))
+        .collect();
+    engine.run_suite(&specs);
+    engine.run_suite(&specs);
+    assert_eq!(
+        synthesis_count(),
+        warmed,
+        "full-suite runs must reuse interned traces, never re-synthesize"
+    );
 }
 
 #[test]

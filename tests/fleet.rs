@@ -1,0 +1,91 @@
+//! Fleet integration tests: lockstep multi-node stepping must be
+//! bit-identical per node to the single-node harness, and the
+//! acceptance-scale sweep (256 nodes × catalog × three governors) must
+//! complete with self-consistent aggregates.
+//!
+//! The shared fleet clock only changes where each node's macro-stepping
+//! spans split, never what they compute — so every fleet node's
+//! `RunSummary` is asserted `==` (exact, including every f64) against an
+//! isolated `run_trial` of the same app under the same governor.
+
+use magus_suite::experiments::engine::GovernorSpec;
+use magus_suite::experiments::fleet::{fleet_app, fleet_sweep, run_fleet, FleetSpec};
+use magus_suite::experiments::harness::{run_trial, SystemId, TrialOpts};
+
+fn governors() -> [GovernorSpec; 3] {
+    [
+        GovernorSpec::Default,
+        GovernorSpec::magus_default(),
+        GovernorSpec::ups_default(),
+    ]
+}
+
+#[test]
+fn fleet_nodes_match_isolated_trials_bit_for_bit() {
+    for governor in governors() {
+        let spec = FleetSpec::new(governor.clone(), 5);
+        // TrialOpts::default() carries the same 600 s budget FleetSpec::new
+        // uses, so the solo reference sees identical termination conditions.
+        assert_eq!(spec.max_s, TrialOpts::default().max_s);
+        let run = run_fleet(&spec);
+        for (i, node) in run.summary.nodes.iter().enumerate() {
+            let mut driver = governor.build_driver();
+            let solo = run_trial(
+                SystemId::IntelA100,
+                fleet_app(i),
+                driver.as_mut(),
+                TrialOpts::default(),
+            );
+            assert_eq!(
+                *node,
+                solo.summary,
+                "node {i} ({}) under {} diverged from its isolated trial",
+                fleet_app(i).name(),
+                governor.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_sweep_at_256_nodes_completes_with_consistent_aggregates() {
+    let runs = fleet_sweep(256, 600.0);
+    assert_eq!(runs.len(), 3);
+    for run in &runs {
+        let s = &run.summary;
+        let gov = run.spec.governor.name();
+        assert_eq!(s.nodes.len(), 256, "{gov}");
+        assert_eq!(s.completed, 256, "{gov}: every node must finish in budget");
+        // Round-robin catalog assignment, node order preserved.
+        for (i, node) in s.nodes.iter().enumerate() {
+            assert_eq!(node.app, fleet_app(i).name(), "{gov}: node {i}");
+        }
+        // Aggregates must recompute exactly from the per-node summaries.
+        let cpu: f64 = s
+            .nodes
+            .iter()
+            .map(|n| n.energy.core_j + n.energy.dram_j)
+            .sum();
+        let uncore: f64 = s.nodes.iter().map(|n| n.energy.uncore_j).sum();
+        let makespan = s.nodes.iter().map(|n| n.runtime_s).fold(0.0, f64::max);
+        assert_eq!(s.total_cpu_j, cpu, "{gov}");
+        assert_eq!(s.total_uncore_j, uncore, "{gov}");
+        assert_eq!(s.makespan_s, makespan, "{gov}");
+        assert!(s.total_j >= s.total_cpu_j + s.total_uncore_j, "{gov}");
+        let d = &s.uncore_power_w;
+        assert!(
+            d.min <= d.p50 && d.p50 <= d.p95 && d.p95 <= d.max,
+            "{gov}: uncore power distribution out of order: {d:?}"
+        );
+        assert!(s.node_steps > 0 && s.decisions > 0, "{gov}");
+    }
+    // The paper's claim holds at fleet scale: MAGUS spends less uncore
+    // energy than the stock governor on the identical 256-node fleet.
+    let (default, magus) = (&runs[0].summary, &runs[1].summary);
+    assert!(
+        magus.total_uncore_j < default.total_uncore_j,
+        "MAGUS {} J vs default {} J",
+        magus.total_uncore_j,
+        default.total_uncore_j
+    );
+}
