@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the telemetry layer: the instrumented
+//! macro-stepping hot loop, structured event pushes, and registry
+//! updates. `telemetry/step_busy_fast_instrumented` measures the same
+//! workload as `node/step_busy_fast` in the simulator bench — running
+//! this bench with and without `--features telemetry` (default on) bounds
+//! the instrumentation overhead the CI gate enforces at ≤5%.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use magus_hetsim::{Demand, FastForward, Node, NodeConfig};
+use magus_telemetry::{Event, EventLog, Registry};
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(1));
+
+    // Steady-state frozen replay with per-tick residency accumulation —
+    // the path the ≤5% overhead budget is written against.
+    group.bench_function("step_busy_fast_instrumented", |b| {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::new(60.0, 0.5, 0.4, 0.9);
+        let mut ff = FastForward::new();
+        for _ in 0..200 {
+            node.step_fast(10_000, &demand, &mut ff);
+        }
+        b.iter(|| black_box(node.step_fast(10_000, &demand, &mut ff)));
+    });
+
+    // One decision-event push (driver cadence, ~100 ms of simulated time
+    // apart — never per tick).
+    group.bench_function("event_push", |b| {
+        let mut log = EventLog::with_cap(1 << 16);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            log.push(
+                Event::new(t, "magus_decision")
+                    .with("cycle", t)
+                    .with("trend", "stable")
+                    .with("tune_event", false),
+            );
+            if log.len() == 1 << 16 {
+                black_box(log.take());
+            }
+        });
+    });
+
+    // Registry updates at engine cadence (once per trial).
+    group.bench_function("registry_inc", |b| {
+        let registry = Registry::new();
+        b.iter(|| registry.inc("engine/trials_total", 1));
+    });
+    group.bench_function("registry_observe", |b| {
+        let registry = Registry::new();
+        const BOUNDS: [f64; 9] = [0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.5];
+        b.iter(|| {
+            registry.observe("node/uncore_residency_ghz", &BOUNDS, black_box(1.8), 10_000);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

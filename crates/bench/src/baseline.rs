@@ -1,0 +1,102 @@
+//! Committed bench-baseline validation shared by the self-timing bench
+//! binaries (`bench_smoke`, `fleet_bench`, `telemetry_overhead`).
+//!
+//! CI diffs freshly measured numbers against a baseline JSON committed at
+//! the repo root (`BENCH_sim.json`, `BENCH_fleet.json`). A malformed
+//! baseline used to surface only as a stack trace deep inside the Python
+//! gate script, *after* minutes of benching; the binaries now validate
+//! the committed file up front and exit non-zero with a clear message.
+
+/// Exit code used when a committed baseline fails validation.
+pub const BASELINE_EXIT_CODE: i32 = 2;
+
+/// Check that `path`, if present, parses as a bench baseline: a JSON
+/// object carrying the `measured` and `cases` keys every gate script
+/// relies on. An absent file is fine (first run, nothing committed yet);
+/// anything else unparseable or key-less is an error describing exactly
+/// what is wrong.
+pub fn check_baseline(path: &str) -> Result<(), String> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(_) => return Ok(()),
+    };
+    let value: serde_json::Value = serde_json::from_slice(&bytes)
+        .map_err(|e| format!("committed baseline {path} is not valid JSON: {e}"))?;
+    let Some(obj) = value.as_object() else {
+        return Err(format!("committed baseline {path} must be a JSON object"));
+    };
+    for key in ["measured", "cases"] {
+        if !obj.contains_key(key) {
+            return Err(format!(
+                "committed baseline {path} lacks the \"{key}\" key the CI gate reads"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validate the committed baseline or exit ([`BASELINE_EXIT_CODE`]) with
+/// a clear message — never a panic or a downstream stack trace.
+pub fn validate_baseline_or_exit(path: &str) {
+    if let Err(msg) = check_baseline(path) {
+        eprintln!("error: {msg}");
+        eprintln!("hint: regenerate the baseline with the matching bench binary, or delete it");
+        std::process::exit(BASELINE_EXIT_CODE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NAMER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_file(contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "magus-baseline-test-{}-{}.json",
+            std::process::id(),
+            NAMER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn absent_baseline_is_fine() {
+        assert_eq!(check_baseline("/nonexistent/BENCH_nope.json"), Ok(()));
+    }
+
+    #[test]
+    fn valid_baseline_passes() {
+        let path = temp_file(r#"{"measured": true, "cases": {"a": 1.0}}"#);
+        assert_eq!(check_baseline(path.to_str().unwrap()), Ok(()));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn malformed_json_is_a_clear_error() {
+        let path = temp_file("{not json");
+        let err = check_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("not valid JSON"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_keys_are_named() {
+        let path = temp_file(r#"{"cases": {}}"#);
+        let err = check_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("\"measured\""), "{err}");
+        std::fs::remove_file(path).unwrap();
+
+        let path = temp_file(r#"{"measured": true}"#);
+        let err = check_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("\"cases\""), "{err}");
+        std::fs::remove_file(path).unwrap();
+
+        let path = temp_file("[1, 2, 3]");
+        let err = check_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("JSON object"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -37,6 +37,9 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    // Fail fast (clear message, non-zero exit) if the committed baseline
+    // the CI gate will diff against is malformed — before benching.
+    magus_bench::baseline::validate_baseline_or_exit("BENCH_sim.json");
 
     let mut cases: Vec<(&str, f64)> = Vec::new();
 

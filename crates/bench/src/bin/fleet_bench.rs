@@ -62,6 +62,9 @@ fn main() {
         .nth(2)
         .map(|n| n.parse().expect("node count"))
         .unwrap_or(64);
+    // Fail fast (clear message, non-zero exit) if the committed baseline
+    // the CI gate will diff against is malformed — before benching.
+    magus_bench::baseline::validate_baseline_or_exit("BENCH_fleet.json");
     // Bounded per-node budget: throughput needs steady stepping, not
     // catalog completion (the longest apps run for hundreds of sim-secs).
     let max_s = 120.0;

@@ -1,0 +1,90 @@
+//! Telemetry-overhead probe: ns/op of the simulator hot paths with the
+//! crate built *as compiled* — run it once with default features
+//! (telemetry on) and once with `--no-default-features` (instrumentation
+//! compiled out), then compare. CI gates the instrumented/uninstrumented
+//! ratio on the macro-stepping replay path at ≤5% plus a small absolute
+//! noise floor (the replay tick is tens of ns; see DESIGN.md).
+//!
+//! Usage: `cargo run --release -p magus-bench --bin telemetry_overhead \
+//!         [out.json]`
+//!
+//! The output records `telemetry_enabled` so the gate script can verify
+//! it really compared an instrumented build against a stripped one.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use magus_hetsim::{Demand, FastForward, Node, NodeConfig};
+
+/// Median ns/op over `reps` timed repetitions of `iters` iterations each.
+fn median_ns_per_op(reps: usize, iters: u64, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_telemetry.json".to_string());
+
+    let mut cases: Vec<(&str, f64)> = Vec::new();
+
+    // The gated path: steady-state frozen replay. Telemetry adds one
+    // residency-bin accumulation per socket per replayed tick here.
+    {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::new(60.0, 0.5, 0.4, 0.9);
+        let mut ff = FastForward::new();
+        for _ in 0..200 {
+            node.step_fast(10_000, &demand, &mut ff);
+        }
+        cases.push((
+            "node/step_busy_fast",
+            median_ns_per_op(25, 40_000, || {
+                black_box(node.step_fast(10_000, &demand, &mut ff));
+            }),
+        ));
+    }
+    // The reference tick, for context (dominated by the power model, so
+    // the same instrumentation is proportionally invisible).
+    {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let demand = Demand::new(60.0, 0.5, 0.4, 0.9);
+        cases.push((
+            "node/step_busy",
+            median_ns_per_op(15, 20_000, || {
+                black_box(node.step(10_000, &demand));
+            }),
+        ));
+    }
+
+    let json = serde_json::json!({
+        "measured": true,
+        "unit": "ns/op (median)",
+        "telemetry_enabled": cfg!(feature = "telemetry"),
+        "cases": cases
+            .iter()
+            .map(|(n, v)| (n.to_string(), serde_json::json!(v)))
+            .collect::<serde_json::Map<_, _>>(),
+    });
+    let rendered = serde_json::to_string_pretty(&json).expect("serialise");
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write telemetry bench JSON");
+    println!("{rendered}");
+    println!(
+        "wrote {out_path} (telemetry {})",
+        if cfg!(feature = "telemetry") {
+            "enabled"
+        } else {
+            "disabled"
+        }
+    );
+}

@@ -2,6 +2,9 @@
 //!
 //! Each binary in `src/bin/` prints the data for one paper artefact; the
 //! Criterion benches in `benches/` measure the runtimes' decision costs.
-//! This library crate only re-exports the experiment API they share.
+//! This library crate re-exports the experiment API they share, plus the
+//! committed-baseline validation the self-timing bench binaries use.
+
+pub mod baseline;
 
 pub use magus_experiments as experiments;

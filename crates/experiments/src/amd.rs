@@ -86,11 +86,31 @@ impl RuntimeDriver for HsmpMagusDriver {
             probe.sample_mbs().unwrap_or(self.last_sample_mbs)
         };
         self.last_sample_mbs = sample;
+        #[cfg(feature = "telemetry")]
+        let log_len_before = self.core.telemetry().log.len();
         let action = self.core.on_sample(sample);
         match action.target() {
             Some(UncoreLevel::Upper) => self.set_pstate(sim, 0),
             Some(UncoreLevel::Lower) => self.set_pstate(sim, (self.table.len() - 1) as u8),
             None => {}
+        }
+        // Same decision-event taxonomy as the Intel driver; only the
+        // actuation path differs, and that is visible as `hsmp` here.
+        #[cfg(feature = "telemetry")]
+        if let Some(rec) = self.core.telemetry().log.last().copied() {
+            if self.core.telemetry().log.len() > log_len_before {
+                let t_us = sim.node().time_us();
+                sim.node_mut().telemetry_mut().push_event(
+                    magus_telemetry::Event::new(t_us, "magus_decision")
+                        .with("cycle", rec.cycle)
+                        .with("sample_mbs", rec.sample_mbs)
+                        .with("trend", crate::drivers::trend_name(rec.trend))
+                        .with("tune_event", rec.tune_event)
+                        .with("high_freq", rec.high_freq)
+                        .with("action", crate::drivers::action_name(rec.action))
+                        .with("actuation", "hsmp"),
+                );
+            }
         }
         sim.node_mut().ledger_mut().drain().latency_us.round() as u64
     }

@@ -14,6 +14,26 @@ use magus_pcm::{NodeThroughputProbe, ThroughputSource};
 use magus_runtime::{MagusAction, MagusConfig, MagusCore, Telemetry, UncoreLevel};
 use magus_ups::{UpsConfig, UpsCore, UpsSampler};
 
+/// Stable wire name for a [`magus_runtime::Trend`] in decision events.
+#[cfg(feature = "telemetry")]
+pub(crate) fn trend_name(trend: magus_runtime::Trend) -> &'static str {
+    match trend {
+        magus_runtime::Trend::Increase => "increase",
+        magus_runtime::Trend::Decrease => "decrease",
+        magus_runtime::Trend::Stable => "stable",
+    }
+}
+
+/// Stable wire name for a [`MagusAction`] in decision events.
+#[cfg(feature = "telemetry")]
+pub(crate) fn action_name(action: MagusAction) -> &'static str {
+    match action {
+        MagusAction::SetUpper => "set_upper",
+        MagusAction::SetLower => "set_lower",
+        MagusAction::Hold => "hold",
+    }
+}
+
 /// A schedulable uncore runtime.
 pub trait RuntimeDriver {
     /// Short name for reports ("MAGUS", "UPS", "default", ...).
@@ -189,8 +209,29 @@ impl RuntimeDriver for MagusDriver {
                 probe.sample_mbs().unwrap_or(self.last_sample_mbs)
             };
             self.last_sample_mbs = sample;
+            #[cfg(feature = "telemetry")]
+            let log_len_before = self.core.telemetry().log.len();
             let action = self.core.on_sample(sample);
             self.apply(sim, action);
+            // One structured event per *logged* decision (warm-up cycles may
+            // not log). Pushed after actuation so the event never perturbs
+            // the decision itself; `push_event` leaves frozen fast-forward
+            // spans intact.
+            #[cfg(feature = "telemetry")]
+            if let Some(rec) = self.core.telemetry().log.last().copied() {
+                if self.core.telemetry().log.len() > log_len_before {
+                    let t_us = sim.node().time_us();
+                    sim.node_mut().telemetry_mut().push_event(
+                        magus_telemetry::Event::new(t_us, "magus_decision")
+                            .with("cycle", rec.cycle)
+                            .with("sample_mbs", rec.sample_mbs)
+                            .with("trend", trend_name(rec.trend))
+                            .with("tune_event", rec.tune_event)
+                            .with("high_freq", rec.high_freq)
+                            .with("action", action_name(rec.action)),
+                    );
+                }
+            }
         })
     }
 
@@ -286,6 +327,18 @@ impl RuntimeDriver for UpsDriver {
             }
             self.decisions
                 .push((sim.node().time_us(), decision.target_ghz));
+            #[cfg(feature = "telemetry")]
+            {
+                let t_us = sim.node().time_us();
+                sim.node_mut().telemetry_mut().push_event(
+                    magus_telemetry::Event::new(t_us, "ups_decision")
+                        .with("target_ghz", decision.target_ghz)
+                        .with("mean_ipc", sample.mean_ipc)
+                        .with("dram_w", sample.dram_w)
+                        .with("phase_change", decision.phase_change)
+                        .with("backed_off", decision.backed_off),
+                );
+            }
         })
     }
 

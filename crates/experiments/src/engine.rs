@@ -28,7 +28,13 @@
 //! * **Observability.** The engine records a per-run manifest
 //!   ([`RunManifest`]): every spec's hash and label, cache hit/miss
 //!   counts, and wall time, written next to the cache by
-//!   [`Engine::finish`].
+//!   [`Engine::finish`]. It also aggregates a metrics registry (trial,
+//!   cache, and node counters; see [`Engine::telemetry_snapshot`]) and
+//!   buffers every trial's decision-event stream for export as JSON
+//!   Lines ([`Engine::telemetry_jsonl`], the CLI's `--telemetry`).
+//!   Recorded values are sim-time-only and deterministic; wall-clock
+//!   derived metrics live under the `diag/` prefix, which
+//!   [`magus_telemetry::Snapshot::deterministic`] excludes.
 //!
 //! Environment knobs (read by [`Engine::from_env`]):
 //! `MAGUS_CACHE=off` disables the cache, `MAGUS_CACHE_DIR` moves it,
@@ -46,6 +52,7 @@ use std::time::Instant;
 use magus_hetsim::{AppTrace, NodeConfig, RunSummary};
 use magus_hsmp::FabricPstateTable;
 use magus_runtime::MagusConfig;
+use magus_telemetry::{Event, FieldValue, Registry, Snapshot};
 use magus_ups::UpsConfig;
 use magus_workloads::{app_trace, base_spec, AppId, Platform};
 use rayon::prelude::*;
@@ -58,7 +65,7 @@ use crate::harness::{run_custom_trial_capped, SystemId, TrialOpts, TrialResult};
 /// Code-version salt mixed into every spec hash. Bump the suffix whenever
 /// a change alters simulation results without changing any [`TrialSpec`]
 /// field — stale cache entries then miss by construction.
-pub const ENGINE_SALT: &str = concat!("magus-engine/v2/", env!("CARGO_PKG_VERSION"));
+pub const ENGINE_SALT: &str = concat!("magus-engine/v3/", env!("CARGO_PKG_VERSION"));
 
 /// The governor driving a trial — the single runtime selector shared by
 /// the CLI parser, the drivers, and every experiment path (one conversion
@@ -515,11 +522,21 @@ impl RunManifest {
     }
 }
 
+/// One trial's buffered decision-event stream, labeled for export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialEvents {
+    /// Human-readable spec label ([`TrialSpec::label`]).
+    pub label: String,
+    /// Decision/actuation events in simulation order.
+    pub events: Vec<Event>,
+}
+
 #[derive(Debug, Default)]
 struct EngineState {
     trials: Vec<ManifestEntry>,
     hits: usize,
     misses: usize,
+    events: Vec<TrialEvents>,
 }
 
 /// The trial executor: scheduling, caching, and manifest accounting.
@@ -539,9 +556,19 @@ pub struct Engine {
     live_outcomes: AtomicU64,
     peak_live: AtomicU64,
     started: Instant,
+    /// Aggregated metrics: engine counters, node counter roll-ups, and
+    /// `diag/` gauges. Deterministic except under the `diag/` prefix.
+    registry: Registry,
 }
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Bucket bounds (GHz) for the aggregated uncore residency histogram —
+/// aligned on the testbeds' uncore ranges (0.8–2.5 GHz).
+const RESIDENCY_BOUNDS: [f64; 9] = [0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.5];
+
+/// Bucket bounds (s) for the diagnostic per-trial wall-time histogram.
+const WALL_BOUNDS: [f64; 7] = [0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0];
 
 impl Engine {
     fn build(cache_dir: Option<PathBuf>, mode: ExecMode) -> Self {
@@ -554,6 +581,7 @@ impl Engine {
             live_outcomes: AtomicU64::new(0),
             peak_live: AtomicU64::new(0),
             started: Instant::now(),
+            registry: Registry::new(),
         }
     }
 
@@ -674,13 +702,15 @@ impl Engine {
         let hash = spec_hash(spec, &self.salt);
         if let Some(entry) = self.cache_load(spec, &hash) {
             self.record(spec, &hash, true, 0.0);
-            return TrialOutcome {
+            let outcome = TrialOutcome {
                 spec: spec.clone(),
                 spec_hash: hash,
                 result: entry.result,
                 high_freq_fraction: entry.high_freq_fraction,
                 cached: true,
             };
+            self.observe_outcome(&outcome, 0.0);
+            return outcome;
         }
         let t0 = Instant::now();
         let mut driver = spec.governor.build_driver();
@@ -696,13 +726,55 @@ impl Engine {
         );
         let high_freq_fraction = driver.high_freq_fraction();
         self.cache_store(spec, &hash, &result, high_freq_fraction);
-        self.record(spec, &hash, false, t0.elapsed().as_secs_f64());
-        TrialOutcome {
+        let wall_s = t0.elapsed().as_secs_f64();
+        self.record(spec, &hash, false, wall_s);
+        let outcome = TrialOutcome {
             spec: spec.clone(),
             spec_hash: hash,
             result,
             high_freq_fraction,
             cached: false,
+        };
+        self.observe_outcome(&outcome, wall_s);
+        outcome
+    }
+
+    /// Fold one outcome into the metrics registry and the per-trial event
+    /// buffer. Everything except `diag/` metrics derives from simulated
+    /// state alone, so the aggregation is identical across serial and
+    /// parallel runs (counters commute) and across sim paths.
+    fn observe_outcome(&self, outcome: &TrialOutcome, wall_s: f64) {
+        let r = &self.registry;
+        r.inc("engine/trials_total", 1);
+        if outcome.cached {
+            r.inc("engine/cache_hits", 1);
+        } else {
+            r.inc("engine/cache_misses", 1);
+        }
+        r.inc("node/decision_events", outcome.result.events.len() as u64);
+        if let Some(nc) = &outcome.result.node_telemetry {
+            r.inc("node/uncore_msr_writes", nc.uncore_msr_writes);
+            r.inc("node/fastpath_frozen_spans", nc.fastpath_frozen_spans);
+            r.inc("node/fastpath_replayed_ticks", nc.fastpath_replayed_ticks);
+            r.inc("node/fastpath_invalidations", nc.fastpath_invalidations);
+            r.inc("node/events_dropped", nc.events_dropped);
+            for &(bin, us) in &nc.residency_us {
+                r.observe(
+                    "node/uncore_residency_ghz",
+                    &RESIDENCY_BOUNDS,
+                    f64::from(bin) / 10.0,
+                    us,
+                );
+            }
+        }
+        // diag/: wall-clock-derived, excluded from determinism checks.
+        r.observe("diag/trial_wall_s", &WALL_BOUNDS, wall_s, 1);
+        if !outcome.result.events.is_empty() {
+            let mut state = self.state.lock().expect("engine state");
+            state.events.push(TrialEvents {
+                label: outcome.spec.label(),
+                events: outcome.result.events.clone(),
+            });
         }
     }
 
@@ -774,6 +846,7 @@ impl Engine {
             ExecMode::Parallel => {
                 let map = &map;
                 let (tx, rx) = mpsc::channel::<(usize, T)>();
+                let mut reorder_peak = 0usize;
                 std::thread::scope(|scope| {
                     let producer = scope.spawn(move || {
                         self.in_pool(|| {
@@ -793,6 +866,7 @@ impl Engine {
                     let mut next = 0usize;
                     for (i, digest) in &rx {
                         parked.insert(i, digest);
+                        reorder_peak = reorder_peak.max(parked.len());
                         while let Some(digest) = parked.remove(&next) {
                             fold(&mut acc, next, digest);
                             next += 1;
@@ -802,6 +876,9 @@ impl Engine {
                         std::panic::resume_unwind(panic);
                     }
                 });
+                // Scheduling-dependent, hence diagnostic-only.
+                self.registry
+                    .gauge_max("diag/fold_reorder_peak", reorder_peak as f64);
             }
         }
         acc
@@ -813,6 +890,80 @@ impl Engine {
     #[must_use]
     pub fn peak_live_outcomes(&self) -> u64 {
         self.peak_live.load(Ordering::SeqCst)
+    }
+
+    /// Aggregated metrics snapshot: engine counters, node counter
+    /// roll-ups, the uncore residency histogram, and `diag/` gauges.
+    /// Compare snapshots across runs through
+    /// [`magus_telemetry::Snapshot::deterministic`], which drops the
+    /// wall-clock-derived `diag/` metrics.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.registry.set_gauge(
+            "diag/peak_live_outcomes",
+            self.peak_live.load(Ordering::SeqCst) as f64,
+        );
+        self.registry
+            .set_gauge("diag/engine_wall_s", self.started.elapsed().as_secs_f64());
+        self.registry.set_gauge("diag/jobs", self.jobs() as f64);
+        self.registry.snapshot()
+    }
+
+    /// Per-trial decision-event streams buffered so far, sorted by label
+    /// (content tie-break) so serial and parallel runs export identically.
+    #[must_use]
+    pub fn trial_events(&self) -> Vec<TrialEvents> {
+        let mut events = self.state.lock().expect("engine state").events.clone();
+        events.sort_by_cached_key(|t| {
+            let body = serde_json::to_string(&t.events).expect("events serialise");
+            (t.label.clone(), body)
+        });
+        events
+    }
+
+    /// All buffered decision events as JSON Lines, one event per line:
+    /// `{"trial": ..., "t_us": ..., "kind": ..., "fields": {...}}`.
+    ///
+    /// The rendering is deterministic — trials sort by label, events keep
+    /// simulation order, field maps are sorted — so two runs of the same
+    /// suite produce byte-identical output regardless of scheduling mode
+    /// or sim path. CI's telemetry-regression job diffs exactly this.
+    #[must_use]
+    pub fn telemetry_jsonl(&self) -> String {
+        #[derive(Serialize)]
+        struct EventLine<'a> {
+            trial: &'a str,
+            t_us: u64,
+            kind: &'a str,
+            fields: &'a BTreeMap<String, FieldValue>,
+        }
+        let mut out = String::new();
+        for trial in self.trial_events() {
+            for e in &trial.events {
+                let line = EventLine {
+                    trial: &trial.label,
+                    t_us: e.t_us,
+                    kind: &e.kind,
+                    fields: &e.fields,
+                };
+                out.push_str(&serde_json::to_string(&line).expect("event line serialises"));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Write the decision-event stream as JSONL to `path`, plus a
+    /// Prometheus-text metrics snapshot beside it (extension `.prom`).
+    pub fn write_telemetry(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        fs::write(path, self.telemetry_jsonl())?;
+        let prom = path.with_extension("prom");
+        fs::write(prom, self.telemetry_snapshot().to_prometheus_text())
     }
 
     /// Run one trial and digest it in place, tracking how many full
@@ -1110,6 +1261,26 @@ mod tests {
         assert!((out.result.summary.runtime_s - 2.0).abs() < 0.05);
         assert!(!out.result.summary.completed);
         assert_eq!(out.result.summary.app, "idle");
+    }
+
+    #[test]
+    fn telemetry_counts_trials_and_diag_is_excluded() {
+        let engine = Engine::ephemeral();
+        let specs = vec![
+            TrialSpec::idle(SystemId::IntelA100, GovernorSpec::Default, 1.0),
+            TrialSpec::idle(SystemId::IntelMax1550, GovernorSpec::Default, 1.0),
+        ];
+        let _ = engine.run_suite(&specs);
+        let snap = engine.telemetry_snapshot();
+        assert_eq!(snap.counter("engine/trials_total"), Some(2));
+        assert_eq!(snap.counter("engine/cache_misses"), Some(2));
+        assert!(snap.gauge("diag/jobs").is_some());
+        assert!(snap.gauge("diag/engine_wall_s").is_some());
+        let det = snap.deterministic();
+        assert!(det.gauge("diag/jobs").is_none());
+        assert_eq!(det.counter("engine/trials_total"), Some(2));
+        let prom = snap.to_prometheus_text();
+        assert!(prom.contains("magus_engine_trials_total 2"), "{prom}");
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Trial execution: one (system × application × runtime) run.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use magus_hetsim::{
     secs_to_us, AppTrace, FastForward, Node, NodeConfig, RunSummary, Simulation, TraceRecorder,
     TraceSample,
 };
+use magus_telemetry::{Event, NodeCounters};
 use magus_workloads::{app_trace, AppId, Platform};
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +73,34 @@ pub enum SimPath {
     Fast,
 }
 
+/// Process-wide default stepping path consulted by [`TrialOpts::default`]
+/// (1 = fast). The CLI's `--sim-path` flag sets it; the *serde* default for
+/// a missing `path` field stays `Fast` unconditionally, so previously
+/// serialized specs are unaffected.
+static DEFAULT_SIM_PATH: AtomicU8 = AtomicU8::new(1);
+
+/// Set the process-wide default stepping path picked up by every
+/// `TrialOpts::default()` (and thus every spec built without an explicit
+/// path). Used by `magus --sim-path` so whole-suite runs can be forced
+/// onto the reference path for differential audits.
+pub fn set_default_sim_path(path: SimPath) {
+    let raw = match path {
+        SimPath::Reference => 0,
+        SimPath::Fast => 1,
+    };
+    DEFAULT_SIM_PATH.store(raw, Ordering::SeqCst);
+}
+
+/// The current process-wide default stepping path.
+#[must_use]
+pub fn default_sim_path() -> SimPath {
+    if DEFAULT_SIM_PATH.load(Ordering::SeqCst) == 0 {
+        SimPath::Reference
+    } else {
+        SimPath::Fast
+    }
+}
+
 /// Trial options.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrialOpts {
@@ -88,7 +118,7 @@ impl Default for TrialOpts {
         Self {
             record_interval_us: 0,
             max_s: 600.0,
-            path: SimPath::default(),
+            path: default_sim_path(),
         }
     }
 }
@@ -124,6 +154,15 @@ pub struct TrialResult {
     pub invocations: u64,
     /// Mean invocation latency (µs) across the run.
     pub mean_invocation_us: f64,
+    /// Governor decision / actuation event stream in simulation order
+    /// (empty when the suite is built without the `telemetry` feature).
+    /// Byte-identical between the fast and reference stepping paths.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub events: Vec<Event>,
+    /// Deterministic per-node instrumentation counters (`None` without
+    /// the `telemetry` feature).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub node_telemetry: Option<NodeCounters>,
 }
 
 /// Run `app` on `system` under `driver`.
@@ -240,6 +279,14 @@ pub fn run_custom_trial_capped(
 
     let summary = sim.summary(start_us);
     let samples = sim.recorder_mut().take_samples();
+    #[cfg(feature = "telemetry")]
+    let (events, node_telemetry) = {
+        let telemetry = sim.node_mut().telemetry_mut();
+        let events = telemetry.take_events();
+        (events, Some(telemetry.counters()))
+    };
+    #[cfg(not(feature = "telemetry"))]
+    let (events, node_telemetry) = (Vec::new(), None);
     TrialResult {
         runtime: driver.name().to_string(),
         summary,
@@ -250,6 +297,8 @@ pub fn run_custom_trial_capped(
         } else {
             total_invocation_us as f64 / invocations as f64
         },
+        events,
+        node_telemetry,
     }
 }
 
@@ -384,6 +433,39 @@ mod tests {
         assert_eq!(r.samples, f.samples);
         assert_eq!(r.invocations, f.invocations);
         assert_eq!(r.mean_invocation_us, f.mean_invocation_us);
+        // Decision events and residency are part of the bit-identity
+        // contract; only the fast-path span counters may differ.
+        assert_eq!(r.events, f.events);
+        if let (Some(rc), Some(fc)) = (&r.node_telemetry, &f.node_telemetry) {
+            assert_eq!(rc.residency_us, fc.residency_us);
+            assert_eq!(rc.uncore_msr_writes, fc.uncore_msr_writes);
+            assert_eq!(rc.events_dropped, fc.events_dropped);
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn magus_trials_carry_decision_events() {
+        let mut driver = MagusDriver::with_defaults();
+        let r = run_trial(
+            SystemId::IntelA100,
+            AppId::Bfs,
+            &mut driver,
+            TrialOpts::default(),
+        );
+        let decisions = r
+            .events
+            .iter()
+            .filter(|e| e.kind == "magus_decision")
+            .count() as u64;
+        // Every post-warm-up invocation logs exactly one decision event.
+        assert!(decisions > 0 && decisions <= r.invocations, "{decisions}");
+        assert!(r.events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+        let nc = r.node_telemetry.expect("telemetry enabled");
+        assert!(nc.uncore_msr_writes >= 1);
+        assert_eq!(nc.events_dropped, 0);
+        // Two sockets accumulate residency for every simulated µs.
+        assert_eq!(nc.residency_total_us(), secs_to_us(r.summary.runtime_s) * 2);
     }
 
     #[test]

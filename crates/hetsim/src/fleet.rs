@@ -124,6 +124,19 @@ pub struct FleetSummary {
     /// Total simulator ticks advanced across all nodes (throughput unit for
     /// node-steps/sec benchmarks).
     pub node_steps: u64,
+    /// Lockstep rounds executed (one shared horizon per round).
+    #[serde(default)]
+    pub lockstep_rounds: u64,
+    /// Node-rounds where an active node was already at or past the shared
+    /// horizon and advanced zero ticks — it idled while the rest of the
+    /// fleet caught up. High stall counts mean the shared clock is being
+    /// dominated by a few busy nodes.
+    #[serde(default)]
+    pub lockstep_stalls: u64,
+    /// Per-node application progress (s of trace work completed) at the end
+    /// of the run, node-index order.
+    #[serde(default)]
+    pub node_progress_s: Vec<f64>,
 }
 
 /// N independent nodes advanced in lockstep over a shared clock.
@@ -206,6 +219,8 @@ impl FleetSim {
     ) -> FleetSummary {
         let mut decisions = 0u64;
         let mut node_steps = 0u64;
+        let mut lockstep_rounds = 0u64;
+        let mut lockstep_stalls = 0u64;
         loop {
             // Retire nodes that finished or ran out of budget; fire the
             // decisions that are due. This mirrors the single-node loop
@@ -234,6 +249,7 @@ impl FleetSim {
             if fleet_horizon == u64::MAX {
                 break; // no active nodes left
             }
+            lockstep_rounds += 1;
             // Lockstep: advance every active node to the shared horizon.
             for i in 0..self.sims.len() {
                 if !self.active[i] {
@@ -241,15 +257,27 @@ impl FleetSim {
                 }
                 let before = self.sims[i].node().time_us();
                 self.sims[i].advance_until(fleet_horizon, &mut self.ff[i]);
+                let after = self.sims[i].node().time_us();
+                if after == before {
+                    // Already at/past the horizon: this node idled while the
+                    // fleet caught up.
+                    lockstep_stalls += 1;
+                }
                 let tick = self.sims[i].node().config().tick_us;
-                node_steps += (self.sims[i].node().time_us() - before) / tick;
+                node_steps += (after - before) / tick;
             }
         }
-        self.summarize(decisions, node_steps)
+        self.summarize(decisions, node_steps, lockstep_rounds, lockstep_stalls)
     }
 
     /// Build the fleet summary from the current node states.
-    fn summarize(&self, decisions: u64, node_steps: u64) -> FleetSummary {
+    fn summarize(
+        &self,
+        decisions: u64,
+        node_steps: u64,
+        lockstep_rounds: u64,
+        lockstep_stalls: u64,
+    ) -> FleetSummary {
         let nodes: Vec<RunSummary> = self.sims.iter().map(|s| s.summary(0)).collect();
         let mut total_cpu_j = 0.0;
         let mut total_uncore_j = 0.0;
@@ -274,6 +302,9 @@ impl FleetSim {
             makespan_s,
             decisions,
             node_steps,
+            lockstep_rounds,
+            lockstep_stalls,
+            node_progress_s: self.sims.iter().map(Simulation::progress_s).collect(),
             nodes,
         }
     }
@@ -380,6 +411,37 @@ mod tests {
         assert!(s.uncore_power_w.min <= s.uncore_power_w.p50);
         assert!(s.uncore_power_w.p50 <= s.uncore_power_w.p95);
         assert!(s.uncore_power_w.p95 <= s.uncore_power_w.max);
+    }
+
+    #[test]
+    fn lockstep_rounds_and_stalls_are_counted() {
+        // A coarse-tick node paired with a fine-tick, fast-deciding node:
+        // the coarse node overshoots the shared horizon, so later horizons
+        // driven by the fine node's deadlines land behind it and it idles
+        // (stalls) while the fleet catches up.
+        let mut coarse = NodeConfig::intel_a100();
+        coarse.tick_us = 70_000;
+        let mut fleet = FleetSim::new(2.0);
+        fleet.add_node(coarse, trace(100.0, 5.0));
+        fleet.add_node(NodeConfig::intel_a100(), trace(100.0, 5.0));
+        let mut decide = |i: usize, _: &mut Simulation| Decision {
+            latency_us: 0,
+            rest_us: if i == 0 { 1_000_000 } else { 5_000 },
+        };
+        let s = fleet.run(&mut decide);
+        assert!(s.lockstep_rounds > 0);
+        assert!(s.lockstep_stalls > 0, "coarse node never stalled");
+        assert_eq!(s.node_progress_s.len(), 2);
+        assert!(s.node_progress_s.iter().all(|&p| p > 0.0));
+
+        // A homogeneous fleet shares every clock edge and never stalls.
+        let mut fleet = FleetSim::new(2.0);
+        for _ in 0..3 {
+            fleet.add_node(NodeConfig::intel_a100(), trace(100.0, 5.0));
+        }
+        let s = fleet.run(&mut noop);
+        assert!(s.lockstep_rounds > 0);
+        assert_eq!(s.lockstep_stalls, 0);
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub mod mem;
 pub mod node;
 pub mod power;
 pub mod sim;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 pub mod trace;
 pub mod uncore;
 pub mod workload;

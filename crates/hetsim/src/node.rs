@@ -23,6 +23,8 @@ use crate::demand::Demand;
 use crate::gpu::GpuDevice;
 use crate::mem::{progress_factor, MemoryChannel};
 use crate::power::{EnergyTotals, PowerBreakdown};
+#[cfg(feature = "telemetry")]
+use crate::telemetry::NodeTelemetry;
 use crate::uncore::UncoreDomain;
 
 /// One CPU socket: core complex, uncore domain, memory channels, and the
@@ -96,6 +98,11 @@ pub struct FastForward {
     pkg_per_socket_j: f64,
     dram_per_socket_j: f64,
     outcome: StepOutcome,
+    /// Per-socket uncore residency bin at capture time. Uncore frequency
+    /// is part of the feedback snapshot, so it is constant across a
+    /// frozen span and the bin can be replayed verbatim.
+    #[cfg(feature = "telemetry")]
+    residency_bins: Vec<u16>,
 }
 
 impl FastForward {
@@ -157,6 +164,11 @@ pub struct Node {
     /// failure injection for runtime robustness tests.
     pcm_dropout_every: Option<u64>,
     pcm_reads: u64,
+    /// Instrumentation counters + event log. Recording never touches
+    /// `state_epoch` or feedback state: telemetry is invisible to the
+    /// simulation and to the fast path's frozen spans.
+    #[cfg(feature = "telemetry")]
+    telemetry: NodeTelemetry,
 }
 
 impl Node {
@@ -193,6 +205,8 @@ impl Node {
             pcm_noise_abs_gbs: 0.15,
             pcm_dropout_every: None,
             pcm_reads: 0,
+            #[cfg(feature = "telemetry")]
+            telemetry: NodeTelemetry::default(),
         }
     }
 
@@ -247,6 +261,21 @@ impl Node {
     /// Mutable ledger access (drivers drain invocation latency from here).
     pub fn ledger_mut(&mut self) -> &mut CostLedger {
         &mut self.ledger
+    }
+
+    /// Instrumentation counters and buffered events (telemetry builds).
+    #[cfg(feature = "telemetry")]
+    #[must_use]
+    pub fn telemetry(&self) -> &NodeTelemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access — runtime drivers push decision events
+    /// here. Pushing events does **not** perturb simulated state, charge
+    /// monitoring cost, or invalidate fast-forward frozen spans.
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry_mut(&mut self) -> &mut NodeTelemetry {
+        &mut self.telemetry
     }
 
     /// Enable PCM dropout injection: every `n`-th read returns 0 GB/s.
@@ -373,6 +402,15 @@ impl Node {
             power.gpu_w += gpu.power_w();
         }
 
+        // 6b. Uncore-frequency residency: socket-µs per 0.1 GHz bin. One
+        //     array add per socket; replayed bit-identically by the fast
+        //     path from the bins captured at the fixed point.
+        #[cfg(feature = "telemetry")]
+        for socket in &self.sockets {
+            let bin = crate::telemetry::freq_bin(socket.uncore.freq_ghz());
+            self.telemetry.residency_us[bin as usize] += dt_us;
+        }
+
         // 7. Energy accounting, node-level and per-socket (RAPL domains).
         self.energy.accumulate(&power, dt_s);
         let pkg_per_socket_j =
@@ -432,6 +470,10 @@ impl Node {
         // detection from reference steps.
         if ff.epoch != self.state_epoch || ff.dt_us != dt_us || !demand_bits_eq(&ff.demand, demand)
         {
+            #[cfg(feature = "telemetry")]
+            if ff.frozen {
+                self.telemetry.fastpath_invalidations += 1;
+            }
             ff.frozen = false;
             ff.prev_valid = false;
             ff.epoch = self.state_epoch;
@@ -443,6 +485,10 @@ impl Node {
         if ff.prev_valid && ff.cur == ff.prev {
             self.capture_increments(dt_us, demand, out, ff);
             ff.frozen = true;
+            #[cfg(feature = "telemetry")]
+            {
+                self.telemetry.fastpath_frozen_spans += 1;
+            }
         } else {
             core::mem::swap(&mut ff.prev, &mut ff.cur);
             ff.prev_valid = true;
@@ -525,6 +571,14 @@ impl Node {
             (out.power.core_w + out.power.uncore_w + out.power.overhead_w) / n_sockets * dt_s;
         ff.dram_per_socket_j = out.power.dram_w / n_sockets * dt_s;
         ff.outcome = out;
+        #[cfg(feature = "telemetry")]
+        {
+            ff.residency_bins.clear();
+            for s in &self.sockets {
+                ff.residency_bins
+                    .push(crate::telemetry::freq_bin(s.uncore.freq_ghz()));
+            }
+        }
     }
 
     /// One replayed tick: apply the captured increments to the accumulators
@@ -543,6 +597,15 @@ impl Node {
         self.energy.accumulate(&ff.outcome.power, dt_s);
         self.time_us += dt_us;
         self.record_bw(dt_us, ff.outcome.delivered_gbs);
+        // Telemetry replay mirrors step() 6b exactly: the uncore frequency
+        // is feedback state, so its bin is constant across the span.
+        #[cfg(feature = "telemetry")]
+        {
+            for &bin in &ff.residency_bins {
+                self.telemetry.residency_us[bin as usize] += dt_us;
+            }
+            self.telemetry.fastpath_replayed_ticks += 1;
+        }
     }
 
     /// Charge a monitoring access cost against the node: energy joins the
@@ -629,6 +692,16 @@ impl Node {
                         self.sockets[idx]
                             .uncore
                             .set_msr_limits(lim.min_ghz(), lim.max_ghz());
+                        #[cfg(feature = "telemetry")]
+                        {
+                            self.telemetry.uncore_msr_writes += 1;
+                            self.telemetry.push_event(
+                                magus_telemetry::Event::new(self.time_us, "uncore_limit_write")
+                                    .with("pkg", u64::from(pkg))
+                                    .with("min_ghz", lim.min_ghz())
+                                    .with("max_ghz", lim.max_ghz()),
+                            );
+                        }
                         Ok(())
                     }
                     MSR_PKG_POWER_LIMIT => {
@@ -1126,6 +1199,77 @@ mod tests {
         // The PCM window is still fully served.
         let reading = n.pcm_read_gbs();
         assert!((reading - 40.0).abs() < 4.0, "reading = {reading}");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_is_identical_across_paths_and_records_msr_events() {
+        let drive = |fast: bool| {
+            let mut n = node();
+            let mut ff = FastForward::new();
+            let busy = busy_demand();
+            let mut do_ticks = |n: &mut Node, ticks: usize, ff: &mut FastForward| {
+                for _ in 0..ticks {
+                    if fast {
+                        n.step_fast(10_000, &busy, ff);
+                    } else {
+                        n.step(10_000, &busy);
+                    }
+                }
+            };
+            do_ticks(&mut n, 1000, &mut ff);
+            let raw = UncoreRatioLimit::from_ghz(0.8, 0.8).encode();
+            for pkg in 0..2 {
+                n.msr_write(MsrScope::Package(pkg), MSR_UNCORE_RATIO_LIMIT, raw)
+                    .unwrap();
+            }
+            do_ticks(&mut n, 300, &mut ff);
+            n
+        };
+        let reference = drive(false);
+        let fast = drive(true);
+        let (rc, fc) = (
+            reference.telemetry().counters(),
+            fast.telemetry().counters(),
+        );
+        // Deterministic counters agree between the reference and fast paths.
+        assert_eq!(rc.residency_us, fc.residency_us);
+        assert_eq!(rc.uncore_msr_writes, 2);
+        assert_eq!(fc.uncore_msr_writes, 2);
+        assert_eq!(reference.telemetry().events(), fast.telemetry().events());
+        // Fast-path diagnostics fire only on the fast path.
+        assert!(fc.fastpath_frozen_spans >= 1);
+        assert!(fc.fastpath_replayed_ticks > 0);
+        assert!(fc.fastpath_invalidations >= 1, "MSR write must thaw");
+        assert_eq!(rc.fastpath_replayed_ticks, 0);
+        // Residency covers every socket-tick exactly once.
+        assert_eq!(rc.residency_total_us(), 1300 * 10_000 * 2);
+        let kinds: Vec<&str> = reference
+            .telemetry()
+            .events()
+            .iter()
+            .map(|e| e.kind.as_str())
+            .collect();
+        assert_eq!(kinds, ["uncore_limit_write", "uncore_limit_write"]);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn event_push_does_not_thaw_frozen_spans() {
+        let mut n = node();
+        let mut ff = FastForward::new();
+        let demand = busy_demand();
+        for _ in 0..1000 {
+            n.step_fast(10_000, &demand, &mut ff);
+        }
+        assert!(ff.frozen());
+        let before = n.telemetry().counters().fastpath_invalidations;
+        let t = n.time_us();
+        n.telemetry_mut()
+            .push_event(magus_telemetry::Event::new(t, "marker"));
+        n.step_fast(10_000, &demand, &mut ff);
+        assert!(ff.frozen(), "event push must not invalidate the span");
+        assert_eq!(n.telemetry().counters().fastpath_invalidations, before);
     }
 
     #[test]

@@ -16,12 +16,15 @@ use std::process::ExitCode;
 use magus_suite::cli::{parse, usage, Command, EngineOpts, Invocation};
 use magus_suite::experiments::engine::{Engine, GovernorSpec, TrialSpec};
 use magus_suite::experiments::figures::{evaluate_app, fig4, fig7_sensitivity};
-use magus_suite::experiments::harness::SystemId;
+use magus_suite::experiments::harness::{set_default_sim_path, SystemId};
 use magus_suite::experiments::pareto::{distance_to_frontier, pareto_frontier};
 use magus_suite::experiments::report::render_fig4_table;
 use magus_suite::workloads::AppId;
 
-fn build_engine(opts: EngineOpts) -> Engine {
+fn build_engine(opts: &EngineOpts) -> Engine {
+    if let Some(path) = opts.sim_path {
+        set_default_sim_path(path);
+    }
     let mut engine = Engine::from_env();
     if opts.no_cache {
         engine = engine.without_cache();
@@ -35,9 +38,32 @@ fn build_engine(opts: EngineOpts) -> Engine {
     engine
 }
 
+/// Finish a named run: manifest summary, plus the `--telemetry` export
+/// (JSONL event stream + Prometheus snapshot) when requested.
+fn finish(engine: &Engine, label: &str, opts: &EngineOpts) -> ExitCode {
+    engine.finish(label);
+    if let Some(path) = &opts.telemetry {
+        match engine.write_telemetry(path) {
+            Ok(()) => eprintln!(
+                "[engine] telemetry written to {} (+ {})",
+                path.display(),
+                path.with_extension("prom").display()
+            ),
+            Err(e) => {
+                eprintln!("[engine] telemetry write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Invocation { command, engine } = match parse(&args) {
+    let Invocation {
+        command,
+        engine: opts,
+    } = match parse(&args) {
         Ok(inv) => inv,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", usage());
@@ -45,56 +71,61 @@ fn main() -> ExitCode {
         }
     };
     match command {
-        Command::Help => println!("{}", usage()),
-        Command::List => list(),
+        Command::Help => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Command::List => {
+            list();
+            ExitCode::SUCCESS
+        }
         Command::Run {
             system,
             app,
             governor,
             json,
         } => {
-            let engine = build_engine(engine);
+            let engine = build_engine(&opts);
             run(&engine, system, app, governor, json);
-            engine.finish("run");
+            finish(&engine, "run", &opts)
         }
         Command::Compare { system, app } => {
-            let engine = build_engine(engine);
+            let engine = build_engine(&opts);
             compare(&engine, system, app);
-            engine.finish("compare");
+            finish(&engine, "compare", &opts)
         }
         Command::Suite { system } => {
-            let engine = build_engine(engine);
+            let engine = build_engine(&opts);
             let rows = fig4(&engine, system);
             print!("{}", render_fig4_table(system.name(), &rows));
-            engine.finish("suite");
+            finish(&engine, "suite", &opts)
         }
         Command::Overhead { system, duration_s } => {
-            let engine = build_engine(engine);
+            let engine = build_engine(&opts);
             overhead(&engine, system, duration_s);
-            engine.finish("overhead");
+            finish(&engine, "overhead", &opts)
         }
         Command::Sweep { app } => {
-            let engine = build_engine(engine);
+            let engine = build_engine(&opts);
             sweep(&engine, app);
-            engine.finish("sweep");
+            finish(&engine, "sweep", &opts)
         }
         Command::Powercap => {
-            let engine = build_engine(engine);
+            let engine = build_engine(&opts);
             powercap(&engine);
-            engine.finish("powercap");
+            finish(&engine, "powercap", &opts)
         }
         Command::Variance { app, replicates } => {
-            let engine = build_engine(engine);
+            let engine = build_engine(&opts);
             variance(&engine, app, replicates);
-            engine.finish("variance");
+            finish(&engine, "variance", &opts)
         }
         Command::Amd => {
-            let engine = build_engine(engine);
+            let engine = build_engine(&opts);
             amd(&engine);
-            engine.finish("amd");
+            finish(&engine, "amd", &opts)
         }
     }
-    ExitCode::SUCCESS
 }
 
 fn list() {

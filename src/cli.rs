@@ -8,8 +8,10 @@
 //! string→governor conversion in the whole suite, and `magus:<k=v,...>`
 //! thresholds go through the validating [`MagusConfig::builder`].
 
+use std::path::PathBuf;
+
 use magus_experiments::engine::GovernorSpec;
-use magus_experiments::harness::SystemId;
+use magus_experiments::harness::{SimPath, SystemId};
 use magus_runtime::MagusConfig;
 use magus_workloads::AppId;
 
@@ -23,7 +25,7 @@ pub struct Invocation {
 }
 
 /// Global engine options, valid on every command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EngineOpts {
     /// `--no-cache`: always simulate; don't read or write `results/cache`.
     pub no_cache: bool,
@@ -35,6 +37,14 @@ pub struct EngineOpts {
     /// unset. Explicit sizing makes bench numbers reproducible across
     /// machines.
     pub jobs: Option<usize>,
+    /// `--telemetry <file>`: after the command, write the decision-event
+    /// stream as JSON Lines to `<file>` and a Prometheus-text metrics
+    /// snapshot beside it (`<file>` with extension `.prom`).
+    pub telemetry: Option<PathBuf>,
+    /// `--sim-path fast|reference`: force every trial built with default
+    /// options onto one stepping path. CI's telemetry-regression job runs
+    /// the suite under both and diffs the event streams.
+    pub sim_path: Option<SimPath>,
 }
 
 /// A parsed CLI command.
@@ -200,10 +210,22 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         .map(|v| v.parse::<usize>())
         .transpose()
         .map_err(|_| ParseError("bad --jobs (expected a thread count, 0 = ncpus)".into()))?;
+    let telemetry = take_flag(&mut args, "--telemetry").map(PathBuf::from);
+    let sim_path = take_flag(&mut args, "--sim-path")
+        .map(|v| match v.to_ascii_lowercase().as_str() {
+            "fast" => Ok(SimPath::Fast),
+            "reference" | "ref" => Ok(SimPath::Reference),
+            other => Err(ParseError(format!(
+                "unknown --sim-path '{other}' (expected fast or reference)"
+            ))),
+        })
+        .transpose()?;
     let engine = EngineOpts {
         no_cache: take_switch(&mut args, "--no-cache"),
         serial: take_switch(&mut args, "--serial"),
         jobs,
+        telemetry,
+        sim_path,
     };
     let Some((cmd, rest)) = args.split_first() else {
         return Ok(Invocation {
@@ -313,7 +335,11 @@ USAGE:
 GOVERNORS: default | magus | ups | fixed:<ghz> | magus:<k=v,...>
            (magus keys: inc, dec, hf, interval_ms — validated before use)
 ENGINE:    --no-cache (always simulate), --serial (one trial at a time),
-           --jobs <n> (worker threads, 0 = ncpus);
+           --jobs <n> (worker threads, 0 = ncpus),
+           --sim-path fast|reference (stepping path for every trial),
+           --telemetry <file> (write governor decision events as JSON
+           Lines to <file> and a Prometheus metrics snapshot to
+           <file>.prom);
            MAGUS_CACHE_DIR / MAGUS_CACHE=off / MAGUS_SERIAL=1 / MAGUS_JOBS
            do the same from the environment. Trials are cached under
            results/cache by spec hash; each command writes a run manifest
@@ -520,7 +546,7 @@ mod tests {
             EngineOpts {
                 no_cache: true,
                 serial: true,
-                jobs: None
+                ..EngineOpts::default()
             }
         );
         assert_eq!(
@@ -561,8 +587,36 @@ mod tests {
             "--no-cache",
             "--serial",
             "--jobs",
+            "--telemetry",
+            "--sim-path",
         ] {
             assert!(u.contains(word), "{word}");
         }
+    }
+
+    #[test]
+    fn telemetry_and_sim_path_flags_parse_anywhere() {
+        let inv = parse(&v(&[
+            "--telemetry",
+            "out/t.jsonl",
+            "suite",
+            "--sim-path",
+            "reference",
+        ]))
+        .unwrap();
+        assert_eq!(inv.engine.telemetry, Some(PathBuf::from("out/t.jsonl")));
+        assert_eq!(inv.engine.sim_path, Some(SimPath::Reference));
+        assert_eq!(
+            inv.command,
+            Command::Suite {
+                system: SystemId::IntelA100
+            }
+        );
+        let inv = parse(&v(&["suite", "--sim-path", "fast"])).unwrap();
+        assert_eq!(inv.engine.sim_path, Some(SimPath::Fast));
+        assert!(parse(&v(&["suite", "--sim-path", "warp"])).is_err());
+        let inv = parse(&v(&["suite"])).unwrap();
+        assert_eq!(inv.engine.telemetry, None);
+        assert_eq!(inv.engine.sim_path, None);
     }
 }

@@ -12,6 +12,7 @@
 //! * [`runtime`] — the MAGUS uncore-scaling runtime itself.
 //! * [`ups`] — the UPScavenger baseline.
 //! * [`experiments`] — the evaluation harness (systems, trials, metrics).
+//! * [`telemetry`] — metric registry + structured decision-event log.
 
 pub mod cli;
 pub mod shared;
@@ -22,5 +23,6 @@ pub use magus_msr as msr;
 pub use magus_pcm as pcm;
 pub use magus_powermon as powermon;
 pub use magus_runtime as runtime;
+pub use magus_telemetry as telemetry;
 pub use magus_ups as ups;
 pub use magus_workloads as workloads;

@@ -1,0 +1,189 @@
+//! Observability integration tests: recorded telemetry is a pure
+//! function of simulated state — byte-identical across repeated runs,
+//! across the fast and reference stepping paths, and across serial and
+//! parallel scheduling. These are the in-process counterparts of CI's
+//! `telemetry-regression` job.
+#![cfg(feature = "telemetry")]
+
+use magus_suite::experiments::drivers::{MagusDriver, UpsDriver};
+use magus_suite::experiments::engine::{Engine, GovernorSpec, TrialSpec};
+use magus_suite::experiments::harness::{
+    default_sim_path, run_trial, set_default_sim_path, SimPath, SystemId, TrialOpts, TrialResult,
+};
+use magus_suite::workloads::AppId;
+
+fn events_json(r: &TrialResult) -> String {
+    serde_json::to_string(&r.events).expect("events serialise")
+}
+
+#[test]
+fn repeated_trials_emit_byte_identical_event_streams() {
+    let run = || {
+        let mut d = MagusDriver::with_defaults();
+        run_trial(
+            SystemId::IntelA100,
+            AppId::Bfs,
+            &mut d,
+            TrialOpts::default().with_path(SimPath::Fast),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.events.is_empty());
+    assert_eq!(events_json(&a), events_json(&b));
+    let kinds: Vec<&str> = a.events.iter().map(|e| e.kind.as_str()).collect();
+    assert!(kinds.contains(&"magus_decision"), "{kinds:?}");
+    assert!(kinds.contains(&"uncore_limit_write"), "{kinds:?}");
+    assert_eq!(a.node_telemetry, b.node_telemetry);
+}
+
+#[test]
+fn fast_and_reference_paths_emit_identical_events() {
+    for governor in ["magus", "ups"] {
+        let run = |path: SimPath| match governor {
+            "magus" => {
+                let mut d = MagusDriver::with_defaults();
+                run_trial(
+                    SystemId::IntelA100,
+                    AppId::Bfs,
+                    &mut d,
+                    TrialOpts::default().with_path(path),
+                )
+            }
+            _ => {
+                let mut d = UpsDriver::with_defaults();
+                run_trial(
+                    SystemId::IntelA100,
+                    AppId::Bfs,
+                    &mut d,
+                    TrialOpts::default().with_path(path),
+                )
+            }
+        };
+        let fast = run(SimPath::Fast);
+        let reference = run(SimPath::Reference);
+        assert!(!fast.events.is_empty(), "{governor}: no events");
+        assert_eq!(
+            events_json(&fast),
+            events_json(&reference),
+            "{governor}: event streams diverge between sim paths"
+        );
+        // Residency histograms agree too; only fast-path span counters
+        // (frozen/replayed/invalidated) may legitimately differ.
+        let f = fast.node_telemetry.expect("telemetry on");
+        let r = reference.node_telemetry.expect("telemetry on");
+        assert_eq!(f.residency_us, r.residency_us, "{governor}");
+        assert_eq!(f.uncore_msr_writes, r.uncore_msr_writes, "{governor}");
+        assert_eq!(r.fastpath_replayed_ticks, 0, "{governor}");
+    }
+}
+
+fn catalog_specs() -> Vec<TrialSpec> {
+    [AppId::Bfs, AppId::Srad, AppId::Gemm]
+        .iter()
+        .flat_map(|&app| {
+            [
+                GovernorSpec::Default,
+                GovernorSpec::magus_default(),
+                GovernorSpec::ups_default(),
+            ]
+            .into_iter()
+            .map(move |g| {
+                TrialSpec::new(SystemId::IntelA100, app, g)
+                    .with_opts(TrialOpts::default().with_path(SimPath::Fast))
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn serial_and_parallel_engines_agree_on_all_telemetry() {
+    let specs = catalog_specs();
+    let parallel = Engine::ephemeral();
+    let serial = Engine::ephemeral().serial();
+    let _ = parallel.run_brief(&specs);
+    let _ = serial.run_brief(&specs);
+    // The JSONL rendering sorts per-trial blocks, so scheduling order is
+    // invisible; events within a trial keep simulation order.
+    let p = parallel.telemetry_jsonl();
+    let s = serial.telemetry_jsonl();
+    assert!(!p.is_empty());
+    assert_eq!(p, s, "JSONL event streams diverge across scheduling modes");
+    // Deterministic metric views agree; diag/ (wall time, reorder depth)
+    // is excluded by construction.
+    assert_eq!(
+        parallel.telemetry_snapshot().deterministic(),
+        serial.telemetry_snapshot().deterministic()
+    );
+}
+
+#[test]
+fn cached_outcomes_replay_events_and_count_hits() {
+    let dir = std::env::temp_dir().join(format!("magus-telemetry-cache-{}", std::process::id()));
+    let spec = TrialSpec::new(
+        SystemId::IntelA100,
+        AppId::Bfs,
+        GovernorSpec::magus_default(),
+    )
+    .with_opts(TrialOpts::default().with_path(SimPath::Fast));
+    let engine = Engine::with_cache(&dir);
+    let miss = engine.run(&spec);
+    let hit = engine.run(&spec);
+    assert!(!miss.cached && hit.cached);
+    // Events round-trip through the on-disk cache bit-exactly.
+    assert_eq!(miss.result.events, hit.result.events);
+    assert_eq!(miss.result.node_telemetry, hit.result.node_telemetry);
+    let snap = engine.telemetry_snapshot();
+    assert_eq!(snap.counter("engine/trials_total"), Some(2));
+    assert_eq!(snap.counter("engine/cache_hits"), Some(1));
+    assert_eq!(snap.counter("engine/cache_misses"), Some(1));
+    // Both runs contributed an identical event block.
+    let trials = engine.trial_events();
+    assert_eq!(trials.len(), 2);
+    assert_eq!(trials[0], trials[1]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn write_telemetry_emits_parseable_jsonl_and_prometheus_text() {
+    let dir = std::env::temp_dir().join(format!("magus-telemetry-out-{}", std::process::id()));
+    let engine = Engine::ephemeral();
+    let _ = engine.run(&TrialSpec::new(
+        SystemId::IntelA100,
+        AppId::Bfs,
+        GovernorSpec::magus_default(),
+    ));
+    let path = dir.join("events.jsonl");
+    engine.write_telemetry(&path).expect("write telemetry");
+    let jsonl = std::fs::read_to_string(&path).unwrap();
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("each line is JSON");
+        assert_eq!(v["trial"], "bfs/Intel+A100/MAGUS");
+        assert!(v["t_us"].is_u64(), "{line}");
+        assert!(v["kind"].is_string(), "{line}");
+        assert!(v["fields"].is_object(), "{line}");
+    }
+    let prom = std::fs::read_to_string(path.with_extension("prom")).unwrap();
+    assert!(prom.contains("magus_engine_trials_total 1"), "{prom}");
+    assert!(
+        prom.contains("magus_node_uncore_residency_ghz_bucket"),
+        "{prom}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn default_sim_path_round_trips_through_the_global() {
+    // Only this test touches the process-wide default (other tests pass
+    // explicit paths): both settings are bit-identical anyway, so a
+    // concurrent reader cannot observe a wrong *result*, only a different
+    // spec hash.
+    assert_eq!(default_sim_path(), SimPath::Fast);
+    set_default_sim_path(SimPath::Reference);
+    assert_eq!(default_sim_path(), SimPath::Reference);
+    assert_eq!(TrialOpts::default().path, SimPath::Reference);
+    set_default_sim_path(SimPath::Fast);
+    assert_eq!(default_sim_path(), SimPath::Fast);
+    assert_eq!(TrialOpts::default().path, SimPath::Fast);
+}
