@@ -1,0 +1,31 @@
+//! Robustness study: the Fig 4a evaluation repeated under seeded
+//! sensor/actuator fault plans of increasing intensity.
+//!
+//! A robust governor's suite-mean energy saving and performance loss stay
+//! close to the clean tier's even when PCM reads drop out, MSR writes
+//! fail, and actuations land late. Regenerate `results/robustness.txt`
+//! with:
+//!
+//! ```text
+//! cargo run --release -p magus-bench --bin robustness > results/robustness.txt
+//! ```
+
+use magus_experiments::robustness::{render_robustness_report, robustness_study, summarize};
+use magus_experiments::{Engine, SystemId};
+
+fn main() {
+    let engine = Engine::from_env();
+    let evals = robustness_study(&engine, SystemId::IntelA100);
+    print!("{}", render_robustness_report("Intel + A100", &evals));
+    let summaries = summarize(&evals);
+    let worst = summaries
+        .iter()
+        .map(|s| s.magus_energy_delta.abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nMAGUS: worst suite-mean energy-saving delta under faults {worst:.2} pct-points \
+         across {} tiers",
+        summaries.len()
+    );
+    engine.finish("robustness");
+}

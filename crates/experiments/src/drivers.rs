@@ -10,6 +10,7 @@
 
 use magus_hetsim::governor::UncoreSetter;
 use magus_hetsim::Simulation;
+use magus_msr::MsrError;
 use magus_pcm::{NodeThroughputProbe, ThroughputSource};
 use magus_runtime::{MagusAction, MagusConfig, MagusCore, Telemetry, UncoreLevel};
 use magus_ups::{UpsConfig, UpsCore, UpsSampler};
@@ -70,6 +71,26 @@ fn with_invocation_latency(sim: &mut Simulation, f: impl FnOnce(&mut Simulation)
     let _ = sim.node_mut().ledger_mut().drain();
     f(sim);
     sim.node_mut().ledger_mut().drain().latency_us.round() as u64
+}
+
+/// Uncore-limit writes survive this many injected transient faults per
+/// actuation before the driver gives up and holds the previous limit.
+const UNCORE_WRITE_RETRIES: u32 = 3;
+
+/// Write the uncore max limit with bounded retry. Injected transient MSR
+/// faults (`magus_hetsim::fault::MsrFaults`) fail whole attempts; each
+/// attempt — failed or not — charges its access cost, so retries show up
+/// in the invocation latency. Returns `false` when every attempt failed
+/// (the caller degrades: hold the previous limit and report it).
+fn set_max_with_retry(setter: &mut UncoreSetter, sim: &mut Simulation, ghz: f64) -> bool {
+    for _ in 0..UNCORE_WRITE_RETRIES {
+        match setter.set_max(sim.node_mut(), ghz) {
+            Ok(_) => return true,
+            Err(MsrError::TransientFault) => continue,
+            Err(e) => panic!("uncore actuation: {e}"),
+        }
+    }
+    false
 }
 
 /// The stock baseline: no runtime attached; the node's TDP-coupled governor
@@ -135,8 +156,8 @@ impl RuntimeDriver for FixedUncoreDriver {
 pub struct MagusDriver {
     core: MagusCore,
     setter: UncoreSetter,
-    last_sample_mbs: f64,
     monitor_only: bool,
+    degraded: u64,
 }
 
 impl MagusDriver {
@@ -146,8 +167,8 @@ impl MagusDriver {
         Self {
             core: MagusCore::with_log(cfg),
             setter: UncoreSetter::new(),
-            last_sample_mbs: 0.0,
             monitor_only: false,
+            degraded: 0,
         }
     }
 
@@ -169,6 +190,13 @@ impl MagusDriver {
         &self.core
     }
 
+    /// Decision cycles degraded by injected faults: the sample failed (the
+    /// previous decision was held) or every actuation retry failed.
+    #[must_use]
+    pub fn degraded(&self) -> u64 {
+        self.degraded
+    }
+
     fn apply(&mut self, sim: &mut Simulation, action: MagusAction) {
         if self.monitor_only {
             return;
@@ -179,9 +207,19 @@ impl MagusDriver {
             Some(UncoreLevel::Lower) => range.freq_min_ghz,
             None => return,
         };
-        self.setter
-            .set_max(sim.node_mut(), target)
-            .expect("uncore actuation");
+        if !set_max_with_retry(&mut self.setter, sim, target) {
+            // Degrade: keep the previous limit; the next cycle retries.
+            self.degraded += 1;
+            #[cfg(feature = "telemetry")]
+            {
+                let t_us = sim.node().time_us();
+                sim.node_mut().telemetry_mut().push_event(
+                    magus_telemetry::Event::new(t_us, "magus_degraded")
+                        .with("reason", "actuation")
+                        .with("target_ghz", target),
+                );
+            }
+        }
     }
 }
 
@@ -196,9 +234,9 @@ impl RuntimeDriver for MagusDriver {
         // actions until its warm-up completes.
         if !self.monitor_only {
             let min = sim.node().config().uncore.freq_min_ghz;
-            self.setter
-                .set_max(sim.node_mut(), min)
-                .expect("uncore actuation");
+            // A failed attach leaves the governor default in place; the
+            // first decision cycle re-actuates.
+            let _ = set_max_with_retry(&mut self.setter, sim, min);
         }
     }
 
@@ -206,9 +244,25 @@ impl RuntimeDriver for MagusDriver {
         with_invocation_latency(sim, |sim| {
             let sample = {
                 let mut probe = NodeThroughputProbe::new(sim.node_mut());
-                probe.sample_mbs().unwrap_or(self.last_sample_mbs)
+                probe.sample_mbs()
             };
-            self.last_sample_mbs = sample;
+            let sample = match sample {
+                Ok(mbs) => mbs,
+                Err(_) => {
+                    // Injected PCM dropout: hold the previous decision —
+                    // don't feed the phase detector a fabricated sample.
+                    self.degraded += 1;
+                    #[cfg(feature = "telemetry")]
+                    {
+                        let t_us = sim.node().time_us();
+                        sim.node_mut().telemetry_mut().push_event(
+                            magus_telemetry::Event::new(t_us, "magus_degraded")
+                                .with("reason", "sample"),
+                        );
+                    }
+                    return;
+                }
+            };
             #[cfg(feature = "telemetry")]
             let log_len_before = self.core.telemetry().log.len();
             let action = self.core.on_sample(sample);
@@ -258,6 +312,7 @@ pub struct UpsDriver {
     /// (sim time µs, target GHz) decision log for Fig 6.
     decisions: Vec<(u64, f64)>,
     monitor_only: bool,
+    degraded: u64,
 }
 
 impl UpsDriver {
@@ -271,6 +326,7 @@ impl UpsDriver {
             setter: UncoreSetter::new(),
             decisions: Vec::new(),
             monitor_only: false,
+            degraded: 0,
         }
     }
 
@@ -291,6 +347,13 @@ impl UpsDriver {
     pub fn core(&self) -> Option<&UpsCore> {
         self.core.as_ref()
     }
+
+    /// Decision cycles degraded by injected faults (failed counter sweep or
+    /// exhausted actuation retries).
+    #[must_use]
+    pub fn degraded(&self) -> u64 {
+        self.degraded
+    }
 }
 
 impl RuntimeDriver for UpsDriver {
@@ -306,9 +369,7 @@ impl RuntimeDriver for UpsDriver {
             uncore.freq_max_ghz,
         ));
         self.sampler = Some(UpsSampler::new(sim.node_mut()).expect("UPS sampler"));
-        self.setter
-            .set_max(sim.node_mut(), uncore.freq_max_ghz)
-            .expect("uncore actuation");
+        let _ = set_max_with_retry(&mut self.setter, sim, uncore.freq_max_ghz);
     }
 
     fn on_decision(&mut self, sim: &mut Simulation) -> u64 {
@@ -316,14 +377,37 @@ impl RuntimeDriver for UpsDriver {
             let (Some(core), Some(sampler)) = (self.core.as_mut(), self.sampler.as_mut()) else {
                 return;
             };
-            let Ok(Some(sample)) = sampler.sample(sim.node_mut()) else {
-                return;
+            let sample = match sampler.sample(sim.node_mut()) {
+                Ok(Some(sample)) => sample,
+                Ok(None) => return, // warm-up baseline, not a fault
+                Err(_) => {
+                    // Injected counter-read fault: skip this cycle, keep the
+                    // current limit.
+                    self.degraded += 1;
+                    #[cfg(feature = "telemetry")]
+                    {
+                        let t_us = sim.node().time_us();
+                        sim.node_mut().telemetry_mut().push_event(
+                            magus_telemetry::Event::new(t_us, "ups_degraded")
+                                .with("reason", "sample"),
+                        );
+                    }
+                    return;
+                }
             };
             let decision = core.decide(sample.mean_ipc, sample.dram_w);
-            if !self.monitor_only {
-                self.setter
-                    .set_max(sim.node_mut(), decision.target_ghz)
-                    .expect("uncore actuation");
+            if !self.monitor_only && !set_max_with_retry(&mut self.setter, sim, decision.target_ghz)
+            {
+                self.degraded += 1;
+                #[cfg(feature = "telemetry")]
+                {
+                    let t_us = sim.node().time_us();
+                    sim.node_mut().telemetry_mut().push_event(
+                        magus_telemetry::Event::new(t_us, "ups_degraded")
+                            .with("reason", "actuation")
+                            .with("target_ghz", decision.target_ghz),
+                    );
+                }
             }
             self.decisions
                 .push((sim.node().time_us(), decision.target_ghz));
@@ -429,5 +513,44 @@ mod tests {
     fn rest_intervals_match_paper_cadence() {
         assert_eq!(MagusDriver::with_defaults().rest_interval_us(), 200_000);
         assert_eq!(UpsDriver::with_defaults().rest_interval_us(), 200_000);
+    }
+
+    #[test]
+    fn magus_holds_decision_on_injected_pcm_dropout() {
+        let plan = magus_hetsim::FaultPlan::builder()
+            .pcm_dropout_every(2)
+            .build()
+            .unwrap();
+        let mut d = MagusDriver::with_defaults();
+        let mut s = sim();
+        s.node_mut().set_fault_plan(plan);
+        d.attach(&mut s);
+        for _ in 0..10 {
+            s.step();
+        }
+        // One PCM read per invocation: read 1 lands, read 2 drops out.
+        d.on_decision(&mut s);
+        assert_eq!(d.degraded(), 0);
+        d.on_decision(&mut s);
+        assert_eq!(d.degraded(), 1);
+    }
+
+    #[test]
+    fn actuation_retries_survive_injected_write_faults() {
+        let plan = magus_hetsim::FaultPlan::builder()
+            .uncore_write_fail_every(3)
+            .build()
+            .unwrap();
+        let mut s = sim();
+        s.node_mut().set_fault_plan(plan);
+        let mut setter = UncoreSetter::new();
+        // Two sockets, so each actuation issues two writes. The first
+        // actuation lands (writes 1–2); the second trips the fault on write
+        // 3 and the bounded retry's writes 4–5 land. Both actuations
+        // succeed, and the failed attempt still shows up in the ledger.
+        let before = s.node().ledger().writes();
+        assert!(set_max_with_retry(&mut setter, &mut s, 0.8));
+        assert!(set_max_with_retry(&mut setter, &mut s, 1.0));
+        assert_eq!(s.node().ledger().writes() - before, 5);
     }
 }

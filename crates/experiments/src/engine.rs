@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
-use magus_hetsim::{AppTrace, NodeConfig, RunSummary};
+use magus_hetsim::{AppTrace, FaultCounters, FaultPlan, NodeConfig, RunSummary};
 use magus_hsmp::FabricPstateTable;
 use magus_runtime::MagusConfig;
 use magus_telemetry::{Event, FieldValue, Registry, Snapshot};
@@ -60,12 +60,17 @@ use serde::{Deserialize, Serialize};
 
 use crate::amd::HsmpMagusDriver;
 use crate::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, UpsDriver};
-use crate::harness::{run_custom_trial_capped, SystemId, TrialOpts, TrialResult};
+use crate::harness::{
+    default_fault_plan, run_faulted_trial_capped, SystemId, TrialOpts, TrialResult,
+};
 
 /// Code-version salt mixed into every spec hash. Bump the suffix whenever
 /// a change alters simulation results without changing any [`TrialSpec`]
 /// field — stale cache entries then miss by construction.
-pub const ENGINE_SALT: &str = concat!("magus-engine/v3/", env!("CARGO_PKG_VERSION"));
+///
+/// v4: fault injection landed — `TrialSpec` gained the `faults` field and
+/// `TrialResult` the fault counters, so pre-fault cache entries must miss.
+pub const ENGINE_SALT: &str = concat!("magus-engine/v4/", env!("CARGO_PKG_VERSION"));
 
 /// The governor driving a trial — the single runtime selector shared by
 /// the CLI parser, the drivers, and every experiment path (one conversion
@@ -221,6 +226,13 @@ pub struct TrialSpec {
     /// Compute decisions but never actuate (the Table 2 overhead
     /// protocol's "excluding uncore scaling").
     pub monitor_only: bool,
+    /// Deterministic fault-injection plan threaded into the node before
+    /// the driver attaches (the robustness study). `None` = clean run;
+    /// the field is part of the content hash, so faulted and clean
+    /// outcomes can never share a cache entry. Old serialized specs omit
+    /// the field and deserialize as clean.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultPlan>,
 }
 
 impl TrialSpec {
@@ -235,6 +247,7 @@ impl TrialSpec {
             replicate: None,
             power_cap_w: None,
             monitor_only: false,
+            faults: default_fault_plan(),
         }
     }
 
@@ -302,6 +315,14 @@ impl TrialSpec {
         self
     }
 
+    /// Inject faults from `plan`. Empty plans normalize to `None`, keeping
+    /// the spec (and its content hash) identical to a clean trial.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
     /// The node configuration this trial runs on, with the replication
     /// seed perturbation applied.
     #[must_use]
@@ -354,6 +375,9 @@ impl TrialSpec {
         }
         if self.monitor_only {
             s.push_str("+monitor");
+        }
+        if let Some(plan) = &self.faults {
+            s.push_str(&format!("+faults#{}", plan.seed));
         }
         s
     }
@@ -438,6 +462,9 @@ pub struct TrialBrief {
     pub mean_invocation_us: f64,
     /// High-frequency lock fraction (MAGUS-family governors only).
     pub high_freq_fraction: Option<f64>,
+    /// Counts of injected faults, by kind (all zero on clean trials).
+    #[serde(default)]
+    pub fault_counters: FaultCounters,
     /// Served from the on-disk cache.
     pub cached: bool,
 }
@@ -452,6 +479,7 @@ impl From<TrialOutcome> for TrialBrief {
             invocations: o.result.invocations,
             mean_invocation_us: o.result.mean_invocation_us,
             high_freq_fraction: o.high_freq_fraction,
+            fault_counters: o.result.fault_counters,
             cached: o.cached,
         }
     }
@@ -717,12 +745,13 @@ impl Engine {
         if spec.monitor_only {
             driver.set_monitor_only(true);
         }
-        let result = run_custom_trial_capped(
+        let result = run_faulted_trial_capped(
             spec.node_config(),
             spec.build_trace(),
             driver.as_mut(),
             spec.opts,
             spec.power_cap_w,
+            spec.faults.as_ref(),
         );
         let high_freq_fraction = driver.high_freq_fraction();
         self.cache_store(spec, &hash, &result, high_freq_fraction);
@@ -1187,6 +1216,19 @@ mod tests {
                 ..base.clone()
             },
             base.clone().monitor_only(),
+            base.clone().with_faults(
+                magus_hetsim::FaultPlan::builder()
+                    .pcm_dropout_every(7)
+                    .build()
+                    .unwrap(),
+            ),
+            base.clone().with_faults(
+                magus_hetsim::FaultPlan::builder()
+                    .seed(1)
+                    .pcm_dropout_every(7)
+                    .build()
+                    .unwrap(),
+            ),
         ];
         let base_hash = base.content_hash();
         let mut seen = vec![base_hash];
@@ -1236,6 +1278,18 @@ mod tests {
             "idle/Intel+Max1550/UPS+monitor"
         );
         assert_eq!(base_spec().replicate(3).label(), "bfs/Intel+A100/MAGUS#r3");
+        let faulted = base_spec().with_faults(
+            magus_hetsim::FaultPlan::builder()
+                .seed(5)
+                .pcm_stale_every(4)
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(faulted.label(), "bfs/Intel+A100/MAGUS+faults#5");
+        // Empty plans normalize away: spec, label, and hash stay clean.
+        let clean = base_spec().with_faults(magus_hetsim::FaultPlan::default());
+        assert_eq!(clean, base_spec());
+        assert_eq!(clean.content_hash(), base_spec().content_hash());
     }
 
     #[test]

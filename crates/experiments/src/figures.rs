@@ -106,7 +106,7 @@ pub struct AppEval {
 }
 
 /// The three policies of every Fig 4 cell, in reduction order.
-fn eval_specs(system: SystemId, app: AppId) -> [TrialSpec; 3] {
+pub(crate) fn eval_specs(system: SystemId, app: AppId) -> [TrialSpec; 3] {
     [
         TrialSpec::new(system, app, GovernorSpec::Default),
         TrialSpec::new(system, app, GovernorSpec::magus_default()),
@@ -114,7 +114,7 @@ fn eval_specs(system: SystemId, app: AppId) -> [TrialSpec; 3] {
     ]
 }
 
-fn eval_from_briefs(app: AppId, briefs: &[TrialBrief]) -> AppEval {
+pub(crate) fn eval_from_briefs(app: AppId, briefs: &[TrialBrief]) -> AppEval {
     let [base, magus, ups] = briefs else {
         unreachable!("three outcomes per app")
     };

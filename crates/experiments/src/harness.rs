@@ -1,11 +1,11 @@
 //! Trial execution: one (system × application × runtime) run.
 
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use magus_hetsim::{
-    secs_to_us, AppTrace, FastForward, Node, NodeConfig, RunSummary, Simulation, TraceRecorder,
-    TraceSample,
+    secs_to_us, AppTrace, FastForward, FaultCounters, FaultPlan, Node, NodeConfig, RunSummary,
+    Simulation, TraceRecorder, TraceSample,
 };
 use magus_telemetry::{Event, NodeCounters};
 use magus_workloads::{app_trace, AppId, Platform};
@@ -101,6 +101,24 @@ pub fn default_sim_path() -> SimPath {
     }
 }
 
+/// Process-wide default fault plan stamped into every `TrialSpec` built
+/// after it is set (mirrors [`DEFAULT_SIM_PATH`]). The CLI's `--faults`
+/// flag sets it; `None` (the default) leaves every trial clean.
+static DEFAULT_FAULTS: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Set the process-wide default fault plan. Empty plans normalize to
+/// `None`, so a `--faults` file full of zeros is indistinguishable from no
+/// flag at all — the empty-plan = clean-run contract holds end to end.
+pub fn set_default_fault_plan(plan: Option<FaultPlan>) {
+    *DEFAULT_FAULTS.lock().expect("fault plan lock") = plan.filter(|p| !p.is_empty());
+}
+
+/// The current process-wide default fault plan.
+#[must_use]
+pub fn default_fault_plan() -> Option<FaultPlan> {
+    *DEFAULT_FAULTS.lock().expect("fault plan lock")
+}
+
 /// Trial options.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrialOpts {
@@ -163,6 +181,15 @@ pub struct TrialResult {
     /// the `telemetry` feature).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub node_telemetry: Option<NodeCounters>,
+    /// Counts of injected faults during the run, per kind. All zero on
+    /// clean runs (and omitted from serialized results).
+    #[serde(default, skip_serializing_if = "fault_counters_zero")]
+    pub fault_counters: FaultCounters,
+}
+
+/// Serde helper: omit all-zero fault counters from serialized results.
+fn fault_counters_zero(c: &FaultCounters) -> bool {
+    *c == FaultCounters::default()
 }
 
 /// Run `app` on `system` under `driver`.
@@ -212,10 +239,27 @@ pub fn run_custom_trial_capped(
     opts: TrialOpts,
     power_cap_w: Option<f64>,
 ) -> TrialResult {
+    run_faulted_trial_capped(config, trace, driver, opts, power_cap_w, None)
+}
+
+/// [`run_custom_trial_capped`] with a fault plan threaded into the node
+/// before the driver attaches (the robustness-study path). `None` — or an
+/// empty plan — attaches nothing: the run is bit-identical to a clean one.
+pub fn run_faulted_trial_capped(
+    config: NodeConfig,
+    trace: Option<Arc<AppTrace>>,
+    driver: &mut dyn RuntimeDriver,
+    opts: TrialOpts,
+    power_cap_w: Option<f64>,
+    faults: Option<&FaultPlan>,
+) -> TrialResult {
     let mut sim = Simulation::new(Node::new(config));
     sim.set_recorder(TraceRecorder::new(opts.record_interval_us));
     if let Some(trace) = trace {
         sim.load(trace);
+    }
+    if let Some(plan) = faults {
+        sim.node_mut().set_fault_plan(*plan);
     }
     if let Some(w) = power_cap_w {
         sim.node_mut().set_power_limit_w(w).expect("program PL1");
@@ -278,6 +322,7 @@ pub fn run_custom_trial_capped(
     }
 
     let summary = sim.summary(start_us);
+    let fault_counters = sim.node().fault_counters();
     let samples = sim.recorder_mut().take_samples();
     #[cfg(feature = "telemetry")]
     let (events, node_telemetry) = {
@@ -299,6 +344,7 @@ pub fn run_custom_trial_capped(
         },
         events,
         node_telemetry,
+        fault_counters,
     }
 }
 

@@ -33,6 +33,10 @@
 //!   with mean ± std aggregation.
 //! * [`powercap`] — the §6.1 power-budget argument quantified: uncore
 //!   scaling as headroom under a RAPL package power limit.
+//! * [`robustness`] — the fault-injection study: seeded sensor/actuator
+//!   fault plans (`magus_hetsim::fault`) swept at increasing intensity
+//!   across the catalog, measuring how each governor's savings and
+//!   performance degrade relative to a clean run.
 //!
 //! Trials are deterministic; suite-level sweeps fan out across trials with
 //! rayon (each trial owns its simulation, so parallelism is embarrassing),
@@ -50,6 +54,7 @@ pub mod pareto;
 pub mod powercap;
 pub mod replicate;
 pub mod report;
+pub mod robustness;
 
 pub use drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, UpsDriver};
 pub use engine::{
@@ -57,6 +62,9 @@ pub use engine::{
     TrialSpec, WorkloadSel, ENGINE_SALT,
 };
 pub use fleet::{fleet_sweep, run_fleet, FleetRun, FleetSpec};
-pub use harness::{run_trial, SimPath, SystemId, TrialOpts, TrialResult};
+pub use harness::{
+    default_fault_plan, run_faulted_trial_capped, run_trial, set_default_fault_plan, SimPath,
+    SystemId, TrialOpts, TrialResult,
+};
 pub use metrics::{burst_jaccard, Comparison};
 pub use pareto::{pareto_frontier, ParetoPoint};

@@ -32,6 +32,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultPlan, FleetFaults};
 use crate::node::FastForward;
 use crate::sim::{RunSummary, Simulation};
 use crate::workload::AppTrace;
@@ -137,6 +138,10 @@ pub struct FleetSummary {
     /// of the run, node-index order.
     #[serde(default)]
     pub node_progress_s: Vec<f64>,
+    /// Nodes retired by an injected crash fault (see
+    /// [`FleetSim::apply_fault_plan`]); always 0 without a fault plan.
+    #[serde(default)]
+    pub crashed: usize,
 }
 
 /// N independent nodes advanced in lockstep over a shared clock.
@@ -150,7 +155,12 @@ pub struct FleetSim {
     next_due_us: Vec<u64>,
     /// Still stepping (not done, budget not exhausted).
     active: Vec<bool>,
+    /// Retired by an injected crash fault.
+    crashed: Vec<bool>,
     budget_us: u64,
+    /// Fleet-level fault schedules (node stall/crash), armed by
+    /// [`FleetSim::apply_fault_plan`]. `None` = clean run, zero cost.
+    fleet_faults: Option<FleetFaults>,
 }
 
 impl FleetSim {
@@ -162,7 +172,9 @@ impl FleetSim {
             ff: Vec::new(),
             next_due_us: Vec::new(),
             active: Vec::new(),
+            crashed: Vec::new(),
             budget_us: crate::secs_to_us(budget_s),
+            fleet_faults: None,
         }
     }
 
@@ -185,7 +197,28 @@ impl FleetSim {
         self.ff.push(FastForward::new());
         self.next_due_us.push(0); // first decision immediately
         self.active.push(true);
+        self.crashed.push(false);
         self.sims.len() - 1
+    }
+
+    /// Arm fault injection for the whole fleet: every node added so far gets
+    /// the node-level portion of `plan` (sensor/actuator/meter faults, same
+    /// seed on every node — deterministic), and the fleet loop gets the
+    /// fleet-level schedules. Nodes are selected by 1-based index: with
+    /// `crash_every = Some(k)`, nodes k, 2k, ... crash at `crash_at_us`;
+    /// with `stall_every = Some(k)`, those nodes' decision deadlines slip by
+    /// `stall_us` after every decision (a hung runtime daemon). An empty
+    /// plan arms nothing.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for sim in &mut self.sims {
+            sim.node_mut().set_fault_plan(*plan);
+        }
+        self.fleet_faults = (!plan.fleet.is_empty()).then_some(plan.fleet);
+    }
+
+    /// True when 1-based node index `idx + 1` is a multiple of `every`.
+    fn scheduled(idx: usize, every: Option<u64>) -> bool {
+        every.is_some_and(|k| (idx as u64 + 1).is_multiple_of(k))
     }
 
     /// Number of nodes in the fleet.
@@ -231,6 +264,14 @@ impl FleetSim {
                     continue;
                 }
                 let now = self.sims[i].node().time_us();
+                if let Some(ff) = self.fleet_faults {
+                    if Self::scheduled(i, ff.crash_every) && now >= ff.crash_at_us {
+                        // Injected node crash: retire it mid-run.
+                        self.crashed[i] = true;
+                        self.active[i] = false;
+                        continue;
+                    }
+                }
                 if self.sims[i].done() || now >= self.budget_us {
                     self.active[i] = false;
                     continue;
@@ -238,7 +279,15 @@ impl FleetSim {
                 if now >= self.next_due_us[i] {
                     let d = decide(i, &mut self.sims[i]);
                     decisions += 1;
-                    self.next_due_us[i] = d.next_due(self.sims[i].node().time_us());
+                    let mut due = d.next_due(self.sims[i].node().time_us());
+                    if let Some(ff) = self.fleet_faults {
+                        if Self::scheduled(i, ff.stall_every) {
+                            // Injected stall: the runtime daemon hangs for
+                            // stall_us after every decision it fires.
+                            due = due.saturating_add(ff.stall_us);
+                        }
+                    }
+                    self.next_due_us[i] = due;
                 }
                 // The node's own next event: its decision deadline or the
                 // budget, but always at least one tick of progress (exactly
@@ -305,6 +354,7 @@ impl FleetSim {
             lockstep_rounds,
             lockstep_stalls,
             node_progress_s: self.sims.iter().map(Simulation::progress_s).collect(),
+            crashed: self.crashed.iter().filter(|&&c| c).count(),
             nodes,
         }
     }
@@ -442,6 +492,47 @@ mod tests {
         let s = fleet.run(&mut noop);
         assert!(s.lockstep_rounds > 0);
         assert_eq!(s.lockstep_stalls, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_fleet_bit_identical() {
+        let shared: Arc<AppTrace> = Arc::new(trace(2.0, 5.0));
+        let mut clean = FleetSim::new(60.0);
+        clean.add_node(NodeConfig::intel_a100(), Arc::clone(&shared));
+        let clean_summary = clean.run(&mut noop);
+
+        let mut armed = FleetSim::new(60.0);
+        armed.add_node(NodeConfig::intel_a100(), Arc::clone(&shared));
+        armed.apply_fault_plan(&FaultPlan::default());
+        let summary = armed.run(&mut noop);
+        assert_eq!(summary, clean_summary);
+        assert_eq!(summary.crashed, 0);
+    }
+
+    #[test]
+    fn fleet_faults_crash_and_stall_scheduled_nodes() {
+        let plan = FaultPlan::builder()
+            .fleet_crash(4, 500_000) // every 4th node dies at t = 0.5 s
+            .fleet_stall(3, 300_000) // every 3rd node's daemon hangs 0.3 s
+            .build()
+            .unwrap();
+        let shared: Arc<AppTrace> = Arc::new(trace(3.0, 5.0));
+        let mut fleet = FleetSim::new(60.0);
+        for _ in 0..4 {
+            fleet.add_node(NodeConfig::intel_a100(), Arc::clone(&shared));
+        }
+        fleet.apply_fault_plan(&plan);
+        let mut decide = |_: usize, _: &mut Simulation| Decision {
+            latency_us: 0,
+            rest_us: 500_000,
+        };
+        let s = fleet.run(&mut decide);
+        // Node 4 (index 3) crashed at 0.5 s; the other three finished.
+        assert_eq!(s.crashed, 1);
+        assert_eq!(s.completed, 3);
+        assert!(!s.nodes[3].completed);
+        assert!(s.nodes[3].runtime_s < s.nodes[0].runtime_s);
+        assert!((s.nodes[3].runtime_s - 0.5).abs() < 0.1);
     }
 
     #[test]

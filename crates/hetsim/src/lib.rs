@@ -26,10 +26,16 @@
 //! node through a trace in fixed ticks, records time series ([`trace`]), and
 //! exposes counter state through a simulated MSR file so the MAGUS and UPS
 //! runtimes read hardware state exactly the way they would on metal.
+//!
+//! Sensors and actuators can be made to misbehave on purpose: a seeded
+//! [`fault::FaultPlan`] injects PCM dropouts/stale reads/spikes, transient
+//! or delayed uncore MSR writes, meter quantization, and fleet-level node
+//! failures — deterministically, and at zero cost when no plan is attached.
 
 pub mod config;
 pub mod cpu;
 pub mod demand;
+pub mod fault;
 pub mod fleet;
 pub mod governor;
 pub mod gpu;
@@ -45,6 +51,7 @@ pub mod workload;
 
 pub use config::{CpuConfig, GpuConfig, MemoryConfig, NodeConfig, UncoreConfig};
 pub use demand::{Demand, GpuUtilVec};
+pub use fault::{FaultCounters, FaultPlan, FaultPlanBuilder, FaultPlanError, InjectedFault};
 pub use fleet::{Decision, Distribution, FleetSim, FleetSummary};
 pub use node::{FastForward, Node};
 pub use power::PowerBreakdown;

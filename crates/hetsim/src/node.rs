@@ -20,6 +20,7 @@ use rand::{Rng, SeedableRng};
 use crate::config::NodeConfig;
 use crate::cpu::CpuComplex;
 use crate::demand::Demand;
+use crate::fault::{FaultCounters, FaultPlan, FaultState, InjectedFault};
 use crate::gpu::GpuDevice;
 use crate::mem::{progress_factor, MemoryChannel};
 use crate::power::{EnergyTotals, PowerBreakdown};
@@ -164,6 +165,10 @@ pub struct Node {
     /// failure injection for runtime robustness tests.
     pcm_dropout_every: Option<u64>,
     pcm_reads: u64,
+    /// Active fault-injection state ([`crate::fault::FaultPlan`]). `None`
+    /// unless a non-empty plan was attached: the clean-run cost of the
+    /// fault layer is one `Option` discriminant check per fault site.
+    faults: Option<Box<FaultState>>,
     /// Instrumentation counters + event log. Recording never touches
     /// `state_epoch` or feedback state: telemetry is invisible to the
     /// simulation and to the fast path's frozen spans.
@@ -205,6 +210,7 @@ impl Node {
             pcm_noise_abs_gbs: 0.15,
             pcm_dropout_every: None,
             pcm_reads: 0,
+            faults: None,
             #[cfg(feature = "telemetry")]
             telemetry: NodeTelemetry::default(),
         }
@@ -284,14 +290,81 @@ impl Node {
         self.pcm_dropout_every = if n == 0 { None } else { Some(n) };
     }
 
+    /// Attach a fault-injection plan. An empty plan detaches entirely
+    /// ([`FaultPlan::is_empty`]), making the run bit-identical to one that
+    /// never called this.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(Box::new(FaultState::new(plan)))
+        };
+    }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref().map(|fs| &fs.plan)
+    }
+
+    /// Counts of faults injected so far (all zero without a plan).
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_deref()
+            .map_or_else(FaultCounters::default, |fs| fs.counters)
+    }
+
     /// Uncore transitions summed across sockets (thrash diagnostic).
     #[must_use]
     pub fn uncore_transitions(&self) -> u64 {
         self.sockets.iter().map(|s| s.uncore.transitions()).sum()
     }
 
+    /// Apply any injected-delay uncore writes that have come due. Runs at
+    /// the head of every reference tick; a pending write due inside a tick
+    /// takes effect at that tick's start boundary (the same instant on both
+    /// stepping paths, since the fast path refuses to replay across a due
+    /// write). Applying bumps `state_epoch` exactly like a live MSR write.
+    fn apply_due_actuations(&mut self) {
+        loop {
+            let now = self.time_us;
+            let Some(w) = self.faults.as_deref_mut().and_then(|fs| fs.pop_due(now)) else {
+                break;
+            };
+            let lim = UncoreRatioLimit::decode(w.value);
+            self.sockets[w.pkg as usize]
+                .uncore
+                .set_msr_limits(lim.min_ghz(), lim.max_ghz());
+            self.state_epoch = self.state_epoch.wrapping_add(1);
+            #[cfg(feature = "telemetry")]
+            {
+                self.telemetry.uncore_msr_writes += 1;
+                self.telemetry.push_event(
+                    magus_telemetry::Event::new(now, "uncore_limit_write")
+                        .with("pkg", u64::from(w.pkg))
+                        .with("min_ghz", lim.min_ghz())
+                        .with("max_ghz", lim.max_ghz())
+                        .with("delayed", true),
+                );
+            }
+        }
+    }
+
+    /// True when a deferred actuation is due at or before the current time
+    /// (so the next tick must run through [`Node::step`], not be replayed).
+    #[inline]
+    fn fault_actuation_due(&self) -> bool {
+        self.faults
+            .as_deref()
+            .is_some_and(|fs| fs.next_due_us <= self.time_us)
+    }
+
     /// Advance the node one tick of `dt_us` under `demand`.
     pub fn step(&mut self, dt_us: u64, demand: &Demand) -> StepOutcome {
+        if self.faults.is_some() {
+            self.apply_due_actuations();
+        }
         let dt_s = crate::us_to_secs(dt_us);
         let n_sockets = self.sockets.len() as f64;
 
@@ -458,7 +531,12 @@ impl Node {
     /// per-tick increments whenever the node is in a frozen span (see
     /// [`FastForward`]). Bit-for-bit identical to `step` on every field.
     pub fn step_fast(&mut self, dt_us: u64, demand: &Demand, ff: &mut FastForward) -> StepOutcome {
+        // A deferred actuation coming due is an event like any other: the
+        // tick must run through `step` (which applies it at the tick head
+        // and bumps the epoch), never be replayed over.
+        let actuation_due = self.fault_actuation_due();
         if ff.frozen
+            && !actuation_due
             && ff.epoch == self.state_epoch
             && ff.dt_us == dt_us
             && demand_bits_eq(&ff.demand, demand)
@@ -468,7 +546,10 @@ impl Node {
         }
         // An event occurred (or we never froze): restart fixed-point
         // detection from reference steps.
-        if ff.epoch != self.state_epoch || ff.dt_us != dt_us || !demand_bits_eq(&ff.demand, demand)
+        if actuation_due
+            || ff.epoch != self.state_epoch
+            || ff.dt_us != dt_us
+            || !demand_bits_eq(&ff.demand, demand)
         {
             #[cfg(feature = "telemetry")]
             if ff.frozen {
@@ -688,6 +769,44 @@ impl Node {
                 self.charge_monitoring(AccessCost::new(60.0, 60.0), true);
                 match addr {
                     MSR_UNCORE_RATIO_LIMIT => {
+                        // Injected actuation faults: the write's cost is
+                        // already charged (the wrmsr was attempted) whether
+                        // it fails, lands late, or goes through.
+                        if let Some(fs) = self.faults.as_deref_mut() {
+                            fs.uncore_writes += 1;
+                            if fs
+                                .plan
+                                .msr
+                                .uncore_write_fail_every
+                                .is_some_and(|n| fs.uncore_writes.is_multiple_of(n))
+                            {
+                                fs.counters.msr_write_fails += 1;
+                                #[cfg(feature = "telemetry")]
+                                self.telemetry.push_event(
+                                    magus_telemetry::Event::new(
+                                        self.time_us,
+                                        "fault_msr_write_fail",
+                                    )
+                                    .with("pkg", u64::from(pkg))
+                                    .with("attempt", fs.uncore_writes),
+                                );
+                                return Err(MsrError::TransientFault);
+                            }
+                            if fs.plan.msr.actuation_delay_us > 0 {
+                                let due = self.time_us + fs.plan.msr.actuation_delay_us;
+                                fs.defer_write(due, pkg, value);
+                                #[cfg(feature = "telemetry")]
+                                self.telemetry.push_event(
+                                    magus_telemetry::Event::new(
+                                        self.time_us,
+                                        "fault_actuation_delayed",
+                                    )
+                                    .with("pkg", u64::from(pkg))
+                                    .with("due_us", due),
+                                );
+                                return Ok(());
+                            }
+                        }
                         let lim = UncoreRatioLimit::decode(value);
                         self.sockets[idx]
                             .uncore
@@ -728,20 +847,31 @@ impl Node {
         Ok(())
     }
 
+    /// PCM-style memory-throughput measurement:
+    /// [`Node::pcm_try_read_gbs`] with injected dropouts flattened to
+    /// 0 GB/s (the legacy surface for callers without an error path).
+    pub fn pcm_read_gbs(&mut self) -> f64 {
+        self.pcm_try_read_gbs().unwrap_or(0.0)
+    }
+
     /// PCM-style memory-throughput measurement: the mean delivered system
     /// throughput over the configured measurement window, with sensor noise.
     /// Charges the measurement's daemon-power cost.
     ///
     /// Returns GB/s. Reads during the very first window average whatever
-    /// history exists.
-    pub fn pcm_read_gbs(&mut self) -> f64 {
+    /// history exists. With an attached [`FaultPlan`], reads may fail
+    /// ([`InjectedFault::PcmDropout`]), return stale values, spike, or carry
+    /// extra jitter per the plan's schedule; the clean noise draw always
+    /// comes from the node's own sensor-noise stream, so an empty plan
+    /// leaves the reading sequence bit-identical.
+    pub fn pcm_try_read_gbs(&mut self) -> Result<f64, InjectedFault> {
         let window_us = self.cfg.pcm_window_us;
         let energy_uj = self.cfg.pcm_daemon_power_w * window_us as f64; // W·µs = µJ
         self.charge_monitoring(AccessCost::new(window_us as f64, energy_uj), false);
         self.pcm_reads += 1;
         if let Some(n) = self.pcm_dropout_every {
             if self.pcm_reads.is_multiple_of(n) {
-                return 0.0;
+                return Ok(0.0);
             }
         }
         let since = self.time_us.saturating_sub(window_us);
@@ -758,7 +888,52 @@ impl Node {
         let sigma = (mean * self.pcm_noise_rel).max(self.pcm_noise_abs_gbs);
         // Cheap deterministic gaussian-ish noise: mean of 4 uniforms.
         let u: f64 = (0..4).map(|_| self.noise.gen_range(-1.0..1.0)).sum::<f64>() / 4.0;
-        (mean + sigma * u * 1.732).max(0.0)
+        let mut value = (mean + sigma * u * 1.732).max(0.0);
+        let read_idx = self.pcm_reads;
+        let time_us = self.time_us;
+        if let Some(fs) = self.faults.as_deref_mut() {
+            let pcm = fs.plan.pcm;
+            if pcm
+                .dropout_every
+                .is_some_and(|n| read_idx.is_multiple_of(n))
+            {
+                fs.counters.pcm_dropouts += 1;
+                #[cfg(feature = "telemetry")]
+                self.telemetry.push_event(
+                    magus_telemetry::Event::new(time_us, "fault_pcm_dropout")
+                        .with("read", read_idx),
+                );
+                return Err(InjectedFault::PcmDropout);
+            }
+            if pcm.stale_every.is_some_and(|n| read_idx.is_multiple_of(n)) {
+                fs.counters.pcm_stale += 1;
+                let stale = fs.last_pcm_gbs;
+                #[cfg(feature = "telemetry")]
+                self.telemetry.push_event(
+                    magus_telemetry::Event::new(time_us, "fault_pcm_stale")
+                        .with("read", read_idx)
+                        .with("gbs", stale),
+                );
+                return Ok(stale);
+            }
+            if pcm.spike_every.is_some_and(|n| read_idx.is_multiple_of(n)) {
+                fs.counters.pcm_spikes += 1;
+                let sign = if fs.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                value = (value * (1.0 + sign * pcm.spike_magnitude_rel)).max(0.0);
+                #[cfg(feature = "telemetry")]
+                self.telemetry.push_event(
+                    magus_telemetry::Event::new(time_us, "fault_pcm_spike")
+                        .with("read", read_idx)
+                        .with("gbs", value),
+                );
+            }
+            if pcm.extra_noise_rel > 0.0 {
+                let jitter: f64 = fs.rng.gen_range(-1.0..1.0);
+                value = (value + mean * pcm.extra_noise_rel * jitter).max(0.0);
+            }
+            fs.last_pcm_gbs = value;
+        }
+        Ok(value)
     }
 
     /// Delivered throughput of the most recent tick (GB/s), noise-free —

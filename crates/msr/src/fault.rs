@@ -1,0 +1,171 @@
+//! Fault-injecting decorator over any [`MsrDevice`].
+//!
+//! Wraps a backend and fails accesses on fixed, counted schedules —
+//! `rdmsr`/`wrmsr` on real parts can fail transiently with `EIO`, and
+//! robustness tests need that behavior on demand without a simulator in
+//! the loop. The node simulator injects equivalent faults natively from its
+//! `FaultPlan`; this wrapper serves trait-level consumers ([`SimMsr`]
+//! backends, unit tests of retry logic).
+//!
+//! [`SimMsr`]: crate::sim::SimMsr
+
+use crate::cost::AccessCost;
+use crate::device::{MsrDevice, MsrError, MsrScope};
+
+/// Wraps an MSR device, injecting transient faults on counted schedules.
+#[derive(Debug)]
+pub struct FaultyMsr<D> {
+    inner: D,
+    read_fail_every: Option<u64>,
+    write_fail_every: Option<u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl<D: MsrDevice> FaultyMsr<D> {
+    /// Clean wrapper around `inner` (no faults until configured).
+    #[must_use]
+    pub fn new(inner: D) -> Self {
+        Self {
+            inner,
+            read_fail_every: None,
+            write_fail_every: None,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Fail every `n`-th read with [`MsrError::TransientFault`]
+    /// (0 disables).
+    #[must_use]
+    pub fn with_read_fail_every(mut self, n: u64) -> Self {
+        self.read_fail_every = (n > 0).then_some(n);
+        self
+    }
+
+    /// Fail every `n`-th write with [`MsrError::TransientFault`]
+    /// (0 disables).
+    #[must_use]
+    pub fn with_write_fail_every(mut self, n: u64) -> Self {
+        self.write_fail_every = (n > 0).then_some(n);
+        self
+    }
+
+    /// Reads attempted so far (including failed ones).
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes attempted so far (including failed ones).
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The wrapped device.
+    #[must_use]
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped device.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+}
+
+impl<D: MsrDevice> MsrDevice for FaultyMsr<D> {
+    fn read(&mut self, scope: MsrScope, addr: u32) -> Result<u64, MsrError> {
+        self.reads += 1;
+        if self.read_fail_every.is_some_and(|n| self.reads % n == 0) {
+            return Err(MsrError::TransientFault);
+        }
+        self.inner.read(scope, addr)
+    }
+
+    fn write(&mut self, scope: MsrScope, addr: u32, value: u64) -> Result<(), MsrError> {
+        self.writes += 1;
+        if self.write_fail_every.is_some_and(|n| self.writes % n == 0) {
+            return Err(MsrError::TransientFault);
+        }
+        self.inner.write(scope, addr, value)
+    }
+
+    fn read_cost(&self, scope: MsrScope) -> AccessCost {
+        self.inner.read_cost(scope)
+    }
+
+    fn write_cost(&self, scope: MsrScope) -> AccessCost {
+        self.inner.write_cost(scope)
+    }
+
+    fn packages(&self) -> u32 {
+        self.inner.packages()
+    }
+
+    fn cores(&self) -> u32 {
+        self.inner.cores()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimMsr;
+    use crate::MSR_UNCORE_RATIO_LIMIT;
+
+    fn dev() -> FaultyMsr<SimMsr> {
+        FaultyMsr::new(SimMsr::new(2, 8))
+    }
+
+    #[test]
+    fn clean_wrapper_is_transparent() {
+        let mut d = dev();
+        let scope = MsrScope::Package(0);
+        d.write(scope, MSR_UNCORE_RATIO_LIMIT, 0x0816).unwrap();
+        assert_eq!(d.read(scope, MSR_UNCORE_RATIO_LIMIT).unwrap(), 0x0816);
+        assert_eq!(d.packages(), 2);
+        assert_eq!(d.cores(), 8);
+        assert_eq!((d.reads(), d.writes()), (1, 1));
+    }
+
+    #[test]
+    fn write_failures_fire_on_schedule_and_leave_state_untouched() {
+        let mut d = dev().with_write_fail_every(2);
+        let scope = MsrScope::Package(0);
+        d.write(scope, MSR_UNCORE_RATIO_LIMIT, 0x0816).unwrap();
+        assert_eq!(
+            d.write(scope, MSR_UNCORE_RATIO_LIMIT, 0x0404),
+            Err(MsrError::TransientFault)
+        );
+        // The failed write never reached the backend.
+        assert_eq!(d.read(scope, MSR_UNCORE_RATIO_LIMIT).unwrap(), 0x0816);
+        d.write(scope, MSR_UNCORE_RATIO_LIMIT, 0x0404).unwrap();
+        assert_eq!(d.read(scope, MSR_UNCORE_RATIO_LIMIT).unwrap(), 0x0404);
+    }
+
+    #[test]
+    fn read_failures_fire_on_schedule() {
+        let mut d = dev().with_read_fail_every(3);
+        let scope = MsrScope::Package(0);
+        d.write(scope, MSR_UNCORE_RATIO_LIMIT, 7).unwrap();
+        assert!(d.read(scope, MSR_UNCORE_RATIO_LIMIT).is_ok());
+        assert!(d.read(scope, MSR_UNCORE_RATIO_LIMIT).is_ok());
+        assert_eq!(
+            d.read(scope, MSR_UNCORE_RATIO_LIMIT),
+            Err(MsrError::TransientFault)
+        );
+        assert!(d.read(scope, MSR_UNCORE_RATIO_LIMIT).is_ok());
+    }
+
+    #[test]
+    fn update_helper_propagates_injected_faults() {
+        let mut d = dev().with_write_fail_every(1);
+        let scope = MsrScope::Package(0);
+        assert_eq!(
+            d.update(scope, MSR_UNCORE_RATIO_LIMIT, &mut |v| v | 1),
+            Err(MsrError::TransientFault)
+        );
+    }
+}

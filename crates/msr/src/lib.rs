@@ -23,14 +23,18 @@
 //!   per decision than MAGUS.
 //! * [`sim`] — [`sim::SimMsr`], an in-memory register file implementing
 //!   [`device::MsrDevice`], used by the node simulator.
+//! * [`fault`] — [`fault::FaultyMsr`], a fault-injecting decorator over any
+//!   device, for robustness tests of runtime retry/degradation logic.
 
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod regs;
 pub mod sim;
 
 pub use cost::{AccessCost, CostLedger};
 pub use device::{MsrDevice, MsrError, MsrScope};
+pub use fault::FaultyMsr;
 pub use regs::{
     PkgPowerLimit, RaplPowerUnit, UncoreRatioLimit, IA32_FIXED_CTR0, IA32_FIXED_CTR1,
     IA32_FIXED_CTR2, MSR_DRAM_ENERGY_STATUS, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT,

@@ -1,0 +1,136 @@
+//! Fault-injecting decorator over any [`ThroughputSource`].
+//!
+//! The node-backed probe inherits its faults from the node's own
+//! `magus_hetsim::fault::FaultPlan`; this wrapper exists for sources that
+//! have no node behind them (recorded traces, future real-PCM backends) and
+//! for unit-testing runtime degradation without standing up a simulator.
+//! Schedules are counted, not random, so they are trivially deterministic.
+
+use crate::source::{SampleError, ThroughputSource};
+
+/// Wraps a throughput source, failing or staling reads on fixed schedules.
+#[derive(Debug)]
+pub struct FaultyThroughputSource<S> {
+    inner: S,
+    dropout_every: Option<u64>,
+    stale_every: Option<u64>,
+    samples: u64,
+    last_mbs: f64,
+}
+
+impl<S: ThroughputSource> FaultyThroughputSource<S> {
+    /// Clean wrapper around `inner` (no faults until configured).
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            dropout_every: None,
+            stale_every: None,
+            samples: 0,
+            last_mbs: 0.0,
+        }
+    }
+
+    /// Fail every `n`-th sample with [`SampleError::Transient`]
+    /// (0 disables).
+    #[must_use]
+    pub fn with_dropout_every(mut self, n: u64) -> Self {
+        self.dropout_every = (n > 0).then_some(n);
+        self
+    }
+
+    /// Answer every `n`-th sample with the previous reading (0 disables).
+    #[must_use]
+    pub fn with_stale_every(mut self, n: u64) -> Self {
+        self.stale_every = (n > 0).then_some(n);
+        self
+    }
+
+    /// Samples attempted so far (including failed ones).
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The wrapped source.
+    #[must_use]
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ThroughputSource> ThroughputSource for FaultyThroughputSource<S> {
+    fn sample_mbs(&mut self) -> Result<f64, SampleError> {
+        self.samples += 1;
+        if self.dropout_every.is_some_and(|n| self.samples % n == 0) {
+            return Err(SampleError::Transient);
+        }
+        if self.stale_every.is_some_and(|n| self.samples % n == 0) {
+            return Ok(self.last_mbs);
+        }
+        let v = self.inner.sample_mbs()?;
+        self.last_mbs = v;
+        Ok(v)
+    }
+
+    fn window_us(&self) -> u64 {
+        self.inner.window_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts up: 1000, 2000, 3000, ... MB/s.
+    struct Ramp(f64);
+
+    impl ThroughputSource for Ramp {
+        fn sample_mbs(&mut self) -> Result<f64, SampleError> {
+            self.0 += 1000.0;
+            Ok(self.0)
+        }
+
+        fn window_us(&self) -> u64 {
+            100_000
+        }
+    }
+
+    #[test]
+    fn clean_wrapper_is_transparent() {
+        let mut src = FaultyThroughputSource::new(Ramp(0.0));
+        assert_eq!(src.sample_mbs(), Ok(1000.0));
+        assert_eq!(src.sample_mbs(), Ok(2000.0));
+        assert_eq!(src.window_us(), 100_000);
+        assert_eq!(src.samples(), 2);
+    }
+
+    #[test]
+    fn dropouts_fire_on_schedule_without_consuming_the_source() {
+        let mut src = FaultyThroughputSource::new(Ramp(0.0)).with_dropout_every(3);
+        assert_eq!(src.sample_mbs(), Ok(1000.0));
+        assert_eq!(src.sample_mbs(), Ok(2000.0));
+        assert_eq!(src.sample_mbs(), Err(SampleError::Transient));
+        // The dropped sample never reached the inner source.
+        assert_eq!(src.sample_mbs(), Ok(3000.0));
+    }
+
+    #[test]
+    fn stale_samples_repeat_the_previous_reading() {
+        let mut src = FaultyThroughputSource::new(Ramp(0.0)).with_stale_every(2);
+        assert_eq!(src.sample_mbs(), Ok(1000.0));
+        assert_eq!(src.sample_mbs(), Ok(1000.0)); // stale
+        assert_eq!(src.sample_mbs(), Ok(2000.0));
+        assert_eq!(src.sample_mbs(), Ok(2000.0)); // stale
+    }
+
+    #[test]
+    fn zero_periods_disable() {
+        let mut src = FaultyThroughputSource::new(Ramp(0.0))
+            .with_dropout_every(0)
+            .with_stale_every(0);
+        for i in 1..=5 {
+            assert_eq!(src.sample_mbs(), Ok(1000.0 * i as f64));
+        }
+    }
+}

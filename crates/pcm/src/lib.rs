@@ -9,13 +9,19 @@
 //!   future real-PCM backend.
 //! * [`SampleWindow`] — the fixed-size FIFO history (`mem_throughput_ls` in
 //!   Algorithm 3) plus the first-derivative computation of Algorithm 1.
+//! * [`FaultyThroughputSource`] — a fault-injecting decorator over any
+//!   source, for robustness testing of runtimes against dropped or stale
+//!   counter reads (node-backed probes inherit faults from the node's own
+//!   `FaultPlan` instead).
 //!
 //! Units: the runtime-facing API reports **MB/s**, matching the scale of
 //! the paper's thresholds (`inc_threshold = 200`, `dec_threshold = 500`).
 
+pub mod fault;
 pub mod source;
 pub mod window;
 
+pub use fault::FaultyThroughputSource;
 pub use source::{NodeThroughputProbe, SampleError, ThroughputSource};
 pub use window::SampleWindow;
 

@@ -56,7 +56,13 @@ impl<'a> NodeThroughputProbe<'a> {
 
 impl ThroughputSource for NodeThroughputProbe<'_> {
     fn sample_mbs(&mut self) -> Result<f64, SampleError> {
-        Ok(crate::gbs_to_mbs(self.node.pcm_read_gbs()))
+        // Injected dropouts (the node's FaultPlan) surface as transient
+        // errors so runtimes exercise their degradation path instead of
+        // silently consuming a zero sample.
+        self.node
+            .pcm_try_read_gbs()
+            .map(crate::gbs_to_mbs)
+            .map_err(|_| SampleError::Transient)
     }
 
     fn window_us(&self) -> u64 {

@@ -13,6 +13,11 @@
 //! * [`EnergyMeter`] — convenience integrator combining both for
 //!   experiment-level energy-to-solution accounting.
 //!
+//! Both readers accept injected meter faults for robustness studies:
+//! [`RaplReader::with_quantum_j`] and [`GpuMonitor::with_power_quantum_w`]
+//! quantize readings the way coarse counter units and driver rounding do
+//! (see `magus_hetsim::fault::MeterFaults`).
+//!
 //! [`Node::msr_read`]: magus_hetsim::Node::msr_read
 
 pub mod meter;

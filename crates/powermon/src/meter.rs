@@ -4,6 +4,7 @@
 //! into the paper's energy-to-solution quantity: *"CPU package, DRAM, and
 //! GPU board energy"* (§5). Polls at a fixed cadence and integrates.
 
+use magus_hetsim::fault::MeterFaults;
 use magus_hetsim::Node;
 use magus_msr::MsrError;
 use serde::{Deserialize, Serialize};
@@ -55,9 +56,24 @@ pub struct EnergyMeter {
 impl EnergyMeter {
     /// Start metering at the node's current time.
     pub fn start(node: &mut Node) -> Result<Self, MsrError> {
+        Self::start_with_faults(node, &MeterFaults::default())
+    }
+
+    /// Start metering with a fault plan's meter models injected: RAPL
+    /// energy counters floor-quantized to `faults.rapl_quantum_j` and GPU
+    /// power readings to `faults.gpu_power_quantum_w` (a zero quantum
+    /// leaves that reader exact). The baseline samples are taken through
+    /// the faulted readers, so quantization applies to the whole window.
+    pub fn start_with_faults(node: &mut Node, faults: &MeterFaults) -> Result<Self, MsrError> {
         let mut rapl = RaplReader::new(node)?;
+        if faults.rapl_quantum_j > 0.0 {
+            rapl = rapl.with_quantum_j(faults.rapl_quantum_j);
+        }
         let _ = rapl.sample(node)?; // establish the baseline
         let mut gpu = GpuMonitor::new();
+        if faults.gpu_power_quantum_w > 0.0 {
+            gpu = gpu.with_power_quantum_w(faults.gpu_power_quantum_w);
+        }
         let gpu_energy_start_j = gpu.sample(node).total_energy_j();
         Ok(Self {
             rapl,

@@ -47,6 +47,9 @@ impl GpuSample {
 #[derive(Debug, Clone, Default)]
 pub struct GpuMonitor {
     queries: u64,
+    /// Injected meter fault: quantize board-power readings to multiples of
+    /// this step (0 = off). See `magus_hetsim::fault::MeterFaults`.
+    power_quantum_w: f64,
 }
 
 /// Cost of one whole-node GPU query batch (driver ioctls, not MSRs).
@@ -62,13 +65,25 @@ impl GpuMonitor {
         Self::default()
     }
 
+    /// Quantize board-power readings to multiples of `quantum_w`
+    /// (truncating, like the driver's milliwatt→watt rounding). 0 disables.
+    /// Fault injection for robustness studies — see
+    /// `magus_hetsim::fault::MeterFaults`.
+    #[must_use]
+    pub fn with_power_quantum_w(mut self, quantum_w: f64) -> Self {
+        self.power_quantum_w = quantum_w.max(0.0);
+        self
+    }
+
     /// Query all boards.
     pub fn sample(&mut self, node: &mut Node) -> GpuSample {
         node.charge_monitoring(GPU_QUERY_COST, false);
         self.queries += 1;
+        let q = self.power_quantum_w;
+        let quantize = move |w: f64| if q > 0.0 { (w / q).floor() * q } else { w };
         let gpus = node.gpus();
         GpuSample {
-            power_w: gpus.iter().map(|g| g.power_w()).collect(),
+            power_w: gpus.iter().map(|g| quantize(g.power_w())).collect(),
             energy_j: gpus.iter().map(|g| g.energy_j()).collect(),
             sm_clock_mhz: gpus.iter().map(|g| g.sm_clock_mhz()).collect(),
             util: gpus.iter().map(|g| g.util()).collect(),
@@ -124,6 +139,22 @@ mod tests {
         assert!(s.energy_j[0] > 0.0);
         assert!(s.sm_clock_mhz[0] > 1300.0);
         assert!((s.util[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_power_reads_are_step_multiples() {
+        let mut node = Node::new(NodeConfig::intel_4a100());
+        for _ in 0..10 {
+            node.step(10_000, &Demand::idle());
+        }
+        let mut mon = GpuMonitor::new().with_power_quantum_w(5.0);
+        let s = mon.sample(&mut node);
+        for &w in &s.power_w {
+            let steps = w / 5.0;
+            assert!((steps - steps.round()).abs() < 1e-9, "w = {w}");
+        }
+        // ~50 W idle floor per board truncates to a multiple of 5 <= 50.
+        assert!(s.total_power_w() <= 200.0 + 1e-9);
     }
 
     #[test]

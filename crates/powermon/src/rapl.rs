@@ -43,6 +43,9 @@ struct SocketState {
 pub struct RaplReader {
     unit: RaplPowerUnit,
     last: Option<(f64, Vec<SocketState>)>,
+    /// Injected meter fault: quantize joule deltas to multiples of this
+    /// step (0 = off). See `magus_hetsim::fault::MeterFaults`.
+    quantum_j: f64,
 }
 
 impl RaplReader {
@@ -52,7 +55,17 @@ impl RaplReader {
         Ok(Self {
             unit: RaplPowerUnit::decode(raw),
             last: None,
+            quantum_j: 0.0,
         })
+    }
+
+    /// Quantize measured joule deltas to multiples of `quantum_j` (truncating,
+    /// like a coarse energy-counter unit). 0 disables. Fault injection for
+    /// robustness studies — see `magus_hetsim::fault::MeterFaults`.
+    #[must_use]
+    pub fn with_quantum_j(mut self, quantum_j: f64) -> Self {
+        self.quantum_j = quantum_j.max(0.0);
+        self
     }
 
     /// Poll the energy counters at node time `t_s`; returns the power over
@@ -84,6 +97,10 @@ impl RaplReader {
                         before.dram_counts,
                         now.dram_counts,
                     ));
+                }
+                if self.quantum_j > 0.0 {
+                    pkg_j = (pkg_j / self.quantum_j).floor() * self.quantum_j;
+                    dram_j = (dram_j / self.quantum_j).floor() * self.quantum_j;
                 }
                 Some(RaplSample {
                     pkg_w: pkg_j / dt,
@@ -145,6 +162,30 @@ mod tests {
         rapl.sample(&mut node).unwrap();
         // Two registers per socket, two sockets.
         assert_eq!(node.ledger().reads() - before, 4);
+    }
+
+    #[test]
+    fn quantized_reader_reports_joule_multiples() {
+        let mut node = Node::new(NodeConfig::intel_a100());
+        let quantum = 2.0;
+        let mut clean = RaplReader::new(&mut node).unwrap();
+        let mut coarse = clean.clone().with_quantum_j(quantum);
+        let demand = Demand::new(20.0, 0.4, 0.3, 0.7);
+        node.step(10_000, &demand);
+        clean.sample(&mut node).unwrap();
+        coarse.sample(&mut node).unwrap();
+        for _ in 0..100 {
+            node.step(10_000, &demand);
+        }
+        let fine = clean.sample(&mut node).unwrap().unwrap();
+        let s = coarse.sample(&mut node).unwrap().unwrap();
+        // Quantized joules over the interval are exact multiples of the step.
+        let pkg_j = s.pkg_w * s.interval_s;
+        let steps = pkg_j / quantum;
+        assert!((steps - steps.round()).abs() < 1e-6, "pkg_j = {pkg_j}");
+        // Truncation only ever under-reports, by less than one quantum.
+        let fine_j = fine.pkg_w * fine.interval_s;
+        assert!(pkg_j <= fine_j + 1e-9 && fine_j - pkg_j < quantum);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * **Bounded memory.** [`EventLog`] drops (and counts) events past its
 //!   cap instead of growing without bound.
 
+#![warn(missing_docs)]
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;

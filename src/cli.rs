@@ -43,8 +43,14 @@ pub struct EngineOpts {
     pub telemetry: Option<PathBuf>,
     /// `--sim-path fast|reference`: force every trial built with default
     /// options onto one stepping path. CI's telemetry-regression job runs
-    /// the suite under both and diffs the event streams.
+    /// the suite under both and diffs the event streams (the JSONL and
+    /// its `.prom` sibling must match byte-for-byte).
     pub sim_path: Option<SimPath>,
+    /// `--faults <plan.json>`: load a [`magus_hetsim::FaultPlan`] and
+    /// inject it into every trial of the command. The plan is validated
+    /// on load and becomes part of each spec's content hash, so faulted
+    /// trials never share cache entries with clean ones.
+    pub faults: Option<PathBuf>,
 }
 
 /// A parsed CLI command.
@@ -220,12 +226,14 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             ))),
         })
         .transpose()?;
+    let faults = take_flag(&mut args, "--faults").map(PathBuf::from);
     let engine = EngineOpts {
         no_cache: take_switch(&mut args, "--no-cache"),
         serial: take_switch(&mut args, "--serial"),
         jobs,
         telemetry,
         sim_path,
+        faults,
     };
     let Some((cmd, rest)) = args.split_first() else {
         return Ok(Invocation {
@@ -336,10 +344,14 @@ GOVERNORS: default | magus | ups | fixed:<ghz> | magus:<k=v,...>
            (magus keys: inc, dec, hf, interval_ms — validated before use)
 ENGINE:    --no-cache (always simulate), --serial (one trial at a time),
            --jobs <n> (worker threads, 0 = ncpus),
-           --sim-path fast|reference (stepping path for every trial),
+           --sim-path fast|reference (stepping path for every trial; both
+           paths emit byte-identical --telemetry JSONL and .prom files),
            --telemetry <file> (write governor decision events as JSON
-           Lines to <file> and a Prometheus metrics snapshot to
-           <file>.prom);
+           Lines to <file> and a Prometheus metrics snapshot to the .prom
+           sibling, <file>.prom),
+           --faults <plan.json> (inject a deterministic fault plan into
+           every trial; validated on load, hashed into each trial's cache
+           key — see DESIGN.md \"Fault injection\");
            MAGUS_CACHE_DIR / MAGUS_CACHE=off / MAGUS_SERIAL=1 / MAGUS_JOBS
            do the same from the environment. Trials are cached under
            results/cache by spec hash; each command writes a run manifest
@@ -589,9 +601,20 @@ mod tests {
             "--jobs",
             "--telemetry",
             "--sim-path",
+            "--faults",
+            ".prom",
         ] {
             assert!(u.contains(word), "{word}");
         }
+    }
+
+    #[test]
+    fn faults_flag_parses_anywhere() {
+        let inv = parse(&v(&["--faults", "plan.json", "suite"])).unwrap();
+        assert_eq!(inv.engine.faults, Some(PathBuf::from("plan.json")));
+        let inv = parse(&v(&["run", "--app", "bfs", "--faults", "f/p.json"])).unwrap();
+        assert_eq!(inv.engine.faults, Some(PathBuf::from("f/p.json")));
+        assert_eq!(parse(&v(&["suite"])).unwrap().engine.faults, None);
     }
 
     #[test]

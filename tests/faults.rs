@@ -1,0 +1,194 @@
+//! Fault-injection integration tests: the contracts the robustness study
+//! rests on.
+//!
+//! 1. An empty (or absent) fault plan is bit-for-bit invisible — on both
+//!    the fast and the reference stepping path.
+//! 2. A seeded plan produces one deterministic fault schedule: identical
+//!    across repeated runs, across serial vs parallel engine scheduling,
+//!    and across the two stepping paths.
+
+use magus_suite::experiments::drivers::MagusDriver;
+use magus_suite::experiments::engine::{Engine, GovernorSpec, TrialSpec};
+use magus_suite::experiments::harness::{
+    run_faulted_trial_capped, SimPath, SystemId, TrialOpts, TrialResult,
+};
+use magus_suite::hetsim::FaultPlan;
+use magus_suite::workloads::{app_trace, AppId, Platform};
+use proptest::prelude::*;
+
+fn fingerprint(r: &TrialResult) -> (u64, u64, u64, u64, u64) {
+    (
+        r.summary.runtime_s.to_bits(),
+        r.summary.energy.total_j().to_bits(),
+        r.summary.monitor_writes,
+        r.invocations,
+        r.fault_counters.total(),
+    )
+}
+
+fn faulted_magus_trial(path: SimPath, faults: Option<&FaultPlan>) -> TrialResult {
+    let system = SystemId::IntelA100;
+    let mut driver = MagusDriver::with_defaults();
+    run_faulted_trial_capped(
+        system.node_config(),
+        Some(app_trace(AppId::Srad, Platform::IntelA100)),
+        &mut driver,
+        TrialOpts {
+            path,
+            ..TrialOpts::default()
+        },
+        None,
+        faults,
+    )
+}
+
+/// The tentpole's zero-cost contract: a present-but-empty plan must not
+/// perturb a single bit of the simulation, on either stepping path.
+#[test]
+fn empty_fault_plan_is_bit_identical_on_both_paths() {
+    let empty = FaultPlan::default();
+    for path in [SimPath::Fast, SimPath::Reference] {
+        let clean = faulted_magus_trial(path, None);
+        let faulted = faulted_magus_trial(path, Some(&empty));
+        assert_eq!(
+            fingerprint(&clean),
+            fingerprint(&faulted),
+            "empty plan perturbed the {path:?} path"
+        );
+        assert_eq!(faulted.fault_counters.total(), 0);
+    }
+}
+
+fn stress_plan() -> FaultPlan {
+    FaultPlan::builder()
+        .seed(7)
+        .pcm_dropout_every(11)
+        .pcm_stale_every(17)
+        .pcm_spike(23, 0.4)
+        .uncore_write_fail_every(5)
+        .actuation_delay_us(30_000)
+        .build()
+        .expect("stress plan is valid")
+}
+
+/// One seed, one schedule: the same faulted trial reproduces exactly, and
+/// the fast path agrees with the reference path bit-for-bit.
+#[test]
+fn faulted_trials_reproduce_across_runs_and_paths() {
+    let plan = stress_plan();
+    let fast_a = faulted_magus_trial(SimPath::Fast, Some(&plan));
+    let fast_b = faulted_magus_trial(SimPath::Fast, Some(&plan));
+    let reference = faulted_magus_trial(SimPath::Reference, Some(&plan));
+    assert!(
+        fast_a.fault_counters.total() > 0,
+        "stress plan must actually inject: {:?}",
+        fast_a.fault_counters
+    );
+    assert_eq!(fingerprint(&fast_a), fingerprint(&fast_b));
+    assert_eq!(
+        fingerprint(&fast_a),
+        fingerprint(&reference),
+        "fast and reference paths diverged under faults"
+    );
+    assert_eq!(fast_a.fault_counters, reference.fault_counters);
+}
+
+/// Faulted specs through the engine: serial and parallel scheduling give
+/// identical outcomes and byte-identical telemetry streams.
+#[test]
+fn fault_schedules_identical_across_scheduling_modes() {
+    let plan = stress_plan();
+    let specs: Vec<TrialSpec> = [AppId::Bfs, AppId::Srad, AppId::Gemm]
+        .into_iter()
+        .map(|app| {
+            TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::magus_default())
+                .with_faults(plan)
+        })
+        .collect();
+
+    let parallel = Engine::ephemeral();
+    let par_briefs = parallel.run_brief(&specs);
+    let serial = Engine::ephemeral().serial();
+    let ser_briefs = serial.run_brief(&specs);
+
+    assert_eq!(par_briefs, ser_briefs, "scheduling changed faulted results");
+    assert!(par_briefs.iter().all(|b| b.fault_counters.total() > 0));
+    assert_eq!(
+        parallel.telemetry_jsonl(),
+        serial.telemetry_jsonl(),
+        "scheduling changed the faulted telemetry stream"
+    );
+}
+
+/// An engine-level clean spec and a spec whose `faults` field holds an
+/// explicitly empty plan hash differently only if the field serializes —
+/// `with_faults` normalizes empty plans away, so they must be the same
+/// spec with the same hash.
+#[test]
+fn with_faults_normalizes_empty_plans_to_clean_specs() {
+    let clean = TrialSpec::new(
+        SystemId::IntelA100,
+        AppId::Bfs,
+        GovernorSpec::magus_default(),
+    );
+    let emptied = clean.clone().with_faults(FaultPlan::default());
+    assert_eq!(clean, emptied);
+    assert_eq!(clean.content_hash(), emptied.content_hash());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any valid plan is deterministic: running it twice produces the
+    /// same bits and the same fault tally; and a plan with no models is
+    /// indistinguishable from no plan at all, whatever its seed.
+    #[test]
+    fn random_plans_are_deterministic(
+        seed in 0u64..1000,
+        dropout in 2u64..40,
+        stale in 2u64..40,
+        fail in prop::option::of(3u64..20),
+        delay in prop::option::of(1_000u64..50_000),
+    ) {
+        let mut b = FaultPlan::builder()
+            .seed(seed)
+            .pcm_dropout_every(dropout)
+            .pcm_stale_every(stale);
+        if let Some(f) = fail {
+            b = b.uncore_write_fail_every(f);
+        }
+        if let Some(d) = delay {
+            b = b.actuation_delay_us(d);
+        }
+        let plan = b.build().expect("generated plan is valid");
+        let opts = TrialOpts { max_s: 120.0, ..TrialOpts::default() };
+        let run = || {
+            let mut driver = MagusDriver::with_defaults();
+            run_faulted_trial_capped(
+                SystemId::IntelA100.node_config(),
+                Some(app_trace(AppId::Bfs, Platform::IntelA100)),
+                &mut driver,
+                opts,
+                None,
+                Some(&plan),
+            )
+        };
+        let a = run();
+        let b2 = run();
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b2));
+        prop_assert_eq!(a.fault_counters, b2.fault_counters);
+    }
+
+    /// Seed-only plans (no fault models) stay empty and invisible.
+    #[test]
+    fn seed_only_plans_are_empty(seed in 0u64..10_000) {
+        let plan = FaultPlan::builder().seed(seed).build().expect("valid");
+        prop_assert!(plan.is_empty());
+        let spec = TrialSpec::new(
+            SystemId::IntelA100,
+            AppId::Bfs,
+            GovernorSpec::magus_default(),
+        );
+        prop_assert_eq!(spec.clone().with_faults(plan), spec);
+    }
+}
