@@ -1,11 +1,12 @@
 //! Criterion benchmarks of the fleet layer: lockstep multi-node stepping
 //! and the engine's streaming suite reduction.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use magus_experiments::engine::{Engine, GovernorSpec, TrialSpec};
-use magus_experiments::fleet::{run_fleet, FleetSpec};
+use magus_experiments::fleet::{fleet_app, run_fleet, FleetSpec};
 use magus_experiments::harness::SystemId;
-use magus_workloads::AppId;
+use magus_hetsim::{FleetSim, RunOpts};
+use magus_workloads::{app_traces, AppId, Platform};
 
 fn bench_fleet_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet");
@@ -20,6 +21,41 @@ fn bench_fleet_step(c: &mut Criterion) {
     let node_steps = run_fleet(&spec).summary.node_steps;
     group.throughput(Throughput::Elements(node_steps));
     group.bench_function("step_64", |b| b.iter(|| black_box(run_fleet(&spec))));
+
+    group.finish();
+}
+
+fn bench_fleet_step_100k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    // The raw 100k-node lockstep kernel: round-robin catalog traces from
+    // one bulk intern lookup, a noop decider (one decision at t=0, then
+    // rest forever), one shard per CPU. This times pure SoA stepping —
+    // fleet construction happens in the untimed setup closure.
+    const NODES: usize = 100_000;
+    let budget_s = 5.0;
+    let keys: Vec<(AppId, Platform)> = (0..NODES)
+        .map(|i| (fleet_app(i), SystemId::IntelA100.platform()))
+        .collect();
+    let shards = std::thread::available_parallelism().map_or(1, usize::from);
+    let build = || {
+        let mut b = FleetSim::builder(budget_s).shards(shards);
+        for trace in app_traces(&keys) {
+            b = b.node(SystemId::IntelA100.node_config(), trace);
+        }
+        b.build().expect("100k fleet spec is valid")
+    };
+    let opts = RunOpts::noop();
+    let node_steps = build().run(&opts).node_steps;
+    group.throughput(Throughput::Elements(node_steps));
+    group.bench_function("step_100k", |b| {
+        b.iter_batched_ref(
+            build,
+            |fleet| black_box(fleet.run(&opts)),
+            BatchSize::PerIteration,
+        );
+    });
 
     group.finish();
 }
@@ -53,5 +89,10 @@ fn bench_suite_streaming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fleet_step, bench_suite_streaming);
+criterion_group!(
+    benches,
+    bench_fleet_step,
+    bench_fleet_step_100k,
+    bench_suite_streaming
+);
 criterion_main!(benches);

@@ -6,15 +6,48 @@
 //! baseline used to surface only as a stack trace deep inside the Python
 //! gate script, *after* minutes of benching; the binaries now validate
 //! the committed file up front and exit non-zero with a clear message.
+//!
+//! # Baseline schema v2 (the perf contract)
+//!
+//! Since schema v2 the committed baseline is a self-contained perf
+//! contract — the CI gates read their pass thresholds *from the file*
+//! instead of hard-coding them in workflow YAML:
+//!
+//! ```json
+//! {
+//!   "schema_version": 2,
+//!   "measured": false,
+//!   "seed": 0,
+//!   "git_sha": "unmeasured",
+//!   "unit": "ns/op (median)",
+//!   "taxonomy": { "node/step_idle": { "family": "node", "intent": "..." } },
+//!   "thresholds": { "suite_speedup_min": 10.0 },
+//!   "cases": { "node/step_idle": 160.0 }
+//! }
+//! ```
+//!
+//! * `measured` — `false` until a real bench run overwrites the file;
+//!   gates that compare against absolute numbers stay dormant while the
+//!   baseline is estimated.
+//! * `seed` / `git_sha` — provenance of the run that produced the numbers.
+//! * `taxonomy` — workload-taxonomy IDs: what family each case belongs to
+//!   and which metric it is primary for, so a regression report can say
+//!   *what kind* of work regressed.
+//! * `thresholds` — per-metric gate bounds (numbers), the only place CI
+//!   reads limits from.
 
 /// Exit code used when a committed baseline fails validation.
 pub const BASELINE_EXIT_CODE: i32 = 2;
 
-/// Check that `path`, if present, parses as a bench baseline: a JSON
-/// object carrying the `measured` and `cases` keys every gate script
-/// relies on. An absent file is fine (first run, nothing committed yet);
-/// anything else unparseable or key-less is an error describing exactly
-/// what is wrong.
+/// The baseline schema version this tree writes and validates.
+pub const BASELINE_SCHEMA_VERSION: u64 = 2;
+
+/// Check that `path`, if present, parses as a v2 bench baseline: a JSON
+/// object carrying `schema_version` (== 2), the `measured` and `cases`
+/// keys every gate script relies on, and a numeric `thresholds` map the
+/// gates read their bounds from. An absent file is fine (first run,
+/// nothing committed yet); anything else unparseable or key-less is an
+/// error describing exactly what is wrong.
 pub fn check_baseline(path: &str) -> Result<(), String> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
@@ -25,10 +58,41 @@ pub fn check_baseline(path: &str) -> Result<(), String> {
     let Some(obj) = value.as_object() else {
         return Err(format!("committed baseline {path} must be a JSON object"));
     };
+    match obj
+        .get("schema_version")
+        .and_then(serde_json::Value::as_u64)
+    {
+        Some(BASELINE_SCHEMA_VERSION) => {}
+        Some(v) => {
+            return Err(format!(
+                "committed baseline {path} has schema_version {v}; this tree \
+                 reads v{BASELINE_SCHEMA_VERSION} (regenerate with the matching bench binary)"
+            ));
+        }
+        None => {
+            return Err(format!(
+                "committed baseline {path} lacks a numeric \"schema_version\" \
+                 (v{BASELINE_SCHEMA_VERSION} expected)"
+            ));
+        }
+    }
     for key in ["measured", "cases"] {
         if !obj.contains_key(key) {
             return Err(format!(
                 "committed baseline {path} lacks the \"{key}\" key the CI gate reads"
+            ));
+        }
+    }
+    let Some(thresholds) = obj.get("thresholds").and_then(serde_json::Value::as_object) else {
+        return Err(format!(
+            "committed baseline {path} lacks the \"thresholds\" object the CI gate \
+             reads its bounds from"
+        ));
+    };
+    for (name, bound) in thresholds {
+        if !bound.is_number() {
+            return Err(format!(
+                "committed baseline {path}: threshold \"{name}\" must be a number, got {bound}"
             ));
         }
     }
@@ -43,6 +107,25 @@ pub fn validate_baseline_or_exit(path: &str) {
         eprintln!("hint: regenerate the baseline with the matching bench binary, or delete it");
         std::process::exit(BASELINE_EXIT_CODE);
     }
+}
+
+/// Provenance stamp for freshly measured baselines: `GITHUB_SHA` when CI
+/// provides it, otherwise `git rev-parse`, otherwise `"unknown"`.
+#[must_use]
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 #[cfg(test)]
@@ -68,10 +151,27 @@ mod tests {
     }
 
     #[test]
-    fn valid_baseline_passes() {
-        let path = temp_file(r#"{"measured": true, "cases": {"a": 1.0}}"#);
+    fn valid_v2_baseline_passes() {
+        let path = temp_file(
+            r#"{"schema_version": 2, "measured": true,
+                "thresholds": {"suite_speedup_min": 10.0},
+                "cases": {"a": 1.0}}"#,
+        );
         assert_eq!(check_baseline(path.to_str().unwrap()), Ok(()));
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn committed_baselines_validate() {
+        // The real files at the repo root must satisfy the validator the
+        // bench bins run against them.
+        for name in ["BENCH_sim.json", "BENCH_fleet.json"] {
+            let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+            assert_eq!(check_baseline(&path), Ok(()), "{name}");
+            // And they must actually exist — Ok-on-absent must not mask a
+            // moved file.
+            assert!(std::path::Path::new(&path).exists(), "{name} missing");
+        }
     }
 
     #[test]
@@ -83,20 +183,57 @@ mod tests {
     }
 
     #[test]
+    fn v1_baselines_are_rejected_with_guidance() {
+        let path = temp_file(r#"{"measured": true, "cases": {"a": 1.0}}"#);
+        let err = check_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected() {
+        let path = temp_file(r#"{"schema_version": 3, "measured": true, "cases": {}}"#);
+        let err = check_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("schema_version 3"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
     fn missing_keys_are_named() {
-        let path = temp_file(r#"{"cases": {}}"#);
+        let path = temp_file(r#"{"schema_version": 2, "cases": {}, "thresholds": {}}"#);
         let err = check_baseline(path.to_str().unwrap()).unwrap_err();
         assert!(err.contains("\"measured\""), "{err}");
         std::fs::remove_file(path).unwrap();
 
-        let path = temp_file(r#"{"measured": true}"#);
+        let path = temp_file(r#"{"schema_version": 2, "measured": true, "thresholds": {}}"#);
         let err = check_baseline(path.to_str().unwrap()).unwrap_err();
         assert!(err.contains("\"cases\""), "{err}");
+        std::fs::remove_file(path).unwrap();
+
+        let path = temp_file(r#"{"schema_version": 2, "measured": true, "cases": {}}"#);
+        let err = check_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("\"thresholds\""), "{err}");
         std::fs::remove_file(path).unwrap();
 
         let path = temp_file("[1, 2, 3]");
         let err = check_baseline(path.to_str().unwrap()).unwrap_err();
         assert!(err.contains("JSON object"), "{err}");
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn non_numeric_thresholds_are_rejected() {
+        let path = temp_file(
+            r#"{"schema_version": 2, "measured": true, "cases": {},
+                "thresholds": {"suite_speedup_min": "ten"}}"#,
+        );
+        let err = check_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("suite_speedup_min"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn git_sha_is_never_empty() {
+        assert!(!git_sha().is_empty());
     }
 }

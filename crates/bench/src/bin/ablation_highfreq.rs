@@ -3,12 +3,12 @@
 //! Without the lock, MAGUS thrashes the uncore through SRAD's fluctuation
 //! intervals, paying repeated reaction lags — the §3.2 design argument.
 
+use magus_experiments::engine_from_cli;
 use magus_experiments::figures::ablation_high_freq;
-use magus_experiments::Engine;
 use magus_workloads::AppId;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("ablation_highfreq");
     for app in [AppId::Srad, AppId::Unet] {
         let a = ablation_high_freq(&engine, app);
         println!("== high-frequency-lock ablation: {app} ==");

@@ -3,12 +3,12 @@
 //! Shorter intervals raise monitoring overhead; longer intervals miss
 //! throughput transitions and cost performance.
 
+use magus_experiments::engine_from_cli;
 use magus_experiments::figures::ablation_interval;
-use magus_experiments::Engine;
 use magus_workloads::AppId;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("ablation_interval");
     let intervals = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6];
     for app in [AppId::Unet, AppId::Srad] {
         println!("== monitoring-interval ablation: {app} ==");

@@ -7,11 +7,13 @@
 //!
 //! Every trial goes through one shared [`Engine`], so the full sweep is
 //! scheduled in parallel and a warm cache makes reruns near-instant.
+//!
+//! [`Engine`]: magus_experiments::Engine
 
 use magus_experiments::figures::{
     fig2_unet_extremes, fig4, srad_stats, table1_jaccard, table2_overheads,
 };
-use magus_experiments::{Engine, SystemId};
+use magus_experiments::{engine_from_cli, SystemId};
 
 fn flag(ok: bool) -> &'static str {
     if ok {
@@ -22,7 +24,7 @@ fn flag(ok: bool) -> &'static str {
 }
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("all");
     println!("== MAGUS reproduction: full evaluation summary ==\n");
 
     let f2 = fig2_unet_extremes(&engine);

@@ -5,11 +5,11 @@
 //! path differs. This is the paper's Discussion section, implemented.
 
 use magus_experiments::amd::evaluate_amd;
-use magus_experiments::Engine;
+use magus_experiments::engine_from_cli;
 use magus_workloads::AppId;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("amd_port");
     println!("== MAGUS on AMD+MI210 via HSMP (paper §6.6) ==");
     println!(
         "{:<22} {:>8} {:>10} {:>10}",

@@ -4,19 +4,31 @@
 //! need a dev-dependency harness and minutes of sampling): each case runs
 //! enough repetitions to exceed a minimum measurement window, takes the
 //! median of per-rep timings, and the result is written to
-//! `BENCH_sim.json` at the repo root. CI runs this binary so simulator
-//! performance regressions show up as a diff against the committed
-//! baseline rather than silently.
+//! `BENCH_sim.json` at the repo root (schema v2: the gate thresholds
+//! travel in the file, see `magus_bench::baseline`). CI runs this binary
+//! so simulator performance regressions show up as a diff against the
+//! committed baseline rather than silently.
 //!
-//! Usage: `cargo run --release --bin bench_smoke [out.json]`
+//! Usage: `cargo run --release --bin bench_smoke [out.json] [engine switches]`
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use magus_experiments::drivers::{MagusDriver, NoopDriver};
 use magus_experiments::harness::{run_trial, SimPath, SystemId, TrialOpts};
+use magus_experiments::EngineOpts;
 use magus_hetsim::{Demand, FastForward, Node, NodeConfig};
 use magus_workloads::AppId;
+
+/// Carry a field forward from the committed baseline so regeneration
+/// never silently rewrites the gate contract.
+fn carried(path: &str, key: &str, default: serde_json::Value) -> serde_json::Value {
+    std::fs::read(path)
+        .ok()
+        .and_then(|bytes| serde_json::from_slice::<serde_json::Value>(&bytes).ok())
+        .and_then(|v| v.get(key).cloned())
+        .unwrap_or(default)
+}
 
 /// Median ns/op over `reps` timed repetitions of `iters` iterations each.
 fn median_ns_per_op(reps: usize, iters: u64, mut f: impl FnMut()) -> f64 {
@@ -34,8 +46,24 @@ fn median_ns_per_op(reps: usize, iters: u64, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // The shared engine switches parse (and install `--sim-path` /
+    // `--faults` defaults) even here, where trials pin their own paths —
+    // one grammar across every bin beats a special case.
+    let opts = match EngineOpts::take_from_args(&mut args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("bench_smoke: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = opts.install_defaults() {
+        eprintln!("bench_smoke: {e}");
+        std::process::exit(2);
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
     // Fail fast (clear message, non-zero exit) if the committed baseline
     // the CI gate will diff against is malformed — before benching.
@@ -125,8 +153,17 @@ fn main() {
     let speedup = suite_ref / suite_fast;
 
     let json = serde_json::json!({
+        "schema_version": magus_bench::baseline::BASELINE_SCHEMA_VERSION,
         "measured": true,
+        "seed": 0,
+        "git_sha": magus_bench::baseline::git_sha(),
         "unit": "ns/op (median)",
+        "taxonomy": carried("BENCH_sim.json", "taxonomy", serde_json::json!({})),
+        "thresholds": carried(
+            "BENCH_sim.json",
+            "thresholds",
+            serde_json::json!({"suite_speedup_min": 10.0}),
+        ),
         "suite_speedup": speedup,
         "cases": cases
             .iter()

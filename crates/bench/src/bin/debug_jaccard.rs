@@ -1,11 +1,11 @@
 //! Diagnostic: where do baseline and MAGUS burst intervals disagree?
 use magus_experiments::metrics::default_burst_threshold;
-use magus_experiments::{Engine, GovernorSpec, SystemId, TrialSpec};
+use magus_experiments::{engine_from_cli, GovernorSpec, SystemId, TrialSpec};
 use magus_workloads::AppId;
 
 fn main() {
-    let app = AppId::from_name(&std::env::args().nth(1).unwrap_or_else(|| "bfs".into())).unwrap();
-    let engine = Engine::from_env();
+    let (engine, _, args) = engine_from_cli("debug_jaccard");
+    let app = AppId::from_name(args.first().map_or("bfs", String::as_str)).unwrap();
     let outs = engine.run_suite(&[
         TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::Default).recorded(),
         TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::magus_default()).recorded(),

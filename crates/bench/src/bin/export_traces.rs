@@ -13,19 +13,18 @@
 use std::fs;
 use std::path::PathBuf;
 
-use magus_experiments::{Engine, GovernorSpec, SystemId, TrialSpec};
+use magus_experiments::{engine_from_cli, GovernorSpec, SystemId, TrialSpec};
 use magus_workloads::AppId;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (engine, _, rest) = engine_from_cli("export_traces");
+    let mut args = rest.into_iter();
     let app = args
         .next()
         .and_then(|s| AppId::from_name(&s))
         .unwrap_or(AppId::Srad);
     let out_dir = PathBuf::from(args.next().unwrap_or_else(|| "results/traces".into()));
     fs::create_dir_all(&out_dir).expect("create output directory");
-
-    let engine = Engine::from_env();
     let system = SystemId::IntelA100;
     let cfg = system.node_config();
 

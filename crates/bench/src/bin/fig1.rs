@@ -4,12 +4,12 @@
 //! dynamically by default; the uncore frequency (c) stays pinned at its
 //! maximum because package power never approaches TDP.
 
+use magus_experiments::engine_from_cli;
 use magus_experiments::figures::fig1_unet_profile;
 use magus_experiments::report::render_series;
-use magus_experiments::Engine;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("fig1");
     let r = fig1_unet_profile(&engine);
     println!("== Fig 1: UNet under the stock governor (Intel+A100) ==");
     println!(

@@ -3,12 +3,12 @@
 //! Paper: pinning the uncore at minimum cuts CPU package power by ~82 W
 //! (200 W → 120 W) and stretches runtime by ~21% (47 s → 57 s).
 
+use magus_experiments::engine_from_cli;
 use magus_experiments::figures::fig2_unet_extremes;
 use magus_experiments::report::render_series;
-use magus_experiments::Engine;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("fig2");
     let data = fig2_unet_extremes(&engine);
     let max = &data.max_uncore;
     let min = &data.min_uncore;

@@ -6,10 +6,10 @@
 
 use magus_experiments::figures::fig4;
 use magus_experiments::report::render_fig4_table;
-use magus_experiments::{Engine, SystemId};
+use magus_experiments::{engine_from_cli, SystemId};
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("fig4a");
     let rows = fig4(&engine, SystemId::IntelA100);
     print!("{}", render_fig4_table("Fig 4a: Intel+A100", &rows));
     let max_energy = rows

@@ -6,10 +6,10 @@
 
 use magus_experiments::figures::fig4;
 use magus_experiments::report::render_fig4_table;
-use magus_experiments::{Engine, SystemId};
+use magus_experiments::{engine_from_cli, SystemId};
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("fig4c");
     let rows = fig4(&engine, SystemId::Intel4A100);
     print!("{}", render_fig4_table("Fig 4c: Intel+4A100", &rows));
     println!("\nidle power of 4x A100-80GB ~= 200 W: energy savings attenuate relative to Fig 4a.");

@@ -5,12 +5,12 @@
 //! 5 s mark; MAGUS predicts the trend shifts and reaches the max-uncore
 //! levels, while UPS fails to sustain them during fluctuation.
 
+use magus_experiments::engine_from_cli;
 use magus_experiments::figures::fig5_srad_case_study;
 use magus_experiments::report::render_series;
-use magus_experiments::Engine;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("fig5");
     let data = fig5_srad_case_study(&engine);
     for (label, run) in [
         ("max uncore (2.2 GHz)", &data.max_uncore),

@@ -6,12 +6,12 @@
 //! costing it performance. Quoted numbers: MAGUS -14% CPU power / 3%
 //! slowdown / 8.68% energy saving; UPS -20% / 7.9% / 3.5%.
 
+use magus_experiments::engine_from_cli;
 use magus_experiments::figures::{fig5_srad_case_study, srad_stats};
 use magus_experiments::report::render_series;
-use magus_experiments::Engine;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("fig6");
     let data = fig5_srad_case_study(&engine);
     print!(
         "{}",

@@ -5,13 +5,13 @@
 //! close to the frontier for every application; the defaults (inc=200) are
 //! equally good.
 
+use magus_experiments::engine_from_cli;
 use magus_experiments::figures::fig7_sensitivity;
 use magus_experiments::pareto::{distance_to_frontier, pareto_frontier};
-use magus_experiments::Engine;
 use magus_workloads::AppId;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("fig7");
     for app in [AppId::Srad, AppId::Unet] {
         let sweep = fig7_sensitivity(&engine, app);
         let frontier = pareto_frontier(&sweep.points);

@@ -1,30 +1,44 @@
-//! Fleet bench: node-steps/sec of the batched fleet simulator plus the
-//! streaming-vs-collect suite reduction, as JSON.
+//! Fleet bench: node-steps/sec of the sharded fleet kernel plus the
+//! streaming-vs-collect suite reduction, as schema-v2 JSON.
 //!
-//! Runs the full workload catalog × {default, MAGUS, UPS} across an
-//! N-node synthetic fleet (round-robin apps on interned traces) and times
-//! each governor's fleet run, then times one catalog suite through the
-//! engine's collect (`run_suite`) and streaming (`fold_suite`) reductions.
-//! Results land in `BENCH_fleet.json`:
+//! Default mode runs the full workload catalog × {default, MAGUS, UPS}
+//! across an N-node synthetic fleet (round-robin apps on bulk-interned
+//! traces) and times each governor's fleet run, measures shard-scaling
+//! efficiency on the MAGUS fleet, then times one catalog suite through
+//! the engine's collect (`run_suite`) and streaming (`fold_suite`)
+//! reductions. Results land in `BENCH_fleet.json` (schema v2: gate
+//! thresholds travel in the file, see `magus_bench::baseline`):
 //!
 //! * `node_steps_per_sec` — simulator ticks advanced across all nodes per
 //!   wall-clock second, summed over the three governor fleets (the CI
 //!   regression gate's headline).
 //! * `streaming_vs_collect` — streaming suite time / collect suite time
-//!   (CI gates this ≤ 1.10: streaming must not be slower).
+//!   (CI gates this against `thresholds.streaming_vs_collect_max`).
+//! * `shard_efficiency` — single-shard time / (sharded time × shards) for
+//!   the MAGUS fleet: 1.0 is perfect scaling.
 //! * `peak_rss_proxy_kb` — the process's `VmHWM` high-water mark from
 //!   `/proc/self/status` (0 where unavailable), a coarse resident-memory
 //!   proxy for the O(workers) streaming claim.
 //!
-//! Usage: `cargo run --release --bin fleet_bench [out.json] [nodes]`
+//! Smoke mode (`--smoke`, default 100000 nodes) runs the raw lockstep
+//! kernel — no governor, one noop decision per node — at 100k-node scale
+//! on one shard and on one shard per CPU, and merges a `"smoke"` section
+//! (node-steps/sec, shard efficiency, peak-RSS proxy) into the existing
+//! baseline file without touching the measured 64-node numbers.
+//!
+//! Usage: `cargo run --release --bin fleet_bench [--smoke] \
+//!         [out.json] [nodes] [engine switches]`
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use magus_experiments::engine::{Engine, GovernorSpec, TrialSpec};
-use magus_experiments::fleet::{run_fleet, FleetSpec};
+use magus_experiments::fleet::{fleet_app, run_fleet, FleetSpec};
 use magus_experiments::harness::SystemId;
-use magus_workloads::AppId;
+use magus_experiments::opts::take_switch;
+use magus_experiments::EngineOpts;
+use magus_hetsim::{FleetSim, RunOpts};
+use magus_workloads::{app_traces, AppId, Platform};
 
 /// Median seconds over `reps` timed runs of `f`.
 fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -54,12 +68,144 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
+/// One shard per CPU — the shard count both modes scale out to.
+fn cpu_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Carry a field forward from the committed baseline so regeneration
+/// never silently rewrites the gate contract (`thresholds`) or drops a
+/// section another mode owns (`smoke`).
+fn carried(path: &str, key: &str, default: serde_json::Value) -> serde_json::Value {
+    std::fs::read(path)
+        .ok()
+        .and_then(|bytes| serde_json::from_slice::<serde_json::Value>(&bytes).ok())
+        .and_then(|v| v.get(key).cloned())
+        .unwrap_or(default)
+}
+
+/// Default gate thresholds for a fresh baseline file.
+fn default_thresholds() -> serde_json::Value {
+    serde_json::json!({
+        "streaming_vs_collect_max": 1.1,
+        "node_steps_per_sec_min_ratio": 0.8,
+        "smoke_node_steps_per_sec_min": 1000000.0,
+        "smoke_shard_efficiency_min": 0.5,
+    })
+}
+
+/// A catalog fleet for the raw-kernel smoke: round-robin apps on
+/// bulk-interned traces (one `AppTrace` per distinct app, one intern-table
+/// lock round-trip for all `nodes`).
+fn smoke_fleet(nodes: usize, budget_s: f64, shards: usize) -> FleetSim {
+    let keys: Vec<(AppId, Platform)> = (0..nodes)
+        .map(|i| (fleet_app(i), SystemId::IntelA100.platform()))
+        .collect();
+    let mut builder = FleetSim::builder(budget_s).shards(shards);
+    for trace in app_traces(&keys) {
+        builder = builder.node(SystemId::IntelA100.node_config(), trace);
+    }
+    builder.build().expect("smoke fleet spec is valid")
+}
+
+/// The 100k smoke: raw lockstep-kernel throughput with a noop decider
+/// (one decision at t=0, then rest forever — pure SoA stepping, no
+/// governor cost), single-shard vs one-shard-per-CPU. Merges a `"smoke"`
+/// section into `out_path` in place.
+fn run_smoke(nodes: usize, out_path: &str) {
+    let budget_s = 30.0;
+    let opts = RunOpts::noop();
+    let shards = cpu_shards();
+
+    let mut single = smoke_fleet(nodes, budget_s, 1);
+    let t0 = Instant::now();
+    let summary = single.run(&opts);
+    let single_s = t0.elapsed().as_secs_f64();
+    drop(single);
+
+    let mut sharded = smoke_fleet(nodes, budget_s, shards);
+    let t0 = Instant::now();
+    let sharded_summary = sharded.run(&opts);
+    let sharded_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        summary, sharded_summary,
+        "sharded smoke diverged from single-shard (bit-identity contract)"
+    );
+
+    let node_steps_per_sec = summary.node_steps as f64 / sharded_s;
+    let shard_efficiency = single_s / (sharded_s * shards as f64);
+    let smoke = serde_json::json!({
+        "measured": true,
+        "git_sha": magus_bench::baseline::git_sha(),
+        "nodes": nodes,
+        "shards": shards,
+        "budget_s": budget_s,
+        "node_steps": summary.node_steps,
+        "node_steps_per_sec": node_steps_per_sec.round(),
+        "single_shard_s": single_s,
+        "sharded_s": sharded_s,
+        "shard_efficiency": shard_efficiency,
+        "peak_rss_proxy_kb": peak_rss_kb(),
+    });
+
+    // Merge into the existing baseline (or a fresh v2 skeleton) without
+    // touching the 64-node numbers the default mode owns.
+    let mut doc = std::fs::read(out_path)
+        .ok()
+        .and_then(|bytes| serde_json::from_slice::<serde_json::Value>(&bytes).ok())
+        .unwrap_or_else(|| {
+            serde_json::json!({
+                "schema_version": magus_bench::baseline::BASELINE_SCHEMA_VERSION,
+                "measured": false,
+                "seed": 0,
+                "git_sha": "unmeasured",
+                "unit": "seconds (median) per case",
+                "thresholds": default_thresholds(),
+                "cases": {},
+            })
+        });
+    doc["smoke"] = smoke;
+    let rendered = serde_json::to_string_pretty(&doc).expect("serialise");
+    std::fs::write(out_path, format!("{rendered}\n")).expect("write smoke section");
+    println!(
+        "smoke: {nodes} nodes, {} node-steps in {sharded_s:.2} s across {shards} shards \
+         ({node_steps_per_sec:.0} node-steps/sec, shard efficiency {shard_efficiency:.2}, \
+         peak RSS {} kB) -> {out_path}",
+        summary.node_steps,
+        peak_rss_kb(),
+    );
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = take_switch(&mut args, "--smoke");
+    let engine_opts = match EngineOpts::take_from_args(&mut args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("fleet_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = engine_opts.install_defaults() {
+        eprintln!("fleet_bench: {e}");
+        std::process::exit(2);
+    }
+    // Positional arguments keep their pre-EngineOpts meaning:
+    // [out.json] [nodes], with mode-specific node-count defaults.
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_fleet.json".to_string());
-    let nodes: usize = std::env::args()
-        .nth(2)
+    if smoke {
+        let nodes: usize = args
+            .get(1)
+            .map(|n| n.parse().expect("node count"))
+            .unwrap_or(100_000);
+        run_smoke(nodes, &out_path);
+        return;
+    }
+    let nodes: usize = args
+        .get(1)
         .map(|n| n.parse().expect("node count"))
         .unwrap_or(64);
     // Fail fast (clear message, non-zero exit) if the committed baseline
@@ -68,6 +214,16 @@ fn main() {
     // Bounded per-node budget: throughput needs steady stepping, not
     // catalog completion (the longest apps run for hundreds of sim-secs).
     let max_s = 120.0;
+
+    // The engine only aggregates fleet telemetry and exports it on
+    // `--telemetry`; the timing loops below never go through its cache.
+    let mut engine = Engine::ephemeral();
+    if engine_opts.serial {
+        engine = engine.serial();
+    }
+    if let Some(jobs) = engine_opts.jobs {
+        engine = engine.with_jobs(jobs);
+    }
 
     let mut cases: Vec<(String, f64)> = Vec::new();
 
@@ -86,7 +242,9 @@ fn main() {
         };
         // Fleet runs are deterministic: take the step count once, time the
         // median over repeats.
-        let node_steps = run_fleet(&spec).summary.node_steps;
+        let run = run_fleet(&spec);
+        engine.observe_fleet(&run);
+        let node_steps = run.summary.node_steps;
         let secs = median_secs(3, || {
             black_box(run_fleet(&spec));
         });
@@ -96,14 +254,29 @@ fn main() {
     }
     let node_steps_per_sec = total_node_steps as f64 / total_fleet_secs;
 
+    // -- shard scaling: the MAGUS fleet, one shard vs one per CPU ---------
+    let shards = cpu_shards();
+    let magus_spec = FleetSpec {
+        max_s,
+        ..FleetSpec::new(GovernorSpec::magus_default(), nodes)
+    };
+    let single_s = median_secs(3, || {
+        black_box(run_fleet(&magus_spec));
+    });
+    let sharded_spec = magus_spec.clone().with_shards(shards);
+    let sharded_s = median_secs(3, || {
+        black_box(run_fleet(&sharded_spec));
+    });
+    let shard_efficiency = single_s / (sharded_s * shards as f64);
+    cases.push(("fleet/MAGUS_sharded_s".to_string(), sharded_s));
+
     // -- suite group: collect vs streaming reduction ----------------------
-    // One catalog × MAGUS sweep through an uncached engine; both paths run
-    // identical trials, so the ratio isolates the reduction strategy.
+    // One catalog × MAGUS sweep through the uncached engine; both paths
+    // run identical trials, so the ratio isolates the reduction strategy.
     let specs: Vec<TrialSpec> = AppId::all()
         .iter()
         .map(|&app| TrialSpec::new(SystemId::IntelA100, app, GovernorSpec::magus_default()))
         .collect();
-    let engine = Engine::ephemeral();
     let collect_s = median_secs(3, || {
         black_box(engine.run_suite(&specs));
     });
@@ -124,12 +297,20 @@ fn main() {
     let streaming_vs_collect = streaming_s / collect_s;
 
     let json = serde_json::json!({
+        "schema_version": magus_bench::baseline::BASELINE_SCHEMA_VERSION,
         "measured": true,
+        "seed": 0,
+        "git_sha": magus_bench::baseline::git_sha(),
         "unit": "seconds (median) per case",
         "nodes": nodes,
+        "taxonomy": carried("BENCH_fleet.json", "taxonomy", serde_json::json!({})),
+        "thresholds": carried("BENCH_fleet.json", "thresholds", default_thresholds()),
         "node_steps_per_sec": node_steps_per_sec.round(),
         "streaming_vs_collect": streaming_vs_collect,
+        "shard_efficiency": shard_efficiency,
+        "shards": shards,
         "peak_rss_proxy_kb": peak_rss_kb(),
+        "smoke": carried("BENCH_fleet.json", "smoke", serde_json::Value::Null),
         "cases": cases
             .iter()
             .map(|(n, v)| (n.clone(), serde_json::json!(v)))
@@ -140,6 +321,16 @@ fn main() {
     println!("{rendered}");
     println!(
         "wrote {out_path} ({nodes} nodes: {node_steps_per_sec:.0} node-steps/sec, \
-         streaming/collect = {streaming_vs_collect:.2})"
+         streaming/collect = {streaming_vs_collect:.2}, \
+         shard efficiency x{shards} = {shard_efficiency:.2})"
     );
+    if let Some(path) = &engine_opts.telemetry {
+        match engine.write_telemetry(path) {
+            Ok(()) => eprintln!("[engine] telemetry written to {}", path.display()),
+            Err(e) => {
+                eprintln!("[engine] telemetry write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

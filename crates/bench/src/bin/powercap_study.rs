@@ -4,11 +4,11 @@
 //! The stock governor's pinned-max uncore eats the budget and forces core
 //! throttling; MAGUS's uncore savings buy the cores headroom.
 
+use magus_experiments::engine_from_cli;
 use magus_experiments::powercap::powercap_study;
-use magus_experiments::Engine;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("powercap_study");
     let caps = [None, Some(120.0), Some(105.0), Some(95.0), Some(85.0)];
     let mut cells = powercap_study(&engine, &caps);
     cells.sort_by(|a, b| {

@@ -11,10 +11,10 @@
 //! ```
 
 use magus_experiments::robustness::{render_robustness_report, robustness_study, summarize};
-use magus_experiments::{Engine, SystemId};
+use magus_experiments::{engine_from_cli, SystemId};
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("robustness");
     let evals = robustness_study(&engine, SystemId::IntelA100);
     print!("{}", render_robustness_report("Intel + A100", &evals));
     let summaries = summarize(&evals);

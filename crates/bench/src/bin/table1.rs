@@ -5,12 +5,12 @@
 //! particlefilter_float score low because brief initialisation bursts land
 //! inside MAGUS's 2 s warm-up, before uncore scaling starts.
 
+use magus_experiments::engine_from_cli;
 use magus_experiments::figures::table1_jaccard;
 use magus_experiments::report::render_pairs;
-use magus_experiments::Engine;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("table1");
     let mut rows = table1_jaccard(&engine);
     rows.sort_by(|a, b| a.0.cmp(&b.0));
     print!(

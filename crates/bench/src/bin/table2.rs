@@ -3,12 +3,12 @@
 //! Paper: MAGUS ~1.1%/1.16% power overhead and ~0.1 s per invocation; UPS
 //! 4.9%/7.9% and ~0.3 s, because it sweeps every core's MSRs each cycle.
 
+use magus_experiments::engine_from_cli;
 use magus_experiments::figures::table2_overheads;
 use magus_experiments::report::render_table2;
-use magus_experiments::Engine;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("table2");
     // The paper idles for 10 minutes; 120 s of simulated time gives the
     // same converged means.
     let rows = table2_overheads(&engine, 120.0);

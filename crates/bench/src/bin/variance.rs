@@ -5,11 +5,11 @@
 //! single-run figures elsewhere in the suite are representative.
 
 use magus_experiments::replicate::evaluate_replicated;
-use magus_experiments::{Engine, SystemId};
+use magus_experiments::{engine_from_cli, SystemId};
 use magus_workloads::AppId;
 
 fn main() {
-    let engine = Engine::from_env();
+    let (engine, _, _) = engine_from_cli("variance");
     println!("== seeded replication (5 runs per app, MAGUS vs baseline, Intel+A100) ==");
     println!(
         "{:<22} {:>16} {:>18} {:>18}",

@@ -149,7 +149,7 @@ pub fn evaluate_amd(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::{run_custom_trial, TrialOpts};
+    use crate::harness::{TrialBuilder, TrialOpts};
     use magus_workloads::{app_trace, AppId, Platform};
 
     fn amd_trace(app: AppId) -> magus_hetsim::AppTrace {
@@ -174,12 +174,10 @@ mod tests {
     fn driver_actuates_discrete_pstates_only() {
         let cfg = magus_hsmp::amd_epyc_mi210();
         let mut driver = HsmpMagusDriver::with_defaults();
-        let r = run_custom_trial(
-            cfg,
-            amd_trace(AppId::Cfd),
-            &mut driver,
-            TrialOpts::recorded(),
-        );
+        let r = TrialBuilder::custom(cfg)
+            .trace(amd_trace(AppId::Cfd))
+            .opts(TrialOpts::recorded())
+            .run(&mut driver);
         assert!(r.summary.completed);
         let table = FabricPstateTable::epyc_default();
         // Sampled fabric clocks settle only on table points (transitions
@@ -206,12 +204,10 @@ mod tests {
         let cfg = magus_hsmp::amd_epyc_mi210();
         let mut driver = HsmpMagusDriver::with_defaults();
         driver.set_monitor_only(true);
-        let r = run_custom_trial(
-            cfg,
-            amd_trace(AppId::Bfs),
-            &mut driver,
-            TrialOpts::recorded(),
-        );
+        let r = TrialBuilder::custom(cfg)
+            .trace(amd_trace(AppId::Bfs))
+            .opts(TrialOpts::recorded())
+            .run(&mut driver);
         let min = r
             .samples
             .iter()

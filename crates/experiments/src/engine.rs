@@ -60,9 +60,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::amd::HsmpMagusDriver;
 use crate::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, UpsDriver};
-use crate::harness::{
-    default_fault_plan, run_faulted_trial_capped, SystemId, TrialOpts, TrialResult,
-};
+use crate::harness::{default_fault_plan, SystemId, TrialBuilder, TrialOpts, TrialResult};
 
 /// Code-version salt mixed into every spec hash. Bump the suffix whenever
 /// a change alters simulation results without changing any [`TrialSpec`]
@@ -745,14 +743,17 @@ impl Engine {
         if spec.monitor_only {
             driver.set_monitor_only(true);
         }
-        let result = run_faulted_trial_capped(
-            spec.node_config(),
-            spec.build_trace(),
-            driver.as_mut(),
-            spec.opts,
-            spec.power_cap_w,
-            spec.faults.as_ref(),
-        );
+        let mut trial = TrialBuilder::custom(spec.node_config()).opts(spec.opts);
+        if let Some(trace) = spec.build_trace() {
+            trial = trial.trace(trace);
+        }
+        if let Some(w) = spec.power_cap_w {
+            trial = trial.power_cap_w(w);
+        }
+        if let Some(plan) = spec.faults.as_ref() {
+            trial = trial.faults(plan);
+        }
+        let result = trial.run(driver.as_mut());
         let high_freq_fraction = driver.high_freq_fraction();
         self.cache_store(spec, &hash, &result, high_freq_fraction);
         let wall_s = t0.elapsed().as_secs_f64();
@@ -805,6 +806,27 @@ impl Engine {
                 events: outcome.result.events.clone(),
             });
         }
+    }
+
+    /// Fold one fleet run into the metrics registry: fleet-level
+    /// aggregates plus the per-shard lockstep counters. Everything here is
+    /// simulated-state-derived and deterministic for a given spec; the
+    /// summary aggregates are also shard-count invariant (only
+    /// `fleet/lockstep_*`, which count shard-clock rounds, vary with the
+    /// partition).
+    pub fn observe_fleet(&self, run: &crate::fleet::FleetRun) {
+        let r = &self.registry;
+        r.inc("fleet/runs_total", 1);
+        r.inc("fleet/nodes", run.summary.nodes.len() as u64);
+        r.inc("fleet/completed_nodes", run.summary.completed as u64);
+        r.inc("fleet/crashed_nodes", run.summary.crashed as u64);
+        r.inc("fleet/decisions", run.summary.decisions);
+        r.inc("fleet/node_steps", run.summary.node_steps);
+        for shard in &run.shard_stats {
+            r.inc("fleet/lockstep_rounds", shard.rounds);
+            r.inc("fleet/lockstep_stalls", shard.stalls);
+        }
+        r.set_gauge("fleet/shards", run.shard_stats.len() as f64);
     }
 
     /// Run a suite of independent trials. Outcomes come back in spec

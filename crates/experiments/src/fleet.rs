@@ -5,23 +5,28 @@
 //! [`magus_hetsim::fleet::FleetSim`]: every node gets its own driver
 //! instance (runtimes carry per-node feedback state) and one catalog
 //! application, assigned round-robin so any fleet size covers the whole
-//! catalog evenly. Traces come from the workload intern table, so a
-//! 1024-node fleet holds one `AppTrace` allocation per distinct
-//! application, not per node.
+//! catalog evenly. Traces come from the workload intern table in one bulk
+//! lookup ([`magus_workloads::app_traces`]), so a 100k-node fleet holds one
+//! `AppTrace` allocation per distinct application — and takes one lock
+//! round-trip, not one per node.
 //!
 //! Each node's trajectory is bit-identical to running it alone through
 //! [`crate::harness::run_trial`] with the same governor (asserted by
-//! `tests/fleet.rs`): the shared fleet clock only changes where
-//! macro-stepping spans split, never what they compute.
+//! `tests/fleet.rs`), for every shard count and on both stepping paths:
+//! shard clocks only change where macro-stepping spans split, never what
+//! they compute.
 
-use magus_hetsim::fleet::{Decision, FleetSim, FleetSummary};
-use magus_hetsim::{Node, Simulation};
-use magus_workloads::{app_trace, AppId};
+use magus_hetsim::fault::FaultPlan;
+use magus_hetsim::fleet::{
+    Decision, FleetSim, FleetSummary, NodeDecider, RunOpts, ShardStats, StepMode,
+};
+use magus_hetsim::Simulation;
+use magus_workloads::{app_traces, AppId, Platform};
 use serde::{Deserialize, Serialize};
 
 use crate::drivers::RuntimeDriver;
 use crate::engine::GovernorSpec;
-use crate::harness::SystemId;
+use crate::harness::{default_sim_path, SimPath, SystemId};
 
 /// One fleet run, fully specified.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,11 +39,28 @@ pub struct FleetSpec {
     pub nodes: usize,
     /// Per-node wall-clock budget (s).
     pub max_s: f64,
+    /// Shard count for the fleet kernel (results are bit-identical for
+    /// every value; this only sets the parallelism).
+    #[serde(default = "one_shard")]
+    pub shards: usize,
+    /// Stepping path every node uses.
+    #[serde(default)]
+    pub path: SimPath,
+    /// Fault plan attached to every node (fleet-level schedules select
+    /// nodes by global index). `None` runs clean.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultPlan>,
+}
+
+/// Serde default for [`FleetSpec::shards`]: pre-shard specs ran the whole
+/// fleet on one clock.
+fn one_shard() -> usize {
+    1
 }
 
 impl FleetSpec {
     /// A fleet of `nodes` Intel+A100 nodes under `governor` with the
-    /// default trial budget.
+    /// default trial budget, one shard, and the process-default sim path.
     #[must_use]
     pub fn new(governor: GovernorSpec, nodes: usize) -> Self {
         Self {
@@ -46,7 +68,17 @@ impl FleetSpec {
             governor,
             nodes,
             max_s: 600.0,
+            shards: 1,
+            path: default_sim_path(),
+            faults: None,
         }
+    }
+
+    /// Builder: shard the fleet across `shards` lockstep clocks.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 }
 
@@ -55,8 +87,13 @@ impl FleetSpec {
 pub struct FleetRun {
     /// The spec that ran.
     pub spec: FleetSpec,
-    /// Per-node summaries + fleet aggregates.
+    /// Per-node summaries + fleet aggregates (bit-identical across shard
+    /// counts).
     pub summary: FleetSummary,
+    /// Per-shard lockstep counters (shard-count dependent, so they live
+    /// outside the summary).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub shard_stats: Vec<ShardStats>,
 }
 
 /// The application fleet node `idx` runs: the catalog, round-robin.
@@ -66,32 +103,75 @@ pub fn fleet_app(idx: usize) -> AppId {
     apps[idx % apps.len()]
 }
 
-/// Execute one fleet run: build N nodes (round-robin catalog apps on
-/// interned traces), attach a fresh driver per node, and advance the whole
-/// fleet in lockstep to completion.
+/// The [`StepMode`] equivalent of a harness [`SimPath`].
 #[must_use]
-pub fn run_fleet(spec: &FleetSpec) -> FleetRun {
-    let mut fleet = FleetSim::new(spec.max_s);
-    let mut drivers: Vec<Box<dyn RuntimeDriver>> = Vec::with_capacity(spec.nodes);
-    for i in 0..spec.nodes {
-        let mut sim = Simulation::new(Node::new(spec.system.node_config()));
-        sim.load(app_trace(fleet_app(i), spec.system.platform()));
-        let mut driver = spec.governor.build_driver();
-        driver.attach(&mut sim);
-        fleet.add_sim(sim);
-        drivers.push(driver);
+pub fn step_mode(path: SimPath) -> StepMode {
+    match path {
+        SimPath::Reference => StepMode::Reference,
+        SimPath::Fast => StepMode::Fast,
     }
-    let mut decide = |i: usize, sim: &mut Simulation| {
-        let latency_us = drivers[i].on_decision(sim);
+}
+
+/// A [`RuntimeDriver`] adapted to the fleet kernel's [`NodeDecider`]
+/// contract: attach on node start, then one `on_decision` +
+/// `rest_interval_us` pair per deadline — exactly the solo trial loop.
+struct DriverDecider {
+    driver: Box<dyn RuntimeDriver>,
+}
+
+impl NodeDecider for DriverDecider {
+    fn attach(&mut self, sim: &mut Simulation) {
+        self.driver.attach(sim);
+    }
+
+    fn decide(&mut self, sim: &mut Simulation) -> Decision {
+        let latency_us = self.driver.on_decision(sim);
         Decision {
             latency_us,
-            rest_us: drivers[i].rest_interval_us(),
+            rest_us: self.driver.rest_interval_us(),
         }
-    };
-    let summary = fleet.run(&mut decide);
+    }
+}
+
+/// Run options giving every fleet node a fresh driver built from
+/// `governor` (runtimes carry per-node feedback state, so instances are
+/// never shared), stepping on `path`.
+#[must_use]
+pub fn governor_run_opts(governor: &GovernorSpec, path: SimPath) -> RunOpts {
+    let governor = governor.clone();
+    RunOpts::new(move |_idx| {
+        Box::new(DriverDecider {
+            driver: governor.build_driver(),
+        }) as Box<dyn NodeDecider>
+    })
+    .with_mode(step_mode(path))
+}
+
+/// Execute one fleet run: build N nodes (round-robin catalog apps on
+/// bulk-interned traces), give each a fresh driver, and advance the fleet
+/// across `spec.shards` lockstep clocks to completion.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`magus_hetsim::fleet::FleetBuilder`]
+/// validation (zero nodes/shards, non-positive budget, invalid fault plan).
+#[must_use]
+pub fn run_fleet(spec: &FleetSpec) -> FleetRun {
+    let platform = spec.system.platform();
+    let keys: Vec<(AppId, Platform)> = (0..spec.nodes).map(|i| (fleet_app(i), platform)).collect();
+    let mut builder = FleetSim::builder(spec.max_s).shards(spec.shards);
+    for trace in app_traces(&keys) {
+        builder = builder.node(spec.system.node_config(), trace);
+    }
+    if let Some(plan) = &spec.faults {
+        builder = builder.fault_plan(plan);
+    }
+    let mut fleet = builder.build().expect("invalid FleetSpec");
+    let summary = fleet.run(&governor_run_opts(&spec.governor, spec.path));
     FleetRun {
         spec: spec.clone(),
         summary,
+        shard_stats: fleet.shard_stats().to_vec(),
     }
 }
 
@@ -135,6 +215,8 @@ mod tests {
             assert_eq!(run.summary.completed, 3);
             assert!(run.summary.total_j > 0.0);
             assert!(run.summary.node_steps > 0);
+            assert_eq!(run.shard_stats.len(), 1);
+            assert_eq!(run.shard_stats[0].decisions, run.summary.decisions);
         }
         // MAGUS spends less uncore energy than the stock governor on the
         // same fleet — the paper's core claim, at fleet scale.
@@ -158,5 +240,29 @@ mod tests {
             ..FleetSpec::new(GovernorSpec::magus_default(), 4)
         });
         assert!(four.summary.decisions > one.summary.decisions);
+    }
+
+    #[test]
+    fn sharded_sweep_matches_single_shard_bit_for_bit() {
+        let spec = FleetSpec {
+            max_s: 60.0,
+            ..FleetSpec::new(GovernorSpec::magus_default(), 5)
+        };
+        let single = run_fleet(&spec);
+        let sharded = run_fleet(&spec.clone().with_shards(3));
+        assert_eq!(single.summary, sharded.summary);
+        assert_eq!(sharded.shard_stats.len(), 3);
+        let sharded_decisions: u64 = sharded.shard_stats.iter().map(|s| s.decisions).sum();
+        assert_eq!(sharded_decisions, single.summary.decisions);
+    }
+
+    #[test]
+    fn spec_serde_defaults_cover_pre_shard_specs() {
+        // Pre-shard serialized specs carry neither `shards` nor `path`.
+        let legacy = r#"{"system":"IntelA100","governor":"Default","nodes":2,"max_s":60.0}"#;
+        let spec: FleetSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(spec.shards, 1);
+        assert_eq!(spec.path, SimPath::Fast);
+        assert!(spec.faults.is_none());
     }
 }

@@ -192,46 +192,175 @@ fn fault_counters_zero(c: &FaultCounters) -> bool {
     *c == FaultCounters::default()
 }
 
-/// Run `app` on `system` under `driver`.
+/// One (node × workload × runtime) trial, built up with typed options —
+/// the single non-deprecated construction path for every experiment run.
+///
+/// Start from a paper testbed ([`TrialBuilder::on`]) or an explicit node
+/// configuration ([`TrialBuilder::custom`]); add a workload (or none, for
+/// the Table 2 idle-overhead protocol), options, an optional RAPL PL1 cap,
+/// an optional fault plan; then [`TrialBuilder::run`] a driver through it:
+///
+/// ```
+/// use magus_experiments::drivers::NoopDriver;
+/// use magus_experiments::{SystemId, TrialBuilder};
+/// use magus_workloads::AppId;
+///
+/// let result = TrialBuilder::on(SystemId::IntelA100)
+///     .app(AppId::Bfs)
+///     .run(&mut NoopDriver);
+/// assert!(result.summary.completed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrialBuilder {
+    config: NodeConfig,
+    platform: Option<Platform>,
+    trace: Option<Arc<AppTrace>>,
+    opts: TrialOpts,
+    power_cap_w: Option<f64>,
+    faults: Option<FaultPlan>,
+}
+
+impl TrialBuilder {
+    /// A trial on one of the paper's testbeds (the platform is remembered,
+    /// so [`TrialBuilder::app`] can resolve catalog workloads).
+    #[must_use]
+    pub fn on(system: SystemId) -> Self {
+        Self {
+            config: system.node_config(),
+            platform: Some(system.platform()),
+            trace: None,
+            opts: TrialOpts::default(),
+            power_cap_w: None,
+            faults: None,
+        }
+    }
+
+    /// A trial on an explicit node configuration (custom hardware: the AMD
+    /// preset, modified power models, ...). Catalog apps are unavailable —
+    /// supply workloads through [`TrialBuilder::trace`].
+    #[must_use]
+    pub fn custom(config: NodeConfig) -> Self {
+        Self {
+            config,
+            platform: None,
+            trace: None,
+            opts: TrialOpts::default(),
+            power_cap_w: None,
+            faults: None,
+        }
+    }
+
+    /// Run catalog application `app` (interned trace for this system's
+    /// platform).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`TrialBuilder::custom`] trial — a bare `NodeConfig` has
+    /// no workload platform; pass an explicit [`TrialBuilder::trace`].
+    #[must_use]
+    pub fn app(mut self, app: AppId) -> Self {
+        let platform = self
+            .platform
+            .expect("TrialBuilder::app needs a testbed platform; custom configs take trace()");
+        self.trace = Some(app_trace(app, platform));
+        self
+    }
+
+    /// Run an explicit trace (owned, or a shared `Arc` from the intern
+    /// table). Without a trace the node idles for the full budget.
+    #[must_use]
+    pub fn trace(mut self, trace: impl Into<Arc<AppTrace>>) -> Self {
+        self.trace = Some(trace.into());
+        self
+    }
+
+    /// Replace the trial options (recording interval, budget, sim path).
+    #[must_use]
+    pub fn opts(mut self, opts: TrialOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Select the stepping path (shorthand for editing [`TrialOpts::path`]).
+    #[must_use]
+    pub fn path(mut self, path: SimPath) -> Self {
+        self.opts.path = path;
+        self
+    }
+
+    /// Program a per-socket RAPL PL1 limit (W) before the driver attaches
+    /// (the §6.1 power-budget study).
+    #[must_use]
+    pub fn power_cap_w(mut self, w: f64) -> Self {
+        self.power_cap_w = Some(w);
+        self
+    }
+
+    /// Attach a fault plan before the driver attaches (the robustness-study
+    /// path). An empty plan normalizes to no plan: the run stays
+    /// bit-identical to a clean one.
+    #[must_use]
+    pub fn faults(mut self, plan: &FaultPlan) -> Self {
+        self.faults = (!plan.is_empty()).then_some(*plan);
+        self
+    }
+
+    /// Execute the trial under `driver`.
+    #[must_use]
+    pub fn run(self, driver: &mut dyn RuntimeDriver) -> TrialResult {
+        execute(
+            self.config,
+            self.trace,
+            driver,
+            self.opts,
+            self.power_cap_w,
+            self.faults.as_ref(),
+        )
+    }
+}
+
+/// Run `app` on `system` under `driver` — the ubiquitous shorthand for
+/// `TrialBuilder::on(system).app(app).opts(opts).run(driver)`.
 pub fn run_trial(
     system: SystemId,
     app: AppId,
     driver: &mut dyn RuntimeDriver,
     opts: TrialOpts,
 ) -> TrialResult {
-    let trace = app_trace(app, system.platform());
-    run_trace_trial(system, trace, driver, opts)
+    TrialBuilder::on(system).app(app).opts(opts).run(driver)
 }
 
-/// Run an explicit trace (used by sweeps that modify workloads). Accepts an
-/// owned trace or a shared `Arc<AppTrace>` from the intern table.
+/// Run an explicit trace (used by sweeps that modify workloads).
+#[deprecated(note = "use `TrialBuilder::on(system).trace(trace)` instead")]
 pub fn run_trace_trial(
     system: SystemId,
     trace: impl Into<Arc<AppTrace>>,
     driver: &mut dyn RuntimeDriver,
     opts: TrialOpts,
 ) -> TrialResult {
-    run_custom_trial(system.node_config(), trace, driver, opts)
+    execute(
+        system.node_config(),
+        Some(trace.into()),
+        driver,
+        opts,
+        None,
+        None,
+    )
 }
 
-/// Run an explicit trace on an explicit node configuration (custom
-/// hardware: the AMD preset, modified power models, ...).
+/// Run an explicit trace on an explicit node configuration.
+#[deprecated(note = "use `TrialBuilder::custom(config).trace(trace)` instead")]
 pub fn run_custom_trial(
     config: NodeConfig,
     trace: impl Into<Arc<AppTrace>>,
     driver: &mut dyn RuntimeDriver,
     opts: TrialOpts,
 ) -> TrialResult {
-    run_custom_trial_capped(config, Some(trace.into()), driver, opts, None)
+    execute(config, Some(trace.into()), driver, opts, None, None)
 }
 
-/// The fully general trial executor behind every experiment path.
-///
-/// * `trace = None` runs an idle node for `opts.max_s` (the Table 2
-///   overhead protocol) — an idle simulation is never "done", so the
-///   budget is the only terminator.
-/// * `power_cap_w` programs a per-socket RAPL PL1 limit before the driver
-///   attaches (the §6.1 power-budget study).
+/// Fully positional trial executor (pre-[`TrialBuilder`] surface).
+#[deprecated(note = "use `TrialBuilder::custom(config)` with typed options instead")]
 pub fn run_custom_trial_capped(
     config: NodeConfig,
     trace: Option<Arc<AppTrace>>,
@@ -239,13 +368,34 @@ pub fn run_custom_trial_capped(
     opts: TrialOpts,
     power_cap_w: Option<f64>,
 ) -> TrialResult {
-    run_faulted_trial_capped(config, trace, driver, opts, power_cap_w, None)
+    execute(config, trace, driver, opts, power_cap_w, None)
 }
 
-/// [`run_custom_trial_capped`] with a fault plan threaded into the node
-/// before the driver attaches (the robustness-study path). `None` — or an
-/// empty plan — attaches nothing: the run is bit-identical to a clean one.
+/// Fully positional trial executor with a fault plan (pre-[`TrialBuilder`]
+/// surface).
+#[deprecated(note = "use `TrialBuilder::custom(config)` with typed options instead")]
 pub fn run_faulted_trial_capped(
+    config: NodeConfig,
+    trace: Option<Arc<AppTrace>>,
+    driver: &mut dyn RuntimeDriver,
+    opts: TrialOpts,
+    power_cap_w: Option<f64>,
+    faults: Option<&FaultPlan>,
+) -> TrialResult {
+    execute(config, trace, driver, opts, power_cap_w, faults)
+}
+
+/// The one trial executor behind [`TrialBuilder`] and every wrapper.
+///
+/// * `trace = None` runs an idle node for `opts.max_s` (the Table 2
+///   overhead protocol) — an idle simulation is never "done", so the
+///   budget is the only terminator.
+/// * `power_cap_w` programs a per-socket RAPL PL1 limit before the driver
+///   attaches (the §6.1 power-budget study).
+/// * `faults` threads a fault plan into the node before the driver attaches
+///   (the robustness-study path). `None` — or an empty plan — attaches
+///   nothing: the run is bit-identical to a clean one.
+fn execute(
     config: NodeConfig,
     trace: Option<Arc<AppTrace>>,
     driver: &mut dyn RuntimeDriver,
@@ -512,6 +662,81 @@ mod tests {
         assert_eq!(nc.events_dropped, 0);
         // Two sockets accumulate residency for every simulated µs.
         assert_eq!(nc.residency_total_us(), secs_to_us(r.summary.runtime_s) * 2);
+    }
+
+    #[test]
+    fn builder_matches_positional_wrappers_bit_for_bit() {
+        let opts = TrialOpts::default();
+        let built = TrialBuilder::on(SystemId::IntelA100)
+            .app(AppId::Bfs)
+            .opts(opts)
+            .run(&mut NoopDriver);
+        let classic = run_trial(SystemId::IntelA100, AppId::Bfs, &mut NoopDriver, opts);
+        assert_eq!(built.summary, classic.summary);
+        // The deprecated positional surface must keep producing identical
+        // results until external callers migrate.
+        #[allow(deprecated)]
+        {
+            let trace = app_trace(AppId::Bfs, Platform::IntelA100);
+            let t = run_trace_trial(
+                SystemId::IntelA100,
+                Arc::clone(&trace),
+                &mut NoopDriver,
+                opts,
+            );
+            assert_eq!(t.summary, built.summary);
+            let c = run_custom_trial(
+                NodeConfig::intel_a100(),
+                Arc::clone(&trace),
+                &mut NoopDriver,
+                opts,
+            );
+            assert_eq!(c.summary, built.summary);
+            let capped = run_custom_trial_capped(
+                NodeConfig::intel_a100(),
+                Some(Arc::clone(&trace)),
+                &mut NoopDriver,
+                opts,
+                None,
+            );
+            assert_eq!(capped.summary, built.summary);
+            let faulted = run_faulted_trial_capped(
+                NodeConfig::intel_a100(),
+                Some(trace),
+                &mut NoopDriver,
+                opts,
+                None,
+                None,
+            );
+            assert_eq!(faulted.summary, built.summary);
+        }
+    }
+
+    #[test]
+    fn builder_normalizes_empty_fault_plans() {
+        let clean = TrialBuilder::on(SystemId::IntelA100)
+            .app(AppId::Srad)
+            .run(&mut NoopDriver);
+        let armed = TrialBuilder::on(SystemId::IntelA100)
+            .app(AppId::Srad)
+            .faults(&FaultPlan::default())
+            .run(&mut NoopDriver);
+        assert_eq!(clean.summary, armed.summary);
+        assert_eq!(armed.fault_counters, FaultCounters::default());
+    }
+
+    #[test]
+    fn builder_idle_trial_runs_out_the_budget() {
+        // No trace = the Table 2 idle-overhead protocol: the budget is the
+        // only terminator.
+        let r = TrialBuilder::on(SystemId::IntelA100)
+            .opts(TrialOpts {
+                max_s: 2.0,
+                ..TrialOpts::default()
+            })
+            .run(&mut NoopDriver);
+        assert!(!r.summary.completed);
+        assert!((r.summary.runtime_s - 2.0).abs() < 0.05);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //! * [`fleet`] — the fleet sweep: the catalog under each governor across
 //!   an N-node lockstep fleet (`magus_hetsim::fleet`), with per-node
 //!   drivers adapted to the fleet's decision callback.
+//! * [`opts`] — the shared [`EngineOpts`] parser behind every binary's
+//!   global engine switches (`--jobs`, `--no-cache`, `--serial`,
+//!   `--sim-path`, `--telemetry`, `--faults`) and their `MAGUS_*`
+//!   environment mirrors.
 //! * [`report`] — plain-text table/series formatting shared by the bench
 //!   binaries.
 //! * [`amd`] — the §6.6 AMD port: the same MAGUS core actuating Infinity
@@ -49,6 +53,7 @@ pub mod figures;
 pub mod fleet;
 pub mod harness;
 pub mod metrics;
+pub mod opts;
 pub mod overhead;
 pub mod pareto;
 pub mod powercap;
@@ -61,10 +66,11 @@ pub use engine::{
     spec_hash, Engine, ExecMode, GovernorSpec, RunManifest, SystemSel, TrialBrief, TrialOutcome,
     TrialSpec, WorkloadSel, ENGINE_SALT,
 };
-pub use fleet::{fleet_sweep, run_fleet, FleetRun, FleetSpec};
+pub use fleet::{fleet_sweep, governor_run_opts, run_fleet, FleetRun, FleetSpec};
 pub use harness::{
-    default_fault_plan, run_faulted_trial_capped, run_trial, set_default_fault_plan, SimPath,
-    SystemId, TrialOpts, TrialResult,
+    default_fault_plan, run_trial, set_default_fault_plan, SimPath, SystemId, TrialBuilder,
+    TrialOpts, TrialResult,
 };
 pub use metrics::{burst_jaccard, Comparison};
+pub use opts::{engine_from_cli, EngineOpts};
 pub use pareto::{pareto_frontier, ParetoPoint};

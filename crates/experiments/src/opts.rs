@@ -1,0 +1,295 @@
+//! Shared engine-option parsing for every binary in the suite.
+//!
+//! The `magus` CLI and the bench bins all accept the same global engine
+//! switches (`--jobs`, `--no-cache`, `--serial`, `--sim-path`,
+//! `--telemetry`, `--faults`) mirrored by the `MAGUS_*` environment knobs
+//! that [`Engine::from_env`] reads. [`EngineOpts`] is the one typed home
+//! for those flags: [`EngineOpts::take_from_args`] extracts them from any
+//! argument vector (position-independent, leaving command-specific
+//! arguments behind), [`EngineOpts::to_args`] serializes them back (the
+//! round-trip test below replaces the N per-bin parser copies), and
+//! [`EngineOpts::install_defaults`] + [`EngineOpts::build_engine`] apply
+//! them. Bench bins get the whole pipeline in one call:
+//! [`engine_from_cli`].
+
+use std::path::PathBuf;
+
+use magus_hetsim::FaultPlan;
+
+use crate::engine::Engine;
+use crate::harness::{set_default_fault_plan, set_default_sim_path, SimPath};
+
+/// Global engine options, valid on every command of every bin.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EngineOpts {
+    /// `--no-cache`: always simulate; don't read or write `results/cache`.
+    pub no_cache: bool,
+    /// `--serial`: run trials one at a time (results are bit-identical to
+    /// the parallel default; this only trades wall time for quiet cores).
+    pub serial: bool,
+    /// `--jobs N`: pin the engine's worker pool to N threads (`0` = one
+    /// per CPU). `None` uses the global rayon default, like `MAGUS_JOBS`
+    /// unset. Explicit sizing makes bench numbers reproducible across
+    /// machines.
+    pub jobs: Option<usize>,
+    /// `--telemetry <file>`: after the command, write the decision-event
+    /// stream as JSON Lines to `<file>` and a Prometheus-text metrics
+    /// snapshot beside it (`<file>` with extension `.prom`).
+    pub telemetry: Option<PathBuf>,
+    /// `--sim-path fast|reference`: force every trial built with default
+    /// options onto one stepping path. CI's telemetry-regression job runs
+    /// the suite under both and diffs the event streams (the JSONL and
+    /// its `.prom` sibling must match byte-for-byte).
+    pub sim_path: Option<SimPath>,
+    /// `--faults <plan.json>`: load a [`FaultPlan`] and inject it into
+    /// every trial of the command. The plan is validated on load and
+    /// becomes part of each spec's content hash, so faulted trials never
+    /// share cache entries with clean ones.
+    pub faults: Option<PathBuf>,
+}
+
+/// Extract `--flag value` from an argument list, removing both tokens.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+/// Extract a bare `--switch` from an argument list, removing it.
+pub fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == switch) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+impl EngineOpts {
+    /// Extract every engine switch from `args` (anywhere on the command
+    /// line), leaving non-engine arguments in place and in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for malformed values (`--jobs` that
+    /// isn't a count, `--sim-path` that isn't `fast`/`reference`).
+    pub fn take_from_args(args: &mut Vec<String>) -> Result<Self, String> {
+        let jobs = take_flag(args, "--jobs")
+            .map(|v| v.parse::<usize>())
+            .transpose()
+            .map_err(|_| "bad --jobs (expected a thread count, 0 = ncpus)".to_string())?;
+        let telemetry = take_flag(args, "--telemetry").map(PathBuf::from);
+        let sim_path = take_flag(args, "--sim-path")
+            .map(|v| match v.to_ascii_lowercase().as_str() {
+                "fast" => Ok(SimPath::Fast),
+                "reference" | "ref" => Ok(SimPath::Reference),
+                other => Err(format!(
+                    "unknown --sim-path '{other}' (expected fast or reference)"
+                )),
+            })
+            .transpose()?;
+        let faults = take_flag(args, "--faults").map(PathBuf::from);
+        Ok(Self {
+            no_cache: take_switch(args, "--no-cache"),
+            serial: take_switch(args, "--serial"),
+            jobs,
+            telemetry,
+            sim_path,
+            faults,
+        })
+    }
+
+    /// Serialize back to the argument tokens [`EngineOpts::take_from_args`]
+    /// consumes (the round-trip property the test below pins down).
+    #[must_use]
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = Vec::new();
+        if self.no_cache {
+            args.push("--no-cache".to_string());
+        }
+        if self.serial {
+            args.push("--serial".to_string());
+        }
+        if let Some(jobs) = self.jobs {
+            args.push("--jobs".to_string());
+            args.push(jobs.to_string());
+        }
+        if let Some(path) = &self.telemetry {
+            args.push("--telemetry".to_string());
+            args.push(path.display().to_string());
+        }
+        if let Some(path) = self.sim_path {
+            args.push("--sim-path".to_string());
+            args.push(
+                match path {
+                    SimPath::Fast => "fast",
+                    SimPath::Reference => "reference",
+                }
+                .to_string(),
+            );
+        }
+        if let Some(path) = &self.faults {
+            args.push("--faults".to_string());
+            args.push(path.display().to_string());
+        }
+        args
+    }
+
+    /// Install the process-wide defaults these options select: the
+    /// `--sim-path` stepping path, and the `--faults` plan (loaded,
+    /// validated — serde bypasses the builder, so [`FaultPlan::validate`]
+    /// re-checks the constraints — and set as the default for every trial).
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message when the fault-plan file cannot be
+    /// read, parsed, or validated.
+    pub fn install_defaults(&self) -> Result<(), String> {
+        if let Some(path) = self.sim_path {
+            set_default_sim_path(path);
+        }
+        let Some(path) = &self.faults else {
+            return Ok(());
+        };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("--faults: cannot read {}: {e}", path.display()))?;
+        let plan: FaultPlan = serde_json::from_str(&text)
+            .map_err(|e| format!("--faults: {} is not a fault plan: {e}", path.display()))?;
+        plan.validate()
+            .map_err(|e| format!("--faults: invalid plan in {}: {e}", path.display()))?;
+        if plan.is_empty() {
+            eprintln!(
+                "[engine] fault plan {} is empty: trials run clean",
+                path.display()
+            );
+        } else {
+            eprintln!(
+                "[engine] injecting faults from {} (seed {})",
+                path.display(),
+                plan.seed
+            );
+        }
+        set_default_fault_plan(Some(plan));
+        Ok(())
+    }
+
+    /// Build the trial engine these options select, layered over the
+    /// `MAGUS_*` environment (flags win over env).
+    #[must_use]
+    pub fn build_engine(&self) -> Engine {
+        let mut engine = Engine::from_env();
+        if self.no_cache {
+            engine = engine.without_cache();
+        }
+        if self.serial {
+            engine = engine.serial();
+        }
+        if let Some(jobs) = self.jobs {
+            engine = engine.with_jobs(jobs);
+        }
+        engine
+    }
+}
+
+/// The whole pipeline for bench bins: parse the engine switches off this
+/// process's argument vector, install the defaults they select, and build
+/// the engine. Returns the engine, the parsed options, and the remaining
+/// (non-engine) arguments. Exits with status 2 on a malformed switch —
+/// bench bins have no usage screen of their own.
+#[must_use]
+pub fn engine_from_cli(bin: &str) -> (Engine, EngineOpts, Vec<String>) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match EngineOpts::take_from_args(&mut args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = opts.install_defaults() {
+        eprintln!("{bin}: {e}");
+        std::process::exit(2);
+    }
+    (opts.build_engine(), opts, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn engine_opts_round_trip_through_args() {
+        let opts = EngineOpts {
+            no_cache: true,
+            serial: true,
+            jobs: Some(4),
+            telemetry: Some(PathBuf::from("out/t.jsonl")),
+            sim_path: Some(SimPath::Reference),
+            faults: Some(PathBuf::from("plan.json")),
+        };
+        let mut args = opts.to_args();
+        // Command-specific arguments survive extraction, in order.
+        args.insert(0, "fleet".to_string());
+        args.push("--nodes".to_string());
+        args.push("64".to_string());
+        let parsed = EngineOpts::take_from_args(&mut args).unwrap();
+        assert_eq!(parsed, opts);
+        assert_eq!(args, v(&["fleet", "--nodes", "64"]));
+
+        // And the empty default round-trips to no tokens at all.
+        assert!(EngineOpts::default().to_args().is_empty());
+        let mut none = v(&["suite"]);
+        assert_eq!(
+            EngineOpts::take_from_args(&mut none).unwrap(),
+            EngineOpts::default()
+        );
+        assert_eq!(none, v(&["suite"]));
+    }
+
+    #[test]
+    fn switches_parse_anywhere_on_the_line() {
+        let mut args = v(&["--serial", "suite", "--no-cache", "--jobs", "0"]);
+        let opts = EngineOpts::take_from_args(&mut args).unwrap();
+        assert!(opts.serial && opts.no_cache);
+        assert_eq!(opts.jobs, Some(0), "0 means one worker per CPU");
+        assert_eq!(args, v(&["suite"]));
+    }
+
+    #[test]
+    fn malformed_values_error_cleanly() {
+        let mut args = v(&["--jobs", "many", "suite"]);
+        let err = EngineOpts::take_from_args(&mut args).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        let mut args = v(&["suite", "--sim-path", "warp"]);
+        let err = EngineOpts::take_from_args(&mut args).unwrap_err();
+        assert!(err.contains("--sim-path"), "{err}");
+    }
+
+    #[test]
+    fn sim_path_accepts_the_ref_alias() {
+        let mut args = v(&["--sim-path", "ref"]);
+        let opts = EngineOpts::take_from_args(&mut args).unwrap();
+        assert_eq!(opts.sim_path, Some(SimPath::Reference));
+        // `to_args` canonicalizes to the long spelling.
+        assert_eq!(opts.to_args(), v(&["--sim-path", "reference"]));
+    }
+
+    #[test]
+    fn missing_fault_file_surfaces_a_readable_error() {
+        let opts = EngineOpts {
+            faults: Some(PathBuf::from("/nonexistent/magus-fault-plan.json")),
+            ..EngineOpts::default()
+        };
+        let err = opts.install_defaults().unwrap_err();
+        assert!(err.contains("--faults"), "{err}");
+        assert!(err.contains("magus-fault-plan.json"), "{err}");
+    }
+}

@@ -1,45 +1,56 @@
-//! Batched multi-node fleet simulation over a shared clock.
+//! Sharded, structure-of-arrays fleet simulation over lockstep shard clocks.
 //!
 //! The paper's target is cluster-wide power waste: MAGUS is meant to run on
 //! every node of a GPU-dominant fleet, and the interesting quantities
 //! (aggregate uncore energy, the distribution of per-node waste, fleet
 //! makespan) only exist across many nodes. [`FleetSim`] steps N independent
-//! nodes in lockstep over one shared clock:
+//! nodes to completion; at the 100k-node scale the roadmap targets, the
+//! kernel is organized around three ideas:
 //!
-//! * Per-node *feedback* state lives in structure-of-arrays form — parallel
-//!   vectors for the macro-stepping [`FastForward`] carry-over, the next
-//!   decision deadline, and the active flag — so the per-round control scan
-//!   touches a few dense arrays instead of hopping through N node structs.
-//! * Each round fires the decisions that are due, picks the earliest next
-//!   event across the fleet (a decision deadline or the budget), and
-//!   macro-steps every active node to that shared horizon with
-//!   [`Simulation::advance_until`]. Splitting a node's timeline at foreign
-//!   nodes' event times is bit-identical to stepping it alone: the frozen
-//!   span state persists in its `FastForward`, so each node produces exactly
-//!   the trajectory a single-node trial of the same workload would.
-//! * Decision logic stays outside this crate: the caller supplies a
-//!   `decide(node_idx, &mut Simulation) -> Decision` callback (the
-//!   experiments layer adapts its `RuntimeDriver`s to this), mirroring the
-//!   single-node harness contract — first decision immediately, then
-//!   `now + latency + rest` scheduling, `rest == u64::MAX` meaning never
-//!   again.
+//! * **SoA decision state.** All per-node feedback state the per-round
+//!   control scan touches lives in flat lanes — `next_due_us`, `now_us`,
+//!   `target_us` (`Vec<u64>`), a `status` byte lane, and the progress lane —
+//!   so the fixed-point scans stream over dense arrays instead of hopping
+//!   through N `Simulation` structs. The only per-node indirection left on
+//!   the hot path is the macro-step itself ([`Simulation::advance_until`]),
+//!   which is where the actual physics lives.
+//! * **Batched fixed-point scans.** The per-round horizon reduction and the
+//!   summary aggregates run over the lanes with `chunks_exact` loops
+//!   (8-wide min/max accumulators) that the compiler can autovectorize.
+//!   Reductions that are *not* reorder-safe — the fleet's f64 energy sums —
+//!   deliberately stay in node-index order: f64 addition is non-associative,
+//!   and the summary fold order is part of the bit-identity contract (the
+//!   pre-SoA reference fold order asserted by `tests/fleet.rs`).
+//! * **Shard-local clocks.** Nodes are partitioned into contiguous index
+//!   ranges, one per shard, executed on a work-stealing rayon pool. Fleet
+//!   nodes never interact, so each shard advances its own lockstep clock and
+//!   synchronizes with nothing: shard clocks only share *decision
+//!   boundaries* (each round's horizon is the min over that shard's
+//!   per-node decision deadlines). Splitting a node's timeline at foreign
+//!   nodes' event times never changes what it computes — the frozen span
+//!   state persists in its [`FastForward`] — so every node is bit-identical
+//!   to a solo run regardless of shard count, on both stepping paths, with
+//!   fault plans attached.
 //!
-//! Traces are shared `Arc`s (see `magus_workloads::intern`), so a
-//! 1024-node fleet running the catalog holds one trace allocation per
-//! distinct workload, not per node.
+//! Construction goes through the validating [`FleetBuilder`]; execution is
+//! a single [`FleetSim::run`] taking [`RunOpts`] (stepping mode + a
+//! [`NodeDecider`] factory). Traces are shared `Arc`s (see
+//! `magus_workloads::intern`), so a 100k-node fleet running the catalog
+//! holds one trace allocation per distinct workload, not per node.
 
 use std::sync::Arc;
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::fault::{FaultPlan, FleetFaults};
+use crate::fault::{FaultCounters, FaultPlan, FaultPlanError, FleetFaults};
 use crate::node::FastForward;
 use crate::sim::{RunSummary, Simulation};
 use crate::workload::AppTrace;
 use crate::{Node, NodeConfig};
 
-/// One runtime decision's scheduling outcome, as reported by the caller's
-/// decide callback (the fleet equivalent of `RuntimeDriver::on_decision` +
+/// One runtime decision's scheduling outcome, as reported by a
+/// [`NodeDecider`] (the fleet equivalent of `RuntimeDriver::on_decision` +
 /// `rest_interval_us`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Decision {
@@ -58,6 +69,347 @@ impl Decision {
             .saturating_add(self.latency_us)
             .saturating_add(self.rest_us)
     }
+}
+
+/// Per-node decision logic for a fleet run.
+///
+/// One decider is created per node (by the [`RunOpts`] factory) inside the
+/// node's shard task, so implementations need no `Send` bound of their own:
+/// they are created, used, and dropped on one thread. The contract mirrors
+/// the single-node trial loop exactly — [`NodeDecider::attach`] before the
+/// first tick, then [`NodeDecider::decide`] immediately at t=0 and again at
+/// each `now + latency + rest` deadline.
+pub trait NodeDecider {
+    /// One-time hook before the node starts stepping (attach a driver,
+    /// program a power cap, ...). Default: nothing.
+    fn attach(&mut self, _sim: &mut Simulation) {}
+
+    /// Fire one runtime decision and report its scheduling outcome.
+    fn decide(&mut self, sim: &mut Simulation) -> Decision;
+}
+
+/// Which stepping path fleet nodes use (the fleet-level mirror of the
+/// harness's `SimPath`). Both are bit-identical; `Fast` macro-steps frozen
+/// inter-event spans, `Reference` steps tick by tick for differential
+/// audits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StepMode {
+    /// Per-tick reference stepping (`Simulation::step`).
+    Reference,
+    /// Event-horizon macro-stepping (`Simulation::advance_until`).
+    #[default]
+    Fast,
+}
+
+/// Factory producing one boxed [`NodeDecider`] per global node index.
+pub type DeciderFactory = Arc<dyn Fn(usize) -> Box<dyn NodeDecider> + Send + Sync>;
+
+/// Options for one [`FleetSim::run`]: the stepping mode and the per-node
+/// decider factory. The factory is called with each node's *global* index
+/// from inside that node's shard task.
+#[derive(Clone)]
+pub struct RunOpts {
+    mode: StepMode,
+    deciders: DeciderFactory,
+}
+
+impl RunOpts {
+    /// Run options with a per-node decider factory (fast path by default).
+    #[must_use]
+    pub fn new(factory: impl Fn(usize) -> Box<dyn NodeDecider> + Send + Sync + 'static) -> Self {
+        Self {
+            mode: StepMode::default(),
+            deciders: Arc::new(factory),
+        }
+    }
+
+    /// Run options adapting one stateless closure as every node's decider:
+    /// `f(global_index, sim) -> Decision`.
+    #[must_use]
+    pub fn from_fn(f: impl Fn(usize, &mut Simulation) -> Decision + Send + Sync + 'static) -> Self {
+        struct FnDecider {
+            idx: usize,
+            f: Arc<dyn Fn(usize, &mut Simulation) -> Decision + Send + Sync>,
+        }
+        impl NodeDecider for FnDecider {
+            fn decide(&mut self, sim: &mut Simulation) -> Decision {
+                (self.f)(self.idx, sim)
+            }
+        }
+        let f: Arc<dyn Fn(usize, &mut Simulation) -> Decision + Send + Sync> = Arc::new(f);
+        Self::new(move |idx| {
+            Box::new(FnDecider {
+                idx,
+                f: Arc::clone(&f),
+            })
+        })
+    }
+
+    /// No-op governor: one immediate decision per node, then never again.
+    #[must_use]
+    pub fn noop() -> Self {
+        Self::from_fn(|_, _| Decision {
+            latency_us: 0,
+            rest_us: u64::MAX,
+        })
+    }
+
+    /// Builder: select the stepping mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: StepMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The stepping mode these options select.
+    #[must_use]
+    pub fn mode(&self) -> StepMode {
+        self.mode
+    }
+}
+
+impl core::fmt::Debug for RunOpts {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RunOpts")
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Validation errors from [`FleetBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetBuildError {
+    /// The fleet has no nodes.
+    EmptyFleet,
+    /// The per-node budget is not a positive finite number of seconds.
+    BadBudget(f64),
+    /// The shard count is zero.
+    ZeroShards,
+    /// A pre-built simulation was added with its clock already advanced;
+    /// fleet nodes must start at t=0.
+    NodeClockNonzero {
+        /// Node index within the builder.
+        index: usize,
+        /// The node's clock at build time (µs).
+        time_us: u64,
+    },
+    /// The attached fault plan fails [`FaultPlan::validate`].
+    InvalidFaultPlan(FaultPlanError),
+}
+
+impl core::fmt::Display for FleetBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::EmptyFleet => write!(f, "fleet has no nodes"),
+            Self::BadBudget(b) => write!(f, "budget must be positive and finite, got {b}"),
+            Self::ZeroShards => write!(f, "shard count must be at least 1"),
+            Self::NodeClockNonzero { index, time_us } => write!(
+                f,
+                "node {index} starts at t={time_us}µs; fleet nodes must start at t=0"
+            ),
+            Self::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetBuildError {}
+
+impl From<FaultPlanError> for FleetBuildError {
+    fn from(e: FaultPlanError) -> Self {
+        Self::InvalidFaultPlan(e)
+    }
+}
+
+/// Validating constructor for [`FleetSim`] — the one non-deprecated way to
+/// build a fleet. Collects nodes (from config + trace, or pre-built
+/// simulations), the shard count, the per-node budget, and an optional
+/// fault plan, then checks the lot in [`FleetBuilder::build`].
+#[derive(Debug)]
+pub struct FleetBuilder {
+    budget_s: f64,
+    shards: usize,
+    sims: Vec<Simulation>,
+    faults: Option<FaultPlan>,
+}
+
+impl FleetBuilder {
+    /// Start a fleet with a per-node wall-clock budget (s) and one shard.
+    #[must_use]
+    pub fn new(budget_s: f64) -> Self {
+        Self {
+            budget_s,
+            shards: 1,
+            sims: Vec::new(),
+            faults: None,
+        }
+    }
+
+    /// Partition the fleet into `shards` contiguous index ranges stepped in
+    /// parallel (clamped to the node count at run time). Results are
+    /// bit-identical for every shard count.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Add a node running `trace` (an owned trace or a shared `Arc` from
+    /// the workload intern table).
+    #[must_use]
+    pub fn node(mut self, config: NodeConfig, trace: impl Into<Arc<AppTrace>>) -> Self {
+        let mut sim = Simulation::new(Node::new(config));
+        sim.load(trace);
+        self.sims.push(sim);
+        self
+    }
+
+    /// Add a pre-built simulation (custom recorder, pre-programmed power
+    /// limit, ...). It must still be at t=0.
+    #[must_use]
+    pub fn sim(mut self, sim: Simulation) -> Self {
+        self.sims.push(sim);
+        self
+    }
+
+    /// Arm fault injection for the whole fleet: every node gets the
+    /// node-level portion of the plan (sensor/actuator/meter faults, same
+    /// seed on every node — deterministic), and the fleet loop gets the
+    /// fleet-level schedules. Nodes are selected by 1-based *global* index:
+    /// with `crash_every = Some(k)`, nodes k, 2k, ... crash at
+    /// `crash_at_us`; with `stall_every = Some(k)`, those nodes' decision
+    /// deadlines slip by `stall_us` after every decision (a hung runtime
+    /// daemon). An empty plan arms nothing.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: &FaultPlan) -> Self {
+        self.faults = Some(*plan);
+        self
+    }
+
+    /// Validate and build the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FleetBuildError`] if the fleet is empty, the budget is
+    /// not positive and finite, the shard count is zero, any node's clock
+    /// is already advanced, or the fault plan fails validation.
+    pub fn build(self) -> Result<FleetSim, FleetBuildError> {
+        if !(self.budget_s.is_finite() && self.budget_s > 0.0) {
+            return Err(FleetBuildError::BadBudget(self.budget_s));
+        }
+        if self.shards == 0 {
+            return Err(FleetBuildError::ZeroShards);
+        }
+        if self.sims.is_empty() {
+            return Err(FleetBuildError::EmptyFleet);
+        }
+        for (index, sim) in self.sims.iter().enumerate() {
+            let time_us = sim.node().time_us();
+            if time_us != 0 {
+                return Err(FleetBuildError::NodeClockNonzero { index, time_us });
+            }
+        }
+        let mut sims = self.sims;
+        let mut fleet_faults = None;
+        if let Some(plan) = self.faults {
+            plan.validate()?;
+            if !plan.is_empty() {
+                for sim in &mut sims {
+                    sim.node_mut().set_fault_plan(plan);
+                }
+                fleet_faults = (!plan.fleet.is_empty()).then_some(plan.fleet);
+            }
+        }
+        let n = sims.len();
+        Ok(FleetSim {
+            sims,
+            ff: (0..n).map(|_| FastForward::new()).collect(),
+            next_due_us: vec![0; n], // first decision immediately
+            now_us: vec![0; n],
+            target_us: vec![0; n],
+            status: vec![ACTIVE; n],
+            budget_us: crate::secs_to_us(self.budget_s),
+            shards: self.shards,
+            fleet_faults,
+            shard_stats: Vec::new(),
+        })
+    }
+}
+
+/// Node status lane values.
+const ACTIVE: u8 = 0;
+/// Finished its trace or exhausted its budget.
+const RETIRED: u8 = 1;
+/// Retired by an injected crash fault.
+const CRASHED: u8 = 2;
+
+/// Per-shard lockstep counters from one [`FleetSim::run`]. Rounds and
+/// stalls are properties of a shard's *clock*, not of any node's
+/// trajectory, so they live here rather than in [`FleetSummary`] — the
+/// summary must be bit-identical across shard counts, and these are not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// First global node index in this shard's contiguous range.
+    pub base: usize,
+    /// Nodes in this shard.
+    pub nodes: usize,
+    /// Lockstep rounds executed (one shared shard horizon per round).
+    pub rounds: u64,
+    /// Node-rounds where an active node was already at or past the shard
+    /// horizon and advanced zero ticks — it idled while the rest of the
+    /// shard caught up. High stall counts mean the shard clock is being
+    /// dominated by a few busy nodes.
+    pub stalls: u64,
+    /// Runtime decisions fired by this shard's nodes.
+    pub decisions: u64,
+    /// Simulator ticks advanced by this shard's nodes.
+    pub node_steps: u64,
+}
+
+/// Fleet-level result: per-node run summaries plus the aggregates the
+/// paper's cluster argument is about. Every field is bit-identical across
+/// shard counts and stepping modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Per-node summaries, in node-index order.
+    pub nodes: Vec<RunSummary>,
+    /// Nodes whose application completed within the budget.
+    pub completed: usize,
+    /// Σ per-node CPU-side energy (core + DRAM), J.
+    pub total_cpu_j: f64,
+    /// Σ per-node uncore energy, J.
+    pub total_uncore_j: f64,
+    /// Σ per-node total energy (all domains), J.
+    pub total_j: f64,
+    /// Distribution of per-node mean uncore power (uncore_j / elapsed_s, W)
+    /// — the quantity MAGUS exists to minimize.
+    pub uncore_power_w: Distribution,
+    /// Wall-clock time (s) until the last node finished (or the budget).
+    pub makespan_s: f64,
+    /// Total runtime decisions fired across the fleet.
+    pub decisions: u64,
+    /// Total simulator ticks advanced across all nodes (throughput unit for
+    /// node-steps/sec benchmarks).
+    pub node_steps: u64,
+    /// Per-node application progress (s of trace work completed) at the end
+    /// of the run, node-index order.
+    #[serde(default)]
+    pub node_progress_s: Vec<f64>,
+    /// Nodes retired by an injected crash fault (see
+    /// [`FleetBuilder::fault_plan`]); always 0 without a fault plan.
+    #[serde(default)]
+    pub crashed: usize,
+    /// Per-node injected-fault tallies, node-index order (all zero — and
+    /// omitted from serialized summaries — on clean runs).
+    #[serde(default, skip_serializing_if = "fault_counters_all_zero")]
+    pub node_fault_counters: Vec<FaultCounters>,
+}
+
+/// Serde helper: omit the per-node fault tallies when nothing was injected.
+fn fault_counters_all_zero(counters: &[FaultCounters]) -> bool {
+    counters.iter().all(|c| *c == FaultCounters::default())
 }
 
 /// Summary statistics over one per-node quantity.
@@ -101,92 +453,229 @@ impl Distribution {
     }
 }
 
-/// Fleet-level result: per-node run summaries plus the aggregates the
-/// paper's cluster argument is about.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FleetSummary {
-    /// Per-node summaries, in node-index order.
-    pub nodes: Vec<RunSummary>,
-    /// Nodes whose application completed within the budget.
-    pub completed: usize,
-    /// Σ per-node CPU-side energy (core + DRAM), J.
-    pub total_cpu_j: f64,
-    /// Σ per-node uncore energy, J.
-    pub total_uncore_j: f64,
-    /// Σ per-node total energy (all domains), J.
-    pub total_j: f64,
-    /// Distribution of per-node mean uncore power (uncore_j / elapsed_s, W)
-    /// — the quantity MAGUS exists to minimize.
-    pub uncore_power_w: Distribution,
-    /// Wall-clock time (s) until the last node finished (or the budget).
-    pub makespan_s: f64,
-    /// Total runtime decisions fired across the fleet.
-    pub decisions: u64,
-    /// Total simulator ticks advanced across all nodes (throughput unit for
-    /// node-steps/sec benchmarks).
-    pub node_steps: u64,
-    /// Lockstep rounds executed (one shared horizon per round).
-    #[serde(default)]
-    pub lockstep_rounds: u64,
-    /// Node-rounds where an active node was already at or past the shared
-    /// horizon and advanced zero ticks — it idled while the rest of the
-    /// fleet caught up. High stall counts mean the shared clock is being
-    /// dominated by a few busy nodes.
-    #[serde(default)]
-    pub lockstep_stalls: u64,
-    /// Per-node application progress (s of trace work completed) at the end
-    /// of the run, node-index order.
-    #[serde(default)]
-    pub node_progress_s: Vec<f64>,
-    /// Nodes retired by an injected crash fault (see
-    /// [`FleetSim::apply_fault_plan`]); always 0 without a fault plan.
-    #[serde(default)]
-    pub crashed: usize,
+/// True when 1-based global node index `idx + 1` is a multiple of `every`.
+/// Fault schedules key on *global* indices so the set of crashed/stalled
+/// nodes is independent of the shard partition.
+fn fault_scheduled(idx: usize, every: Option<u64>) -> bool {
+    every.is_some_and(|k| (idx as u64 + 1).is_multiple_of(k))
 }
 
-/// N independent nodes advanced in lockstep over a shared clock.
+/// 8-lane `chunks_exact` min over a `u64` lane (the per-round horizon
+/// reduction). Min is associative, so lane order is free.
+fn min_lane(values: &[u64]) -> u64 {
+    let mut lanes = [u64::MAX; 8];
+    let chunks = values.chunks_exact(8);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        for (lane, &v) in lanes.iter_mut().zip(chunk) {
+            *lane = (*lane).min(v);
+        }
+    }
+    tail.iter()
+        .copied()
+        .fold(lanes.into_iter().fold(u64::MAX, u64::min), u64::min)
+}
+
+/// 8-lane `chunks_exact` max over an `f64` lane (the makespan scan). Max is
+/// associative and these lanes are NaN-free, so lane order is free — unlike
+/// the energy sums, which stay in node order.
+fn max_lane(values: &[f64]) -> f64 {
+    let mut lanes = [f64::NEG_INFINITY; 8];
+    let chunks = values.chunks_exact(8);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        for (lane, &v) in lanes.iter_mut().zip(chunk) {
+            *lane = lane.max(v);
+        }
+    }
+    tail.iter().copied().fold(
+        lanes.into_iter().fold(f64::NEG_INFINITY, f64::max),
+        f64::max,
+    )
+}
+
+/// One shard's mutable window over the fleet lanes: a contiguous range of
+/// nodes starting at global index `base`, plus the shared run parameters.
+struct ShardView<'a> {
+    shard: usize,
+    base: usize,
+    budget_us: u64,
+    fleet_faults: Option<FleetFaults>,
+    sims: &'a mut [Simulation],
+    ff: &'a mut [FastForward],
+    next_due_us: &'a mut [u64],
+    now_us: &'a mut [u64],
+    target_us: &'a mut [u64],
+    status: &'a mut [u8],
+}
+
+/// Step one shard's nodes to completion under its own lockstep clock.
+/// Bit-identity argument: every per-node quantity depends only on that
+/// node's own decision deadlines and the budget; the shard horizon merely
+/// splits macro-spans, and [`Simulation::advance_until`] is split-invariant.
+fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
+    let n = v.sims.len();
+    let mut stats = ShardStats {
+        shard: v.shard,
+        base: v.base,
+        nodes: n,
+        ..ShardStats::default()
+    };
+    // Deciders are created and attached inside the shard task, in global
+    // node-index order, exactly as the solo harness attaches its driver
+    // after fault plan / power cap programming.
+    let mut deciders: Vec<Box<dyn NodeDecider>> =
+        (0..n).map(|i| (opts.deciders)(v.base + i)).collect();
+    for (decider, sim) in deciders.iter_mut().zip(v.sims.iter_mut()) {
+        decider.attach(sim);
+    }
+    loop {
+        // Pass 1 (branchy): retire finished/budget-exhausted nodes, crash
+        // fault-scheduled ones, fire the decisions that are due.
+        for i in 0..n {
+            if v.status[i] != ACTIVE {
+                continue;
+            }
+            let now = v.now_us[i];
+            if let Some(ff) = v.fleet_faults {
+                if fault_scheduled(v.base + i, ff.crash_every) && now >= ff.crash_at_us {
+                    // Injected node crash: retire it mid-run.
+                    v.status[i] = CRASHED;
+                    continue;
+                }
+            }
+            if v.sims[i].done() || now >= v.budget_us {
+                v.status[i] = RETIRED;
+                continue;
+            }
+            if now >= v.next_due_us[i] {
+                let d = deciders[i].decide(&mut v.sims[i]);
+                stats.decisions += 1;
+                // Re-read the clock: the decide hook owns the simulation
+                // while it runs, exactly like the solo loop.
+                v.now_us[i] = v.sims[i].node().time_us();
+                let mut due = d.next_due(v.now_us[i]);
+                if let Some(ff) = v.fleet_faults {
+                    if fault_scheduled(v.base + i, ff.stall_every) {
+                        // Injected stall: the runtime daemon hangs for
+                        // stall_us after every decision it fires.
+                        due = due.saturating_add(ff.stall_us);
+                    }
+                }
+                v.next_due_us[i] = due;
+            }
+        }
+        // Pass 2 (dense): each node's next event — its decision deadline or
+        // the budget, but always at least one tick of progress (exactly the
+        // single-node fast-path horizon rule) — then the 8-lane min scan.
+        let budget = v.budget_us;
+        for ((target, &status), (&due, &now)) in v
+            .target_us
+            .iter_mut()
+            .zip(v.status.iter())
+            .zip(v.next_due_us.iter().zip(v.now_us.iter()))
+        {
+            *target = if status == ACTIVE {
+                due.min(budget).max(now.saturating_add(1))
+            } else {
+                u64::MAX
+            };
+        }
+        let horizon = min_lane(v.target_us);
+        if horizon == u64::MAX {
+            break; // no active nodes left in this shard
+        }
+        stats.rounds += 1;
+        // Pass 3: advance every active node to the shard horizon.
+        for i in 0..n {
+            if v.status[i] != ACTIVE {
+                continue;
+            }
+            let before = v.now_us[i];
+            match opts.mode {
+                StepMode::Fast => v.sims[i].advance_until(horizon, &mut v.ff[i]),
+                StepMode::Reference => {
+                    while !v.sims[i].done() && v.sims[i].node().time_us() < horizon {
+                        v.sims[i].step();
+                    }
+                }
+            }
+            let after = v.sims[i].node().time_us();
+            v.now_us[i] = after;
+            if after == before {
+                // Already at/past the horizon: this node idled while the
+                // shard caught up.
+                stats.stalls += 1;
+            }
+            let tick = v.sims[i].node().config().tick_us;
+            stats.node_steps += (after - before) / tick;
+        }
+    }
+    stats
+}
+
+/// N independent nodes stepped to completion across sharded lockstep
+/// clocks. Build with [`FleetBuilder`]; run with [`FleetSim::run`].
 #[derive(Debug)]
 pub struct FleetSim {
     sims: Vec<Simulation>,
-    // --- per-node feedback state, structure-of-arrays ---
+    // --- per-node decision state, structure-of-arrays lanes ---
     /// Macro-stepping carry-over (frozen-span state) per node.
     ff: Vec<FastForward>,
     /// Next decision deadline per node (µs); `u64::MAX` = no more decisions.
     next_due_us: Vec<u64>,
-    /// Still stepping (not done, budget not exhausted).
-    active: Vec<bool>,
-    /// Retired by an injected crash fault.
-    crashed: Vec<bool>,
+    /// Each node's clock (µs), mirrored from its simulation after every
+    /// macro-step so the control scans never touch the `Simulation` structs.
+    now_us: Vec<u64>,
+    /// Per-round scratch: each node's next-event target (µs).
+    target_us: Vec<u64>,
+    /// Node status lane ([`ACTIVE`] / [`RETIRED`] / [`CRASHED`]).
+    status: Vec<u8>,
     budget_us: u64,
-    /// Fleet-level fault schedules (node stall/crash), armed by
-    /// [`FleetSim::apply_fault_plan`]. `None` = clean run, zero cost.
+    /// Requested shard count (clamped to the node count at run time).
+    shards: usize,
+    /// Fleet-level fault schedules (node stall/crash); `None` = clean run,
+    /// zero cost.
     fleet_faults: Option<FleetFaults>,
+    /// Per-shard counters from the most recent [`FleetSim::run`].
+    shard_stats: Vec<ShardStats>,
 }
 
 impl FleetSim {
+    /// Start building a fleet with a per-node wall-clock budget (s).
+    #[must_use]
+    pub fn builder(budget_s: f64) -> FleetBuilder {
+        FleetBuilder::new(budget_s)
+    }
+
     /// Empty fleet with a per-node wall-clock budget (s).
+    #[deprecated(note = "use `FleetSim::builder` (FleetBuilder) instead")]
     #[must_use]
     pub fn new(budget_s: f64) -> Self {
         Self {
             sims: Vec::new(),
             ff: Vec::new(),
             next_due_us: Vec::new(),
-            active: Vec::new(),
-            crashed: Vec::new(),
+            now_us: Vec::new(),
+            target_us: Vec::new(),
+            status: Vec::new(),
             budget_us: crate::secs_to_us(budget_s),
+            shards: 1,
             fleet_faults: None,
+            shard_stats: Vec::new(),
         }
     }
 
     /// Add a node running `trace`; returns its index.
+    #[deprecated(note = "use `FleetBuilder::node` instead")]
     pub fn add_node(&mut self, config: NodeConfig, trace: impl Into<Arc<AppTrace>>) -> usize {
         let mut sim = Simulation::new(Node::new(config));
         sim.load(trace);
         self.add_sim(sim)
     }
 
-    /// Add a pre-built simulation (custom recorder, pre-programmed power
-    /// limit, ...); returns its index.
+    /// Add a pre-built simulation; returns its index.
+    #[deprecated(note = "use `FleetBuilder::sim` instead")]
     pub fn add_sim(&mut self, sim: Simulation) -> usize {
         debug_assert_eq!(
             sim.node().time_us(),
@@ -196,29 +685,19 @@ impl FleetSim {
         self.sims.push(sim);
         self.ff.push(FastForward::new());
         self.next_due_us.push(0); // first decision immediately
-        self.active.push(true);
-        self.crashed.push(false);
+        self.now_us.push(0);
+        self.target_us.push(0);
+        self.status.push(ACTIVE);
         self.sims.len() - 1
     }
 
-    /// Arm fault injection for the whole fleet: every node added so far gets
-    /// the node-level portion of `plan` (sensor/actuator/meter faults, same
-    /// seed on every node — deterministic), and the fleet loop gets the
-    /// fleet-level schedules. Nodes are selected by 1-based index: with
-    /// `crash_every = Some(k)`, nodes k, 2k, ... crash at `crash_at_us`;
-    /// with `stall_every = Some(k)`, those nodes' decision deadlines slip by
-    /// `stall_us` after every decision (a hung runtime daemon). An empty
-    /// plan arms nothing.
+    /// Arm fault injection for every node added so far.
+    #[deprecated(note = "use `FleetBuilder::fault_plan` instead")]
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
         for sim in &mut self.sims {
             sim.node_mut().set_fault_plan(*plan);
         }
         self.fleet_faults = (!plan.fleet.is_empty()).then_some(plan.fleet);
-    }
-
-    /// True when 1-based node index `idx + 1` is a multiple of `every`.
-    fn scheduled(idx: usize, every: Option<u64>) -> bool {
-        every.is_some_and(|k| (idx as u64 + 1).is_multiple_of(k))
     }
 
     /// Number of nodes in the fleet.
@@ -239,105 +718,101 @@ impl FleetSim {
         &self.sims[idx]
     }
 
-    /// Run every node to completion (or its budget), firing `decide` per
-    /// node exactly as the single-node trial loop would: immediately at
-    /// start, then at each `now + latency + rest` deadline.
-    ///
-    /// Each node's trajectory is bit-identical to running it alone with the
-    /// same decision schedule; the shared clock only changes where the
-    /// macro-stepping spans are split, never what they compute.
-    pub fn run(
-        &mut self,
-        decide: &mut dyn FnMut(usize, &mut Simulation) -> Decision,
-    ) -> FleetSummary {
-        let mut decisions = 0u64;
-        let mut node_steps = 0u64;
-        let mut lockstep_rounds = 0u64;
-        let mut lockstep_stalls = 0u64;
-        loop {
-            // Retire nodes that finished or ran out of budget; fire the
-            // decisions that are due. This mirrors the single-node loop
-            // head: the budget/done check guards the decision.
-            let mut fleet_horizon = u64::MAX;
-            for i in 0..self.sims.len() {
-                if !self.active[i] {
-                    continue;
-                }
-                let now = self.sims[i].node().time_us();
-                if let Some(ff) = self.fleet_faults {
-                    if Self::scheduled(i, ff.crash_every) && now >= ff.crash_at_us {
-                        // Injected node crash: retire it mid-run.
-                        self.crashed[i] = true;
-                        self.active[i] = false;
-                        continue;
-                    }
-                }
-                if self.sims[i].done() || now >= self.budget_us {
-                    self.active[i] = false;
-                    continue;
-                }
-                if now >= self.next_due_us[i] {
-                    let d = decide(i, &mut self.sims[i]);
-                    decisions += 1;
-                    let mut due = d.next_due(self.sims[i].node().time_us());
-                    if let Some(ff) = self.fleet_faults {
-                        if Self::scheduled(i, ff.stall_every) {
-                            // Injected stall: the runtime daemon hangs for
-                            // stall_us after every decision it fires.
-                            due = due.saturating_add(ff.stall_us);
-                        }
-                    }
-                    self.next_due_us[i] = due;
-                }
-                // The node's own next event: its decision deadline or the
-                // budget, but always at least one tick of progress (exactly
-                // the single-node fast-path horizon rule).
-                let target = self.next_due_us[i].min(self.budget_us).max(now + 1);
-                fleet_horizon = fleet_horizon.min(target);
-            }
-            if fleet_horizon == u64::MAX {
-                break; // no active nodes left
-            }
-            lockstep_rounds += 1;
-            // Lockstep: advance every active node to the shared horizon.
-            for i in 0..self.sims.len() {
-                if !self.active[i] {
-                    continue;
-                }
-                let before = self.sims[i].node().time_us();
-                self.sims[i].advance_until(fleet_horizon, &mut self.ff[i]);
-                let after = self.sims[i].node().time_us();
-                if after == before {
-                    // Already at/past the horizon: this node idled while the
-                    // fleet caught up.
-                    lockstep_stalls += 1;
-                }
-                let tick = self.sims[i].node().config().tick_us;
-                node_steps += (after - before) / tick;
-            }
-        }
-        self.summarize(decisions, node_steps, lockstep_rounds, lockstep_stalls)
+    /// Per-shard lockstep counters from the most recent [`FleetSim::run`]
+    /// (empty before the first run).
+    #[must_use]
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.shard_stats
     }
 
-    /// Build the fleet summary from the current node states.
-    fn summarize(
-        &self,
-        decisions: u64,
-        node_steps: u64,
-        lockstep_rounds: u64,
-        lockstep_stalls: u64,
-    ) -> FleetSummary {
+    /// Drain every node's telemetry event buffer, in node-index order.
+    /// Event streams are part of the bit-identity contract: byte-identical
+    /// across shard counts and stepping modes.
+    #[cfg(feature = "telemetry")]
+    pub fn take_node_events(&mut self) -> Vec<Vec<magus_telemetry::Event>> {
+        self.sims
+            .iter_mut()
+            .map(|s| s.node_mut().telemetry_mut().take_events())
+            .collect()
+    }
+
+    /// Run every node to completion (or its budget), creating one decider
+    /// per node and firing it exactly as the single-node trial loop would:
+    /// immediately at start, then at each `now + latency + rest` deadline.
+    ///
+    /// Each node's trajectory is bit-identical to running it alone with the
+    /// same decision schedule — for every shard count and both stepping
+    /// modes. Shards step disjoint contiguous node ranges on the rayon
+    /// pool; their clocks never synchronize with each other, only with
+    /// their own nodes' decision boundaries.
+    pub fn run(&mut self, opts: &RunOpts) -> FleetSummary {
+        let n = self.sims.len();
+        self.shard_stats.clear();
+        if n > 0 {
+            let shards = self.shards.clamp(1, n);
+            let budget_us = self.budget_us;
+            let fleet_faults = self.fleet_faults;
+            // Carve each lane into per-shard contiguous windows. Remainder
+            // nodes spread one-per-shard from the front, so no shard is
+            // empty and sizes differ by at most one.
+            let mut views = Vec::with_capacity(shards);
+            let (mut sims, mut ff, mut due, mut now, mut target, mut status) = (
+                self.sims.as_mut_slice(),
+                self.ff.as_mut_slice(),
+                self.next_due_us.as_mut_slice(),
+                self.now_us.as_mut_slice(),
+                self.target_us.as_mut_slice(),
+                self.status.as_mut_slice(),
+            );
+            let mut base = 0;
+            for shard in 0..shards {
+                let take = n / shards + usize::from(shard < n % shards);
+                let (s0, s1) = sims.split_at_mut(take);
+                let (f0, f1) = ff.split_at_mut(take);
+                let (d0, d1) = due.split_at_mut(take);
+                let (n0, n1) = now.split_at_mut(take);
+                let (t0, t1) = target.split_at_mut(take);
+                let (st0, st1) = status.split_at_mut(take);
+                (sims, ff, due, now, target, status) = (s1, f1, d1, n1, t1, st1);
+                views.push(ShardView {
+                    shard,
+                    base,
+                    budget_us,
+                    fleet_faults,
+                    sims: s0,
+                    ff: f0,
+                    next_due_us: d0,
+                    now_us: n0,
+                    target_us: t0,
+                    status: st0,
+                });
+                base += take;
+            }
+            self.shard_stats = if shards == 1 {
+                views.iter_mut().map(|v| run_shard(v, opts)).collect()
+            } else {
+                views.par_iter_mut().map(|v| run_shard(v, opts)).collect()
+            };
+        }
+        self.summarize()
+    }
+
+    /// Build the fleet summary from the current node states. The f64
+    /// energy sums fold in node-index order (the pre-SoA reference order —
+    /// f64 addition is non-associative, and this order is part of the
+    /// bit-identity contract); the makespan and horizon scans, which are
+    /// reorder-safe, use the 8-lane `chunks_exact` reductions.
+    fn summarize(&self) -> FleetSummary {
         let nodes: Vec<RunSummary> = self.sims.iter().map(|s| s.summary(0)).collect();
+        let runtime_lane: Vec<f64> = nodes.iter().map(|n| n.runtime_s).collect();
         let mut total_cpu_j = 0.0;
         let mut total_uncore_j = 0.0;
         let mut total_j = 0.0;
-        let mut makespan_s: f64 = 0.0;
         let mut uncore_w = Vec::with_capacity(nodes.len());
         for n in &nodes {
             total_cpu_j += n.energy.core_j + n.energy.dram_j;
             total_uncore_j += n.energy.uncore_j;
             total_j += n.energy.total_j();
-            makespan_s = makespan_s.max(n.runtime_s);
             if n.energy.elapsed_s > 0.0 {
                 uncore_w.push(n.energy.uncore_j / n.energy.elapsed_s);
             }
@@ -348,13 +823,16 @@ impl FleetSim {
             total_uncore_j,
             total_j,
             uncore_power_w: Distribution::from_values(&uncore_w),
-            makespan_s,
-            decisions,
-            node_steps,
-            lockstep_rounds,
-            lockstep_stalls,
+            makespan_s: max_lane(&runtime_lane).max(0.0),
+            decisions: self.shard_stats.iter().map(|s| s.decisions).sum(),
+            node_steps: self.shard_stats.iter().map(|s| s.node_steps).sum(),
             node_progress_s: self.sims.iter().map(Simulation::progress_s).collect(),
-            crashed: self.crashed.iter().filter(|&&c| c).count(),
+            crashed: self.status.iter().filter(|&&s| s == CRASHED).count(),
+            node_fault_counters: self
+                .sims
+                .iter()
+                .map(|s| s.node().fault_counters())
+                .collect(),
             nodes,
         }
     }
@@ -378,12 +856,13 @@ mod tests {
         )
     }
 
-    /// No-op governor: one immediate decision, then never again.
-    fn noop(_: usize, _: &mut Simulation) -> Decision {
-        Decision {
-            latency_us: 0,
-            rest_us: u64::MAX,
+    /// A homogeneous fleet of `n` nodes over one shared trace.
+    fn fleet_of(n: usize, budget_s: f64, shared: &Arc<AppTrace>) -> FleetBuilder {
+        let mut b = FleetSim::builder(budget_s);
+        for _ in 0..n {
+            b = b.node(NodeConfig::intel_a100(), Arc::clone(shared));
         }
+        b
     }
 
     #[test]
@@ -393,16 +872,13 @@ mod tests {
         alone.load(Arc::clone(&shared));
         let solo = alone.run_to_completion(60.0);
 
-        let mut fleet = FleetSim::new(60.0);
-        for _ in 0..4 {
-            fleet.add_node(NodeConfig::intel_a100(), Arc::clone(&shared));
-        }
-        let summary = fleet.run(&mut noop);
+        let mut fleet = fleet_of(4, 60.0, &shared).build().unwrap();
+        let summary = fleet.run(&RunOpts::noop());
         assert_eq!(summary.nodes.len(), 4);
         assert_eq!(summary.completed, 4);
         for n in &summary.nodes {
             // Same workload, same hardware, no runtime: bit-identical to
-            // the single-node run (the shared clock must not perturb it).
+            // the single-node run (the shard clock must not perturb it).
             assert_eq!(n, &solo);
         }
         assert_eq!(summary.decisions, 4);
@@ -411,10 +887,12 @@ mod tests {
 
     #[test]
     fn heterogeneous_finish_times_retire_independently() {
-        let mut fleet = FleetSim::new(60.0);
-        fleet.add_node(NodeConfig::intel_a100(), trace(1.0, 5.0));
-        fleet.add_node(NodeConfig::intel_a100(), trace(5.0, 5.0));
-        let summary = fleet.run(&mut noop);
+        let mut fleet = FleetSim::builder(60.0)
+            .node(NodeConfig::intel_a100(), trace(1.0, 5.0))
+            .node(NodeConfig::intel_a100(), trace(5.0, 5.0))
+            .build()
+            .unwrap();
+        let summary = fleet.run(&RunOpts::noop());
         assert_eq!(summary.completed, 2);
         assert!(summary.nodes[0].runtime_s < summary.nodes[1].runtime_s);
         assert!((summary.makespan_s - summary.nodes[1].runtime_s).abs() < 1e-12);
@@ -422,24 +900,28 @@ mod tests {
 
     #[test]
     fn budget_truncates_fleet() {
-        let mut fleet = FleetSim::new(2.0);
-        fleet.add_node(NodeConfig::intel_a100(), trace(100.0, 5.0));
-        let summary = fleet.run(&mut noop);
+        let mut fleet = FleetSim::builder(2.0)
+            .node(NodeConfig::intel_a100(), trace(100.0, 5.0))
+            .build()
+            .unwrap();
+        let summary = fleet.run(&RunOpts::noop());
         assert_eq!(summary.completed, 0);
         assert!((summary.makespan_s - 2.0).abs() < 0.05);
     }
 
     #[test]
     fn periodic_decisions_fire_on_cadence() {
-        let mut fleet = FleetSim::new(60.0);
-        fleet.add_node(NodeConfig::intel_a100(), trace(4.0, 5.0));
+        let mut fleet = FleetSim::builder(60.0)
+            .node(NodeConfig::intel_a100(), trace(4.0, 5.0))
+            .build()
+            .unwrap();
         // 0.5 s cadence over a ~4 s run: first decision at t=0, then every
         // 500 ms → 8–9 invocations.
-        let mut decide = |_: usize, _: &mut Simulation| Decision {
+        let opts = RunOpts::from_fn(|_, _| Decision {
             latency_us: 0,
             rest_us: 500_000,
-        };
-        let summary = fleet.run(&mut decide);
+        });
+        let summary = fleet.run(&opts);
         assert!(
             (7..=10).contains(&summary.decisions),
             "decisions = {}",
@@ -449,11 +931,9 @@ mod tests {
 
     #[test]
     fn aggregates_are_consistent() {
-        let mut fleet = FleetSim::new(60.0);
-        for _ in 0..3 {
-            fleet.add_node(NodeConfig::intel_a100(), trace(2.0, 5.0));
-        }
-        let s = fleet.run(&mut noop);
+        let shared: Arc<AppTrace> = Arc::new(trace(2.0, 5.0));
+        let mut fleet = fleet_of(3, 60.0, &shared).build().unwrap();
+        let s = fleet.run(&RunOpts::noop());
         let sum: f64 = s.nodes.iter().map(|n| n.energy.total_j()).sum();
         assert!((s.total_j - sum).abs() < 1e-9);
         assert!(s.total_uncore_j > 0.0);
@@ -464,47 +944,142 @@ mod tests {
     }
 
     #[test]
-    fn lockstep_rounds_and_stalls_are_counted() {
+    fn shard_stats_count_rounds_and_stalls() {
         // A coarse-tick node paired with a fine-tick, fast-deciding node:
-        // the coarse node overshoots the shared horizon, so later horizons
+        // the coarse node overshoots the shard horizon, so later horizons
         // driven by the fine node's deadlines land behind it and it idles
-        // (stalls) while the fleet catches up.
+        // (stalls) while the shard catches up.
         let mut coarse = NodeConfig::intel_a100();
         coarse.tick_us = 70_000;
-        let mut fleet = FleetSim::new(2.0);
-        fleet.add_node(coarse, trace(100.0, 5.0));
-        fleet.add_node(NodeConfig::intel_a100(), trace(100.0, 5.0));
-        let mut decide = |i: usize, _: &mut Simulation| Decision {
+        let mut fleet = FleetSim::builder(2.0)
+            .node(coarse, trace(100.0, 5.0))
+            .node(NodeConfig::intel_a100(), trace(100.0, 5.0))
+            .build()
+            .unwrap();
+        let opts = RunOpts::from_fn(|i, _| Decision {
             latency_us: 0,
             rest_us: if i == 0 { 1_000_000 } else { 5_000 },
-        };
-        let s = fleet.run(&mut decide);
-        assert!(s.lockstep_rounds > 0);
-        assert!(s.lockstep_stalls > 0, "coarse node never stalled");
+        });
+        let s = fleet.run(&opts);
+        let stats = fleet.shard_stats();
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].rounds > 0);
+        assert!(stats[0].stalls > 0, "coarse node never stalled");
+        assert_eq!(stats[0].decisions, s.decisions);
+        assert_eq!(stats[0].node_steps, s.node_steps);
         assert_eq!(s.node_progress_s.len(), 2);
         assert!(s.node_progress_s.iter().all(|&p| p > 0.0));
 
-        // A homogeneous fleet shares every clock edge and never stalls.
-        let mut fleet = FleetSim::new(2.0);
-        for _ in 0..3 {
-            fleet.add_node(NodeConfig::intel_a100(), trace(100.0, 5.0));
+        // A homogeneous single-shard fleet shares every clock edge and
+        // never stalls.
+        let shared: Arc<AppTrace> = Arc::new(trace(100.0, 5.0));
+        let mut fleet = fleet_of(3, 2.0, &shared).build().unwrap();
+        fleet.run(&RunOpts::noop());
+        assert_eq!(fleet.shard_stats()[0].stalls, 0);
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_across_shard_counts_and_modes() {
+        let plan = FaultPlan::builder()
+            .fleet_crash(4, 500_000)
+            .fleet_stall(3, 300_000)
+            .pcm_spike(2, 0.4)
+            .build()
+            .unwrap();
+        let run_with = |shards: usize, mode: StepMode| {
+            let mut b = FleetSim::builder(60.0);
+            for i in 0..6 {
+                b = b.node(NodeConfig::intel_a100(), trace(1.0 + i as f64, 5.0));
+            }
+            let mut fleet = b.shards(shards).fault_plan(&plan).build().unwrap();
+            // The decider samples PCM each decision, so the per-node
+            // injected-spike schedule (an access-counted fault) is exercised
+            // and must replay identically under every shard partition.
+            let opts = RunOpts::from_fn(|_, sim| {
+                let _ = sim.node_mut().pcm_try_read_gbs();
+                Decision {
+                    latency_us: 0,
+                    rest_us: 500_000,
+                }
+            })
+            .with_mode(mode);
+            let summary = fleet.run(&opts);
+            assert_eq!(
+                fleet.shard_stats().len(),
+                shards.min(6),
+                "one stats row per non-empty shard"
+            );
+            summary
+        };
+        let reference = run_with(1, StepMode::Fast);
+        assert!(
+            reference.node_fault_counters.iter().any(|c| c.total() > 0),
+            "plan must actually inject"
+        );
+        for shards in [2, 3, 6, 64] {
+            for mode in [StepMode::Fast, StepMode::Reference] {
+                assert_eq!(
+                    run_with(shards, mode),
+                    reference,
+                    "shards={shards} {mode:?} diverged from single-shard fast"
+                );
+            }
         }
-        let s = fleet.run(&mut noop);
-        assert!(s.lockstep_rounds > 0);
-        assert_eq!(s.lockstep_stalls, 0);
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        let shared: Arc<AppTrace> = Arc::new(trace(1.0, 5.0));
+        assert_eq!(
+            FleetSim::builder(60.0).build().unwrap_err(),
+            FleetBuildError::EmptyFleet
+        );
+        assert!(matches!(
+            fleet_of(1, -1.0, &shared).build().unwrap_err(),
+            FleetBuildError::BadBudget(_)
+        ));
+        assert!(matches!(
+            fleet_of(1, f64::NAN, &shared).build().unwrap_err(),
+            FleetBuildError::BadBudget(_)
+        ));
+        assert_eq!(
+            fleet_of(1, 60.0, &shared).shards(0).build().unwrap_err(),
+            FleetBuildError::ZeroShards
+        );
+        let mut advanced = Simulation::new(Node::new(NodeConfig::intel_a100()));
+        advanced.load(Arc::clone(&shared));
+        advanced.step();
+        assert!(matches!(
+            FleetSim::builder(60.0).sim(advanced).build().unwrap_err(),
+            FleetBuildError::NodeClockNonzero { index: 0, .. }
+        ));
+        let bad_plan = FaultPlan {
+            pcm: crate::fault::PcmFaults {
+                dropout_every: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(matches!(
+            fleet_of(1, 60.0, &shared)
+                .fault_plan(&bad_plan)
+                .build()
+                .unwrap_err(),
+            FleetBuildError::InvalidFaultPlan(_)
+        ));
     }
 
     #[test]
     fn empty_fault_plan_leaves_fleet_bit_identical() {
         let shared: Arc<AppTrace> = Arc::new(trace(2.0, 5.0));
-        let mut clean = FleetSim::new(60.0);
-        clean.add_node(NodeConfig::intel_a100(), Arc::clone(&shared));
-        let clean_summary = clean.run(&mut noop);
+        let mut clean = fleet_of(1, 60.0, &shared).build().unwrap();
+        let clean_summary = clean.run(&RunOpts::noop());
 
-        let mut armed = FleetSim::new(60.0);
-        armed.add_node(NodeConfig::intel_a100(), Arc::clone(&shared));
-        armed.apply_fault_plan(&FaultPlan::default());
-        let summary = armed.run(&mut noop);
+        let mut armed = fleet_of(1, 60.0, &shared)
+            .fault_plan(&FaultPlan::default())
+            .build()
+            .unwrap();
+        let summary = armed.run(&RunOpts::noop());
         assert_eq!(summary, clean_summary);
         assert_eq!(summary.crashed, 0);
     }
@@ -517,22 +1092,57 @@ mod tests {
             .build()
             .unwrap();
         let shared: Arc<AppTrace> = Arc::new(trace(3.0, 5.0));
-        let mut fleet = FleetSim::new(60.0);
-        for _ in 0..4 {
-            fleet.add_node(NodeConfig::intel_a100(), Arc::clone(&shared));
-        }
-        fleet.apply_fault_plan(&plan);
-        let mut decide = |_: usize, _: &mut Simulation| Decision {
+        let mut fleet = fleet_of(4, 60.0, &shared)
+            .fault_plan(&plan)
+            .build()
+            .unwrap();
+        let opts = RunOpts::from_fn(|_, _| Decision {
             latency_us: 0,
             rest_us: 500_000,
-        };
-        let s = fleet.run(&mut decide);
+        });
+        let s = fleet.run(&opts);
         // Node 4 (index 3) crashed at 0.5 s; the other three finished.
         assert_eq!(s.crashed, 1);
         assert_eq!(s.completed, 3);
         assert!(!s.nodes[3].completed);
         assert!(s.nodes[3].runtime_s < s.nodes[0].runtime_s);
         assert!((s.nodes[3].runtime_s - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_mutator_surface_still_runs() {
+        // The pre-builder construction path must keep working (and agreeing
+        // with the builder) until external callers migrate.
+        let shared: Arc<AppTrace> = Arc::new(trace(2.0, 5.0));
+        let mut old = FleetSim::new(60.0);
+        old.add_node(NodeConfig::intel_a100(), Arc::clone(&shared));
+        old.apply_fault_plan(&FaultPlan::default());
+        let old_summary = old.run(&RunOpts::noop());
+
+        let mut new = fleet_of(1, 60.0, &shared).build().unwrap();
+        assert_eq!(old_summary, new.run(&RunOpts::noop()));
+
+        // An empty deprecated fleet runs to an empty summary.
+        let mut empty = FleetSim::new(60.0);
+        let s = empty.run(&RunOpts::noop());
+        assert!(s.nodes.is_empty());
+        assert_eq!(s.decisions, 0);
+    }
+
+    #[test]
+    fn lane_reductions_match_naive_folds() {
+        let us: Vec<u64> = (0..37)
+            .map(|i| (i * 2_654_435_761_u64) % 1_000_003)
+            .collect();
+        assert_eq!(min_lane(&us), us.iter().copied().min().unwrap());
+        assert_eq!(min_lane(&[]), u64::MAX);
+        let fs: Vec<f64> = (0..19).map(|i| f64::from(i * 7 % 13) - 6.0).collect();
+        assert_eq!(
+            max_lane(&fs),
+            fs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        );
+        assert_eq!(max_lane(&[]), f64::NEG_INFINITY);
     }
 
     #[test]

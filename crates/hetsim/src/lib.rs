@@ -52,7 +52,10 @@ pub mod workload;
 pub use config::{CpuConfig, GpuConfig, MemoryConfig, NodeConfig, UncoreConfig};
 pub use demand::{Demand, GpuUtilVec};
 pub use fault::{FaultCounters, FaultPlan, FaultPlanBuilder, FaultPlanError, InjectedFault};
-pub use fleet::{Decision, Distribution, FleetSim, FleetSummary};
+pub use fleet::{
+    Decision, Distribution, FleetBuildError, FleetBuilder, FleetSim, FleetSummary, NodeDecider,
+    RunOpts, ShardStats, StepMode,
+};
 pub use node::{FastForward, Node};
 pub use power::PowerBreakdown;
 pub use sim::{RunSummary, Simulation};

@@ -50,6 +50,27 @@ pub fn app_trace(app: AppId, platform: Platform) -> Arc<AppTrace> {
     }))
 }
 
+/// Bulk-instantiate one trace handle per requested `(app, platform)` key,
+/// in order, under a **single** table-lock acquisition. This is the
+/// fleet-construction fast path: building a 100k-node fleet through
+/// [`app_trace`] would take 100k lock round-trips to hand out at most
+/// catalog-size distinct traces; this takes one. Synthesis still happens
+/// at most once per distinct key, and the returned `Arc`s are
+/// pointer-equal to what [`app_trace`] serves.
+#[must_use]
+pub fn app_traces(keys: &[(AppId, Platform)]) -> Vec<Arc<AppTrace>> {
+    let table = TABLE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = table.lock().expect("trace intern table poisoned");
+    keys.iter()
+        .map(|&(app, platform)| {
+            Arc::clone(map.entry((app, platform)).or_insert_with(|| {
+                SYNTHESES.fetch_add(1, Ordering::Relaxed);
+                Arc::new(synthesize_trace(app, platform))
+            }))
+        })
+        .collect()
+}
+
 /// Owned copy of an interned trace — the escape hatch for sweeps that
 /// mutate the trace (e.g. [`AppTrace::extend_with`]) and must not touch
 /// the shared allocation.
@@ -95,6 +116,26 @@ mod tests {
         owned.phases.truncate(1);
         assert_ne!(*shared, owned, "mutating the copy must not alias");
         assert_eq!(*app_trace(AppId::Srad, Platform::IntelA100), *shared);
+    }
+
+    #[test]
+    fn bulk_interning_matches_single_key_interning() {
+        let keys = [
+            (AppId::Bfs, Platform::IntelA100),
+            (AppId::Srad, Platform::IntelA100),
+            (AppId::Bfs, Platform::IntelA100), // duplicate key, same Arc
+        ];
+        let bulk = app_traces(&keys);
+        assert_eq!(bulk.len(), 3);
+        assert!(Arc::ptr_eq(&bulk[0], &bulk[2]));
+        for (trace, &(app, platform)) in bulk.iter().zip(&keys) {
+            assert!(Arc::ptr_eq(trace, &app_trace(app, platform)));
+        }
+        // A warm bulk call synthesizes nothing.
+        let count = synthesis_count();
+        let again = app_traces(&keys);
+        assert_eq!(synthesis_count(), count);
+        assert!(Arc::ptr_eq(&again[1], &bulk[1]));
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod spec;
 pub mod suites;
 
 pub use catalog::{base_spec, synthesize_trace, AppId, Platform};
-pub use intern::{app_trace, app_trace_owned, interned_trace_count, synthesis_count};
+pub use intern::{app_trace, app_trace_owned, app_traces, interned_trace_count, synthesis_count};
 pub use spec::{BurstTrainSpec, FluctuationSpec, InitSpec, WorkloadSpec};
 pub use suites::{fig4a_suite, fig4b_suite, fig4c_suite, table1_suite};

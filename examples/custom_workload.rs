@@ -10,7 +10,7 @@
 //! ```
 
 use magus_suite::experiments::drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, UpsDriver};
-use magus_suite::experiments::harness::{run_trace_trial, SystemId, TrialOpts};
+use magus_suite::experiments::harness::{SystemId, TrialBuilder, TrialOpts};
 use magus_suite::experiments::metrics::Comparison;
 use magus_suite::hetsim::RunSummary;
 use magus_suite::workloads::spec::{
@@ -71,7 +71,8 @@ fn main() {
     let opts = TrialOpts::default();
 
     let mut baseline = NoopDriver;
-    let base = run_trace_trial(system, spec.build(), &mut baseline, opts);
+    let trial = |trace| TrialBuilder::on(system).trace(trace).opts(opts);
+    let base = trial(spec.build()).run(&mut baseline);
     println!(
         "=== {} on {} (baseline {:.1} s) ===",
         spec.name,
@@ -81,15 +82,15 @@ fn main() {
 
     row("baseline", &base.summary, &base.summary);
     let mut magus = MagusDriver::with_defaults();
-    let r = run_trace_trial(system, spec.build(), &mut magus, opts);
+    let r = trial(spec.build()).run(&mut magus);
     row("MAGUS", &base.summary, &r.summary);
     let mut ups = UpsDriver::with_defaults();
-    let r = run_trace_trial(system, spec.build(), &mut ups, opts);
+    let r = trial(spec.build()).run(&mut ups);
     row("UPS", &base.summary, &r.summary);
     let mut min_fixed = FixedUncoreDriver::new(0.8);
-    let r = run_trace_trial(system, spec.build(), &mut min_fixed, opts);
+    let r = trial(spec.build()).run(&mut min_fixed);
     row("fixed-min", &base.summary, &r.summary);
     let mut max_fixed = FixedUncoreDriver::new(2.2);
-    let r = run_trace_trial(system, spec.build(), &mut max_fixed, opts);
+    let r = trial(spec.build()).run(&mut max_fixed);
     row("fixed-max", &base.summary, &r.summary);
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use magus_suite::experiments::drivers::{MagusDriver, NoopDriver};
-use magus_suite::experiments::harness::{run_trace_trial, SystemId, TrialOpts};
+use magus_suite::experiments::harness::{SystemId, TrialBuilder};
 use magus_suite::experiments::metrics::Comparison;
 use magus_suite::workloads::io::{load_trace, save_trace};
 use magus_suite::workloads::{app_trace, AppId, Platform};
@@ -34,9 +34,11 @@ fn main() {
     // 3. Replay under baseline and MAGUS.
     let system = SystemId::IntelA100;
     let mut base_d = NoopDriver;
-    let base = run_trace_trial(system, replayed.clone(), &mut base_d, TrialOpts::default());
+    let base = TrialBuilder::on(system)
+        .trace(replayed.clone())
+        .run(&mut base_d);
     let mut magus_d = MagusDriver::with_defaults();
-    let magus = run_trace_trial(system, replayed, &mut magus_d, TrialOpts::default());
+    let magus = TrialBuilder::on(system).trace(replayed).run(&mut magus_d);
     let cmp = Comparison::against(&base.summary, &magus.summary);
     println!(
         "baseline {:.1} s / {:.1} W CPU | MAGUS {:.1} s / {:.1} W CPU",

@@ -16,56 +16,16 @@ use std::process::ExitCode;
 use magus_suite::cli::{parse, usage, Command, EngineOpts, Invocation};
 use magus_suite::experiments::engine::{Engine, GovernorSpec, TrialSpec};
 use magus_suite::experiments::figures::{evaluate_app, fig4, fig7_sensitivity};
-use magus_suite::experiments::harness::{set_default_fault_plan, set_default_sim_path, SystemId};
+use magus_suite::experiments::harness::SystemId;
 use magus_suite::experiments::pareto::{distance_to_frontier, pareto_frontier};
 use magus_suite::experiments::report::render_fig4_table;
-use magus_suite::hetsim::FaultPlan;
 use magus_suite::workloads::AppId;
 
-/// Load, validate, and install the `--faults` plan (if any) as the
-/// default for every trial of this invocation. Serde bypasses the
-/// builder, so `validate()` re-checks the constraints here.
-fn load_fault_plan(opts: &EngineOpts) -> Result<(), String> {
-    let Some(path) = &opts.faults else {
-        return Ok(());
-    };
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("--faults: cannot read {}: {e}", path.display()))?;
-    let plan: FaultPlan = serde_json::from_str(&text)
-        .map_err(|e| format!("--faults: {} is not a fault plan: {e}", path.display()))?;
-    plan.validate()
-        .map_err(|e| format!("--faults: invalid plan in {}: {e}", path.display()))?;
-    if plan.is_empty() {
-        eprintln!(
-            "[engine] fault plan {} is empty: trials run clean",
-            path.display()
-        );
-    } else {
-        eprintln!(
-            "[engine] injecting faults from {} (seed {})",
-            path.display(),
-            plan.seed
-        );
-    }
-    set_default_fault_plan(Some(plan));
-    Ok(())
-}
-
+/// Build the trial engine for one invocation from the shared
+/// [`EngineOpts`] (defaults — `--sim-path`, `--faults` — are installed
+/// once in `main` before any command runs).
 fn build_engine(opts: &EngineOpts) -> Engine {
-    if let Some(path) = opts.sim_path {
-        set_default_sim_path(path);
-    }
-    let mut engine = Engine::from_env();
-    if opts.no_cache {
-        engine = engine.without_cache();
-    }
-    if opts.serial {
-        engine = engine.serial();
-    }
-    if let Some(jobs) = opts.jobs {
-        engine = engine.with_jobs(jobs);
-    }
-    engine
+    opts.build_engine()
 }
 
 /// Finish a named run: manifest summary, plus the `--telemetry` export
@@ -100,7 +60,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = load_fault_plan(&opts) {
+    if let Err(e) = opts.install_defaults() {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }

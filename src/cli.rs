@@ -8,49 +8,22 @@
 //! string→governor conversion in the whole suite, and `magus:<k=v,...>`
 //! thresholds go through the validating [`MagusConfig::builder`].
 
-use std::path::PathBuf;
-
 use magus_experiments::engine::GovernorSpec;
 use magus_experiments::harness::{SimPath, SystemId};
+use magus_experiments::opts::{take_flag, take_switch};
 use magus_runtime::MagusConfig;
 use magus_workloads::AppId;
+
+pub use magus_experiments::opts::EngineOpts;
 
 /// A parsed CLI invocation: the command plus engine-wide options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Invocation {
     /// What to do.
     pub command: Command,
-    /// How the trial engine should execute it.
+    /// How the trial engine should execute it (the shared
+    /// [`EngineOpts`] every bin in the suite parses the same way).
     pub engine: EngineOpts,
-}
-
-/// Global engine options, valid on every command.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct EngineOpts {
-    /// `--no-cache`: always simulate; don't read or write `results/cache`.
-    pub no_cache: bool,
-    /// `--serial`: run trials one at a time (results are bit-identical to
-    /// the parallel default; this only trades wall time for quiet cores).
-    pub serial: bool,
-    /// `--jobs N`: pin the engine's worker pool to N threads (`0` = one
-    /// per CPU). `None` uses the global rayon default, like `MAGUS_JOBS`
-    /// unset. Explicit sizing makes bench numbers reproducible across
-    /// machines.
-    pub jobs: Option<usize>,
-    /// `--telemetry <file>`: after the command, write the decision-event
-    /// stream as JSON Lines to `<file>` and a Prometheus-text metrics
-    /// snapshot beside it (`<file>` with extension `.prom`).
-    pub telemetry: Option<PathBuf>,
-    /// `--sim-path fast|reference`: force every trial built with default
-    /// options onto one stepping path. CI's telemetry-regression job runs
-    /// the suite under both and diffs the event streams (the JSONL and
-    /// its `.prom` sibling must match byte-for-byte).
-    pub sim_path: Option<SimPath>,
-    /// `--faults <plan.json>`: load a [`magus_hetsim::FaultPlan`] and
-    /// inject it into every trial of the command. The plan is validated
-    /// on load and becomes part of each spec's content hash, so faulted
-    /// trials never share cache entries with clean ones.
-    pub faults: Option<PathBuf>,
 }
 
 /// A parsed CLI command.
@@ -188,53 +161,12 @@ fn parse_governor(s: &str) -> Result<GovernorSpec, ParseError> {
     )))
 }
 
-/// Extract `--flag value` from an argument list, returning the remainder.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let pos = args.iter().position(|a| a == flag)?;
-    if pos + 1 >= args.len() {
-        return None;
-    }
-    let value = args.remove(pos + 1);
-    args.remove(pos);
-    Some(value)
-}
-
-fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
-    if let Some(pos) = args.iter().position(|a| a == switch) {
-        args.remove(pos);
-        true
-    } else {
-        false
-    }
-}
-
 /// Parse a full argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut args: Vec<String> = args.to_vec();
-    // Engine options are global: valid anywhere on the command line.
-    let jobs = take_flag(&mut args, "--jobs")
-        .map(|v| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| ParseError("bad --jobs (expected a thread count, 0 = ncpus)".into()))?;
-    let telemetry = take_flag(&mut args, "--telemetry").map(PathBuf::from);
-    let sim_path = take_flag(&mut args, "--sim-path")
-        .map(|v| match v.to_ascii_lowercase().as_str() {
-            "fast" => Ok(SimPath::Fast),
-            "reference" | "ref" => Ok(SimPath::Reference),
-            other => Err(ParseError(format!(
-                "unknown --sim-path '{other}' (expected fast or reference)"
-            ))),
-        })
-        .transpose()?;
-    let faults = take_flag(&mut args, "--faults").map(PathBuf::from);
-    let engine = EngineOpts {
-        no_cache: take_switch(&mut args, "--no-cache"),
-        serial: take_switch(&mut args, "--serial"),
-        jobs,
-        telemetry,
-        sim_path,
-        faults,
-    };
+    // Engine options are global: valid anywhere on the command line. The
+    // extraction itself is shared with the bench bins (`EngineOpts`).
+    let engine = EngineOpts::take_from_args(&mut args).map_err(ParseError)?;
     let Some((cmd, rest)) = args.split_first() else {
         return Ok(Invocation {
             command: Command::Help,
@@ -363,6 +295,7 @@ APPS:      run `magus list`"
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn v(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()

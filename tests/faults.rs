@@ -9,11 +9,9 @@
 
 use magus_suite::experiments::drivers::MagusDriver;
 use magus_suite::experiments::engine::{Engine, GovernorSpec, TrialSpec};
-use magus_suite::experiments::harness::{
-    run_faulted_trial_capped, SimPath, SystemId, TrialOpts, TrialResult,
-};
+use magus_suite::experiments::harness::{SimPath, SystemId, TrialBuilder, TrialOpts, TrialResult};
 use magus_suite::hetsim::FaultPlan;
-use magus_suite::workloads::{app_trace, AppId, Platform};
+use magus_suite::workloads::AppId;
 use proptest::prelude::*;
 
 fn fingerprint(r: &TrialResult) -> (u64, u64, u64, u64, u64) {
@@ -27,19 +25,14 @@ fn fingerprint(r: &TrialResult) -> (u64, u64, u64, u64, u64) {
 }
 
 fn faulted_magus_trial(path: SimPath, faults: Option<&FaultPlan>) -> TrialResult {
-    let system = SystemId::IntelA100;
     let mut driver = MagusDriver::with_defaults();
-    run_faulted_trial_capped(
-        system.node_config(),
-        Some(app_trace(AppId::Srad, Platform::IntelA100)),
-        &mut driver,
-        TrialOpts {
-            path,
-            ..TrialOpts::default()
-        },
-        None,
-        faults,
-    )
+    let mut trial = TrialBuilder::on(SystemId::IntelA100)
+        .app(AppId::Srad)
+        .path(path);
+    if let Some(plan) = faults {
+        trial = trial.faults(plan);
+    }
+    trial.run(&mut driver)
 }
 
 /// The tentpole's zero-cost contract: a present-but-empty plan must not
@@ -164,14 +157,11 @@ proptest! {
         let opts = TrialOpts { max_s: 120.0, ..TrialOpts::default() };
         let run = || {
             let mut driver = MagusDriver::with_defaults();
-            run_faulted_trial_capped(
-                SystemId::IntelA100.node_config(),
-                Some(app_trace(AppId::Bfs, Platform::IntelA100)),
-                &mut driver,
-                opts,
-                None,
-                Some(&plan),
-            )
+            TrialBuilder::on(SystemId::IntelA100)
+                .app(AppId::Bfs)
+                .opts(opts)
+                .faults(&plan)
+                .run(&mut driver)
         };
         let a = run();
         let b2 = run();

@@ -3,14 +3,20 @@
 //! acceptance-scale sweep (256 nodes × catalog × three governors) must
 //! complete with self-consistent aggregates.
 //!
-//! The shared fleet clock only changes where each node's macro-stepping
-//! spans split, never what they compute — so every fleet node's
+//! The shard-local lockstep clocks only change where each node's
+//! macro-stepping spans split, never what they compute — so every fleet
+//! node's
 //! `RunSummary` is asserted `==` (exact, including every f64) against an
 //! isolated `run_trial` of the same app under the same governor.
 
 use magus_suite::experiments::engine::GovernorSpec;
-use magus_suite::experiments::fleet::{fleet_app, fleet_sweep, run_fleet, FleetSpec};
-use magus_suite::experiments::harness::{run_trial, SystemId, TrialOpts};
+use magus_suite::experiments::fleet::{
+    fleet_app, fleet_sweep, governor_run_opts, run_fleet, FleetSpec,
+};
+use magus_suite::experiments::harness::{run_trial, SimPath, SystemId, TrialOpts};
+use magus_suite::hetsim::{FaultPlan, FleetSim};
+use magus_suite::workloads::{app_trace, Platform};
+use proptest::prelude::*;
 
 fn governors() -> [GovernorSpec; 3] {
     [
@@ -88,4 +94,133 @@ fn fleet_sweep_at_256_nodes_completes_with_consistent_aggregates() {
         magus.total_uncore_j,
         default.total_uncore_j
     );
+}
+
+/// A round-robin catalog fleet built through the validating builder.
+fn catalog_fleet(nodes: usize, budget_s: f64, plan: Option<&FaultPlan>, shards: usize) -> FleetSim {
+    let mut b = FleetSim::builder(budget_s).shards(shards);
+    for i in 0..nodes {
+        b = b.node(
+            SystemId::IntelA100.node_config(),
+            app_trace(fleet_app(i), Platform::IntelA100),
+        );
+    }
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    b.build().expect("catalog fleet spec is valid")
+}
+
+/// Render every node's drained telemetry event stream as one JSONL blob —
+/// the byte-level artifact the bit-identity contract covers.
+#[cfg(feature = "telemetry")]
+fn telemetry_jsonl(fleet: &mut FleetSim) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (node, events) in fleet.take_node_events().into_iter().enumerate() {
+        for event in events {
+            let json = serde_json::to_string(&event).expect("event serializes");
+            writeln!(out, "{{\"node\":{node},{}", &json[1..]).expect("string write");
+        }
+    }
+    out
+}
+
+/// The tentpole's core contract: under a fault plan mixing sensor faults
+/// (access-counted, per node) and fleet-level stall/crash schedules
+/// (global-index keyed), every shard count and both stepping paths produce
+/// the same `FleetSummary` — per-node summaries, fault tallies, crash
+/// count — and the same telemetry byte stream as the single-shard run.
+#[test]
+fn sharded_fleet_is_bit_identical_across_shard_counts_paths_and_faults() {
+    let plan = FaultPlan::builder()
+        .seed(11)
+        .pcm_dropout_every(7)
+        .fleet_stall(3, 250_000)
+        .fleet_crash(5, 400_000)
+        .build()
+        .expect("stress plan is valid");
+    let nodes = 9;
+    let opts_for = |path| governor_run_opts(&GovernorSpec::magus_default(), path);
+
+    let mut baseline_fleet = catalog_fleet(nodes, 600.0, Some(&plan), 1);
+    let baseline = baseline_fleet.run(&opts_for(SimPath::Fast));
+    #[cfg(feature = "telemetry")]
+    let baseline_jsonl = telemetry_jsonl(&mut baseline_fleet);
+    assert!(
+        baseline.node_fault_counters.iter().any(|c| c.total() > 0),
+        "MAGUS reads PCM, so the dropout schedule must actually fire"
+    );
+    assert_eq!(baseline.crashed, 1, "crash_every=5 hits node 5 of 9");
+    assert_eq!(baseline.completed, nodes - 1);
+
+    for shards in [1usize, 2, 7, 64] {
+        for path in [SimPath::Fast, SimPath::Reference] {
+            let mut fleet = catalog_fleet(nodes, 600.0, Some(&plan), shards);
+            let summary = fleet.run(&opts_for(path));
+            assert_eq!(
+                summary, baseline,
+                "shards={shards} path={path:?} diverged from single-shard fast"
+            );
+            #[cfg(feature = "telemetry")]
+            assert_eq!(
+                telemetry_jsonl(&mut fleet),
+                baseline_jsonl,
+                "shards={shards} path={path:?}: telemetry stream diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Whatever the fleet size, shard count, stepping path, and fault
+    /// plan, sharding is invisible: the summary equals the single-shard
+    /// run bit for bit, and the aggregates recompute exactly with the
+    /// pre-SoA sequential node-order fold.
+    #[test]
+    fn any_shard_count_matches_single_shard(
+        nodes in 1usize..9,
+        shards in 1usize..12,
+        seed in 0u64..100,
+        dropout in prop::option::of(3u64..20),
+        stall in prop::option::of(2u64..6),
+        crash in prop::option::of(2u64..6),
+        use_reference in any::<bool>(),
+    ) {
+        let mut b = FaultPlan::builder().seed(seed);
+        if let Some(d) = dropout {
+            b = b.pcm_dropout_every(d);
+        }
+        if let Some(s) = stall {
+            b = b.fleet_stall(s, 200_000);
+        }
+        if let Some(c) = crash {
+            b = b.fleet_crash(c, 300_000);
+        }
+        let plan = b.build().expect("generated plan is valid");
+        let path = if use_reference { SimPath::Reference } else { SimPath::Fast };
+        let opts = governor_run_opts(&GovernorSpec::magus_default(), path);
+        let single = catalog_fleet(nodes, 45.0, Some(&plan), 1).run(&opts);
+        let sharded = catalog_fleet(nodes, 45.0, Some(&plan), shards).run(&opts);
+        prop_assert_eq!(&single, &sharded);
+
+        // Reference fold order: a plain sequential pass over the nodes in
+        // index order, exactly what the pre-SoA FleetSim accumulated.
+        let mut cpu = 0.0;
+        let mut uncore = 0.0;
+        let mut total = 0.0;
+        for n in &single.nodes {
+            cpu += n.energy.core_j + n.energy.dram_j;
+            uncore += n.energy.uncore_j;
+            total += n.energy.total_j();
+        }
+        prop_assert_eq!(single.total_cpu_j, cpu);
+        prop_assert_eq!(single.total_uncore_j, uncore);
+        prop_assert_eq!(single.total_j, total);
+        let makespan = single.nodes.iter().map(|n| n.runtime_s).fold(0.0, f64::max);
+        prop_assert_eq!(single.makespan_s, makespan);
+        prop_assert!(single.completed + single.crashed <= nodes);
+    }
 }
