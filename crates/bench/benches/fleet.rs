@@ -32,26 +32,38 @@ fn bench_fleet_step_100k(c: &mut Criterion) {
     // The raw 100k-node lockstep kernel: round-robin catalog traces from
     // one bulk intern lookup, a noop decider (one decision at t=0, then
     // rest forever), one shard per CPU. This times pure SoA stepping —
-    // fleet construction happens in the untimed setup closure.
+    // fleet construction happens in the untimed setup closure. `step_100k`
+    // pins dedup off (the raw kernel, comparable with pre-dedup numbers);
+    // `step_100k_dedup` runs the same fleet with trajectory dedup sharing
+    // macro-step work across the catalog's equivalence classes. Both
+    // produce bit-identical summaries, so the shared Elements(node_steps)
+    // throughput makes the two directly comparable.
     const NODES: usize = 100_000;
     let budget_s = 5.0;
     let keys: Vec<(AppId, Platform)> = (0..NODES)
         .map(|i| (fleet_app(i), SystemId::IntelA100.platform()))
         .collect();
     let shards = std::thread::available_parallelism().map_or(1, usize::from);
-    let build = || {
-        let mut b = FleetSim::builder(budget_s).shards(shards);
+    let build = |dedup: bool| {
+        let mut b = FleetSim::builder(budget_s).shards(shards).dedup(dedup);
         for trace in app_traces(&keys) {
             b = b.node(SystemId::IntelA100.node_config(), trace);
         }
         b.build().expect("100k fleet spec is valid")
     };
     let opts = RunOpts::noop();
-    let node_steps = build().run(&opts).node_steps;
+    let node_steps = build(false).run(&opts).node_steps;
     group.throughput(Throughput::Elements(node_steps));
     group.bench_function("step_100k", |b| {
         b.iter_batched_ref(
-            build,
+            || build(false),
+            |fleet| black_box(fleet.run(&opts)),
+            BatchSize::PerIteration,
+        );
+    });
+    group.bench_function("step_100k_dedup", |b| {
+        b.iter_batched_ref(
+            || build(true),
             |fleet| black_box(fleet.run(&opts)),
             BatchSize::PerIteration,
         );

@@ -96,7 +96,32 @@ pub fn check_baseline(path: &str) -> Result<(), String> {
             ));
         }
     }
+    // The RSS proxy is `null` where /proc is unavailable and a *positive*
+    // kB count where it is; a literal 0 means an old binary flattened
+    // "unmeasured" into a number the gates could mistake for data.
+    check_rss_proxy(path, obj, "")?;
+    if let Some(smoke) = obj.get("smoke").and_then(serde_json::Value::as_object) {
+        check_rss_proxy(path, smoke, "smoke.")?;
+    }
     Ok(())
+}
+
+/// Validate one section's optional `peak_rss_proxy_kb`: absent or `null`
+/// (unmeasured) or a positive number — never 0, never a non-number.
+fn check_rss_proxy(
+    path: &str,
+    section: &serde_json::Map<String, serde_json::Value>,
+    prefix: &str,
+) -> Result<(), String> {
+    match section.get("peak_rss_proxy_kb") {
+        None => Ok(()),
+        Some(serde_json::Value::Null) => Ok(()),
+        Some(v) if v.as_f64().is_some_and(|kb| kb > 0.0) => Ok(()),
+        Some(v) => Err(format!(
+            "committed baseline {path}: \"{prefix}peak_rss_proxy_kb\" must be null \
+             (unmeasured) or a positive kB count, got {v}"
+        )),
+    }
 }
 
 /// Validate the committed baseline or exit ([`BASELINE_EXIT_CODE`]) with
@@ -229,6 +254,36 @@ mod tests {
         );
         let err = check_baseline(path.to_str().unwrap()).unwrap_err();
         assert!(err.contains("suite_speedup_min"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rss_proxy_zero_is_rejected_null_and_positive_pass() {
+        // 0 was what the pre-fix fleet_bench wrote off-Linux: reject it so
+        // "unmeasured" can never masquerade as a measurement.
+        let path = temp_file(
+            r#"{"schema_version": 2, "measured": true, "cases": {},
+                "thresholds": {}, "peak_rss_proxy_kb": 0}"#,
+        );
+        let err = check_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("peak_rss_proxy_kb"), "{err}");
+        std::fs::remove_file(path).unwrap();
+
+        let path = temp_file(
+            r#"{"schema_version": 2, "measured": true, "cases": {},
+                "thresholds": {}, "peak_rss_proxy_kb": null,
+                "smoke": {"peak_rss_proxy_kb": 123456}}"#,
+        );
+        assert_eq!(check_baseline(path.to_str().unwrap()), Ok(()));
+        std::fs::remove_file(path).unwrap();
+
+        // The smoke section is held to the same rule.
+        let path = temp_file(
+            r#"{"schema_version": 2, "measured": true, "cases": {},
+                "thresholds": {}, "smoke": {"peak_rss_proxy_kb": 0}}"#,
+        );
+        let err = check_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("smoke.peak_rss_proxy_kb"), "{err}");
         std::fs::remove_file(path).unwrap();
     }
 

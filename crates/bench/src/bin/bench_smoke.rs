@@ -9,13 +9,22 @@
 //! so simulator performance regressions show up as a diff against the
 //! committed baseline rather than silently.
 //!
-//! Usage: `cargo run --release --bin bench_smoke [out.json] [engine switches]`
+//! `--write-baseline` regenerates the complete measured v2 baseline —
+//! this binary always measures every case, so the switch only skips the
+//! pre-flight validation of the committed file (which a regeneration
+//! replaces wholesale). It exists so the mechanical first-networked-CI
+//! baseline landing uses one switch across both bench bins (see
+//! `fleet_bench --write-baseline`).
+//!
+//! Usage: `cargo run --release --bin bench_smoke [--write-baseline] \
+//!         [out.json] [engine switches]`
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use magus_experiments::drivers::{MagusDriver, NoopDriver};
 use magus_experiments::harness::{run_trial, SimPath, SystemId, TrialOpts};
+use magus_experiments::opts::take_switch;
 use magus_experiments::EngineOpts;
 use magus_hetsim::{Demand, FastForward, Node, NodeConfig};
 use magus_workloads::AppId;
@@ -47,6 +56,7 @@ fn median_ns_per_op(reps: usize, iters: u64, mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let write_baseline = take_switch(&mut args, "--write-baseline");
     // The shared engine switches parse (and install `--sim-path` /
     // `--faults` defaults) even here, where trials pin their own paths —
     // one grammar across every bin beats a special case.
@@ -67,7 +77,11 @@ fn main() {
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
     // Fail fast (clear message, non-zero exit) if the committed baseline
     // the CI gate will diff against is malformed — before benching.
-    magus_bench::baseline::validate_baseline_or_exit("BENCH_sim.json");
+    // `--write-baseline` replaces that file wholesale, so a malformed (or
+    // missing) committed baseline is not an error there.
+    if !write_baseline {
+        magus_bench::baseline::validate_baseline_or_exit("BENCH_sim.json");
+    }
 
     let mut cases: Vec<(&str, f64)> = Vec::new();
 

@@ -17,16 +17,27 @@
 //! * `shard_efficiency` — single-shard time / (sharded time × shards) for
 //!   the MAGUS fleet: 1.0 is perfect scaling.
 //! * `peak_rss_proxy_kb` — the process's `VmHWM` high-water mark from
-//!   `/proc/self/status` (0 where unavailable), a coarse resident-memory
-//!   proxy for the O(workers) streaming claim.
+//!   `/proc/self/status` (`null` where unavailable, e.g. off-Linux, so
+//!   baseline validation can tell "unmeasured" from "zero"), a coarse
+//!   resident-memory proxy for the O(workers) streaming claim.
 //!
 //! Smoke mode (`--smoke`, default 100000 nodes) runs the raw lockstep
 //! kernel — no governor, one noop decision per node — at 100k-node scale
-//! on one shard and on one shard per CPU, and merges a `"smoke"` section
-//! (node-steps/sec, shard efficiency, peak-RSS proxy) into the existing
-//! baseline file without touching the measured 64-node numbers.
+//! on one shard and on one shard per CPU (both with trajectory dedup off),
+//! then re-runs the sharded fleet with dedup on in the same process. It
+//! asserts all three runs are bit-identical and merges a `"smoke"` section
+//! (node-steps/sec, shard efficiency, peak-RSS proxy, and a `"dedup"`
+//! subsection with class count, representative-vs-replayed node-rounds,
+//! and the dedup speedup) into the existing baseline file without touching
+//! the measured 64-node numbers.
 //!
-//! Usage: `cargo run --release --bin fleet_bench [--smoke] \
+//! `--write-baseline` regenerates the complete measured v2 baseline in one
+//! command — the full 64-node default bench followed by the 100k smoke —
+//! so the first CI run with a working registry can land measured numbers
+//! mechanically (ROADMAP standing caveat: the committed files are still
+//! `measured:false` because the build registry is unreachable here).
+//!
+//! Usage: `cargo run --release --bin fleet_bench [--smoke|--write-baseline] \
 //!         [out.json] [nodes] [engine switches]`
 
 use std::hint::black_box;
@@ -53,9 +64,11 @@ fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// `VmHWM` (peak resident set, kB) from `/proc/self/status`; 0 where the
-/// proc filesystem is unavailable.
-fn peak_rss_kb() -> u64 {
+/// `VmHWM` (peak resident set, kB) from `/proc/self/status`; `None` where
+/// the proc filesystem is unavailable (off-Linux), so the baseline records
+/// `null` rather than a bogus 0 that validation could mistake for a
+/// measurement.
+fn peak_rss_kb() -> Option<u64> {
     std::fs::read_to_string("/proc/self/status")
         .ok()
         .and_then(|status| {
@@ -65,7 +78,11 @@ fn peak_rss_kb() -> u64 {
                 .and_then(|line| line.split_whitespace().nth(1))
                 .and_then(|kb| kb.parse().ok())
         })
-        .unwrap_or(0)
+}
+
+/// Human-readable peak-RSS for console lines: kB count or "unavailable".
+fn peak_rss_label() -> String {
+    peak_rss_kb().map_or_else(|| "unavailable".to_string(), |kb| format!("{kb} kB"))
 }
 
 /// One shard per CPU — the shard count both modes scale out to.
@@ -91,17 +108,32 @@ fn default_thresholds() -> serde_json::Value {
         "node_steps_per_sec_min_ratio": 0.8,
         "smoke_node_steps_per_sec_min": 1000000.0,
         "smoke_shard_efficiency_min": 0.5,
+        "smoke_dedup_speedup_min": 1.0,
     })
+}
+
+/// Thresholds carried from the committed baseline, with any *missing*
+/// gate keys filled from the defaults (a regeneration must never drop a
+/// newer gate just because the committed file predates it). Committed
+/// values always win over defaults.
+fn carried_thresholds(path: &str) -> serde_json::Value {
+    let mut thresholds = default_thresholds();
+    if let Some(committed) = carried(path, "thresholds", serde_json::Value::Null).as_object() {
+        for (key, value) in committed {
+            thresholds[key] = value.clone();
+        }
+    }
+    thresholds
 }
 
 /// A catalog fleet for the raw-kernel smoke: round-robin apps on
 /// bulk-interned traces (one `AppTrace` per distinct app, one intern-table
 /// lock round-trip for all `nodes`).
-fn smoke_fleet(nodes: usize, budget_s: f64, shards: usize) -> FleetSim {
+fn smoke_fleet(nodes: usize, budget_s: f64, shards: usize, dedup: bool) -> FleetSim {
     let keys: Vec<(AppId, Platform)> = (0..nodes)
         .map(|i| (fleet_app(i), SystemId::IntelA100.platform()))
         .collect();
-    let mut builder = FleetSim::builder(budget_s).shards(shards);
+    let mut builder = FleetSim::builder(budget_s).shards(shards).dedup(dedup);
     for trace in app_traces(&keys) {
         builder = builder.node(SystemId::IntelA100.node_config(), trace);
     }
@@ -117,19 +149,46 @@ fn run_smoke(nodes: usize, out_path: &str) {
     let opts = RunOpts::noop();
     let shards = cpu_shards();
 
-    let mut single = smoke_fleet(nodes, budget_s, 1);
+    let mut single = smoke_fleet(nodes, budget_s, 1, false);
     let t0 = Instant::now();
     let summary = single.run(&opts);
     let single_s = t0.elapsed().as_secs_f64();
     drop(single);
 
-    let mut sharded = smoke_fleet(nodes, budget_s, shards);
+    let mut sharded = smoke_fleet(nodes, budget_s, shards, false);
     let t0 = Instant::now();
     let sharded_summary = sharded.run(&opts);
     let sharded_s = t0.elapsed().as_secs_f64();
     assert_eq!(
         summary, sharded_summary,
         "sharded smoke diverged from single-shard (bit-identity contract)"
+    );
+    drop(sharded);
+
+    // Same-process dedup run: the catalog round-robin collapses `nodes`
+    // trajectories into one class per (shard, distinct app), so stepping
+    // work drops from O(nodes x rounds) to O(classes x rounds).
+    let mut dedup = smoke_fleet(nodes, budget_s, shards, true);
+    let t0 = Instant::now();
+    let dedup_summary = dedup.run(&opts);
+    let dedup_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        summary, dedup_summary,
+        "dedup smoke diverged from dedup-off (bit-identity contract)"
+    );
+    let classes: u64 = dedup.shard_stats().iter().map(|s| s.classes).sum();
+    let rep_node_rounds: u64 = dedup.shard_stats().iter().map(|s| s.rep_node_rounds).sum();
+    let replayed_node_rounds: u64 = dedup
+        .shard_stats()
+        .iter()
+        .map(|s| s.replayed_node_rounds)
+        .sum();
+    let dedup_steps_per_sec = summary.node_steps as f64 / dedup_s;
+    let dedup_speedup = sharded_s / dedup_s;
+    assert!(
+        dedup_steps_per_sec > summary.node_steps as f64 / sharded_s,
+        "dedup run was not faster than the dedup-off run in the same process \
+         ({dedup_s:.2} s vs {sharded_s:.2} s)"
     );
 
     let node_steps_per_sec = summary.node_steps as f64 / sharded_s;
@@ -146,6 +205,15 @@ fn run_smoke(nodes: usize, out_path: &str) {
         "sharded_s": sharded_s,
         "shard_efficiency": shard_efficiency,
         "peak_rss_proxy_kb": peak_rss_kb(),
+        "dedup": {
+            "measured": true,
+            "classes": classes,
+            "rep_node_rounds": rep_node_rounds,
+            "replayed_node_rounds": replayed_node_rounds,
+            "dedup_s": dedup_s,
+            "node_steps_per_sec": dedup_steps_per_sec.round(),
+            "speedup_vs_off": dedup_speedup,
+        },
     });
 
     // Merge into the existing baseline (or a fresh v2 skeleton) without
@@ -170,15 +238,21 @@ fn run_smoke(nodes: usize, out_path: &str) {
     println!(
         "smoke: {nodes} nodes, {} node-steps in {sharded_s:.2} s across {shards} shards \
          ({node_steps_per_sec:.0} node-steps/sec, shard efficiency {shard_efficiency:.2}, \
-         peak RSS {} kB) -> {out_path}",
+         peak RSS {}) -> {out_path}",
         summary.node_steps,
-        peak_rss_kb(),
+        peak_rss_label(),
+    );
+    println!(
+        "smoke dedup: {classes} classes for {nodes} nodes, {rep_node_rounds} representative vs \
+         {replayed_node_rounds} replayed node-rounds, {dedup_s:.2} s \
+         ({dedup_steps_per_sec:.0} node-steps/sec, x{dedup_speedup:.2} vs dedup-off)"
     );
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = take_switch(&mut args, "--smoke");
+    let write_baseline = take_switch(&mut args, "--write-baseline");
     let engine_opts = match EngineOpts::take_from_args(&mut args) {
         Ok(opts) => opts,
         Err(e) => {
@@ -210,7 +284,11 @@ fn main() {
         .unwrap_or(64);
     // Fail fast (clear message, non-zero exit) if the committed baseline
     // the CI gate will diff against is malformed — before benching.
-    magus_bench::baseline::validate_baseline_or_exit("BENCH_fleet.json");
+    // `--write-baseline` regenerates that file wholesale, so a malformed
+    // (or missing) committed baseline is not an error there.
+    if !write_baseline {
+        magus_bench::baseline::validate_baseline_or_exit("BENCH_fleet.json");
+    }
     // Bounded per-node budget: throughput needs steady stepping, not
     // catalog completion (the longest apps run for hundreds of sim-secs).
     let max_s = 120.0;
@@ -304,7 +382,7 @@ fn main() {
         "unit": "seconds (median) per case",
         "nodes": nodes,
         "taxonomy": carried("BENCH_fleet.json", "taxonomy", serde_json::json!({})),
-        "thresholds": carried("BENCH_fleet.json", "thresholds", default_thresholds()),
+        "thresholds": carried_thresholds("BENCH_fleet.json"),
         "node_steps_per_sec": node_steps_per_sec.round(),
         "streaming_vs_collect": streaming_vs_collect,
         "shard_efficiency": shard_efficiency,
@@ -322,8 +400,15 @@ fn main() {
     println!(
         "wrote {out_path} ({nodes} nodes: {node_steps_per_sec:.0} node-steps/sec, \
          streaming/collect = {streaming_vs_collect:.2}, \
-         shard efficiency x{shards} = {shard_efficiency:.2})"
+         shard efficiency x{shards} = {shard_efficiency:.2}, peak RSS {})",
+        peak_rss_label(),
     );
+    if write_baseline {
+        // Complete the measured baseline in one command: the 64-node
+        // default numbers above plus the 100k raw-kernel smoke (with its
+        // dedup subsection), ready to commit as-is.
+        run_smoke(100_000, &out_path);
+    }
     if let Some(path) = &engine_opts.telemetry {
         match engine.write_telemetry(path) {
             Ok(()) => eprintln!("[engine] telemetry written to {}", path.display()),

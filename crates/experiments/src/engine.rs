@@ -825,6 +825,17 @@ impl Engine {
         for shard in &run.shard_stats {
             r.inc("fleet/lockstep_rounds", shard.rounds);
             r.inc("fleet/lockstep_stalls", shard.stalls);
+            // Trajectory-dedup efficiency: live trajectories vs mirrored
+            // node-rounds, plus followers evicted on divergence. Like the
+            // lockstep counters these are shard-partition dependent, which
+            // is why they live here and never in `FleetSummary`.
+            r.inc("fleet/dedup_classes", shard.classes);
+            r.inc("fleet/dedup_rep_node_rounds", shard.rep_node_rounds);
+            r.inc(
+                "fleet/dedup_replayed_node_rounds",
+                shard.replayed_node_rounds,
+            );
+            r.inc("fleet/dedup_class_evictions", shard.class_evictions);
         }
         r.set_gauge("fleet/shards", run.shard_stats.len() as f64);
     }

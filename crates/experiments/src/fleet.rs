@@ -16,6 +16,8 @@
 //! shard clocks only change where macro-stepping spans split, never what
 //! they compute.
 
+use std::hash::{DefaultHasher, Hash, Hasher};
+
 use magus_hetsim::fault::FaultPlan;
 use magus_hetsim::fleet::{
     Decision, FleetSim, FleetSummary, NodeDecider, RunOpts, ShardStats, StepMode,
@@ -50,12 +52,23 @@ pub struct FleetSpec {
     /// nodes by global index). `None` runs clean.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub faults: Option<FaultPlan>,
+    /// Trajectory deduplication (default on; results are bit-identical
+    /// either way — off exists for differential runs and raw-kernel
+    /// benchmarks). Non-empty fault plans disable sharing regardless.
+    #[serde(default = "dedup_on")]
+    pub dedup: bool,
 }
 
 /// Serde default for [`FleetSpec::shards`]: pre-shard specs ran the whole
 /// fleet on one clock.
 fn one_shard() -> usize {
     1
+}
+
+/// Serde default for [`FleetSpec::dedup`]: sharing is on unless a spec
+/// opts out (pre-dedup specs get the bit-identical shared path).
+fn dedup_on() -> bool {
+    true
 }
 
 impl FleetSpec {
@@ -71,6 +84,7 @@ impl FleetSpec {
             shards: 1,
             path: default_sim_path(),
             faults: None,
+            dedup: true,
         }
     }
 
@@ -136,8 +150,17 @@ impl NodeDecider for DriverDecider {
 /// Run options giving every fleet node a fresh driver built from
 /// `governor` (runtimes carry per-node feedback state, so instances are
 /// never shared), stepping on `path`.
+///
+/// The factory ignores the node index and builds every driver from the
+/// same spec, so it is behaviorally index-invariant by construction; it
+/// declares that with a decider key (the spec rendering's hash, recorded
+/// for provenance), which is what lets the fleet kernel share macro-step
+/// work across identical catalog nodes.
 #[must_use]
 pub fn governor_run_opts(governor: &GovernorSpec, path: SimPath) -> RunOpts {
+    let mut hasher = DefaultHasher::new();
+    format!("{governor:?}").hash(&mut hasher);
+    let key = hasher.finish();
     let governor = governor.clone();
     RunOpts::new(move |_idx| {
         Box::new(DriverDecider {
@@ -145,6 +168,7 @@ pub fn governor_run_opts(governor: &GovernorSpec, path: SimPath) -> RunOpts {
         }) as Box<dyn NodeDecider>
     })
     .with_mode(step_mode(path))
+    .with_decider_key(key)
 }
 
 /// Execute one fleet run: build N nodes (round-robin catalog apps on
@@ -159,7 +183,9 @@ pub fn governor_run_opts(governor: &GovernorSpec, path: SimPath) -> RunOpts {
 pub fn run_fleet(spec: &FleetSpec) -> FleetRun {
     let platform = spec.system.platform();
     let keys: Vec<(AppId, Platform)> = (0..spec.nodes).map(|i| (fleet_app(i), platform)).collect();
-    let mut builder = FleetSim::builder(spec.max_s).shards(spec.shards);
+    let mut builder = FleetSim::builder(spec.max_s)
+        .shards(spec.shards)
+        .dedup(spec.dedup);
     for trace in app_traces(&keys) {
         builder = builder.node(spec.system.node_config(), trace);
     }
@@ -258,11 +284,45 @@ mod tests {
 
     #[test]
     fn spec_serde_defaults_cover_pre_shard_specs() {
-        // Pre-shard serialized specs carry neither `shards` nor `path`.
+        // Pre-shard serialized specs carry neither `shards` nor `path`
+        // (nor, later, `dedup`).
         let legacy = r#"{"system":"IntelA100","governor":"Default","nodes":2,"max_s":60.0}"#;
         let spec: FleetSpec = serde_json::from_str(legacy).unwrap();
         assert_eq!(spec.shards, 1);
         assert_eq!(spec.path, SimPath::Fast);
         assert!(spec.faults.is_none());
+        assert!(
+            spec.dedup,
+            "legacy specs take the shared (bit-identical) path"
+        );
+    }
+
+    #[test]
+    fn dedup_off_matches_dedup_on_through_the_driver_stack() {
+        // 30 nodes over the 24-app catalog: round-robin wraps, so nodes
+        // 0..6 each share a class with nodes 24..30 — real sharing through
+        // the full GovernorSpec → RuntimeDriver → DriverDecider stack.
+        let spec = FleetSpec {
+            max_s: 60.0,
+            ..FleetSpec::new(GovernorSpec::magus_default(), 30)
+        };
+        let on = run_fleet(&spec);
+        let off = run_fleet(&FleetSpec {
+            dedup: false,
+            ..spec.clone()
+        });
+        assert_eq!(on.summary, off.summary, "dedup changed a governor fleet");
+        let replayed = |r: &FleetRun| {
+            r.shard_stats
+                .iter()
+                .map(|s| s.replayed_node_rounds)
+                .sum::<u64>()
+        };
+        let evicted = |r: &FleetRun| r.shard_stats.iter().map(|s| s.class_evictions).sum::<u64>();
+        assert!(replayed(&on) > 0, "catalog wrap produced no sharing");
+        assert_eq!(replayed(&off), 0);
+        // MAGUS drivers are deterministic functions of feedback state:
+        // identical nodes never diverge, so nothing is evicted.
+        assert_eq!(evicted(&on), 0);
     }
 }

@@ -31,13 +31,35 @@
 //!   state persists in its [`FastForward`] — so every node is bit-identical
 //!   to a solo run regardless of shard count, on both stepping paths, with
 //!   fault plans attached.
+//! * **Trajectory deduplication.** A catalog fleet built round-robin
+//!   contains thousands of *bit-identical* nodes: same config, same
+//!   interned trace `Arc`, same governor. Identical deterministic nodes
+//!   provably produce identical trajectories, so [`FleetBuilder::build`]
+//!   groups `.node()` nodes into equivalence classes (keyed on the config
+//!   rendering + the trace allocation's identity) and, when the decider
+//!   factory declares itself index-invariant
+//!   ([`RunOpts::with_decider_key`]), each shard steps **one
+//!   representative per class** live while followers mirror its per-round
+//!   clock delta instead of recomputing it. Every member's decider still
+//!   fires every round (on state synced from the representative), and a
+//!   follower is permanently evicted to live stepping the moment anything
+//!   perturbs it — a divergent `Decision`, an extra MSR/PCM access (state
+//!   epoch, ledger), or any feedback-snapshot mismatch — so the
+//!   bit-identity contract holds with dedup on or off. Non-empty fault
+//!   plans force singleton classes (stall/crash schedules select by global
+//!   index, and fault RNG advances per node), as do `.sim()` nodes and
+//!   undeclared decider factories. Catalog sweeps cost
+//!   O(classes × rounds) instead of O(nodes × rounds) in stepping work.
 //!
 //! Construction goes through the validating [`FleetBuilder`]; execution is
 //! a single [`FleetSim::run`] taking [`RunOpts`] (stepping mode + a
 //! [`NodeDecider`] factory). Traces are shared `Arc`s (see
 //! `magus_workloads::intern`), so a 100k-node fleet running the catalog
-//! holds one trace allocation per distinct workload, not per node.
+//! holds one trace allocation per distinct workload, not per node — and
+//! pointer-equal trace handles are what make dedup class keys content keys.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use rayon::prelude::*;
@@ -112,6 +134,10 @@ pub type DeciderFactory = Arc<dyn Fn(usize) -> Box<dyn NodeDecider> + Send + Syn
 pub struct RunOpts {
     mode: StepMode,
     deciders: DeciderFactory,
+    /// `Some` declares the factory behaviorally index-invariant (see
+    /// [`RunOpts::with_decider_key`]) and opts the run into trajectory
+    /// deduplication; `None` steps every node live.
+    decider_key: Option<u64>,
 }
 
 impl RunOpts {
@@ -121,6 +147,7 @@ impl RunOpts {
         Self {
             mode: StepMode::default(),
             deciders: Arc::new(factory),
+            decider_key: None,
         }
     }
 
@@ -147,12 +174,15 @@ impl RunOpts {
     }
 
     /// No-op governor: one immediate decision per node, then never again.
+    /// Trivially index-invariant, so it carries a decider key and dedup
+    /// engages wherever the builder produced shared classes.
     #[must_use]
     pub fn noop() -> Self {
         Self::from_fn(|_, _| Decision {
             latency_us: 0,
             rest_us: u64::MAX,
         })
+        .with_decider_key(0)
     }
 
     /// Builder: select the stepping mode.
@@ -162,10 +192,36 @@ impl RunOpts {
         self
     }
 
+    /// Builder: declare the decider factory **behaviorally
+    /// index-invariant** — for any node index, the produced decider makes
+    /// the same observations and actuations given a bit-identical
+    /// simulation state — which is the run-time half of the
+    /// trajectory-dedup opt-in (the build-time half is
+    /// [`FleetBuilder::node`] class keys). `key` records the declared
+    /// decider spec's content hash for provenance; its value never
+    /// partitions classes within a run, because one factory serves the
+    /// whole fleet. A wrong declaration does not break bit-identity — a
+    /// diverging follower is detected (decision / epoch / ledger /
+    /// feedback-snapshot comparison after every decision) and evicted to
+    /// live stepping — it only costs the shared-stepping win. The one
+    /// blind spot: divergence *only* in telemetry event payloads, with
+    /// bit-identical simulation effects, is not detectable.
+    #[must_use]
+    pub fn with_decider_key(mut self, key: u64) -> Self {
+        self.decider_key = Some(key);
+        self
+    }
+
     /// The stepping mode these options select.
     #[must_use]
     pub fn mode(&self) -> StepMode {
         self.mode
+    }
+
+    /// The declared decider-spec key, if the factory opted into dedup.
+    #[must_use]
+    pub fn decider_key(&self) -> Option<u64> {
+        self.decider_key
     }
 }
 
@@ -173,6 +229,7 @@ impl core::fmt::Debug for RunOpts {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("RunOpts")
             .field("mode", &self.mode)
+            .field("decider_key", &self.decider_key)
             .finish_non_exhaustive()
     }
 }
@@ -221,16 +278,29 @@ impl From<FaultPlanError> for FleetBuildError {
     }
 }
 
-/// Validating constructor for [`FleetSim`] — the one non-deprecated way to
-/// build a fleet. Collects nodes (from config + trace, or pre-built
-/// simulations), the shard count, the per-node budget, and an optional
-/// fault plan, then checks the lot in [`FleetBuilder::build`].
+/// Validating constructor for [`FleetSim`] — the only way to build a
+/// fleet. Collects nodes (from config + trace, or pre-built simulations),
+/// the shard count, the per-node budget, and an optional fault plan, then
+/// checks the lot in [`FleetBuilder::build`].
 #[derive(Debug)]
 pub struct FleetBuilder {
     budget_s: f64,
     shards: usize,
     sims: Vec<Simulation>,
     faults: Option<FaultPlan>,
+    /// Trajectory-dedup master switch (default on); see
+    /// [`FleetBuilder::dedup`].
+    dedup: bool,
+    /// Build-time equivalence class per node: `Some(id)` for `.node()`
+    /// nodes (config rendering + trace identity), `None` for `.sim()`
+    /// nodes, whose customization is opaque and forces a singleton.
+    class_of: Vec<Option<u32>>,
+    /// Interning map from class key to class id. The key's trace
+    /// component is the `Arc` allocation address — stable for the
+    /// builder's lifetime because each added simulation keeps its trace
+    /// alive, and a *content* key whenever traces come from the workload
+    /// intern table (one `Arc` per distinct workload).
+    class_index: HashMap<(String, usize), u32>,
 }
 
 impl FleetBuilder {
@@ -242,6 +312,9 @@ impl FleetBuilder {
             shards: 1,
             sims: Vec::new(),
             faults: None,
+            dedup: true,
+            class_of: Vec::new(),
+            class_index: HashMap::new(),
         }
     }
 
@@ -255,9 +328,22 @@ impl FleetBuilder {
     }
 
     /// Add a node running `trace` (an owned trace or a shared `Arc` from
-    /// the workload intern table).
+    /// the workload intern table). Nodes added here are grouped into
+    /// trajectory-dedup equivalence classes: two nodes share a class iff
+    /// their configs render identically (derived `Debug` prints
+    /// shortest-roundtrip floats, so this is exact) and their traces are
+    /// the *same allocation* — interned traces share classes, owned traces
+    /// never do.
     #[must_use]
     pub fn node(mut self, config: NodeConfig, trace: impl Into<Arc<AppTrace>>) -> Self {
+        let trace = trace.into();
+        let key = (format!("{config:?}"), Arc::as_ptr(&trace) as usize);
+        let next = self.class_index.len() as u32;
+        let class = match self.class_index.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => *e.insert(next),
+        };
+        self.class_of.push(Some(class));
         let mut sim = Simulation::new(Node::new(config));
         sim.load(trace);
         self.sims.push(sim);
@@ -265,10 +351,23 @@ impl FleetBuilder {
     }
 
     /// Add a pre-built simulation (custom recorder, pre-programmed power
-    /// limit, ...). It must still be at t=0.
+    /// limit, ...). It must still be at t=0. The customization is opaque
+    /// to the builder, so the node always gets a singleton dedup class.
     #[must_use]
     pub fn sim(mut self, sim: Simulation) -> Self {
+        self.class_of.push(None);
         self.sims.push(sim);
+        self
+    }
+
+    /// Master switch for trajectory deduplication (default **on**). With
+    /// dedup off every node steps live even when the builder found shared
+    /// classes and the decider factory declared a key — the knob exists
+    /// for differential testing (dedup-on vs dedup-off bit-identity) and
+    /// for benchmarking the raw kernel.
+    #[must_use]
+    pub fn dedup(mut self, on: bool) -> Self {
+        self.dedup = on;
         self
     }
 
@@ -311,9 +410,11 @@ impl FleetBuilder {
         }
         let mut sims = self.sims;
         let mut fleet_faults = None;
+        let mut faulted = false;
         if let Some(plan) = self.faults {
             plan.validate()?;
             if !plan.is_empty() {
+                faulted = true;
                 for sim in &mut sims {
                     sim.node_mut().set_fault_plan(plan);
                 }
@@ -321,8 +422,20 @@ impl FleetBuilder {
             }
         }
         let n = sims.len();
+        // Non-empty fault plans force singleton classes: crash/stall
+        // schedules select nodes by 1-based *global* index, and the fault
+        // RNG advances on each node's own access stream, so otherwise
+        // identical nodes legitimately diverge. Masking here (rather than
+        // per-node at run time) also guarantees a follower can never be
+        // chained to a representative that crashes out from under it.
+        let class_of = if self.dedup && !faulted {
+            self.class_of
+        } else {
+            vec![None; n]
+        };
         Ok(FleetSim {
             sims,
+            class_of,
             ff: (0..n).map(|_| FastForward::new()).collect(),
             next_due_us: vec![0; n], // first decision immediately
             now_us: vec![0; n],
@@ -366,6 +479,23 @@ pub struct ShardStats {
     pub decisions: u64,
     /// Simulator ticks advanced by this shard's nodes.
     pub node_steps: u64,
+    /// Live-stepping trajectories in this shard at round 0: distinct dedup
+    /// classes plus singleton nodes. Equals `nodes` when dedup is off (or
+    /// every class is a singleton); the gap to `nodes` is the shared work.
+    #[serde(default)]
+    pub classes: u64,
+    /// Node-rounds stepped live (pass 3) by representatives and singleton
+    /// nodes. With dedup off this counts every active node-round.
+    #[serde(default)]
+    pub rep_node_rounds: u64,
+    /// Node-rounds where a follower mirrored its representative's clock
+    /// delta instead of recomputing it — the stepping work dedup saved.
+    #[serde(default)]
+    pub replayed_node_rounds: u64,
+    /// Followers permanently evicted to live stepping after a divergence
+    /// (decision mismatch, extra MSR/PCM access, feedback-snapshot delta).
+    #[serde(default)]
+    pub class_evictions: u64,
 }
 
 /// Fleet-level result: per-node run summaries plus the aggregates the
@@ -494,6 +624,72 @@ fn max_lane(values: &[f64]) -> f64 {
     )
 }
 
+/// A node's trajectory-dedup role within its shard for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Steps live every round: singleton class, `.sim()` node, dedup off,
+    /// or a follower after eviction.
+    Live,
+    /// First member of a shared class in shard index order; steps live and
+    /// its followers mirror its per-round clock delta.
+    Rep,
+    /// Mirrors the representative at `rep` (a shard-local index, always
+    /// smaller than the follower's own) instead of stepping.
+    Follower {
+        /// Shard-local index of this node's representative.
+        rep: usize,
+    },
+}
+
+/// Assign shard-local dedup roles from the build-time class ids: the first
+/// occurrence of each class in shard index order is the representative,
+/// later occurrences are its followers. Returns the roles plus each node's
+/// initial follower list (non-empty only for representatives; entries must
+/// be re-checked against the current role at use time, since followers are
+/// evicted dynamically).
+fn dedup_roles(class_of: &[Option<u32>]) -> (Vec<Role>, Vec<Vec<usize>>) {
+    let n = class_of.len();
+    let mut roles = vec![Role::Live; n];
+    let mut followers_of = vec![Vec::new(); n];
+    let mut rep_of_class: HashMap<u32, usize> = HashMap::new();
+    for (i, class) in class_of.iter().enumerate() {
+        let Some(class) = class else { continue };
+        match rep_of_class.entry(*class) {
+            Entry::Occupied(e) => {
+                let rep = *e.get();
+                roles[i] = Role::Follower { rep };
+                followers_of[rep].push(i);
+            }
+            Entry::Vacant(e) => {
+                e.insert(i);
+                roles[i] = Role::Rep;
+            }
+        }
+    }
+    (roles, followers_of)
+}
+
+/// Bitwise agreement check between a follower's and its representative's
+/// post-decision states: clock, externally-visible-mutation epoch, MSR/PCM
+/// access counts, application progress bits, then the full feedback
+/// snapshot ([`Node::write_feedback_snapshot`] — the same bit-exact
+/// signature `FastForward` keys frozen spans on). `sig_a`/`sig_b` are
+/// caller-owned scratch to keep the hot loop allocation-free.
+fn sims_agree(a: &Simulation, b: &Simulation, sig_a: &mut Vec<u64>, sig_b: &mut Vec<u64>) -> bool {
+    let (na, nb) = (a.node(), b.node());
+    if na.time_us() != nb.time_us()
+        || na.state_epoch() != nb.state_epoch()
+        || na.ledger().reads() != nb.ledger().reads()
+        || na.ledger().writes() != nb.ledger().writes()
+        || a.progress_s().to_bits() != b.progress_s().to_bits()
+    {
+        return false;
+    }
+    na.write_feedback_snapshot(sig_a);
+    nb.write_feedback_snapshot(sig_b);
+    sig_a == sig_b
+}
+
 /// One shard's mutable window over the fleet lanes: a contiguous range of
 /// nodes starting at global index `base`, plus the shared run parameters.
 struct ShardView<'a> {
@@ -501,6 +697,7 @@ struct ShardView<'a> {
     base: usize,
     budget_us: u64,
     fleet_faults: Option<FleetFaults>,
+    class_of: &'a [Option<u32>],
     sims: &'a mut [Simulation],
     ff: &'a mut [FastForward],
     next_due_us: &'a mut [u64],
@@ -513,14 +710,44 @@ struct ShardView<'a> {
 /// Bit-identity argument: every per-node quantity depends only on that
 /// node's own decision deadlines and the budget; the shard horizon merely
 /// splits macro-spans, and [`Simulation::advance_until`] is split-invariant.
+/// Trajectory dedup preserves it by induction: a follower's lanes always
+/// equal its representative's, its own decider fires on state bit-equal to
+/// its solo state at every decision round, and any detected divergence
+/// evicts it to live stepping *from that same bit-exact state*.
 fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
     let n = v.sims.len();
+    // Dedup engages only when the decider factory declared itself
+    // index-invariant ([`RunOpts::with_decider_key`]); otherwise every
+    // node steps live and the kernel is byte-for-byte the PR 6 one.
+    let (mut roles, followers_of) = if opts.decider_key().is_some() {
+        dedup_roles(v.class_of)
+    } else {
+        (vec![Role::Live; n], vec![Vec::new(); n])
+    };
+    debug_assert!(
+        v.fleet_faults.is_none() || roles.iter().all(|r| *r == Role::Live),
+        "fault plans must force singleton classes at build time"
+    );
     let mut stats = ShardStats {
         shard: v.shard,
         base: v.base,
         nodes: n,
+        classes: roles
+            .iter()
+            .filter(|r| !matches!(r, Role::Follower { .. }))
+            .count() as u64,
         ..ShardStats::default()
     };
+    // Scratch for the divergence check and for followers evicted mid-pass
+    // (they already decided inside their representative's branch this
+    // round, so pass 1 must not touch them again until the next round).
+    let (mut sig_r, mut sig_f) = (Vec::new(), Vec::new());
+    let mut fresh_evictions: Vec<usize> = Vec::new();
+    // Whether a representative has decided at least once: its round-0
+    // followers decide on their *own* attached sims (catching attach-time
+    // divergence); later rounds decide on state synced from the
+    // representative's pre-decision snapshot.
+    let mut decided = vec![false; n];
     // Deciders are created and attached inside the shard task, in global
     // node-index order, exactly as the solo harness attaches its driver
     // after fault plan / power cap programming.
@@ -530,10 +757,15 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
         decider.attach(sim);
     }
     loop {
+        fresh_evictions.clear();
         // Pass 1 (branchy): retire finished/budget-exhausted nodes, crash
-        // fault-scheduled ones, fire the decisions that are due.
+        // fault-scheduled ones, fire the decisions that are due. Followers
+        // are handled inside their representative's branches.
         for i in 0..n {
-            if v.status[i] != ACTIVE {
+            if v.status[i] != ACTIVE
+                || matches!(roles[i], Role::Follower { .. })
+                || fresh_evictions.contains(&i)
+            {
                 continue;
             }
             let now = v.now_us[i];
@@ -546,9 +778,29 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
             }
             if v.sims[i].done() || now >= v.budget_us {
                 v.status[i] = RETIRED;
+                // A retiring representative's live followers share its
+                // trajectory bit-for-bit: sync their (stale) sims to its
+                // final state and retire them at the same instant.
+                let (head, tail) = v.sims.split_at_mut(i + 1);
+                for &f in &followers_of[i] {
+                    if roles[f] != (Role::Follower { rep: i }) {
+                        continue;
+                    }
+                    tail[f - i - 1].clone_from(&head[i]);
+                    v.status[f] = RETIRED;
+                    v.now_us[f] = now;
+                }
                 continue;
             }
             if now >= v.next_due_us[i] {
+                // Clone the pre-decision state for followers still chained
+                // to this representative (none for Live nodes: their
+                // follower lists are empty).
+                let snap = (decided[i]
+                    && followers_of[i]
+                        .iter()
+                        .any(|&f| roles[f] == (Role::Follower { rep: i })))
+                .then(|| v.sims[i].clone());
                 let d = deciders[i].decide(&mut v.sims[i]);
                 stats.decisions += 1;
                 // Re-read the clock: the decide hook owns the simulation
@@ -563,6 +815,38 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
                     }
                 }
                 v.next_due_us[i] = due;
+                // Every follower's own decider fires every decision round
+                // — decisions and telemetry must be exactly the solo
+                // stream — on state synced from the representative's
+                // pre-decision snapshot (round 0: its own attached sim).
+                // Agreement keeps it mirroring; any divergence evicts it
+                // to live stepping from its own bit-exact state.
+                for &f in &followers_of[i] {
+                    if roles[f] != (Role::Follower { rep: i }) {
+                        continue;
+                    }
+                    let (head, tail) = v.sims.split_at_mut(f);
+                    let fsim = &mut tail[0];
+                    if let Some(s) = &snap {
+                        fsim.clone_from(s);
+                    }
+                    let df = deciders[f].decide(fsim);
+                    stats.decisions += 1;
+                    if df == d && sims_agree(&head[i], fsim, &mut sig_r, &mut sig_f) {
+                        v.now_us[f] = v.now_us[i];
+                        v.next_due_us[f] = v.next_due_us[i];
+                    } else {
+                        roles[f] = Role::Live;
+                        stats.class_evictions += 1;
+                        fresh_evictions.push(f);
+                        // Fresh macro-step carry-over: FastForward is a
+                        // pure perf cache, so starting cold is bit-exact.
+                        v.ff[f] = FastForward::new();
+                        v.now_us[f] = fsim.node().time_us();
+                        v.next_due_us[f] = df.next_due(v.now_us[f]);
+                    }
+                }
+                decided[i] = true;
             }
         }
         // Pass 2 (dense): each node's next event — its decision deadline or
@@ -587,11 +871,27 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
         }
         stats.rounds += 1;
         // Pass 3: advance every active node to the shard horizon.
+        // Followers mirror their representative's clock delta instead of
+        // recomputing it — this is the work dedup saves.
         for i in 0..n {
             if v.status[i] != ACTIVE {
                 continue;
             }
             let before = v.now_us[i];
+            if let Role::Follower { rep } = roles[i] {
+                // The representative (always a smaller shard index) has
+                // already advanced this round; its delta is this node's
+                // delta, tick for tick.
+                let after = v.now_us[rep];
+                v.now_us[i] = after;
+                if after == before {
+                    stats.stalls += 1;
+                }
+                let tick = v.sims[i].node().config().tick_us;
+                stats.node_steps += (after - before) / tick;
+                stats.replayed_node_rounds += 1;
+                continue;
+            }
             match opts.mode {
                 StepMode::Fast => v.sims[i].advance_until(horizon, &mut v.ff[i]),
                 StepMode::Reference => {
@@ -609,6 +909,7 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
             }
             let tick = v.sims[i].node().config().tick_us;
             stats.node_steps += (after - before) / tick;
+            stats.rep_node_rounds += 1;
         }
     }
     stats
@@ -619,6 +920,9 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
 #[derive(Debug)]
 pub struct FleetSim {
     sims: Vec<Simulation>,
+    /// Build-time trajectory-dedup class per node (`None` = singleton);
+    /// all-`None` when dedup is off or a fault plan is armed.
+    class_of: Vec<Option<u32>>,
     // --- per-node decision state, structure-of-arrays lanes ---
     /// Macro-stepping carry-over (frozen-span state) per node.
     ff: Vec<FastForward>,
@@ -646,58 +950,6 @@ impl FleetSim {
     #[must_use]
     pub fn builder(budget_s: f64) -> FleetBuilder {
         FleetBuilder::new(budget_s)
-    }
-
-    /// Empty fleet with a per-node wall-clock budget (s).
-    #[deprecated(note = "use `FleetSim::builder` (FleetBuilder) instead")]
-    #[must_use]
-    pub fn new(budget_s: f64) -> Self {
-        Self {
-            sims: Vec::new(),
-            ff: Vec::new(),
-            next_due_us: Vec::new(),
-            now_us: Vec::new(),
-            target_us: Vec::new(),
-            status: Vec::new(),
-            budget_us: crate::secs_to_us(budget_s),
-            shards: 1,
-            fleet_faults: None,
-            shard_stats: Vec::new(),
-        }
-    }
-
-    /// Add a node running `trace`; returns its index.
-    #[deprecated(note = "use `FleetBuilder::node` instead")]
-    pub fn add_node(&mut self, config: NodeConfig, trace: impl Into<Arc<AppTrace>>) -> usize {
-        let mut sim = Simulation::new(Node::new(config));
-        sim.load(trace);
-        self.add_sim(sim)
-    }
-
-    /// Add a pre-built simulation; returns its index.
-    #[deprecated(note = "use `FleetBuilder::sim` instead")]
-    pub fn add_sim(&mut self, sim: Simulation) -> usize {
-        debug_assert_eq!(
-            sim.node().time_us(),
-            0,
-            "fleet nodes share one clock and must start at t=0"
-        );
-        self.sims.push(sim);
-        self.ff.push(FastForward::new());
-        self.next_due_us.push(0); // first decision immediately
-        self.now_us.push(0);
-        self.target_us.push(0);
-        self.status.push(ACTIVE);
-        self.sims.len() - 1
-    }
-
-    /// Arm fault injection for every node added so far.
-    #[deprecated(note = "use `FleetBuilder::fault_plan` instead")]
-    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
-        for sim in &mut self.sims {
-            sim.node_mut().set_fault_plan(*plan);
-        }
-        self.fleet_faults = (!plan.fleet.is_empty()).then_some(plan.fleet);
     }
 
     /// Number of nodes in the fleet.
@@ -756,6 +1008,7 @@ impl FleetSim {
             // nodes spread one-per-shard from the front, so no shard is
             // empty and sizes differ by at most one.
             let mut views = Vec::with_capacity(shards);
+            let mut class_of = self.class_of.as_slice();
             let (mut sims, mut ff, mut due, mut now, mut target, mut status) = (
                 self.sims.as_mut_slice(),
                 self.ff.as_mut_slice(),
@@ -767,18 +1020,21 @@ impl FleetSim {
             let mut base = 0;
             for shard in 0..shards {
                 let take = n / shards + usize::from(shard < n % shards);
+                let (c0, c1) = class_of.split_at(take);
                 let (s0, s1) = sims.split_at_mut(take);
                 let (f0, f1) = ff.split_at_mut(take);
                 let (d0, d1) = due.split_at_mut(take);
                 let (n0, n1) = now.split_at_mut(take);
                 let (t0, t1) = target.split_at_mut(take);
                 let (st0, st1) = status.split_at_mut(take);
+                class_of = c1;
                 (sims, ff, due, now, target, status) = (s1, f1, d1, n1, t1, st1);
                 views.push(ShardView {
                     shard,
                     base,
                     budget_us,
                     fleet_faults,
+                    class_of: c0,
                     sims: s0,
                     ff: f0,
                     next_due_us: d0,
@@ -1109,25 +1365,182 @@ mod tests {
         assert!((s.nodes[3].runtime_s - 0.5).abs() < 0.1);
     }
 
+    /// Sum a per-shard stat over every shard of the last run.
+    fn stat(fleet: &FleetSim, f: impl Fn(&ShardStats) -> u64) -> u64 {
+        fleet.shard_stats().iter().map(f).sum()
+    }
+
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_mutator_surface_still_runs() {
-        // The pre-builder construction path must keep working (and agreeing
-        // with the builder) until external callers migrate.
+    fn dedup_shares_identical_nodes_and_stays_bit_identical() {
         let shared: Arc<AppTrace> = Arc::new(trace(2.0, 5.0));
-        let mut old = FleetSim::new(60.0);
-        old.add_node(NodeConfig::intel_a100(), Arc::clone(&shared));
-        old.apply_fault_plan(&FaultPlan::default());
-        let old_summary = old.run(&RunOpts::noop());
+        // 5 identical nodes, periodic decisions so the run has many rounds.
+        let opts = |key: bool| {
+            let o = RunOpts::from_fn(|_, _| Decision {
+                latency_us: 0,
+                rest_us: 200_000,
+            });
+            if key {
+                o.with_decider_key(7)
+            } else {
+                o
+            }
+        };
+        let mut on = fleet_of(5, 60.0, &shared).build().unwrap();
+        let s_on = on.run(&opts(true));
+        let mut off = fleet_of(5, 60.0, &shared).dedup(false).build().unwrap();
+        let s_off = off.run(&opts(true));
+        assert_eq!(s_on, s_off, "dedup changed the fleet summary");
 
-        let mut new = fleet_of(1, 60.0, &shared).build().unwrap();
-        assert_eq!(old_summary, new.run(&RunOpts::noop()));
+        // One class of five: one live trajectory, four mirroring.
+        assert_eq!(stat(&on, |s| s.classes), 1);
+        assert!(stat(&on, |s| s.replayed_node_rounds) > 0);
+        assert_eq!(stat(&on, |s| s.class_evictions), 0);
+        assert_eq!(stat(&off, |s| s.classes), 5);
+        assert_eq!(stat(&off, |s| s.replayed_node_rounds), 0);
+        // Shard-clock counters are dedup-invariant; only the live-stepping
+        // share moves.
+        assert_eq!(stat(&on, |s| s.rounds), stat(&off, |s| s.rounds));
+        assert_eq!(stat(&on, |s| s.stalls), stat(&off, |s| s.stalls));
+        assert_eq!(stat(&on, |s| s.decisions), stat(&off, |s| s.decisions));
+        assert_eq!(stat(&on, |s| s.node_steps), stat(&off, |s| s.node_steps));
+        assert!(stat(&on, |s| s.rep_node_rounds) < stat(&off, |s| s.rep_node_rounds));
 
-        // An empty deprecated fleet runs to an empty summary.
-        let mut empty = FleetSim::new(60.0);
-        let s = empty.run(&RunOpts::noop());
-        assert!(s.nodes.is_empty());
-        assert_eq!(s.decisions, 0);
+        // An undeclared factory (no decider key) never engages dedup.
+        let mut plain = fleet_of(5, 60.0, &shared).build().unwrap();
+        assert_eq!(plain.run(&opts(false)), s_off);
+        assert_eq!(stat(&plain, |s| s.classes), 5);
+        assert_eq!(stat(&plain, |s| s.replayed_node_rounds), 0);
+    }
+
+    #[test]
+    fn divergent_decider_is_evicted_not_miscomputed() {
+        // Node 2's decider makes one extra PCM read at its 3rd decision —
+        // a behaviorally index-VARIANT factory wrongly declared invariant.
+        // The contract: bit-identity survives (the follower is evicted),
+        // only the shared-stepping win is lost.
+        struct Poker {
+            idx: usize,
+            fired: u32,
+        }
+        impl NodeDecider for Poker {
+            fn decide(&mut self, sim: &mut Simulation) -> Decision {
+                self.fired += 1;
+                if self.idx == 2 && self.fired == 3 {
+                    let _ = sim.node_mut().pcm_try_read_gbs();
+                }
+                Decision {
+                    latency_us: 0,
+                    rest_us: 500_000,
+                }
+            }
+        }
+        let opts = |key: bool| {
+            let o = RunOpts::new(|idx| Box::new(Poker { idx, fired: 0 }));
+            if key {
+                o.with_decider_key(9)
+            } else {
+                o
+            }
+        };
+        let shared: Arc<AppTrace> = Arc::new(trace(3.0, 5.0));
+        let mut on = fleet_of(4, 60.0, &shared).build().unwrap();
+        let s_on = on.run(&opts(true));
+        let mut off = fleet_of(4, 60.0, &shared).dedup(false).build().unwrap();
+        let s_off = off.run(&opts(false));
+        assert_eq!(s_on, s_off, "eviction failed to preserve bit-identity");
+        assert_eq!(stat(&on, |s| s.class_evictions), 1);
+        assert_eq!(stat(&off, |s| s.class_evictions), 0);
+        // The poked node genuinely diverged (extra monitoring energy);
+        // untouched classmates stayed bit-identical to each other.
+        assert_ne!(s_on.nodes[2], s_on.nodes[1]);
+        assert_eq!(s_on.nodes[1], s_on.nodes[0]);
+    }
+
+    #[test]
+    fn fault_plans_force_singleton_classes() {
+        let shared: Arc<AppTrace> = Arc::new(trace(2.0, 5.0));
+        let plan = FaultPlan::builder().pcm_dropout_every(5).build().unwrap();
+        let mut faulted = fleet_of(3, 60.0, &shared)
+            .fault_plan(&plan)
+            .build()
+            .unwrap();
+        faulted.run(&RunOpts::noop());
+        assert_eq!(stat(&faulted, |s| s.classes), 3);
+        assert_eq!(stat(&faulted, |s| s.replayed_node_rounds), 0);
+
+        // An *empty* plan arms nothing and leaves sharing intact.
+        let mut clean = fleet_of(3, 60.0, &shared)
+            .fault_plan(&FaultPlan::default())
+            .build()
+            .unwrap();
+        clean.run(&RunOpts::noop());
+        assert_eq!(stat(&clean, |s| s.classes), 1);
+    }
+
+    #[test]
+    fn dedup_requires_interned_identity_and_declared_deciders() {
+        // Equal-content but separately-owned traces: distinct allocations,
+        // distinct classes (identity is the content key only through the
+        // intern table).
+        let mut owned = FleetSim::builder(60.0)
+            .node(NodeConfig::intel_a100(), trace(2.0, 5.0))
+            .node(NodeConfig::intel_a100(), trace(2.0, 5.0))
+            .build()
+            .unwrap();
+        owned.run(&RunOpts::noop());
+        assert_eq!(stat(&owned, |s| s.classes), 2);
+
+        // `.sim()` nodes are opaque: singleton classes even when identical.
+        let shared: Arc<AppTrace> = Arc::new(trace(2.0, 5.0));
+        let make = || {
+            let mut sim = Simulation::new(Node::new(NodeConfig::intel_a100()));
+            sim.load(Arc::clone(&shared));
+            sim
+        };
+        let mut opaque = FleetSim::builder(60.0)
+            .sim(make())
+            .sim(make())
+            .build()
+            .unwrap();
+        opaque.run(&RunOpts::noop());
+        assert_eq!(stat(&opaque, |s| s.classes), 2);
+
+        // Different configs split classes even over one shared trace.
+        let mut coarse = NodeConfig::intel_a100();
+        coarse.tick_us *= 2;
+        let mut mixed = FleetSim::builder(60.0)
+            .node(NodeConfig::intel_a100(), Arc::clone(&shared))
+            .node(coarse, Arc::clone(&shared))
+            .node(NodeConfig::intel_a100(), Arc::clone(&shared))
+            .build()
+            .unwrap();
+        mixed.run(&RunOpts::noop());
+        assert_eq!(stat(&mixed, |s| s.classes), 2);
+        assert_eq!(
+            stat(&mixed, |s| s.replayed_node_rounds),
+            stat(&mixed, |s| s.rounds)
+        );
+    }
+
+    #[test]
+    fn dedup_is_shard_local_and_shard_invariant() {
+        let shared: Arc<AppTrace> = Arc::new(trace(2.0, 5.0));
+        let opts = RunOpts::from_fn(|_, _| Decision {
+            latency_us: 0,
+            rest_us: 300_000,
+        })
+        .with_decider_key(3);
+        let mut single = fleet_of(6, 60.0, &shared).build().unwrap();
+        let reference = single.run(&opts);
+        assert_eq!(stat(&single, |s| s.classes), 1);
+        for shards in [2, 3, 6, 64] {
+            let mut fleet = fleet_of(6, 60.0, &shared).shards(shards).build().unwrap();
+            let summary = fleet.run(&opts);
+            assert_eq!(summary, reference, "shards={shards} diverged under dedup");
+            // Each shard elects its own representative: one class per
+            // non-empty shard.
+            assert_eq!(stat(&fleet, |s| s.classes), shards.min(6) as u64);
+        }
     }
 
     #[test]

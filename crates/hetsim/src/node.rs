@@ -269,6 +269,16 @@ impl Node {
         &mut self.ledger
     }
 
+    /// The externally-visible-mutation counter ([`Node::charge_monitoring`]
+    /// bumps it on every MSR/PCM access). `pub(crate)`: the fleet's
+    /// trajectory-dedup divergence check compares follower and
+    /// representative epochs — a lone extra monitoring access is the
+    /// cheapest observable difference between two deciders.
+    #[must_use]
+    pub(crate) fn state_epoch(&self) -> u64 {
+        self.state_epoch
+    }
+
     /// Instrumentation counters and buffered events (telemetry builds).
     #[cfg(feature = "telemetry")]
     #[must_use]
@@ -595,7 +605,11 @@ impl Node {
     /// Serialise the feedback state — everything `step` *reads* — as raw
     /// bits. Two consecutive equal snapshots prove the node sits on a
     /// floating-point fixed point of `step` for the current demand.
-    fn write_feedback_snapshot(&self, out: &mut Vec<u64>) {
+    ///
+    /// `pub(crate)`: the fleet's trajectory-dedup divergence check reuses
+    /// this exact snapshot to compare a follower node against its class
+    /// representative after each decision round.
+    pub(crate) fn write_feedback_snapshot(&self, out: &mut Vec<u64>) {
         out.clear();
         for s in &self.sockets {
             out.push(s.cpu.freq_ghz().to_bits());

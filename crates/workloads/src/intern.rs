@@ -13,6 +13,14 @@
 //! Sweeps that need to *mutate* a trace use [`app_trace_owned`] (or build
 //! from [`crate::base_spec`] directly) as the escape hatch.
 //!
+//! Pointer equality of the handles is load-bearing beyond memory savings:
+//! the fleet's trajectory deduplication keys its equivalence classes on
+//! the trace *allocation identity* (`Arc::as_ptr`), so two nodes share a
+//! class — and one representative steps for both — only when their traces
+//! came from this table (or the same cloned `Arc`). Owned copies from
+//! [`app_trace_owned`] are distinct allocations by design and therefore
+//! never dedup against interned siblings, even when bit-identical.
+//!
 //! [`synthesis_count`] exposes how many traces have actually been built —
 //! the test-only observability hook behind the "exactly one synthesis per
 //! key" CI gate.

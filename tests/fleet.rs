@@ -14,7 +14,8 @@ use magus_suite::experiments::fleet::{
     fleet_app, fleet_sweep, governor_run_opts, run_fleet, FleetSpec,
 };
 use magus_suite::experiments::harness::{run_trial, SimPath, SystemId, TrialOpts};
-use magus_suite::hetsim::{FaultPlan, FleetSim};
+use magus_suite::hetsim::fleet::{Decision, NodeDecider, RunOpts};
+use magus_suite::hetsim::{FaultPlan, FleetSim, Simulation};
 use magus_suite::workloads::{app_trace, Platform};
 use proptest::prelude::*;
 
@@ -97,18 +98,41 @@ fn fleet_sweep_at_256_nodes_completes_with_consistent_aggregates() {
 }
 
 /// A round-robin catalog fleet built through the validating builder.
-fn catalog_fleet(nodes: usize, budget_s: f64, plan: Option<&FaultPlan>, shards: usize) -> FleetSim {
-    let mut b = FleetSim::builder(budget_s).shards(shards);
+/// `modulus` caps the distinct apps (`fleet_app(i % modulus)`), so small
+/// fleets still contain shared trajectory-dedup classes; `usize::MAX`
+/// keeps the plain round-robin.
+fn catalog_fleet_dedup(
+    nodes: usize,
+    modulus: usize,
+    budget_s: f64,
+    plan: Option<&FaultPlan>,
+    shards: usize,
+    dedup: bool,
+) -> FleetSim {
+    let mut b = FleetSim::builder(budget_s).shards(shards).dedup(dedup);
     for i in 0..nodes {
         b = b.node(
             SystemId::IntelA100.node_config(),
-            app_trace(fleet_app(i), Platform::IntelA100),
+            app_trace(fleet_app(i % modulus), Platform::IntelA100),
         );
     }
     if let Some(plan) = plan {
         b = b.fault_plan(plan);
     }
     b.build().expect("catalog fleet spec is valid")
+}
+
+/// A round-robin catalog fleet built through the validating builder.
+fn catalog_fleet(nodes: usize, budget_s: f64, plan: Option<&FaultPlan>, shards: usize) -> FleetSim {
+    catalog_fleet_dedup(nodes, usize::MAX, budget_s, plan, shards, true)
+}
+
+/// Sum a per-shard stat over every shard of the last run.
+fn shard_total(
+    fleet: &FleetSim,
+    f: impl Fn(&magus_suite::hetsim::fleet::ShardStats) -> u64,
+) -> u64 {
+    fleet.shard_stats().iter().map(f).sum()
 }
 
 /// Render every node's drained telemetry event stream as one JSONL blob —
@@ -172,6 +196,121 @@ fn sharded_fleet_is_bit_identical_across_shard_counts_paths_and_faults() {
     }
 }
 
+/// The dedup acceptance matrix: {1,2,7,64} shards x {fast, reference} x
+/// {dedup on, off} all produce the identical `FleetSummary` *and* the
+/// identical per-node telemetry JSONL as the single-shard/fast/dedup-off
+/// baseline. A 12-node fleet over 4 distinct apps guarantees real sharing
+/// (three-node classes) through the full governor driver stack.
+#[test]
+fn dedup_matrix_is_bit_identical_across_shards_paths_and_modes() {
+    let nodes = 12;
+    let modulus = 4;
+    let opts_for = |path| governor_run_opts(&GovernorSpec::magus_default(), path);
+
+    let mut baseline_fleet = catalog_fleet_dedup(nodes, modulus, 45.0, None, 1, false);
+    let baseline = baseline_fleet.run(&opts_for(SimPath::Fast));
+    assert_eq!(shard_total(&baseline_fleet, |s| s.replayed_node_rounds), 0);
+    #[cfg(feature = "telemetry")]
+    let baseline_jsonl = telemetry_jsonl(&mut baseline_fleet);
+
+    for shards in [1usize, 2, 7, 64] {
+        for path in [SimPath::Fast, SimPath::Reference] {
+            for dedup in [true, false] {
+                let mut fleet = catalog_fleet_dedup(nodes, modulus, 45.0, None, shards, dedup);
+                let summary = fleet.run(&opts_for(path));
+                assert_eq!(
+                    summary, baseline,
+                    "shards={shards} path={path:?} dedup={dedup} diverged \
+                     from single-shard fast dedup-off"
+                );
+                let replayed = shard_total(&fleet, |s| s.replayed_node_rounds);
+                if dedup {
+                    // Dedup is shard-local and shards are contiguous node
+                    // ranges, so a repeated app (a shared class) is only
+                    // guaranteed when some shard spans more than `modulus`
+                    // nodes.
+                    if nodes.div_ceil(shards.min(nodes)) > modulus {
+                        assert!(
+                            replayed > 0,
+                            "shards={shards} path={path:?}: dedup on but nothing shared"
+                        );
+                    }
+                } else {
+                    assert_eq!(replayed, 0, "dedup off must never replay");
+                }
+                #[cfg(feature = "telemetry")]
+                assert_eq!(
+                    telemetry_jsonl(&mut fleet),
+                    baseline_jsonl,
+                    "shards={shards} path={path:?} dedup={dedup}: telemetry diverged"
+                );
+            }
+        }
+    }
+}
+
+/// A mid-run MSR write (an actuation the class key cannot see) forces the
+/// poked follower out of its class: the run stays bit-identical to the
+/// dedup-off run — summaries and telemetry both — and the eviction is
+/// visible in the shard counters.
+#[test]
+fn mid_run_msr_write_evicts_follower_from_its_class() {
+    /// A periodic decider; node 2 additionally rewrites its package power
+    /// limit at its 3rd decision (`power_limit_raw` is part of the
+    /// feedback snapshot, so detection is guaranteed even where the
+    /// physical effect is a no-op).
+    struct MsrPoker {
+        idx: usize,
+        fired: u32,
+    }
+    impl NodeDecider for MsrPoker {
+        fn decide(&mut self, sim: &mut Simulation) -> Decision {
+            self.fired += 1;
+            if self.idx == 2 && self.fired == 3 {
+                sim.node_mut()
+                    .set_power_limit_w(95.0)
+                    .expect("in-range power limit");
+            }
+            Decision {
+                latency_us: 0,
+                rest_us: 400_000,
+            }
+        }
+    }
+    let opts = |key: bool| {
+        let o = RunOpts::new(|idx| Box::new(MsrPoker { idx, fired: 0 }) as Box<dyn NodeDecider>);
+        if key {
+            o.with_decider_key(42)
+        } else {
+            o
+        }
+    };
+    // 6 nodes over 2 apps: nodes {0,2,4} and {1,3,5} form two classes.
+    let mut on = catalog_fleet_dedup(6, 2, 45.0, None, 1, true);
+    let s_on = on.run(&opts(true));
+    #[cfg(feature = "telemetry")]
+    let jsonl_on = telemetry_jsonl(&mut on);
+    let mut off = catalog_fleet_dedup(6, 2, 45.0, None, 1, false);
+    let s_off = off.run(&opts(false));
+    assert_eq!(s_on, s_off, "MSR eviction failed to preserve bit-identity");
+    #[cfg(feature = "telemetry")]
+    assert_eq!(
+        jsonl_on,
+        telemetry_jsonl(&mut off),
+        "MSR eviction: telemetry diverged"
+    );
+    assert!(
+        shard_total(&on, |s| s.class_evictions) >= 1,
+        "the poked follower must have been evicted"
+    );
+    assert!(shard_total(&on, |s| s.replayed_node_rounds) > 0);
+    // Node 2 genuinely diverged from its classmates; the untouched class
+    // stayed shared and identical.
+    assert_ne!(s_on.nodes[2], s_on.nodes[0]);
+    assert_eq!(s_on.nodes[4], s_on.nodes[0]);
+    assert_eq!(s_on.nodes[5], s_on.nodes[3]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
@@ -222,5 +361,46 @@ proptest! {
         let makespan = single.nodes.iter().map(|n| n.runtime_s).fold(0.0, f64::max);
         prop_assert_eq!(single.makespan_s, makespan);
         prop_assert!(single.completed + single.crashed <= nodes);
+    }
+
+    /// Whatever the fleet size, app modulus, shard count, seed, stepping
+    /// path, and (empty-or-sensor) fault plan, trajectory dedup is
+    /// invisible: summaries and per-node telemetry JSONL equal the
+    /// dedup-off run bit for bit. Non-empty plans force singleton classes,
+    /// so those cases double as "dedup stays out of faulted runs" checks.
+    #[test]
+    fn dedup_on_equals_dedup_off(
+        nodes in 1usize..14,
+        modulus in 1usize..5,
+        shards in 1usize..10,
+        seed in 0u64..100,
+        dropout in prop::option::of(3u64..20),
+        use_reference in any::<bool>(),
+    ) {
+        let mut b = FaultPlan::builder().seed(seed);
+        if let Some(d) = dropout {
+            b = b.pcm_dropout_every(d);
+        }
+        let plan = b.build().expect("generated plan is valid");
+        let path = if use_reference { SimPath::Reference } else { SimPath::Fast };
+        let opts = governor_run_opts(&GovernorSpec::magus_default(), path);
+        let mut on = catalog_fleet_dedup(nodes, modulus, 45.0, Some(&plan), shards, true);
+        let s_on = on.run(&opts);
+        let mut off = catalog_fleet_dedup(nodes, modulus, 45.0, Some(&plan), shards, false);
+        let s_off = off.run(&opts);
+        prop_assert_eq!(&s_on, &s_off);
+        #[cfg(feature = "telemetry")]
+        prop_assert_eq!(telemetry_jsonl(&mut on), telemetry_jsonl(&mut off));
+        prop_assert_eq!(shard_total(&off, |s| s.replayed_node_rounds), 0);
+        if dropout.is_some() {
+            // Armed plans must have forced singleton classes.
+            prop_assert_eq!(shard_total(&on, |s| s.replayed_node_rounds), 0);
+            prop_assert_eq!(shard_total(&on, |s| s.classes), nodes as u64);
+        }
+        // Shard-clock counters are dedup-invariant.
+        prop_assert_eq!(shard_total(&on, |s| s.rounds), shard_total(&off, |s| s.rounds));
+        prop_assert_eq!(shard_total(&on, |s| s.stalls), shard_total(&off, |s| s.stalls));
+        prop_assert_eq!(shard_total(&on, |s| s.decisions), shard_total(&off, |s| s.decisions));
+        prop_assert_eq!(shard_total(&on, |s| s.node_steps), shard_total(&off, |s| s.node_steps));
     }
 }
