@@ -69,6 +69,34 @@ fn bench_fleet_step_100k(c: &mut Criterion) {
         );
     });
 
+    // The phase-shifted variant: each catalog wave (24 nodes) starts
+    // 0.25 s later on the fleet clock, so exact-key dedup degenerates to
+    // singleton classes and only offset sharing recovers the redundancy.
+    // Same noop decider and shard layout; throughput is re-pinned because
+    // the staggered fleet's step count differs from the unstaggered one.
+    let catalog = AppId::all().len();
+    let stagger_us: u64 = 250_000;
+    let build_staggered = || {
+        let mut b = FleetSim::builder(budget_s)
+            .shards(shards)
+            .dedup(true)
+            .share_offsets(true);
+        for (i, trace) in app_traces(&keys).into_iter().enumerate() {
+            let offset_us = ((i / catalog) as u64).saturating_mul(stagger_us);
+            b = b.node_at(SystemId::IntelA100.node_config(), trace, offset_us);
+        }
+        b.build().expect("staggered 100k fleet spec is valid")
+    };
+    let node_steps = build_staggered().run(&opts).node_steps;
+    group.throughput(Throughput::Elements(node_steps));
+    group.bench_function("step_100k_offset_dedup", |b| {
+        b.iter_batched_ref(
+            &build_staggered,
+            |fleet| black_box(fleet.run(&opts)),
+            BatchSize::PerIteration,
+        );
+    });
+
     group.finish();
 }
 

@@ -29,7 +29,12 @@
 //! (node-steps/sec, shard efficiency, peak-RSS proxy, and a `"dedup"`
 //! subsection with class count, representative-vs-replayed node-rounds,
 //! and the dedup speedup) into the existing baseline file without touching
-//! the measured 64-node numbers.
+//! the measured 64-node numbers. A fourth pair of runs staggers the same
+//! fleet by catalog wave (every `(app, wave)` pair becomes its own exact
+//! dedup class) and times exact-only dedup against phase-shifted offset
+//! sharing: the runs must be bit-identical, offset sharing must strictly
+//! beat exact-only node-steps/sec, and the offset-class counters land in
+//! an `"offset_dedup"` subsection next to `"dedup"`.
 //!
 //! `--write-baseline` regenerates the complete measured v2 baseline in one
 //! command — the full 64-node default bench followed by the 100k smoke —
@@ -109,6 +114,7 @@ fn default_thresholds() -> serde_json::Value {
         "smoke_node_steps_per_sec_min": 1000000.0,
         "smoke_shard_efficiency_min": 0.5,
         "smoke_dedup_speedup_min": 1.0,
+        "smoke_offset_dedup_speedup_min": 1.0,
     })
 }
 
@@ -128,14 +134,29 @@ fn carried_thresholds(path: &str) -> serde_json::Value {
 
 /// A catalog fleet for the raw-kernel smoke: round-robin apps on
 /// bulk-interned traces (one `AppTrace` per distinct app, one intern-table
-/// lock round-trip for all `nodes`).
-fn smoke_fleet(nodes: usize, budget_s: f64, shards: usize, dedup: bool) -> FleetSim {
+/// lock round-trip for all `nodes`). `stagger_us` staggers each catalog
+/// wave's start on the fleet clock (wave `w = i / catalog` starts at
+/// `w * stagger_us`); `share_offsets` opts the builder into quotienting
+/// the dedup class key by that offset.
+fn smoke_fleet(
+    nodes: usize,
+    budget_s: f64,
+    shards: usize,
+    dedup: bool,
+    stagger_us: u64,
+    share_offsets: bool,
+) -> FleetSim {
     let keys: Vec<(AppId, Platform)> = (0..nodes)
         .map(|i| (fleet_app(i), SystemId::IntelA100.platform()))
         .collect();
-    let mut builder = FleetSim::builder(budget_s).shards(shards).dedup(dedup);
-    for trace in app_traces(&keys) {
-        builder = builder.node(SystemId::IntelA100.node_config(), trace);
+    let catalog = AppId::all().len();
+    let mut builder = FleetSim::builder(budget_s)
+        .shards(shards)
+        .dedup(dedup)
+        .share_offsets(share_offsets);
+    for (i, trace) in app_traces(&keys).into_iter().enumerate() {
+        let offset_us = ((i / catalog) as u64).saturating_mul(stagger_us);
+        builder = builder.node_at(SystemId::IntelA100.node_config(), trace, offset_us);
     }
     builder.build().expect("smoke fleet spec is valid")
 }
@@ -149,13 +170,13 @@ fn run_smoke(nodes: usize, out_path: &str) {
     let opts = RunOpts::noop();
     let shards = cpu_shards();
 
-    let mut single = smoke_fleet(nodes, budget_s, 1, false);
+    let mut single = smoke_fleet(nodes, budget_s, 1, false, 0, false);
     let t0 = Instant::now();
     let summary = single.run(&opts);
     let single_s = t0.elapsed().as_secs_f64();
     drop(single);
 
-    let mut sharded = smoke_fleet(nodes, budget_s, shards, false);
+    let mut sharded = smoke_fleet(nodes, budget_s, shards, false, 0, false);
     let t0 = Instant::now();
     let sharded_summary = sharded.run(&opts);
     let sharded_s = t0.elapsed().as_secs_f64();
@@ -168,7 +189,7 @@ fn run_smoke(nodes: usize, out_path: &str) {
     // Same-process dedup run: the catalog round-robin collapses `nodes`
     // trajectories into one class per (shard, distinct app), so stepping
     // work drops from O(nodes x rounds) to O(classes x rounds).
-    let mut dedup = smoke_fleet(nodes, budget_s, shards, true);
+    let mut dedup = smoke_fleet(nodes, budget_s, shards, true, 0, false);
     let t0 = Instant::now();
     let dedup_summary = dedup.run(&opts);
     let dedup_s = t0.elapsed().as_secs_f64();
@@ -189,6 +210,48 @@ fn run_smoke(nodes: usize, out_path: &str) {
         dedup_steps_per_sec > summary.node_steps as f64 / sharded_s,
         "dedup run was not faster than the dedup-off run in the same process \
          ({dedup_s:.2} s vs {sharded_s:.2} s)"
+    );
+
+    // Phase-shifted sharing: the same catalog round-robin, but each
+    // catalog wave starts 0.25 s after the previous one on the fleet
+    // clock. Exact-key dedup degenerates — every `(app, wave)` pair is
+    // its own singleton class, so everything steps live — while offset
+    // sharing quotients the waves back into one class per distinct app,
+    // the redundancy real staggered fleets expose. Both runs keep dedup
+    // on; only the offset quotient differs.
+    let stagger_us: u64 = 250_000;
+    let mut exact = smoke_fleet(nodes, budget_s, shards, true, stagger_us, false);
+    let t0 = Instant::now();
+    let exact_summary = exact.run(&opts);
+    let exact_s = t0.elapsed().as_secs_f64();
+    drop(exact);
+
+    let mut offset = smoke_fleet(nodes, budget_s, shards, true, stagger_us, true);
+    let t0 = Instant::now();
+    let offset_summary = offset.run(&opts);
+    let offset_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        exact_summary, offset_summary,
+        "offset-sharing smoke diverged from exact-only dedup (bit-identity contract)"
+    );
+    let offset_run_classes: u64 = offset.shard_stats().iter().map(|s| s.classes).sum();
+    let offset_classes: u64 = offset.shard_stats().iter().map(|s| s.offset_classes).sum();
+    let offset_replayed_rounds: u64 = offset
+        .shard_stats()
+        .iter()
+        .map(|s| s.offset_replayed_rounds)
+        .sum();
+    let offset_evictions: u64 = offset
+        .shard_stats()
+        .iter()
+        .map(|s| s.offset_evictions)
+        .sum();
+    let offset_steps_per_sec = offset_summary.node_steps as f64 / offset_s;
+    let offset_speedup = exact_s / offset_s;
+    assert!(
+        offset_steps_per_sec > exact_summary.node_steps as f64 / exact_s,
+        "offset sharing was not faster than exact-only dedup on the staggered fleet \
+         ({offset_s:.2} s vs {exact_s:.2} s)"
     );
 
     let node_steps_per_sec = summary.node_steps as f64 / sharded_s;
@@ -213,6 +276,19 @@ fn run_smoke(nodes: usize, out_path: &str) {
             "dedup_s": dedup_s,
             "node_steps_per_sec": dedup_steps_per_sec.round(),
             "speedup_vs_off": dedup_speedup,
+        },
+        "offset_dedup": {
+            "measured": true,
+            "stagger_us": stagger_us,
+            "classes": offset_run_classes,
+            "offset_classes": offset_classes,
+            "offset_replayed_rounds": offset_replayed_rounds,
+            "offset_evictions": offset_evictions,
+            "exact_s": exact_s,
+            "offset_s": offset_s,
+            "node_steps": exact_summary.node_steps,
+            "node_steps_per_sec": offset_steps_per_sec.round(),
+            "speedup_vs_exact": offset_speedup,
         },
     });
 
@@ -246,6 +322,13 @@ fn run_smoke(nodes: usize, out_path: &str) {
         "smoke dedup: {classes} classes for {nodes} nodes, {rep_node_rounds} representative vs \
          {replayed_node_rounds} replayed node-rounds, {dedup_s:.2} s \
          ({dedup_steps_per_sec:.0} node-steps/sec, x{dedup_speedup:.2} vs dedup-off)"
+    );
+    println!(
+        "smoke offset-dedup: {stagger_us} us/wave stagger, {offset_run_classes} classes \
+         ({offset_classes} spanning multiple offsets), {offset_replayed_rounds} offset-replayed \
+         node-rounds, {offset_evictions} offset evictions, exact-only {exact_s:.2} s vs \
+         shared {offset_s:.2} s ({offset_steps_per_sec:.0} node-steps/sec, \
+         x{offset_speedup:.2} vs exact-only)"
     );
 }
 

@@ -17,6 +17,7 @@
 //! they compute.
 
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use magus_hetsim::fault::FaultPlan;
 use magus_hetsim::fleet::{
@@ -57,6 +58,43 @@ pub struct FleetSpec {
     /// benchmarks). Non-empty fault plans disable sharing regardless.
     #[serde(default = "dedup_on")]
     pub dedup: bool,
+    /// Start-time stagger between catalog waves (µs): nodes `0..catalog`
+    /// start at 0, the next wave at `stagger_us`, and so on — the
+    /// phase-shifted fleet shape real clusters produce. 0 (the default)
+    /// starts every node together.
+    #[serde(default)]
+    pub stagger_us: u64,
+    /// Share trajectories across phase-shifted copies of the same node
+    /// ([`magus_hetsim::fleet::FleetBuilder::share_offsets`]); results are
+    /// bit-identical either way. Default off (exact-key dedup only).
+    #[serde(default)]
+    pub share_offsets: bool,
+}
+
+/// Process-wide default for [`FleetSpec::new`]'s `dedup` field: 0 = unset
+/// (consult `MAGUS_FLEET_DEDUP`), 1 = on, 2 = off. The CLI's `--no-dedup`
+/// flag sets it; the *serde* default for a missing `dedup` field stays
+/// `true` unconditionally, so previously serialized specs are unaffected
+/// (mirrors `DEFAULT_SIM_PATH` in the harness).
+static DEFAULT_FLEET_DEDUP: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide default for fleet trajectory dedup, picked up by
+/// every [`FleetSpec::new`]. Used by `--no-dedup` so differential runs and
+/// raw-kernel benchmarks can switch the whole process off in one place.
+pub fn set_default_fleet_dedup(on: bool) {
+    DEFAULT_FLEET_DEDUP.store(if on { 1 } else { 2 }, Ordering::SeqCst);
+}
+
+/// The current process-wide fleet-dedup default: the explicit override if
+/// one was set, else on unless `MAGUS_FLEET_DEDUP` is `0` or `off` (the
+/// same spelling `MAGUS_CACHE` uses).
+#[must_use]
+pub fn default_fleet_dedup() -> bool {
+    match DEFAULT_FLEET_DEDUP.load(Ordering::SeqCst) {
+        1 => true,
+        2 => false,
+        _ => !std::env::var("MAGUS_FLEET_DEDUP").is_ok_and(|v| v == "off" || v == "0"),
+    }
 }
 
 /// Serde default for [`FleetSpec::shards`]: pre-shard specs ran the whole
@@ -73,7 +111,8 @@ fn dedup_on() -> bool {
 
 impl FleetSpec {
     /// A fleet of `nodes` Intel+A100 nodes under `governor` with the
-    /// default trial budget, one shard, and the process-default sim path.
+    /// default trial budget, one shard, the process-default sim path, and
+    /// the process-default dedup setting.
     #[must_use]
     pub fn new(governor: GovernorSpec, nodes: usize) -> Self {
         Self {
@@ -84,7 +123,9 @@ impl FleetSpec {
             shards: 1,
             path: default_sim_path(),
             faults: None,
-            dedup: true,
+            dedup: default_fleet_dedup(),
+            stagger_us: 0,
+            share_offsets: false,
         }
     }
 
@@ -92,6 +133,20 @@ impl FleetSpec {
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Builder: stagger catalog waves by `stagger_us` µs.
+    #[must_use]
+    pub fn with_stagger(mut self, stagger_us: u64) -> Self {
+        self.stagger_us = stagger_us;
+        self
+    }
+
+    /// Builder: share trajectories across phase-shifted copies.
+    #[must_use]
+    pub fn with_offset_sharing(mut self, on: bool) -> Self {
+        self.share_offsets = on;
         self
     }
 }
@@ -178,16 +233,23 @@ pub fn governor_run_opts(governor: &GovernorSpec, path: SimPath) -> RunOpts {
 /// # Panics
 ///
 /// Panics if the spec fails [`magus_hetsim::fleet::FleetBuilder`]
-/// validation (zero nodes/shards, non-positive budget, invalid fault plan).
+/// validation (zero nodes/shards, non-positive budget, invalid fault plan,
+/// a stagger so large a wave's start offset overflows the µs clock).
 #[must_use]
 pub fn run_fleet(spec: &FleetSpec) -> FleetRun {
     let platform = spec.system.platform();
     let keys: Vec<(AppId, Platform)> = (0..spec.nodes).map(|i| (fleet_app(i), platform)).collect();
     let mut builder = FleetSim::builder(spec.max_s)
         .shards(spec.shards)
-        .dedup(spec.dedup);
-    for trace in app_traces(&keys) {
-        builder = builder.node(spec.system.node_config(), trace);
+        .dedup(spec.dedup)
+        .share_offsets(spec.share_offsets);
+    let catalog = AppId::all().len();
+    for (i, trace) in app_traces(&keys).into_iter().enumerate() {
+        // Wave w = i / catalog starts at w × stagger_us: nodes sharing an
+        // app land in different waves, the phase-shifted shape offset
+        // sharing exists for.
+        let offset_us = ((i / catalog) as u64).saturating_mul(spec.stagger_us);
+        builder = builder.node_at(spec.system.node_config(), trace, offset_us);
     }
     if let Some(plan) = &spec.faults {
         builder = builder.fault_plan(plan);
@@ -295,6 +357,8 @@ mod tests {
             spec.dedup,
             "legacy specs take the shared (bit-identical) path"
         );
+        assert_eq!(spec.stagger_us, 0, "legacy specs start every node at 0");
+        assert!(!spec.share_offsets, "legacy specs keep exact-key dedup");
     }
 
     #[test]
@@ -304,6 +368,7 @@ mod tests {
         // the full GovernorSpec → RuntimeDriver → DriverDecider stack.
         let spec = FleetSpec {
             max_s: 60.0,
+            dedup: true, // pin: another test may flip the process default
             ..FleetSpec::new(GovernorSpec::magus_default(), 30)
         };
         let on = run_fleet(&spec);
@@ -324,5 +389,70 @@ mod tests {
         // MAGUS drivers are deterministic functions of feedback state:
         // identical nodes never diverge, so nothing is evicted.
         assert_eq!(evicted(&on), 0);
+    }
+
+    #[test]
+    fn staggered_offset_sharing_matches_exact_dedup_through_the_driver_stack() {
+        // 30 nodes = wave 0 (24 catalog apps) + wave 1 (6 repeats) with a
+        // 0.8 s stagger. Exact-key dedup sees 30 distinct (app, offset)
+        // pairs; offset sharing collapses the 6 repeats onto wave 0's
+        // representatives — bit-identically, driver stack and all.
+        let spec = FleetSpec {
+            max_s: 60.0,
+            dedup: true, // pin: another test may flip the process default
+            stagger_us: 800_000,
+            ..FleetSpec::new(GovernorSpec::magus_default(), 30)
+        };
+        let exact = run_fleet(&spec);
+        let shared = run_fleet(&spec.clone().with_offset_sharing(true));
+        assert_eq!(
+            exact.summary, shared.summary,
+            "offset sharing changed a staggered governor fleet"
+        );
+        let offset_replayed = |r: &FleetRun| {
+            r.shard_stats
+                .iter()
+                .map(|s| s.offset_replayed_rounds)
+                .sum::<u64>()
+        };
+        let offset_classes =
+            |r: &FleetRun| r.shard_stats.iter().map(|s| s.offset_classes).sum::<u64>();
+        assert_eq!(
+            offset_classes(&exact),
+            0,
+            "offsets must partition exact classes"
+        );
+        assert_eq!(offset_replayed(&exact), 0);
+        assert_eq!(offset_classes(&shared), 6);
+        assert!(offset_replayed(&shared) > 0, "wave 1 shared no rounds");
+        // The stagger shows up only on the fleet clock: makespan grows by
+        // the wave-1 offset, while per-node summaries are unchanged from
+        // the unstaggered fleet.
+        let unstaggered = run_fleet(&FleetSpec {
+            stagger_us: 0,
+            ..spec
+        });
+        assert_eq!(unstaggered.summary.nodes, exact.summary.nodes);
+        let catalog = AppId::all().len();
+        let expected_makespan = exact
+            .summary
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i / catalog) as f64 * 0.8 + n.runtime_s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((exact.summary.makespan_s - expected_makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn process_default_dedup_is_consulted_by_new_specs() {
+        // The override is process-global; bit-identity (asserted above)
+        // makes a concurrent reader harmless, and the pinned `dedup: true`
+        // specs in the counter tests keep their counters deterministic.
+        set_default_fleet_dedup(false);
+        assert!(!FleetSpec::new(GovernorSpec::Default, 1).dedup);
+        set_default_fleet_dedup(true);
+        assert!(FleetSpec::new(GovernorSpec::Default, 1).dedup);
+        assert!(default_fleet_dedup());
     }
 }

@@ -66,7 +66,10 @@ pub use engine::{
     spec_hash, Engine, ExecMode, GovernorSpec, RunManifest, SystemSel, TrialBrief, TrialOutcome,
     TrialSpec, WorkloadSel, ENGINE_SALT,
 };
-pub use fleet::{fleet_sweep, governor_run_opts, run_fleet, FleetRun, FleetSpec};
+pub use fleet::{
+    default_fleet_dedup, fleet_sweep, governor_run_opts, run_fleet, set_default_fleet_dedup,
+    FleetRun, FleetSpec,
+};
 pub use harness::{
     default_fault_plan, run_trial, set_default_fault_plan, SimPath, SystemId, TrialBuilder,
     TrialOpts, TrialResult,

@@ -2,8 +2,8 @@
 //!
 //! The `magus` CLI and the bench bins all accept the same global engine
 //! switches (`--jobs`, `--no-cache`, `--serial`, `--sim-path`,
-//! `--telemetry`, `--faults`) mirrored by the `MAGUS_*` environment knobs
-//! that [`Engine::from_env`] reads. [`EngineOpts`] is the one typed home
+//! `--telemetry`, `--faults`, `--no-dedup`) mirrored by the `MAGUS_*`
+//! environment knobs that [`Engine::from_env`] reads. [`EngineOpts`] is the one typed home
 //! for those flags: [`EngineOpts::take_from_args`] extracts them from any
 //! argument vector (position-independent, leaving command-specific
 //! arguments behind), [`EngineOpts::to_args`] serializes them back (the
@@ -46,6 +46,11 @@ pub struct EngineOpts {
     /// becomes part of each spec's content hash, so faulted trials never
     /// share cache entries with clean ones.
     pub faults: Option<PathBuf>,
+    /// `--no-dedup`: step every fleet node live instead of sharing
+    /// trajectories across identical (or phase-shifted) nodes. Results are
+    /// bit-identical either way; the switch exists for differential runs
+    /// and raw-kernel benchmarks. Mirrored by `MAGUS_FLEET_DEDUP=0`.
+    pub no_dedup: bool,
 }
 
 /// Extract `--flag value` from an argument list, removing both tokens.
@@ -100,6 +105,7 @@ impl EngineOpts {
             telemetry,
             sim_path,
             faults,
+            no_dedup: take_switch(args, "--no-dedup"),
         })
     }
 
@@ -136,13 +142,17 @@ impl EngineOpts {
             args.push("--faults".to_string());
             args.push(path.display().to_string());
         }
+        if self.no_dedup {
+            args.push("--no-dedup".to_string());
+        }
         args
     }
 
     /// Install the process-wide defaults these options select: the
-    /// `--sim-path` stepping path, and the `--faults` plan (loaded,
-    /// validated — serde bypasses the builder, so [`FaultPlan::validate`]
-    /// re-checks the constraints — and set as the default for every trial).
+    /// `--sim-path` stepping path, the `--no-dedup` fleet-dedup override,
+    /// and the `--faults` plan (loaded, validated — serde bypasses the
+    /// builder, so [`FaultPlan::validate`] re-checks the constraints — and
+    /// set as the default for every trial).
     ///
     /// # Errors
     ///
@@ -151,6 +161,12 @@ impl EngineOpts {
     pub fn install_defaults(&self) -> Result<(), String> {
         if let Some(path) = self.sim_path {
             set_default_sim_path(path);
+        }
+        if self.no_dedup {
+            // One-directional like the other switches: absent means "leave
+            // the env-driven default alone", so MAGUS_FLEET_DEDUP still
+            // works without any flag.
+            crate::fleet::set_default_fleet_dedup(false);
         }
         let Some(path) = &self.faults else {
             return Ok(());
@@ -234,6 +250,7 @@ mod tests {
             telemetry: Some(PathBuf::from("out/t.jsonl")),
             sim_path: Some(SimPath::Reference),
             faults: Some(PathBuf::from("plan.json")),
+            no_dedup: true,
         };
         let mut args = opts.to_args();
         // Command-specific arguments survive extraction, in order.

@@ -15,8 +15,12 @@
 //!   the hot path is the macro-step itself ([`Simulation::advance_until`]),
 //!   which is where the actual physics lives.
 //! * **Batched fixed-point scans.** The per-round horizon reduction and the
-//!   summary aggregates run over the lanes with `chunks_exact` loops
-//!   (8-wide min/max accumulators) that the compiler can autovectorize.
+//!   makespan scan run over the lanes with explicit AVX2 vectors on x86-64
+//!   (`core::arch` behind `is_x86_feature_detected!`), falling back to the
+//!   portable 8-wide `chunks_exact` accumulator loops everywhere else — and
+//!   whenever `MAGUS_FLEET_SCALAR=1` forces the scalar path for differential
+//!   testing. Both backends reduce min/max, which are associative, with the
+//!   same lane grouping, so they are bit-identical by construction.
 //!   Reductions that are *not* reorder-safe — the fleet's f64 energy sums —
 //!   deliberately stay in node-index order: f64 addition is non-associative,
 //!   and the summary fold order is part of the bit-identity contract (the
@@ -50,6 +54,17 @@
 //!   index, and fault RNG advances per node), as do `.sim()` nodes and
 //!   undeclared decider factories. Catalog sweeps cost
 //!   O(classes × rounds) instead of O(nodes × rounds) in stepping work.
+//! * **Phase-shifted sharing.** Real fleets stagger copies of the same job
+//!   in time, which makes exact-key dedup degenerate: nodes added with
+//!   [`FleetBuilder::node_at`] carry a start offset that partitions exact
+//!   classes. Opting in with [`FleetBuilder::share_offsets`] quotients the
+//!   class key by the offset instead: every node's lanes stay in its own
+//!   *local* clock (offsets are applied only where local deadlines meet the
+//!   shard clock), so a phase-shifted follower mirrors its representative's
+//!   local trajectory verbatim and the per-round verification — clocks,
+//!   ledger, feedback snapshots, all in the local frame — is exactly the
+//!   delta-translated comparison. Divergence still evicts to live stepping,
+//!   and summaries stay bit-identical with sharing on or off.
 //!
 //! Construction goes through the validating [`FleetBuilder`]; execution is
 //! a single [`FleetSim::run`] taking [`RunOpts`] (stepping mode + a
@@ -253,6 +268,15 @@ pub enum FleetBuildError {
     },
     /// The attached fault plan fails [`FaultPlan::validate`].
     InvalidFaultPlan(FaultPlanError),
+    /// A node's start offset plus the per-node budget does not fit in the
+    /// µs clock (`u64`), so its shard-clock targets would saturate into the
+    /// retired-lane sentinel.
+    StartOffsetOverflow {
+        /// Node index within the builder.
+        index: usize,
+        /// The offending start offset (µs).
+        offset_us: u64,
+    },
 }
 
 impl core::fmt::Display for FleetBuildError {
@@ -266,6 +290,10 @@ impl core::fmt::Display for FleetBuildError {
                 "node {index} starts at t={time_us}µs; fleet nodes must start at t=0"
             ),
             Self::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            Self::StartOffsetOverflow { index, offset_us } => write!(
+                f,
+                "node {index} start offset {offset_us}µs plus the budget overflows the µs clock"
+            ),
         }
     }
 }
@@ -291,16 +319,29 @@ pub struct FleetBuilder {
     /// Trajectory-dedup master switch (default on); see
     /// [`FleetBuilder::dedup`].
     dedup: bool,
-    /// Build-time equivalence class per node: `Some(id)` for `.node()`
-    /// nodes (config rendering + trace identity), `None` for `.sim()`
-    /// nodes, whose customization is opaque and forces a singleton.
+    /// Quotient the dedup class key by the start offset (default off); see
+    /// [`FleetBuilder::share_offsets`].
+    share_offsets: bool,
+    /// Build-time *exact* equivalence class per node — the offset-quotient
+    /// class further partitioned by start offset: `Some(id)` for `.node()`
+    /// / `.node_at()` nodes, `None` for `.sim()` nodes, whose customization
+    /// is opaque and forces a singleton.
     class_of: Vec<Option<u32>>,
-    /// Interning map from class key to class id. The key's trace
-    /// component is the `Arc` allocation address — stable for the
+    /// Build-time offset-*quotient* class per node (config rendering +
+    /// trace identity, start offset ignored); selected by
+    /// [`FleetBuilder::share_offsets`].
+    quotient_of: Vec<Option<u32>>,
+    /// Per-node start offset (µs) on the fleet clock; 0 for `node()` and
+    /// `.sim()` nodes.
+    offsets: Vec<u64>,
+    /// Interning map from quotient class key to quotient id. The key's
+    /// trace component is the `Arc` allocation address — stable for the
     /// builder's lifetime because each added simulation keeps its trace
     /// alive, and a *content* key whenever traces come from the workload
     /// intern table (one `Arc` per distinct workload).
     class_index: HashMap<(String, usize), u32>,
+    /// Interning map from `(quotient id, start offset)` to exact class id.
+    exact_index: HashMap<(u32, u64), u32>,
 }
 
 impl FleetBuilder {
@@ -313,8 +354,12 @@ impl FleetBuilder {
             sims: Vec::new(),
             faults: None,
             dedup: true,
+            share_offsets: false,
             class_of: Vec::new(),
+            quotient_of: Vec::new(),
+            offsets: Vec::new(),
             class_index: HashMap::new(),
+            exact_index: HashMap::new(),
         }
     }
 
@@ -333,17 +378,42 @@ impl FleetBuilder {
     /// their configs render identically (derived `Debug` prints
     /// shortest-roundtrip floats, so this is exact) and their traces are
     /// the *same allocation* — interned traces share classes, owned traces
-    /// never do.
+    /// never do. Equivalent to [`FleetBuilder::node_at`] with offset 0.
     #[must_use]
-    pub fn node(mut self, config: NodeConfig, trace: impl Into<Arc<AppTrace>>) -> Self {
+    pub fn node(self, config: NodeConfig, trace: impl Into<Arc<AppTrace>>) -> Self {
+        self.node_at(config, trace, 0)
+    }
+
+    /// Add a node running `trace` whose work starts `start_offset_us`
+    /// microseconds into the fleet run (a staggered copy of the same job).
+    /// The offset shifts the node on the *fleet* clock only: its own
+    /// trajectory — clock, decisions, telemetry, summary — is in local
+    /// time and bit-identical to a solo run, while the fleet makespan
+    /// counts `start offset + runtime`. Offsets partition exact dedup
+    /// classes; [`FleetBuilder::share_offsets`] quotients them back out so
+    /// phase-shifted copies share one representative trajectory.
+    #[must_use]
+    pub fn node_at(
+        mut self,
+        config: NodeConfig,
+        trace: impl Into<Arc<AppTrace>>,
+        start_offset_us: u64,
+    ) -> Self {
         let trace = trace.into();
         let key = (format!("{config:?}"), Arc::as_ptr(&trace) as usize);
         let next = self.class_index.len() as u32;
-        let class = match self.class_index.entry(key) {
+        let quotient = match self.class_index.entry(key) {
             Entry::Occupied(e) => *e.get(),
             Entry::Vacant(e) => *e.insert(next),
         };
-        self.class_of.push(Some(class));
+        let next = self.exact_index.len() as u32;
+        let exact = match self.exact_index.entry((quotient, start_offset_us)) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => *e.insert(next),
+        };
+        self.quotient_of.push(Some(quotient));
+        self.class_of.push(Some(exact));
+        self.offsets.push(start_offset_us);
         let mut sim = Simulation::new(Node::new(config));
         sim.load(trace);
         self.sims.push(sim);
@@ -352,10 +422,13 @@ impl FleetBuilder {
 
     /// Add a pre-built simulation (custom recorder, pre-programmed power
     /// limit, ...). It must still be at t=0. The customization is opaque
-    /// to the builder, so the node always gets a singleton dedup class.
+    /// to the builder, so the node always gets a singleton dedup class
+    /// (and a zero start offset).
     #[must_use]
     pub fn sim(mut self, sim: Simulation) -> Self {
         self.class_of.push(None);
+        self.quotient_of.push(None);
+        self.offsets.push(0);
         self.sims.push(sim);
         self
     }
@@ -371,6 +444,20 @@ impl FleetBuilder {
         self
     }
 
+    /// Quotient the trajectory-dedup class key by the start offset
+    /// (default **off**), so nodes added via [`FleetBuilder::node_at`]
+    /// with the same config + interned trace but *different* offsets share
+    /// one representative trajectory. This is the build-time half of the
+    /// phase-shifted-sharing opt-in, mirroring how
+    /// [`RunOpts::with_decider_key`] is the run-time half: both must be
+    /// set for offset classes to engage. Results are bit-identical either
+    /// way; off keeps PR 7 semantics (offsets partition classes).
+    #[must_use]
+    pub fn share_offsets(mut self, on: bool) -> Self {
+        self.share_offsets = on;
+        self
+    }
+
     /// Arm fault injection for the whole fleet: every node gets the
     /// node-level portion of the plan (sensor/actuator/meter faults, same
     /// seed on every node — deterministic), and the fleet loop gets the
@@ -378,7 +465,9 @@ impl FleetBuilder {
     /// with `crash_every = Some(k)`, nodes k, 2k, ... crash at
     /// `crash_at_us`; with `stall_every = Some(k)`, those nodes' decision
     /// deadlines slip by `stall_us` after every decision (a hung runtime
-    /// daemon). An empty plan arms nothing.
+    /// daemon). An empty plan arms nothing. All schedules fire on each
+    /// node's *local* clock: start offsets shift a node on the fleet
+    /// clock, never its faults.
     #[must_use]
     pub fn fault_plan(mut self, plan: &FaultPlan) -> Self {
         self.faults = Some(*plan);
@@ -391,7 +480,8 @@ impl FleetBuilder {
     ///
     /// Returns a [`FleetBuildError`] if the fleet is empty, the budget is
     /// not positive and finite, the shard count is zero, any node's clock
-    /// is already advanced, or the fault plan fails validation.
+    /// is already advanced, any start offset plus the budget overflows the
+    /// µs clock, or the fault plan fails validation.
     pub fn build(self) -> Result<FleetSim, FleetBuildError> {
         if !(self.budget_s.is_finite() && self.budget_s > 0.0) {
             return Err(FleetBuildError::BadBudget(self.budget_s));
@@ -406,6 +496,16 @@ impl FleetBuilder {
             let time_us = sim.node().time_us();
             if time_us != 0 {
                 return Err(FleetBuildError::NodeClockNonzero { index, time_us });
+            }
+        }
+        let budget_us = crate::secs_to_us(self.budget_s);
+        for (index, &offset_us) in self.offsets.iter().enumerate() {
+            // Shard-clock targets are `local target + offset` with local
+            // targets up to the budget; `u64::MAX` itself is the retired
+            // sentinel, so the sum must stay strictly below it.
+            match offset_us.checked_add(budget_us) {
+                Some(end) if end < u64::MAX => {}
+                _ => return Err(FleetBuildError::StartOffsetOverflow { index, offset_us }),
             }
         }
         let mut sims = self.sims;
@@ -429,19 +529,24 @@ impl FleetBuilder {
         // per-node at run time) also guarantees a follower can never be
         // chained to a representative that crashes out from under it.
         let class_of = if self.dedup && !faulted {
-            self.class_of
+            if self.share_offsets {
+                self.quotient_of
+            } else {
+                self.class_of
+            }
         } else {
             vec![None; n]
         };
         Ok(FleetSim {
             sims,
             class_of,
+            start_offset_us: self.offsets,
             ff: (0..n).map(|_| FastForward::new()).collect(),
             next_due_us: vec![0; n], // first decision immediately
             now_us: vec![0; n],
             target_us: vec![0; n],
             status: vec![ACTIVE; n],
-            budget_us: crate::secs_to_us(self.budget_s),
+            budget_us,
             shards: self.shards,
             fleet_faults,
             shard_stats: Vec::new(),
@@ -496,6 +601,20 @@ pub struct ShardStats {
     /// (decision mismatch, extra MSR/PCM access, feedback-snapshot delta).
     #[serde(default)]
     pub class_evictions: u64,
+    /// Shared classes in this shard whose members span more than one start
+    /// offset — the classes only [`FleetBuilder::share_offsets`] can form.
+    /// A subset of the shared portion of `classes`.
+    #[serde(default)]
+    pub offset_classes: u64,
+    /// The subset of `replayed_node_rounds` where the follower's start
+    /// offset differs from its representative's — the stepping work
+    /// *phase-shifted* sharing saved on top of exact-key dedup.
+    #[serde(default)]
+    pub offset_replayed_rounds: u64,
+    /// The subset of `class_evictions` where the evicted follower's start
+    /// offset differs from its representative's.
+    #[serde(default)]
+    pub offset_evictions: u64,
 }
 
 /// Fleet-level result: per-node run summaries plus the aggregates the
@@ -516,7 +635,8 @@ pub struct FleetSummary {
     /// Distribution of per-node mean uncore power (uncore_j / elapsed_s, W)
     /// — the quantity MAGUS exists to minimize.
     pub uncore_power_w: Distribution,
-    /// Wall-clock time (s) until the last node finished (or the budget).
+    /// Wall-clock time (s) on the fleet clock until the last node finished
+    /// (or hit its budget): the max over nodes of start offset + runtime.
     pub makespan_s: f64,
     /// Total runtime decisions fired across the fleet.
     pub decisions: u64,
@@ -590,9 +710,65 @@ fn fault_scheduled(idx: usize, every: Option<u64>) -> bool {
     every.is_some_and(|k| (idx as u64 + 1).is_multiple_of(k))
 }
 
-/// 8-lane `chunks_exact` min over a `u64` lane (the per-round horizon
-/// reduction). Min is associative, so lane order is free.
-fn min_lane(values: &[u64]) -> u64 {
+/// Which implementation the horizon/makespan lane scans use for one run.
+/// Selected once per [`FleetSim::run`] by [`scan_backend`]; both backends
+/// reduce min/max — associative, and over NaN-free non-negative `f64`
+/// lanes — with the same 8-lane grouping, so they are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanBackend {
+    /// Portable 8-lane `chunks_exact` accumulator loops (also the
+    /// `MAGUS_FLEET_SCALAR=1` forced path for differential testing).
+    Scalar,
+    /// Explicit 256-bit AVX2 vectors, two registers per 8-lane step.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+/// Pick the scan backend for one run: scalar when `MAGUS_FLEET_SCALAR` is
+/// set non-empty and not `0` (the differential-testing override), AVX2 on
+/// x86-64 with runtime-detected support, scalar everywhere else. Read per
+/// run — never cached — so in-process differential tests can flip the
+/// environment between runs.
+fn scan_backend() -> ScanBackend {
+    if std::env::var("MAGUS_FLEET_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0") {
+        return ScanBackend::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::is_x86_feature_detected!("avx2") {
+        return ScanBackend::Avx2;
+    }
+    ScanBackend::Scalar
+}
+
+/// Min over a `u64` lane (the per-round horizon reduction). Min is
+/// associative, so lane order is free.
+fn min_lane(values: &[u64], backend: ScanBackend) -> u64 {
+    match backend {
+        ScanBackend::Scalar => min_lane_scalar(values),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` is only ever constructed by `scan_backend` after
+        // `is_x86_feature_detected!("avx2")` succeeded.
+        ScanBackend::Avx2 => unsafe { min_lane_avx2(values) },
+    }
+}
+
+/// Max over an `f64` lane (the makespan scan). Max is associative and
+/// these lanes are NaN-free, so lane order is free — unlike the energy
+/// sums, which stay in node order.
+fn max_lane(values: &[f64], backend: ScanBackend) -> f64 {
+    match backend {
+        ScanBackend::Scalar => max_lane_scalar(values),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` is only ever constructed by `scan_backend` after
+        // `is_x86_feature_detected!("avx2")` succeeded.
+        ScanBackend::Avx2 => unsafe { max_lane_avx2(values) },
+    }
+}
+
+/// 8-lane `chunks_exact` min over a `u64` lane: the portable fallback and
+/// the `MAGUS_FLEET_SCALAR=1` reference the AVX2 path must match bit for
+/// bit (lane j accumulates elements `i*8 + j`, then a sequential fold).
+fn min_lane_scalar(values: &[u64]) -> u64 {
     let mut lanes = [u64::MAX; 8];
     let chunks = values.chunks_exact(8);
     let tail = chunks.remainder();
@@ -606,10 +782,9 @@ fn min_lane(values: &[u64]) -> u64 {
         .fold(lanes.into_iter().fold(u64::MAX, u64::min), u64::min)
 }
 
-/// 8-lane `chunks_exact` max over an `f64` lane (the makespan scan). Max is
-/// associative and these lanes are NaN-free, so lane order is free — unlike
-/// the energy sums, which stay in node order.
-fn max_lane(values: &[f64]) -> f64 {
+/// 8-lane `chunks_exact` max over an `f64` lane (portable fallback; same
+/// lane grouping as the AVX2 path).
+fn max_lane_scalar(values: &[f64]) -> f64 {
     let mut lanes = [f64::NEG_INFINITY; 8];
     let chunks = values.chunks_exact(8);
     let tail = chunks.remainder();
@@ -618,6 +793,66 @@ fn max_lane(values: &[f64]) -> f64 {
             *lane = lane.max(v);
         }
     }
+    tail.iter().copied().fold(
+        lanes.into_iter().fold(f64::NEG_INFINITY, f64::max),
+        f64::max,
+    )
+}
+
+/// AVX2 min over a `u64` lane: two 4-lane registers cover the same 8-lane
+/// grouping as the scalar loop. AVX2 has no unsigned 64-bit min
+/// (`_mm256_min_epu64` is AVX-512), so the compare goes through a
+/// sign-bias XOR and a signed greater-than; the bytewise blend is
+/// lane-safe because the compare mask is all-ones or all-zeros per 64-bit
+/// lane. Min is exact, so the result equals [`min_lane_scalar`] bit for
+/// bit.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn min_lane_avx2(values: &[u64]) -> u64 {
+    use core::arch::x86_64::{
+        _mm256_blendv_epi8, _mm256_cmpgt_epi64, _mm256_loadu_si256, _mm256_set1_epi64x,
+        _mm256_storeu_si256, _mm256_xor_si256,
+    };
+    let bias = _mm256_set1_epi64x(i64::MIN);
+    let mut acc0 = _mm256_set1_epi64x(-1); // u64::MAX in every lane
+    let mut acc1 = _mm256_set1_epi64x(-1);
+    let chunks = values.chunks_exact(8);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        let v0 = _mm256_loadu_si256(chunk.as_ptr().cast());
+        let v1 = _mm256_loadu_si256(chunk.as_ptr().add(4).cast());
+        let gt0 = _mm256_cmpgt_epi64(_mm256_xor_si256(acc0, bias), _mm256_xor_si256(v0, bias));
+        let gt1 = _mm256_cmpgt_epi64(_mm256_xor_si256(acc1, bias), _mm256_xor_si256(v1, bias));
+        acc0 = _mm256_blendv_epi8(acc0, v0, gt0);
+        acc1 = _mm256_blendv_epi8(acc1, v1, gt1);
+    }
+    let mut lanes = [u64::MAX; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc0);
+    _mm256_storeu_si256(lanes.as_mut_ptr().add(4).cast(), acc1);
+    tail.iter()
+        .copied()
+        .fold(lanes.into_iter().fold(u64::MAX, u64::min), u64::min)
+}
+
+/// AVX2 max over an `f64` lane, same 8-lane grouping as the scalar loop.
+/// `_mm256_max_pd` differs from `f64::max` only on NaNs and ±0.0 ties;
+/// these lanes are NaN-free and non-negative (runtimes and offsets), so
+/// the result equals [`max_lane_scalar`] bit for bit.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn max_lane_avx2(values: &[f64]) -> f64 {
+    use core::arch::x86_64::{_mm256_loadu_pd, _mm256_max_pd, _mm256_set1_pd, _mm256_storeu_pd};
+    let mut acc0 = _mm256_set1_pd(f64::NEG_INFINITY);
+    let mut acc1 = _mm256_set1_pd(f64::NEG_INFINITY);
+    let chunks = values.chunks_exact(8);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        acc0 = _mm256_max_pd(acc0, _mm256_loadu_pd(chunk.as_ptr()));
+        acc1 = _mm256_max_pd(acc1, _mm256_loadu_pd(chunk.as_ptr().add(4)));
+    }
+    let mut lanes = [f64::NEG_INFINITY; 8];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc0);
+    _mm256_storeu_pd(lanes.as_mut_ptr().add(4), acc1);
     tail.iter().copied().fold(
         lanes.into_iter().fold(f64::NEG_INFINITY, f64::max),
         f64::max,
@@ -696,8 +931,14 @@ struct ShardView<'a> {
     shard: usize,
     base: usize,
     budget_us: u64,
+    /// Lane-scan implementation for this run (see [`scan_backend`]).
+    backend: ScanBackend,
     fleet_faults: Option<FleetFaults>,
     class_of: &'a [Option<u32>],
+    /// Per-node start offset (µs) on the fleet clock. Lanes stay in each
+    /// node's *local* time; offsets apply only where local deadlines meet
+    /// the shard clock (pass 2 adds them, pass 3 subtracts them).
+    offsets: &'a [u64],
     sims: &'a mut [Simulation],
     ff: &'a mut [FastForward],
     next_due_us: &'a mut [u64],
@@ -713,7 +954,12 @@ struct ShardView<'a> {
 /// Trajectory dedup preserves it by induction: a follower's lanes always
 /// equal its representative's, its own decider fires on state bit-equal to
 /// its solo state at every decision round, and any detected divergence
-/// evicts it to live stepping *from that same bit-exact state*.
+/// evicts it to live stepping *from that same bit-exact state*. Start
+/// offsets preserve it too: lanes are node-local, offsets only translate
+/// where a local deadline lands on the shard clock, and a translated
+/// horizon split is still just a split. With offset sharing the follower's
+/// local lanes mirror the representative's local lanes, so the
+/// local-frame [`sims_agree`] check *is* the delta-shifted verification.
 fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
     let n = v.sims.len();
     // Dedup engages only when the decider factory declared itself
@@ -738,6 +984,17 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
             .count() as u64,
         ..ShardStats::default()
     };
+    // Classes that only offset-quotienting can form: a representative with
+    // at least one follower at a different start offset.
+    for (i, role) in roles.iter().enumerate() {
+        if matches!(role, Role::Rep)
+            && followers_of[i]
+                .iter()
+                .any(|&f| v.offsets[f] != v.offsets[i])
+        {
+            stats.offset_classes += 1;
+        }
+    }
     // Scratch for the divergence check and for followers evicted mid-pass
     // (they already decided inside their representative's branch this
     // round, so pass 1 must not touch them again until the next round).
@@ -838,6 +1095,9 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
                     } else {
                         roles[f] = Role::Live;
                         stats.class_evictions += 1;
+                        if v.offsets[f] != v.offsets[i] {
+                            stats.offset_evictions += 1;
+                        }
                         fresh_evictions.push(f);
                         // Fresh macro-step carry-over: FastForward is a
                         // pure perf cache, so starting cold is bit-exact.
@@ -849,23 +1109,28 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
                 decided[i] = true;
             }
         }
-        // Pass 2 (dense): each node's next event — its decision deadline or
-        // the budget, but always at least one tick of progress (exactly the
-        // single-node fast-path horizon rule) — then the 8-lane min scan.
+        // Pass 2 (dense): each node's next event on the *shard* clock —
+        // its local decision deadline or the budget, but always at least
+        // one tick of progress (exactly the single-node fast-path horizon
+        // rule), translated by its start offset — then the min scan.
+        // Followers never constrain the horizon: their lanes mirror the
+        // representative's local clock already, and with offset sharing a
+        // follower starting *earlier* than its representative would
+        // otherwise pin the horizon below the representative's reachable
+        // time forever (a livelocked round loop).
         let budget = v.budget_us;
-        for ((target, &status), (&due, &now)) in v
-            .target_us
-            .iter_mut()
-            .zip(v.status.iter())
-            .zip(v.next_due_us.iter().zip(v.now_us.iter()))
-        {
-            *target = if status == ACTIVE {
-                due.min(budget).max(now.saturating_add(1))
+        for i in 0..n {
+            v.target_us[i] = if v.status[i] == ACTIVE && !matches!(roles[i], Role::Follower { .. })
+            {
+                v.next_due_us[i]
+                    .min(budget)
+                    .max(v.now_us[i].saturating_add(1))
+                    .saturating_add(v.offsets[i])
             } else {
                 u64::MAX
             };
         }
-        let horizon = min_lane(v.target_us);
+        let horizon = min_lane(v.target_us, v.backend);
         if horizon == u64::MAX {
             break; // no active nodes left in this shard
         }
@@ -890,12 +1155,20 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
                 let tick = v.sims[i].node().config().tick_us;
                 stats.node_steps += (after - before) / tick;
                 stats.replayed_node_rounds += 1;
+                if v.offsets[i] != v.offsets[rep] {
+                    stats.offset_replayed_rounds += 1;
+                }
                 continue;
             }
+            // The shard horizon is on the fleet clock; this node steps on
+            // its own. A horizon at or before the node's start offset
+            // leaves a zero-tick goal: the node idles (stalls) until the
+            // shard clock reaches its phase.
+            let goal = horizon.saturating_sub(v.offsets[i]);
             match opts.mode {
-                StepMode::Fast => v.sims[i].advance_until(horizon, &mut v.ff[i]),
+                StepMode::Fast => v.sims[i].advance_until(goal, &mut v.ff[i]),
                 StepMode::Reference => {
-                    while !v.sims[i].done() && v.sims[i].node().time_us() < horizon {
+                    while !v.sims[i].done() && v.sims[i].node().time_us() < goal {
                         v.sims[i].step();
                     }
                 }
@@ -921,8 +1194,13 @@ fn run_shard(v: &mut ShardView<'_>, opts: &RunOpts) -> ShardStats {
 pub struct FleetSim {
     sims: Vec<Simulation>,
     /// Build-time trajectory-dedup class per node (`None` = singleton);
-    /// all-`None` when dedup is off or a fault plan is armed.
+    /// all-`None` when dedup is off or a fault plan is armed. Offset
+    /// quotient classes when the builder opted into
+    /// [`FleetBuilder::share_offsets`], exact classes otherwise.
     class_of: Vec<Option<u32>>,
+    /// Per-node start offset (µs) on the fleet clock; see
+    /// [`FleetBuilder::node_at`].
+    start_offset_us: Vec<u64>,
     // --- per-node decision state, structure-of-arrays lanes ---
     /// Macro-stepping carry-over (frozen-span state) per node.
     ff: Vec<FastForward>,
@@ -1000,6 +1278,10 @@ impl FleetSim {
     pub fn run(&mut self, opts: &RunOpts) -> FleetSummary {
         let n = self.sims.len();
         self.shard_stats.clear();
+        // One backend decision per run: the env override is re-read every
+        // time so differential tests can flip `MAGUS_FLEET_SCALAR`
+        // in-process between runs.
+        let backend = scan_backend();
         if n > 0 {
             let shards = self.shards.clamp(1, n);
             let budget_us = self.budget_us;
@@ -1009,6 +1291,7 @@ impl FleetSim {
             // empty and sizes differ by at most one.
             let mut views = Vec::with_capacity(shards);
             let mut class_of = self.class_of.as_slice();
+            let mut offsets = self.start_offset_us.as_slice();
             let (mut sims, mut ff, mut due, mut now, mut target, mut status) = (
                 self.sims.as_mut_slice(),
                 self.ff.as_mut_slice(),
@@ -1021,6 +1304,7 @@ impl FleetSim {
             for shard in 0..shards {
                 let take = n / shards + usize::from(shard < n % shards);
                 let (c0, c1) = class_of.split_at(take);
+                let (o0, o1) = offsets.split_at(take);
                 let (s0, s1) = sims.split_at_mut(take);
                 let (f0, f1) = ff.split_at_mut(take);
                 let (d0, d1) = due.split_at_mut(take);
@@ -1028,13 +1312,16 @@ impl FleetSim {
                 let (t0, t1) = target.split_at_mut(take);
                 let (st0, st1) = status.split_at_mut(take);
                 class_of = c1;
+                offsets = o1;
                 (sims, ff, due, now, target, status) = (s1, f1, d1, n1, t1, st1);
                 views.push(ShardView {
                     shard,
                     base,
                     budget_us,
+                    backend,
                     fleet_faults,
                     class_of: c0,
+                    offsets: o0,
                     sims: s0,
                     ff: f0,
                     next_due_us: d0,
@@ -1050,17 +1337,24 @@ impl FleetSim {
                 views.par_iter_mut().map(|v| run_shard(v, opts)).collect()
             };
         }
-        self.summarize()
+        self.summarize(backend)
     }
 
     /// Build the fleet summary from the current node states. The f64
     /// energy sums fold in node-index order (the pre-SoA reference order —
     /// f64 addition is non-associative, and this order is part of the
     /// bit-identity contract); the makespan and horizon scans, which are
-    /// reorder-safe, use the 8-lane `chunks_exact` reductions.
-    fn summarize(&self) -> FleetSummary {
+    /// reorder-safe, use the backend's 8-lane reductions. Makespan counts
+    /// each node's finish time on the *fleet* clock: start offset plus
+    /// runtime (adding a zero offset is bit-exact for the non-negative
+    /// runtimes, so zero-offset fleets are unchanged).
+    fn summarize(&self, backend: ScanBackend) -> FleetSummary {
         let nodes: Vec<RunSummary> = self.sims.iter().map(|s| s.summary(0)).collect();
-        let runtime_lane: Vec<f64> = nodes.iter().map(|n| n.runtime_s).collect();
+        let finish_lane: Vec<f64> = nodes
+            .iter()
+            .zip(&self.start_offset_us)
+            .map(|(n, &off)| crate::us_to_secs(off) + n.runtime_s)
+            .collect();
         let mut total_cpu_j = 0.0;
         let mut total_uncore_j = 0.0;
         let mut total_j = 0.0;
@@ -1079,7 +1373,7 @@ impl FleetSim {
             total_uncore_j,
             total_j,
             uncore_power_w: Distribution::from_values(&uncore_w),
-            makespan_s: max_lane(&runtime_lane).max(0.0),
+            makespan_s: max_lane(&finish_lane, backend).max(0.0),
             decisions: self.shard_stats.iter().map(|s| s.decisions).sum(),
             node_steps: self.shard_stats.iter().map(|s| s.node_steps).sum(),
             node_progress_s: self.sims.iter().map(Simulation::progress_s).collect(),
@@ -1543,19 +1837,212 @@ mod tests {
         }
     }
 
+    /// Every backend the host can run (scalar always; AVX2 when detected).
+    fn backends() -> Vec<ScanBackend> {
+        let mut b = vec![ScanBackend::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        if std::is_x86_feature_detected!("avx2") {
+            b.push(ScanBackend::Avx2);
+        }
+        b
+    }
+
     #[test]
-    fn lane_reductions_match_naive_folds() {
-        let us: Vec<u64> = (0..37)
-            .map(|i| (i * 2_654_435_761_u64) % 1_000_003)
-            .collect();
-        assert_eq!(min_lane(&us), us.iter().copied().min().unwrap());
-        assert_eq!(min_lane(&[]), u64::MAX);
-        let fs: Vec<f64> = (0..19).map(|i| f64::from(i * 7 % 13) - 6.0).collect();
+    fn lane_reductions_match_naive_folds_on_every_backend() {
+        for backend in backends() {
+            for len in [0, 1, 7, 8, 9, 37, 1023] {
+                let us: Vec<u64> = (0..len)
+                    .map(|i| (i * 2_654_435_761_u64) % 1_000_003)
+                    .chain((len > 0).then_some(u64::MAX))
+                    .collect();
+                assert_eq!(
+                    min_lane(&us, backend),
+                    us.iter().copied().min().unwrap_or(u64::MAX),
+                    "{backend:?} len={len}"
+                );
+                let fs: Vec<f64> = (0..len)
+                    .map(|i| f64::from(i as u32 * 7 % 13) * 0.5)
+                    .collect();
+                assert_eq!(
+                    max_lane(&fs, backend),
+                    fs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    "{backend:?} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_backends_agree_bit_for_bit() {
+        // The differential the MAGUS_FLEET_SCALAR CI job relies on: both
+        // backends must produce identical bits on the same lanes.
+        for backend in backends() {
+            let us: Vec<u64> = (0..1000u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            assert_eq!(min_lane(&us, backend), min_lane(&us, ScanBackend::Scalar));
+            let fs: Vec<f64> = (0..1000).map(|i| (i % 97) as f64 * 0.125).collect();
+            assert_eq!(
+                max_lane(&fs, backend).to_bits(),
+                max_lane(&fs, ScanBackend::Scalar).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_env_forces_the_portable_backend() {
+        // Setting the override only ever *removes* vector lanes, and both
+        // backends are bit-identical, so a concurrent test that happens to
+        // read the flipped value still computes the same fleet. The prior
+        // value is restored so a CI-wide MAGUS_FLEET_SCALAR=1 run keeps
+        // its forcing for the rest of this test binary.
+        let prior = std::env::var("MAGUS_FLEET_SCALAR").ok();
+        std::env::set_var("MAGUS_FLEET_SCALAR", "1");
+        assert_eq!(scan_backend(), ScanBackend::Scalar);
+        std::env::set_var("MAGUS_FLEET_SCALAR", "0");
+        let unforced = scan_backend();
+        std::env::remove_var("MAGUS_FLEET_SCALAR");
+        assert_eq!(scan_backend(), unforced, "\"0\" must mean no forcing");
+        if let Some(value) = prior {
+            std::env::set_var("MAGUS_FLEET_SCALAR", value);
+        }
+    }
+
+    /// Offsets for the phase-shifted tests. The *first* node carries the
+    /// largest offset so that, under offset sharing, the class
+    /// representative starts later than some followers — the exact shape
+    /// that livelocks if followers are allowed to pin the shard horizon.
+    const STAGGER_US: [u64; 5] = [1_500_000, 0, 750_000, 250_000, 250_000];
+
+    /// Five identical nodes over one shared trace, staggered by
+    /// [`STAGGER_US`].
+    fn staggered_fleet(
+        shared: &Arc<AppTrace>,
+        share_offsets: bool,
+        dedup: bool,
+        shards: usize,
+    ) -> FleetSim {
+        let mut b = FleetSim::builder(60.0)
+            .shards(shards)
+            .share_offsets(share_offsets)
+            .dedup(dedup);
+        for &off in &STAGGER_US {
+            b = b.node_at(NodeConfig::intel_a100(), Arc::clone(shared), off);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn offset_sharing_is_bit_identical_and_counts_offset_classes() {
+        let shared: Arc<AppTrace> = Arc::new(trace(2.0, 5.0));
+        let opts = RunOpts::from_fn(|_, _| Decision {
+            latency_us: 0,
+            rest_us: 200_000,
+        })
+        .with_decider_key(7);
+        let mut live = staggered_fleet(&shared, false, false, 1);
+        let reference = live.run(&opts);
+
+        // Offsets never perturb a node's own trajectory: every staggered
+        // copy is bit-identical to the zero-offset (solo-equivalent) node.
+        let mut solo = fleet_of(1, 60.0, &shared).build().unwrap();
+        let solo_node = solo.run(&opts).nodes[0].clone();
+        for n in &reference.nodes {
+            assert_eq!(n, &solo_node);
+        }
+        // ... but the fleet makespan counts them: last finisher is the
+        // 1.5 s-offset node.
+        assert!((reference.makespan_s - (1.5 + solo_node.runtime_s)).abs() < 1e-9);
+
+        // Exact-key dedup: offsets partition classes — {1.5s}, {0}, {750ms}
+        // singletons plus the {250ms, 250ms} pair. No offset classes.
+        let mut exact = staggered_fleet(&shared, false, true, 1);
+        assert_eq!(exact.run(&opts), reference, "exact dedup changed the fleet");
+        assert_eq!(stat(&exact, |s| s.classes), 4);
+        assert_eq!(stat(&exact, |s| s.offset_classes), 0);
+        assert_eq!(stat(&exact, |s| s.offset_replayed_rounds), 0);
+
+        // Offset quotient: one class of five behind one representative,
+        // still bit-identical — including with the representative starting
+        // 1.5 s after its earliest follower (the livelock regression).
+        let mut quotient = staggered_fleet(&shared, true, true, 1);
         assert_eq!(
-            max_lane(&fs),
-            fs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            quotient.run(&opts),
+            reference,
+            "offset sharing changed the fleet"
         );
-        assert_eq!(max_lane(&[]), f64::NEG_INFINITY);
+        assert_eq!(stat(&quotient, |s| s.classes), 1);
+        assert_eq!(stat(&quotient, |s| s.offset_classes), 1);
+        let offset_replayed = stat(&quotient, |s| s.offset_replayed_rounds);
+        assert!(offset_replayed > 0, "no phase-shifted rounds were shared");
+        assert!(offset_replayed <= stat(&quotient, |s| s.replayed_node_rounds));
+        assert_eq!(stat(&quotient, |s| s.offset_evictions), 0);
+
+        // Shard-invariance holds for staggered fleets too.
+        for shards in [2, 3, 5, 64] {
+            let mut fleet = staggered_fleet(&shared, true, true, shards);
+            assert_eq!(fleet.run(&opts), reference, "shards={shards} diverged");
+        }
+    }
+
+    #[test]
+    fn divergent_offset_follower_is_evicted_not_miscomputed() {
+        // Node 3 (offset 250 ms, a follower under offset sharing) makes one
+        // extra PCM read at its 3rd decision. Same contract as the exact
+        // dedup eviction test: bit-identity survives, the shared win is
+        // lost, and the offset eviction counter records it.
+        struct Poker {
+            idx: usize,
+            fired: u32,
+        }
+        impl NodeDecider for Poker {
+            fn decide(&mut self, sim: &mut Simulation) -> Decision {
+                self.fired += 1;
+                if self.idx == 3 && self.fired == 3 {
+                    let _ = sim.node_mut().pcm_try_read_gbs();
+                }
+                Decision {
+                    latency_us: 0,
+                    rest_us: 500_000,
+                }
+            }
+        }
+        let opts = |key: bool| {
+            let o = RunOpts::new(|idx| Box::new(Poker { idx, fired: 0 }));
+            if key {
+                o.with_decider_key(9)
+            } else {
+                o
+            }
+        };
+        let shared: Arc<AppTrace> = Arc::new(trace(3.0, 5.0));
+        let mut on = staggered_fleet(&shared, true, true, 1);
+        let s_on = on.run(&opts(true));
+        let mut off = staggered_fleet(&shared, false, false, 1);
+        let s_off = off.run(&opts(false));
+        assert_eq!(s_on, s_off, "offset eviction broke bit-identity");
+        assert_eq!(stat(&on, |s| s.class_evictions), 1);
+        assert_eq!(stat(&on, |s| s.offset_evictions), 1);
+        assert_ne!(s_on.nodes[3], s_on.nodes[2]);
+        assert_eq!(s_on.nodes[2], s_on.nodes[1]);
+    }
+
+    #[test]
+    fn start_offset_overflow_is_rejected() {
+        let shared: Arc<AppTrace> = Arc::new(trace(1.0, 5.0));
+        let err = FleetSim::builder(60.0)
+            .node_at(NodeConfig::intel_a100(), Arc::clone(&shared), u64::MAX - 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FleetBuildError::StartOffsetOverflow { index: 0, .. }
+        ));
+        // A large-but-representable offset builds fine.
+        assert!(FleetSim::builder(60.0)
+            .node_at(NodeConfig::intel_a100(), shared, u64::MAX / 2)
+            .build()
+            .is_ok());
     }
 
     #[test]

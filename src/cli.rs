@@ -283,9 +283,12 @@ ENGINE:    --no-cache (always simulate), --serial (one trial at a time),
            sibling, <file>.prom),
            --faults <plan.json> (inject a deterministic fault plan into
            every trial; validated on load, hashed into each trial's cache
-           key — see DESIGN.md \"Fault injection\");
+           key — see DESIGN.md \"Fault injection\"),
+           --no-dedup (step every fleet node live; trajectory sharing off,
+           bit-identical either way);
            MAGUS_CACHE_DIR / MAGUS_CACHE=off / MAGUS_SERIAL=1 / MAGUS_JOBS
-           do the same from the environment. Trials are cached under
+           / MAGUS_FLEET_DEDUP=0 / MAGUS_FLEET_SCALAR=1 (scalar fleet
+           scans) do the same from the environment. Trials are cached under
            results/cache by spec hash; each command writes a run manifest
            next to it.
 SYSTEMS:   intel-a100 (default), intel-4a100, intel-max1550
@@ -485,12 +488,13 @@ mod tests {
 
     #[test]
     fn engine_switches_are_global_and_position_independent() {
-        let inv = parse(&v(&["--serial", "suite", "--no-cache"])).unwrap();
+        let inv = parse(&v(&["--serial", "suite", "--no-cache", "--no-dedup"])).unwrap();
         assert_eq!(
             inv.engine,
             EngineOpts {
                 no_cache: true,
                 serial: true,
+                no_dedup: true,
                 ..EngineOpts::default()
             }
         );
@@ -535,6 +539,7 @@ mod tests {
             "--telemetry",
             "--sim-path",
             "--faults",
+            "--no-dedup",
             ".prom",
         ] {
             assert!(u.contains(word), "{word}");

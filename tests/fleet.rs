@@ -249,6 +249,139 @@ fn dedup_matrix_is_bit_identical_across_shards_paths_and_modes() {
     }
 }
 
+/// A staggered round-robin catalog fleet: app `i % modulus`, start offset
+/// slot `(i * 2654435761) % 3` (Knuth's multiplicative hash; the multiplier
+/// is 1 mod 3, so slots cycle `i % 3` — deliberately co-prime with the
+/// 4-app modulus, so every app's copies span all three offsets and exact
+/// dedup classes are all singletons within 12 nodes). Dedup stays on;
+/// `share` toggles only the offset quotient.
+fn staggered_catalog_fleet(
+    nodes: usize,
+    modulus: usize,
+    budget_s: f64,
+    shards: usize,
+    share: bool,
+) -> FleetSim {
+    let mut b = FleetSim::builder(budget_s)
+        .shards(shards)
+        .dedup(true)
+        .share_offsets(share);
+    for i in 0..nodes {
+        let offset_us = ((i as u64).wrapping_mul(2_654_435_761) % 3) * 150_000;
+        b = b.node_at(
+            SystemId::IntelA100.node_config(),
+            app_trace(fleet_app(i % modulus), Platform::IntelA100),
+            offset_us,
+        );
+    }
+    b.build().expect("staggered catalog fleet spec is valid")
+}
+
+/// The phase-shifted acceptance matrix: {1,2,7,64} shards x {fast,
+/// reference} x {offset sharing on, off} on a staggered 12-node fleet all
+/// produce the identical `FleetSummary` *and* per-node telemetry JSONL as
+/// the single-shard/fast/sharing-off baseline. The offsets are arranged so
+/// every exact class is a singleton (sharing-off runs replay nothing) while
+/// every quotient class spans three offsets (sharing-on runs replay across
+/// offsets wherever a shard holds a repeated app).
+#[test]
+fn offset_matrix_is_bit_identical_across_shards_paths_and_sharing() {
+    let nodes = 12;
+    let modulus = 4;
+    let opts_for = |path| governor_run_opts(&GovernorSpec::magus_default(), path);
+
+    let mut baseline_fleet = staggered_catalog_fleet(nodes, modulus, 45.0, 1, false);
+    let baseline = baseline_fleet.run(&opts_for(SimPath::Fast));
+    #[cfg(feature = "telemetry")]
+    let baseline_jsonl = telemetry_jsonl(&mut baseline_fleet);
+
+    for shards in [1usize, 2, 7, 64] {
+        for path in [SimPath::Fast, SimPath::Reference] {
+            for share in [true, false] {
+                let mut fleet = staggered_catalog_fleet(nodes, modulus, 45.0, shards, share);
+                let summary = fleet.run(&opts_for(path));
+                assert_eq!(
+                    summary, baseline,
+                    "shards={shards} path={path:?} share={share} diverged \
+                     from single-shard fast sharing-off"
+                );
+                if share {
+                    // Offset counters stay subsets of the exact-dedup ones.
+                    assert!(
+                        shard_total(&fleet, |s| s.offset_replayed_rounds)
+                            <= shard_total(&fleet, |s| s.replayed_node_rounds),
+                        "shards={shards} path={path:?}"
+                    );
+                    // A shard spanning more than `modulus` contiguous nodes
+                    // holds a repeated app at a different offset slot, so
+                    // quotient sharing must actually fire there.
+                    if nodes.div_ceil(shards.min(nodes)) > modulus {
+                        assert!(
+                            shard_total(&fleet, |s| s.offset_classes) > 0,
+                            "shards={shards} path={path:?}: no offset class formed"
+                        );
+                        assert!(
+                            shard_total(&fleet, |s| s.offset_replayed_rounds) > 0,
+                            "shards={shards} path={path:?}: nothing shared across offsets"
+                        );
+                    }
+                } else {
+                    // Exact keys see 12 distinct (app, offset) pairs:
+                    // every class is a singleton, nothing replays.
+                    assert_eq!(shard_total(&fleet, |s| s.replayed_node_rounds), 0);
+                    assert_eq!(shard_total(&fleet, |s| s.offset_classes), 0);
+                    assert_eq!(shard_total(&fleet, |s| s.offset_replayed_rounds), 0);
+                }
+                #[cfg(feature = "telemetry")]
+                assert_eq!(
+                    telemetry_jsonl(&mut fleet),
+                    baseline_jsonl,
+                    "shards={shards} path={path:?} share={share}: telemetry diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The SIMD-vs-scalar differential: `MAGUS_FLEET_SCALAR=1` forces the
+/// portable scan path, and the staggered sharing-on fleet must produce the
+/// same summary, the same telemetry bytes, and the same per-shard counters
+/// either way. (The env var is re-read on every `run`, and both paths are
+/// bit-identical, so flipping it mid-process is safe even with tests
+/// running concurrently.)
+#[test]
+fn forced_scalar_scans_match_the_simd_path_bit_for_bit() {
+    let opts = governor_run_opts(&GovernorSpec::magus_default(), SimPath::Fast);
+    let mut auto = staggered_catalog_fleet(12, 4, 45.0, 3, true);
+    let s_auto = auto.run(&opts);
+    #[cfg(feature = "telemetry")]
+    let jsonl_auto = telemetry_jsonl(&mut auto);
+
+    // Restore any pre-existing value (CI runs this whole binary under
+    // MAGUS_FLEET_SCALAR=1) instead of blindly removing the variable.
+    let prior = std::env::var("MAGUS_FLEET_SCALAR").ok();
+    std::env::set_var("MAGUS_FLEET_SCALAR", "1");
+    let mut scalar = staggered_catalog_fleet(12, 4, 45.0, 3, true);
+    let s_scalar = scalar.run(&opts);
+    match prior {
+        Some(value) => std::env::set_var("MAGUS_FLEET_SCALAR", value),
+        None => std::env::remove_var("MAGUS_FLEET_SCALAR"),
+    }
+
+    assert_eq!(s_auto, s_scalar, "scalar scans diverged from the SIMD path");
+    assert_eq!(
+        auto.shard_stats(),
+        scalar.shard_stats(),
+        "scan backend leaked into the shard counters"
+    );
+    #[cfg(feature = "telemetry")]
+    assert_eq!(
+        jsonl_auto,
+        telemetry_jsonl(&mut scalar),
+        "scalar scans: telemetry diverged"
+    );
+}
+
 /// A mid-run MSR write (an actuation the class key cannot see) forces the
 /// poked follower out of its class: the run stays bit-identical to the
 /// dedup-off run — summaries and telemetry both — and the eviction is
@@ -402,5 +535,58 @@ proptest! {
         prop_assert_eq!(shard_total(&on, |s| s.stalls), shard_total(&off, |s| s.stalls));
         prop_assert_eq!(shard_total(&on, |s| s.decisions), shard_total(&off, |s| s.decisions));
         prop_assert_eq!(shard_total(&on, |s| s.node_steps), shard_total(&off, |s| s.node_steps));
+    }
+
+    /// Whatever the fleet size, app modulus, shard count, stagger scale,
+    /// and stepping path, a phase-shifted follower's trajectory is the
+    /// node's own: every node of a staggered sharing-on fleet equals an
+    /// isolated `run_trial` of the same app bit for bit (start offsets
+    /// shift a node on the fleet clock only — its local clock, decisions,
+    /// and summary never see them).
+    #[test]
+    fn phase_shifted_followers_equal_solo_runs(
+        nodes in 1usize..8,
+        modulus in 1usize..4,
+        shards in 1usize..6,
+        stagger_us in 0u64..1_000_000,
+        use_reference in any::<bool>(),
+    ) {
+        let path = if use_reference { SimPath::Reference } else { SimPath::Fast };
+        let governor = GovernorSpec::magus_default();
+        let mut b = FleetSim::builder(45.0)
+            .shards(shards)
+            .dedup(true)
+            .share_offsets(true);
+        for i in 0..nodes {
+            let offset_us = ((i as u64).wrapping_mul(2_654_435_761) % 3) * stagger_us;
+            b = b.node_at(
+                SystemId::IntelA100.node_config(),
+                app_trace(fleet_app(i % modulus), Platform::IntelA100),
+                offset_us,
+            );
+        }
+        let summary = b
+            .build()
+            .expect("staggered fleet spec is valid")
+            .run(&governor_run_opts(&governor, path));
+        for (i, node) in summary.nodes.iter().enumerate() {
+            let mut driver = governor.build_driver();
+            let solo = run_trial(
+                SystemId::IntelA100,
+                fleet_app(i % modulus),
+                driver.as_mut(),
+                TrialOpts {
+                    max_s: 45.0,
+                    path,
+                    ..TrialOpts::default()
+                },
+            );
+            prop_assert_eq!(
+                node,
+                &solo.summary,
+                "staggered node {} diverged from its isolated trial",
+                i
+            );
+        }
     }
 }
