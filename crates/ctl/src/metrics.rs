@@ -1,0 +1,58 @@
+//! The daemon's metric registry: a pure function from control-plane state
+//! to a [`Registry`], so the `/metrics` rendering is reproducible from a
+//! batch run's [`FleetSummary`] alone.
+//!
+//! Purity is the acceptance criterion: `GET /metrics` on a daemon that has
+//! advanced N epochs must byte-equal [`fleet_prometheus`] applied to the
+//! batch engine's summary of the same membership — which holds exactly
+//! because both sides call [`fleet_registry`] on bit-identical inputs and
+//! the rendering is [`magus_telemetry::Snapshot::to_prometheus_text`], the
+//! same renderer the engine's `write_telemetry` uses for its `.prom`
+//! sibling files.
+
+use magus_hetsim::fleet::FleetSummary;
+use magus_telemetry::Registry;
+
+/// Build the control-plane registry for a daemon that has completed
+/// `epochs` epochs, the most recent yielding `summary` (`None` before the
+/// first advance: counters only, no fleet gauges).
+#[must_use]
+pub fn fleet_registry(epochs: u64, summary: Option<&FleetSummary>) -> Registry {
+    let registry = Registry::new();
+    registry.inc("ctl/epochs", epochs);
+    if let Some(s) = summary {
+        registry.inc("ctl/decisions", s.decisions);
+        registry.inc("ctl/node_steps", s.node_steps);
+        registry.set_gauge("fleet/nodes", s.nodes.len() as f64);
+        registry.set_gauge("fleet/completed", s.completed as f64);
+        registry.set_gauge("fleet/crashed", s.crashed as f64);
+        registry.set_gauge("fleet/total_cpu_j", s.total_cpu_j);
+        registry.set_gauge("fleet/total_uncore_j", s.total_uncore_j);
+        registry.set_gauge("fleet/total_j", s.total_j);
+        registry.set_gauge("fleet/makespan_s", s.makespan_s);
+        registry.set_gauge("fleet/uncore_power_w_mean", s.uncore_power_w.mean);
+        registry.set_gauge("fleet/uncore_power_w_p95", s.uncore_power_w.p95);
+        registry.set_gauge("fleet/uncore_power_w_max", s.uncore_power_w.max);
+    }
+    registry
+}
+
+/// The Prometheus text a daemon in this state serves at `/metrics`.
+#[must_use]
+pub fn fleet_prometheus(epochs: u64, summary: Option<&FleetSummary>) -> String {
+    fleet_registry(epochs, summary)
+        .snapshot()
+        .to_prometheus_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_state_renders_only_the_epoch_counter() {
+        let text = fleet_prometheus(0, None);
+        assert!(text.contains("magus_ctl_epochs 0"), "{text}");
+        assert!(!text.contains("fleet_nodes"), "{text}");
+    }
+}

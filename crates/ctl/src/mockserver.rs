@@ -1,0 +1,227 @@
+//! In-process fake control plane for fast protocol tests.
+//!
+//! [`MockPlane`] implements [`ControlPlane`] with instant, canned
+//! semantics — ids are allocated, epochs count up, telemetry frames are
+//! deterministic one-liners — so the frame codec, the connection loop, the
+//! typed client, and the graceful-shutdown drain can all be exercised in
+//! milliseconds without building a single simulator node. It records every
+//! request it handles for assertions.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use magus_hetsim::fleet::{Distribution, FleetSummary};
+use parking_lot::Mutex;
+
+use crate::proto::{Request, Response, PROTOCOL_VERSION};
+use crate::server::{ControlPlane, Server};
+use crate::CtlError;
+
+/// The canned summary every mock epoch reports.
+#[must_use]
+pub fn mock_summary(nodes: u64) -> FleetSummary {
+    FleetSummary {
+        nodes: Vec::new(),
+        completed: nodes as usize,
+        total_cpu_j: 0.0,
+        total_uncore_j: 0.0,
+        total_j: 0.0,
+        uncore_power_w: Distribution::from_values(&[]),
+        makespan_s: 0.0,
+        decisions: nodes,
+        node_steps: 0,
+        node_progress_s: Vec::new(),
+        crashed: 0,
+        node_fault_counters: Vec::new(),
+    }
+}
+
+/// The telemetry JSONL a mock epoch streams.
+#[must_use]
+pub fn mock_jsonl(epoch: u64) -> String {
+    format!("{{\"node\":0,\"t_us\":0,\"kind\":\"mock\",\"fields\":{{\"epoch\":{epoch}}}}}\n")
+}
+
+/// Scripted [`ControlPlane`] with recorded requests.
+#[derive(Default)]
+pub struct MockPlane {
+    requests: Mutex<Vec<Request>>,
+    next_id: AtomicU64,
+    live_nodes: AtomicU64,
+    epochs: AtomicU64,
+    subscribers: Mutex<Vec<mpsc::Sender<Response>>>,
+    stop: AtomicBool,
+}
+
+impl MockPlane {
+    /// A fresh mock plane.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every request handled so far, in order.
+    #[must_use]
+    pub fn requests(&self) -> Vec<Request> {
+        self.requests.lock().clone()
+    }
+
+    /// Completed (mock) epoch count.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::SeqCst)
+    }
+
+    fn broadcast(&self, frame: &Response) {
+        self.subscribers
+            .lock()
+            .retain(|tx| tx.send(frame.clone()).is_ok());
+    }
+}
+
+impl ControlPlane for MockPlane {
+    fn handle(&self, req: Request) -> Response {
+        self.requests.lock().push(req.clone());
+        if let Err(message) = req.validate() {
+            return Response::Error { message };
+        }
+        match req {
+            Request::Hello { protocol } => {
+                if protocol == PROTOCOL_VERSION {
+                    Response::HelloOk {
+                        protocol: PROTOCOL_VERSION,
+                        server: "magus-ctl-mock".into(),
+                    }
+                } else {
+                    Response::Error {
+                        message: format!("unsupported protocol {protocol}"),
+                    }
+                }
+            }
+            Request::JoinNode { count, .. } => {
+                let first = self.next_id.fetch_add(u64::from(count), Ordering::SeqCst);
+                self.live_nodes
+                    .fetch_add(u64::from(count), Ordering::SeqCst);
+                Response::Joined {
+                    nodes: (first..first + u64::from(count)).collect(),
+                }
+            }
+            Request::LeaveNode { node } => {
+                if node < self.next_id.load(Ordering::SeqCst) {
+                    self.live_nodes.fetch_sub(1, Ordering::SeqCst);
+                    Response::Left { node }
+                } else {
+                    Response::Error {
+                        message: format!("unknown fleet node id {node}"),
+                    }
+                }
+            }
+            Request::SubmitWorkload { node, .. } => {
+                if node < self.next_id.load(Ordering::SeqCst) {
+                    Response::Submitted { node }
+                } else {
+                    Response::Error {
+                        message: format!("unknown fleet node id {node}"),
+                    }
+                }
+            }
+            Request::Advance => {
+                let epoch = self.epochs.fetch_add(1, Ordering::SeqCst) + 1;
+                let nodes = self.live_nodes.load(Ordering::SeqCst);
+                self.broadcast(&Response::Telemetry {
+                    epoch,
+                    jsonl: mock_jsonl(epoch),
+                });
+                Response::Advanced {
+                    epoch,
+                    nodes,
+                    summary: mock_summary(nodes),
+                }
+            }
+            Request::Snapshot => {
+                let epoch = self.epochs();
+                Response::SnapshotOk {
+                    epoch,
+                    summary: (epoch > 0)
+                        .then(|| mock_summary(self.live_nodes.load(Ordering::SeqCst))),
+                    prometheus: self.metrics_text(),
+                }
+            }
+            Request::Subscribe => Response::Error {
+                message: "subscribe is connection-level".into(),
+            },
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                let mut subs = self.subscribers.lock();
+                for tx in subs.iter() {
+                    let _ = tx.send(Response::ShuttingDown);
+                }
+                subs.clear();
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn subscribe(&self) -> (u64, mpsc::Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        self.subscribers.lock().push(tx);
+        (self.epochs(), rx)
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn metrics_text(&self) -> String {
+        format!(
+            "# TYPE magus_mock_epochs counter\nmagus_mock_epochs {}\n",
+            self.epochs()
+        )
+    }
+}
+
+/// A mock plane served over real loopback sockets by the real connection
+/// loop — protocol tests drive it with the real [`crate::CtlClient`].
+pub struct MockServer {
+    plane: Arc<MockPlane>,
+    addr: std::net::SocketAddr,
+    runner: Option<thread::JoinHandle<Result<(), CtlError>>>,
+}
+
+impl MockServer {
+    /// Bind on an ephemeral loopback port and start serving.
+    pub fn spawn() -> Result<Self, CtlError> {
+        let plane = Arc::new(MockPlane::new());
+        let server = Server::bind("127.0.0.1:0", None, 3, Arc::clone(&plane))?;
+        let addr = server.ctl_addr()?;
+        let runner = thread::spawn(move || server.run());
+        Ok(Self {
+            plane,
+            addr,
+            runner: Some(runner),
+        })
+    }
+
+    /// The bound control-socket address.
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The plane behind the server (for request-log assertions).
+    #[must_use]
+    pub fn plane(&self) -> Arc<MockPlane> {
+        Arc::clone(&self.plane)
+    }
+
+    /// Block until the server loop exits (after a shutdown request).
+    pub fn join(mut self) -> Result<(), CtlError> {
+        match self.runner.take() {
+            Some(runner) => runner
+                .join()
+                .map_err(|_| CtlError::Unexpected("mock server panicked".into()))?,
+            None => Ok(()),
+        }
+    }
+}

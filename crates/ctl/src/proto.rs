@@ -1,0 +1,428 @@
+//! The MAGUS control-plane wire protocol: a length-prefixed JSON frame
+//! codec plus the validating request/response message types.
+//!
+//! Framing is deliberately minimal — one little-endian `u32` byte length
+//! followed by that many bytes of JSON — so a session is inspectable with
+//! nothing but `xxd` and the protocol stays implementable from any
+//! language in an afternoon. Every frame is one message; messages never
+//! span frames. The codec defends the daemon at the boundary: frames
+//! larger than [`MAX_FRAME_BYTES`] are rejected before allocation
+//! ([`ProtoError::Oversized`]), streams that end mid-frame surface
+//! [`ProtoError::Truncated`] with byte counts, and payloads that fail
+//! validation — malformed JSON, unknown `type` variants, wrong field
+//! shapes — surface [`ProtoError::Malformed`] instead of panicking.
+//!
+//! Messages are serde enums tagged by a `"type"` field, so the wire shape
+//! of, say, a join is `{"type":"join_node","system":"IntelA100",
+//! "count":64}`. Embedded domain types ([`SystemId`], [`AppId`],
+//! [`FleetSummary`]) reuse their existing serde renderings — the same
+//! bytes the batch engine writes — which is what lets the CI system test
+//! byte-compare a daemon session against a batch run.
+
+use std::io::{self, Read, Write};
+
+use magus_experiments::harness::SystemId;
+use magus_hetsim::fleet::FleetSummary;
+use magus_workloads::AppId;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+/// Protocol revision spoken by this build. A [`Request::Hello`] carrying a
+/// different revision is refused, so incompatible clients fail fast with a
+/// typed error instead of mis-parsing frames.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on one frame's payload size (64 MiB). Large enough for a
+/// 100k-node epoch summary, small enough that a corrupt or hostile length
+/// header cannot drive an allocation of the header's full `u32` range.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Upper bound on the node count of one [`Request::JoinNode`] — matches
+/// the 100k-node fleet scale the kernel is benched at, with headroom.
+pub const MAX_JOIN_COUNT: u32 = 262_144;
+
+/// Typed codec / message-validation error.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The stream ended inside a frame (header or payload).
+    Truncated {
+        /// Bytes the frame section needed.
+        expected: usize,
+        /// Bytes actually received before EOF.
+        got: usize,
+    },
+    /// A frame header announced a payload over [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The announced payload length.
+        len: u64,
+        /// The ceiling it exceeded.
+        max: usize,
+    },
+    /// The payload is not a valid message (bad JSON, unknown `type`
+    /// variant, wrong field shapes, or a failed semantic validation).
+    Malformed(String),
+}
+
+impl core::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "wire i/o error: {e}"),
+            Self::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            Self::Oversized { len, max } => {
+                write!(
+                    f,
+                    "oversized frame: {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+            Self::Malformed(msg) => write!(f, "malformed message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Read exactly `buf.len()` bytes, reporting how many arrived before a
+/// premature EOF (so [`ProtoError::Truncated`] can carry real counts).
+fn read_exact_counted(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, ProtoError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Ok(got),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(got)
+}
+
+/// Read one raw frame. `Ok(None)` is a clean end-of-stream (the peer
+/// closed between frames); EOF anywhere *inside* a frame is
+/// [`ProtoError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut header = [0u8; 4];
+    match read_exact_counted(r, &mut header)? {
+        0 => return Ok(None),
+        4 => {}
+        got => return Err(ProtoError::Truncated { expected: 4, got }),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::Oversized {
+            len: len as u64,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let got = read_exact_counted(r, &mut payload)?;
+    if got < len {
+        return Err(ProtoError::Truncated { expected: len, got });
+    }
+    Ok(Some(payload))
+}
+
+/// Write one raw frame (header + payload + flush).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ProtoError::Oversized {
+            len: payload.len() as u64,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serialize `msg` and write it as one frame.
+pub fn write_message<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), ProtoError> {
+    let payload = serde_json::to_vec(msg).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+    write_frame(w, &payload)
+}
+
+/// Read one frame and parse it as a `T`. `Ok(None)` is a clean
+/// end-of-stream, exactly as in [`read_frame`].
+pub fn read_message<T: DeserializeOwned>(r: &mut impl Read) -> Result<Option<T>, ProtoError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => serde_json::from_slice(&payload)
+            .map(Some)
+            .map_err(|e| ProtoError::Malformed(e.to_string())),
+    }
+}
+
+/// Client → daemon messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Request {
+    /// Version handshake; must be the first message on a connection.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Enroll `count` nodes of one hardware preset. Nodes join dormant
+    /// (no workload) and take effect at the next round boundary.
+    JoinNode {
+        /// Hardware preset for every node in the batch.
+        system: SystemId,
+        /// Number of nodes to enroll (1..=[`MAX_JOIN_COUNT`]).
+        count: u32,
+        /// Start offset on the fleet clock (µs) for the whole batch.
+        #[serde(default)]
+        start_offset_us: u64,
+    },
+    /// Remove one node at the next round boundary.
+    LeaveNode {
+        /// The node id to remove.
+        node: u64,
+    },
+    /// Submit (or replace) the workload one node runs from the next round
+    /// boundary on.
+    SubmitWorkload {
+        /// Target node id.
+        node: u64,
+        /// Catalog application to run.
+        app: AppId,
+    },
+    /// Run one epoch: snapshot the roster at the round boundary, build the
+    /// fleet, and run it to completion.
+    Advance,
+    /// Switch this connection into a telemetry subscriber: the daemon
+    /// pushes one [`Response::Telemetry`] frame per epoch until shutdown.
+    Subscribe,
+    /// Report the daemon's current epoch, last summary, and Prometheus
+    /// rendering without advancing anything.
+    Snapshot,
+    /// Gracefully stop the daemon: finish any in-flight epoch, drain
+    /// subscribers, then close all sockets.
+    Shutdown,
+}
+
+impl Request {
+    /// Semantic validation beyond what serde shapes enforce. The daemon
+    /// rejects invalid requests with [`Response::Error`] before touching
+    /// any state.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Self::JoinNode { count, .. } if *count == 0 => {
+                Err("join_node count must be at least 1".into())
+            }
+            Self::JoinNode { count, .. } if *count > MAX_JOIN_COUNT => Err(format!(
+                "join_node count {count} exceeds the {MAX_JOIN_COUNT}-node limit"
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Daemon → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Response {
+    /// Handshake accepted.
+    HelloOk {
+        /// The daemon's [`PROTOCOL_VERSION`].
+        protocol: u32,
+        /// Daemon identification string (name/version).
+        server: String,
+    },
+    /// Nodes enrolled; ids are assigned in batch order and never reused.
+    Joined {
+        /// The new node ids.
+        nodes: Vec<u64>,
+    },
+    /// Node removed from the roster.
+    Left {
+        /// The departed node id.
+        node: u64,
+    },
+    /// Workload staged on the node.
+    Submitted {
+        /// The target node id.
+        node: u64,
+    },
+    /// One epoch completed.
+    Advanced {
+        /// Epoch number (1-based, monotonic).
+        epoch: u64,
+        /// Nodes the epoch's fleet contained (dormant members excluded).
+        nodes: u64,
+        /// The epoch's fleet summary — bit-identical to a batch
+        /// `FleetBuilder` run of the same membership.
+        summary: FleetSummary,
+    },
+    /// Subscription established; telemetry frames follow.
+    Subscribed {
+        /// The epoch count at subscription time.
+        epoch: u64,
+    },
+    /// Current daemon state.
+    SnapshotOk {
+        /// Completed epoch count.
+        epoch: u64,
+        /// The most recent epoch's summary (`None` before the first
+        /// advance).
+        summary: Option<FleetSummary>,
+        /// Prometheus text rendering of the daemon's metric registry —
+        /// the same bytes `GET /metrics` serves.
+        prometheus: String,
+    },
+    /// One epoch's telemetry stream (pushed to subscribers).
+    Telemetry {
+        /// The epoch that produced the stream.
+        epoch: u64,
+        /// Per-node event JSONL, byte-identical to the batch engine's
+        /// rendering of the same fleet.
+        jsonl: String,
+    },
+    /// The daemon accepted a shutdown (also pushed to subscribers as the
+    /// final frame before their channel closes).
+    ShuttingDown,
+    /// The request was rejected; state is unchanged.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round-trip a message through the codec over an in-memory pipe.
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + core::fmt::Debug>(msg: &T) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, msg).unwrap();
+        let got: T = read_message(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(&got, msg);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip(&Request::Hello { protocol: 1 });
+        roundtrip(&Request::JoinNode {
+            system: SystemId::IntelA100,
+            count: 64,
+            start_offset_us: 250_000,
+        });
+        roundtrip(&Request::LeaveNode { node: 7 });
+        roundtrip(&Request::SubmitWorkload {
+            node: 3,
+            app: AppId::all()[0],
+        });
+        roundtrip(&Request::Advance);
+        roundtrip(&Request::Subscribe);
+        roundtrip(&Request::Snapshot);
+        roundtrip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn join_omits_default_offset_and_accepts_its_absence() {
+        // `start_offset_us` has a serde default, so hand-written clients
+        // can omit it.
+        let req: Request =
+            serde_json::from_str(r#"{"type":"join_node","system":"IntelA100","count":2}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::JoinNode {
+                system: SystemId::IntelA100,
+                count: 2,
+                start_offset_us: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_variant_is_malformed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, br#"{"type":"frobnicate"}"#).unwrap();
+        let err = read_message::<Request>(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn clean_eof_is_none_but_partial_frames_are_truncated() {
+        // Clean EOF between frames.
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        // EOF inside the header.
+        let err = read_frame(&mut [1u8, 0].as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtoError::Truncated {
+                    expected: 4,
+                    got: 2
+                }
+            ),
+            "{err}"
+        );
+        // EOF inside the payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtoError::Truncated {
+                    expected: 8,
+                    got: 3
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ProtoError::Oversized { .. }), "{err}");
+
+        let huge = vec![b'x'; MAX_FRAME_BYTES + 1];
+        let err = write_frame(&mut Vec::new(), &huge).unwrap_err();
+        assert!(matches!(err, ProtoError::Oversized { .. }), "{err}");
+    }
+
+    #[test]
+    fn join_count_bounds_are_validated() {
+        let zero = Request::JoinNode {
+            system: SystemId::IntelA100,
+            count: 0,
+            start_offset_us: 0,
+        };
+        assert!(zero.validate().is_err());
+        let huge = Request::JoinNode {
+            system: SystemId::IntelA100,
+            count: MAX_JOIN_COUNT + 1,
+            start_offset_us: 0,
+        };
+        assert!(huge.validate().is_err());
+        let ok = Request::JoinNode {
+            system: SystemId::IntelA100,
+            count: MAX_JOIN_COUNT,
+            start_offset_us: 0,
+        };
+        assert!(ok.validate().is_ok());
+    }
+}

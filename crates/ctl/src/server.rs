@@ -1,0 +1,558 @@
+//! The control-plane daemon: a long-lived TCP server owning a fleet
+//! roster, plus a minimal HTTP listener serving `/metrics`.
+//!
+//! # Round-boundary membership and the determinism contract
+//!
+//! The daemon never mutates a running fleet. Joins, leaves, and workload
+//! submissions mutate only the [`FleetRoster`] (under a short-lived lock),
+//! and each [`Request::Advance`] is one **epoch**: the roster is
+//! snapshotted at that round boundary into a fresh `FleetBuilder` fleet —
+//! ascending node-id order, dormant members skipped — which runs to
+//! completion exactly as a batch run would. An epoch's `FleetSummary` and
+//! telemetry JSONL are therefore bit/byte-identical to building and
+//! running the same membership in-process, by construction; the CI system
+//! test `diff`s the two on every push.
+//!
+//! # Threading
+//!
+//! One accept loop, one thread per connection, plus an optional HTTP
+//! thread. Subscribers ([`Request::Subscribe`]) park their connection on a
+//! channel the daemon pushes one [`Response::Telemetry`] frame into per
+//! epoch. Shutdown is graceful by ordering: the handler first waits for
+//! any in-flight epoch (so its telemetry is queued), then queues a final
+//! [`Response::ShuttingDown`] to every subscriber and drops the senders —
+//! each subscriber connection drains its queue fully before its socket
+//! closes — and finally wakes the accept loops so `run` can join every
+//! connection thread and return.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use magus_experiments::engine::GovernorSpec;
+use magus_experiments::fleet::governor_run_opts;
+use magus_experiments::harness::{SimPath, SystemId};
+use magus_hetsim::fleet::FleetSummary;
+use magus_hetsim::roster::{FleetRoster, RosterBuildOpts};
+use magus_workloads::app_trace;
+use parking_lot::Mutex;
+
+use crate::metrics::fleet_prometheus;
+use crate::proto::{self, Request, Response, PROTOCOL_VERSION};
+use crate::CtlError;
+
+/// Configuration for [`serve_fleet`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Control-socket bind address. Port 0 picks a free port; the chosen
+    /// address is reported by [`Server::ctl_addr`].
+    pub ctl_addr: String,
+    /// HTTP bind address for `/metrics` (`None` disables HTTP).
+    pub http_addr: Option<String>,
+    /// Attempts per listener bind before giving up (loaded CI runners can
+    /// transiently refuse binds; retries back off 50 ms per attempt).
+    pub bind_retries: u32,
+    /// Governor every fleet node runs.
+    pub governor: GovernorSpec,
+    /// Per-node simulated-time budget per epoch (s).
+    pub budget_s: f64,
+    /// Shard count for the fleet kernel.
+    pub shards: usize,
+    /// Stepping path.
+    pub path: SimPath,
+    /// Trajectory deduplication.
+    pub dedup: bool,
+    /// Quotient dedup classes by start offset.
+    pub share_offsets: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            ctl_addr: "127.0.0.1:0".into(),
+            http_addr: Some("127.0.0.1:0".into()),
+            bind_retries: 5,
+            governor: GovernorSpec::Default,
+            budget_s: 600.0,
+            shards: 1,
+            path: SimPath::Fast,
+            dedup: true,
+            share_offsets: false,
+        }
+    }
+}
+
+/// The behaviour a framed connection drives — implemented by the real
+/// [`FleetDaemon`] and by the test-only mock plane, so protocol tests can
+/// run against the exact connection loop without simulating anything.
+pub trait ControlPlane: Send + Sync + 'static {
+    /// Handle one request (everything except `Subscribe`, which is
+    /// connection-level). Must not panic on any input.
+    fn handle(&self, req: Request) -> Response;
+
+    /// Register a telemetry subscriber: returns the current epoch and the
+    /// channel the plane will push per-epoch frames into. The plane closes
+    /// the channel (drops its sender) only after queueing every pending
+    /// frame plus a final [`Response::ShuttingDown`].
+    fn subscribe(&self) -> (u64, mpsc::Receiver<Response>);
+
+    /// True once a shutdown has been accepted.
+    fn shutting_down(&self) -> bool;
+
+    /// The Prometheus text `/metrics` serves.
+    fn metrics_text(&self) -> String;
+}
+
+/// The real control plane: a [`FleetRoster`] plus epoch state.
+pub struct FleetDaemon {
+    cfg: ServeConfig,
+    state: Mutex<RosterState>,
+    /// Serializes epochs: `Advance` and `Shutdown` both take this first,
+    /// so a shutdown always lets an in-flight round finish (and queue its
+    /// telemetry) before draining subscribers.
+    epoch_lock: Mutex<()>,
+    epochs: AtomicU64,
+    last_summary: Mutex<Option<FleetSummary>>,
+    subscribers: Mutex<Vec<mpsc::Sender<Response>>>,
+    stop: AtomicBool,
+}
+
+/// Roster plus the per-node hardware preset (needed to resolve a catalog
+/// app to a platform trace at submit time).
+struct RosterState {
+    roster: FleetRoster,
+    systems: HashMap<u64, SystemId>,
+}
+
+impl FleetDaemon {
+    /// A daemon in its initial state (empty roster, epoch 0).
+    #[must_use]
+    pub fn new(cfg: ServeConfig) -> Self {
+        Self {
+            cfg,
+            state: Mutex::new(RosterState {
+                roster: FleetRoster::new(),
+                systems: HashMap::new(),
+            }),
+            epoch_lock: Mutex::new(()),
+            epochs: AtomicU64::new(0),
+            last_summary: Mutex::new(None),
+            subscribers: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Completed epoch count.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::SeqCst)
+    }
+
+    /// Run one epoch at the current round boundary.
+    fn advance(&self) -> Response {
+        let _epoch = self.epoch_lock.lock();
+        let build = {
+            let mut st = self.state.lock();
+            let opts = RosterBuildOpts {
+                budget_s: self.cfg.budget_s,
+                shards: self.cfg.shards,
+                dedup: self.cfg.dedup,
+                share_offsets: self.cfg.share_offsets,
+            };
+            st.roster.build_fleet(&opts)
+            // Lock released here: the roster stays responsive (joins,
+            // leaves, snapshots) while the epoch runs below.
+        };
+        let (mut fleet, _ids) = match build {
+            Ok(built) => built,
+            Err(e) => {
+                return Response::Error {
+                    message: format!("advance failed: {e}"),
+                }
+            }
+        };
+        let summary = fleet.run(&governor_run_opts(&self.cfg.governor, self.cfg.path));
+        #[cfg(feature = "telemetry")]
+        let jsonl = magus_experiments::fleet::fleet_telemetry_jsonl(&mut fleet);
+        #[cfg(not(feature = "telemetry"))]
+        let jsonl = String::new();
+        let epoch = self.epochs.fetch_add(1, Ordering::SeqCst) + 1;
+        *self.last_summary.lock() = Some(summary.clone());
+        self.broadcast(Response::Telemetry { epoch, jsonl });
+        Response::Advanced {
+            epoch,
+            nodes: summary.nodes.len() as u64,
+            summary,
+        }
+    }
+
+    /// Queue one frame to every live subscriber, pruning closed channels.
+    fn broadcast(&self, frame: Response) {
+        self.subscribers
+            .lock()
+            .retain(|tx| tx.send(frame.clone()).is_ok());
+    }
+
+    /// Accept a shutdown: finish any in-flight epoch, then drain
+    /// subscribers (final frame + channel close).
+    fn shutdown(&self) -> Response {
+        let _epoch = self.epoch_lock.lock();
+        self.stop.store(true, Ordering::SeqCst);
+        let mut subs = self.subscribers.lock();
+        for tx in subs.iter() {
+            let _ = tx.send(Response::ShuttingDown);
+        }
+        subs.clear();
+        Response::ShuttingDown
+    }
+}
+
+impl ControlPlane for FleetDaemon {
+    fn handle(&self, req: Request) -> Response {
+        if let Err(message) = req.validate() {
+            return Response::Error { message };
+        }
+        match req {
+            Request::Hello { protocol } => {
+                if protocol == PROTOCOL_VERSION {
+                    Response::HelloOk {
+                        protocol: PROTOCOL_VERSION,
+                        server: concat!("magus-ctl/", env!("CARGO_PKG_VERSION")).to_string(),
+                    }
+                } else {
+                    Response::Error {
+                        message: format!(
+                            "unsupported protocol {protocol} (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    }
+                }
+            }
+            Request::JoinNode {
+                system,
+                count,
+                start_offset_us,
+            } => {
+                let mut st = self.state.lock();
+                let config = system.node_config();
+                let nodes: Vec<u64> = (0..count)
+                    .map(|_| {
+                        let id = st.roster.join(config.clone(), start_offset_us);
+                        st.systems.insert(id, system);
+                        id
+                    })
+                    .collect();
+                Response::Joined { nodes }
+            }
+            Request::LeaveNode { node } => {
+                let mut st = self.state.lock();
+                match st.roster.leave(node) {
+                    Ok(_) => {
+                        st.systems.remove(&node);
+                        Response::Left { node }
+                    }
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::SubmitWorkload { node, app } => {
+                let mut st = self.state.lock();
+                let Some(system) = st.systems.get(&node).copied() else {
+                    return Response::Error {
+                        message: format!("unknown fleet node id {node}"),
+                    };
+                };
+                let trace = app_trace(app, system.platform());
+                match st.roster.submit(node, trace) {
+                    Ok(()) => Response::Submitted { node },
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Advance => self.advance(),
+            Request::Snapshot => Response::SnapshotOk {
+                epoch: self.epochs(),
+                summary: self.last_summary.lock().clone(),
+                prometheus: self.metrics_text(),
+            },
+            // The connection loop intercepts Subscribe; reaching here
+            // means a caller bypassed it.
+            Request::Subscribe => Response::Error {
+                message: "subscribe is connection-level".into(),
+            },
+            Request::Shutdown => self.shutdown(),
+        }
+    }
+
+    fn subscribe(&self) -> (u64, mpsc::Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        self.subscribers.lock().push(tx);
+        (self.epochs(), rx)
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn metrics_text(&self) -> String {
+        fleet_prometheus(self.epochs(), self.last_summary.lock().as_ref())
+    }
+}
+
+/// `VmHWM` (peak resident set, kB) from `/proc/self/status`; `None` where
+/// the proc filesystem is unavailable (off-Linux), so callers report
+/// "unavailable" instead of a bogus zero.
+#[must_use]
+pub fn peak_rss_kb() -> Option<u64> {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+}
+
+/// Bind a listener, retrying transient failures with linear backoff
+/// (50 ms × attempt). Port 0 requests never collide, but explicit ports on
+/// loaded CI runners can race a previous process's TIME_WAIT socket.
+pub fn bind_with_retries(addr: &str, retries: u32) -> Result<TcpListener, CtlError> {
+    let mut last = None;
+    for attempt in 0..retries.max(1) {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => {
+                last = Some(e);
+                thread::sleep(Duration::from_millis(50 * u64::from(attempt + 1)));
+            }
+        }
+    }
+    Err(CtlError::Io(last.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::AddrNotAvailable, "bind failed")
+    })))
+}
+
+/// Dummy-connects to the daemon's own listeners so blocking `accept`
+/// calls observe the stop flag and unwind.
+struct Waker {
+    ctl: SocketAddr,
+    http: Option<SocketAddr>,
+}
+
+impl Waker {
+    fn wake(&self) {
+        let _ = TcpStream::connect(self.ctl);
+        if let Some(http) = self.http {
+            let _ = TcpStream::connect(http);
+        }
+    }
+}
+
+/// A bound (but not yet running) control-plane server over any
+/// [`ControlPlane`].
+pub struct Server<P: ControlPlane> {
+    plane: Arc<P>,
+    listener: TcpListener,
+    http: Option<TcpListener>,
+}
+
+impl<P: ControlPlane> Server<P> {
+    /// Bind the control socket (and the HTTP socket if requested) for
+    /// `plane`. Nothing is accepted until [`Server::run`].
+    pub fn bind(
+        ctl_addr: &str,
+        http_addr: Option<&str>,
+        bind_retries: u32,
+        plane: Arc<P>,
+    ) -> Result<Self, CtlError> {
+        let listener = bind_with_retries(ctl_addr, bind_retries)?;
+        let http = match http_addr {
+            Some(addr) => Some(bind_with_retries(addr, bind_retries)?),
+            None => None,
+        };
+        Ok(Self {
+            plane,
+            listener,
+            http,
+        })
+    }
+
+    /// The bound control-socket address (resolves port 0 to the chosen
+    /// port).
+    pub fn ctl_addr(&self) -> Result<SocketAddr, CtlError> {
+        self.listener.local_addr().map_err(CtlError::Io)
+    }
+
+    /// The bound HTTP address, when HTTP is enabled.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// The plane this server fronts.
+    #[must_use]
+    pub fn plane(&self) -> Arc<P> {
+        Arc::clone(&self.plane)
+    }
+
+    /// Serve until a [`Request::Shutdown`] is accepted, then join every
+    /// connection thread (so subscriber drains finish before return) and
+    /// exit.
+    pub fn run(self) -> Result<(), CtlError> {
+        let waker = Arc::new(Waker {
+            ctl: self.ctl_addr()?,
+            http: self.http_addr(),
+        });
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        if let Some(http) = self.http {
+            let plane = Arc::clone(&self.plane);
+            workers.push(thread::spawn(move || serve_http(&http, &plane)));
+        }
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) if self.plane.shutting_down() => break,
+                Err(_) => {
+                    // Transient accept failure (EMFILE, ...): back off and
+                    // keep serving.
+                    thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.plane.shutting_down() {
+                break;
+            }
+            let plane = Arc::clone(&self.plane);
+            let waker = Arc::clone(&waker);
+            workers.push(thread::spawn(move || serve_conn(stream, &plane, &waker)));
+            workers.retain(|w| !w.is_finished());
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// One framed connection: requests in, responses out, until EOF, a framing
+/// error, or shutdown. `Subscribe` flips the connection into push mode.
+fn serve_conn<P: ControlPlane>(stream: TcpStream, plane: &Arc<P>, waker: &Arc<Waker>) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match proto::read_message::<Request>(&mut reader) {
+            Ok(Some(req)) => req,
+            // Clean EOF: the client is done.
+            Ok(None) => return,
+            Err(err) => {
+                // Framing or validation failure: the stream may be
+                // unsynchronized, so report and drop the connection.
+                let _ = proto::write_message(
+                    &mut writer,
+                    &Response::Error {
+                        message: err.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        if matches!(req, Request::Subscribe) {
+            let (epoch, frames) = plane.subscribe();
+            if proto::write_message(&mut writer, &Response::Subscribed { epoch }).is_err() {
+                return;
+            }
+            // Drain until the plane closes the channel (shutdown): every
+            // queued frame — including the final ShuttingDown — is written
+            // before the socket drops.
+            while let Ok(frame) = frames.recv() {
+                if proto::write_message(&mut writer, &frame).is_err() {
+                    return;
+                }
+            }
+            return;
+        }
+        let was_shutdown = matches!(req, Request::Shutdown);
+        let resp = plane.handle(req);
+        let _ = proto::write_message(&mut writer, &resp);
+        if was_shutdown || plane.shutting_down() {
+            waker.wake();
+            return;
+        }
+    }
+}
+
+/// Minimal HTTP/1.1 loop: `GET /metrics` (Prometheus text), `GET /healthz`
+/// (liveness), 404 otherwise. One request per connection.
+fn serve_http<P: ControlPlane>(listener: &TcpListener, plane: &Arc<P>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) if plane.shutting_down() => return,
+            Err(_) => {
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if plane.shutting_down() {
+            return;
+        }
+        handle_http(stream, plane.as_ref());
+    }
+}
+
+/// Serve one HTTP exchange (errors are dropped with the connection).
+fn handle_http<P: ControlPlane>(stream: TcpStream, plane: &P) {
+    // The HTTP loop is serial; a stalled client must not wedge /metrics.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so the peer sees a clean close.
+    let mut line = String::new();
+    while reader.read_line(&mut line).is_ok_and(|n| n > 0) && !line.trim().is_empty() {
+        line.clear();
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            plane.metrics_text(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = writer.flush();
+}
+
+/// Bind a [`FleetDaemon`] server from `cfg`. The caller decides when to
+/// block in [`Server::run`] (after reporting the bound addresses, say).
+pub fn serve_fleet(cfg: ServeConfig) -> Result<Server<FleetDaemon>, CtlError> {
+    let ctl_addr = cfg.ctl_addr.clone();
+    let http_addr = cfg.http_addr.clone();
+    let retries = cfg.bind_retries;
+    let plane = Arc::new(FleetDaemon::new(cfg));
+    Server::bind(&ctl_addr, http_addr.as_deref(), retries, plane)
+}

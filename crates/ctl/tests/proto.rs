@@ -1,0 +1,213 @@
+//! Wire-protocol round-trip tests: the real [`CtlClient`] and the real
+//! connection loop, served over loopback sockets by the in-process
+//! [`MockServer`] — no simulator nodes anywhere, so these run in
+//! milliseconds. Raw-socket cases cover the codec's rejection paths
+//! (truncated frames, oversized headers, unknown variants) exactly as a
+//! misbehaving peer would produce them.
+
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+
+use magus_ctl::mockserver::{mock_jsonl, MockServer};
+use magus_ctl::proto::{self, Request, Response, MAX_FRAME_BYTES};
+use magus_ctl::{CtlClient, SubEvent};
+use magus_experiments::harness::SystemId;
+use magus_workloads::AppId;
+
+#[test]
+fn every_request_round_trips_through_the_real_client() {
+    let server = MockServer::spawn().expect("spawn mock server");
+    let plane = server.plane();
+
+    // `connect` performs the Hello round-trip.
+    let mut client = CtlClient::connect(server.addr()).expect("connect");
+
+    let nodes = client.join(SystemId::IntelA100, 3, 0).expect("join");
+    assert_eq!(nodes, vec![0, 1, 2]);
+
+    client.submit(1, AppId::Bfs).expect("submit");
+    client.leave(2).expect("leave");
+
+    let (epoch, summary) = client.advance().expect("advance");
+    assert_eq!(epoch, 1);
+    assert_eq!(summary.completed, 2, "3 joined - 1 left");
+
+    let snap = client.snapshot().expect("snapshot");
+    assert_eq!(snap.epoch, 1);
+    assert!(snap.summary.is_some());
+    assert!(snap.prometheus.contains("magus_mock_epochs 1"));
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server exits cleanly");
+
+    // The plane saw every request in order (Subscribe is connection-level
+    // and never reaches `handle`; it round-trips in the streaming tests).
+    let kinds: Vec<&'static str> = plane
+        .requests()
+        .iter()
+        .map(|r| match r {
+            Request::Hello { .. } => "hello",
+            Request::JoinNode { .. } => "join",
+            Request::SubmitWorkload { .. } => "submit",
+            Request::LeaveNode { .. } => "leave",
+            Request::Advance => "advance",
+            Request::Snapshot => "snapshot",
+            Request::Subscribe => "subscribe",
+            Request::Shutdown => "shutdown",
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        vec!["hello", "join", "submit", "leave", "advance", "snapshot", "shutdown"]
+    );
+}
+
+#[test]
+fn server_side_errors_become_typed_rejections() {
+    let server = MockServer::spawn().expect("spawn mock server");
+    let mut client = CtlClient::connect(server.addr()).expect("connect");
+    let err = client.leave(99).expect_err("unknown node");
+    assert!(
+        matches!(&err, magus_ctl::CtlError::Server(msg) if msg.contains("99")),
+        "{err}"
+    );
+    // The connection survives a rejected request.
+    assert_eq!(
+        client.join(SystemId::IntelA100, 1, 0).expect("join"),
+        vec![0]
+    );
+    client.shutdown().expect("shutdown");
+    server.join().expect("server exits cleanly");
+}
+
+#[test]
+fn subscription_streams_one_frame_per_epoch() {
+    let server = MockServer::spawn().expect("spawn mock server");
+    let mut driver = CtlClient::connect(server.addr()).expect("connect driver");
+    driver.join(SystemId::IntelA100, 1, 0).expect("join");
+
+    let mut sub = CtlClient::connect(server.addr())
+        .expect("connect subscriber")
+        .subscribe()
+        .expect("subscribe");
+    assert_eq!(sub.since_epoch, 0);
+
+    driver.advance().expect("advance 1");
+    driver.advance().expect("advance 2");
+    for epoch in [1, 2] {
+        assert_eq!(
+            sub.next_event().expect("stream frame"),
+            Some(SubEvent::Telemetry {
+                epoch,
+                jsonl: mock_jsonl(epoch),
+            })
+        );
+    }
+
+    driver.shutdown().expect("shutdown");
+    server.join().expect("server exits cleanly");
+}
+
+#[test]
+fn graceful_shutdown_drains_subscribers_before_close() {
+    let server = MockServer::spawn().expect("spawn mock server");
+    let mut driver = CtlClient::connect(server.addr()).expect("connect driver");
+    driver.join(SystemId::IntelA100, 2, 0).expect("join");
+
+    let mut sub = CtlClient::connect(server.addr())
+        .expect("connect subscriber")
+        .subscribe()
+        .expect("subscribe");
+
+    // Queue an epoch frame, then shut down *without* the subscriber
+    // reading anything: the pending telemetry must still be delivered,
+    // then the shutting-down frame, then a clean close — in that order.
+    driver.advance().expect("advance");
+    driver.shutdown().expect("shutdown");
+
+    assert_eq!(
+        sub.next_event()
+            .expect("queued telemetry survives shutdown"),
+        Some(SubEvent::Telemetry {
+            epoch: 1,
+            jsonl: mock_jsonl(1),
+        })
+    );
+    assert_eq!(
+        sub.next_event().expect("final frame"),
+        Some(SubEvent::ShuttingDown)
+    );
+    assert_eq!(sub.next_event().expect("clean close"), None);
+
+    server.join().expect("server exits cleanly");
+}
+
+/// Read the daemon's length-prefixed error reply off a raw socket.
+fn read_error(stream: &TcpStream) -> String {
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    match proto::read_message::<Response>(&mut reader) {
+        Ok(Some(Response::Error { message })) => message,
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_frames_get_an_error_frame_and_a_dropped_connection() {
+    let server = MockServer::spawn().expect("spawn mock server");
+    let mut stream = TcpStream::connect(server.addr()).expect("raw connect");
+
+    // Header promises 100 bytes; deliver 10 and half-close.
+    stream.write_all(&100u32.to_le_bytes()).expect("header");
+    stream.write_all(&[b'{'; 10]).expect("partial payload");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+
+    let message = read_error(&stream);
+    assert!(message.contains("truncated"), "{message}");
+    assert!(
+        message.contains("100") && message.contains("10"),
+        "{message}"
+    );
+
+    let mut driver = CtlClient::connect(server.addr()).expect("daemon still serves");
+    driver.shutdown().expect("shutdown");
+    server.join().expect("server exits cleanly");
+}
+
+#[test]
+fn oversized_headers_are_refused_without_reading_the_payload() {
+    let server = MockServer::spawn().expect("spawn mock server");
+    let mut stream = TcpStream::connect(server.addr()).expect("raw connect");
+
+    let len = (MAX_FRAME_BYTES as u32) + 1;
+    stream.write_all(&len.to_le_bytes()).expect("header");
+    stream.flush().expect("flush");
+
+    // The rejection arrives immediately — no payload was ever sent.
+    let message = read_error(&stream);
+    assert!(message.contains("oversized"), "{message}");
+
+    let mut driver = CtlClient::connect(server.addr()).expect("daemon still serves");
+    driver.shutdown().expect("shutdown");
+    server.join().expect("server exits cleanly");
+}
+
+#[test]
+fn unknown_variants_are_refused_with_the_serde_error() {
+    let server = MockServer::spawn().expect("spawn mock server");
+    let mut stream = TcpStream::connect(server.addr()).expect("raw connect");
+
+    let payload = br#"{"type":"frobnicate"}"#;
+    stream
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .expect("header");
+    stream.write_all(payload).expect("payload");
+    stream.flush().expect("flush");
+
+    let message = read_error(&stream);
+    assert!(message.contains("malformed"), "{message}");
+    assert!(message.contains("frobnicate"), "{message}");
+
+    let mut driver = CtlClient::connect(server.addr()).expect("daemon still serves");
+    driver.shutdown().expect("shutdown");
+    server.join().expect("server exits cleanly");
+}

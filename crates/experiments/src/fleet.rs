@@ -237,6 +237,21 @@ pub fn governor_run_opts(governor: &GovernorSpec, path: SimPath) -> RunOpts {
 /// a stagger so large a wave's start offset overflows the µs clock).
 #[must_use]
 pub fn run_fleet(spec: &FleetSpec) -> FleetRun {
+    let (run, _fleet) = run_fleet_keeping(spec);
+    run
+}
+
+/// Build (but do not run) the fleet a spec describes: N nodes with
+/// round-robin catalog apps on bulk-interned traces, staggered in catalog
+/// waves. This is the exact node sequence the control-plane daemon must
+/// reproduce through its roster for daemon-vs-batch bit-identity.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`magus_hetsim::fleet::FleetBuilder`]
+/// validation, as in [`run_fleet`].
+#[must_use]
+pub fn build_fleet(spec: &FleetSpec) -> FleetSim {
     let platform = spec.system.platform();
     let keys: Vec<(AppId, Platform)> = (0..spec.nodes).map(|i| (fleet_app(i), platform)).collect();
     let mut builder = FleetSim::builder(spec.max_s)
@@ -254,13 +269,51 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetRun {
     if let Some(plan) = &spec.faults {
         builder = builder.fault_plan(plan);
     }
-    let mut fleet = builder.build().expect("invalid FleetSpec");
+    builder.build().expect("invalid FleetSpec")
+}
+
+/// [`run_fleet`] returning the stepped [`FleetSim`] alongside the result,
+/// so callers can drain per-node telemetry afterwards.
+#[must_use]
+pub fn run_fleet_keeping(spec: &FleetSpec) -> (FleetRun, FleetSim) {
+    let mut fleet = build_fleet(spec);
     let summary = fleet.run(&governor_run_opts(&spec.governor, spec.path));
-    FleetRun {
+    let run = FleetRun {
         spec: spec.clone(),
         summary,
         shard_stats: fleet.shard_stats().to_vec(),
+    };
+    (run, fleet)
+}
+
+/// Render every node's drained telemetry event stream as one JSONL blob —
+/// one line per event, `{"node":N,` prepended to the event's canonical
+/// serialization. This byte stream is part of the bit-identity contract
+/// (identical across shard counts, stepping modes, and dedup settings) and
+/// is exactly what the control-plane daemon streams to subscribers, so the
+/// CI system test can `diff` daemon output against a batch run.
+#[cfg(feature = "telemetry")]
+#[must_use]
+pub fn fleet_telemetry_jsonl(fleet: &mut FleetSim) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (node, events) in fleet.take_node_events().into_iter().enumerate() {
+        for event in events {
+            let json = serde_json::to_string(&event).expect("event serializes");
+            writeln!(out, "{{\"node\":{node},{}", &json[1..]).expect("string write");
+        }
     }
+    out
+}
+
+/// [`run_fleet`] plus the fleet's telemetry JSONL rendering (drained after
+/// the run), for callers that need both the summary and the byte stream.
+#[cfg(feature = "telemetry")]
+#[must_use]
+pub fn run_fleet_with_telemetry(spec: &FleetSpec) -> (FleetRun, String) {
+    let (run, mut fleet) = run_fleet_keeping(spec);
+    let jsonl = fleet_telemetry_jsonl(&mut fleet);
+    (run, jsonl)
 }
 
 /// The fleet sweep the bench bin and CI gate run: an N-node fleet of the

@@ -67,9 +67,11 @@ pub use engine::{
     TrialSpec, WorkloadSel, ENGINE_SALT,
 };
 pub use fleet::{
-    default_fleet_dedup, fleet_sweep, governor_run_opts, run_fleet, set_default_fleet_dedup,
-    FleetRun, FleetSpec,
+    build_fleet, default_fleet_dedup, fleet_sweep, governor_run_opts, run_fleet, run_fleet_keeping,
+    set_default_fleet_dedup, FleetRun, FleetSpec,
 };
+#[cfg(feature = "telemetry")]
+pub use fleet::{fleet_telemetry_jsonl, run_fleet_with_telemetry};
 pub use harness::{
     default_fault_plan, run_trial, set_default_fault_plan, SimPath, SystemId, TrialBuilder,
     TrialOpts, TrialResult,

@@ -42,6 +42,7 @@ pub mod gpu;
 pub mod mem;
 pub mod node;
 pub mod power;
+pub mod roster;
 pub mod sim;
 #[cfg(feature = "telemetry")]
 pub mod telemetry;
@@ -58,6 +59,7 @@ pub use fleet::{
 };
 pub use node::{FastForward, Node};
 pub use power::PowerBreakdown;
+pub use roster::{FleetRoster, RosterBuildOpts, RosterEntry, RosterError};
 pub use sim::{RunSummary, Simulation};
 pub use trace::{TraceRecorder, TraceSample};
 pub use workload::{AppTrace, Phase};

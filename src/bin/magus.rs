@@ -6,19 +6,30 @@
 //! cargo run --release --bin magus -- suite --system intel-max1550
 //! ```
 //!
-//! Every command goes through the trial engine: results are cached under
-//! `results/cache/` by spec hash, trials are scheduled in parallel, and
-//! each run writes a manifest next to the cache. `--no-cache` / `--serial`
-//! (or `MAGUS_CACHE=off` / `MAGUS_SERIAL=1`) opt out.
+//! Every experiment command goes through the trial engine: results are
+//! cached under `results/cache/` by spec hash, trials are scheduled in
+//! parallel, and each run writes a manifest next to the cache.
+//! `--no-cache` / `--serial` (or `MAGUS_CACHE=off` / `MAGUS_SERIAL=1`)
+//! opt out. The fleet control plane lives behind `serve` (the daemon),
+//! `ctl` (the client), and `fleet` (the batch equivalent CI diffs
+//! daemon sessions against).
 
+use std::error::Error;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::{fs, io};
 
-use magus_suite::cli::{parse, usage, Command, EngineOpts, Invocation};
+use magus_suite::cli::{parse, usage, Command, CtlAction, EngineOpts, Invocation};
+use magus_suite::ctl::{
+    fleet_prometheus, peak_rss_kb, serve_fleet, CtlClient, ServeConfig, SubEvent,
+};
 use magus_suite::experiments::engine::{Engine, GovernorSpec, TrialSpec};
 use magus_suite::experiments::figures::{evaluate_app, fig4, fig7_sensitivity};
-use magus_suite::experiments::harness::SystemId;
+use magus_suite::experiments::fleet::{default_fleet_dedup, fleet_app, FleetRun, FleetSpec};
+use magus_suite::experiments::harness::{default_sim_path, SystemId};
 use magus_suite::experiments::pareto::{distance_to_frontier, pareto_frontier};
 use magus_suite::experiments::report::render_fig4_table;
+use magus_suite::hetsim::fleet::FleetSummary;
 use magus_suite::workloads::AppId;
 
 /// Build the trial engine for one invocation from the shared
@@ -119,7 +130,302 @@ fn main() -> ExitCode {
             amd(&engine);
             finish(&engine, "amd", &opts)
         }
+        Command::Serve {
+            addr,
+            http,
+            governor,
+            budget_s,
+            shards,
+        } => serve(addr, http, governor, budget_s, shards),
+        Command::Ctl { addr, action } => match run_ctl(&addr, action) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Fleet {
+            nodes,
+            system,
+            governor,
+            budget_s,
+            shards,
+            summary,
+        } => match fleet(
+            nodes,
+            system,
+            governor,
+            budget_s,
+            shards,
+            summary.as_deref(),
+            &opts,
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
     }
+}
+
+/// Boot the control-plane daemon and block until shutdown. The bound
+/// addresses go to stdout as `CTL_ADDR=`/`HTTP_ADDR=` lines (stdout is
+/// line-buffered, so a harness reading a pipe sees them immediately).
+fn serve(
+    addr: String,
+    http: Option<String>,
+    governor: GovernorSpec,
+    budget_s: f64,
+    shards: usize,
+) -> ExitCode {
+    let cfg = ServeConfig {
+        ctl_addr: addr,
+        http_addr: http,
+        governor,
+        budget_s,
+        shards,
+        path: default_sim_path(),
+        dedup: default_fleet_dedup(),
+        ..ServeConfig::default()
+    };
+    let server = match serve_fleet(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.ctl_addr() {
+        Ok(addr) => println!("CTL_ADDR={addr}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(addr) = server.http_addr() {
+        println!("HTTP_ADDR={addr}");
+    }
+    let result = server.run();
+    if let Some(kb) = peak_rss_kb() {
+        eprintln!("[serve] peak RSS {kb} kB");
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The fleet summary's file rendering, shared by every path that writes
+/// one (`ctl drive --summary`, `ctl snapshot`, `fleet --summary`) so the
+/// CI system test can byte-compare daemon and batch output.
+fn summary_json(summary: &FleetSummary) -> Result<String, serde_json::Error> {
+    Ok(format!("{}\n", serde_json::to_string_pretty(summary)?))
+}
+
+/// Write `contents` to `path`, creating parent directories as needed.
+fn write_file(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, contents)
+}
+
+/// Execute one `magus ctl` verb against a running daemon.
+fn run_ctl(addr: &str, action: CtlAction) -> Result<(), Box<dyn Error>> {
+    match action {
+        CtlAction::Join {
+            system,
+            count,
+            start_offset_us,
+        } => {
+            let nodes = CtlClient::connect(addr)?.join(system, count, start_offset_us)?;
+            match (nodes.first(), nodes.last()) {
+                (Some(first), Some(last)) if nodes.len() > 1 => {
+                    println!("joined nodes {first}..={last}");
+                }
+                (Some(first), _) => println!("joined node {first}"),
+                _ => println!("joined 0 nodes"),
+            }
+        }
+        CtlAction::Submit { node, app } => {
+            CtlClient::connect(addr)?.submit(node, app)?;
+            println!("submitted {app} on node {node}");
+        }
+        CtlAction::Leave { node } => {
+            CtlClient::connect(addr)?.leave(node)?;
+            println!("node {node} left");
+        }
+        CtlAction::Advance => {
+            let (epoch, summary) = CtlClient::connect(addr)?.advance()?;
+            println!(
+                "epoch {epoch}: {} node(s), {} completed, {:.0} J, makespan {:.2} s",
+                summary.nodes.len(),
+                summary.completed,
+                summary.total_j,
+                summary.makespan_s
+            );
+        }
+        CtlAction::Snapshot => {
+            let snap = CtlClient::connect(addr)?.snapshot()?;
+            eprintln!("[ctl] epoch {}", snap.epoch);
+            match &snap.summary {
+                Some(summary) => print!("{}", summary_json(summary)?),
+                None => println!("null"),
+            }
+        }
+        CtlAction::Metrics => {
+            print!("{}", CtlClient::connect(addr)?.snapshot()?.prometheus);
+        }
+        CtlAction::Watch => {
+            let mut sub = CtlClient::connect(addr)?.subscribe()?;
+            eprintln!("[ctl] subscribed at epoch {}", sub.since_epoch);
+            while let Some(event) = sub.next_event()? {
+                match event {
+                    SubEvent::Telemetry { epoch, jsonl } => {
+                        eprintln!("[ctl] epoch {epoch}");
+                        print!("{jsonl}");
+                    }
+                    SubEvent::ShuttingDown => {
+                        eprintln!("[ctl] daemon shutting down");
+                        break;
+                    }
+                }
+            }
+        }
+        CtlAction::Shutdown => {
+            CtlClient::connect(addr)?.shutdown()?;
+            eprintln!("[ctl] daemon shutting down");
+        }
+        CtlAction::Drive {
+            nodes,
+            system,
+            telemetry,
+            summary,
+            metrics,
+            shutdown,
+        } => drive(
+            addr, nodes, system, &telemetry, &summary, &metrics, shutdown,
+        )?,
+    }
+    Ok(())
+}
+
+/// One whole daemon session: join, submit round-robin catalog apps,
+/// advance one epoch, snapshot — writing the streamed telemetry, the
+/// summary JSON, and the Prometheus text to files. Byte-for-byte the
+/// output of `magus fleet` with the same size/system/governor.
+fn drive(
+    addr: &str,
+    nodes: u32,
+    system: SystemId,
+    telemetry: &Option<PathBuf>,
+    summary_path: &Option<PathBuf>,
+    metrics: &Option<PathBuf>,
+    shutdown: bool,
+) -> Result<(), Box<dyn Error>> {
+    let mut client = CtlClient::connect(addr)?;
+    let ids = client.join(system, nodes, 0)?;
+    for (i, id) in ids.iter().enumerate() {
+        client.submit(*id, fleet_app(i))?;
+    }
+    // Subscribe on a second connection *before* advancing so the epoch's
+    // telemetry broadcast cannot race past us.
+    let mut sub = CtlClient::connect(addr)?.subscribe()?;
+    let (epoch, summary) = client.advance()?;
+    let jsonl = loop {
+        match sub.next_event()? {
+            Some(SubEvent::Telemetry { epoch: e, jsonl }) if e == epoch => break jsonl,
+            Some(_) => {}
+            None => return Err("subscription closed before the epoch's telemetry frame".into()),
+        }
+    };
+    let snap = client.snapshot()?;
+    if let Some(path) = telemetry {
+        write_file(path, &jsonl)?;
+    }
+    if let Some(path) = summary_path {
+        write_file(path, &summary_json(&summary)?)?;
+    }
+    if let Some(path) = metrics {
+        write_file(path, &snap.prometheus)?;
+    }
+    eprintln!(
+        "[ctl] drove {} node(s) through epoch {epoch}: {} completed, {:.0} J",
+        ids.len(),
+        summary.completed,
+        summary.total_j
+    );
+    if shutdown {
+        client.shutdown()?;
+        // Drain the subscription: the daemon queues a final shutting-down
+        // frame and closes only after subscribers have read everything.
+        while sub.next_event()?.is_some() {}
+    }
+    Ok(())
+}
+
+/// The batch fleet run with the telemetry JSONL rendering (empty without
+/// the `telemetry` feature, matching what the daemon streams there).
+#[cfg(feature = "telemetry")]
+fn fleet_run_and_jsonl(spec: &FleetSpec) -> (FleetRun, String) {
+    magus_suite::experiments::fleet::run_fleet_with_telemetry(spec)
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn fleet_run_and_jsonl(spec: &FleetSpec) -> (FleetRun, String) {
+    (
+        magus_suite::experiments::fleet::run_fleet(spec),
+        String::new(),
+    )
+}
+
+/// In-process batch equivalent of a daemon drive session, writing the
+/// same bytes to the same three artefacts (`--telemetry` JSONL + `.prom`
+/// sibling, `--summary` JSON) so CI can diff the two paths.
+fn fleet(
+    nodes: usize,
+    system: SystemId,
+    governor: GovernorSpec,
+    budget_s: f64,
+    shards: usize,
+    summary_path: Option<&Path>,
+    opts: &EngineOpts,
+) -> Result<(), Box<dyn Error>> {
+    let spec = FleetSpec {
+        system,
+        max_s: budget_s,
+        shards,
+        ..FleetSpec::new(governor, nodes)
+    };
+    let (run, jsonl) = fleet_run_and_jsonl(&spec);
+    println!(
+        "fleet of {nodes}: {} completed, {:.0} J, makespan {:.2} s ({} decisions)",
+        run.summary.completed, run.summary.total_j, run.summary.makespan_s, run.summary.decisions
+    );
+    if let Some(path) = &opts.telemetry {
+        write_file(path, &jsonl)?;
+        // One epoch ran: the .prom sibling matches the daemon's /metrics
+        // after a single advance of the same fleet.
+        write_file(
+            &path.with_extension("prom"),
+            &fleet_prometheus(1, Some(&run.summary)),
+        )?;
+        eprintln!(
+            "[fleet] telemetry written to {} (+ {})",
+            path.display(),
+            path.with_extension("prom").display()
+        );
+    }
+    if let Some(path) = summary_path {
+        write_file(path, &summary_json(&run.summary)?)?;
+    }
+    Ok(())
 }
 
 fn list() {

@@ -77,8 +77,98 @@ pub enum Command {
     },
     /// The §6.6 AMD/HSMP portability demonstration.
     Amd,
+    /// Run the fleet control-plane daemon.
+    Serve {
+        /// Control-socket bind address (port 0 picks a free port).
+        addr: String,
+        /// HTTP `/metrics` bind address (`None` = HTTP disabled).
+        http: Option<String>,
+        /// Governor every fleet node runs.
+        governor: GovernorSpec,
+        /// Per-node simulated-time budget per epoch (s).
+        budget_s: f64,
+        /// Fleet-kernel shard count.
+        shards: usize,
+    },
+    /// Drive a running control-plane daemon.
+    Ctl {
+        /// Daemon control-socket address.
+        addr: String,
+        /// The verb to execute.
+        action: CtlAction,
+    },
+    /// Batch fleet run (the in-process equivalent of a daemon session,
+    /// used by CI to byte-compare the two).
+    Fleet {
+        /// Fleet size (round-robin catalog apps).
+        nodes: usize,
+        /// Hardware preset every node uses.
+        system: SystemId,
+        /// Governor every node runs.
+        governor: GovernorSpec,
+        /// Per-node simulated-time budget (s).
+        budget_s: f64,
+        /// Fleet-kernel shard count.
+        shards: usize,
+        /// Write the fleet summary JSON here.
+        summary: Option<std::path::PathBuf>,
+    },
     /// Print usage.
     Help,
+}
+
+/// One `magus ctl` verb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtlAction {
+    /// Enroll nodes.
+    Join {
+        /// Hardware preset for the batch.
+        system: SystemId,
+        /// Number of nodes.
+        count: u32,
+        /// Start offset on the fleet clock (µs).
+        start_offset_us: u64,
+    },
+    /// Stage a workload on a node.
+    Submit {
+        /// Target node id.
+        node: u64,
+        /// Catalog application.
+        app: AppId,
+    },
+    /// Remove a node.
+    Leave {
+        /// Target node id.
+        node: u64,
+    },
+    /// Run one epoch.
+    Advance,
+    /// Print the daemon's state (epoch, summary JSON).
+    Snapshot,
+    /// Print the daemon's Prometheus metrics text.
+    Metrics,
+    /// Subscribe and print telemetry frames until the daemon shuts down.
+    Watch,
+    /// Gracefully stop the daemon.
+    Shutdown,
+    /// Whole-session convenience: join `nodes` nodes, submit round-robin
+    /// catalog apps, advance one epoch, snapshot — writing the streamed
+    /// telemetry, summary JSON, and Prometheus text to files. This is the
+    /// session the CI system test byte-compares against `magus fleet`.
+    Drive {
+        /// Fleet size.
+        nodes: u32,
+        /// Hardware preset every node uses.
+        system: SystemId,
+        /// Write the subscribed telemetry JSONL here.
+        telemetry: Option<std::path::PathBuf>,
+        /// Write the epoch's summary JSON here.
+        summary: Option<std::path::PathBuf>,
+        /// Write the snapshot's Prometheus text here.
+        metrics: Option<std::path::PathBuf>,
+        /// Also shut the daemon down at the end of the session.
+        shutdown: bool,
+    },
 }
 
 /// Parse errors with user-facing messages.
@@ -161,6 +251,31 @@ fn parse_governor(s: &str) -> Result<GovernorSpec, ParseError> {
     )))
 }
 
+/// Take an optional flag and parse its value, falling back to `default`
+/// when the flag is absent.
+fn take_parsed<T: std::str::FromStr>(
+    rest: &mut Vec<String>,
+    flag: &str,
+    default: T,
+) -> Result<T, ParseError> {
+    take_flag(rest, flag)
+        .map(|v| v.parse::<T>())
+        .transpose()
+        .map_err(|_| ParseError(format!("bad {flag}")))
+        .map(|v| v.unwrap_or(default))
+}
+
+/// Take a required flag and parse its value.
+fn take_required<T: std::str::FromStr>(
+    rest: &mut Vec<String>,
+    flag: &str,
+) -> Result<T, ParseError> {
+    take_flag(rest, flag)
+        .ok_or_else(|| ParseError(format!("missing required {flag}")))?
+        .parse::<T>()
+        .map_err(|_| ParseError(format!("bad {flag}")))
+}
+
 /// Parse a full argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut args: Vec<String> = args.to_vec();
@@ -233,6 +348,113 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         }
         "powercap" => Command::Powercap,
         "amd" => Command::Amd,
+        "serve" => {
+            let addr = take_flag(&mut rest, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+            let http = if take_switch(&mut rest, "--no-http") {
+                None
+            } else {
+                Some(take_flag(&mut rest, "--http").unwrap_or_else(|| "127.0.0.1:0".into()))
+            };
+            let governor = parse_governor(
+                &take_flag(&mut rest, "--runtime").unwrap_or_else(|| "default".into()),
+            )?;
+            let budget_s: f64 = take_parsed(&mut rest, "--budget", 600.0)?;
+            if !(budget_s.is_finite() && budget_s > 0.0) {
+                return Err(ParseError("--budget must be positive".into()));
+            }
+            let shards: usize = take_parsed(&mut rest, "--shards", 1)?;
+            if shards == 0 {
+                return Err(ParseError("--shards must be positive".into()));
+            }
+            Command::Serve {
+                addr,
+                http,
+                governor,
+                budget_s,
+                shards,
+            }
+        }
+        "ctl" => {
+            let addr = take_flag(&mut rest, "--addr")
+                .ok_or(ParseError("ctl requires --addr (see `magus serve`)".into()))?;
+            let Some((verb, verb_rest)) = rest.split_first() else {
+                return Err(ParseError(
+                    "ctl requires a verb: join | submit | leave | advance | snapshot | metrics \
+                     | watch | shutdown | drive"
+                        .into(),
+                ));
+            };
+            let verb = verb.clone();
+            let mut rest2: Vec<String> = verb_rest.to_vec();
+            let action = match verb.as_str() {
+                "join" => CtlAction::Join {
+                    system: parse_system(
+                        &take_flag(&mut rest2, "--system").unwrap_or_else(|| "intel-a100".into()),
+                    )?,
+                    count: take_parsed(&mut rest2, "--count", 1u32)?,
+                    start_offset_us: take_parsed(&mut rest2, "--offset-us", 0u64)?,
+                },
+                "submit" => CtlAction::Submit {
+                    node: take_required(&mut rest2, "--node")?,
+                    app: parse_app(
+                        &take_flag(&mut rest2, "--app")
+                            .ok_or(ParseError("submit requires --app".into()))?,
+                    )?,
+                },
+                "leave" => CtlAction::Leave {
+                    node: take_required(&mut rest2, "--node")?,
+                },
+                "advance" => CtlAction::Advance,
+                "snapshot" => CtlAction::Snapshot,
+                "metrics" => CtlAction::Metrics,
+                "watch" => CtlAction::Watch,
+                "shutdown" => CtlAction::Shutdown,
+                "drive" => CtlAction::Drive {
+                    nodes: take_required(&mut rest2, "--nodes")?,
+                    system: parse_system(
+                        &take_flag(&mut rest2, "--system").unwrap_or_else(|| "intel-a100".into()),
+                    )?,
+                    // `--telemetry` is a global engine flag (stripped by
+                    // EngineOpts above), reused here as the JSONL sink so
+                    // drive and `magus fleet` spell it identically.
+                    telemetry: engine.telemetry.clone(),
+                    summary: take_flag(&mut rest2, "--summary").map(Into::into),
+                    metrics: take_flag(&mut rest2, "--metrics").map(Into::into),
+                    shutdown: take_switch(&mut rest2, "--shutdown"),
+                },
+                other => return Err(ParseError(format!("unknown ctl verb '{other}'"))),
+            };
+            rest = rest2;
+            Command::Ctl { addr, action }
+        }
+        "fleet" => {
+            let nodes: usize = take_required(&mut rest, "--nodes")?;
+            if nodes == 0 {
+                return Err(ParseError("--nodes must be positive".into()));
+            }
+            let system = parse_system(
+                &take_flag(&mut rest, "--system").unwrap_or_else(|| "intel-a100".into()),
+            )?;
+            let governor = parse_governor(
+                &take_flag(&mut rest, "--runtime").unwrap_or_else(|| "default".into()),
+            )?;
+            let budget_s: f64 = take_parsed(&mut rest, "--budget", 600.0)?;
+            if !(budget_s.is_finite() && budget_s > 0.0) {
+                return Err(ParseError("--budget must be positive".into()));
+            }
+            let shards: usize = take_parsed(&mut rest, "--shards", 1)?;
+            if shards == 0 {
+                return Err(ParseError("--shards must be positive".into()));
+            }
+            Command::Fleet {
+                nodes,
+                system,
+                governor,
+                budget_s,
+                shards,
+                summary: take_flag(&mut rest, "--summary").map(Into::into),
+            }
+        }
         "variance" => {
             let app = parse_app(
                 &take_flag(&mut rest, "--app")
@@ -271,7 +493,25 @@ USAGE:
   magus powercap
   magus variance --app <name> [--replicates <n>]
   magus amd
+  magus serve [--addr <ip:port>] [--http <ip:port> | --no-http]
+              [--runtime <gov>] [--budget <s>] [--shards <n>]
+  magus ctl --addr <ip:port> <verb> [...]
+  magus fleet --nodes <n> [--system <sys>] [--runtime <gov>] [--budget <s>]
+              [--shards <n>] [--summary <file>]
 
+CONTROL:   `serve` runs the fleet control-plane daemon: it prints
+           CTL_ADDR=<ip:port> and HTTP_ADDR=<ip:port> on stdout (bind with
+           port 0 and parse these to avoid collisions), then serves the
+           wire protocol on the control socket and Prometheus text on HTTP
+           GET /metrics until a shutdown request. `ctl` drives it: verbs
+           join [--system <sys>] [--count <n>] [--offset-us <µs>],
+           submit --node <id> --app <name>, leave --node <id>, advance,
+           snapshot, metrics, watch, shutdown, and
+           drive --nodes <n> [--system <sys>] [--telemetry <file>]
+           [--summary <file>] [--metrics <file>] [--shutdown] — a whole
+           join/submit/advance/snapshot session whose outputs are
+           byte-identical to `magus fleet` with the same spec (with
+           --telemetry, `fleet` writes the same JSONL + .prom pair).
 GOVERNORS: default | magus | ups | fixed:<ghz> | magus:<k=v,...>
            (magus keys: inc, dec, hf, interval_ms — validated before use)
 ENGINE:    --no-cache (always simulate), --serial (one trial at a time),
@@ -541,9 +781,169 @@ mod tests {
             "--faults",
             "--no-dedup",
             ".prom",
+            "serve",
+            "ctl",
+            "fleet",
+            "drive",
+            "/metrics",
+            "CTL_ADDR",
+            "HTTP_ADDR",
         ] {
             assert!(u.contains(word), "{word}");
         }
+    }
+
+    #[test]
+    fn serve_parses_with_defaults() {
+        assert_eq!(
+            cmd(&["serve"]),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                http: Some("127.0.0.1:0".into()),
+                governor: GovernorSpec::Default,
+                budget_s: 600.0,
+                shards: 1,
+            }
+        );
+        assert_eq!(
+            cmd(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:7700",
+                "--no-http",
+                "--runtime",
+                "magus",
+                "--budget",
+                "45",
+                "--shards",
+                "4",
+            ]),
+            Command::Serve {
+                addr: "127.0.0.1:7700".into(),
+                http: None,
+                governor: GovernorSpec::magus_default(),
+                budget_s: 45.0,
+                shards: 4,
+            }
+        );
+        assert!(parse(&v(&["serve", "--budget", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--shards", "0"])).is_err());
+    }
+
+    #[test]
+    fn ctl_verbs_parse() {
+        assert_eq!(
+            cmd(&["ctl", "--addr", "127.0.0.1:7700", "join", "--count", "64"]),
+            Command::Ctl {
+                addr: "127.0.0.1:7700".into(),
+                action: CtlAction::Join {
+                    system: SystemId::IntelA100,
+                    count: 64,
+                    start_offset_us: 0,
+                },
+            }
+        );
+        assert_eq!(
+            cmd(&["ctl", "--addr", "h:1", "submit", "--node", "3", "--app", "bfs"]),
+            Command::Ctl {
+                addr: "h:1".into(),
+                action: CtlAction::Submit {
+                    node: 3,
+                    app: AppId::Bfs,
+                },
+            }
+        );
+        for (verb, action) in [
+            ("advance", CtlAction::Advance),
+            ("snapshot", CtlAction::Snapshot),
+            ("metrics", CtlAction::Metrics),
+            ("watch", CtlAction::Watch),
+            ("shutdown", CtlAction::Shutdown),
+        ] {
+            assert_eq!(
+                cmd(&["ctl", "--addr", "h:1", verb]),
+                Command::Ctl {
+                    addr: "h:1".into(),
+                    action,
+                }
+            );
+        }
+        assert_eq!(
+            cmd(&[
+                "ctl",
+                "--addr",
+                "h:1",
+                "drive",
+                "--nodes",
+                "64",
+                "--telemetry",
+                "t.jsonl",
+                "--summary",
+                "s.json",
+                "--metrics",
+                "m.prom",
+                "--shutdown",
+            ]),
+            Command::Ctl {
+                addr: "h:1".into(),
+                action: CtlAction::Drive {
+                    nodes: 64,
+                    system: SystemId::IntelA100,
+                    telemetry: Some(PathBuf::from("t.jsonl")),
+                    summary: Some(PathBuf::from("s.json")),
+                    metrics: Some(PathBuf::from("m.prom")),
+                    shutdown: true,
+                },
+            }
+        );
+        assert!(parse(&v(&["ctl", "advance"])).is_err(), "missing --addr");
+        assert!(
+            parse(&v(&["ctl", "--addr", "h:1"])).is_err(),
+            "missing verb"
+        );
+        assert!(parse(&v(&["ctl", "--addr", "h:1", "frobnicate"])).is_err());
+        assert!(parse(&v(&["ctl", "--addr", "h:1", "leave"])).is_err());
+        assert!(parse(&v(&["ctl", "--addr", "h:1", "advance", "stray"])).is_err());
+    }
+
+    #[test]
+    fn fleet_parses_with_defaults() {
+        assert_eq!(
+            cmd(&["fleet", "--nodes", "64"]),
+            Command::Fleet {
+                nodes: 64,
+                system: SystemId::IntelA100,
+                governor: GovernorSpec::Default,
+                budget_s: 600.0,
+                shards: 1,
+                summary: None,
+            }
+        );
+        assert_eq!(
+            cmd(&[
+                "fleet",
+                "--nodes",
+                "8",
+                "--runtime",
+                "magus",
+                "--budget",
+                "45",
+                "--shards",
+                "2",
+                "--summary",
+                "s.json",
+            ]),
+            Command::Fleet {
+                nodes: 8,
+                system: SystemId::IntelA100,
+                governor: GovernorSpec::magus_default(),
+                budget_s: 45.0,
+                shards: 2,
+                summary: Some(PathBuf::from("s.json")),
+            }
+        );
+        assert!(parse(&v(&["fleet"])).is_err(), "missing --nodes");
+        assert!(parse(&v(&["fleet", "--nodes", "0"])).is_err());
     }
 
     #[test]

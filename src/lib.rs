@@ -13,10 +13,12 @@
 //! * [`ups`] — the UPScavenger baseline.
 //! * [`experiments`] — the evaluation harness (systems, trials, metrics).
 //! * [`telemetry`] — metric registry + structured decision-event log.
+//! * [`ctl`] — the fleet control plane: daemon, wire protocol, client.
 
 pub mod cli;
 pub mod shared;
 
+pub use magus_ctl as ctl;
 pub use magus_experiments as experiments;
 pub use magus_hetsim as hetsim;
 pub use magus_msr as msr;

@@ -1,0 +1,216 @@
+//! Control-plane end-to-end tests: a real [`FleetDaemon`] on loopback
+//! sockets, driven through the real [`CtlClient`], must be
+//! indistinguishable from the in-process batch harness — the
+//! `FleetSummary` bit-identical, the streamed telemetry JSONL
+//! byte-identical, and `/metrics` serving the exact Prometheus text the
+//! batch rendering produces. These are the in-process counterparts of
+//! CI's `control-plane-systemtest` job.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+
+use magus_suite::ctl::{
+    bind_with_retries, fleet_prometheus, peak_rss_kb, serve_fleet, CtlClient, ServeConfig,
+    SubEvent, Subscription,
+};
+use magus_suite::experiments::engine::GovernorSpec;
+use magus_suite::experiments::fleet::{fleet_app, FleetSpec};
+use magus_suite::experiments::harness::{SimPath, SystemId};
+use magus_suite::hetsim::fleet::FleetSummary;
+
+const NODES: u32 = 8;
+const BUDGET_S: f64 = 60.0;
+
+/// The daemon configuration the whole file drives (ephemeral ports, MAGUS
+/// governor, explicit stepping path so process defaults cannot leak in).
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        governor: GovernorSpec::magus_default(),
+        budget_s: BUDGET_S,
+        shards: 1,
+        path: SimPath::Fast,
+        dedup: true,
+        share_offsets: false,
+        ..ServeConfig::default()
+    }
+}
+
+/// The batch spec equivalent to a drive session of `nodes` nodes against
+/// [`test_config`]'s daemon.
+fn batch_spec(nodes: usize) -> FleetSpec {
+    FleetSpec {
+        system: SystemId::IntelA100,
+        governor: GovernorSpec::magus_default(),
+        nodes,
+        max_s: BUDGET_S,
+        shards: 1,
+        path: SimPath::Fast,
+        faults: None,
+        dedup: true,
+        stagger_us: 0,
+        share_offsets: false,
+    }
+}
+
+/// Run the batch fleet and return (summary, telemetry JSONL). Without the
+/// `telemetry` feature the JSONL is empty on both paths, so the byte
+/// comparison still holds.
+#[cfg(feature = "telemetry")]
+fn batch_run(nodes: usize) -> (FleetSummary, String) {
+    let (run, jsonl) =
+        magus_suite::experiments::fleet::run_fleet_with_telemetry(&batch_spec(nodes));
+    (run.summary, jsonl)
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn batch_run(nodes: usize) -> (FleetSummary, String) {
+    let run = magus_suite::experiments::fleet::run_fleet(&batch_spec(nodes));
+    (run.summary, String::new())
+}
+
+/// Block until the subscription yields `epoch`'s telemetry frame.
+fn telemetry_frame(sub: &mut Subscription, epoch: u64) -> String {
+    loop {
+        match sub.next_event().expect("subscription frame") {
+            Some(SubEvent::Telemetry { epoch: e, jsonl }) if e == epoch => return jsonl,
+            Some(_) => {}
+            None => panic!("subscription closed before epoch {epoch}'s frame"),
+        }
+    }
+}
+
+/// One blocking HTTP/1.0-style exchange; returns the response body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("http connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: magus\r\nConnection: close\r\n\r\n"
+    )
+    .expect("http request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("http response");
+    let (headers, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    assert!(headers.starts_with("HTTP/1.1 200 OK"), "{headers}");
+    body.to_string()
+}
+
+#[test]
+fn daemon_session_is_bit_identical_to_batch_fleet() {
+    let server = serve_fleet(test_config()).expect("bind daemon");
+    let ctl_addr = server.ctl_addr().expect("ctl addr");
+    let http_addr = server.http_addr().expect("http addr");
+    let runner = thread::spawn(move || server.run());
+
+    let mut client = CtlClient::connect(ctl_addr).expect("connect");
+    let ids = client
+        .join(SystemId::IntelA100, NODES, 0)
+        .expect("join nodes");
+    assert_eq!(ids.len(), NODES as usize);
+    for (i, id) in ids.iter().enumerate() {
+        client.submit(*id, fleet_app(i)).expect("submit workload");
+    }
+
+    // Subscribe on a second connection before advancing, exactly as
+    // `magus ctl drive` does.
+    let mut sub = CtlClient::connect(ctl_addr)
+        .expect("connect subscriber")
+        .subscribe()
+        .expect("subscribe");
+
+    let (epoch, daemon_summary) = client.advance().expect("advance");
+    assert_eq!(epoch, 1);
+    let daemon_jsonl = telemetry_frame(&mut sub, epoch);
+
+    let (batch_summary, batch_jsonl) = batch_run(NODES as usize);
+    assert_eq!(
+        daemon_summary, batch_summary,
+        "daemon epoch diverged from the batch fleet"
+    );
+    assert_eq!(
+        daemon_jsonl, batch_jsonl,
+        "streamed telemetry diverged from the batch rendering"
+    );
+
+    // The snapshot's Prometheus text is the pure rendering of (epochs,
+    // summary) — equal to the batch side's by summary bit-identity.
+    let snap = client.snapshot().expect("snapshot");
+    assert_eq!(snap.epoch, 1);
+    assert_eq!(snap.summary.as_ref(), Some(&batch_summary));
+    assert_eq!(snap.prometheus, fleet_prometheus(1, Some(&batch_summary)));
+
+    // `GET /metrics` serves the same bytes the protocol snapshot carries.
+    assert_eq!(http_get(http_addr, "/metrics"), snap.prometheus);
+    assert_eq!(http_get(http_addr, "/healthz"), "ok\n");
+
+    // Membership changes take effect at the next round boundary: after a
+    // leave, the next epoch equals a batch fleet of the remaining nodes.
+    client
+        .leave(*ids.last().expect("joined ids"))
+        .expect("leave");
+    let (epoch, daemon_summary) = client.advance().expect("advance after leave");
+    assert_eq!(epoch, 2);
+    let daemon_jsonl = telemetry_frame(&mut sub, epoch);
+    let (batch_summary, batch_jsonl) = batch_run(NODES as usize - 1);
+    assert_eq!(daemon_summary, batch_summary);
+    assert_eq!(daemon_jsonl, batch_jsonl);
+
+    client.shutdown().expect("shutdown");
+    // Graceful drain: the stream ends with a shutting-down frame, then a
+    // clean close — and the server loop exits once subscribers finish.
+    loop {
+        match sub.next_event().expect("drain") {
+            Some(SubEvent::ShuttingDown) => {}
+            Some(SubEvent::Telemetry { .. }) => {}
+            None => break,
+        }
+    }
+    runner
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+}
+
+#[test]
+fn advancing_an_empty_or_dormant_roster_is_a_typed_error() {
+    let server = serve_fleet(test_config()).expect("bind daemon");
+    let ctl_addr = server.ctl_addr().expect("ctl addr");
+    let runner = thread::spawn(move || server.run());
+
+    let mut client = CtlClient::connect(ctl_addr).expect("connect");
+    let err = client.advance().expect_err("empty roster cannot advance");
+    assert!(
+        matches!(&err, magus_suite::ctl::CtlError::Server(_)),
+        "{err}"
+    );
+
+    // Joined-but-dormant nodes (no workload submitted) don't arm the
+    // fleet either.
+    client.join(SystemId::IntelA100, 2, 0).expect("join");
+    let err = client.advance().expect_err("dormant roster cannot advance");
+    assert!(
+        matches!(&err, magus_suite::ctl::CtlError::Server(_)),
+        "{err}"
+    );
+
+    client.shutdown().expect("shutdown");
+    runner
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+}
+
+#[test]
+fn platform_guards_and_bind_retries_hold() {
+    // VmHWM is always present on Linux; elsewhere the guard returns None
+    // instead of failing.
+    if cfg!(target_os = "linux") {
+        assert!(peak_rss_kb().expect("VmHWM on Linux") > 0);
+    } else {
+        let _ = peak_rss_kb();
+    }
+    let listener = bind_with_retries("127.0.0.1:0", 3).expect("ephemeral bind");
+    assert_ne!(listener.local_addr().expect("local addr").port(), 0);
+}

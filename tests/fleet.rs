@@ -136,19 +136,10 @@ fn shard_total(
 }
 
 /// Render every node's drained telemetry event stream as one JSONL blob —
-/// the byte-level artifact the bit-identity contract covers.
+/// the byte-level artifact the bit-identity contract covers. (Shared with
+/// the control-plane daemon, which streams the same bytes to subscribers.)
 #[cfg(feature = "telemetry")]
-fn telemetry_jsonl(fleet: &mut FleetSim) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    for (node, events) in fleet.take_node_events().into_iter().enumerate() {
-        for event in events {
-            let json = serde_json::to_string(&event).expect("event serializes");
-            writeln!(out, "{{\"node\":{node},{}", &json[1..]).expect("string write");
-        }
-    }
-    out
-}
+use magus_suite::experiments::fleet::fleet_telemetry_jsonl as telemetry_jsonl;
 
 /// The tentpole's core contract: under a fault plan mixing sensor faults
 /// (access-counted, per node) and fleet-level stall/crash schedules
