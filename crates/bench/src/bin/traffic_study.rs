@@ -1,0 +1,40 @@
+//! Traffic study: governor energy savings and deadline misses under
+//! multi-tenant load.
+//!
+//! Sweeps the seeded traffic tiers (light / steady / diurnal / bursty)
+//! across an N-node fleet under {default, MAGUS, UPS}; every row compares
+//! a governor against the same-tier stock baseline. Deterministic: the
+//! table is bit-identical across runs, shard counts, and stepping paths.
+//! Regenerate `results/traffic.txt` with:
+//!
+//! ```text
+//! cargo run --release -p magus-bench --bin traffic_study > results/traffic.txt
+//! ```
+//!
+//! Options: `--nodes N` (default 12) sets the fleet size.
+
+use magus_experiments::{render_traffic_report, traffic_study};
+
+fn main() {
+    let mut nodes = 12usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--nodes takes a positive integer");
+            }
+            other => panic!("unknown argument: {other} (supported: --nodes N)"),
+        }
+    }
+    let evals = traffic_study(nodes, 600.0);
+    print!("{}", render_traffic_report(nodes, &evals));
+    let worst_miss = evals
+        .iter()
+        .flat_map(|e| e.rows.iter())
+        .map(magus_experiments::GovernorRow::miss_pct)
+        .fold(0.0f64, f64::max);
+    println!("\nworst deadline-miss rate across tiers and governors: {worst_miss:.1}%");
+}

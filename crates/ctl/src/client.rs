@@ -12,7 +12,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use magus_experiments::harness::SystemId;
 use magus_hetsim::fleet::FleetSummary;
-use magus_workloads::AppId;
+use magus_workloads::{AppId, TrafficSpec};
 
 use crate::proto::{self, Request, Response, PROTOCOL_VERSION};
 use crate::CtlError;
@@ -126,7 +126,27 @@ impl CtlClient {
 
     /// Stage a catalog workload on one node.
     pub fn submit(&mut self, node: u64, app: AppId) -> Result<(), CtlError> {
-        match self.call(&Request::SubmitWorkload { node, app })? {
+        match self.call(&Request::SubmitWorkload {
+            node,
+            app: Some(app),
+            traffic: None,
+        })? {
+            Response::Submitted { .. } => Ok(()),
+            Response::Error { message } => Err(CtlError::Server(message)),
+            other => Err(unexpected("submitted", &other)),
+        }
+    }
+
+    /// Stage one slot of a multi-tenant traffic expansion on one node. The
+    /// daemon expands `spec` at its end — only the generator parameters
+    /// cross the wire — and the node runs the expansion slot addressed by
+    /// its fleet id.
+    pub fn submit_traffic(&mut self, node: u64, spec: TrafficSpec) -> Result<(), CtlError> {
+        match self.call(&Request::SubmitWorkload {
+            node,
+            app: None,
+            traffic: Some(spec),
+        })? {
             Response::Submitted { .. } => Ok(()),
             Response::Error { message } => Err(CtlError::Server(message)),
             other => Err(unexpected("submitted", &other)),

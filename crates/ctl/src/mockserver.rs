@@ -34,6 +34,10 @@ pub fn mock_summary(nodes: u64) -> FleetSummary {
         node_progress_s: Vec::new(),
         crashed: 0,
         node_fault_counters: Vec::new(),
+        deadline_jobs: 0,
+        deadline_misses: 0,
+        node_deadline_misses: Vec::new(),
+        tenant_energy_j: Vec::new(),
     }
 }
 

@@ -23,7 +23,7 @@ use std::io::{self, Read, Write};
 
 use magus_experiments::harness::SystemId;
 use magus_hetsim::fleet::FleetSummary;
-use magus_workloads::AppId;
+use magus_workloads::{AppId, TrafficSpec};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
@@ -195,12 +195,22 @@ pub enum Request {
         node: u64,
     },
     /// Submit (or replace) the workload one node runs from the next round
-    /// boundary on.
+    /// boundary on: either a catalog application or one node of a
+    /// multi-tenant traffic expansion — exactly one of `app` / `traffic`
+    /// must be set (checked by [`Request::validate`]). Pre-traffic clients
+    /// that send only `app` keep their wire shape: `traffic` has a serde
+    /// default of absent.
     SubmitWorkload {
         /// Target node id.
         node: u64,
         /// Catalog application to run.
-        app: AppId,
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        app: Option<AppId>,
+        /// Traffic spec whose expansion slot `node` runs instead of a
+        /// catalog app (the generator parameters travel on the wire, never
+        /// the expanded trace).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        traffic: Option<TrafficSpec>,
     },
     /// Run one epoch: snapshot the roster at the round boundary, build the
     /// fleet, and run it to completion.
@@ -228,6 +238,14 @@ impl Request {
             Self::JoinNode { count, .. } if *count > MAX_JOIN_COUNT => Err(format!(
                 "join_node count {count} exceeds the {MAX_JOIN_COUNT}-node limit"
             )),
+            Self::SubmitWorkload { app, traffic, .. } => match (app, traffic) {
+                (None, None) => Err("submit_workload needs one of `app` or `traffic`".into()),
+                (Some(_), Some(_)) => {
+                    Err("submit_workload takes `app` or `traffic`, not both".into())
+                }
+                (None, Some(spec)) => spec.validate().map_err(|e| e.to_string()),
+                (Some(_), None) => Ok(()),
+            },
             _ => Ok(()),
         }
     }
@@ -326,7 +344,13 @@ mod tests {
         roundtrip(&Request::LeaveNode { node: 7 });
         roundtrip(&Request::SubmitWorkload {
             node: 3,
-            app: AppId::all()[0],
+            app: Some(AppId::all()[0]),
+            traffic: None,
+        });
+        roundtrip(&Request::SubmitWorkload {
+            node: 4,
+            app: None,
+            traffic: Some(TrafficSpec::default()),
         });
         roundtrip(&Request::Advance);
         roundtrip(&Request::Subscribe);
@@ -348,6 +372,56 @@ mod tests {
                 start_offset_us: 0
             }
         );
+    }
+
+    #[test]
+    fn pre_traffic_submit_json_still_parses() {
+        // Clients written before the traffic generator existed send
+        // `{"node":…,"app":…}` with no `traffic` key; both optional fields
+        // have serde defaults so that wire shape keeps working.
+        let req: Request =
+            serde_json::from_str(r#"{"type":"submit_workload","node":3,"app":"Bfs"}"#).unwrap();
+        match &req {
+            Request::SubmitWorkload { node, app, traffic } => {
+                assert_eq!(*node, 3);
+                assert!(app.is_some());
+                assert!(traffic.is_none());
+            }
+            other => panic!("parsed to {other:?}"),
+        }
+        assert!(req.validate().is_ok());
+    }
+
+    #[test]
+    fn submit_requires_exactly_one_workload_source() {
+        let neither = Request::SubmitWorkload {
+            node: 0,
+            app: None,
+            traffic: None,
+        };
+        assert!(neither.validate().is_err());
+        let both = Request::SubmitWorkload {
+            node: 0,
+            app: Some(AppId::all()[0]),
+            traffic: Some(TrafficSpec::default()),
+        };
+        assert!(both.validate().is_err());
+        // An invalid traffic spec is rejected at the protocol boundary too.
+        let bad = Request::SubmitWorkload {
+            node: 0,
+            app: None,
+            traffic: Some(TrafficSpec {
+                tenants: 0,
+                ..TrafficSpec::default()
+            }),
+        };
+        assert!(bad.validate().unwrap_err().contains("tenant"));
+        let ok = Request::SubmitWorkload {
+            node: 0,
+            app: None,
+            traffic: Some(TrafficSpec::default()),
+        };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

@@ -259,14 +259,28 @@ impl ControlPlane for FleetDaemon {
                     },
                 }
             }
-            Request::SubmitWorkload { node, app } => {
+            Request::SubmitWorkload { node, app, traffic } => {
                 let mut st = self.state.lock();
                 let Some(system) = st.systems.get(&node).copied() else {
                     return Response::Error {
                         message: format!("unknown fleet node id {node}"),
                     };
                 };
-                let trace = app_trace(app, system.platform());
+                // `validate()` already enforced exactly-one-of; expand the
+                // traffic slot addressed by the fleet node id, or intern
+                // the catalog app. Traffic deadline/tenant accounting is a
+                // batch-engine feature — the roster carries traces only, so
+                // daemon epochs report energy but not deadline metrics.
+                let trace = match (app, traffic) {
+                    (Some(app), None) => app_trace(app, system.platform()),
+                    (None, Some(spec)) => spec.node_profile(system.platform(), node as usize).trace,
+                    _ => {
+                        return Response::Error {
+                            message: "submit_workload needs exactly one of `app` or `traffic`"
+                                .into(),
+                        };
+                    }
+                };
                 match st.roster.submit(node, trace) {
                     Ok(()) => Response::Submitted { node },
                     Err(e) => Response::Error {

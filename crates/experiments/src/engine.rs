@@ -54,7 +54,7 @@ use magus_hsmp::FabricPstateTable;
 use magus_runtime::MagusConfig;
 use magus_telemetry::{Event, FieldValue, Registry, Snapshot};
 use magus_ups::UpsConfig;
-use magus_workloads::{app_trace, base_spec, AppId, Platform};
+use magus_workloads::{app_trace, base_spec, AppId, Platform, TrafficSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -68,7 +68,13 @@ use crate::harness::{default_fault_plan, SystemId, TrialBuilder, TrialOpts, Tria
 ///
 /// v4: fault injection landed — `TrialSpec` gained the `faults` field and
 /// `TrialResult` the fault counters, so pre-fault cache entries must miss.
-pub const ENGINE_SALT: &str = concat!("magus-engine/v4/", env!("CARGO_PKG_VERSION"));
+///
+/// v5: the traffic generator landed — `WorkloadSel` gained the
+/// `Traffic(TrafficSpec)` variant and `TrialBrief`/`FleetSummary` grew
+/// deadline/tenant-energy fields, so pre-traffic cache entries must miss.
+/// Traffic trials hash only the *generator parameters* (the spec's serde
+/// form); the synthesized trace is recomputed on demand and never hashed.
+pub const ENGINE_SALT: &str = concat!("magus-engine/v5/", env!("CARGO_PKG_VERSION"));
 
 /// The governor driving a trial — the single runtime selector shared by
 /// the CLI parser, the drivers, and every experiment path (one conversion
@@ -193,7 +199,7 @@ impl SystemSel {
 }
 
 /// The application (or lack of one) a trial runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadSel {
     /// A catalog application at the system platform's scaling.
     App(AppId),
@@ -201,6 +207,11 @@ pub enum WorkloadSel {
     HybridMd,
     /// No application: an idle node for `opts.max_s` (Table 2 protocol).
     Idle,
+    /// Node 0 of a multi-tenant traffic expansion: colocated tenants'
+    /// Zipf/diurnal/MMPP job queues superposed into one trace (see
+    /// `magus_workloads::generator`). Only the generator *parameters*
+    /// enter the content hash — the trace is re-expanded on demand.
+    Traffic(TrafficSpec),
 }
 
 /// One trial, fully specified: hash it, cache it, run it anywhere.
@@ -265,6 +276,18 @@ impl TrialSpec {
             workload: WorkloadSel::HybridMd,
             power_cap_w,
             ..Self::new(SystemId::IntelA100, AppId::Bfs, governor)
+        }
+    }
+
+    /// A multi-tenant traffic trial: one node of the `spec` expansion
+    /// (node 0), superposing its colocated tenants' job queues. The spec's
+    /// parameters — never the expanded trace — enter the content hash, so
+    /// sweeps over traffic mixes cache per parameter set.
+    #[must_use]
+    pub fn traffic(system: SystemId, spec: TrafficSpec, governor: GovernorSpec) -> Self {
+        Self {
+            workload: WorkloadSel::Traffic(spec),
+            ..Self::new(system, AppId::Bfs, governor)
         }
     }
 
@@ -353,7 +376,37 @@ impl TrialSpec {
             }),
             WorkloadSel::HybridMd => Some(Arc::new(crate::powercap::hybrid_workload())),
             WorkloadSel::Idle => None,
+            WorkloadSel::Traffic(spec) => {
+                // Replication re-seeds the generator the same way catalog
+                // replication re-jitters the workload seed.
+                let spec = match self.replicate {
+                    None => spec,
+                    Some(rep) => spec.with_seed(spec.seed.wrapping_add(u64::from(rep))),
+                };
+                Some(spec.node_profile(self.system.platform(), 0).trace)
+            }
         }
+    }
+
+    /// The job deadlines of a traffic trial's node (empty for every other
+    /// workload), in the form the deadline-miss accounting consumes.
+    #[must_use]
+    pub fn traffic_deadlines(&self) -> Vec<magus_hetsim::JobDeadline> {
+        let WorkloadSel::Traffic(spec) = self.workload else {
+            return Vec::new();
+        };
+        let spec = match self.replicate {
+            None => spec,
+            Some(rep) => spec.with_seed(spec.seed.wrapping_add(u64::from(rep))),
+        };
+        spec.node_profile(self.system.platform(), 0)
+            .jobs
+            .iter()
+            .map(|j| magus_hetsim::JobDeadline {
+                work_end_s: j.work_end_s(),
+                due_s: j.due_s,
+            })
+            .collect()
     }
 
     /// Human-readable label for manifests and logs.
@@ -363,6 +416,9 @@ impl TrialSpec {
             WorkloadSel::App(app) => app.name().to_string(),
             WorkloadSel::HybridMd => "hybrid-md".into(),
             WorkloadSel::Idle => "idle".into(),
+            WorkloadSel::Traffic(spec) => {
+                format!("traffic#{}x{}t{}", spec.seed, spec.tenants, spec.colocate)
+            }
         };
         let mut s = format!("{workload}/{}/{}", self.system.name(), self.governor.name());
         if let Some(rep) = self.replicate {
@@ -463,12 +519,37 @@ pub struct TrialBrief {
     /// Counts of injected faults, by kind (all zero on clean trials).
     #[serde(default)]
     pub fault_counters: FaultCounters,
+    /// Jobs carrying deadlines (traffic workloads only; 0 otherwise).
+    #[serde(default)]
+    pub deadline_jobs: u64,
+    /// Jobs that missed their deadline. For a solo trial the node either
+    /// completed its whole trace (job finish times estimated through the
+    /// mean stretch factor) or hit its budget (every job counted missed —
+    /// `RunSummary` carries no partial-progress field).
+    #[serde(default)]
+    pub deadline_misses: u64,
     /// Served from the on-disk cache.
     pub cached: bool,
 }
 
 impl From<TrialOutcome> for TrialBrief {
     fn from(o: TrialOutcome) -> Self {
+        let deadlines = o.spec.traffic_deadlines();
+        let deadline_misses = if deadlines.is_empty() {
+            0
+        } else {
+            let progress_s = if o.result.summary.completed {
+                o.spec.build_trace().map_or(0.0, |t| t.total_work_s())
+            } else {
+                0.0
+            };
+            deadlines
+                .iter()
+                .filter(|d| {
+                    magus_hetsim::deadline_missed(o.result.summary.runtime_s, progress_s, d)
+                })
+                .count() as u64
+        };
         Self {
             label: o.spec.label(),
             spec_hash: o.spec_hash,
@@ -478,6 +559,8 @@ impl From<TrialOutcome> for TrialBrief {
             mean_invocation_us: o.result.mean_invocation_us,
             high_freq_fraction: o.high_freq_fraction,
             fault_counters: o.result.fault_counters,
+            deadline_jobs: deadlines.len() as u64,
+            deadline_misses,
             cached: o.cached,
         }
     }
@@ -1218,6 +1301,28 @@ mod tests {
                 ..base.clone()
             },
             TrialSpec {
+                workload: WorkloadSel::Traffic(magus_workloads::TrafficSpec::default()),
+                ..base.clone()
+            },
+            TrialSpec {
+                workload: WorkloadSel::Traffic(
+                    magus_workloads::TrafficSpec::builder()
+                        .seed(1)
+                        .build()
+                        .unwrap(),
+                ),
+                ..base.clone()
+            },
+            TrialSpec {
+                workload: WorkloadSel::Traffic(
+                    magus_workloads::TrafficSpec::builder()
+                        .zipf_exponent(1.5)
+                        .build()
+                        .unwrap(),
+                ),
+                ..base.clone()
+            },
+            TrialSpec {
                 governor: GovernorSpec::Default,
                 ..base.clone()
             },
@@ -1311,6 +1416,20 @@ mod tests {
             "idle/Intel+Max1550/UPS+monitor"
         );
         assert_eq!(base_spec().replicate(3).label(), "bfs/Intel+A100/MAGUS#r3");
+        assert_eq!(
+            TrialSpec::traffic(
+                SystemId::IntelA100,
+                magus_workloads::TrafficSpec::builder()
+                    .seed(9)
+                    .tenants(6)
+                    .colocate(3)
+                    .build()
+                    .unwrap(),
+                GovernorSpec::magus_default(),
+            )
+            .label(),
+            "traffic#9x6t3/Intel+A100/MAGUS"
+        );
         let faulted = base_spec().with_faults(
             magus_hetsim::FaultPlan::builder()
                 .seed(5)

@@ -15,6 +15,14 @@
 //! `tests/fleet.rs`), for every shard count and on both stepping paths:
 //! shard clocks only change where macro-stepping spans split, never what
 //! they compute.
+//!
+//! A [`FleetSpec`] can instead carry a [`TrafficSpec`]: nodes then run the
+//! slots of a multi-tenant traffic expansion (colocated tenants'
+//! Zipf/diurnal/MMPP job queues superposed per node, deadlines and tenant
+//! shares attached as summary metadata), with `stagger_us` phasing traffic
+//! waves the same way it phases catalog waves — repeated tenant sets share
+//! one trace allocation, so trajectory dedup and offset sharing engage
+//! unchanged.
 
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -24,7 +32,8 @@ use magus_hetsim::fleet::{
     Decision, FleetSim, FleetSummary, NodeDecider, RunOpts, ShardStats, StepMode,
 };
 use magus_hetsim::Simulation;
-use magus_workloads::{app_traces, AppId, Platform};
+use magus_hetsim::{JobDeadline, TenantShare};
+use magus_workloads::{app_traces, AppId, Platform, TrafficSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::drivers::RuntimeDriver;
@@ -69,6 +78,14 @@ pub struct FleetSpec {
     /// bit-identical either way. Default off (exact-key dedup only).
     #[serde(default)]
     pub share_offsets: bool,
+    /// Multi-tenant traffic mix replacing the round-robin catalog: each
+    /// node runs one expansion slot of the spec (colocated tenants
+    /// superposed; see `magus_workloads::generator`), with `stagger_us`
+    /// phasing *traffic waves* (one wave = the spec's distinct profiles)
+    /// instead of catalog waves. `None` (the default, and what legacy
+    /// specs deserialize to) keeps the catalog fleet.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub traffic: Option<TrafficSpec>,
 }
 
 /// Process-wide default for [`FleetSpec::new`]'s `dedup` field: 0 = unset
@@ -126,7 +143,16 @@ impl FleetSpec {
             dedup: default_fleet_dedup(),
             stagger_us: 0,
             share_offsets: false,
+            traffic: None,
         }
+    }
+
+    /// Builder: drive the fleet from a multi-tenant traffic mix instead of
+    /// the round-robin catalog.
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = Some(traffic);
+        self
     }
 
     /// Builder: shard the fleet across `shards` lockstep clocks.
@@ -253,18 +279,48 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetRun {
 #[must_use]
 pub fn build_fleet(spec: &FleetSpec) -> FleetSim {
     let platform = spec.system.platform();
-    let keys: Vec<(AppId, Platform)> = (0..spec.nodes).map(|i| (fleet_app(i), platform)).collect();
     let mut builder = FleetSim::builder(spec.max_s)
         .shards(spec.shards)
         .dedup(spec.dedup)
         .share_offsets(spec.share_offsets);
-    let catalog = AppId::all().len();
-    for (i, trace) in app_traces(&keys).into_iter().enumerate() {
-        // Wave w = i / catalog starts at w × stagger_us: nodes sharing an
-        // app land in different waves, the phase-shifted shape offset
-        // sharing exists for.
-        let offset_us = ((i / catalog) as u64).saturating_mul(spec.stagger_us);
-        builder = builder.node_at(spec.system.node_config(), trace, offset_us);
+    if let Some(traffic) = &spec.traffic {
+        // Traffic fleet: node i runs expansion slot i. The expansion hands
+        // repeated tenant sets the *same* trace allocation, so dedup (and,
+        // staggered, offset sharing) engages exactly as for catalog nodes;
+        // one wave = the spec's distinct profiles.
+        let wave_len = traffic.distinct_profiles();
+        let fleet = traffic.expand(platform, spec.nodes);
+        for (i, profile) in fleet.profiles.into_iter().enumerate() {
+            let offset_us = ((i / wave_len) as u64).saturating_mul(spec.stagger_us);
+            builder = builder
+                .node_at(spec.system.node_config(), profile.trace, offset_us)
+                .node_traffic(
+                    profile
+                        .jobs
+                        .iter()
+                        .map(|j| JobDeadline {
+                            work_end_s: j.work_end_s(),
+                            due_s: j.due_s,
+                        })
+                        .collect(),
+                    profile
+                        .tenant_share
+                        .iter()
+                        .map(|&(tenant, share)| TenantShare { tenant, share })
+                        .collect(),
+                );
+        }
+    } else {
+        let keys: Vec<(AppId, Platform)> =
+            (0..spec.nodes).map(|i| (fleet_app(i), platform)).collect();
+        let catalog = AppId::all().len();
+        for (i, trace) in app_traces(&keys).into_iter().enumerate() {
+            // Wave w = i / catalog starts at w × stagger_us: nodes sharing
+            // an app land in different waves, the phase-shifted shape
+            // offset sharing exists for.
+            let offset_us = ((i / catalog) as u64).saturating_mul(spec.stagger_us);
+            builder = builder.node_at(spec.system.node_config(), trace, offset_us);
+        }
     }
     if let Some(plan) = &spec.faults {
         builder = builder.fault_plan(plan);
@@ -412,6 +468,50 @@ mod tests {
         );
         assert_eq!(spec.stagger_us, 0, "legacy specs start every node at 0");
         assert!(!spec.share_offsets, "legacy specs keep exact-key dedup");
+        assert!(spec.traffic.is_none(), "legacy specs keep the catalog");
+    }
+
+    #[test]
+    fn traffic_fleet_is_bit_identical_across_shards_and_engages_dedup() {
+        // 6 tenants / colocate 2 → 3 distinct profiles, so an 8-node fleet
+        // repeats each profile at least twice and dedup has real classes.
+        let traffic = TrafficSpec::builder()
+            .seed(5)
+            .tenants(6)
+            .colocate(2)
+            .jobs_per_tenant(2)
+            .mean_gap_s(2.0)
+            .build()
+            .unwrap();
+        let spec = FleetSpec {
+            max_s: 600.0,
+            dedup: true, // pin: another test may flip the process default
+            ..FleetSpec::new(GovernorSpec::magus_default(), 8)
+        }
+        .with_traffic(traffic);
+        let single = run_fleet(&spec);
+        let sharded = run_fleet(&spec.clone().with_shards(3));
+        assert_eq!(single.summary, sharded.summary);
+        assert_eq!(single.summary.deadline_jobs, 8 * 2 * 2);
+        assert!(!single.summary.tenant_energy_j.is_empty());
+        let tenant_sum: f64 = single.summary.tenant_energy_j.iter().map(|&(_, j)| j).sum();
+        assert!(
+            (tenant_sum - single.summary.total_j).abs() < 1e-6 * single.summary.total_j,
+            "tenant attribution must conserve fleet energy"
+        );
+        // Expansion slots repeat every 3 nodes, and repeated slots share a
+        // trace allocation, so the dedup kernel replays rounds.
+        let replayed: u64 = single
+            .shard_stats
+            .iter()
+            .map(|s| s.replayed_node_rounds)
+            .sum();
+        assert!(replayed > 0, "traffic profiles shared no rounds");
+        let off = run_fleet(&FleetSpec {
+            dedup: false,
+            ..spec.clone()
+        });
+        assert_eq!(off.summary, single.summary, "dedup changed a traffic fleet");
     }
 
     #[test]

@@ -41,6 +41,10 @@
 //!   fault plans (`magus_hetsim::fault`) swept at increasing intensity
 //!   across the catalog, measuring how each governor's savings and
 //!   performance degrade relative to a clean run.
+//! * [`traffic`] — the multi-tenant traffic study: seeded
+//!   `magus_workloads::generator` traffic shapes (light/steady/diurnal/
+//!   bursty) swept across governor fleets, measuring energy savings and
+//!   deadline misses under load instead of on solo traces.
 //!
 //! Trials are deterministic; suite-level sweeps fan out across trials with
 //! rayon (each trial owns its simulation, so parallelism is embarrassing),
@@ -60,6 +64,7 @@ pub mod powercap;
 pub mod replicate;
 pub mod report;
 pub mod robustness;
+pub mod traffic;
 
 pub use drivers::{FixedUncoreDriver, MagusDriver, NoopDriver, RuntimeDriver, UpsDriver};
 pub use engine::{
@@ -79,3 +84,7 @@ pub use harness::{
 pub use metrics::{burst_jaccard, Comparison};
 pub use opts::{engine_from_cli, EngineOpts};
 pub use pareto::{pareto_frontier, ParetoPoint};
+pub use traffic::{
+    render_traffic_report, traffic_study, traffic_study_for_tiers, GovernorRow, TrafficEval,
+    TrafficTier,
+};

@@ -74,7 +74,7 @@
 //! pointer-equal trace handles are what make dedup class keys content keys.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use rayon::prelude::*;
@@ -342,6 +342,13 @@ pub struct FleetBuilder {
     class_index: HashMap<(String, usize), u32>,
     /// Interning map from `(quotient id, start offset)` to exact class id.
     exact_index: HashMap<(u32, u64), u32>,
+    /// Per-node job deadlines (traffic metadata; empty for non-traffic
+    /// nodes). Summary-only: deadlines never influence stepping, so they
+    /// cannot perturb dedup or bit-identity.
+    deadlines: Vec<Vec<JobDeadline>>,
+    /// Per-node tenant energy shares (traffic metadata; empty for
+    /// non-traffic nodes).
+    tenant_shares: Vec<Vec<TenantShare>>,
 }
 
 impl FleetBuilder {
@@ -360,6 +367,8 @@ impl FleetBuilder {
             offsets: Vec::new(),
             class_index: HashMap::new(),
             exact_index: HashMap::new(),
+            deadlines: Vec::new(),
+            tenant_shares: Vec::new(),
         }
     }
 
@@ -414,9 +423,30 @@ impl FleetBuilder {
         self.quotient_of.push(Some(quotient));
         self.class_of.push(Some(exact));
         self.offsets.push(start_offset_us);
+        self.deadlines.push(Vec::new());
+        self.tenant_shares.push(Vec::new());
         let mut sim = Simulation::new(Node::new(config));
         sim.load(trace);
         self.sims.push(sim);
+        self
+    }
+
+    /// Attach traffic metadata — job deadlines and per-tenant energy
+    /// shares — to the most recently added node. The metadata is
+    /// summary-only: it never influences stepping, so traffic nodes dedup
+    /// and share offsets exactly like catalog nodes; it only feeds the
+    /// `deadline_*` and `tenant_energy_j` fields of [`FleetSummary`].
+    /// A call before any node was added is ignored.
+    #[must_use]
+    pub fn node_traffic(
+        mut self,
+        deadlines: Vec<JobDeadline>,
+        tenant_shares: Vec<TenantShare>,
+    ) -> Self {
+        if let (Some(d), Some(t)) = (self.deadlines.last_mut(), self.tenant_shares.last_mut()) {
+            *d = deadlines;
+            *t = tenant_shares;
+        }
         self
     }
 
@@ -429,6 +459,8 @@ impl FleetBuilder {
         self.class_of.push(None);
         self.quotient_of.push(None);
         self.offsets.push(0);
+        self.deadlines.push(Vec::new());
+        self.tenant_shares.push(Vec::new());
         self.sims.push(sim);
         self
     }
@@ -550,6 +582,8 @@ impl FleetBuilder {
             shards: self.shards,
             fleet_faults,
             shard_stats: Vec::new(),
+            deadlines: self.deadlines,
+            tenant_shares: self.tenant_shares,
         })
     }
 }
@@ -617,6 +651,49 @@ pub struct ShardStats {
     pub offset_evictions: u64,
 }
 
+/// One job deadline on a node's *ideal* (work) timeline, attached by the
+/// traffic layer through [`FleetBuilder::node_traffic`]. The generator
+/// plans jobs assuming demand is always met; the simulator stretches
+/// phases under bandwidth contention, so a deadline check maps the job's
+/// work coordinate back onto the stretched wall clock (see
+/// [`deadline_missed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobDeadline {
+    /// Where the job ends on the ideal timeline: trace work (s) that must
+    /// complete for the job to finish.
+    pub work_end_s: f64,
+    /// Wall-clock deadline (s, node-local clock).
+    pub due_s: f64,
+}
+
+/// One tenant's share of a node, attached by the traffic layer through
+/// [`FleetBuilder::node_traffic`]; the summary multiplies node energy by
+/// these shares to attribute Joules per tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantShare {
+    /// Tenant identifier (traffic-layer tenant id).
+    pub tenant: u64,
+    /// Fraction of the node's work content this tenant submitted, in
+    /// `[0, 1]`; a node's shares sum to 1.
+    pub share: f64,
+}
+
+/// Decide whether a job missed its deadline given the node's final state:
+/// `runtime_s` wall-clock seconds elapsed to complete `progress_s` seconds
+/// of trace work. A job whose work never completed is a miss; otherwise
+/// its finish time is estimated by mapping the work coordinate through the
+/// node's mean stretch factor (`runtime / progress`) — exact for uniform
+/// contention, and deterministic either way since both inputs are part of
+/// the fleet's bit-identity contract.
+#[must_use]
+pub fn deadline_missed(runtime_s: f64, progress_s: f64, deadline: &JobDeadline) -> bool {
+    if progress_s + 1e-9 < deadline.work_end_s || progress_s <= 0.0 {
+        return true;
+    }
+    let finish_s = runtime_s * (deadline.work_end_s / progress_s);
+    finish_s > deadline.due_s + 1e-9
+}
+
 /// Fleet-level result: per-node run summaries plus the aggregates the
 /// paper's cluster argument is about. Every field is bit-identical across
 /// shard counts and stepping modes.
@@ -655,6 +732,23 @@ pub struct FleetSummary {
     /// omitted from serialized summaries — on clean runs).
     #[serde(default, skip_serializing_if = "fault_counters_all_zero")]
     pub node_fault_counters: Vec<FaultCounters>,
+    /// Jobs carrying deadlines across the fleet (0 unless the traffic
+    /// layer attached [`JobDeadline`]s via [`FleetBuilder::node_traffic`]).
+    #[serde(default)]
+    pub deadline_jobs: u64,
+    /// Jobs that missed their deadline (see [`deadline_missed`]).
+    #[serde(default)]
+    pub deadline_misses: u64,
+    /// Per-node missed-deadline counts, node-index order; empty (and
+    /// omitted from serialized summaries) when no node carries deadlines.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub node_deadline_misses: Vec<u32>,
+    /// Energy attributed per tenant, `(tenant id, J)` sorted by tenant:
+    /// each node's total energy split by its [`TenantShare`]s, accumulated
+    /// in node-index order (part of the bit-identity contract). Empty (and
+    /// omitted) without traffic metadata.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tenant_energy_j: Vec<(u64, f64)>,
 }
 
 /// Serde helper: omit the per-node fault tallies when nothing was injected.
@@ -1221,6 +1315,10 @@ pub struct FleetSim {
     fleet_faults: Option<FleetFaults>,
     /// Per-shard counters from the most recent [`FleetSim::run`].
     shard_stats: Vec<ShardStats>,
+    /// Per-node traffic job deadlines (summary-only metadata).
+    deadlines: Vec<Vec<JobDeadline>>,
+    /// Per-node tenant energy shares (summary-only metadata).
+    tenant_shares: Vec<Vec<TenantShare>>,
 }
 
 impl FleetSim {
@@ -1359,15 +1457,41 @@ impl FleetSim {
         let mut total_uncore_j = 0.0;
         let mut total_j = 0.0;
         let mut uncore_w = Vec::with_capacity(nodes.len());
-        for n in &nodes {
+        // Traffic metrics: deadline checks read only per-node (runtime,
+        // progress) pairs — both bit-identical across partitions — and the
+        // tenant energy accumulates in node-index order into an ordered
+        // map, so these fields share the summary's bit-identity contract.
+        let have_deadlines = self.deadlines.iter().any(|d| !d.is_empty());
+        let mut deadline_jobs = 0u64;
+        let mut deadline_misses = 0u64;
+        let mut node_deadline_misses = Vec::new();
+        let mut tenant_energy: BTreeMap<u64, f64> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
             total_cpu_j += n.energy.core_j + n.energy.dram_j;
             total_uncore_j += n.energy.uncore_j;
             total_j += n.energy.total_j();
             if n.energy.elapsed_s > 0.0 {
                 uncore_w.push(n.energy.uncore_j / n.energy.elapsed_s);
             }
+            if have_deadlines {
+                let progress = self.sims[i].progress_s();
+                let misses = self.deadlines[i]
+                    .iter()
+                    .filter(|d| deadline_missed(n.runtime_s, progress, d))
+                    .count() as u32;
+                deadline_jobs += self.deadlines[i].len() as u64;
+                deadline_misses += u64::from(misses);
+                node_deadline_misses.push(misses);
+            }
+            for ts in &self.tenant_shares[i] {
+                *tenant_energy.entry(ts.tenant).or_insert(0.0) += n.energy.total_j() * ts.share;
+            }
         }
         FleetSummary {
+            deadline_jobs,
+            deadline_misses,
+            node_deadline_misses,
+            tenant_energy_j: tenant_energy.into_iter().collect(),
             completed: nodes.iter().filter(|n| n.completed).count(),
             total_cpu_j,
             total_uncore_j,
@@ -1433,6 +1557,67 @@ mod tests {
         }
         assert_eq!(summary.decisions, 4);
         assert!(summary.node_steps > 0);
+    }
+
+    #[test]
+    fn traffic_metadata_feeds_deadline_and_tenant_metrics() {
+        let shared: Arc<AppTrace> = Arc::new(trace(2.0, 5.0));
+        let mut fleet = FleetSim::builder(60.0)
+            .node(NodeConfig::intel_a100(), Arc::clone(&shared))
+            .node_traffic(
+                vec![
+                    // Generous deadline: met. Impossible deadline: missed.
+                    JobDeadline {
+                        work_end_s: 1.0,
+                        due_s: 1000.0,
+                    },
+                    JobDeadline {
+                        work_end_s: 2.0,
+                        due_s: 0.5,
+                    },
+                ],
+                vec![
+                    TenantShare {
+                        tenant: 3,
+                        share: 0.25,
+                    },
+                    TenantShare {
+                        tenant: 7,
+                        share: 0.75,
+                    },
+                ],
+            )
+            .node(NodeConfig::intel_a100(), Arc::clone(&shared))
+            .build()
+            .unwrap();
+        let summary = fleet.run(&RunOpts::noop());
+        assert_eq!(summary.deadline_jobs, 2);
+        assert_eq!(summary.deadline_misses, 1);
+        assert_eq!(summary.node_deadline_misses, vec![1, 0]);
+        let by_tenant = &summary.tenant_energy_j;
+        assert_eq!(by_tenant.len(), 2);
+        assert_eq!((by_tenant[0].0, by_tenant[1].0), (3, 7));
+        let node_j = summary.nodes[0].energy.total_j();
+        assert!((by_tenant[0].1 - node_j * 0.25).abs() < 1e-9);
+        assert!((by_tenant[1].1 - node_j * 0.75).abs() < 1e-9);
+        // Metadata is summary-only: both nodes' trajectories stay
+        // bit-identical (the metadata node still deduped with the bare one).
+        assert_eq!(summary.nodes[0], summary.nodes[1]);
+    }
+
+    #[test]
+    fn deadline_rule_maps_work_through_the_stretch_factor() {
+        let d = JobDeadline {
+            work_end_s: 2.0,
+            due_s: 3.0,
+        };
+        // Unstretched: finishes at t=2 < 3.
+        assert!(!deadline_missed(4.0, 4.0, &d));
+        // 2x stretch: finishes at t=4 > 3.
+        assert!(deadline_missed(8.0, 4.0, &d));
+        // Work never completed: always a miss.
+        assert!(deadline_missed(60.0, 1.5, &d));
+        assert!(deadline_missed(60.0, 0.0, &d));
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub use config::{CpuConfig, GpuConfig, MemoryConfig, NodeConfig, UncoreConfig};
 pub use demand::{Demand, GpuUtilVec};
 pub use fault::{FaultCounters, FaultPlan, FaultPlanBuilder, FaultPlanError, InjectedFault};
 pub use fleet::{
-    Decision, Distribution, FleetBuildError, FleetBuilder, FleetSim, FleetSummary, NodeDecider,
-    RunOpts, ShardStats, StepMode,
+    deadline_missed, Decision, Distribution, FleetBuildError, FleetBuilder, FleetSim, FleetSummary,
+    JobDeadline, NodeDecider, RunOpts, ShardStats, StepMode, TenantShare,
 };
 pub use node::{FastForward, Node};
 pub use power::PowerBreakdown;

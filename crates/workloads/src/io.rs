@@ -17,6 +17,7 @@ use std::path::Path;
 
 use magus_hetsim::AppTrace;
 
+use crate::generator::TrafficSpec;
 use crate::spec::WorkloadSpec;
 
 /// Errors loading workload files.
@@ -120,6 +121,26 @@ pub fn load_spec(path: &Path) -> Result<(WorkloadSpec, AppTrace), LoadError> {
     Ok((spec, trace))
 }
 
+/// Save a validated traffic specification as JSON (the `--traffic` file
+/// format of `magus fleet` and `magus ctl submit`).
+pub fn save_traffic_spec(spec: &TrafficSpec, path: &Path) -> Result<(), LoadError> {
+    spec.validate()
+        .map_err(|e| LoadError::Invalid(e.to_string()))?;
+    fs::write(path, serde_json::to_string_pretty(spec)?)?;
+    Ok(())
+}
+
+/// Load and re-validate a traffic specification from JSON. Fields absent
+/// from the file take their documented defaults (the spec is
+/// `#[serde(default)]`), and builder invariants are re-checked so a
+/// hand-written file cannot smuggle in a malformed spec.
+pub fn load_traffic_spec(path: &Path) -> Result<TrafficSpec, LoadError> {
+    let spec: TrafficSpec = serde_json::from_str(&fs::read_to_string(path)?)?;
+    spec.validate()
+        .map_err(|e| LoadError::Invalid(e.to_string()))?;
+    Ok(spec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +201,22 @@ mod tests {
         );
         frac.phases[0].demand.mem_frac = 1.5;
         assert!(matches!(validate_trace(&frac), Err(LoadError::Invalid(_))));
+    }
+
+    #[test]
+    fn traffic_spec_round_trips_and_rejects_invalid() {
+        let spec = TrafficSpec::builder().seed(11).tenants(3).build().unwrap();
+        let path = tmp("traffic.json");
+        save_traffic_spec(&spec, &path).unwrap();
+        assert_eq!(load_traffic_spec(&path).unwrap(), spec);
+
+        // A hand-written malformed spec is rejected on load.
+        std::fs::write(&path, r#"{"tenants":0}"#).unwrap();
+        assert!(matches!(
+            load_traffic_spec(&path),
+            Err(LoadError::Invalid(_))
+        ));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -18,15 +18,26 @@
 //! warm-up misses, GEMM/BFS/Pathfinder are compute-heavy with long quiet
 //! intervals); [`suites`] groups them into the exact sets each figure uses;
 //! [`io`] persists traces and specifications as validated JSON, so traces
-//! extracted from real PCM captures can be replayed through the harness.
+//! extracted from real PCM captures can be replayed through the harness;
+//! [`generator`] synthesizes *multi-tenant traffic* over the catalog — a
+//! seeded [`generator::TrafficSpec`] draws Zipf-popular apps through
+//! diurnal/bursty arrival processes into per-tenant deadline queues and
+//! superposes colocated tenants into per-node phase traces.
+
+#![warn(missing_docs)]
 
 pub mod catalog;
+pub mod generator;
 pub mod intern;
 pub mod io;
 pub mod spec;
 pub mod suites;
 
 pub use catalog::{base_spec, synthesize_trace, AppId, Platform};
+pub use generator::{
+    DiurnalSpec, MmppSpec, NodeProfile, QueueSpec, TenantJob, TrafficFleet, TrafficSpec,
+    TrafficSpecBuilder, TrafficSpecError,
+};
 pub use intern::{app_trace, app_trace_owned, app_traces, interned_trace_count, synthesis_count};
 pub use spec::{BurstTrainSpec, FluctuationSpec, InitSpec, WorkloadSpec};
 pub use suites::{fig4a_suite, fig4b_suite, fig4c_suite, table1_suite};

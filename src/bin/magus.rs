@@ -151,6 +151,7 @@ fn main() -> ExitCode {
             budget_s,
             shards,
             summary,
+            traffic,
         } => match fleet(
             nodes,
             system,
@@ -158,6 +159,7 @@ fn main() -> ExitCode {
             budget_s,
             shards,
             summary.as_deref(),
+            traffic.as_deref(),
             &opts,
         ) {
             Ok(()) => ExitCode::SUCCESS,
@@ -253,10 +255,23 @@ fn run_ctl(addr: &str, action: CtlAction) -> Result<(), Box<dyn Error>> {
                 _ => println!("joined 0 nodes"),
             }
         }
-        CtlAction::Submit { node, app } => {
-            CtlClient::connect(addr)?.submit(node, app)?;
-            println!("submitted {app} on node {node}");
-        }
+        CtlAction::Submit { node, app, traffic } => match (app, traffic) {
+            (Some(app), None) => {
+                CtlClient::connect(addr)?.submit(node, app)?;
+                println!("submitted {app} on node {node}");
+            }
+            (None, Some(path)) => {
+                let spec = magus_suite::workloads::io::load_traffic_spec(&path)?;
+                CtlClient::connect(addr)?.submit_traffic(node, spec)?;
+                println!(
+                    "submitted traffic slot (seed {}, {} tenant(s)) on node {node}",
+                    spec.seed, spec.tenants
+                );
+            }
+            // The parser enforces exactly-one-of; this arm is unreachable
+            // from the command line.
+            _ => return Err("submit requires exactly one of --app / --traffic".into()),
+        },
         CtlAction::Leave { node } => {
             CtlClient::connect(addr)?.leave(node)?;
             println!("node {node} left");
@@ -395,19 +410,34 @@ fn fleet(
     budget_s: f64,
     shards: usize,
     summary_path: Option<&Path>,
+    traffic_path: Option<&Path>,
     opts: &EngineOpts,
 ) -> Result<(), Box<dyn Error>> {
-    let spec = FleetSpec {
+    let mut spec = FleetSpec {
         system,
         max_s: budget_s,
         shards,
         ..FleetSpec::new(governor, nodes)
     };
+    if let Some(path) = traffic_path {
+        spec = spec.with_traffic(magus_suite::workloads::io::load_traffic_spec(path)?);
+    }
     let (run, jsonl) = fleet_run_and_jsonl(&spec);
     println!(
         "fleet of {nodes}: {} completed, {:.0} J, makespan {:.2} s ({} decisions)",
         run.summary.completed, run.summary.total_j, run.summary.makespan_s, run.summary.decisions
     );
+    if spec.traffic.is_some() {
+        let s = &run.summary;
+        let tenant_total: f64 = s.tenant_energy_j.iter().map(|(_, j)| j).sum();
+        println!(
+            "traffic: {} deadline job(s), {} missed; {} tenant(s), {:.0} J attributed",
+            s.deadline_jobs,
+            s.deadline_misses,
+            s.tenant_energy_j.len(),
+            tenant_total
+        );
+    }
     if let Some(path) = &opts.telemetry {
         write_file(path, &jsonl)?;
         // One epoch ran: the .prom sibling matches the daemon's /metrics

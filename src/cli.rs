@@ -100,7 +100,8 @@ pub enum Command {
     /// Batch fleet run (the in-process equivalent of a daemon session,
     /// used by CI to byte-compare the two).
     Fleet {
-        /// Fleet size (round-robin catalog apps).
+        /// Fleet size (round-robin catalog apps, or traffic expansion
+        /// slots when `traffic` is set).
         nodes: usize,
         /// Hardware preset every node uses.
         system: SystemId,
@@ -112,6 +113,10 @@ pub enum Command {
         shards: usize,
         /// Write the fleet summary JSON here.
         summary: Option<std::path::PathBuf>,
+        /// Drive the fleet from a traffic-spec JSON file instead of the
+        /// round-robin catalog (`magus_workloads::TrafficSpec`); the run
+        /// then reports deadline and per-tenant energy metrics.
+        traffic: Option<std::path::PathBuf>,
     },
     /// Print usage.
     Help,
@@ -129,12 +134,16 @@ pub enum CtlAction {
         /// Start offset on the fleet clock (µs).
         start_offset_us: u64,
     },
-    /// Stage a workload on a node.
+    /// Stage a workload on a node: a catalog app, or one slot of a
+    /// traffic-spec expansion (exactly one of the two is set — the parser
+    /// rejects neither/both).
     Submit {
         /// Target node id.
         node: u64,
         /// Catalog application.
-        app: AppId,
+        app: Option<AppId>,
+        /// Traffic-spec JSON file whose expansion the node runs.
+        traffic: Option<std::path::PathBuf>,
     },
     /// Remove a node.
     Leave {
@@ -394,13 +403,27 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                     count: take_parsed(&mut rest2, "--count", 1u32)?,
                     start_offset_us: take_parsed(&mut rest2, "--offset-us", 0u64)?,
                 },
-                "submit" => CtlAction::Submit {
-                    node: take_required(&mut rest2, "--node")?,
-                    app: parse_app(
-                        &take_flag(&mut rest2, "--app")
-                            .ok_or(ParseError("submit requires --app".into()))?,
-                    )?,
-                },
+                "submit" => {
+                    let node = take_required(&mut rest2, "--node")?;
+                    let app = take_flag(&mut rest2, "--app")
+                        .map(|a| parse_app(&a))
+                        .transpose()?;
+                    let traffic = take_flag(&mut rest2, "--traffic").map(Into::into);
+                    match (&app, &traffic) {
+                        (None, None) => {
+                            return Err(ParseError(
+                                "submit requires --app <name> or --traffic <spec.json>".into(),
+                            ))
+                        }
+                        (Some(_), Some(_)) => {
+                            return Err(ParseError(
+                                "submit takes --app or --traffic, not both".into(),
+                            ))
+                        }
+                        _ => {}
+                    }
+                    CtlAction::Submit { node, app, traffic }
+                }
                 "leave" => CtlAction::Leave {
                     node: take_required(&mut rest2, "--node")?,
                 },
@@ -453,6 +476,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                 budget_s,
                 shards,
                 summary: take_flag(&mut rest, "--summary").map(Into::into),
+                traffic: take_flag(&mut rest, "--traffic").map(Into::into),
             }
         }
         "variance" => {
@@ -497,7 +521,7 @@ USAGE:
               [--runtime <gov>] [--budget <s>] [--shards <n>]
   magus ctl --addr <ip:port> <verb> [...]
   magus fleet --nodes <n> [--system <sys>] [--runtime <gov>] [--budget <s>]
-              [--shards <n>] [--summary <file>]
+              [--shards <n>] [--summary <file>] [--traffic <spec.json>]
 
 CONTROL:   `serve` runs the fleet control-plane daemon: it prints
            CTL_ADDR=<ip:port> and HTTP_ADDR=<ip:port> on stdout (bind with
@@ -505,7 +529,8 @@ CONTROL:   `serve` runs the fleet control-plane daemon: it prints
            wire protocol on the control socket and Prometheus text on HTTP
            GET /metrics until a shutdown request. `ctl` drives it: verbs
            join [--system <sys>] [--count <n>] [--offset-us <µs>],
-           submit --node <id> --app <name>, leave --node <id>, advance,
+           submit --node <id> (--app <name> | --traffic <spec.json>),
+           leave --node <id>, advance,
            snapshot, metrics, watch, shutdown, and
            drive --nodes <n> [--system <sys>] [--telemetry <file>]
            [--summary <file>] [--metrics <file>] [--shutdown] — a whole
@@ -514,6 +539,13 @@ CONTROL:   `serve` runs the fleet control-plane daemon: it prints
            --telemetry, `fleet` writes the same JSONL + .prom pair).
 GOVERNORS: default | magus | ups | fixed:<ghz> | magus:<k=v,...>
            (magus keys: inc, dec, hf, interval_ms — validated before use)
+TRAFFIC:   --traffic <spec.json> drives a fleet (or one daemon node) from a
+           stochastic multi-tenant traffic spec instead of the round-robin
+           catalog: Zipf-skewed app popularity, diurnal + bursty arrivals,
+           per-tenant deadline queues, colocation (see DESIGN.md \"Traffic
+           generation\"). Expansion is deterministic from the spec's seed;
+           with --traffic, `fleet` also reports deadline misses and
+           per-tenant energy.
 ENGINE:    --no-cache (always simulate), --serial (one trial at a time),
            --jobs <n> (worker threads, 0 = ncpus),
            --sim-path fast|reference (stepping path for every trial; both
@@ -788,6 +820,8 @@ mod tests {
             "/metrics",
             "CTL_ADDR",
             "HTTP_ADDR",
+            "--traffic",
+            "Traffic generation",
         ] {
             assert!(u.contains(word), "{word}");
         }
@@ -849,9 +883,50 @@ mod tests {
                 addr: "h:1".into(),
                 action: CtlAction::Submit {
                     node: 3,
-                    app: AppId::Bfs,
+                    app: Some(AppId::Bfs),
+                    traffic: None,
                 },
             }
+        );
+        assert_eq!(
+            cmd(&[
+                "ctl",
+                "--addr",
+                "h:1",
+                "submit",
+                "--node",
+                "3",
+                "--traffic",
+                "spec.json"
+            ]),
+            Command::Ctl {
+                addr: "h:1".into(),
+                action: CtlAction::Submit {
+                    node: 3,
+                    app: None,
+                    traffic: Some(PathBuf::from("spec.json")),
+                },
+            }
+        );
+        assert!(
+            parse(&v(&["ctl", "--addr", "h:1", "submit", "--node", "3"])).is_err(),
+            "submit needs --app or --traffic"
+        );
+        assert!(
+            parse(&v(&[
+                "ctl",
+                "--addr",
+                "h:1",
+                "submit",
+                "--node",
+                "3",
+                "--app",
+                "bfs",
+                "--traffic",
+                "spec.json"
+            ]))
+            .is_err(),
+            "submit rejects --app together with --traffic"
         );
         for (verb, action) in [
             ("advance", CtlAction::Advance),
@@ -917,6 +992,7 @@ mod tests {
                 budget_s: 600.0,
                 shards: 1,
                 summary: None,
+                traffic: None,
             }
         );
         assert_eq!(
@@ -932,6 +1008,8 @@ mod tests {
                 "2",
                 "--summary",
                 "s.json",
+                "--traffic",
+                "traffic.json",
             ]),
             Command::Fleet {
                 nodes: 8,
@@ -940,6 +1018,7 @@ mod tests {
                 budget_s: 45.0,
                 shards: 2,
                 summary: Some(PathBuf::from("s.json")),
+                traffic: Some(PathBuf::from("traffic.json")),
             }
         );
         assert!(parse(&v(&["fleet"])).is_err(), "missing --nodes");
